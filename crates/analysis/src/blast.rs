@@ -1,0 +1,146 @@
+//! Failure blast radius (§6 "Practicality benefits").
+//!
+//! Flat oblivious designs spray every flow over every link, so any link
+//! failure can touch flows between *any* source-destination pair. A
+//! modular semi-oblivious design confines most paths inside cliques,
+//! shrinking the set of pairs a single failure affects. This module
+//! quantifies that: for each directed virtual link, the fraction of
+//! source-destination pairs whose routing path-set uses the link.
+
+use sorn_routing::PathModel;
+use sorn_topology::NodeId;
+use std::collections::HashMap;
+
+/// Blast-radius statistics over all directed virtual links.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlastReport {
+    /// Scheme name.
+    pub scheme: String,
+    /// Links observed in any path.
+    pub links: usize,
+    /// Mean over links of the fraction of pairs using the link.
+    pub mean_affected: f64,
+    /// Worst-case (max over links) fraction of pairs using a link.
+    pub max_affected: f64,
+    /// Mean over src-dst pairs of the number of distinct links whose
+    /// failure can touch the pair (the pair's failure *exposure*). This
+    /// is where modularity shows: a flat VLB flow is exposed to
+    /// `~2(n-1)` links anywhere in the fabric, while a SORN flow is
+    /// exposed only to links of its own clique(s).
+    pub mean_exposure: f64,
+    /// Worst-case exposure over pairs.
+    pub max_exposure: usize,
+}
+
+/// Computes the blast radius of `model` over an `n`-node network: for
+/// every ordered pair, mark each directed link appearing in *any* of the
+/// pair's paths; report per-link affected-pair fractions.
+pub fn blast_radius(n: usize, model: &dyn PathModel) -> BlastReport {
+    let mut affected: HashMap<(u32, u32), u64> = HashMap::new();
+    let pairs = (n * (n - 1)) as f64;
+    let mut edges_of_pair: Vec<(u32, u32)> = Vec::new();
+    let mut exposure_sum = 0u64;
+    let mut exposure_max = 0usize;
+    for s in 0..n as u32 {
+        for d in 0..n as u32 {
+            if s == d {
+                continue;
+            }
+            edges_of_pair.clear();
+            model.for_each_path(NodeId(s), NodeId(d), &mut |path, _| {
+                for w in path.windows(2) {
+                    edges_of_pair.push((w[0].0, w[1].0));
+                }
+            });
+            edges_of_pair.sort_unstable();
+            edges_of_pair.dedup();
+            exposure_sum += edges_of_pair.len() as u64;
+            exposure_max = exposure_max.max(edges_of_pair.len());
+            for &e in &edges_of_pair {
+                *affected.entry(e).or_insert(0) += 1;
+            }
+        }
+    }
+    let links = affected.len();
+    let mut mean = 0.0;
+    let mut max = 0.0f64;
+    for &c in affected.values() {
+        let f = c as f64 / pairs;
+        mean += f;
+        max = max.max(f);
+    }
+    if links > 0 {
+        mean /= links as f64;
+    }
+    BlastReport {
+        scheme: model.name().to_string(),
+        links,
+        mean_affected: mean,
+        max_affected: max,
+        mean_exposure: exposure_sum as f64 / pairs,
+        max_exposure: exposure_max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sorn_routing::{SornPaths, VlbPaths};
+    use sorn_topology::CliqueMap;
+
+    #[test]
+    fn flat_vlb_blast_radius_is_total() {
+        // With 2-hop VLB over a clique, every link is either the spray or
+        // direct hop of many pairs; the worst link affects almost all
+        // pairs (every pair sprays over every outgoing link of its
+        // source, and every pair can use any direct link).
+        let r = blast_radius(16, &VlbPaths::new(16));
+        assert_eq!(r.links, 16 * 15);
+        // Link (u,v) is used by: all pairs with source u (spray), all
+        // pairs with destination v (direct): ~2n pairs of n(n-1).
+        let expect = (2.0 * 15.0 - 1.0) / (16.0 * 15.0);
+        assert!((r.max_affected - expect).abs() < 0.01, "{r:?}");
+    }
+
+    #[test]
+    fn sorn_blast_radius_is_smaller() {
+        let map = CliqueMap::contiguous(16, 4);
+        let flat = blast_radius(16, &VlbPaths::new(16));
+        let sorn = blast_radius(16, &SornPaths::new(map));
+        assert!(
+            sorn.mean_affected < flat.mean_affected,
+            "sorn {} vs flat {}",
+            sorn.mean_affected,
+            flat.mean_affected
+        );
+        // The modularity claim of §6: each SORN flow is exposed to far
+        // fewer links than a flat VLB flow.
+        assert!(
+            sorn.mean_exposure < flat.mean_exposure / 2.0,
+            "sorn exposure {} vs flat {}",
+            sorn.mean_exposure,
+            flat.mean_exposure
+        );
+        assert!(sorn.max_exposure < flat.max_exposure);
+    }
+
+    #[test]
+    fn flat_vlb_exposure_spans_the_fabric() {
+        // 2-hop VLB over n nodes: a pair (s,d) can use any of the n-1
+        // spray links of s and any of the n-1 direct links into d; the
+        // link (s,d) appears in both sets, so exposure = 2(n-1) - 1.
+        let n = 12;
+        let r = blast_radius(n, &VlbPaths::new(n));
+        assert_eq!(r.max_exposure, 2 * (n - 1) - 1);
+        assert!((r.mean_exposure - (2.0 * (n as f64 - 1.0) - 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intra_links_affect_only_local_and_transit_pairs() {
+        let map = CliqueMap::contiguous(8, 2);
+        let sorn = blast_radius(8, &SornPaths::new(map));
+        // SORN uses intra links (within both cliques) and inter links:
+        // node 0 reaches 1,2,3 intra and 4 inter (gateway by index).
+        assert!(sorn.links < 8 * 7, "SORN must not use every possible link");
+    }
+}

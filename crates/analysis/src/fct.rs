@@ -1,0 +1,161 @@
+//! Flow-completion-time analysis: size-bucketed FCT and slowdown.
+//!
+//! The standard DCN evaluation (pFabric and successors) reports FCT
+//! *slowdown* — completion time divided by the flow's ideal time on an
+//! unloaded fabric — bucketed by flow size, since short latency-
+//! sensitive flows and long bulk flows experience circuit networks very
+//! differently (the whole point of Table 1's short/bulk split for
+//! Opera).
+
+use sorn_sim::{FlowRecord, Nanos, SimConfig};
+
+/// The ideal (unloaded, single-hop) completion time of a flow: inject
+/// its cells back-to-back at line rate, plus one slot of transmission
+/// and one propagation delay.
+pub fn ideal_fct_ns(size_bytes: u64, cfg: &SimConfig) -> Nanos {
+    let cells = size_bytes.div_ceil(cfg.cell_bytes as u64).max(1);
+    (cells - 1) * cfg.slot_ns / cfg.uplinks as u64 + cfg.slot_ns + cfg.propagation_ns
+}
+
+/// Slowdown of one completed flow.
+pub fn slowdown(record: &FlowRecord, cfg: &SimConfig) -> f64 {
+    record.fct_ns() as f64 / ideal_fct_ns(record.size_bytes, cfg) as f64
+}
+
+/// A size bucket with its statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizeBucket {
+    /// Inclusive lower bound in bytes.
+    pub lo: u64,
+    /// Exclusive upper bound in bytes (`u64::MAX` for the last bucket).
+    pub hi: u64,
+    /// Flows in the bucket.
+    pub flows: usize,
+    /// Mean FCT in nanoseconds.
+    pub mean_fct_ns: f64,
+    /// 99th-percentile FCT in nanoseconds.
+    pub p99_fct_ns: Nanos,
+    /// Mean slowdown.
+    pub mean_slowdown: f64,
+    /// 99th-percentile slowdown.
+    pub p99_slowdown: f64,
+}
+
+/// The default size buckets: <10 KB (latency-sensitive requests),
+/// 10–100 KB, 100 KB–1 MB, ≥1 MB (bulk).
+pub const DEFAULT_BUCKETS: [(u64, u64); 4] = [
+    (0, 10_000),
+    (10_000, 100_000),
+    (100_000, 1_000_000),
+    (1_000_000, u64::MAX),
+];
+
+/// Buckets completed flows by size and computes FCT/slowdown statistics.
+pub fn bucketed_slowdown(
+    flows: &[FlowRecord],
+    cfg: &SimConfig,
+    buckets: &[(u64, u64)],
+) -> Vec<SizeBucket> {
+    buckets
+        .iter()
+        .map(|&(lo, hi)| {
+            let members: Vec<&FlowRecord> = flows
+                .iter()
+                .filter(|f| f.size_bytes >= lo && f.size_bytes < hi)
+                .collect();
+            if members.is_empty() {
+                return SizeBucket {
+                    lo,
+                    hi,
+                    flows: 0,
+                    mean_fct_ns: 0.0,
+                    p99_fct_ns: 0,
+                    mean_slowdown: 0.0,
+                    p99_slowdown: 0.0,
+                };
+            }
+            let mut fcts: Vec<Nanos> = members.iter().map(|f| f.fct_ns()).collect();
+            fcts.sort_unstable();
+            let mut sds: Vec<f64> = members.iter().map(|f| slowdown(f, cfg)).collect();
+            sds.sort_by(|a, b| a.partial_cmp(b).expect("finite slowdowns"));
+            let p99 = |len: usize| ((len - 1) as f64 * 0.99).round() as usize;
+            SizeBucket {
+                lo,
+                hi,
+                flows: members.len(),
+                mean_fct_ns: fcts.iter().map(|&f| f as f64).sum::<f64>() / fcts.len() as f64,
+                p99_fct_ns: fcts[p99(fcts.len())],
+                mean_slowdown: sds.iter().sum::<f64>() / sds.len() as f64,
+                p99_slowdown: sds[p99(sds.len())],
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sorn_sim::FlowId;
+
+    fn rec(size: u64, fct: Nanos) -> FlowRecord {
+        FlowRecord {
+            id: FlowId(0),
+            size_bytes: size,
+            arrival_ns: 0,
+            completion_ns: fct,
+            max_hops: 2,
+        }
+    }
+
+    #[test]
+    fn ideal_fct_accounts_for_cells_and_uplinks() {
+        let cfg = SimConfig::default(); // 1250 B cells, 100 ns slots, 1 uplink
+        // Single cell: one slot + propagation.
+        assert_eq!(ideal_fct_ns(1000, &cfg), 600);
+        // Four cells: three more slots of injection.
+        assert_eq!(ideal_fct_ns(5000, &cfg), 900);
+        // With 4 uplinks injection parallelizes.
+        let mut cfg4 = cfg;
+        cfg4.uplinks = 4;
+        assert_eq!(ideal_fct_ns(5000, &cfg4), 675);
+    }
+
+    #[test]
+    fn slowdown_is_relative_to_ideal() {
+        let cfg = SimConfig::default();
+        let f = rec(1000, 1200); // ideal 600
+        assert!((slowdown(&f, &cfg) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucketing_separates_sizes() {
+        let cfg = SimConfig::default();
+        let flows = vec![
+            rec(500, 600),
+            rec(5_000, 2_000),
+            rec(50_000, 10_000),
+            rec(2_000_000, 300_000),
+        ];
+        let buckets = bucketed_slowdown(&flows, &cfg, &DEFAULT_BUCKETS);
+        assert_eq!(buckets.len(), 4);
+        assert_eq!(buckets[0].flows, 2);
+        assert_eq!(buckets[1].flows, 1);
+        assert_eq!(buckets[2].flows, 0);
+        assert_eq!(buckets[3].flows, 1);
+        assert_eq!(buckets[2].mean_slowdown, 0.0);
+        // First bucket: slowdowns 1.0 (500B in 600ns) and ~2.22.
+        assert!(buckets[0].mean_slowdown > 1.0);
+        assert!(buckets[0].p99_slowdown >= buckets[0].mean_slowdown);
+    }
+
+    #[test]
+    fn p99_is_the_tail() {
+        let cfg = SimConfig::default();
+        let mut flows: Vec<FlowRecord> = (0..100).map(|i| rec(1000, 600 + i * 10)).collect();
+        flows.push(rec(1000, 60_000)); // outlier
+        let b = bucketed_slowdown(&flows, &cfg, &[(0, u64::MAX)]);
+        assert_eq!(b[0].flows, 101);
+        assert!(b[0].p99_fct_ns >= 1580);
+        assert!(b[0].p99_fct_ns < 60_000);
+    }
+}

@@ -1,0 +1,171 @@
+//! Figure 2(f) reproduction: worst-case throughput vs traffic locality.
+//!
+//! Two series, as in the paper:
+//!
+//! - **Theory**: `r = 1/(3 − x)` — the closed form at the ideal
+//!   oversubscription `q* = 2/(1 − x)`.
+//! - **Simulated**: exact flow-level evaluation of the actually
+//!   constructed 128-node / 8-clique schedule under a clique-local
+//!   demand, plus an optional packet-level validation point driven by
+//!   pFabric web-search traffic ("real-world traffic \[2\]").
+
+use sorn_core::{model, CoreError, SornConfig, SornNetwork};
+use sorn_sim::SimError;
+use sorn_traffic::{spatial::CliqueLocal, FlowSizeDist, PoissonWorkload};
+
+/// One point of the Figure 2(f) series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig2fPoint {
+    /// Locality ratio `x`.
+    pub x: f64,
+    /// Theoretical `r = 1/(3 − x)`.
+    pub theory: f64,
+    /// Flow-level throughput of the constructed schedule.
+    pub simulated: f64,
+    /// Demand-weighted mean hops at this point.
+    pub mean_hops: f64,
+}
+
+/// Parameters for the figure.
+#[derive(Debug, Clone)]
+pub struct Fig2fParams {
+    /// Network size (paper: 128).
+    pub n: usize,
+    /// Clique count (paper: 8).
+    pub cliques: usize,
+    /// Locality ratios to sweep.
+    pub xs: Vec<f64>,
+}
+
+impl Default for Fig2fParams {
+    fn default() -> Self {
+        Fig2fParams {
+            n: 128,
+            cliques: 8,
+            xs: (0..10).map(|i| i as f64 / 10.0).collect(),
+        }
+    }
+}
+
+/// Generates both series.
+pub fn generate(params: &Fig2fParams) -> Result<Vec<Fig2fPoint>, CoreError> {
+    let mut out = Vec::with_capacity(params.xs.len());
+    for &x in &params.xs {
+        let mut cfg = SornConfig::small(params.n, params.cliques, x);
+        // Keep schedule periods tractable across the sweep.
+        cfg.q = Some(sorn_topology::Ratio::approximate(model::ideal_q(x), 64));
+        let net = SornNetwork::build(cfg)?;
+        let rep = net.flow_throughput(x)?;
+        out.push(Fig2fPoint {
+            x,
+            theory: model::optimal_throughput(x),
+            simulated: rep.throughput,
+            mean_hops: rep.mean_hops,
+        });
+    }
+    Ok(out)
+}
+
+/// Result of a packet-level validation run at one locality point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketValidation {
+    /// Locality ratio simulated.
+    pub x: f64,
+    /// Offered load (fraction of node bandwidth).
+    pub offered_load: f64,
+    /// Whether all traffic drained within the slot budget.
+    pub drained: bool,
+    /// Mean hops per delivered cell.
+    pub mean_hops: f64,
+    /// Fraction of transmissions that were final-hop deliveries.
+    pub delivery_fraction: f64,
+    /// Flows completed.
+    pub flows: usize,
+}
+
+/// Packet-simulates one Figure 2(f) point with pFabric web-search flows
+/// at the given offered load, checking that a load below the predicted
+/// throughput drains.
+pub fn validate_point(
+    n: usize,
+    cliques: usize,
+    x: f64,
+    load: f64,
+    duration_ns: u64,
+    seed: u64,
+) -> Result<PacketValidation, SimError> {
+    let mut cfg = SornConfig::small(n, cliques, x);
+    cfg.q = Some(sorn_topology::Ratio::approximate(model::ideal_q(x), 64));
+    let net = SornNetwork::build(cfg).expect("valid point config");
+    let map = net.cliques().clone();
+
+    // One uplink at the default cell size: 12.5 B/ns line rate.
+    let wl = PoissonWorkload {
+        n,
+        load,
+        node_bandwidth_bytes_per_ns: 12.5,
+        duration_ns,
+        seed,
+    };
+    let flows = wl.generate(&FlowSizeDist::web_search(), &CliqueLocal::new(map, x));
+    let n_flows = flows.len();
+    // Generous drain budget: 50x the workload duration.
+    let max_slots = duration_ns / 100 * 50;
+    let (metrics, drained) = net.simulate(flows, seed, max_slots)?;
+    Ok(PacketValidation {
+        x,
+        offered_load: load,
+        drained,
+        mean_hops: metrics.mean_hops(),
+        delivery_fraction: metrics.delivery_fraction(),
+        flows: n_flows.min(metrics.flows.len()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_matches_theory_shape() {
+        // Smaller instance for test speed; same structure as the paper's.
+        let params = Fig2fParams {
+            n: 32,
+            cliques: 4,
+            xs: vec![0.0, 0.25, 0.5, 0.75],
+        };
+        let pts = generate(&params).unwrap();
+        assert_eq!(pts.len(), 4);
+        for p in &pts {
+            // Simulated (exact) throughput is at or above the worst-case
+            // closed form, and within a sensible band of it.
+            assert!(
+                p.simulated >= p.theory - 1e-9,
+                "x={}: sim {} < theory {}",
+                p.x,
+                p.simulated,
+                p.theory
+            );
+            assert!(p.simulated < p.theory + 0.12, "x={}: sim {}", p.x, p.simulated);
+            // Bandwidth tax shrinks with locality.
+            assert!(p.mean_hops <= 3.0 - p.x + 1e-9);
+        }
+        // Monotone increasing in x, bounded by [1/3, 1/2] as the paper
+        // highlights.
+        for w in pts.windows(2) {
+            assert!(w[1].simulated >= w[0].simulated - 1e-9);
+        }
+        assert!(pts[0].theory >= 1.0 / 3.0 - 1e-12);
+        assert!(pts.last().unwrap().theory <= 0.5);
+    }
+
+    #[test]
+    fn packet_validation_drains_below_capacity() {
+        let v = validate_point(16, 4, 0.5, 0.2, 200_000, 7).unwrap();
+        assert!(v.drained, "load 0.2 below r=0.4 must drain: {v:?}");
+        assert!(v.flows > 0);
+        assert!(v.mean_hops > 1.0 && v.mean_hops <= 3.0);
+        // Delivery fraction ~ 1/mean_hops.
+        assert!((v.delivery_fraction * v.mean_hops - 1.0).abs() < 0.05);
+    }
+}

@@ -1,0 +1,26 @@
+//! # sorn-analysis
+//!
+//! Experiment drivers and reporting for the paper's evaluation:
+//!
+//! - [`table1`]: the Table 1 comparison (Sirius 1D ORN, Opera, 2D ORN,
+//!   SORN at Nc = 64 and 32 for a 4096-rack DCN) — generation and
+//!   paper-style rendering.
+//! - [`fig2f`]: the Figure 2(f) throughput-vs-locality series (theory
+//!   and constructed-schedule flow-level evaluation, plus packet-level
+//!   validation points).
+//! - [`blast`]: the §6 failure blast-radius study (flat VLB vs modular
+//!   SORN).
+//! - [`adaptation`]: the §5 reconfiguration experiment (static vs
+//!   adaptive across macro-pattern shifts, with update-cost accounting).
+//! - [`render`]: plain-text table rendering shared by the bench binaries.
+
+#![warn(missing_docs)]
+
+pub mod adaptation;
+pub mod blast;
+pub mod fct;
+pub mod fig2f;
+pub mod render;
+pub mod saturation;
+pub mod syncdomains;
+pub mod table1;

@@ -1,0 +1,134 @@
+//! Criterion benches: packet-simulator slot rate under the paper's
+//! routing schemes (the substrate cost of every packet-level experiment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sorn_routing::{AdaptiveVlbRouter, HierarchicalRouter, SornRouter, VlbRouter};
+use sorn_sim::{Engine, Flow, FlowId, SimConfig};
+use sorn_topology::builders::{round_robin, sorn_schedule, SornScheduleParams};
+use sorn_topology::{CliqueMap, NodeId, Ratio};
+use std::hint::black_box;
+
+fn mesh_flows(n: u32, cells_per_flow: u64) -> Vec<Flow> {
+    let mut flows = Vec::new();
+    let mut id = 0;
+    for s in 0..n {
+        for k in 1..4 {
+            let d = (s + k * 7 + 1) % n;
+            if d != s {
+                flows.push(Flow {
+                    id: FlowId(id),
+                    src: NodeId(s),
+                    dst: NodeId(d),
+                    size_bytes: cells_per_flow * 1250,
+                    arrival_ns: 0,
+                });
+                id += 1;
+            }
+        }
+    }
+    flows
+}
+
+fn bench_vlb_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_vlb_slots");
+    for n in [32usize, 128] {
+        let sched = round_robin(n).unwrap();
+        let router = VlbRouter::new();
+        let slots = 2_000u64;
+        g.throughput(Throughput::Elements(slots));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut eng = Engine::new(SimConfig::default(), &sched, &router);
+                eng.add_flows(mesh_flows(n as u32, 16)).unwrap();
+                eng.run_slots(black_box(slots)).unwrap();
+                eng.metrics().delivered_cells
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_sorn_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_sorn_slots");
+    for (n, nc) in [(32usize, 4usize), (128, 8)] {
+        let map = CliqueMap::contiguous(n, nc);
+        let sched = sorn_schedule(&map, &SornScheduleParams::with_q(Ratio::new(50, 11))).unwrap();
+        let router = SornRouter::new(map);
+        let slots = 2_000u64;
+        g.throughput(Throughput::Elements(slots));
+        g.bench_with_input(
+            BenchmarkId::new("n_nc", format!("{n}_{nc}")),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let mut eng = Engine::new(SimConfig::default(), &sched, &router);
+                    eng.add_flows(mesh_flows(n as u32, 16)).unwrap();
+                    eng.run_slots(black_box(slots)).unwrap();
+                    eng.metrics().delivered_cells
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_uplink_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_uplink_scaling");
+    let n = 64;
+    let sched = round_robin(n).unwrap();
+    let router = VlbRouter::new();
+    for uplinks in [1usize, 4, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(uplinks), &uplinks, |b, &u| {
+            b.iter(|| {
+                let cfg = SimConfig {
+                    uplinks: u,
+                    ..SimConfig::default()
+                };
+                let mut eng = Engine::new(cfg, &sched, &router);
+                eng.add_flows(mesh_flows(n as u32, 8)).unwrap();
+                eng.run_slots(500).unwrap();
+                eng.metrics().delivered_cells
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_adaptive_sim(c: &mut Criterion) {
+    let n = 64;
+    let sched = round_robin(n).unwrap();
+    let router = AdaptiveVlbRouter::new(4);
+    c.bench_function("sim_adaptive_vlb_64", |b| {
+        b.iter(|| {
+            let mut eng = Engine::new(SimConfig::default(), &sched, &router);
+            eng.add_flows(mesh_flows(n as u32, 8)).unwrap();
+            eng.run_slots(black_box(1_000)).unwrap();
+            eng.metrics().delivered_cells
+        });
+    });
+}
+
+fn bench_hierarchical_sim(c: &mut Criterion) {
+    use sorn_topology::builders::{hierarchical_schedule, HierarchySpec};
+    let spec = HierarchySpec::new(vec![4, 4, 4], vec![6, 2, 1]).unwrap();
+    let sched = hierarchical_schedule(&spec, 1 << 20).unwrap();
+    let router = HierarchicalRouter::new(spec);
+    c.bench_function("sim_hierarchical_64", |b| {
+        b.iter(|| {
+            let mut eng = Engine::new(SimConfig::default(), &sched, &router);
+            eng.add_flows(mesh_flows(64, 8)).unwrap();
+            eng.run_slots(black_box(1_000)).unwrap();
+            eng.metrics().delivered_cells
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_vlb_sim,
+    bench_sorn_sim,
+    bench_uplink_scaling,
+    bench_adaptive_sim,
+    bench_hierarchical_sim
+);
+criterion_main!(benches);

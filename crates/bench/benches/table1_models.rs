@@ -1,0 +1,28 @@
+//! Criterion benches: Table 1 generation — the closed-form rows are
+//! effectively free; the measured-Opera variant pays for expander BFS.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sorn_analysis::table1::{generate, render, Table1Params};
+use sorn_core::baselines::measured_opera_params;
+use std::hint::black_box;
+
+fn bench_closed_form(c: &mut Criterion) {
+    c.bench_function("table1_closed_form", |b| {
+        let p = Table1Params::default();
+        b.iter(|| {
+            let rows = generate(black_box(&p));
+            render(&rows)
+        });
+    });
+}
+
+fn bench_measured_opera(c: &mut Criterion) {
+    // 512 nodes keeps one iteration under a second; the bin target runs
+    // the full 4096.
+    c.bench_function("opera_expander_measurement_512", |b| {
+        b.iter(|| measured_opera_params(black_box(512), 16, 0.75, 90_000.0, 7).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_closed_form, bench_measured_opera);
+criterion_main!(benches);

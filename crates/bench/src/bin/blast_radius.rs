@@ -1,0 +1,51 @@
+//! Regenerates the §6 blast-radius ablation: per-flow failure exposure
+//! and per-link affected-pair fractions, flat VLB vs modular SORN, across
+//! clique counts.
+
+use sorn_analysis::blast::blast_radius;
+use sorn_analysis::render::TextTable;
+use sorn_bench::header;
+use sorn_routing::{SornPaths, VlbPaths};
+use sorn_topology::CliqueMap;
+
+fn main() {
+    header("§6 — failure blast radius: flat 1D ORN + VLB vs modular SORN");
+    let n = 128;
+    println!("network: {n} nodes; exposure = links whose failure can touch a flow\n");
+
+    let mut t = TextTable::new(&[
+        "scheme",
+        "links used",
+        "mean exposure",
+        "max exposure",
+        "mean affected/link",
+        "max affected/link",
+    ]);
+
+    let flat = blast_radius(n, &VlbPaths::new(n));
+    t.row(vec![
+        "flat VLB".into(),
+        flat.links.to_string(),
+        format!("{:.1}", flat.mean_exposure),
+        flat.max_exposure.to_string(),
+        format!("{:.4}", flat.mean_affected),
+        format!("{:.4}", flat.max_affected),
+    ]);
+
+    for cliques in [4, 8, 16, 32] {
+        let map = CliqueMap::contiguous(n, cliques);
+        let r = blast_radius(n, &SornPaths::new(map));
+        t.row(vec![
+            format!("SORN Nc={cliques}"),
+            r.links.to_string(),
+            format!("{:.1}", r.mean_exposure),
+            r.max_exposure.to_string(),
+            format!("{:.4}", r.mean_affected),
+            format!("{:.4}", r.max_affected),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("More cliques => smaller cliques => each flow is exposed to fewer");
+    println!("links, and the affected set of a failure is confined to the failed");
+    println!("element's clique(s) — easing diagnosis, as §6 argues.");
+}

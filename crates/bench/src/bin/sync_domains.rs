@@ -1,0 +1,47 @@
+//! §6 synchronization-domain ablation: guard-time and slot-efficiency
+//! impact of modular (clique-local) synchronization vs fabric-wide sync.
+
+use sorn_analysis::render::TextTable;
+use sorn_analysis::syncdomains::{flat_sync, sorn_sync, SyncModel};
+use sorn_bench::header;
+
+fn main() {
+    header("§6 — synchronization domains: flat vs modular slot sync");
+    let m = SyncModel::default();
+    println!(
+        "model: {} m of fiber span per node, {} m/ns, {} ns clock skew, {} ns transmit window\n",
+        m.span_per_node_m, m.fiber_m_per_ns, m.clock_skew_ns, m.transmit_ns
+    );
+
+    let n = 4096;
+    let q = 50.0 / 11.0;
+    let mut t = TextTable::new(&[
+        "design",
+        "intra domain",
+        "intra guard (ns)",
+        "inter guard (ns)",
+        "slot efficiency",
+    ]);
+    let flat = flat_sync(n, &m);
+    t.row(vec![
+        flat.design.clone(),
+        flat.intra_domain.to_string(),
+        format!("{:.0}", flat.intra_guard_ns),
+        "-".into(),
+        format!("{:.3}", flat.efficiency),
+    ]);
+    for nc in [16usize, 32, 64, 128] {
+        let s = sorn_sync(n, nc, q, &m);
+        t.row(vec![
+            s.design.clone(),
+            s.intra_domain.to_string(),
+            format!("{:.0}", s.intra_guard_ns),
+            format!("{:.0}", s.inter_guard_ns),
+            format!("{:.3}", s.efficiency),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("A flat 4096-node fabric pays a fabric-spanning guard on every slot;");
+    println!("a SORN only pays it on the 1/(q+1) inter-clique slots, so usable");
+    println!("bandwidth rises sharply with modularity (§6's synchronization claim).");
+}

@@ -1,0 +1,47 @@
+//! # sorn-bench
+//!
+//! The reproduction harness for every table and figure in the paper's
+//! evaluation, plus Criterion performance benches for the library
+//! itself.
+//!
+//! ## Reproduction binaries (one per paper artifact)
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `fig1_schedule` | Figure 1 — round-robin ORN schedule |
+//! | `fig2_topologies` | Figure 2(a,b,d,e) — matchings and topologies A/B |
+//! | `fig2f` | Figure 2(f) — throughput vs locality (theory + simulated) |
+//! | `table1` | Table 1 — systems comparison for a 4096-rack DCN |
+//! | `expressivity` | §5 — realizable clique sizes on the reference AWGR setup |
+//! | `blast_radius` | §6 — failure blast radius, flat vs modular |
+//! | `adaptation` | §5 — static vs adaptive across a pattern shift |
+//! | `table1_sim_validation` | Table 1's latency column re-measured in the packet simulator |
+//! | `ablation_routing` | routing ablation: VLB / adaptive / SORN tax & saturation |
+//! | `sync_domains` | §6 — synchronization-domain guard times and efficiency |
+//! | `diurnal_tracking` | §6 — q-retuning across a diurnal locality swing |
+//! | `nonuniform_cliques` | §5 — non-uniform clique sizes vs forced-uniform |
+//! | `hierarchy` | multi-level (pods/clusters/blocks) SORN vs two-level |
+//! | `adversarial` | worst-demand search: the semi-oblivious assumption's price & gravity remedy |
+//!
+//! Run any of them with `cargo run --release -p sorn-bench --bin <name>`.
+//!
+//! ## Criterion benches
+//!
+//! `cargo bench -p sorn-bench` measures schedule construction, simulator
+//! slot rate, routing decision rate, flow-level evaluation, and control-
+//! plane reoptimization.
+
+/// Prints a paper-artifact section header used by the bin targets.
+pub fn header(title: &str) {
+    println!("==============================================================");
+    println!("{title}");
+    println!("==============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn header_prints() {
+        super::header("test");
+    }
+}

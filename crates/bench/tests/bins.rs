@@ -1,0 +1,68 @@
+//! Smoke tests for the reproduction binaries: run the fast ones and
+//! assert the paper-defining strings appear in their output. (The heavy
+//! bins — full Table 1 with a 4096-node expander measurement, the
+//! 128-node Figure 2(f) sweep — are exercised in release mode by the
+//! recorded reproduction runs; debug-mode smoke tests stick to the ones
+//! that finish in seconds.)
+
+use std::process::Command;
+
+fn run(bin: &str) -> String {
+    let out = Command::new(bin).output().unwrap_or_else(|e| {
+        panic!("failed to launch {bin}: {e}");
+    });
+    assert!(
+        out.status.success(),
+        "{bin} exited with {:?}\nstderr: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn fig1_schedule_prints_the_paper_table() {
+    let out = run(env!("CARGO_BIN_EXE_fig1_schedule"));
+    // Figure 1's first row: A..E each talk to their +1 neighbor.
+    assert!(out.contains("B\tC\tD\tE\tA"), "{out}");
+    assert!(out.contains("E\tA\tB\tC\tD"), "{out}");
+}
+
+#[test]
+fn expressivity_prints_the_paper_clique_sizes() {
+    let out = run(env!("CARGO_BIN_EXE_expressivity"));
+    assert!(out.contains("[1, 16, 32, 64, 128, 256, 512, 1024, 2048]"), "{out}");
+    assert!(out.contains("full-mesh capable: true"), "{out}");
+}
+
+#[test]
+fn sync_domains_shows_modularity_gain() {
+    let out = run(env!("CARGO_BIN_EXE_sync_domains"));
+    assert!(out.contains("flat ORN (4096 nodes)"), "{out}");
+    assert!(out.contains("SORN (64 cliques of 64)"), "{out}");
+}
+
+#[test]
+fn fig2_topologies_prints_matchings_and_both_topologies() {
+    let out = run(env!("CARGO_BIN_EXE_fig2_topologies"));
+    assert!(out.contains("m1"), "{out}");
+    assert!(out.contains("Topology A"), "{out}");
+    assert!(out.contains("Topology B"), "{out}");
+    assert!(out.contains("every cyclic matching within reach = true"), "{out}");
+}
+
+#[test]
+fn hierarchy_bin_reports_both_designs() {
+    let out = run(env!("CARGO_BIN_EXE_hierarchy"));
+    assert!(out.contains("2-level 64x64"), "{out}");
+    assert!(out.contains("3-level 16^3"), "{out}");
+    assert!(out.contains("worst hops observed"), "{out}");
+}
+
+#[test]
+fn nonuniform_bin_shows_tax_reduction() {
+    let out = run(env!("CARGO_BIN_EXE_nonuniform_cliques"));
+    assert!(out.contains("uniform 4x4"), "{out}");
+    assert!(out.contains("non-uniform 8/4/4"), "{out}");
+    assert!(out.contains("matched cliques cut the bandwidth tax"), "{out}");
+}

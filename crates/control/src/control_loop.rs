@@ -1,0 +1,295 @@
+//! The periodic control loop: estimate → optimize → decide → install.
+//!
+//! §5's control plane runs on the order of minutes or hours. Each epoch
+//! it folds observed traffic into the [`PatternEstimator`], asks the
+//! [`optimizer`](crate::optimizer) for the best clique plan, and installs
+//! it only when the modeled throughput gain clears a hysteresis threshold
+//! — §6 notes the design "does not require precise predictions,
+//! maintaining guarantees within a healthy estimation error margin", and
+//! hysteresis is what keeps estimation noise from thrashing the fabric.
+
+use crate::estimator::PatternEstimator;
+use crate::optimizer::{self, OptimizedPlan};
+use crate::updater::{ScheduleUpdater, UpdatePlan, UpdateTiming};
+use sorn_core::model;
+use sorn_core::nic::NicState;
+use sorn_sim::Flow;
+use sorn_topology::{CircuitSchedule, CliqueMap, Ratio, TopologyError};
+
+/// Control loop configuration.
+#[derive(Debug, Clone)]
+pub struct ControlConfig {
+    /// EWMA weight of the newest epoch.
+    pub alpha: f64,
+    /// Clique sizes the physical layer can realize (from
+    /// `sorn_topology::awgr::Expressivity`).
+    pub allowed_sizes: Vec<usize>,
+    /// Minimum modeled-throughput gain before an update is installed.
+    pub hysteresis: f64,
+    /// Cap on the locality used to derive `q` (keeps `q` finite).
+    pub max_locality: f64,
+    /// Installation timing model.
+    pub timing: UpdateTiming,
+}
+
+impl Default for ControlConfig {
+    fn default() -> Self {
+        ControlConfig {
+            alpha: 0.3,
+            allowed_sizes: vec![2, 4, 8, 16, 32, 64],
+            hysteresis: 0.02,
+            max_locality: 0.9,
+            timing: UpdateTiming::default(),
+        }
+    }
+}
+
+/// What the loop did at the end of an epoch.
+#[derive(Debug, Clone)]
+pub enum EpochOutcome {
+    /// No observation yet or no realizable plan.
+    NoPlan,
+    /// The best plan did not beat the current one by the hysteresis.
+    Held {
+        /// Modeled throughput of the current configuration.
+        current: f64,
+        /// Modeled throughput of the best candidate.
+        candidate: f64,
+    },
+    /// A new schedule was installed.
+    Updated {
+        /// The installed plan's modeled throughput.
+        throughput: f64,
+        /// The installation diff.
+        update: UpdatePlan,
+    },
+}
+
+/// The periodic semi-oblivious control loop.
+pub struct ControlLoop {
+    config: ControlConfig,
+    estimator: PatternEstimator,
+    updater: ScheduleUpdater,
+    cliques: CliqueMap,
+    q: Ratio,
+    schedule: CircuitSchedule,
+    nics: Vec<NicState>,
+    updates_installed: u64,
+}
+
+impl ControlLoop {
+    /// Starts the loop from an initial deployment.
+    pub fn new(
+        config: ControlConfig,
+        cliques: CliqueMap,
+        q: Ratio,
+        schedule: CircuitSchedule,
+    ) -> Self {
+        let nics = ScheduleUpdater::bootstrap_nics(&schedule);
+        let n = cliques.n();
+        ControlLoop {
+            estimator: PatternEstimator::new(n, config.alpha),
+            updater: ScheduleUpdater::new(config.timing),
+            config,
+            cliques,
+            q,
+            schedule,
+            nics,
+            updates_installed: 0,
+        }
+    }
+
+    /// The currently installed schedule.
+    pub fn schedule(&self) -> &CircuitSchedule {
+        &self.schedule
+    }
+
+    /// The current clique assignment.
+    pub fn cliques(&self) -> &CliqueMap {
+        &self.cliques
+    }
+
+    /// The current oversubscription ratio.
+    pub fn q(&self) -> Ratio {
+        self.q
+    }
+
+    /// Number of updates installed so far.
+    pub fn updates_installed(&self) -> u64 {
+        self.updates_installed
+    }
+
+    /// The traffic estimator (for observation feeding).
+    pub fn estimator_mut(&mut self) -> &mut PatternEstimator {
+        &mut self.estimator
+    }
+
+    /// Records observed flows for the current epoch.
+    pub fn observe(&mut self, flows: &[Flow]) {
+        self.estimator.observe_flows(flows);
+    }
+
+    /// Modeled throughput of the configuration currently installed,
+    /// against the current estimate.
+    pub fn current_modeled_throughput(&self) -> f64 {
+        let x = self
+            .estimator
+            .locality(&self.cliques)
+            .min(self.config.max_locality);
+        model::throughput(self.q.to_f64(), x)
+    }
+
+    /// Ends the epoch: folds observations, optimizes, and installs a new
+    /// schedule when it clears the hysteresis.
+    pub fn end_epoch(&mut self) -> Result<EpochOutcome, TopologyError> {
+        self.estimator.end_epoch();
+        if self.estimator.total() == 0.0 {
+            return Ok(EpochOutcome::NoPlan);
+        }
+        let n = self.estimator.n();
+        let Some(plan): Option<OptimizedPlan> = optimizer::optimize(
+            self.estimator.matrix(),
+            n,
+            &self.config.allowed_sizes,
+            self.config.max_locality,
+        ) else {
+            return Ok(EpochOutcome::NoPlan);
+        };
+
+        let current = self.current_modeled_throughput();
+        if plan.throughput <= current + self.config.hysteresis {
+            return Ok(EpochOutcome::Held {
+                current,
+                candidate: plan.throughput,
+            });
+        }
+
+        let update = self
+            .updater
+            .prepare(&mut self.nics, &plan.cliques, plan.q)?;
+        self.cliques = plan.cliques;
+        self.q = plan.q;
+        self.schedule = update.schedule.clone();
+        self.updates_installed += 1;
+        Ok(EpochOutcome::Updated {
+            throughput: plan.throughput,
+            update,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sorn_sim::FlowId;
+    use sorn_topology::builders::{sorn_schedule, SornScheduleParams};
+    use sorn_topology::NodeId;
+
+    fn flow(src: u32, dst: u32, bytes: u64) -> Flow {
+        Flow {
+            id: FlowId(0),
+            src: NodeId(src),
+            dst: NodeId(dst),
+            size_bytes: bytes,
+            arrival_ns: 0,
+        }
+    }
+
+    fn start_loop(n: usize, cliques: usize) -> ControlLoop {
+        let map = CliqueMap::contiguous(n, cliques);
+        let q = Ratio::integer(2);
+        let sched = sorn_schedule(&map, &SornScheduleParams::with_q(q)).unwrap();
+        let mut cfg = ControlConfig::default();
+        cfg.allowed_sizes = vec![2, 4];
+        ControlLoop::new(cfg, map, q, sched)
+    }
+
+    /// Traffic concentrated in non-contiguous groups (i % 4).
+    fn scrambled_flows(n: usize) -> Vec<Flow> {
+        let mut flows = Vec::new();
+        for s in 0..n as u32 {
+            for d in 0..n as u32 {
+                if s != d && s % 4 == d % 4 {
+                    flows.push(flow(s, d, 10_000));
+                } else if s != d {
+                    flows.push(flow(s, d, 100));
+                }
+            }
+        }
+        flows
+    }
+
+    #[test]
+    fn empty_epoch_is_no_plan() {
+        let mut l = start_loop(8, 2);
+        assert!(matches!(l.end_epoch().unwrap(), EpochOutcome::NoPlan));
+    }
+
+    #[test]
+    fn loop_regroups_to_match_scrambled_traffic() {
+        let mut l = start_loop(16, 4);
+        l.observe(&scrambled_flows(16));
+        let outcome = l.end_epoch().unwrap();
+        let EpochOutcome::Updated { throughput, .. } = outcome else {
+            panic!("expected an update, got {outcome:?}");
+        };
+        assert!(throughput > 0.45, "modeled throughput {throughput}");
+        assert_eq!(l.updates_installed(), 1);
+        // The new cliques group the i%4 communities.
+        let map = l.cliques();
+        for com in 0..4u32 {
+            let c = map.clique_of(NodeId(com));
+            for j in 1..4u32 {
+                assert_eq!(map.clique_of(NodeId(com + 4 * j)), c);
+            }
+        }
+    }
+
+    #[test]
+    fn hysteresis_holds_when_already_optimal() {
+        let mut l = start_loop(16, 4);
+        l.observe(&scrambled_flows(16));
+        l.end_epoch().unwrap();
+        // Same pattern again: the installed config is already right.
+        l.observe(&scrambled_flows(16));
+        let outcome = l.end_epoch().unwrap();
+        assert!(
+            matches!(outcome, EpochOutcome::Held { .. }),
+            "expected Held, got {outcome:?}"
+        );
+        assert_eq!(l.updates_installed(), 1);
+    }
+
+    #[test]
+    fn shift_in_pattern_triggers_reconfiguration() {
+        let mut l = start_loop(16, 4);
+        // Phase 1: contiguous locality — matches the initial layout.
+        let mut phase1 = Vec::new();
+        for s in 0..16u32 {
+            for d in 0..16u32 {
+                if s != d && s / 4 == d / 4 {
+                    phase1.push(flow(s, d, 10_000));
+                } else if s != d {
+                    phase1.push(flow(s, d, 100));
+                }
+            }
+        }
+        l.observe(&phase1);
+        let first = l.end_epoch().unwrap();
+        // Initial q=2 is not locality-optimal, so the loop may retune.
+        let installed_after_phase1 = l.updates_installed();
+        drop(first);
+        // Phase 2: pattern shifts to scrambled communities; repeat epochs
+        // until the EWMA follows.
+        for _ in 0..6 {
+            l.observe(&scrambled_flows(16));
+            l.end_epoch().unwrap();
+        }
+        assert!(
+            l.updates_installed() > installed_after_phase1,
+            "loop never adapted to the shifted pattern"
+        );
+        let map = l.cliques();
+        assert_eq!(map.clique_of(NodeId(0)), map.clique_of(NodeId(4)));
+    }
+}

@@ -1,0 +1,204 @@
+//! Macro-pattern estimation (§3, §5).
+//!
+//! The control plane does not try to predict flows. It maintains an
+//! exponentially weighted moving average of the node-to-node traffic
+//! matrix, observed per epoch (minutes to hours in deployment), and
+//! derives from it the two macro-patterns a SORN consumes: the locality
+//! ratio under a clique assignment and the aggregated clique-to-clique
+//! matrix.
+
+use sorn_sim::Flow;
+use sorn_topology::{CliqueMap, NodeId};
+
+/// EWMA estimator of the traffic matrix.
+#[derive(Debug, Clone)]
+pub struct PatternEstimator {
+    n: usize,
+    alpha: f64,
+    /// EWMA bytes per (src, dst), row-major.
+    ewma: Vec<f64>,
+    /// Bytes observed in the current epoch.
+    epoch: Vec<f64>,
+    epochs_seen: u64,
+}
+
+impl PatternEstimator {
+    /// Creates an estimator over `n` nodes with EWMA weight `alpha`
+    /// (weight of the newest epoch; `1.0` = only the last epoch counts).
+    ///
+    /// # Panics
+    /// Panics when `alpha` is outside `(0, 1]` or `n < 2`.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n >= 2);
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        PatternEstimator {
+            n,
+            alpha,
+            ewma: vec![0.0; n * n],
+            epoch: vec![0.0; n * n],
+            epochs_seen: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Epochs folded so far.
+    pub fn epochs_seen(&self) -> u64 {
+        self.epochs_seen
+    }
+
+    /// Records observed flows into the current epoch buffer.
+    pub fn observe_flows<'a>(&mut self, flows: impl IntoIterator<Item = &'a Flow>) {
+        for f in flows {
+            if f.src != f.dst && f.src.index() < self.n && f.dst.index() < self.n {
+                self.epoch[f.src.index() * self.n + f.dst.index()] += f.size_bytes as f64;
+            }
+        }
+    }
+
+    /// Records one observed transfer directly.
+    pub fn observe(&mut self, src: NodeId, dst: NodeId, bytes: u64) {
+        if src != dst && src.index() < self.n && dst.index() < self.n {
+            self.epoch[src.index() * self.n + dst.index()] += bytes as f64;
+        }
+    }
+
+    /// Folds the epoch buffer into the EWMA and clears it.
+    pub fn end_epoch(&mut self) {
+        if self.epochs_seen == 0 {
+            // Bootstrap: adopt the first epoch wholesale.
+            self.ewma.copy_from_slice(&self.epoch);
+        } else {
+            for (e, cur) in self.ewma.iter_mut().zip(&self.epoch) {
+                *e = (1.0 - self.alpha) * *e + self.alpha * cur;
+            }
+        }
+        self.epoch.iter_mut().for_each(|v| *v = 0.0);
+        self.epochs_seen += 1;
+    }
+
+    /// Estimated bytes from `s` to `d`.
+    pub fn estimate(&self, s: NodeId, d: NodeId) -> f64 {
+        self.ewma[s.index() * self.n + d.index()]
+    }
+
+    /// Total estimated traffic.
+    pub fn total(&self) -> f64 {
+        self.ewma.iter().sum()
+    }
+
+    /// Estimated locality ratio under a clique assignment.
+    pub fn locality(&self, cliques: &CliqueMap) -> f64 {
+        let mut intra = 0.0;
+        let mut total = 0.0;
+        for s in 0..self.n {
+            for d in 0..self.n {
+                let v = self.ewma[s * self.n + d];
+                total += v;
+                if cliques.same_clique(NodeId(s as u32), NodeId(d as u32)) {
+                    intra += v;
+                }
+            }
+        }
+        if total == 0.0 {
+            0.0
+        } else {
+            intra / total
+        }
+    }
+
+    /// Aggregated clique-to-clique matrix (§3 "Aggregated Traffic
+    /// Matrices"): entry `[a][b]` is the estimated bytes from clique `a`
+    /// to clique `b` (diagonal = intra-clique bytes).
+    pub fn clique_matrix(&self, cliques: &CliqueMap) -> Vec<Vec<f64>> {
+        let k = cliques.cliques();
+        let mut m = vec![vec![0.0; k]; k];
+        for s in 0..self.n {
+            for d in 0..self.n {
+                let v = self.ewma[s * self.n + d];
+                if v > 0.0 {
+                    let a = cliques.clique_of(NodeId(s as u32)).index();
+                    let b = cliques.clique_of(NodeId(d as u32)).index();
+                    m[a][b] += v;
+                }
+            }
+        }
+        m
+    }
+
+    /// The raw estimated node matrix (row-major, `n*n`).
+    pub fn matrix(&self) -> &[f64] {
+        &self.ewma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sorn_sim::FlowId;
+
+    fn flow(src: u32, dst: u32, bytes: u64) -> Flow {
+        Flow {
+            id: FlowId(0),
+            src: NodeId(src),
+            dst: NodeId(dst),
+            size_bytes: bytes,
+            arrival_ns: 0,
+        }
+    }
+
+    #[test]
+    fn first_epoch_bootstraps() {
+        let mut e = PatternEstimator::new(4, 0.1);
+        e.observe(NodeId(0), NodeId(1), 1000);
+        e.end_epoch();
+        assert_eq!(e.estimate(NodeId(0), NodeId(1)), 1000.0);
+        assert_eq!(e.epochs_seen(), 1);
+    }
+
+    #[test]
+    fn ewma_converges_toward_new_pattern() {
+        let mut e = PatternEstimator::new(4, 0.5);
+        e.observe(NodeId(0), NodeId(1), 1000);
+        e.end_epoch();
+        // Pattern shifts: traffic moves to (0,2).
+        for _ in 0..10 {
+            e.observe(NodeId(0), NodeId(2), 1000);
+            e.end_epoch();
+        }
+        assert!(e.estimate(NodeId(0), NodeId(2)) > 900.0);
+        assert!(e.estimate(NodeId(0), NodeId(1)) < 10.0);
+    }
+
+    #[test]
+    fn observe_flows_ignores_out_of_range_and_self() {
+        let mut e = PatternEstimator::new(4, 1.0);
+        e.observe_flows(&[flow(0, 0, 500), flow(0, 9, 500), flow(1, 2, 700)]);
+        e.end_epoch();
+        assert_eq!(e.total(), 700.0);
+    }
+
+    #[test]
+    fn locality_and_clique_matrix() {
+        let map = CliqueMap::contiguous(4, 2);
+        let mut e = PatternEstimator::new(4, 1.0);
+        e.observe(NodeId(0), NodeId(1), 300); // intra clique 0
+        e.observe(NodeId(0), NodeId(2), 100); // inter 0 -> 1
+        e.end_epoch();
+        assert!((e.locality(&map) - 0.75).abs() < 1e-12);
+        let cm = e.clique_matrix(&map);
+        assert_eq!(cm[0][0], 300.0);
+        assert_eq!(cm[0][1], 100.0);
+        assert_eq!(cm[1][0], 0.0);
+    }
+
+    #[test]
+    fn empty_estimator_locality_is_zero() {
+        let e = PatternEstimator::new(4, 0.5);
+        let map = CliqueMap::contiguous(4, 2);
+        assert_eq!(e.locality(&map), 0.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # sorn-control
+//!
+//! The semi-oblivious control plane (§5 of the paper): a logically
+//! centralized loop that periodically adapts the circuit schedule to
+//! macro-scale traffic structure — without ever scheduling individual
+//! flows.
+//!
+//! Pipeline, one epoch at a time (minutes to hours in deployment):
+//!
+//! 1. [`PatternEstimator`] — EWMA of the observed node-to-node traffic
+//!    matrix; derives locality ratios and clique-aggregated matrices.
+//! 2. [`optimizer`] — greedy clique assignment over the allowed clique
+//!    sizes (from the AWGR expressivity analysis), maximizing the model
+//!    throughput `1/(3 − x)`.
+//! 3. [`ControlLoop`] — installs a new plan only when it clears a
+//!    hysteresis threshold, since §6 stresses robustness to estimation
+//!    error over chasing noise.
+//! 4. [`ScheduleUpdater`] — builds the schedule, diffs every node's NIC
+//!    state (Figure 2(c)), verifies the fixed-neighbor-superset property,
+//!    counts drained cells, and models installation time.
+
+#![warn(missing_docs)]
+
+mod control_loop;
+mod estimator;
+pub mod optimizer;
+mod updater;
+
+pub use control_loop::{ControlConfig, ControlLoop, EpochOutcome};
+pub use estimator::PatternEstimator;
+pub use optimizer::{assign_cliques, locality_of, optimize, OptimizedPlan};
+pub use updater::{ScheduleUpdater, UpdatePlan, UpdateTiming};

@@ -1,0 +1,253 @@
+//! Clique assignment optimization.
+//!
+//! Given an estimated traffic matrix and the clique sizes the physical
+//! setup can realize (§5 "Expressivity"), choose a grouping of nodes that
+//! maximizes the intra-clique traffic fraction `x` — which directly
+//! maximizes the model throughput `r = 1/(3 − x)` — and derive the ideal
+//! oversubscription `q* = 2/(1 − x)`.
+//!
+//! The assignment uses a deterministic greedy seed-and-grow heuristic:
+//! repeatedly take the unassigned node with the largest remaining traffic
+//! and grow its clique by the node with the strongest affinity (traffic
+//! in both directions) to the clique's current members. The exact
+//! partitioning problem is NP-hard (graph partitioning); greedy is what a
+//! deployment-scale controller would run per epoch.
+
+use sorn_core::model;
+use sorn_topology::{CliqueId, CliqueMap, NodeId, Ratio};
+
+/// Outcome of a clique optimization.
+#[derive(Debug, Clone)]
+pub struct OptimizedPlan {
+    /// The chosen assignment.
+    pub cliques: CliqueMap,
+    /// Estimated locality ratio under the assignment.
+    pub locality: f64,
+    /// Ideal oversubscription ratio for that locality.
+    pub q: Ratio,
+    /// Model worst-case throughput at the ideal `q`.
+    pub throughput: f64,
+}
+
+/// Greedy clique assignment of `n` nodes into cliques of size `c`.
+///
+/// `tm` is a row-major `n×n` traffic matrix (any non-negative scale).
+///
+/// # Panics
+/// Panics when `tm` is not `n×n` or `c` does not divide `n`.
+pub fn assign_cliques(tm: &[f64], n: usize, c: usize) -> CliqueMap {
+    assert_eq!(tm.len(), n * n, "traffic matrix must be n*n");
+    assert!(c >= 1 && n.is_multiple_of(c), "clique size must divide n");
+    let sym = |a: usize, b: usize| tm[a * n + b] + tm[b * n + a];
+
+    let mut assigned: Vec<Option<CliqueId>> = vec![None; n];
+    let mut next_clique = 0u32;
+
+    // Node total traffic, for seed ordering.
+    let mut volume: Vec<(f64, usize)> = (0..n)
+        .map(|v| {
+            let vol: f64 = (0..n).map(|u| sym(v, u)).sum();
+            (vol, v)
+        })
+        .collect();
+    volume.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+
+    for &(_, seed) in &volume {
+        if assigned[seed].is_some() {
+            continue;
+        }
+        let clique = CliqueId(next_clique);
+        next_clique += 1;
+        let mut members = vec![seed];
+        assigned[seed] = Some(clique);
+        while members.len() < c {
+            // Strongest affinity to current members among unassigned.
+            let mut best: Option<(f64, usize)> = None;
+            for (v, slot) in assigned.iter().enumerate() {
+                if slot.is_some() {
+                    continue;
+                }
+                let aff: f64 = members.iter().map(|&m| sym(v, m)).sum();
+                match best {
+                    Some((b, bv)) if aff < b || (aff == b && v > bv) => {}
+                    _ => best = Some((aff, v)),
+                }
+            }
+            let (_, v) = best.expect("n % c == 0 guarantees enough nodes");
+            assigned[v] = Some(clique);
+            members.push(v);
+        }
+    }
+
+    let assignment: Vec<CliqueId> = assigned.into_iter().map(|a| a.expect("all assigned")).collect();
+    CliqueMap::from_assignment(&assignment)
+}
+
+/// Locality ratio of a traffic matrix under an assignment.
+pub fn locality_of(tm: &[f64], n: usize, cliques: &CliqueMap) -> f64 {
+    let mut intra = 0.0;
+    let mut total = 0.0;
+    for s in 0..n {
+        for d in 0..n {
+            let v = tm[s * n + d];
+            total += v;
+            if cliques.same_clique(NodeId(s as u32), NodeId(d as u32)) {
+                intra += v;
+            }
+        }
+    }
+    if total == 0.0 {
+        0.0
+    } else {
+        intra / total
+    }
+}
+
+/// Tries every allowed clique size, greedily assigns cliques, and keeps
+/// the plan with the best model throughput (ties broken toward smaller
+/// cliques, which have lower intra-clique latency).
+///
+/// Locality is clamped to `max_locality` when deriving `q` so a
+/// perfectly-split workload does not demand an unbounded
+/// oversubscription ratio.
+pub fn optimize(
+    tm: &[f64],
+    n: usize,
+    allowed_sizes: &[usize],
+    max_locality: f64,
+) -> Option<OptimizedPlan> {
+    let mut best: Option<OptimizedPlan> = None;
+    for &c in allowed_sizes {
+        if c == 0 || !n.is_multiple_of(c) || c > n {
+            continue;
+        }
+        let cliques = assign_cliques(tm, n, c);
+        let x_raw = locality_of(tm, n, &cliques);
+        let x = x_raw.min(max_locality).max(0.0);
+        let throughput = model::optimal_throughput(x);
+        let q = Ratio::approximate(model::ideal_q(x), 1000);
+        let better = match &best {
+            None => true,
+            Some(b) => throughput > b.throughput + 1e-12,
+        };
+        if better {
+            best = Some(OptimizedPlan {
+                cliques,
+                locality: x_raw,
+                q,
+                throughput,
+            });
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A block traffic matrix: heavy inside groups of `c`, light outside.
+    fn block_tm(n: usize, c: usize, heavy: f64, light: f64) -> Vec<f64> {
+        let mut tm = vec![0.0; n * n];
+        for s in 0..n {
+            for d in 0..n {
+                if s == d {
+                    continue;
+                }
+                tm[s * n + d] = if s / c == d / c { heavy } else { light };
+            }
+        }
+        tm
+    }
+
+    #[test]
+    fn recovers_planted_blocks() {
+        let n = 16;
+        let tm = block_tm(n, 4, 10.0, 0.1);
+        let map = assign_cliques(&tm, n, 4);
+        // Every planted group must land in one clique.
+        for g in 0..4 {
+            let c = map.clique_of(NodeId((g * 4) as u32));
+            for j in 1..4 {
+                assert_eq!(map.clique_of(NodeId((g * 4 + j) as u32)), c, "group {g}");
+            }
+        }
+        let x = locality_of(&tm, n, &map);
+        assert!(x > 0.9, "locality {x}");
+    }
+
+    #[test]
+    fn recovers_scrambled_blocks() {
+        // Planted communities that are NOT contiguous: node i belongs to
+        // community i % 4.
+        let n = 16;
+        let mut tm = vec![0.0; n * n];
+        for s in 0..n {
+            for d in 0..n {
+                if s != d && s % 4 == d % 4 {
+                    tm[s * n + d] = 5.0;
+                } else if s != d {
+                    tm[s * n + d] = 0.05;
+                }
+            }
+        }
+        let map = assign_cliques(&tm, n, 4);
+        for com in 0..4 {
+            let members: Vec<NodeId> = (0..4).map(|j| NodeId((com + 4 * j) as u32)).collect();
+            let c = map.clique_of(members[0]);
+            for m in &members[1..] {
+                assert_eq!(map.clique_of(*m), c);
+            }
+        }
+    }
+
+    #[test]
+    fn optimize_picks_the_matching_size() {
+        let n = 16;
+        let tm = block_tm(n, 4, 10.0, 0.1);
+        let plan = optimize(&tm, n, &[2, 4, 8], 0.95).unwrap();
+        assert_eq!(plan.cliques.uniform_size(), Some(4));
+        assert!(plan.locality > 0.9);
+        assert!(plan.throughput > 0.48); // close to 1/(3-0.95)
+    }
+
+    #[test]
+    fn optimize_clamps_locality_for_q() {
+        let n = 8;
+        // All traffic intra-block: raw locality 1.0 would give q = inf.
+        let tm = block_tm(n, 4, 1.0, 0.0);
+        let plan = optimize(&tm, n, &[4], 0.9).unwrap();
+        assert!((plan.locality - 1.0).abs() < 1e-12);
+        // q derived from the clamped 0.9: 2/0.1 = 20.
+        assert!((plan.q.to_f64() - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn optimize_skips_invalid_sizes() {
+        let n = 8;
+        let tm = block_tm(n, 4, 1.0, 0.1);
+        // 3 does not divide 8; 16 exceeds n.
+        let plan = optimize(&tm, n, &[3, 16, 4], 0.9).unwrap();
+        assert_eq!(plan.cliques.uniform_size(), Some(4));
+        assert!(optimize(&tm, n, &[3], 0.9).is_none());
+    }
+
+    #[test]
+    fn uniform_traffic_yields_low_locality() {
+        let n = 16;
+        let tm = block_tm(n, 1, 0.0, 1.0); // fully uniform
+        let map = assign_cliques(&tm, n, 4);
+        let x = locality_of(&tm, n, &map);
+        // 3 intra partners of 15 total: x = 0.2.
+        assert!((x - 0.2).abs() < 1e-9, "locality {x}");
+    }
+
+    #[test]
+    fn assignment_is_deterministic() {
+        let n = 12;
+        let tm = block_tm(n, 3, 2.0, 0.3);
+        let a = assign_cliques(&tm, n, 3);
+        let b = assign_cliques(&tm, n, 3);
+        assert_eq!(a, b);
+    }
+}

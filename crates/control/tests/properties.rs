@@ -1,0 +1,137 @@
+//! Property-based tests for the control plane.
+
+use proptest::prelude::*;
+use sorn_control::{assign_cliques, locality_of, optimize, PatternEstimator};
+use sorn_topology::{CliqueId, NodeId};
+
+/// A random non-negative traffic matrix with zero diagonal.
+fn tm_strategy(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..100.0, n * n).prop_map(move |mut v| {
+        for i in 0..n {
+            v[i * n + i] = 0.0;
+        }
+        v
+    })
+}
+
+proptest! {
+    /// Greedy assignment always yields a valid partition into cliques of
+    /// the requested size.
+    #[test]
+    fn assignment_is_a_valid_partition(
+        cliques in 2usize..5,
+        size in 1usize..5,
+        seed_tm in tm_strategy(4 * 4),
+    ) {
+        // Scale the random 4x4 block up to n x n by tiling.
+        let n = cliques * size;
+        let mut tm = vec![0.0; n * n];
+        for s in 0..n {
+            for d in 0..n {
+                if s != d {
+                    tm[s * n + d] = seed_tm[(s % 4) * 4 + (d % 4)] + 0.01;
+                }
+            }
+        }
+        let map = assign_cliques(&tm, n, size);
+        prop_assert_eq!(map.n(), n);
+        prop_assert_eq!(map.cliques(), cliques);
+        prop_assert_eq!(map.uniform_size(), Some(size));
+        // Every node appears exactly once.
+        let mut seen = vec![false; n];
+        for c in 0..cliques {
+            for m in map.members(CliqueId(c as u32)) {
+                prop_assert!(!seen[m.index()], "node {m} assigned twice");
+                seen[m.index()] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// locality_of is always in [0, 1] and equals 1 when all traffic is
+    /// intra-clique.
+    #[test]
+    fn locality_bounds(cliques in 2usize..5, size in 2usize..5) {
+        let n = cliques * size;
+        let map = sorn_topology::CliqueMap::contiguous(n, cliques);
+        // Pure intra traffic.
+        let mut tm = vec![0.0; n * n];
+        for s in 0..n {
+            for d in 0..n {
+                if s != d && map.same_clique(NodeId(s as u32), NodeId(d as u32)) {
+                    tm[s * n + d] = 1.0;
+                }
+            }
+        }
+        prop_assert!((locality_of(&tm, n, &map) - 1.0).abs() < 1e-12);
+        // Pure inter traffic.
+        let mut tm2 = vec![0.0; n * n];
+        for s in 0..n {
+            for d in 0..n {
+                if s != d && !map.same_clique(NodeId(s as u32), NodeId(d as u32)) {
+                    tm2[s * n + d] = 1.0;
+                }
+            }
+        }
+        prop_assert_eq!(locality_of(&tm2, n, &map), 0.0);
+    }
+
+    /// optimize returns a plan whose reported locality matches its
+    /// assignment and whose q stays finite under the clamp.
+    #[test]
+    fn optimize_reports_consistent_plan(
+        seed_tm in tm_strategy(4 * 4),
+        max_locality in 0.5f64..0.95,
+    ) {
+        let n = 16;
+        let mut tm = vec![0.0; n * n];
+        for s in 0..n {
+            for d in 0..n {
+                if s != d {
+                    tm[s * n + d] = seed_tm[(s % 4) * 4 + (d % 4)] + 0.01;
+                }
+            }
+        }
+        let plan = optimize(&tm, n, &[2, 4, 8], max_locality).unwrap();
+        let x = locality_of(&tm, n, &plan.cliques);
+        prop_assert!((x - plan.locality).abs() < 1e-12);
+        // q derived from the clamped locality: at most 2/(1-max).
+        prop_assert!(plan.q.to_f64() <= 2.0 / (1.0 - max_locality) + 0.01);
+        prop_assert!(plan.throughput > 1.0 / 3.0 - 1e-9);
+        prop_assert!(plan.throughput <= 0.5);
+    }
+
+    /// The estimator is linear: observing the same flows twice doubles
+    /// the epoch contribution (with alpha = 1).
+    #[test]
+    fn estimator_is_linear(obs in proptest::collection::vec((0u32..8, 0u32..8, 1u64..10_000), 1..20)) {
+        let mut once = PatternEstimator::new(8, 1.0);
+        let mut twice = PatternEstimator::new(8, 1.0);
+        for &(s, d, b) in &obs {
+            once.observe(NodeId(s), NodeId(d), b);
+            twice.observe(NodeId(s), NodeId(d), b);
+            twice.observe(NodeId(s), NodeId(d), b);
+        }
+        once.end_epoch();
+        twice.end_epoch();
+        prop_assert!((twice.total() - 2.0 * once.total()).abs() < 1e-6);
+    }
+
+    /// EWMA total is a convex combination: never exceeds the max of the
+    /// epoch totals.
+    #[test]
+    fn ewma_stays_within_observed_range(
+        epochs in proptest::collection::vec(0u64..100_000, 2..8),
+        alpha_pct in 1u32..100,
+    ) {
+        let alpha = alpha_pct as f64 / 100.0;
+        let mut est = PatternEstimator::new(4, alpha);
+        let mut max_total = 0.0f64;
+        for &volume in &epochs {
+            est.observe(NodeId(0), NodeId(1), volume);
+            est.end_epoch();
+            max_total = max_total.max(volume as f64);
+            prop_assert!(est.total() <= max_total + 1e-6);
+        }
+    }
+}

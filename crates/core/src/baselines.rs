@@ -1,0 +1,294 @@
+//! Closed-form baseline models for Table 1's comparison systems.
+//!
+//! Each function produces [`SystemRow`]s with the same columns as the
+//! paper's Table 1: max hops, intrinsic latency `δm`, worst-case
+//! single-packet latency, worst-case throughput, and normalized
+//! bandwidth cost (reciprocal of throughput = mean hops paid per
+//! delivered cell).
+
+use crate::model;
+use sorn_routing::OperaModel;
+
+/// Shared deployment parameters (Table 1: 4096 racks, 16 uplinks, 100 ns
+/// slots, 500 ns propagation per hop).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeploymentParams {
+    /// Number of racks (nodes).
+    pub n: usize,
+    /// Uplinks per node.
+    pub uplinks: usize,
+    /// Slot duration in nanoseconds.
+    pub slot_ns: f64,
+    /// Propagation per hop in nanoseconds.
+    pub propagation_ns: f64,
+}
+
+impl DeploymentParams {
+    /// Table 1's reference deployment.
+    pub fn paper_reference() -> Self {
+        DeploymentParams {
+            n: 4096,
+            uplinks: 16,
+            slot_ns: 100.0,
+            propagation_ns: 500.0,
+        }
+    }
+}
+
+/// One row of the Table 1 comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemRow {
+    /// System name ("Optimal ORN 1D (Sirius)", …).
+    pub system: String,
+    /// Traffic class within the system, when split ("intra-clique", …).
+    pub variant: Option<String>,
+    /// Maximum hops per packet.
+    pub max_hops: u32,
+    /// Intrinsic latency in slots.
+    pub delta_m: f64,
+    /// Worst-case single-packet latency in nanoseconds.
+    pub min_latency_ns: f64,
+    /// Worst-case throughput (0..1).
+    pub throughput: f64,
+    /// Normalized bandwidth cost (overprovisioning factor).
+    pub bw_cost: f64,
+}
+
+/// The flat 1D optimal ORN (Sirius): 2-hop VLB over an `N−1`-slot round
+/// robin; 50% throughput, 2× bandwidth cost.
+pub fn sirius_1d(p: &DeploymentParams) -> SystemRow {
+    let dm = model::flat_delta_m(p.n);
+    SystemRow {
+        system: "Optimal ORN 1D (Sirius)".into(),
+        variant: None,
+        max_hops: 2,
+        delta_m: dm,
+        min_latency_ns: model::min_latency_ns(dm, 2, p.slot_ns, p.propagation_ns, p.uplinks),
+        throughput: 0.5,
+        bw_cost: 2.0,
+    }
+}
+
+/// An h-dimensional optimal ORN; `h = 2` is Table 1's "Optimal ORN 2D".
+/// Returns `None` when `n` is not a perfect h-th power.
+pub fn hdim_orn_row(p: &DeploymentParams, h: u32) -> Option<SystemRow> {
+    let dm = model::hdim_delta_m(p.n, h)?;
+    let hops = 2 * h;
+    Some(SystemRow {
+        system: format!("Optimal ORN {h}D"),
+        variant: None,
+        max_hops: hops,
+        delta_m: dm,
+        min_latency_ns: model::min_latency_ns(dm, hops, p.slot_ns, p.propagation_ns, p.uplinks),
+        throughput: model::hdim_throughput(h),
+        bw_cost: 2.0 * h as f64,
+    })
+}
+
+/// Opera parameters for the comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperaParams {
+    /// Opera's much longer slots (90 µs in Table 1, from the original
+    /// paper: long enough to route short flows over a quasi-static
+    /// expander).
+    pub slot_ns: f64,
+    /// Fraction of traffic volume that is latency-sensitive (75%).
+    pub short_share: f64,
+    /// Mean expander path length for short flows. Derive it from a
+    /// sampled expander with [`measured_opera_params`] or use the
+    /// paper-consistent default of 3.6.
+    pub mean_expander_hops: f64,
+    /// Worst-case expander hops (Table 1 lists 4).
+    pub max_expander_hops: u32,
+}
+
+impl OperaParams {
+    /// Table 1's Opera configuration with the paper-consistent expander
+    /// statistics (mean 3.6 hops; `0.75·3.6 + 0.25·2 = 3.2`, matching the
+    /// printed 3.2× bandwidth cost and 31.25% throughput).
+    pub fn paper_reference() -> Self {
+        OperaParams {
+            slot_ns: 90_000.0,
+            short_share: 0.75,
+            mean_expander_hops: 3.6,
+            max_expander_hops: 4,
+        }
+    }
+}
+
+/// Measures Opera expander statistics from an actually sampled rotor
+/// expander (instead of trusting the published constants).
+pub fn measured_opera_params(
+    n: usize,
+    uplinks: usize,
+    short_share: f64,
+    slot_ns: f64,
+    seed: u64,
+) -> Option<OperaParams> {
+    let model = OperaModel::new(n, uplinks, short_share, 4, seed).ok()?;
+    Some(OperaParams {
+        slot_ns,
+        short_share,
+        mean_expander_hops: model.mean_expander_hops(1)?,
+        max_expander_hops: model.max_expander_hops(1)?,
+    })
+}
+
+/// Opera's two Table 1 rows (short flows on the expander, bulk on rotor
+/// VLB) sharing throughput and bandwidth cost.
+pub fn opera_rows(p: &DeploymentParams, o: &OperaParams) -> [SystemRow; 2] {
+    let mean_hops = o.short_share * o.mean_expander_hops + (1.0 - o.short_share) * 2.0;
+    let throughput = 1.0 / mean_hops;
+    // Short flows never wait for reconfiguration (expander paths are
+    // always up): δm = 0, latency = propagation only.
+    let short = SystemRow {
+        system: "Opera".into(),
+        variant: Some("short flows".into()),
+        max_hops: o.max_expander_hops,
+        delta_m: 0.0,
+        min_latency_ns: o.max_expander_hops as f64 * p.propagation_ns,
+        throughput,
+        bw_cost: mean_hops,
+    };
+    // Bulk waits for direct rotor circuits: a full N−1 rotation of 90 µs
+    // slots (divided over the staggered uplinks).
+    let dm = model::flat_delta_m(p.n);
+    let bulk = SystemRow {
+        system: "Opera".into(),
+        variant: Some("bulk".into()),
+        max_hops: 2,
+        delta_m: dm,
+        min_latency_ns: model::min_latency_ns(dm, 2, o.slot_ns, p.propagation_ns, p.uplinks),
+        throughput,
+        bw_cost: mean_hops,
+    };
+    [short, bulk]
+}
+
+/// The SORN rows (intra- and inter-clique) for a clique count `nc`,
+/// locality `x`, at the ideal oversubscription.
+pub fn sorn_rows(
+    p: &DeploymentParams,
+    nc: usize,
+    x: f64,
+    inter_model: model::InterCliqueLatencyModel,
+) -> [SystemRow; 2] {
+    let q = model::ideal_q(x);
+    let c = p.n / nc;
+    let throughput = model::optimal_throughput(x);
+    let bw = model::mean_hops(x);
+    let intra_dm = model::intra_delta_m(q, c);
+    let inter_dm = model::inter_delta_m(q, nc, c, inter_model);
+    [
+        SystemRow {
+            system: format!("SORN Nc={nc}"),
+            variant: Some("intra-clique".into()),
+            max_hops: 2,
+            delta_m: intra_dm,
+            min_latency_ns: model::min_latency_ns(
+                intra_dm,
+                2,
+                p.slot_ns,
+                p.propagation_ns,
+                p.uplinks,
+            ),
+            throughput,
+            bw_cost: bw,
+        },
+        SystemRow {
+            system: format!("SORN Nc={nc}"),
+            variant: Some("inter-clique".into()),
+            max_hops: 3,
+            delta_m: inter_dm,
+            min_latency_ns: model::min_latency_ns(
+                inter_dm,
+                3,
+                p.slot_ns,
+                p.propagation_ns,
+                p.uplinks,
+            ),
+            throughput,
+            bw_cost: bw,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::InterCliqueLatencyModel;
+
+    fn p() -> DeploymentParams {
+        DeploymentParams::paper_reference()
+    }
+
+    #[test]
+    fn sirius_row_matches_table1() {
+        let r = sirius_1d(&p());
+        assert_eq!(r.max_hops, 2);
+        assert_eq!(r.delta_m, 4095.0);
+        assert!((r.min_latency_ns / 1000.0 - 26.59).abs() < 0.01);
+        assert_eq!(r.throughput, 0.5);
+        assert_eq!(r.bw_cost, 2.0);
+    }
+
+    #[test]
+    fn orn_2d_row_matches_table1() {
+        let r = hdim_orn_row(&p(), 2).unwrap();
+        assert_eq!(r.max_hops, 4);
+        assert_eq!(r.delta_m, 252.0);
+        assert!((r.min_latency_ns / 1000.0 - 3.57).abs() < 0.01);
+        assert_eq!(r.throughput, 0.25);
+        assert_eq!(r.bw_cost, 4.0);
+    }
+
+    #[test]
+    fn opera_rows_match_table1() {
+        let [short, bulk] = opera_rows(&p(), &OperaParams::paper_reference());
+        assert_eq!(short.max_hops, 4);
+        assert_eq!(short.delta_m, 0.0);
+        assert!((short.min_latency_ns - 2000.0).abs() < 1e-9); // 2 us
+        assert!((short.throughput - 0.3125).abs() < 1e-9); // 31.25%
+        assert!((short.bw_cost - 3.2).abs() < 1e-9);
+        assert_eq!(bulk.max_hops, 2);
+        assert_eq!(bulk.delta_m, 4095.0);
+        assert!((bulk.min_latency_ns / 1000.0 - 23_034.4).abs() < 1.0);
+    }
+
+    #[test]
+    fn sorn_rows_match_table1() {
+        let [intra64, inter64] = sorn_rows(&p(), 64, 0.56, InterCliqueLatencyModel::Table);
+        assert_eq!(intra64.delta_m.ceil() as u64, 77);
+        assert_eq!(inter64.delta_m.ceil() as u64, 364);
+        assert!((intra64.min_latency_ns / 1000.0 - 1.48).abs() < 0.01);
+        assert!((inter64.min_latency_ns / 1000.0 - 3.77).abs() < 0.01);
+        assert!((intra64.throughput - 0.4098).abs() < 1e-3);
+        assert!((intra64.bw_cost - 2.44).abs() < 1e-9);
+
+        let [intra32, inter32] = sorn_rows(&p(), 32, 0.56, InterCliqueLatencyModel::Table);
+        assert_eq!(intra32.delta_m.ceil() as u64, 155);
+        assert_eq!(inter32.delta_m.ceil() as u64, 296);
+        assert!((intra32.min_latency_ns / 1000.0 - 1.97).abs() < 0.01);
+        assert!((inter32.min_latency_ns / 1000.0 - 3.35).abs() < 0.01);
+    }
+
+    #[test]
+    fn measured_opera_is_close_to_paper_constants() {
+        // A 256-node sample keeps the test fast; the mean expander path
+        // length lands near the paper's 3.6 only at full 4096 scale, so
+        // just sanity-check the plumbing and plausible ranges here.
+        let o = measured_opera_params(256, 16, 0.75, 90_000.0, 1).unwrap();
+        assert!(o.mean_expander_hops > 1.5 && o.mean_expander_hops < 4.0);
+        assert!(o.max_expander_hops >= 2 && o.max_expander_hops <= 6);
+    }
+
+    #[test]
+    fn ordering_of_bandwidth_costs_matches_paper() {
+        // 1D (2x) < SORN (2.44x) < Opera (3.2x) < 2D (4x).
+        let sirius = sirius_1d(&p()).bw_cost;
+        let sorn = sorn_rows(&p(), 64, 0.56, InterCliqueLatencyModel::Table)[0].bw_cost;
+        let opera = opera_rows(&p(), &OperaParams::paper_reference())[0].bw_cost;
+        let d2 = hdim_orn_row(&p(), 2).unwrap().bw_cost;
+        assert!(sirius < sorn && sorn < opera && opera < d2);
+    }
+}

@@ -1,0 +1,181 @@
+//! SORN network configuration.
+
+use crate::model::{ideal_q, InterCliqueLatencyModel};
+use sorn_topology::{Ratio, TopologyError};
+use std::fmt;
+
+/// Errors building a SORN network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Configuration parameter out of domain.
+    InvalidConfig(String),
+    /// Underlying topology construction failed.
+    Topology(TopologyError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig(m) => write!(f, "invalid SORN config: {m}"),
+            CoreError::Topology(e) => write!(f, "topology error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Topology(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TopologyError> for CoreError {
+    fn from(e: TopologyError) -> Self {
+        CoreError::Topology(e)
+    }
+}
+
+/// Configuration of a semi-oblivious reconfigurable network.
+#[derive(Debug, Clone)]
+pub struct SornConfig {
+    /// Number of nodes (ToRs or hosts).
+    pub n: usize,
+    /// Number of equal-sized cliques (`Nc`); must divide `n`.
+    pub cliques: usize,
+    /// Expected intra-clique traffic fraction `x`, used to derive the
+    /// ideal oversubscription when `q` is `None`.
+    pub locality: f64,
+    /// Explicit oversubscription ratio; `None` selects `q* = 2/(1−x)`.
+    pub q: Option<Ratio>,
+    /// Uplinks (staggered OCS planes) per node.
+    pub uplinks: usize,
+    /// Slot duration in nanoseconds.
+    pub slot_ns: u64,
+    /// Per-hop propagation delay in nanoseconds.
+    pub propagation_ns: u64,
+    /// Which published δm formula the analysis uses for inter-clique
+    /// latency (see `model` module docs).
+    pub inter_latency_model: InterCliqueLatencyModel,
+}
+
+impl SornConfig {
+    /// A configuration with the paper's deployment constants (100 ns
+    /// slots, 500 ns propagation, 16 uplinks, x = 0.56).
+    pub fn paper_reference(n: usize, cliques: usize) -> Self {
+        SornConfig {
+            n,
+            cliques,
+            locality: 0.56,
+            q: None,
+            uplinks: 16,
+            slot_ns: 100,
+            propagation_ns: 500,
+            inter_latency_model: InterCliqueLatencyModel::Table,
+        }
+    }
+
+    /// A small configuration convenient for tests and examples: one
+    /// uplink, default timing.
+    pub fn small(n: usize, cliques: usize, locality: f64) -> Self {
+        SornConfig {
+            n,
+            cliques,
+            locality,
+            q: None,
+            uplinks: 1,
+            slot_ns: 100,
+            propagation_ns: 500,
+            inter_latency_model: InterCliqueLatencyModel::Table,
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.n < 2 {
+            return Err(CoreError::InvalidConfig("need at least 2 nodes".into()));
+        }
+        if self.cliques == 0 || !self.n.is_multiple_of(self.cliques) {
+            return Err(CoreError::InvalidConfig(format!(
+                "clique count {} must divide node count {}",
+                self.cliques, self.n
+            )));
+        }
+        if !(0.0..1.0).contains(&self.locality) {
+            return Err(CoreError::InvalidConfig(format!(
+                "locality {} must be in [0,1)",
+                self.locality
+            )));
+        }
+        if let Some(q) = self.q {
+            if q.to_f64() <= 0.0 {
+                return Err(CoreError::InvalidConfig("q must be positive".into()));
+            }
+        }
+        if self.uplinks == 0 {
+            return Err(CoreError::InvalidConfig("need at least one uplink".into()));
+        }
+        if self.slot_ns == 0 {
+            return Err(CoreError::InvalidConfig("slot must be positive".into()));
+        }
+        Ok(())
+    }
+
+    /// Clique size `C = n / Nc`.
+    pub fn clique_size(&self) -> usize {
+        self.n / self.cliques
+    }
+
+    /// The oversubscription ratio in effect: the explicit `q` if set,
+    /// otherwise the throughput-optimal `q* = 2/(1−x)` approximated to a
+    /// rational with denominator ≤ 1000.
+    pub fn effective_q(&self) -> Ratio {
+        self.q
+            .unwrap_or_else(|| Ratio::approximate(ideal_q(self.locality), 1000))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_reference_validates() {
+        let c = SornConfig::paper_reference(4096, 64);
+        c.validate().unwrap();
+        assert_eq!(c.clique_size(), 64);
+        let q = c.effective_q();
+        assert_eq!((q.num(), q.den()), (50, 11));
+    }
+
+    #[test]
+    fn explicit_q_wins() {
+        let mut c = SornConfig::small(8, 2, 0.5);
+        c.q = Some(Ratio::integer(3));
+        assert_eq!(c.effective_q(), Ratio::integer(3));
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        assert!(SornConfig::small(1, 1, 0.5).validate().is_err());
+        assert!(SornConfig::small(10, 3, 0.5).validate().is_err());
+        assert!(SornConfig::small(8, 2, 1.0).validate().is_err());
+        let mut c = SornConfig::small(8, 2, 0.5);
+        c.uplinks = 0;
+        assert!(c.validate().is_err());
+        let mut c = SornConfig::small(8, 2, 0.5);
+        c.slot_ns = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let e = CoreError::InvalidConfig("boom".into());
+        assert!(e.to_string().contains("boom"));
+        let te: CoreError = TopologyError::EmptySchedule.into();
+        assert!(te.to_string().contains("no slots"));
+        use std::error::Error;
+        assert!(te.source().is_some());
+    }
+}

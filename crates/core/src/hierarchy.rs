@@ -1,0 +1,230 @@
+//! Closed-form model for multi-level hierarchical SORNs.
+//!
+//! Generalizes §4's two-level analysis. Define the *traffic profile*
+//! `x[l]` = fraction of demand whose highest differing level is `l`
+//! (so `x[0]` is innermost-group-local traffic and `sum x = 1`).
+//! Routing takes `l + 2` hops for class-`l` traffic (one spray, then one
+//! correction per level from `l` down to 0, all assumed to differ in the
+//! worst case), so:
+//!
+//! - mean hops (= normalized bandwidth cost) `H = 2 + Σ l·x[l]`;
+//! - level-`j` links carry load `2` for `j = 0` (every cell sprays and
+//!   takes a final level-0 correction) and `Σ_{l ≥ j} x[l]` for `j ≥ 1`;
+//! - splitting bandwidth in proportion to those loads is
+//!   throughput-optimal and gives `r* = 1/H` — for two levels this is
+//!   exactly the paper's `q* = 2/(1 − x)` and `r* = 1/(3 − x)`.
+
+use crate::config::CoreError;
+use sorn_topology::builders::HierarchySpec;
+
+/// The hierarchical generalization of the §4 model.
+///
+/// ```
+/// use sorn_core::HierarchyModel;
+///
+/// // The paper's two-level design at the production-median locality:
+/// let m = HierarchyModel::two_level(64, 64, 0.56).unwrap();
+/// assert!((m.optimal_throughput() - 1.0 / (3.0 - 0.56)).abs() < 1e-12);
+///
+/// // Three levels: throughput 1/(2 + sum l*x_l).
+/// let m3 = HierarchyModel::new(vec![16, 16, 16], vec![0.5, 0.3, 0.2]).unwrap();
+/// assert!((m3.optimal_throughput() - 1.0 / 2.7).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HierarchyModel {
+    /// Branching factor per level, innermost first.
+    pub radices: Vec<usize>,
+    /// Traffic profile: fraction of demand per highest-differing level.
+    pub profile: Vec<f64>,
+}
+
+impl HierarchyModel {
+    /// Builds and validates the model.
+    pub fn new(radices: Vec<usize>, profile: Vec<f64>) -> Result<Self, CoreError> {
+        if radices.len() != profile.len() || radices.is_empty() {
+            return Err(CoreError::InvalidConfig(
+                "need one profile entry per level".into(),
+            ));
+        }
+        if radices.iter().any(|&b| b < 2) {
+            return Err(CoreError::InvalidConfig("radices must be >= 2".into()));
+        }
+        if profile.iter().any(|&x| !(0.0..=1.0).contains(&x)) {
+            return Err(CoreError::InvalidConfig("profile entries in [0,1]".into()));
+        }
+        let total: f64 = profile.iter().sum();
+        if (total - 1.0).abs() > 1e-9 {
+            return Err(CoreError::InvalidConfig(format!(
+                "profile must sum to 1, got {total}"
+            )));
+        }
+        Ok(HierarchyModel { radices, profile })
+    }
+
+    /// The two-level model of the paper: locality ratio `x` intra-clique.
+    pub fn two_level(clique_size: usize, cliques: usize, x: f64) -> Result<Self, CoreError> {
+        HierarchyModel::new(vec![clique_size, cliques], vec![x, 1.0 - x])
+    }
+
+    /// Number of levels.
+    pub fn levels(&self) -> usize {
+        self.radices.len()
+    }
+
+    /// Mean hops `2 + Σ l·x[l]` (= normalized bandwidth cost).
+    pub fn mean_hops(&self) -> f64 {
+        2.0 + self
+            .profile
+            .iter()
+            .enumerate()
+            .map(|(l, &x)| l as f64 * x)
+            .sum::<f64>()
+    }
+
+    /// Worst-case load on level-`j` links at unit demand.
+    pub fn level_load(&self, j: usize) -> f64 {
+        if j == 0 {
+            2.0
+        } else {
+            self.profile[j..].iter().sum()
+        }
+    }
+
+    /// Throughput-optimal bandwidth share per level (`w[j] ∝ load[j]`).
+    pub fn optimal_weights(&self) -> Vec<f64> {
+        let loads: Vec<f64> = (0..self.levels()).map(|j| self.level_load(j)).collect();
+        let total: f64 = loads.iter().sum();
+        loads.into_iter().map(|l| l / total).collect()
+    }
+
+    /// Worst-case throughput at the optimal split: `1 / mean_hops`.
+    pub fn optimal_throughput(&self) -> f64 {
+        1.0 / self.mean_hops()
+    }
+
+    /// Worst-case throughput for an arbitrary bandwidth split `w`
+    /// (fractions summing to 1): `min_j w[j] / load[j]`.
+    pub fn throughput_for_weights(&self, w: &[f64]) -> Result<f64, CoreError> {
+        if w.len() != self.levels() {
+            return Err(CoreError::InvalidConfig("one weight per level".into()));
+        }
+        let mut r = f64::INFINITY;
+        for (j, &wj) in w.iter().enumerate() {
+            if wj <= 0.0 {
+                return Err(CoreError::InvalidConfig("weights must be positive".into()));
+            }
+            r = r.min(wj / self.level_load(j));
+        }
+        Ok(r)
+    }
+
+    /// Intrinsic latency (slots) for class-`l` traffic at the optimal
+    /// split: one targeted hop per level `j ≤ l`, each waiting through
+    /// `(b_j − 1)/w[j]` circuits; the spray hop is free.
+    pub fn class_delta_m(&self, l: usize) -> f64 {
+        let w = self.optimal_weights();
+        (0..=l)
+            .map(|j| (self.radices[j] as f64 - 1.0) / w[j])
+            .sum()
+    }
+
+    /// Integer slot weights for the schedule builder, approximating the
+    /// optimal split with denominator `resolution`.
+    pub fn schedule_weights(&self, resolution: u64) -> Vec<u64> {
+        self.optimal_weights()
+            .iter()
+            .map(|&w| ((w * resolution as f64).round() as u64).max(1))
+            .collect()
+    }
+
+    /// A [`HierarchySpec`] at the optimal split.
+    pub fn spec(&self, resolution: u64) -> Result<HierarchySpec, CoreError> {
+        HierarchySpec::new(self.radices.clone(), self.schedule_weights(resolution))
+            .map_err(CoreError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model;
+
+    #[test]
+    fn two_levels_reduce_to_the_paper() {
+        let x = 0.56;
+        let m = HierarchyModel::two_level(64, 64, x).unwrap();
+        // Mean hops = 3 - x; throughput = 1/(3-x).
+        assert!((m.mean_hops() - (3.0 - x)).abs() < 1e-12);
+        assert!((m.optimal_throughput() - model::optimal_throughput(x)).abs() < 1e-12);
+        // Optimal weights = (q, 1)/(q+1) with q = 2/(1-x).
+        let w = m.optimal_weights();
+        let q = w[0] / w[1];
+        assert!((q - model::ideal_q(x)).abs() < 1e-9);
+        // Class-0 delta_m matches the paper's intra formula.
+        assert!((m.class_delta_m(0) - model::intra_delta_m(q, 64)).abs() < 1e-6);
+        // Class-1 delta_m matches the Text-variant inter formula.
+        let expect = model::inter_delta_m(
+            q,
+            64,
+            64,
+            model::InterCliqueLatencyModel::Text,
+        );
+        assert!(
+            (m.class_delta_m(1) - expect).abs() < 1e-6,
+            "{} vs {}",
+            m.class_delta_m(1),
+            expect
+        );
+    }
+
+    #[test]
+    fn three_levels_beat_two_on_latency_for_local_traffic() {
+        // 4096 nodes as 64x64 (two-level) or 16x16x16 (three-level) with
+        // strongly local traffic.
+        let two = HierarchyModel::two_level(64, 64, 0.56).unwrap();
+        let three =
+            HierarchyModel::new(vec![16, 16, 16], vec![0.56, 0.24, 0.2]).unwrap();
+        // Innermost-class latency: much shorter round robin at level 0.
+        assert!(three.class_delta_m(0) < two.class_delta_m(0));
+        // But the deepest class pays more hops: throughput dips slightly.
+        assert!(three.optimal_throughput() < two.optimal_throughput());
+        assert!(three.optimal_throughput() > 1.0 / 4.0);
+    }
+
+    #[test]
+    fn optimal_weights_are_the_argmax() {
+        let m = HierarchyModel::new(vec![8, 4, 4], vec![0.5, 0.3, 0.2]).unwrap();
+        let best = m.throughput_for_weights(&m.optimal_weights()).unwrap();
+        assert!((best - m.optimal_throughput()).abs() < 1e-12);
+        // Perturbations only lose throughput.
+        for delta in [-0.05f64, 0.05] {
+            let mut w = m.optimal_weights();
+            w[0] += delta;
+            w[1] -= delta;
+            if w.iter().all(|&v| v > 0.0) {
+                assert!(m.throughput_for_weights(&w).unwrap() <= best + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_profiles() {
+        assert!(HierarchyModel::new(vec![4], vec![0.5]).is_err()); // sum != 1
+        assert!(HierarchyModel::new(vec![4, 4], vec![1.0]).is_err()); // length
+        assert!(HierarchyModel::new(vec![1, 4], vec![0.5, 0.5]).is_err()); // radix
+        assert!(HierarchyModel::new(vec![4, 4], vec![1.5, -0.5]).is_err()); // range
+        let m = HierarchyModel::new(vec![4, 4], vec![0.5, 0.5]).unwrap();
+        assert!(m.throughput_for_weights(&[1.0]).is_err());
+        assert!(m.throughput_for_weights(&[0.5, 0.0]).is_err());
+    }
+
+    #[test]
+    fn spec_round_trips_into_builder() {
+        use sorn_topology::builders::hierarchical_schedule;
+        let m = HierarchyModel::new(vec![4, 4, 8], vec![0.6, 0.25, 0.15]).unwrap();
+        let spec = m.spec(100).unwrap();
+        assert_eq!(spec.n(), 128);
+        let sched = hierarchical_schedule(&spec, 1 << 22).unwrap();
+        sched.validate().unwrap();
+    }
+}

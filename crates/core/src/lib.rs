@@ -1,0 +1,51 @@
+//! # sorn-core
+//!
+//! The primary contribution of *"Semi-Oblivious Reconfigurable Datacenter
+//! Networks"* (HotNets '24): a circuit-switched datacenter fabric that is
+//! oblivious at fine time scales — a fixed schedule of matchings, VLB-
+//! style routing, no per-flow control loop — but periodically re-balances
+//! its schedule to match *macro-scale* traffic structure: spatial
+//! locality within cliques of nodes and aggregated inter-clique demand.
+//!
+//! The crate exposes:
+//!
+//! - [`SornConfig`] / [`SornNetwork`]: build a semi-oblivious network
+//!   (clique map + schedule + router) and evaluate it three ways —
+//!   closed-form analysis, exact flow-level throughput, and packet
+//!   simulation.
+//! - [`model`]: §4's formulas (`q* = 2/(1−x)`, `r = 1/(3−x)`, intrinsic
+//!   latency `δm`), including both published variants of the
+//!   inter-clique latency (see the module docs for the discrepancy).
+//! - [`baselines`]: closed-form Table 1 rows for Sirius-style 1D ORNs,
+//!   h-dimensional optimal ORNs, and Opera.
+//! - [`nic`]: Figure 2(c)'s node hardware state and the §5 schedule-
+//!   update semantics (fixed neighbor superset, drain accounting).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sorn_core::{SornConfig, SornNetwork};
+//!
+//! // 128 racks in 8 cliques, 56% expected locality (the paper's median).
+//! let net = SornNetwork::build(SornConfig::small(128, 8, 0.56)).unwrap();
+//! let analysis = net.analysis();
+//! assert!((analysis.throughput - 1.0 / (3.0 - 0.56)).abs() < 1e-9);
+//!
+//! // Exact flow-level worst-case throughput at the same locality.
+//! let fl = net.flow_throughput(0.56).unwrap();
+//! assert!(fl.throughput >= analysis.throughput - 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+mod config;
+pub mod hierarchy;
+pub mod model;
+pub mod nic;
+mod network;
+
+pub use config::{CoreError, SornConfig};
+pub use hierarchy::HierarchyModel;
+pub use model::InterCliqueLatencyModel;
+pub use network::{SornAnalysis, SornNetwork};

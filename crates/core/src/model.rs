@@ -1,0 +1,270 @@
+//! The paper's closed-form latency/throughput model (§4).
+//!
+//! Definitions (all from §4):
+//!
+//! - `q ≥ 1`: oversubscription ratio — node bandwidth on intra-clique
+//!   links divided by bandwidth on inter-clique links.
+//! - `x ∈ [0, 1]`: fraction of total demand that is intra-clique.
+//! - `Nc`: number of (equal-sized) cliques; clique size `C = N/Nc`.
+//! - *Intrinsic latency* `δm`: the maximum number of circuits to cycle
+//!   through across all hops — the minimum worst-case latency of a
+//!   topology/routing pair, independent of other deployment parameters.
+//! - *Throughput* `r`: the fraction of total bandwidth used to deliver
+//!   traffic on its final hop.
+//!
+//! ## The paper's δm inconsistency
+//!
+//! §4's prose gives the inter-clique intrinsic latency as
+//! `δm = (q+1)(Nc−1) + (q+1)/q·(C−1)`, but Table 1's printed values
+//! (364 and 296) only follow from `δm = q(Nc−1) + (q+1)/q·(C−1)`.
+//! [`InterCliqueLatencyModel`] selects the variant; the default is
+//! [`InterCliqueLatencyModel::Table`] so the reproduction matches the
+//! published table. Our measured schedules (worst-case circuit waits on
+//! actually constructed slot sequences) match the *Text* variant.
+
+/// Which published formula to use for the inter-clique intrinsic latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InterCliqueLatencyModel {
+    /// `q(Nc−1) + (q+1)/q·(C−1)` — reproduces Table 1's printed numbers.
+    #[default]
+    Table,
+    /// `(q+1)(Nc−1) + (q+1)/q·(C−1)` — §4's prose formula, and what the
+    /// constructed schedules actually achieve.
+    Text,
+}
+
+/// The throughput-optimal oversubscription ratio `q* = 2/(1−x)` (§4).
+///
+/// # Panics
+/// Panics when `x` is not in `[0, 1)`.
+pub fn ideal_q(x: f64) -> f64 {
+    assert!((0.0..1.0).contains(&x), "locality must be in [0,1)");
+    2.0 / (1.0 - x)
+}
+
+/// Worst-case throughput for a given `q` and locality `x`:
+/// `r = min( q/(2q+2), 1/((1−x)(q+1)) )` (§4 "Throughput").
+///
+/// The first bound is the intra-clique links (all traffic crosses them
+/// twice); the second is the inter-clique links (used directly by the
+/// `1−x` inter-clique share).
+pub fn throughput(q: f64, x: f64) -> f64 {
+    assert!(q > 0.0, "q must be positive");
+    assert!((0.0..=1.0).contains(&x));
+    let intra_bound = q / (2.0 * q + 2.0);
+    if x >= 1.0 {
+        return intra_bound;
+    }
+    let inter_bound = 1.0 / ((1.0 - x) * (q + 1.0));
+    intra_bound.min(inter_bound)
+}
+
+/// Worst-case throughput at the ideal `q`: `r* = 1/(3−x)` (§4).
+///
+/// Bounded between 1/3 (no locality) and 1/2 (all-local), which is the
+/// theoretical line of Figure 2(f).
+pub fn optimal_throughput(x: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&x));
+    1.0 / (3.0 - x)
+}
+
+/// Mean hops of SORN routing under locality `x`: intra-clique traffic
+/// takes 2 hops, inter-clique 3, so `2x + 3(1−x) = 3 − x`. This equals
+/// the normalized bandwidth cost (Table 1's last column) and is the
+/// reciprocal of [`optimal_throughput`].
+pub fn mean_hops(x: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&x));
+    3.0 - x
+}
+
+/// Intra-clique intrinsic latency in slots:
+/// `δm = (q+1)/q · (C−1)` (§4 "Latency").
+///
+/// Intra-clique links occupy `q/(q+1)` of the slots spread over `C−1`
+/// destinations, so the targeted second hop waits through that many
+/// circuits; the load-balancing first hop is free.
+pub fn intra_delta_m(q: f64, clique_size: usize) -> f64 {
+    assert!(q > 0.0);
+    assert!(clique_size >= 1);
+    (q + 1.0) / q * (clique_size as f64 - 1.0)
+}
+
+/// Inter-clique intrinsic latency in slots, per the selected model.
+pub fn inter_delta_m(
+    q: f64,
+    cliques: usize,
+    clique_size: usize,
+    model: InterCliqueLatencyModel,
+) -> f64 {
+    assert!(q > 0.0);
+    assert!(cliques >= 1);
+    let inter_part = match model {
+        InterCliqueLatencyModel::Table => q * (cliques as f64 - 1.0),
+        InterCliqueLatencyModel::Text => (q + 1.0) * (cliques as f64 - 1.0),
+    };
+    inter_part + intra_delta_m(q, clique_size)
+}
+
+/// Converts an intrinsic latency to wall-clock worst-case latency for a
+/// single packet (Table 1's "Min Latency" column):
+/// `δm/uplinks × slot + hops × propagation`, in nanoseconds.
+///
+/// Dividing by the uplink count models Sirius-style phase-staggered
+/// planes (16 in Table 1), which cut the circuit wait proportionally.
+pub fn min_latency_ns(
+    delta_m: f64,
+    hops: u32,
+    slot_ns: f64,
+    propagation_ns: f64,
+    uplinks: usize,
+) -> f64 {
+    assert!(uplinks >= 1);
+    delta_m / uplinks as f64 * slot_ns + hops as f64 * propagation_ns
+}
+
+/// Intrinsic latency of a flat 1D round robin (Sirius): `δm = N − 1`.
+pub fn flat_delta_m(n: usize) -> f64 {
+    (n as f64) - 1.0
+}
+
+/// Intrinsic latency of an h-dimensional optimal ORN: `h² (Δ−1)` slots
+/// where `Δ = N^{1/h}` — each of the `h` targeted correction hops waits
+/// up to a full dimension cycle of `h(Δ−1)` slots... divided across the
+/// interleaved schedule this bounds to `h²(Δ−1)` total. For `h = 2` and
+/// `N = 4096` this gives Table 1's 252.
+pub fn hdim_delta_m(n: usize, h: u32) -> Option<f64> {
+    let delta = (n as f64).powf(1.0 / h as f64).round() as usize;
+    if delta.checked_pow(h) != Some(n) {
+        return None;
+    }
+    Some((h * h) as f64 * (delta as f64 - 1.0))
+}
+
+/// Worst-case throughput of an h-dimensional optimal ORN: `1/(2h)` (§2).
+pub fn hdim_throughput(h: u32) -> f64 {
+    1.0 / (2.0 * h as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const X: f64 = 0.56; // Table 1's locality ratio
+
+    #[test]
+    fn ideal_q_at_paper_locality() {
+        let q = ideal_q(X);
+        assert!((q - 50.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_bounds_meet_at_ideal_q() {
+        let q = ideal_q(X);
+        let r = throughput(q, X);
+        // At q*, both bounds equal 1/(3-x).
+        assert!((r - optimal_throughput(X)).abs() < 1e-12);
+        assert!((r - 0.4098).abs() < 1e-4, "r = {r}");
+    }
+
+    #[test]
+    fn throughput_below_ideal_q_is_inter_limited() {
+        // q too small: intra links starve... actually intra-bound shrinks
+        // with q; inter-bound shrinks as q grows. Check monotone pieces.
+        let q_star = ideal_q(0.5); // 4
+        let r_low = throughput(2.0, 0.5);
+        let r_star = throughput(q_star, 0.5);
+        let r_high = throughput(8.0, 0.5);
+        assert!(r_low < r_star, "{r_low} < {r_star}");
+        assert!(r_high < r_star, "{r_high} < {r_star}");
+    }
+
+    #[test]
+    fn optimal_throughput_range_matches_figure_2f() {
+        assert!((optimal_throughput(0.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((optimal_throughput(1.0) - 0.5).abs() < 1e-12);
+        // Monotone increasing in x.
+        let mut last = 0.0;
+        for i in 0..=10 {
+            let r = optimal_throughput(i as f64 / 10.0);
+            assert!(r > last);
+            last = r;
+        }
+    }
+
+    #[test]
+    fn table1_sorn_nc64_row() {
+        let q = ideal_q(X);
+        let n = 4096;
+        let nc = 64;
+        let c = n / nc;
+        let intra = intra_delta_m(q, c);
+        assert_eq!(intra.ceil() as u64, 77);
+        let inter = inter_delta_m(q, nc, c, InterCliqueLatencyModel::Table);
+        assert_eq!(inter.ceil() as u64, 364);
+        // Latencies: 1.48 us and 3.77 us.
+        let lat_intra = min_latency_ns(intra, 2, 100.0, 500.0, 16);
+        assert!((lat_intra / 1000.0 - 1.48).abs() < 0.01, "{lat_intra}");
+        let lat_inter = min_latency_ns(inter, 3, 100.0, 500.0, 16);
+        assert!((lat_inter / 1000.0 - 3.77).abs() < 0.01, "{lat_inter}");
+    }
+
+    #[test]
+    fn table1_sorn_nc32_row() {
+        let q = ideal_q(X);
+        let (n, nc) = (4096, 32);
+        let c = n / nc;
+        let intra = intra_delta_m(q, c);
+        assert_eq!(intra.ceil() as u64, 155);
+        let inter = inter_delta_m(q, nc, c, InterCliqueLatencyModel::Table);
+        assert_eq!(inter.ceil() as u64, 296);
+        let lat_intra = min_latency_ns(intra, 2, 100.0, 500.0, 16);
+        assert!((lat_intra / 1000.0 - 1.97).abs() < 0.01);
+        let lat_inter = min_latency_ns(inter, 3, 100.0, 500.0, 16);
+        assert!((lat_inter / 1000.0 - 3.35).abs() < 0.01);
+    }
+
+    #[test]
+    fn table1_1d_orn_row() {
+        let dm = flat_delta_m(4096);
+        assert_eq!(dm, 4095.0);
+        let lat = min_latency_ns(dm, 2, 100.0, 500.0, 16);
+        assert!((lat / 1000.0 - 26.59).abs() < 0.01, "{lat}");
+    }
+
+    #[test]
+    fn table1_2d_orn_row() {
+        let dm = hdim_delta_m(4096, 2).unwrap();
+        assert_eq!(dm, 252.0);
+        let lat = min_latency_ns(dm, 4, 100.0, 500.0, 16);
+        assert!((lat / 1000.0 - 3.57).abs() < 0.01, "{lat}");
+        assert!((hdim_throughput(2) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn text_variant_is_larger() {
+        let q = ideal_q(X);
+        let t = inter_delta_m(q, 64, 64, InterCliqueLatencyModel::Table);
+        let x = inter_delta_m(q, 64, 64, InterCliqueLatencyModel::Text);
+        assert!(x > t);
+        assert!((x - t - 63.0).abs() < 1e-9); // differs by exactly Nc-1
+    }
+
+    #[test]
+    fn mean_hops_and_bandwidth_cost() {
+        assert!((mean_hops(X) - 2.44).abs() < 1e-12);
+        assert!((mean_hops(X) * optimal_throughput(X) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hdim_delta_m_rejects_non_powers() {
+        assert_eq!(hdim_delta_m(4095, 2), None);
+        assert_eq!(hdim_delta_m(4096, 3), Some(9.0 * 15.0));
+    }
+
+    #[test]
+    fn latency_scales_inversely_with_uplinks() {
+        let one = min_latency_ns(4095.0, 2, 100.0, 500.0, 1);
+        let sixteen = min_latency_ns(4095.0, 2, 100.0, 500.0, 16);
+        assert!((one - 1000.0) / (sixteen - 1000.0) > 15.9);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the §4 closed-form model.
+
+use proptest::prelude::*;
+use sorn_core::model::{self, InterCliqueLatencyModel};
+use sorn_core::{SornConfig, SornNetwork};
+
+proptest! {
+    /// The ideal q maximizes throughput over a fine grid, for any
+    /// locality.
+    #[test]
+    fn ideal_q_is_the_argmax(xi in 0usize..99) {
+        let x = xi as f64 / 100.0;
+        let q_star = model::ideal_q(x);
+        let best = model::throughput(q_star, x);
+        for i in 1..400 {
+            let q = i as f64 * 0.1;
+            prop_assert!(model::throughput(q, x) <= best + 1e-12,
+                "q={q} beats q*={q_star} at x={x}");
+        }
+    }
+
+    /// Throughput at ideal q equals 1/(3-x) exactly.
+    #[test]
+    fn throughput_at_ideal_q_closed_form(xi in 0usize..100) {
+        let x = xi as f64 / 100.0;
+        if x >= 1.0 { return Ok(()); }
+        let r = model::throughput(model::ideal_q(x), x);
+        prop_assert!((r - model::optimal_throughput(x)).abs() < 1e-12);
+    }
+
+    /// Throughput and bandwidth cost are exact reciprocals at ideal q.
+    #[test]
+    fn throughput_times_mean_hops_is_one(xi in 0usize..100) {
+        let x = xi as f64 / 100.0;
+        prop_assert!((model::optimal_throughput(x) * model::mean_hops(x) - 1.0).abs() < 1e-12);
+    }
+
+    /// Intrinsic latencies are monotone: more cliques lowers intra delta
+    /// but raises the inter part.
+    #[test]
+    fn delta_m_monotonicity(q10 in 11u32..100) {
+        let q = q10 as f64 / 10.0; // q > 1
+        let n = 4096;
+        let mut last_intra = f64::INFINITY;
+        let mut last_inter_part = 0.0;
+        for nc in [8usize, 16, 32, 64, 128] {
+            let c = n / nc;
+            let intra = model::intra_delta_m(q, c);
+            prop_assert!(intra < last_intra);
+            last_intra = intra;
+            let inter = model::inter_delta_m(q, nc, c, InterCliqueLatencyModel::Table) - intra;
+            prop_assert!(inter > last_inter_part);
+            last_inter_part = inter;
+        }
+    }
+
+    /// Latency conversion is linear in delta_m and inversely linear in
+    /// uplinks.
+    #[test]
+    fn latency_conversion_scales(dm in 1u32..10_000, uplinks in 1usize..32) {
+        let dm = dm as f64;
+        let base = model::min_latency_ns(dm, 2, 100.0, 500.0, uplinks);
+        let double = model::min_latency_ns(2.0 * dm, 2, 100.0, 500.0, uplinks);
+        // Slope: doubling dm doubles the slot component.
+        prop_assert!((double - base - dm / uplinks as f64 * 100.0).abs() < 1e-6);
+    }
+
+    /// Built networks agree with the closed forms for arbitrary valid
+    /// configurations.
+    #[test]
+    fn network_analysis_matches_model(
+        cliques in 2usize..5,
+        size in 2usize..5,
+        xi in 0usize..9,
+    ) {
+        let x = xi as f64 / 10.0;
+        let cfg = SornConfig::small(cliques * size, cliques, x);
+        let net = SornNetwork::build(cfg).unwrap();
+        let a = net.analysis();
+        let q = a.q;
+        prop_assert!((a.intra_delta_m - model::intra_delta_m(q, size)).abs() < 1e-9);
+        prop_assert!((a.throughput - model::throughput(q, x)).abs() < 1e-9);
+        prop_assert!((a.mean_hops - (3.0 - x)).abs() < 1e-9);
+    }
+
+    /// The flow-level evaluation of any built network is at least the
+    /// closed-form worst case (the formula is a bound).
+    #[test]
+    fn evaluator_at_least_closed_form(cliques in 2usize..5, size in 2usize..5, xi in 0usize..9) {
+        let x = xi as f64 / 10.0;
+        let cfg = SornConfig::small(cliques * size, cliques, x);
+        let net = SornNetwork::build(cfg).unwrap();
+        let rep = net.flow_throughput(x).unwrap();
+        prop_assert!(
+            rep.throughput >= net.analysis().throughput - 1e-9,
+            "evaluator {} below closed form {}",
+            rep.throughput,
+            net.analysis().throughput
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! General SORN routing for arbitrary (including non-uniform) cliques.
+//!
+//! [`crate::SornRouter`] pins each intermediate's inter-clique hop to the
+//! gateway with its own intra index — faithful to uniform schedules but
+//! undefined for unequal cliques. This router generalizes with a second
+//! spray class: after the intra load-balancing hop, an inter-clique cell
+//! waits for *any* circuit into the destination clique (which is still
+//! "the inter-clique link to the destination clique" of §4, with the
+//! gateway chosen by the schedule instead of by index). It pairs with
+//! `sorn_topology::builders::nonuniform_sorn_schedule`.
+
+use sorn_sim::{Cell, ClassId, RouteDecision, Router};
+use sorn_topology::{CliqueMap, NodeId};
+
+/// Intra-clique load-balancing spray (first hop).
+pub const GEN_INTRA_SPRAY: ClassId = ClassId(0);
+/// Inter-clique hop: any circuit into the destination clique.
+pub const GEN_INTER_ANY: ClassId = ClassId(1);
+
+/// Class-based semi-oblivious router for arbitrary clique maps.
+#[derive(Debug, Clone)]
+pub struct GeneralSornRouter {
+    cliques: CliqueMap,
+    classes: [ClassId; 2],
+}
+
+impl GeneralSornRouter {
+    /// Creates the router; any clique map (uniform or not) is accepted.
+    pub fn new(cliques: CliqueMap) -> Self {
+        GeneralSornRouter {
+            cliques,
+            classes: [GEN_INTRA_SPRAY, GEN_INTER_ANY],
+        }
+    }
+
+    /// The clique map in use.
+    pub fn cliques(&self) -> &CliqueMap {
+        &self.cliques
+    }
+}
+
+impl Router for GeneralSornRouter {
+    fn decide(
+        &self,
+        node: NodeId,
+        cell: &mut Cell,
+        _rng: &mut rand::rngs::StdRng,
+    ) -> RouteDecision {
+        if node == cell.dst {
+            return RouteDecision::Deliver;
+        }
+        let here = self.cliques.clique_of(node);
+        let dest = self.cliques.clique_of(cell.dst);
+
+        if cell.hops == 0 && self.cliques.clique_size(here) > 1 {
+            return RouteDecision::ToClass(GEN_INTRA_SPRAY);
+        }
+        if here == dest {
+            RouteDecision::ToNode(cell.dst)
+        } else {
+            RouteDecision::ToClass(GEN_INTER_ANY)
+        }
+    }
+
+    fn class_admits(&self, class: ClassId, cell: &Cell, from: NodeId, to: NodeId) -> bool {
+        match class {
+            GEN_INTRA_SPRAY => self.cliques.same_clique(from, to),
+            GEN_INTER_ANY => {
+                self.cliques.clique_of(to) == self.cliques.clique_of(cell.dst)
+                    && !self.cliques.same_clique(from, to)
+            }
+            _ => false,
+        }
+    }
+
+    fn classes(&self) -> &[ClassId] {
+        &self.classes
+    }
+
+    fn max_hops(&self) -> u8 {
+        3
+    }
+
+    fn name(&self) -> &str {
+        "sorn-general"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sorn_sim::{Engine, Flow, FlowId, SimConfig};
+    use sorn_topology::builders::nonuniform_sorn_schedule;
+    use sorn_topology::{CliqueId, Ratio};
+
+    fn nonuniform_map() -> CliqueMap {
+        let a = |c: u32| CliqueId(c);
+        CliqueMap::from_assignment(&[a(0), a(0), a(0), a(0), a(1), a(1), a(2), a(2)])
+    }
+
+    #[test]
+    fn full_mesh_drains_on_nonuniform_cliques() {
+        let map = nonuniform_map();
+        let sched = nonuniform_sorn_schedule(&map, Ratio::integer(2), 0, 1 << 20).unwrap();
+        let router = GeneralSornRouter::new(map);
+        let mut eng = Engine::new(SimConfig::default(), &sched, &router);
+        let mut flows = Vec::new();
+        let mut id = 0;
+        for s in 0..8u32 {
+            for d in 0..8u32 {
+                if s != d {
+                    flows.push(Flow {
+                        id: FlowId(id),
+                        src: NodeId(s),
+                        dst: NodeId(d),
+                        size_bytes: 2500,
+                        arrival_ns: id * 30,
+                    });
+                    id += 1;
+                }
+            }
+        }
+        let count = flows.len();
+        eng.add_flows(flows).unwrap();
+        assert!(eng.run_until_drained(1_000_000).unwrap());
+        let m = eng.metrics();
+        assert_eq!(m.flows.len(), count);
+        for f in &m.flows {
+            assert!(f.max_hops <= 3, "flow took {} hops", f.max_hops);
+        }
+    }
+
+    #[test]
+    fn works_on_uniform_cliques_too() {
+        use sorn_topology::builders::{sorn_schedule, SornScheduleParams};
+        let map = CliqueMap::contiguous(8, 2);
+        let sched = sorn_schedule(&map, &SornScheduleParams::with_q(Ratio::integer(3))).unwrap();
+        let router = GeneralSornRouter::new(map);
+        let mut eng = Engine::new(SimConfig::default(), &sched, &router);
+        eng.add_flows([Flow {
+            id: FlowId(0),
+            src: NodeId(0),
+            dst: NodeId(6),
+            size_bytes: 1250,
+            arrival_ns: 0,
+        }])
+        .unwrap();
+        assert!(eng.run_until_drained(100_000).unwrap());
+        assert!(eng.metrics().flows[0].max_hops <= 3);
+    }
+
+    #[test]
+    fn inter_class_only_admits_destination_clique() {
+        let map = nonuniform_map();
+        let r = GeneralSornRouter::new(map);
+        let cell = Cell {
+            flow: FlowId(0),
+            seq: 0,
+            src: NodeId(0),
+            dst: NodeId(6), // clique 2
+            injected_ns: 0,
+            hops: 1,
+            tag: 0,
+        };
+        // From node 1 (clique 0): circuit into clique 2 admitted.
+        assert!(r.class_admits(GEN_INTER_ANY, &cell, NodeId(1), NodeId(7)));
+        // Circuit into clique 1 rejected.
+        assert!(!r.class_admits(GEN_INTER_ANY, &cell, NodeId(1), NodeId(4)));
+        // Intra circuit rejected for the inter class.
+        assert!(!r.class_admits(GEN_INTER_ANY, &cell, NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn singleton_source_cliques_skip_the_spray() {
+        use rand::SeedableRng;
+        let a = |c: u32| CliqueId(c);
+        let map = CliqueMap::from_assignment(&[a(0), a(1), a(1), a(1)]);
+        let r = GeneralSornRouter::new(map);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut cell = Cell {
+            flow: FlowId(0),
+            seq: 0,
+            src: NodeId(0),
+            dst: NodeId(2),
+            injected_ns: 0,
+            hops: 0,
+            tag: 0,
+        };
+        assert_eq!(
+            r.decide(NodeId(0), &mut cell, &mut rng),
+            RouteDecision::ToClass(GEN_INTER_ANY)
+        );
+    }
+}

@@ -1,0 +1,261 @@
+//! 2h-hop routing on h-dimensional optimal ORN schedules.
+//!
+//! Nodes are h-digit base-Δ numbers and the schedule only ever connects
+//! nodes differing in a single digit (one *dimension*). Routing is VLB
+//! generalized across dimensions ([4], §2): phase one sprays the cell
+//! across every dimension once — any circuit in a not-yet-sprayed
+//! dimension will do, taking the cell to a random intermediate — and
+//! phase two corrects each wrong digit with the specific circuit that
+//! sets it to the destination's value. Worst-case `2h` hops, worst-case
+//! throughput `1/2h`.
+//!
+//! The cell `tag` holds the bitmask of dimensions already sprayed; it is
+//! updated in [`Router::on_transmit`] because only the transmit path
+//! knows which circuit the spray hop actually used.
+
+use sorn_sim::{Cell, ClassId, RouteDecision, Router};
+use sorn_topology::NodeId;
+
+/// Spray class: circuits in any not-yet-sprayed dimension.
+pub const HDIM_SPRAY: ClassId = ClassId(0);
+/// Correction class: circuits that fix one wrong digit.
+pub const HDIM_CORRECT: ClassId = ClassId(1);
+
+/// Router for h-dimensional ORN schedules over `Δ^h` nodes.
+#[derive(Debug, Clone)]
+pub struct HdimRouter {
+    delta: usize,
+    h: u32,
+    classes: [ClassId; 2],
+}
+
+impl HdimRouter {
+    /// Creates a router for `n = Δ^h` nodes.
+    ///
+    /// # Panics
+    /// Panics if `n` is not a perfect `h`-th power, `h == 0`, or `h > 16`
+    /// (the cell tag holds at most 16 dimension bits).
+    pub fn new(n: usize, h: u32) -> Self {
+        assert!((1..=16).contains(&h), "h must be in 1..=16");
+        let delta = (n as f64).powf(1.0 / h as f64).round() as usize;
+        assert!(
+            delta.checked_pow(h) == Some(n),
+            "{n} is not a perfect {h}-th power"
+        );
+        assert!(delta >= 2, "each dimension needs at least 2 digit values");
+        HdimRouter {
+            delta,
+            h,
+            classes: [HDIM_SPRAY, HDIM_CORRECT],
+        }
+    }
+
+    /// Base of the digit representation.
+    pub fn delta(&self) -> usize {
+        self.delta
+    }
+
+    /// Number of dimensions.
+    pub fn h(&self) -> u32 {
+        self.h
+    }
+
+    fn full_mask(&self) -> u16 {
+        ((1u32 << self.h) - 1) as u16
+    }
+
+    fn digit(&self, x: NodeId, dim: u32) -> usize {
+        (x.index() / self.delta.pow(dim)) % self.delta
+    }
+
+    /// The single dimension in which `a` and `b` differ, if exactly one.
+    fn differing_dim(&self, a: NodeId, b: NodeId) -> Option<u32> {
+        let mut found = None;
+        for j in 0..self.h {
+            if self.digit(a, j) != self.digit(b, j) {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(j);
+            }
+        }
+        found
+    }
+}
+
+impl Router for HdimRouter {
+    fn decide(
+        &self,
+        node: NodeId,
+        cell: &mut Cell,
+        _rng: &mut rand::rngs::StdRng,
+    ) -> RouteDecision {
+        if node == cell.dst {
+            return RouteDecision::Deliver;
+        }
+        if cell.tag & self.full_mask() != self.full_mask() {
+            RouteDecision::ToClass(HDIM_SPRAY)
+        } else {
+            RouteDecision::ToClass(HDIM_CORRECT)
+        }
+    }
+
+    fn class_admits(&self, class: ClassId, cell: &Cell, from: NodeId, to: NodeId) -> bool {
+        let Some(dim) = self.differing_dim(from, to) else {
+            return false; // not a single-dimension circuit (never scheduled)
+        };
+        match class {
+            HDIM_SPRAY => cell.tag & (1 << dim) == 0,
+            HDIM_CORRECT => {
+                self.digit(to, dim) == self.digit(cell.dst, dim)
+                    && self.digit(from, dim) != self.digit(cell.dst, dim)
+            }
+            _ => false,
+        }
+    }
+
+    fn on_transmit(&self, cell: &mut Cell, from: NodeId, to: NodeId) {
+        if cell.tag & self.full_mask() != self.full_mask() {
+            if let Some(dim) = self.differing_dim(from, to) {
+                cell.tag |= 1 << dim;
+            }
+        }
+    }
+
+    fn classes(&self) -> &[ClassId] {
+        &self.classes
+    }
+
+    fn max_hops(&self) -> u8 {
+        (2 * self.h) as u8
+    }
+
+    fn name(&self) -> &str {
+        "hdim-orn"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sorn_sim::{Engine, Flow, FlowId, SimConfig};
+    use sorn_topology::builders::hdim_orn;
+
+    fn cell(src: u32, dst: u32) -> Cell {
+        Cell {
+            flow: FlowId(0),
+            seq: 0,
+            src: NodeId(src),
+            dst: NodeId(dst),
+            injected_ns: 0,
+            hops: 0,
+            tag: 0,
+        }
+    }
+
+    #[test]
+    fn digits_and_differing_dim() {
+        let r = HdimRouter::new(16, 2); // delta 4
+        assert_eq!(r.digit(NodeId(7), 0), 3);
+        assert_eq!(r.digit(NodeId(7), 1), 1);
+        assert_eq!(r.differing_dim(NodeId(7), NodeId(5)), Some(0));
+        assert_eq!(r.differing_dim(NodeId(7), NodeId(11)), Some(1));
+        // Differ in both digits: not a scheduled circuit.
+        assert_eq!(r.differing_dim(NodeId(0), NodeId(5)), None);
+        assert_eq!(r.differing_dim(NodeId(3), NodeId(3)), None);
+    }
+
+    #[test]
+    fn spray_tracks_dimensions_via_tag() {
+        let r = HdimRouter::new(16, 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = cell(0, 15);
+        // Fresh cell: spray phase.
+        assert_eq!(
+            r.decide(NodeId(0), &mut c, &mut rng),
+            RouteDecision::ToClass(HDIM_SPRAY)
+        );
+        // Dim-0 circuit admitted; dim-0 then marked sprayed.
+        assert!(r.class_admits(HDIM_SPRAY, &c, NodeId(0), NodeId(2)));
+        r.on_transmit(&mut c, NodeId(0), NodeId(2));
+        assert_eq!(c.tag, 0b01);
+        // Dim-0 circuits now rejected for spraying, dim-1 accepted.
+        assert!(!r.class_admits(HDIM_SPRAY, &c, NodeId(2), NodeId(3)));
+        assert!(r.class_admits(HDIM_SPRAY, &c, NodeId(2), NodeId(10)));
+        r.on_transmit(&mut c, NodeId(2), NodeId(10));
+        assert_eq!(c.tag, 0b11);
+        c.hops = 2;
+        // Now in correction phase.
+        assert_eq!(
+            r.decide(NodeId(10), &mut c, &mut rng),
+            RouteDecision::ToClass(HDIM_CORRECT)
+        );
+    }
+
+    #[test]
+    fn corrections_only_accept_circuits_toward_destination() {
+        let r = HdimRouter::new(16, 2);
+        let mut c = cell(0, 15); // dst digits (3, 3)
+        c.tag = 0b11;
+        // At node 10 = (2, 2): circuit to 11 = (3, 2) fixes digit 0.
+        assert!(r.class_admits(HDIM_CORRECT, &c, NodeId(10), NodeId(11)));
+        // Circuit to 9 = (1, 2) moves digit 0 the wrong way.
+        assert!(!r.class_admits(HDIM_CORRECT, &c, NodeId(10), NodeId(9)));
+        // Circuit to 14 = (2, 3) fixes digit 1.
+        assert!(r.class_admits(HDIM_CORRECT, &c, NodeId(10), NodeId(14)));
+        // At node 11 = (3, 2), digit 0 already correct: dim-0 circuits refused.
+        assert!(!r.class_admits(HDIM_CORRECT, &c, NodeId(11), NodeId(10)));
+    }
+
+    #[test]
+    fn end_to_end_within_2h_hops() {
+        let sched = hdim_orn(16, 2).unwrap();
+        let router = HdimRouter::new(16, 2);
+        let mut eng = Engine::new(SimConfig::default(), &sched, &router);
+        let flows: Vec<Flow> = (0..32)
+            .map(|i| Flow {
+                id: FlowId(i),
+                src: NodeId((i % 16) as u32),
+                dst: NodeId(((i * 7 + 3) % 16) as u32),
+                size_bytes: 2 * 1250,
+                arrival_ns: i * 30,
+            })
+            .filter(|f| f.src != f.dst)
+            .collect();
+        let count = flows.len();
+        eng.add_flows(flows).unwrap();
+        assert!(eng.run_until_drained(100_000).unwrap());
+        let m = eng.metrics();
+        assert_eq!(m.flows.len(), count);
+        for f in &m.flows {
+            assert!(f.max_hops <= 4, "flow took {} hops", f.max_hops);
+        }
+    }
+
+    #[test]
+    fn three_dimensional_routing_works() {
+        let sched = hdim_orn(27, 3).unwrap();
+        let router = HdimRouter::new(27, 3);
+        let mut eng = Engine::new(SimConfig::default(), &sched, &router);
+        eng.add_flows([Flow {
+            id: FlowId(1),
+            src: NodeId(0),
+            dst: NodeId(26),
+            size_bytes: 1250,
+            arrival_ns: 0,
+        }])
+        .unwrap();
+        assert!(eng.run_until_drained(100_000).unwrap());
+        let m = eng.metrics();
+        assert_eq!(m.flows.len(), 1);
+        assert!(m.flows[0].max_hops <= 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "perfect")]
+    fn rejects_non_power_sizes() {
+        let _ = HdimRouter::new(10, 2);
+    }
+}

@@ -1,0 +1,308 @@
+//! Path distributions for each routing scheme (flow-level counterparts of
+//! the packet routers).
+//!
+//! These implement [`PathModel`] so the flow-level evaluator can compute
+//! exact edge loads. Each mirrors the corresponding `Router`
+//! implementation: same spray sets, same targeted hops.
+
+use crate::flowlevel::PathModel;
+use sorn_topology::{CliqueMap, NodeId};
+
+/// Single-hop direct paths (for fully connected schedules and tests).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DirectPaths;
+
+impl PathModel for DirectPaths {
+    fn for_each_path(&self, src: NodeId, dst: NodeId, visit: &mut dyn FnMut(&[NodeId], f64)) {
+        visit(&[src, dst], 1.0);
+    }
+    fn name(&self) -> &str {
+        "direct"
+    }
+}
+
+/// 2-hop VLB over a flat round robin: spray uniformly over the `n-1`
+/// peers, then the direct circuit.
+#[derive(Debug, Clone, Copy)]
+pub struct VlbPaths {
+    n: usize,
+}
+
+impl VlbPaths {
+    /// Paths over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2);
+        VlbPaths { n }
+    }
+}
+
+impl PathModel for VlbPaths {
+    fn for_each_path(&self, src: NodeId, dst: NodeId, visit: &mut dyn FnMut(&[NodeId], f64)) {
+        let p = 1.0 / (self.n - 1) as f64;
+        for i in 0..self.n as u32 {
+            let i = NodeId(i);
+            if i == src {
+                continue;
+            }
+            if i == dst {
+                visit(&[src, dst], p);
+            } else {
+                visit(&[src, i, dst], p);
+            }
+        }
+    }
+    fn name(&self) -> &str {
+        "vlb-1d"
+    }
+}
+
+/// The paper's SORN routing: intra-clique 2-hop VLB, inter-clique 3 hops
+/// via the intermediate's inter-clique gateway.
+#[derive(Debug, Clone)]
+pub struct SornPaths {
+    cliques: CliqueMap,
+}
+
+impl SornPaths {
+    /// Paths over a uniform clique assignment.
+    ///
+    /// # Panics
+    /// Panics when clique sizes differ.
+    pub fn new(cliques: CliqueMap) -> Self {
+        assert!(cliques.is_uniform(), "SornPaths requires uniform cliques");
+        SornPaths { cliques }
+    }
+
+    fn gateway(&self, via: NodeId, dst: NodeId) -> NodeId {
+        self.cliques
+            .node_at(self.cliques.clique_of(dst), self.cliques.intra_index(via))
+            .expect("uniform cliques")
+    }
+}
+
+impl PathModel for SornPaths {
+    fn for_each_path(&self, src: NodeId, dst: NodeId, visit: &mut dyn FnMut(&[NodeId], f64)) {
+        let c = self.cliques.clique_of(src);
+        let members = self.cliques.members(c);
+        let csize = members.len();
+        let same = self.cliques.same_clique(src, dst);
+
+        if csize == 1 {
+            // No intra links: the gateway IS the destination (singleton
+            // destination clique member with intra index 0).
+            visit(&[src, dst], 1.0);
+            return;
+        }
+
+        let p = 1.0 / (csize - 1) as f64;
+        for &i in members {
+            if i == src {
+                continue;
+            }
+            if same {
+                if i == dst {
+                    visit(&[src, dst], p);
+                } else {
+                    visit(&[src, i, dst], p);
+                }
+            } else {
+                let g = self.gateway(i, dst);
+                if g == dst {
+                    visit(&[src, i, dst], p);
+                } else {
+                    visit(&[src, i, g, dst], p);
+                }
+            }
+        }
+    }
+    fn name(&self) -> &str {
+        "sorn"
+    }
+}
+
+/// 2h-hop routing over an h-dimensional ORN: spray every dimension once
+/// (uniform over the `Δ-1` shifts per dimension), then correct wrong
+/// digits in dimension order.
+#[derive(Debug, Clone, Copy)]
+pub struct HdimPaths {
+    delta: usize,
+    h: u32,
+}
+
+impl HdimPaths {
+    /// Paths over `n = Δ^h` nodes.
+    ///
+    /// # Panics
+    /// Panics when `n` is not a perfect `h`-th power.
+    pub fn new(n: usize, h: u32) -> Self {
+        assert!(h >= 1);
+        let delta = (n as f64).powf(1.0 / h as f64).round() as usize;
+        assert!(delta.checked_pow(h) == Some(n), "{n} != delta^{h}");
+        HdimPaths { delta, h }
+    }
+
+    fn digit(&self, x: usize, dim: u32) -> usize {
+        (x / self.delta.pow(dim)) % self.delta
+    }
+
+    fn with_digit(&self, x: usize, dim: u32, v: usize) -> usize {
+        let stride = self.delta.pow(dim);
+        x - self.digit(x, dim) * stride + v * stride
+    }
+}
+
+impl PathModel for HdimPaths {
+    fn for_each_path(&self, src: NodeId, dst: NodeId, visit: &mut dyn FnMut(&[NodeId], f64)) {
+        // Enumerate spray targets: one digit choice per dimension, each
+        // different from src's digit in that dimension.
+        let spray_options = (self.delta - 1).pow(self.h);
+        let prob = 1.0 / spray_options as f64;
+        let mut choice = vec![0usize; self.h as usize]; // 0..delta-2 per dim
+        loop {
+            // Build the path for this spray choice.
+            let mut path: Vec<NodeId> = Vec::with_capacity(2 * self.h as usize + 1);
+            path.push(src);
+            let mut cur = src.index();
+            for dim in 0..self.h {
+                let sd = self.digit(cur, dim);
+                // Skip src digit: map choice 0..delta-2 onto values != sd.
+                let mut v = choice[dim as usize];
+                if v >= sd {
+                    v += 1;
+                }
+                cur = self.with_digit(cur, dim, v);
+                path.push(NodeId(cur as u32));
+            }
+            // Correction phase, dimension order.
+            for dim in 0..self.h {
+                let want = self.digit(dst.index(), dim);
+                if self.digit(cur, dim) != want {
+                    cur = self.with_digit(cur, dim, want);
+                    path.push(NodeId(cur as u32));
+                }
+            }
+            debug_assert_eq!(cur, dst.index());
+            visit(&path, prob);
+
+            // Odometer increment.
+            let mut dim = 0usize;
+            loop {
+                if dim == self.h as usize {
+                    return;
+                }
+                choice[dim] += 1;
+                if choice[dim] < self.delta - 1 {
+                    break;
+                }
+                choice[dim] = 0;
+                dim += 1;
+            }
+        }
+    }
+    fn name(&self) -> &str {
+        "hdim-orn"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flowlevel::{evaluate, DemandMatrix};
+    use sorn_topology::builders::{hdim_orn, round_robin, sorn_schedule, SornScheduleParams};
+    use sorn_topology::Ratio;
+
+    fn total_prob(model: &dyn PathModel, s: u32, d: u32) -> f64 {
+        let mut p = 0.0;
+        model.for_each_path(NodeId(s), NodeId(d), &mut |_, q| p += q);
+        p
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        assert!((total_prob(&VlbPaths::new(8), 0, 5) - 1.0).abs() < 1e-12);
+        let sorn = SornPaths::new(CliqueMap::contiguous(8, 2));
+        assert!((total_prob(&sorn, 0, 2) - 1.0).abs() < 1e-12);
+        assert!((total_prob(&sorn, 0, 6) - 1.0).abs() < 1e-12);
+        let hd = HdimPaths::new(16, 2);
+        assert!((total_prob(&hd, 0, 15) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vlb_worst_case_throughput_is_half() {
+        // Uniform demand on a flat round robin with 2-hop VLB: every cell
+        // crosses the fabric twice, throughput 1/2 (§2).
+        let topo = round_robin(16).unwrap().logical_topology();
+        let rep = evaluate(&topo, &VlbPaths::new(16), &DemandMatrix::uniform(16)).unwrap();
+        // Mean hops slightly under 2 because sprays can land on the
+        // destination; throughput is 1/mean_hops for this symmetric case.
+        assert!(rep.throughput >= 0.5 - 1e-9, "throughput {}", rep.throughput);
+        assert!(rep.throughput <= 0.55, "throughput {}", rep.throughput);
+        assert!(rep.mean_hops > 1.9 && rep.mean_hops < 2.0);
+    }
+
+    #[test]
+    fn hdim_worst_case_throughput_is_quarter() {
+        // 2D ORN: 4-hop routing, throughput ~1/4 (§2).
+        let topo = hdim_orn(16, 2).unwrap().logical_topology();
+        let rep = evaluate(&topo, &HdimPaths::new(16, 2), &DemandMatrix::uniform(16)).unwrap();
+        assert!(rep.throughput >= 0.25 - 1e-9, "throughput {}", rep.throughput);
+        assert!(rep.throughput <= 0.32, "throughput {}", rep.throughput);
+        assert!(rep.mean_hops > 3.0 && rep.mean_hops <= 4.0);
+    }
+
+    #[test]
+    fn sorn_paths_match_paper_example() {
+        let sorn = SornPaths::new(CliqueMap::contiguous(8, 2));
+        let mut seen = Vec::new();
+        sorn.for_each_path(NodeId(0), NodeId(6), &mut |p, _| {
+            seen.push(p.to_vec());
+        });
+        // 0 -> 3 -> 7 -> 6 must be among the paths (paper example).
+        assert!(seen.contains(&vec![NodeId(0), NodeId(3), NodeId(7), NodeId(6)]));
+        // Spray over 3 intermediates; the gateway of node 2 is node 6
+        // (the destination), giving one 2-hop path.
+        assert_eq!(seen.len(), 3);
+        assert!(seen.iter().any(|p| p.len() == 3));
+    }
+
+    #[test]
+    fn sorn_throughput_matches_closed_form_at_ideal_q() {
+        // 16 nodes, 4 cliques, x = 0.5 => q = 4, r* = 1/(3-x) = 0.4.
+        let map = CliqueMap::contiguous(16, 4);
+        let sched = sorn_schedule(&map, &SornScheduleParams::with_q(Ratio::integer(4))).unwrap();
+        let topo = sched.logical_topology();
+        let model = SornPaths::new(map.clone());
+        let demand = DemandMatrix::clique_local(&map, 0.5);
+        let rep = evaluate(&topo, &model, &demand).unwrap();
+        // The closed form r = 1/(3-x) is a worst-case bound; the exact
+        // evaluation is >= it (sprays sometimes land on the destination)
+        // and close.
+        assert!(rep.throughput >= 0.4 - 1e-9, "throughput {}", rep.throughput);
+        assert!(rep.throughput < 0.5, "throughput {}", rep.throughput);
+        // Mean hops just under 3 - x = 2.5.
+        assert!(rep.mean_hops > 2.2 && rep.mean_hops <= 2.5, "hops {}", rep.mean_hops);
+    }
+
+    #[test]
+    fn hdim_paths_respect_dimension_structure() {
+        let hd = HdimPaths::new(16, 2);
+        hd.for_each_path(NodeId(0), NodeId(15), &mut |path, _| {
+            assert!(path.len() <= 5, "path too long: {path:?}");
+            for w in path.windows(2) {
+                let a = w[0].index();
+                let b = w[1].index();
+                let d0 = (a % 4) != (b % 4);
+                let d1 = (a / 4) != (b / 4);
+                assert!(d0 ^ d1, "hop {a}->{b} not single-dimension");
+            }
+        });
+    }
+
+    #[test]
+    fn singleton_clique_paths_are_direct() {
+        let sorn = SornPaths::new(CliqueMap::contiguous(4, 4));
+        let mut paths = Vec::new();
+        sorn.for_each_path(NodeId(0), NodeId(3), &mut |p, q| paths.push((p.to_vec(), q)));
+        assert_eq!(paths, vec![(vec![NodeId(0), NodeId(3)], 1.0)]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Cells and flows: the units of traffic in the simulator.
+//!
+//! A *flow* is an application-level transfer of `size_bytes` from a source
+//! node to a destination node, arriving at a given time. The source NIC
+//! chops flows into fixed-size *cells*, one of which fits a single circuit
+//! time slot (Sirius-style cell switching).
+
+use crate::config::Nanos;
+use sorn_topology::NodeId;
+
+/// Identifier of a flow within a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub u64);
+
+/// An application-level transfer demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flow {
+    /// Unique id.
+    pub id: FlowId,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Transfer size in bytes.
+    pub size_bytes: u64,
+    /// Arrival time at the source NIC.
+    pub arrival_ns: Nanos,
+}
+
+impl Flow {
+    /// Number of cells this flow occupies at the given cell size.
+    pub fn cell_count(&self, cell_bytes: u32) -> u64 {
+        self.size_bytes.div_ceil(cell_bytes as u64).max(1)
+    }
+}
+
+/// A single in-flight cell.
+///
+/// `tag` is router-owned scratch state (e.g. the bitmask of dimensions a
+/// cell has already sprayed across in an h-dimensional ORN); the engine
+/// stores it opaquely and hands it back on every routing decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cell {
+    /// Owning flow.
+    pub flow: FlowId,
+    /// Cell index within the flow (0-based).
+    pub seq: u64,
+    /// Original source node.
+    pub src: NodeId,
+    /// Final destination node.
+    pub dst: NodeId,
+    /// Time the cell was injected into the source queueing system.
+    pub injected_ns: Nanos,
+    /// Hops traversed so far.
+    pub hops: u8,
+    /// Router-owned scratch state.
+    pub tag: u16,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_count_rounds_up_and_floors_at_one() {
+        let f = Flow {
+            id: FlowId(1),
+            src: NodeId(0),
+            dst: NodeId(1),
+            size_bytes: 2501,
+            arrival_ns: 0,
+        };
+        assert_eq!(f.cell_count(1250), 3);
+        let tiny = Flow { size_bytes: 0, ..f };
+        assert_eq!(tiny.cell_count(1250), 1);
+        let exact = Flow { size_bytes: 2500, ..f };
+        assert_eq!(exact.cell_count(1250), 2);
+    }
+}

@@ -1,0 +1,113 @@
+//! Failure injection: dead nodes and links.
+//!
+//! §6 ("Practicality benefits") argues that modular semi-oblivious designs
+//! shrink the blast radius of failures compared to flat designs with many
+//! random indirect hops. The engine consults a [`FailureSet`] before every
+//! transmission: circuits touching a failed node or failed (directed) link
+//! carry nothing.
+
+use sorn_topology::NodeId;
+use std::collections::HashSet;
+
+/// The set of currently failed elements.
+#[derive(Debug, Clone, Default)]
+pub struct FailureSet {
+    nodes: HashSet<u32>,
+    links: HashSet<(u32, u32)>,
+}
+
+impl FailureSet {
+    /// No failures.
+    pub fn none() -> Self {
+        FailureSet::default()
+    }
+
+    /// Marks a node failed (all its circuits die).
+    pub fn fail_node(&mut self, node: NodeId) {
+        self.nodes.insert(node.0);
+    }
+
+    /// Marks the directed link `src → dst` failed.
+    pub fn fail_link(&mut self, src: NodeId, dst: NodeId) {
+        self.links.insert((src.0, dst.0));
+    }
+
+    /// Marks both directions of a link failed.
+    pub fn fail_link_bidir(&mut self, a: NodeId, b: NodeId) {
+        self.fail_link(a, b);
+        self.fail_link(b, a);
+    }
+
+    /// Restores a node.
+    pub fn restore_node(&mut self, node: NodeId) {
+        self.nodes.remove(&node.0);
+    }
+
+    /// Restores a directed link.
+    pub fn restore_link(&mut self, src: NodeId, dst: NodeId) {
+        self.links.remove(&(src.0, dst.0));
+    }
+
+    /// True when the circuit `src → dst` is usable.
+    #[inline]
+    pub fn circuit_up(&self, src: NodeId, dst: NodeId) -> bool {
+        !self.nodes.contains(&src.0)
+            && !self.nodes.contains(&dst.0)
+            && !self.links.contains(&(src.0, dst.0))
+    }
+
+    /// True when nothing has failed.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty() && self.links.is_empty()
+    }
+
+    /// Count of failed nodes.
+    pub fn failed_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Count of failed directed links.
+    pub fn failed_links(&self) -> usize {
+        self.links.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_failure_kills_all_its_circuits() {
+        let mut f = FailureSet::none();
+        f.fail_node(NodeId(3));
+        assert!(!f.circuit_up(NodeId(3), NodeId(1)));
+        assert!(!f.circuit_up(NodeId(1), NodeId(3)));
+        assert!(f.circuit_up(NodeId(1), NodeId(2)));
+        f.restore_node(NodeId(3));
+        assert!(f.circuit_up(NodeId(3), NodeId(1)));
+    }
+
+    #[test]
+    fn link_failure_is_directional() {
+        let mut f = FailureSet::none();
+        f.fail_link(NodeId(0), NodeId(1));
+        assert!(!f.circuit_up(NodeId(0), NodeId(1)));
+        assert!(f.circuit_up(NodeId(1), NodeId(0)));
+        f.fail_link_bidir(NodeId(4), NodeId(5));
+        assert!(!f.circuit_up(NodeId(4), NodeId(5)));
+        assert!(!f.circuit_up(NodeId(5), NodeId(4)));
+        f.restore_link(NodeId(0), NodeId(1));
+        assert!(f.circuit_up(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn emptiness_and_counts() {
+        let mut f = FailureSet::none();
+        assert!(f.is_empty());
+        f.fail_node(NodeId(1));
+        f.fail_link(NodeId(2), NodeId(3));
+        assert!(!f.is_empty());
+        assert_eq!(f.failed_nodes(), 1);
+        assert_eq!(f.failed_links(), 1);
+    }
+}

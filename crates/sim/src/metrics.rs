@@ -1,0 +1,256 @@
+//! Run metrics: flow completion times, hop counts, utilization.
+
+use crate::cell::FlowId;
+use crate::config::Nanos;
+
+/// Outcome of one completed flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowRecord {
+    /// The flow.
+    pub id: FlowId,
+    /// Transfer size in bytes.
+    pub size_bytes: u64,
+    /// Arrival time at the source NIC.
+    pub arrival_ns: Nanos,
+    /// Time the last cell was delivered.
+    pub completion_ns: Nanos,
+    /// Largest hop count any of the flow's cells took.
+    pub max_hops: u8,
+}
+
+impl FlowRecord {
+    /// Flow completion time.
+    pub fn fct_ns(&self) -> Nanos {
+        self.completion_ns - self.arrival_ns
+    }
+}
+
+/// Aggregated counters for a run.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Slots simulated so far.
+    pub slots: u64,
+    /// Cells injected at sources.
+    pub injected_cells: u64,
+    /// Cells delivered to their destination.
+    pub delivered_cells: u64,
+    /// Payload bytes delivered (final hop).
+    pub delivered_bytes: u64,
+    /// Circuit transmissions (every hop of every cell).
+    pub transmissions: u64,
+    /// Slots in which a scheduled circuit went unused for lack of an
+    /// admissible cell (per uplink).
+    pub idle_circuit_slots: u64,
+    /// Histogram of delivered-cell hop counts (index = hops, saturating).
+    pub hop_histogram: [u64; 32],
+    /// Sum of per-cell delivery latencies, for the mean.
+    pub cell_latency_sum_ns: u128,
+    /// Completed flows.
+    pub flows: Vec<FlowRecord>,
+    /// Peak total queue depth observed across all nodes.
+    pub peak_queue_depth: usize,
+    /// Cells dropped at full node queues (0 unless a queue cap is set).
+    pub dropped_cells: u64,
+    /// Transmissions per directed virtual link `(src, dst)`.
+    pub link_transmissions: std::collections::HashMap<(u32, u32), u64>,
+}
+
+impl Metrics {
+    /// Records a delivered cell.
+    pub(crate) fn on_delivered(&mut self, hops: u8, latency_ns: Nanos, payload_bytes: u32) {
+        self.delivered_cells += 1;
+        self.delivered_bytes += payload_bytes as u64;
+        let h = (hops as usize).min(self.hop_histogram.len() - 1);
+        self.hop_histogram[h] += 1;
+        self.cell_latency_sum_ns += latency_ns as u128;
+    }
+
+    /// Mean delivered-cell latency in nanoseconds.
+    pub fn mean_cell_latency_ns(&self) -> f64 {
+        if self.delivered_cells == 0 {
+            return 0.0;
+        }
+        self.cell_latency_sum_ns as f64 / self.delivered_cells as f64
+    }
+
+    /// Mean hops per delivered cell — the paper's normalized bandwidth
+    /// cost (Table 1, "Norm. BW cost").
+    pub fn mean_hops(&self) -> f64 {
+        if self.delivered_cells == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .hop_histogram
+            .iter()
+            .enumerate()
+            .map(|(h, &c)| h as u64 * c)
+            .sum();
+        weighted as f64 / self.delivered_cells as f64
+    }
+
+    /// Fraction of circuit transmissions that were final-hop deliveries —
+    /// the paper's throughput metric `r` (§4 "Throughput"), measured on
+    /// offered traffic rather than worst-case.
+    pub fn delivery_fraction(&self) -> f64 {
+        if self.transmissions == 0 {
+            return 0.0;
+        }
+        self.delivered_cells as f64 / self.transmissions as f64
+    }
+
+    /// Fraction of scheduled circuit-slots actually used.
+    pub fn circuit_utilization(&self) -> f64 {
+        let total = self.transmissions + self.idle_circuit_slots;
+        if total == 0 {
+            return 0.0;
+        }
+        self.transmissions as f64 / total as f64
+    }
+
+    /// The `k` busiest directed links with their transmission counts,
+    /// descending (ties broken by link id for determinism).
+    pub fn hottest_links(&self, k: usize) -> Vec<((u32, u32), u64)> {
+        let mut v: Vec<((u32, u32), u64)> =
+            self.link_transmissions.iter().map(|(&l, &c)| (l, c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// Coefficient of variation of per-link transmissions — a load-
+    /// balance quality measure (0 = perfectly even).
+    pub fn link_load_cv(&self) -> f64 {
+        let n = self.link_transmissions.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let mean = self.transmissions as f64 / n as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .link_transmissions
+            .values()
+            .map(|&c| {
+                let d = c as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n as f64;
+        var.sqrt() / mean
+    }
+
+    /// Fraction of injected cells that were dropped at full queues.
+    pub fn loss_rate(&self) -> f64 {
+        if self.injected_cells == 0 {
+            return 0.0;
+        }
+        self.dropped_cells as f64 / self.injected_cells as f64
+    }
+
+    /// Mean flow completion time in nanoseconds.
+    pub fn mean_fct_ns(&self) -> f64 {
+        if self.flows.is_empty() {
+            return 0.0;
+        }
+        self.flows.iter().map(|f| f.fct_ns() as f64).sum::<f64>() / self.flows.len() as f64
+    }
+
+    /// FCT percentile (`p` in `[0, 100]`), in nanoseconds.
+    pub fn fct_percentile_ns(&self, p: f64) -> Option<Nanos> {
+        if self.flows.is_empty() {
+            return None;
+        }
+        let mut fcts: Vec<Nanos> = self.flows.iter().map(|f| f.fct_ns()).collect();
+        fcts.sort_unstable();
+        let rank = ((p / 100.0) * (fcts.len() - 1) as f64).round() as usize;
+        Some(fcts[rank.min(fcts.len() - 1)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(fct: Nanos) -> FlowRecord {
+        FlowRecord {
+            id: FlowId(0),
+            size_bytes: 1000,
+            arrival_ns: 100,
+            completion_ns: 100 + fct,
+            max_hops: 2,
+        }
+    }
+
+    #[test]
+    fn delivered_cells_update_histogram_and_latency() {
+        let mut m = Metrics::default();
+        m.on_delivered(2, 1000, 1250);
+        m.on_delivered(3, 3000, 1250);
+        assert_eq!(m.delivered_cells, 2);
+        assert_eq!(m.delivered_bytes, 2500);
+        assert_eq!(m.hop_histogram[2], 1);
+        assert_eq!(m.hop_histogram[3], 1);
+        assert!((m.mean_cell_latency_ns() - 2000.0).abs() < 1e-9);
+        assert!((m.mean_hops() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delivery_fraction_counts_bandwidth_tax() {
+        let mut m = Metrics::default();
+        m.transmissions = 10;
+        m.delivered_cells = 4;
+        assert!((m.delivery_fraction() - 0.4).abs() < 1e-12);
+        m.idle_circuit_slots = 10;
+        assert!((m.circuit_utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fct_statistics() {
+        let mut m = Metrics::default();
+        m.flows = vec![record(100), record(200), record(300), record(400)];
+        assert!((m.mean_fct_ns() - 250.0).abs() < 1e-9);
+        assert_eq!(m.fct_percentile_ns(0.0), Some(100));
+        assert_eq!(m.fct_percentile_ns(100.0), Some(400));
+        assert_eq!(m.fct_percentile_ns(50.0), Some(300)); // round(1.5)=2
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = Metrics::default();
+        assert_eq!(m.mean_cell_latency_ns(), 0.0);
+        assert_eq!(m.mean_hops(), 0.0);
+        assert_eq!(m.delivery_fraction(), 0.0);
+        assert_eq!(m.circuit_utilization(), 0.0);
+        assert_eq!(m.mean_fct_ns(), 0.0);
+        assert_eq!(m.fct_percentile_ns(50.0), None);
+    }
+
+    #[test]
+    fn hottest_links_and_cv() {
+        let mut m = Metrics::default();
+        m.link_transmissions.insert((0, 1), 10);
+        m.link_transmissions.insert((1, 2), 4);
+        m.link_transmissions.insert((2, 0), 4);
+        m.transmissions = 18;
+        let hot = m.hottest_links(2);
+        assert_eq!(hot[0], ((0, 1), 10));
+        assert_eq!(hot[1].1, 4);
+        assert!(m.link_load_cv() > 0.0);
+        // Perfectly even load has CV 0.
+        let mut even = Metrics::default();
+        even.link_transmissions.insert((0, 1), 5);
+        even.link_transmissions.insert((1, 0), 5);
+        even.transmissions = 10;
+        assert!(even.link_load_cv() < 1e-12);
+        // Empty map: 0.
+        assert_eq!(Metrics::default().link_load_cv(), 0.0);
+    }
+
+    #[test]
+    fn saturating_hop_histogram() {
+        let mut m = Metrics::default();
+        m.on_delivered(200, 0, 1);
+        assert_eq!(m.hop_histogram[31], 1);
+    }
+}

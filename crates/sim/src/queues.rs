@@ -1,0 +1,254 @@
+//! Per-node virtual output queues.
+//!
+//! Each node keeps one FIFO per *specific* next hop plus one FIFO per
+//! router-defined *class* (spray queues). When a circuit to `w` comes up,
+//! the node serves the specific queue for `w` first — targeted traffic has
+//! strict priority, as in RotorLB-style designs — then scans class queues
+//! in the router's priority order for a cell whose constraints admit `w`.
+
+use crate::cell::Cell;
+use crate::router::{ClassId, Router};
+use sorn_topology::NodeId;
+use std::collections::{HashMap, VecDeque};
+
+/// The queue set of one node.
+#[derive(Debug, Clone, Default)]
+pub struct NodeQueues {
+    specific: HashMap<u32, VecDeque<Cell>>,
+    class: Vec<(ClassId, VecDeque<Cell>)>,
+    depth: usize,
+}
+
+impl NodeQueues {
+    /// Creates queues for a node, with one class FIFO per router class.
+    pub fn new(classes: &[ClassId]) -> Self {
+        NodeQueues {
+            specific: HashMap::new(),
+            class: classes.iter().map(|&c| (c, VecDeque::new())).collect(),
+            depth: 0,
+        }
+    }
+
+    /// Total queued cells at this node.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// True when nothing is queued.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.depth == 0
+    }
+
+    /// Enqueues a cell destined for a specific next hop.
+    pub fn push_specific(&mut self, next: NodeId, cell: Cell) {
+        self.specific.entry(next.0).or_default().push_back(cell);
+        self.depth += 1;
+    }
+
+    /// Enqueues a cell into a spray class.
+    ///
+    /// # Panics
+    /// Panics if the router never declared `class` — that is a scheme bug.
+    pub fn push_class(&mut self, class: ClassId, cell: Cell) {
+        let q = self
+            .class
+            .iter_mut()
+            .find(|(c, _)| *c == class)
+            .unwrap_or_else(|| panic!("router routed into undeclared class {class:?}"));
+        q.1.push_back(cell);
+        self.depth += 1;
+    }
+
+    /// Pops the cell to transmit on a circuit `from → to`, if any.
+    ///
+    /// `scan_limit` bounds how deep each class queue is searched for an
+    /// admissible cell (`0` = unbounded). Head-of-line cells whose
+    /// constraints reject `to` are skipped, not dropped.
+    pub fn pop_for_circuit<R: Router + ?Sized>(
+        &mut self,
+        router: &R,
+        from: NodeId,
+        to: NodeId,
+        scan_limit: usize,
+    ) -> Option<Cell> {
+        if let Some(q) = self.specific.get_mut(&to.0) {
+            if let Some(cell) = q.pop_front() {
+                self.depth -= 1;
+                return Some(cell);
+            }
+        }
+        for (class, q) in &mut self.class {
+            let limit = if scan_limit == 0 { q.len() } else { scan_limit.min(q.len()) };
+            if let Some(pos) = q
+                .iter()
+                .take(limit)
+                .position(|cell| router.class_admits(*class, cell, from, to))
+            {
+                let cell = q.remove(pos).expect("position within bounds");
+                self.depth -= 1;
+                return Some(cell);
+            }
+        }
+        None
+    }
+
+    /// Drains every queued cell (used when re-routing after a schedule
+    /// update); returns the cells in an arbitrary but deterministic order.
+    pub fn drain_all(&mut self) -> Vec<Cell> {
+        let mut out = Vec::with_capacity(self.depth);
+        let mut keys: Vec<u32> = self.specific.keys().copied().collect();
+        keys.sort_unstable();
+        for k in keys {
+            if let Some(q) = self.specific.get_mut(&k) {
+                out.extend(q.drain(..));
+            }
+        }
+        for (_, q) in &mut self.class {
+            out.extend(q.drain(..));
+        }
+        self.depth = 0;
+        out
+    }
+
+    /// Number of cells queued for a specific next hop.
+    pub fn specific_depth(&self, next: NodeId) -> usize {
+        self.specific.get(&next.0).map_or(0, |q| q.len())
+    }
+
+    /// Number of cells queued in a class.
+    pub fn class_depth(&self, class: ClassId) -> usize {
+        self.class
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map_or(0, |(_, q)| q.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::FlowId;
+    
+
+    fn cell(dst: u32) -> Cell {
+        Cell {
+            flow: FlowId(0),
+            seq: 0,
+            src: NodeId(0),
+            dst: NodeId(dst),
+            injected_ns: 0,
+            hops: 0,
+            tag: 0,
+        }
+    }
+
+    /// A router whose single class admits only even-numbered targets.
+    struct EvenClassRouter;
+    impl Router for EvenClassRouter {
+        fn decide(
+            &self,
+            _node: NodeId,
+            _cell: &mut Cell,
+            _rng: &mut rand::rngs::StdRng,
+        ) -> crate::router::RouteDecision {
+            crate::router::RouteDecision::ToClass(ClassId(0))
+        }
+        fn class_admits(&self, _c: ClassId, _cell: &Cell, _from: NodeId, to: NodeId) -> bool {
+            to.0.is_multiple_of(2)
+        }
+        fn classes(&self) -> &[ClassId] {
+            &[ClassId(0)]
+        }
+        fn max_hops(&self) -> u8 {
+            4
+        }
+        fn name(&self) -> &str {
+            "even"
+        }
+    }
+
+    #[test]
+    fn specific_queue_has_priority() {
+        let r = EvenClassRouter;
+        let mut q = NodeQueues::new(r.classes());
+        q.push_class(ClassId(0), cell(9));
+        q.push_specific(NodeId(2), cell(7));
+        assert_eq!(q.depth(), 2);
+        // Circuit to node 2: specific cell (dst 7) wins over class cell.
+        let got = q.pop_for_circuit(&r, NodeId(0), NodeId(2), 0).unwrap();
+        assert_eq!(got.dst, NodeId(7));
+        assert_eq!(q.depth(), 1);
+    }
+
+    #[test]
+    fn class_scan_skips_inadmissible_heads() {
+        let r = EvenClassRouter;
+        let mut q = NodeQueues::new(r.classes());
+        q.push_class(ClassId(0), cell(1)); // any cell; admissibility is on `to`
+        // Circuit to odd node: class rejects.
+        assert!(q.pop_for_circuit(&r, NodeId(0), NodeId(3), 0).is_none());
+        // Circuit to even node: admitted.
+        assert!(q.pop_for_circuit(&r, NodeId(0), NodeId(4), 0).is_some());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn scan_limit_bounds_search() {
+        /// Admits only cells whose dst equals the circuit target.
+        struct PickyRouter;
+        impl Router for PickyRouter {
+            fn decide(
+                &self,
+                _n: NodeId,
+                _c: &mut Cell,
+                _r: &mut rand::rngs::StdRng,
+            ) -> crate::router::RouteDecision {
+                crate::router::RouteDecision::ToClass(ClassId(0))
+            }
+            fn class_admits(&self, _c: ClassId, cell: &Cell, _f: NodeId, to: NodeId) -> bool {
+                cell.dst == to
+            }
+            fn classes(&self) -> &[ClassId] {
+                &[ClassId(0)]
+            }
+            fn max_hops(&self) -> u8 {
+                4
+            }
+            fn name(&self) -> &str {
+                "picky"
+            }
+        }
+        let r = PickyRouter;
+        let mut q = NodeQueues::new(r.classes());
+        q.push_class(ClassId(0), cell(5));
+        q.push_class(ClassId(0), cell(6));
+        // With scan limit 1 only the head (dst 5) is considered.
+        assert!(q.pop_for_circuit(&r, NodeId(0), NodeId(6), 1).is_none());
+        // Unbounded scan finds the second cell.
+        let got = q.pop_for_circuit(&r, NodeId(0), NodeId(6), 0).unwrap();
+        assert_eq!(got.dst, NodeId(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared class")]
+    fn undeclared_class_panics() {
+        let mut q = NodeQueues::new(&[]);
+        q.push_class(ClassId(3), cell(1));
+    }
+
+    #[test]
+    fn drain_all_empties_everything() {
+        let r = EvenClassRouter;
+        let mut q = NodeQueues::new(r.classes());
+        q.push_specific(NodeId(1), cell(1));
+        q.push_specific(NodeId(2), cell(2));
+        q.push_class(ClassId(0), cell(3));
+        let drained = q.drain_all();
+        assert_eq!(drained.len(), 3);
+        assert!(q.is_empty());
+        assert_eq!(q.specific_depth(NodeId(1)), 0);
+        assert_eq!(q.class_depth(ClassId(0)), 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! The routing contract between the engine and routing schemes.
+//!
+//! Oblivious and semi-oblivious schemes share a queueing structure: at
+//! every node, a cell either waits for a *specific* next hop (a direct or
+//! targeted circuit) or for *any* circuit in a *class* (a load-balancing
+//! spray hop — "the first available intra-clique link" of §4). The engine
+//! keeps one virtual output queue per specific next hop plus one queue per
+//! class, and asks the router two questions:
+//!
+//! 1. [`Router::decide`] — when a cell arrives at a node: deliver it,
+//!    queue it for a specific neighbor, or queue it into a class.
+//! 2. [`Router::class_admits`] — when a circuit to `to` comes up: may a
+//!    given queued class cell use it?
+
+use crate::cell::Cell;
+use rand::rngs::StdRng;
+use sorn_topology::NodeId;
+
+/// Identifier of a router-defined spray class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClassId(pub u8);
+
+/// Where a cell should go next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteDecision {
+    /// The cell has reached its destination.
+    Deliver,
+    /// Queue for a circuit to this specific node.
+    ToNode(NodeId),
+    /// Queue into a spray class; any circuit admitted by
+    /// [`Router::class_admits`] may carry it.
+    ToClass(ClassId),
+}
+
+/// A routing scheme.
+///
+/// Implementations must be deterministic given the RNG: the engine passes
+/// a seeded [`StdRng`] so runs are reproducible.
+pub trait Router {
+    /// Decides the next step for `cell` arriving at `node`, possibly
+    /// updating the cell's router-owned `tag`.
+    ///
+    /// Called once when the cell is injected at its source and once per
+    /// intermediate hop. Must return [`RouteDecision::Deliver`] when
+    /// `node == cell.dst`.
+    fn decide(&self, node: NodeId, cell: &mut Cell, rng: &mut StdRng) -> RouteDecision;
+
+    /// Whether a cell queued in `class` at node `from` may ride a circuit
+    /// to `to`.
+    fn class_admits(&self, class: ClassId, cell: &Cell, from: NodeId, to: NodeId) -> bool;
+
+    /// Hook invoked when a cell is put on a circuit `from → to`, before it
+    /// propagates. Routers that need per-cell state keyed to *which*
+    /// circuit a spray hop used (e.g. the dimension bitmask of an
+    /// h-dimensional ORN) update `cell.tag` here. Default: no-op.
+    fn on_transmit(&self, cell: &mut Cell, from: NodeId, to: NodeId) {
+        let _ = (cell, from, to);
+    }
+
+    /// The classes this scheme uses, in transmission priority order
+    /// (checked after the specific queue for the circuit's endpoint).
+    fn classes(&self) -> &[ClassId];
+
+    /// Upper bound on hops any cell takes; the engine treats exceeding it
+    /// as a routing bug.
+    fn max_hops(&self) -> u8;
+
+    /// Human-readable scheme name for reports.
+    fn name(&self) -> &str;
+}
+
+/// A trivial router for tests and single-hop networks: every cell waits
+/// for the direct circuit to its destination.
+#[derive(Debug, Clone, Default)]
+pub struct DirectRouter;
+
+impl Router for DirectRouter {
+    fn decide(&self, node: NodeId, cell: &mut Cell, _rng: &mut StdRng) -> RouteDecision {
+        if node == cell.dst {
+            RouteDecision::Deliver
+        } else {
+            RouteDecision::ToNode(cell.dst)
+        }
+    }
+
+    fn class_admits(&self, _class: ClassId, _cell: &Cell, _from: NodeId, _to: NodeId) -> bool {
+        false
+    }
+
+    fn classes(&self) -> &[ClassId] {
+        &[]
+    }
+
+    fn max_hops(&self) -> u8 {
+        1
+    }
+
+    fn name(&self) -> &str {
+        "direct"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{Cell, FlowId};
+    use rand::SeedableRng;
+
+    fn cell(src: u32, dst: u32) -> Cell {
+        Cell {
+            flow: FlowId(0),
+            seq: 0,
+            src: NodeId(src),
+            dst: NodeId(dst),
+            injected_ns: 0,
+            hops: 0,
+            tag: 0,
+        }
+    }
+
+    #[test]
+    fn direct_router_targets_destination() {
+        let r = DirectRouter;
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = cell(0, 3);
+        assert_eq!(r.decide(NodeId(0), &mut c, &mut rng), RouteDecision::ToNode(NodeId(3)));
+        assert_eq!(r.decide(NodeId(3), &mut c, &mut rng), RouteDecision::Deliver);
+        assert!(r.classes().is_empty());
+        assert_eq!(r.max_hops(), 1);
+    }
+}

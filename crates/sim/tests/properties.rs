@@ -1,0 +1,119 @@
+//! Property-based tests for the simulator engine: conservation,
+//! determinism, latency floors.
+
+use proptest::prelude::*;
+use sorn_sim::{DirectRouter, Engine, Flow, FlowId, SimConfig};
+use sorn_topology::builders::round_robin;
+use sorn_topology::NodeId;
+
+fn make_flows(n: usize, specs: &[(u32, u32, u64, u64)]) -> Vec<Flow> {
+    specs
+        .iter()
+        .enumerate()
+        .filter(|(_, (s, d, _, _))| (*s as usize) < n && (*d as usize) < n && s != d)
+        .map(|(i, &(s, d, bytes, at))| Flow {
+            id: FlowId(i as u64),
+            src: NodeId(s),
+            dst: NodeId(d),
+            size_bytes: bytes.max(1),
+            arrival_ns: at,
+        })
+        .collect()
+}
+
+proptest! {
+    /// Cell conservation: after draining, delivered cells equal injected
+    /// cells, and every flow completed exactly once.
+    #[test]
+    fn cells_are_conserved(
+        n in 3usize..10,
+        specs in proptest::collection::vec((0u32..10, 0u32..10, 1u64..20_000, 0u64..5_000), 1..24),
+    ) {
+        let sched = round_robin(n).unwrap();
+        let router = DirectRouter;
+        let mut eng = Engine::new(SimConfig::default(), &sched, &router);
+        let flows = make_flows(n, &specs);
+        let total_cells: u64 = flows.iter().map(|f| f.cell_count(1250)).sum();
+        let count = flows.len();
+        eng.add_flows(flows).unwrap();
+        prop_assert!(eng.run_until_drained(5_000_000).unwrap());
+        let m = eng.metrics();
+        prop_assert_eq!(m.injected_cells, total_cells);
+        prop_assert_eq!(m.delivered_cells, total_cells);
+        prop_assert_eq!(m.flows.len(), count);
+        prop_assert_eq!(m.transmissions, total_cells); // direct: one hop per cell
+        prop_assert_eq!(eng.total_queued(), 0);
+    }
+
+    /// FCT can never beat the physical floor: at least one slot plus
+    /// propagation after arrival.
+    #[test]
+    fn fct_respects_physical_floor(
+        n in 3usize..8,
+        specs in proptest::collection::vec((0u32..8, 0u32..8, 1u64..5_000, 0u64..2_000), 1..12),
+    ) {
+        let sched = round_robin(n).unwrap();
+        let router = DirectRouter;
+        let cfg = SimConfig::default();
+        let mut eng = Engine::new(cfg, &sched, &router);
+        let flows = make_flows(n, &specs);
+        eng.add_flows(flows).unwrap();
+        prop_assert!(eng.run_until_drained(5_000_000).unwrap());
+        for f in &eng.metrics().flows {
+            prop_assert!(
+                f.fct_ns() >= cfg.slot_ns + cfg.propagation_ns,
+                "flow {:?} finished in {} ns",
+                f.id, f.fct_ns()
+            );
+        }
+    }
+
+    /// Identical seeds and inputs give identical outcomes; the RNG seed
+    /// does not change direct-routing results at all.
+    #[test]
+    fn runs_are_deterministic(
+        n in 3usize..8,
+        specs in proptest::collection::vec((0u32..8, 0u32..8, 1u64..5_000, 0u64..2_000), 1..12),
+        seed in 0u64..500,
+    ) {
+        let sched = round_robin(n).unwrap();
+        let router = DirectRouter;
+        let flows = make_flows(n, &specs);
+        let run = |seed: u64| {
+            let cfg = SimConfig { seed, ..SimConfig::default() };
+            let mut eng = Engine::new(cfg, &sched, &router);
+            eng.add_flows(flows.clone()).unwrap();
+            eng.run_until_drained(5_000_000).unwrap();
+            (
+                eng.metrics().delivered_cells,
+                eng.metrics().cell_latency_sum_ns,
+                eng.metrics().flows.iter().map(|f| f.fct_ns()).sum::<u64>(),
+            )
+        };
+        prop_assert_eq!(run(seed), run(seed));
+        prop_assert_eq!(run(seed), run(seed.wrapping_add(1)));
+    }
+
+    /// Throughput accounting: delivered bytes equal payload times cells,
+    /// and utilization never exceeds 1.
+    #[test]
+    fn metric_accounting_is_consistent(
+        n in 3usize..8,
+        specs in proptest::collection::vec((0u32..8, 0u32..8, 1u64..9_000, 0u64..1_000), 1..10),
+    ) {
+        let sched = round_robin(n).unwrap();
+        let router = DirectRouter;
+        let cfg = SimConfig::default();
+        let mut eng = Engine::new(cfg, &sched, &router);
+        eng.add_flows(make_flows(n, &specs)).unwrap();
+        prop_assert!(eng.run_until_drained(5_000_000).unwrap());
+        let m = eng.metrics();
+        prop_assert_eq!(m.delivered_bytes, m.delivered_cells * cfg.cell_bytes as u64);
+        let u = m.circuit_utilization();
+        prop_assert!((0.0..=1.0).contains(&u));
+        if m.delivered_cells > 0 {
+            let f = m.delivery_fraction();
+            prop_assert!((f - 1.0).abs() < 1e-12); // direct: every hop is final
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Error type for topology construction and validation.
+
+use std::fmt;
+
+/// Errors raised while building or validating matchings and schedules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A matching's destination vector is not a permutation of `0..n`.
+    NotAPermutation {
+        /// Number of ports.
+        n: usize,
+        /// First offending destination value.
+        dup: u32,
+    },
+    /// A matching has the wrong number of entries for the network size.
+    SizeMismatch {
+        /// Expected number of nodes.
+        expected: usize,
+        /// Actual number of entries.
+        actual: usize,
+    },
+    /// A schedule refers to a matching index that does not exist.
+    UnknownMatching {
+        /// The out-of-range index.
+        index: usize,
+        /// Number of matchings available.
+        available: usize,
+    },
+    /// A schedule has no slots.
+    EmptySchedule,
+    /// A parameter is outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        message: String,
+    },
+    /// The requested topology is not realizable on the physical setup.
+    NotRealizable {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::NotAPermutation { n, dup } => {
+                write!(f, "matching over {n} ports is not a permutation (value {dup} repeated or out of range)")
+            }
+            TopologyError::SizeMismatch { expected, actual } => {
+                write!(f, "matching size mismatch: expected {expected} entries, got {actual}")
+            }
+            TopologyError::UnknownMatching { index, available } => {
+                write!(f, "schedule slot refers to matching {index}, but only {available} matchings exist")
+            }
+            TopologyError::EmptySchedule => write!(f, "schedule has no slots"),
+            TopologyError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            TopologyError::NotRealizable { reason } => {
+                write!(f, "topology not realizable on this physical setup: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, TopologyError>;
+
+/// Builds an [`TopologyError::InvalidParameter`] tersely.
+pub(crate) fn invalid(name: &'static str, message: impl Into<String>) -> TopologyError {
+    TopologyError::InvalidParameter {
+        name,
+        message: message.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TopologyError::NotAPermutation { n: 4, dup: 2 };
+        assert!(e.to_string().contains("permutation"));
+        let e = TopologyError::SizeMismatch { expected: 8, actual: 7 };
+        assert!(e.to_string().contains("expected 8"));
+        let e = TopologyError::UnknownMatching { index: 9, available: 3 };
+        assert!(e.to_string().contains("matching 9"));
+        assert!(TopologyError::EmptySchedule.to_string().contains("no slots"));
+        let e = invalid("q", "must be >= 1");
+        assert!(e.to_string().contains("`q`"));
+        let e = TopologyError::NotRealizable { reason: "too few ports".into() };
+        assert!(e.to_string().contains("too few ports"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&TopologyError::EmptySchedule);
+    }
+}

@@ -1,0 +1,58 @@
+//! # sorn-topology
+//!
+//! Circuit-switched topology substrate for semi-oblivious reconfigurable
+//! datacenter networks (SORN, HotNets '24).
+//!
+//! Reconfigurable datacenter networks time-share optical circuit switch
+//! ports across a *schedule of matchings* to emulate a static logical
+//! topology (§2 of the paper). This crate provides:
+//!
+//! - [`Matching`] and [`CircuitSchedule`]: the core schedule abstraction,
+//!   including worst-case circuit-wait queries that underlie the paper's
+//!   *intrinsic latency* metric.
+//! - [`builders`]: schedule constructions for every topology family the
+//!   paper evaluates — flat round robin (Figure 1 / Sirius),
+//!   h-dimensional optimal ORNs, semi-oblivious clique schedules
+//!   (Figure 2(d)/(e)), and gravity-weighted inter-clique schedules.
+//! - [`expander`]: Opera-style rotating expanders (baseline).
+//! - [`awgr`]: the wavelength-routed physical-layer model and the §5
+//!   expressivity analysis.
+//!
+//! ## Example
+//!
+//! Build Figure 2(d)'s topology A — 8 nodes, two cliques of four, with
+//! three quarters of each node's bandwidth kept inside its clique:
+//!
+//! ```
+//! use sorn_topology::{CliqueMap, NodeId, Ratio};
+//! use sorn_topology::builders::{sorn_schedule, SornScheduleParams};
+//!
+//! let cliques = CliqueMap::contiguous(8, 2);
+//! let params = SornScheduleParams::with_q(Ratio::integer(3));
+//! let schedule = sorn_schedule(&cliques, &params).unwrap();
+//!
+//! assert_eq!(schedule.period(), 4);
+//! let topo = schedule.logical_topology();
+//! // Intra-clique virtual edges get 3x the inter-clique bandwidth.
+//! let intra: f64 = (1..4).map(|d| topo.capacity(NodeId(0), NodeId(d))).sum();
+//! let inter: f64 = (4..8).map(|d| topo.capacity(NodeId(0), NodeId(d))).sum();
+//! assert!((intra / inter - 3.0).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod awgr;
+pub mod builders;
+mod error;
+pub mod expander;
+pub mod graph;
+mod matching;
+mod node;
+mod rational;
+mod schedule;
+
+pub use error::{Result, TopologyError};
+pub use matching::Matching;
+pub use node::{CliqueId, CliqueMap, NodeId};
+pub use rational::Ratio;
+pub use schedule::{CircuitSchedule, LogicalTopology, StaggeredSchedule};

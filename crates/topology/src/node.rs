@@ -1,0 +1,258 @@
+//! Node and clique identifiers.
+//!
+//! A *node* in this crate is the unit attached to the optical circuit
+//! switched layer — a top-of-rack switch or an end host, per §4 of the
+//! paper. Nodes are dense integer ids `0..n`. When a network is organized
+//! into cliques (§3–§4), every node additionally has a [`CliqueId`] and an
+//! *intra index*, its offset inside its clique.
+
+use std::fmt;
+
+/// Identifier of a node (ToR switch or end host) attached to the OCS layer.
+///
+/// Node ids are dense: a network of `n` nodes uses ids `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize`, for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(v as u32)
+    }
+}
+
+/// Identifier of a clique (a group of co-located nodes, §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CliqueId(pub u32);
+
+impl CliqueId {
+    /// The id as a `usize`, for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CliqueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Assignment of nodes to equal-sized cliques.
+///
+/// The canonical layout is *contiguous*: clique `c` owns nodes
+/// `c*size .. (c+1)*size`, matching the paper's Figure 2(d)/(e) examples
+/// (topology A groups {0,1,2,3} and {4,5,6,7}). Arbitrary assignments are
+/// supported through [`CliqueMap::from_assignment`], which the control
+/// plane uses when it regroups nodes (§5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliqueMap {
+    /// clique of each node, indexed by node id.
+    clique_of: Vec<CliqueId>,
+    /// intra-clique offset of each node, indexed by node id.
+    intra_of: Vec<u32>,
+    /// members of each clique, indexed by clique id.
+    members: Vec<Vec<NodeId>>,
+}
+
+impl CliqueMap {
+    /// Contiguous assignment of `n` nodes into `cliques` equal cliques.
+    ///
+    /// # Panics
+    /// Panics if `cliques == 0` or `n` is not divisible by `cliques`.
+    pub fn contiguous(n: usize, cliques: usize) -> Self {
+        assert!(cliques > 0, "clique count must be positive");
+        assert!(
+            n.is_multiple_of(cliques),
+            "node count {n} not divisible by clique count {cliques}"
+        );
+        let size = n / cliques;
+        let assignment: Vec<CliqueId> = (0..n).map(|i| CliqueId((i / size) as u32)).collect();
+        Self::from_assignment(&assignment)
+    }
+
+    /// Builds a clique map from an explicit per-node assignment.
+    ///
+    /// Clique ids must be dense (`0..k` for some `k`). Cliques may have
+    /// different sizes; [`CliqueMap::is_uniform`] reports whether they are
+    /// all equal.
+    ///
+    /// # Panics
+    /// Panics if clique ids are not dense or a clique is empty.
+    pub fn from_assignment(assignment: &[CliqueId]) -> Self {
+        let k = assignment
+            .iter()
+            .map(|c| c.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+        let mut intra_of = vec![0u32; assignment.len()];
+        for (i, c) in assignment.iter().enumerate() {
+            intra_of[i] = members[c.index()].len() as u32;
+            members[c.index()].push(NodeId(i as u32));
+        }
+        for (c, m) in members.iter().enumerate() {
+            assert!(!m.is_empty(), "clique {c} has no members");
+        }
+        CliqueMap {
+            clique_of: assignment.to_vec(),
+            intra_of,
+            members,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.clique_of.len()
+    }
+
+    /// Number of cliques.
+    #[inline]
+    pub fn cliques(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The clique of `node`.
+    #[inline]
+    pub fn clique_of(&self, node: NodeId) -> CliqueId {
+        self.clique_of[node.index()]
+    }
+
+    /// The offset of `node` inside its clique.
+    #[inline]
+    pub fn intra_index(&self, node: NodeId) -> u32 {
+        self.intra_of[node.index()]
+    }
+
+    /// Members of clique `c`, in intra-index order.
+    #[inline]
+    pub fn members(&self, c: CliqueId) -> &[NodeId] {
+        &self.members[c.index()]
+    }
+
+    /// Size of clique `c`.
+    #[inline]
+    pub fn clique_size(&self, c: CliqueId) -> usize {
+        self.members[c.index()].len()
+    }
+
+    /// True when every clique has the same size.
+    pub fn is_uniform(&self) -> bool {
+        let s = self.members[0].len();
+        self.members.iter().all(|m| m.len() == s)
+    }
+
+    /// Size shared by all cliques, if uniform.
+    pub fn uniform_size(&self) -> Option<usize> {
+        if self.is_uniform() {
+            Some(self.members[0].len())
+        } else {
+            None
+        }
+    }
+
+    /// The node at `intra` offset inside clique `c`.
+    ///
+    /// Returns `None` when the offset is out of range for that clique.
+    pub fn node_at(&self, c: CliqueId, intra: u32) -> Option<NodeId> {
+        self.members[c.index()].get(intra as usize).copied()
+    }
+
+    /// True when `a` and `b` are in the same clique.
+    #[inline]
+    pub fn same_clique(&self, a: NodeId, b: NodeId) -> bool {
+        self.clique_of(a) == self.clique_of(b)
+    }
+
+    /// Iterates over all `(node, clique)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, CliqueId)> + '_ {
+        self.clique_of
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (NodeId(i as u32), *c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_layout_matches_paper_topology_a() {
+        // Figure 2(d): 8 nodes, cliques {0..3} and {4..7}.
+        let m = CliqueMap::contiguous(8, 2);
+        assert_eq!(m.n(), 8);
+        assert_eq!(m.cliques(), 2);
+        assert_eq!(m.clique_of(NodeId(0)), CliqueId(0));
+        assert_eq!(m.clique_of(NodeId(3)), CliqueId(0));
+        assert_eq!(m.clique_of(NodeId(4)), CliqueId(1));
+        assert_eq!(m.clique_of(NodeId(7)), CliqueId(1));
+        assert_eq!(m.intra_index(NodeId(5)), 1);
+        assert_eq!(m.members(CliqueId(1)), &[NodeId(4), NodeId(5), NodeId(6), NodeId(7)]);
+        assert!(m.is_uniform());
+        assert_eq!(m.uniform_size(), Some(4));
+    }
+
+    #[test]
+    fn node_at_round_trips_with_intra_index() {
+        let m = CliqueMap::contiguous(32, 4);
+        for i in 0..32u32 {
+            let node = NodeId(i);
+            let c = m.clique_of(node);
+            let intra = m.intra_index(node);
+            assert_eq!(m.node_at(c, intra), Some(node));
+        }
+        assert_eq!(m.node_at(CliqueId(0), 99), None);
+    }
+
+    #[test]
+    fn from_assignment_supports_nonuniform() {
+        let a = [CliqueId(0), CliqueId(0), CliqueId(0), CliqueId(1)];
+        let m = CliqueMap::from_assignment(&a);
+        assert_eq!(m.cliques(), 2);
+        assert!(!m.is_uniform());
+        assert_eq!(m.uniform_size(), None);
+        assert_eq!(m.clique_size(CliqueId(0)), 3);
+        assert_eq!(m.clique_size(CliqueId(1)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn contiguous_rejects_indivisible() {
+        let _ = CliqueMap::contiguous(10, 4);
+    }
+
+    #[test]
+    fn same_clique_checks() {
+        let m = CliqueMap::contiguous(8, 2);
+        assert!(m.same_clique(NodeId(0), NodeId(3)));
+        assert!(!m.same_clique(NodeId(0), NodeId(6)));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(CliqueId(1).to_string(), "c1");
+    }
+}

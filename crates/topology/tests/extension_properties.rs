@@ -1,0 +1,133 @@
+//! Property-based tests for the extension builders: non-uniform cliques,
+//! hierarchical schedules, gravity balancing.
+
+use proptest::prelude::*;
+use sorn_topology::builders::{
+    hierarchical_schedule, nonuniform_sorn_schedule, GravityWeights, HierarchySpec,
+};
+use sorn_topology::{CliqueId, CliqueMap, Matching, NodeId, Ratio};
+
+/// Arbitrary clique size lists (2..=5 cliques of 1..=5 nodes).
+fn sizes_strategy() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(1usize..=5, 2..=5)
+}
+
+fn map_from_sizes(sizes: &[usize]) -> CliqueMap {
+    let mut assignment = Vec::new();
+    for (c, &s) in sizes.iter().enumerate() {
+        for _ in 0..s {
+            assignment.push(CliqueId(c as u32));
+        }
+    }
+    CliqueMap::from_assignment(&assignment)
+}
+
+proptest! {
+    /// Every slot of a non-uniform schedule is a valid permutation, and
+    /// every needed circuit (intra pairs; all cross-clique pairs under
+    /// default rotations) exists.
+    #[test]
+    fn nonuniform_schedules_are_complete(
+        sizes in sizes_strategy(),
+        qn in 1u64..5,
+        qd in 1u64..3,
+    ) {
+        let total: usize = sizes.iter().sum();
+        prop_assume!(total >= 2);
+        let map = map_from_sizes(&sizes);
+        let sched = nonuniform_sorn_schedule(&map, Ratio::new(qn, qd), 0, 1 << 22).unwrap();
+        sched.validate().unwrap();
+        for t in 0..sched.period() as u64 {
+            Matching::from_permutation(sched.matching_at(t).as_slice().to_vec()).unwrap();
+        }
+        for a in 0..total as u32 {
+            for b in 0..total as u32 {
+                if a == b { continue; }
+                let (a, b) = (NodeId(a), NodeId(b));
+                let needed = map.same_clique(a, b) || map.cliques() > 1;
+                if needed {
+                    prop_assert!(
+                        sched.next_circuit(a, b, 0).is_some(),
+                        "missing circuit {}->{}", a, b
+                    );
+                }
+            }
+        }
+    }
+
+    /// Hierarchical schedules realize their level weights exactly and
+    /// keep every node fully utilized.
+    #[test]
+    fn hierarchical_schedules_realize_weights(
+        radices in proptest::collection::vec(2usize..=4, 2..=3),
+        weights in proptest::collection::vec(1u64..=6, 2..=3),
+    ) {
+        prop_assume!(radices.len() == weights.len());
+        let spec = HierarchySpec::new(radices.clone(), weights.clone()).unwrap();
+        prop_assume!(spec.n() <= 64);
+        let sched = hierarchical_schedule(&spec, 1 << 22).unwrap();
+        sched.validate().unwrap();
+        // Count slots by level moved.
+        let mut per_level = vec![0u64; radices.len()];
+        for t in 0..sched.period() as u64 {
+            let m = sched.matching_at(t);
+            let d = m.raw_dst(NodeId(0));
+            let l = spec.highest_differing_level(NodeId(0), d).expect("non-identity");
+            per_level[l] += 1;
+        }
+        // Ratios match the weights exactly.
+        for i in 0..radices.len() {
+            for j in 0..radices.len() {
+                prop_assert_eq!(
+                    per_level[i] * weights[j],
+                    per_level[j] * weights[i],
+                    "weight ratio violated between levels {} and {}", i, j
+                );
+            }
+        }
+        // Full utilization: every slot moves every node (digit shifts
+        // are never identity).
+        let topo = sched.logical_topology();
+        for v in 0..spec.n() as u32 {
+            prop_assert!((topo.total_capacity(NodeId(v)) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Gravity balancing always produces a decomposable matrix that
+    /// dominates its input entry-wise.
+    #[test]
+    fn gravity_balancing_dominates_input(
+        nc in 2usize..5,
+        entries in proptest::collection::vec(0u64..8, 4..25),
+    ) {
+        prop_assume!(entries.len() >= nc * nc);
+        let mut w = vec![vec![0u64; nc]; nc];
+        let mut any = false;
+        for i in 0..nc {
+            for j in 0..nc {
+                if i != j {
+                    w[i][j] = entries[i * nc + j];
+                    any |= w[i][j] > 0;
+                }
+            }
+        }
+        prop_assume!(any);
+        let balanced = GravityWeights::balanced(w.clone()).unwrap();
+        for (i, row) in w.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                prop_assert!(balanced.weight(i, j) >= v);
+            }
+        }
+        // Line sums equal and the decomposition reassembles.
+        let s = balanced.line_sum();
+        for i in 0..nc {
+            let row: u64 = (0..nc).map(|j| balanced.weight(i, j)).sum();
+            let col: u64 = (0..nc).map(|j| balanced.weight(j, i)).sum();
+            prop_assert_eq!(row, s);
+            prop_assert_eq!(col, s);
+        }
+        let parts = balanced.decompose().unwrap();
+        let total: u64 = parts.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(total, s);
+    }
+}

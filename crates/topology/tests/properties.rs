@@ -1,0 +1,162 @@
+//! Property-based tests for the topology substrate.
+
+use proptest::prelude::*;
+use sorn_topology::builders::{hdim_orn, round_robin, sorn_schedule, SornScheduleParams};
+use sorn_topology::{CliqueMap, Matching, NodeId, Ratio};
+
+proptest! {
+    /// Cyclic matchings are permutations for every (n, k).
+    #[test]
+    fn cyclic_matchings_are_permutations(n in 1usize..200, k in 0usize..400) {
+        let m = Matching::cyclic(n, k);
+        // Re-validate by reconstructing from the raw permutation.
+        prop_assert!(Matching::from_permutation(m.as_slice().to_vec()).is_ok());
+    }
+
+    /// Inverting a matching twice is the identity operation.
+    #[test]
+    fn invert_is_involutive(n in 1usize..100, k in 0usize..100) {
+        let m = Matching::cyclic(n, k);
+        prop_assert_eq!(m.invert().invert(), m);
+    }
+
+    /// Composition of cyclic matchings adds shifts mod n.
+    #[test]
+    fn compose_adds_shifts(n in 1usize..64, a in 0usize..64, b in 0usize..64) {
+        let ma = Matching::cyclic(n, a);
+        let mb = Matching::cyclic(n, b);
+        prop_assert_eq!(ma.compose(&mb).unwrap(), Matching::cyclic(n, (a + b) % n));
+    }
+
+    /// Round-robin schedules connect every ordered pair exactly once per
+    /// period.
+    #[test]
+    fn round_robin_covers_all_pairs_once(n in 2usize..40) {
+        let s = round_robin(n).unwrap();
+        for src in 0..n as u32 {
+            for dst in 0..n as u32 {
+                if src == dst { continue; }
+                let count = (0..s.period() as u64)
+                    .filter(|&t| s.matching_at(t).connects(NodeId(src), NodeId(dst)))
+                    .count();
+                prop_assert_eq!(count, 1, "pair {}->{}", src, dst);
+            }
+        }
+    }
+
+    /// Every slot of a SORN schedule is a valid matching, node bandwidth
+    /// sums to 1, and the intra/inter split equals q exactly.
+    #[test]
+    fn sorn_schedule_invariants(
+        cliques in 2usize..6,
+        size in 2usize..6,
+        qn in 1u64..8,
+        qd in 1u64..8,
+    ) {
+        let n = cliques * size;
+        let map = CliqueMap::contiguous(n, cliques);
+        let q = Ratio::new(qn, qd);
+        let s = sorn_schedule(&map, &SornScheduleParams::with_q(q)).unwrap();
+        s.validate().unwrap();
+
+        let topo = s.logical_topology();
+        for v in 0..n as u32 {
+            let v = NodeId(v);
+            prop_assert!((topo.total_capacity(v) - 1.0).abs() < 1e-9);
+            let mut intra = 0.0;
+            let mut inter = 0.0;
+            for (d, c) in topo.neighbors(v) {
+                if map.same_clique(v, *d) { intra += c; } else { inter += c; }
+            }
+            prop_assert!(inter > 0.0);
+            prop_assert!((intra / inter - q.to_f64()).abs() < 1e-9,
+                "node {}: intra {} inter {} q {}", v, intra, inter, q);
+        }
+    }
+
+    /// SORN schedules connect every ordered pair the routing needs:
+    /// all intra-clique pairs and all equal-intra-index inter pairs.
+    #[test]
+    fn sorn_schedule_routing_connectivity(
+        cliques in 2usize..5,
+        size in 2usize..5,
+    ) {
+        let n = cliques * size;
+        let map = CliqueMap::contiguous(n, cliques);
+        let s = sorn_schedule(&map, &SornScheduleParams::with_q(Ratio::integer(3))).unwrap();
+        for a in 0..n as u32 {
+            for b in 0..n as u32 {
+                if a == b { continue; }
+                let (a, b) = (NodeId(a), NodeId(b));
+                let needed = map.same_clique(a, b)
+                    || map.intra_index(a) == map.intra_index(b);
+                if needed {
+                    prop_assert!(s.next_circuit(a, b, 0).is_some(),
+                        "missing circuit {}->{}", a, b);
+                }
+            }
+        }
+    }
+
+    /// h-dim schedules: every slot changes exactly one digit, and the
+    /// period is h(delta-1).
+    #[test]
+    fn hdim_schedule_structure(delta in 2usize..6, h in 2u32..4) {
+        let n = delta.pow(h);
+        let s = hdim_orn(n, h).unwrap();
+        prop_assert_eq!(s.period(), h as usize * (delta - 1));
+        for t in 0..s.period() as u64 {
+            let m = s.matching_at(t);
+            for x in 0..n {
+                let d = m.raw_dst(NodeId(x as u32)).index();
+                let mut diffs = 0;
+                let mut xx = x;
+                let mut dd = d;
+                for _ in 0..h {
+                    if xx % delta != dd % delta { diffs += 1; }
+                    xx /= delta;
+                    dd /= delta;
+                }
+                prop_assert_eq!(diffs, 1, "slot {}: {} -> {}", t, x, d);
+            }
+        }
+    }
+
+    /// Rational approximation recovers exact fractions within the
+    /// denominator bound.
+    #[test]
+    fn ratio_approximation_is_exact_for_small_fractions(p in 1u64..500, q in 1u64..100) {
+        let r = Ratio::approximate(p as f64 / q as f64, 1000);
+        let g = {
+            let (mut a, mut b) = (p, q);
+            while b != 0 { let t = a % b; a = b; b = t; }
+            a
+        };
+        prop_assert_eq!((r.num(), r.den()), (p / g, q / g));
+    }
+
+    /// Clique maps: node_at inverts (clique_of, intra_index).
+    #[test]
+    fn clique_map_round_trip(cliques in 1usize..8, size in 1usize..8) {
+        let n = cliques * size;
+        let map = CliqueMap::contiguous(n, cliques);
+        for v in 0..n as u32 {
+            let v = NodeId(v);
+            prop_assert_eq!(map.node_at(map.clique_of(v), map.intra_index(v)), Some(v));
+        }
+    }
+
+    /// max_wait is consistent with wait_slots: no start slot waits more
+    /// than max_wait.
+    #[test]
+    fn max_wait_bounds_every_start(n in 2usize..12) {
+        let s = round_robin(n).unwrap();
+        let src = NodeId(0);
+        let dst = NodeId(1);
+        let max = s.max_wait(src, dst).unwrap();
+        for from in 0..s.period() as u64 {
+            let w = s.wait_slots(src, dst, from).unwrap();
+            prop_assert!(w <= max);
+        }
+    }
+}

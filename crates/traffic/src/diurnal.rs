@@ -1,0 +1,255 @@
+//! Diurnal (time-varying) workloads — §6 "Other Structural Patterns".
+//!
+//! "Diurnal utilization patterns or the distribution of latency-
+//! sensitive vs bulk traffic could help tune the number of indirect hops
+//! in reconfigurable topologies." This module generates workloads whose
+//! offered load and locality ratio swing smoothly over a configurable
+//! period, so the control plane's tracking behaviour (and the value of
+//! retuning `q` over a day) can be studied.
+//!
+//! Arrivals are a non-homogeneous Poisson process, sampled by thinning
+//! against the peak rate.
+
+use crate::dist::FlowSizeDist;
+use crate::spatial::{CliqueLocal, SpatialModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sorn_sim::{Flow, FlowId, Nanos};
+use sorn_topology::{CliqueMap, NodeId};
+
+/// A sinusoidal day/night modulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalPattern {
+    /// Length of one full day/night cycle in nanoseconds.
+    pub period_ns: Nanos,
+    /// Mean offered load per node (fraction of node bandwidth).
+    pub mean_load: f64,
+    /// Relative load swing: instantaneous load =
+    /// `mean_load * (1 + amplitude * sin(2πt/period))`.
+    pub amplitude: f64,
+    /// Locality ratio at the load peak (daytime: user-facing traffic,
+    /// high locality).
+    pub locality_peak: f64,
+    /// Locality ratio at the load trough (nighttime: batch shuffles,
+    /// low locality).
+    pub locality_trough: f64,
+}
+
+impl DiurnalPattern {
+    /// Validates the pattern.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.period_ns == 0 {
+            return Err("period must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.amplitude) {
+            return Err(format!("amplitude {} outside [0,1]", self.amplitude));
+        }
+        if self.mean_load <= 0.0 || self.mean_load * (1.0 + self.amplitude) > 1.0 {
+            return Err(format!(
+                "peak load {} outside (0,1]",
+                self.mean_load * (1.0 + self.amplitude)
+            ));
+        }
+        for x in [self.locality_peak, self.locality_trough] {
+            if !(0.0..=1.0).contains(&x) {
+                return Err(format!("locality {x} outside [0,1]"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Phase in `[0, 1)` at time `t`.
+    fn phase(&self, t: Nanos) -> f64 {
+        (t % self.period_ns) as f64 / self.period_ns as f64
+    }
+
+    /// Instantaneous load multiplier (relative to `mean_load`).
+    pub fn load_factor(&self, t: Nanos) -> f64 {
+        1.0 + self.amplitude * (2.0 * std::f64::consts::PI * self.phase(t)).sin()
+    }
+
+    /// Instantaneous offered load at time `t`.
+    pub fn load_at(&self, t: Nanos) -> f64 {
+        self.mean_load * self.load_factor(t)
+    }
+
+    /// Instantaneous locality ratio at time `t`: tracks the load swing
+    /// between trough and peak localities.
+    pub fn locality_at(&self, t: Nanos) -> f64 {
+        let s = (2.0 * std::f64::consts::PI * self.phase(t)).sin(); // [-1, 1]
+        let w = (s + 1.0) / 2.0; // 0 at trough, 1 at peak
+        self.locality_trough + w * (self.locality_peak - self.locality_trough)
+    }
+}
+
+/// A diurnal workload generator.
+#[derive(Debug, Clone)]
+pub struct DiurnalWorkload {
+    /// Clique layout (locality is defined against it).
+    pub cliques: CliqueMap,
+    /// The modulation.
+    pub pattern: DiurnalPattern,
+    /// Flow sizes.
+    pub sizes: FlowSizeDist,
+    /// Node bandwidth in bytes per nanosecond.
+    pub node_bandwidth_bytes_per_ns: f64,
+    /// Total duration (typically a few periods).
+    pub duration_ns: Nanos,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DiurnalWorkload {
+    /// Generates the flow list via thinning against the peak rate.
+    ///
+    /// # Panics
+    /// Panics when the pattern fails validation.
+    pub fn generate(&self) -> Vec<Flow> {
+        self.pattern.validate().expect("valid diurnal pattern");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let peak_load = self.pattern.mean_load * (1.0 + self.pattern.amplitude);
+        let peak_rate =
+            peak_load * self.node_bandwidth_bytes_per_ns / self.sizes.mean_bytes();
+
+        let mut flows = Vec::new();
+        for src in 0..self.cliques.n() as u32 {
+            let src = NodeId(src);
+            let mut t = 0.0f64;
+            loop {
+                let u: f64 = rng.gen::<f64>().max(1e-300);
+                t += -u.ln() / peak_rate;
+                if t >= self.duration_ns as f64 {
+                    break;
+                }
+                let now = t as Nanos;
+                // Thinning: accept with prob rate(t)/peak_rate.
+                let accept = self.pattern.load_at(now) / peak_load;
+                if rng.gen::<f64>() >= accept {
+                    continue;
+                }
+                let x = self.pattern.locality_at(now);
+                let spatial = CliqueLocal::new(self.cliques.clone(), x);
+                let dst = spatial.pick_dst(src, &mut rng);
+                flows.push(Flow {
+                    id: FlowId(0),
+                    src,
+                    dst,
+                    size_bytes: self.sizes.sample(&mut rng),
+                    arrival_ns: now,
+                });
+            }
+        }
+        flows.sort_by_key(|f| (f.arrival_ns, f.src.0, f.dst.0, f.size_bytes));
+        for (i, f) in flows.iter_mut().enumerate() {
+            f.id = FlowId(i as u64);
+        }
+        flows
+    }
+
+    /// Splits generated flows into windows of `window_ns` for per-epoch
+    /// analysis (e.g. feeding the control loop one window at a time).
+    pub fn windows(&self, flows: &[Flow], window_ns: Nanos) -> Vec<Vec<Flow>> {
+        assert!(window_ns > 0);
+        let count = self.duration_ns.div_ceil(window_ns) as usize;
+        let mut out = vec![Vec::new(); count];
+        for f in flows {
+            let w = (f.arrival_ns / window_ns) as usize;
+            if w < count {
+                out[w].push(*f);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::measured_locality;
+
+    fn pattern() -> DiurnalPattern {
+        DiurnalPattern {
+            period_ns: 1_000_000,
+            mean_load: 0.3,
+            amplitude: 0.5,
+            locality_peak: 0.8,
+            locality_trough: 0.2,
+        }
+    }
+
+    fn workload() -> DiurnalWorkload {
+        DiurnalWorkload {
+            cliques: CliqueMap::contiguous(16, 4),
+            pattern: pattern(),
+            sizes: FlowSizeDist::fixed(4_000),
+            node_bandwidth_bytes_per_ns: 12.5,
+            duration_ns: 2_000_000,
+            seed: 17,
+        }
+    }
+
+    #[test]
+    fn pattern_validation() {
+        assert!(pattern().validate().is_ok());
+        let mut p = pattern();
+        p.amplitude = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = pattern();
+        p.mean_load = 0.8; // peak 1.2 > 1
+        assert!(p.validate().is_err());
+        let mut p = pattern();
+        p.period_ns = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn load_swings_around_the_mean() {
+        let p = pattern();
+        // Peak at a quarter period, trough at three quarters.
+        let peak = p.load_at(250_000);
+        let trough = p.load_at(750_000);
+        assert!((peak - 0.45).abs() < 1e-9, "peak {peak}");
+        assert!((trough - 0.15).abs() < 1e-9, "trough {trough}");
+        assert!((p.load_at(0) - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn locality_tracks_the_swing() {
+        let p = pattern();
+        assert!((p.locality_at(250_000) - 0.8).abs() < 1e-9);
+        assert!((p.locality_at(750_000) - 0.2).abs() < 1e-9);
+        assert!((p.locality_at(0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generated_volume_peaks_during_the_day() {
+        let w = workload();
+        let flows = w.generate();
+        assert!(flows.len() > 100, "too few flows: {}", flows.len());
+        let windows = w.windows(&flows, 500_000);
+        assert_eq!(windows.len(), 4);
+        // Window 0 covers the rising peak half, window 1 the trough.
+        assert!(
+            windows[0].len() > windows[1].len(),
+            "day {} vs night {}",
+            windows[0].len(),
+            windows[1].len()
+        );
+    }
+
+    #[test]
+    fn locality_is_higher_in_peak_windows() {
+        let w = workload();
+        let flows = w.generate();
+        let windows = w.windows(&flows, 500_000);
+        let day = measured_locality(&windows[0], &w.cliques);
+        let night = measured_locality(&windows[1], &w.cliques);
+        assert!(day > night + 0.1, "day {day} vs night {night}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let w = workload();
+        assert_eq!(w.generate(), w.generate());
+    }
+}

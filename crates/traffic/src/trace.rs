@@ -1,0 +1,124 @@
+//! Trace recording and replay.
+//!
+//! Workloads serialize to a small JSON format so experiments can be
+//! re-run bit-for-bit, shared, or generated once and swept over many
+//! topologies. The format stores exactly what [`sorn_sim::Flow`] needs.
+
+use serde::{Deserialize, Serialize};
+use sorn_sim::{Flow, FlowId, Nanos};
+use sorn_topology::NodeId;
+
+/// One serialized flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceFlow {
+    /// Source node id.
+    pub src: u32,
+    /// Destination node id.
+    pub dst: u32,
+    /// Size in bytes.
+    pub bytes: u64,
+    /// Arrival time in nanoseconds.
+    pub at_ns: Nanos,
+}
+
+/// A recorded workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Number of nodes the trace was generated for.
+    pub nodes: usize,
+    /// Free-form description (workload name, parameters).
+    pub description: String,
+    /// The flows, sorted by arrival time.
+    pub flows: Vec<TraceFlow>,
+}
+
+impl Trace {
+    /// Records a flow list.
+    pub fn record(nodes: usize, description: &str, flows: &[Flow]) -> Self {
+        Trace {
+            nodes,
+            description: description.to_string(),
+            flows: flows
+                .iter()
+                .map(|f| TraceFlow {
+                    src: f.src.0,
+                    dst: f.dst.0,
+                    bytes: f.size_bytes,
+                    at_ns: f.arrival_ns,
+                })
+                .collect(),
+        }
+    }
+
+    /// Replays into simulator flows (ids renumbered densely).
+    pub fn replay(&self) -> Vec<Flow> {
+        self.flows
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Flow {
+                id: FlowId(i as u64),
+                src: NodeId(t.src),
+                dst: NodeId(t.dst),
+                size_bytes: t.bytes,
+                arrival_ns: t.at_ns,
+            })
+            .collect()
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trace serialization cannot fail")
+    }
+
+    /// Deserializes from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flows() -> Vec<Flow> {
+        vec![
+            Flow {
+                id: FlowId(0),
+                src: NodeId(1),
+                dst: NodeId(2),
+                size_bytes: 5000,
+                arrival_ns: 10,
+            },
+            Flow {
+                id: FlowId(1),
+                src: NodeId(3),
+                dst: NodeId(0),
+                size_bytes: 99,
+                arrival_ns: 20,
+            },
+        ]
+    }
+
+    #[test]
+    fn record_replay_round_trips() {
+        let fs = flows();
+        let t = Trace::record(4, "test workload", &fs);
+        let replayed = t.replay();
+        assert_eq!(replayed, fs);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let t = Trace::record(4, "json test", &flows());
+        let json = t.to_json();
+        let back = Trace::from_json(&json).unwrap();
+        assert_eq!(back, t);
+        assert!(json.contains("\"nodes\":4"));
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(Trace::from_json("{not json").is_err());
+        assert!(Trace::from_json("{}").is_err());
+    }
+}

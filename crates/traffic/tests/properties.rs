@@ -1,0 +1,101 @@
+//! Property-based tests for workload generation.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sorn_topology::{CliqueMap, NodeId};
+use sorn_traffic::spatial::{CliqueLocal, SpatialModel, Uniform};
+use sorn_traffic::{FlowSizeDist, PoissonWorkload, Trace};
+
+proptest! {
+    /// Quantiles are monotone in the probability argument.
+    #[test]
+    fn quantiles_are_monotone(u1 in 0.0f64..1.0, u2 in 0.0f64..1.0) {
+        let ws = FlowSizeDist::web_search();
+        let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+        prop_assert!(ws.quantile(lo) <= ws.quantile(hi));
+    }
+
+    /// Samples always fall inside the CDF's support.
+    #[test]
+    fn samples_stay_in_support(seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for dist in [FlowSizeDist::web_search(), FlowSizeDist::data_mining()] {
+            for _ in 0..50 {
+                let s = dist.sample(&mut rng);
+                prop_assert!(s >= 100, "{} from {}", s, dist.name());
+                prop_assert!(s <= 1_000_000_000, "{} from {}", s, dist.name());
+            }
+        }
+    }
+
+    /// fraction_below is a proper CDF: monotone, 0 at 0, 1 at the max.
+    #[test]
+    fn fraction_below_is_monotone(a in 0.0f64..1e9, b in 0.0f64..1e9) {
+        let dm = FlowSizeDist::data_mining();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(dm.fraction_below(lo) <= dm.fraction_below(hi) + 1e-12);
+        prop_assert_eq!(dm.fraction_below(0.0), 0.0);
+        prop_assert!((dm.fraction_below(1e12) - 1.0).abs() < 1e-12);
+    }
+
+    /// Spatial models never return the source itself.
+    #[test]
+    fn spatial_models_avoid_self(
+        n_cliques in 2usize..5,
+        size in 1usize..5,
+        x in 0.0f64..1.0,
+        seed in 0u64..500,
+    ) {
+        let n = n_cliques * size;
+        if n < 2 { return Ok(()); }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let uni = Uniform::new(n);
+        let cl = CliqueLocal::new(CliqueMap::contiguous(n, n_cliques), x);
+        for s in 0..n as u32 {
+            prop_assert_ne!(uni.pick_dst(NodeId(s), &mut rng), NodeId(s));
+            prop_assert_ne!(cl.pick_dst(NodeId(s), &mut rng), NodeId(s));
+        }
+    }
+
+    /// Trace record/replay round-trips through JSON bit-exactly.
+    #[test]
+    fn trace_round_trips(
+        n in 2usize..16,
+        load in 1u32..10,
+        seed in 0u64..200,
+    ) {
+        let w = PoissonWorkload {
+            n,
+            load: load as f64 / 10.0,
+            node_bandwidth_bytes_per_ns: 12.5,
+            duration_ns: 50_000,
+            seed,
+        };
+        let flows = w.generate(&FlowSizeDist::fixed(3000), &Uniform::new(n));
+        let t = Trace::record(n, "prop", &flows);
+        let back = Trace::from_json(&t.to_json()).unwrap();
+        prop_assert_eq!(back.replay(), flows);
+    }
+
+    /// Workload arrival times respect the duration bound and flows are
+    /// sorted.
+    #[test]
+    fn workload_respects_duration(n in 2usize..10, seed in 0u64..200) {
+        let w = PoissonWorkload {
+            n,
+            load: 0.5,
+            node_bandwidth_bytes_per_ns: 12.5,
+            duration_ns: 100_000,
+            seed,
+        };
+        let flows = w.generate(&FlowSizeDist::fixed(2000), &Uniform::new(n));
+        for pair in flows.windows(2) {
+            prop_assert!(pair[0].arrival_ns <= pair[1].arrival_ns);
+        }
+        for f in &flows {
+            prop_assert!(f.arrival_ns < 100_000);
+            prop_assert_ne!(f.src, f.dst);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! The §5 adaptation scenario: the macro-pattern shifts and the control
+//! plane periodically re-optimizes cliques and oversubscription.
+//!
+//! Phase 1 traffic is local to the deployed (contiguous) cliques; phase 2
+//! scrambles the communities (node i talks to nodes with the same
+//! i mod 4). A static SORN's throughput collapses; the adaptive SORN
+//! regroups within a few epochs. Update costs (drained cells, modeled
+//! installation time) are reported per §5.
+//!
+//! Run with: `cargo run --example adaptive_reconfig`
+
+use sorn::analysis::adaptation::run;
+use sorn::analysis::render::TextTable;
+use sorn::control::ControlConfig;
+use sorn::sim::{Flow, FlowId};
+use sorn::topology::{NodeId, Ratio};
+
+/// Heavy traffic inside community `group(node)`, light elsewhere.
+fn community_flows(n: u32, group: impl Fn(u32) -> u32) -> Vec<Flow> {
+    let mut flows = Vec::new();
+    for s in 0..n {
+        for d in 0..n {
+            if s == d {
+                continue;
+            }
+            let bytes = if group(s) == group(d) { 50_000 } else { 500 };
+            flows.push(Flow {
+                id: FlowId(0),
+                src: NodeId(s),
+                dst: NodeId(d),
+                size_bytes: bytes,
+                arrival_ns: 0,
+            });
+        }
+    }
+    flows
+}
+
+fn main() {
+    let n = 32u32;
+    let mut control = ControlConfig::default();
+    control.allowed_sizes = vec![4, 8];
+    control.alpha = 0.5;
+
+    // Phase 1: contiguous communities (matching the initial deployment).
+    let phase1 = community_flows(n, |v| v / 8);
+    // Phase 2: scrambled communities (i mod 8) — the initial layout is
+    // now maximally wrong.
+    let phase2 = community_flows(n, |v| v % 8);
+
+    let epochs = run(
+        n as usize,
+        4,
+        Ratio::integer(4),
+        control,
+        &[(3, phase1), (6, phase2)],
+    )
+    .expect("adaptation experiment");
+
+    println!("Static vs adaptive SORN across a macro-pattern shift (32 nodes):");
+    let mut t = TextTable::new(&[
+        "epoch",
+        "static thpt",
+        "adaptive thpt",
+        "updated?",
+        "drained cells",
+        "install (ms)",
+    ]);
+    for e in &epochs {
+        t.row(vec![
+            e.epoch.to_string(),
+            format!("{:.3}", e.static_throughput),
+            format!("{:.3}", e.adaptive_throughput),
+            if e.updated { "yes".into() } else { "-".into() },
+            e.drained_cells.to_string(),
+            if e.updated {
+                format!("{:.1}", e.installation_ns as f64 / 1e6)
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    println!("{}", t.render());
+
+    let last = epochs.last().unwrap();
+    println!(
+        "After the shift: adaptive {:.3} vs static {:.3} ({}x better)",
+        last.adaptive_throughput,
+        last.static_throughput,
+        (last.adaptive_throughput / last.static_throughput.max(1e-9)).round()
+    );
+    println!("(the pattern shift at epoch 3 tanks the static design; the control");
+    println!(" loop detects the drift through its EWMA and regroups the cliques)");
+}

@@ -1,0 +1,115 @@
+//! The §6 practicality study: how far does a single link failure reach?
+//!
+//! "Flat oblivious designs with many random indirect hops inflate the
+//! blast radius of failures since flows between any source-destination
+//! pair can be affected by any link/node failure. A modular design
+//! reduces this significantly." We quantify it two ways:
+//!
+//! 1. Statically: each flow's failure *exposure* — the number of
+//!    distinct links whose failure can touch it — for flat VLB vs
+//!    modular SORN.
+//! 2. Dynamically: packet-simulate both designs with one failed link and
+//!    check where the affected flows live (in SORN they are confined to
+//!    the failed link's cliques; in flat VLB any pair can be hit).
+//!
+//! Run with: `cargo run --example failure_blast_radius`
+
+use sorn::analysis::blast::blast_radius;
+use sorn::core::{SornConfig, SornNetwork};
+use sorn::routing::{SornPaths, VlbPaths, VlbRouter};
+use sorn::sim::{Engine, Flow, FlowId, SimConfig};
+use sorn::topology::builders::round_robin;
+use sorn::topology::{CliqueMap, NodeId};
+
+fn mesh_flows(n: u32) -> Vec<Flow> {
+    let mut flows = Vec::new();
+    let mut id = 0;
+    for s in 0..n {
+        for d in 0..n {
+            if s != d {
+                flows.push(Flow {
+                    id: FlowId(id),
+                    src: NodeId(s),
+                    dst: NodeId(d),
+                    size_bytes: 1250,
+                    arrival_ns: 0,
+                });
+                id += 1;
+            }
+        }
+    }
+    flows
+}
+
+fn main() {
+    let n = 32;
+    let cliques = CliqueMap::contiguous(n, 4);
+
+    // ---- Static: per-flow failure exposure ----
+    let flat = blast_radius(n, &VlbPaths::new(n));
+    let sorn = blast_radius(n, &SornPaths::new(cliques.clone()));
+    println!("Per-flow failure exposure over {n} nodes");
+    println!("(number of distinct links whose failure can touch a flow):");
+    println!(
+        "  flat 1D ORN + VLB       : mean {:.1}, worst {}",
+        flat.mean_exposure, flat.max_exposure
+    );
+    println!(
+        "  modular SORN (4 cliques): mean {:.1}, worst {}",
+        sorn.mean_exposure, sorn.max_exposure
+    );
+    println!(
+        "  -> modularity shrinks exposure {:.1}x",
+        flat.mean_exposure / sorn.mean_exposure
+    );
+    println!();
+
+    // ---- Dynamic: fail link 0 -> 1, see where affected flows live ----
+    println!("Packet check with link 0 -> 1 failed (full-mesh single-cell flows):");
+
+    // Flat VLB: cells from ANY source can be sprayed through node 0 and
+    // then strand on the failed direct link toward node 1.
+    let rr = round_robin(n).unwrap();
+    let vlb = VlbRouter::new();
+    let mut eng = Engine::new(SimConfig::default(), &rr, &vlb);
+    let all = mesh_flows(n as u32);
+    let total = all.len();
+    eng.add_flows(all.clone()).unwrap();
+    eng.failures_mut().fail_link(NodeId(0), NodeId(1));
+    eng.run_until_drained(200_000).unwrap();
+    let affected_flat: Vec<u64> = completed_ids(&eng, total);
+    println!(
+        "  flat VLB : {} flows stuck; any src-dst pair in the fabric can be hit",
+        affected_flat.len()
+    );
+
+    // SORN: the failure can only touch flows that route through clique 0
+    // or its pinned gateways — a structurally confined set.
+    let net = SornNetwork::build(SornConfig::small(n, 4, 0.5)).unwrap();
+    let mut eng2 = Engine::new(SimConfig::default(), net.schedule(), net.router());
+    eng2.add_flows(all.clone()).unwrap();
+    eng2.failures_mut().fail_link(NodeId(0), NodeId(1));
+    eng2.run_until_drained(200_000).unwrap();
+    let affected_sorn = completed_ids(&eng2, total);
+    let confined = affected_sorn.iter().all(|&id| {
+        let f = &all[id as usize];
+        // Every affected flow must involve clique 0 (nodes 0..8) as
+        // source or destination.
+        f.src.0 < 8 || f.dst.0 < 8
+    });
+    println!(
+        "  SORN     : {} flows stuck; all involve the failed link's clique: {}",
+        affected_sorn.len(),
+        confined
+    );
+    println!();
+    println!("(the affected set under SORN is confined and diagnosable — §6's");
+    println!(" modularity argument — while flat VLB scatters the risk fabric-wide)");
+}
+
+/// Flow ids that did NOT complete.
+fn completed_ids(eng: &Engine, total: usize) -> Vec<u64> {
+    let done: std::collections::HashSet<u64> =
+        eng.metrics().flows.iter().map(|f| f.id.0).collect();
+    (0..total as u64).filter(|id| !done.contains(id)).collect()
+}

@@ -1,0 +1,145 @@
+//! A three-level datacenter: pods of 4 racks, clusters of 4 pods,
+//! 4 clusters (§3's pods/clusters/blocks hierarchy; §6's "independent
+//! schedules on each hierarchical level").
+//!
+//! Builds the weighted multi-level schedule from a traffic profile,
+//! compares the closed-form model against the exact flow-level
+//! evaluation, and packet-simulates a pFabric workload shaped to the
+//! profile.
+//!
+//! Run with: `cargo run --release --example hierarchical_datacenter`
+
+use sorn::core::HierarchyModel;
+use sorn::routing::{evaluate, DemandMatrix, HierarchicalPaths, HierarchicalRouter};
+use sorn::sim::{Engine, SimConfig};
+use sorn::topology::builders::hierarchical_schedule;
+use sorn::topology::NodeId;
+use sorn::traffic::{FlowSizeDist, PoissonWorkload};
+
+fn main() {
+    // 64 racks: radices [4, 4, 4]; 60% pod-local, 25% cluster-local,
+    // 15% fabric-wide traffic.
+    let profile = vec![0.60, 0.25, 0.15];
+    let model = HierarchyModel::new(vec![4, 4, 4], profile.clone()).unwrap();
+
+    println!("Three-level SORN over 64 racks (pods of 4, clusters of 16):");
+    println!("  traffic profile (pod/cluster/fabric): {profile:?}");
+    let w = model.optimal_weights();
+    println!(
+        "  optimal bandwidth split per level: [{:.3}, {:.3}, {:.3}]",
+        w[0], w[1], w[2]
+    );
+    println!(
+        "  model: mean hops {:.3}, worst-case throughput {:.3}",
+        model.mean_hops(),
+        model.optimal_throughput()
+    );
+    for l in 0..3 {
+        println!(
+            "  level-{l} traffic: {} hops max, delta_m {:.0} slots",
+            l + 2,
+            model.class_delta_m(l).ceil()
+        );
+    }
+    println!();
+
+    // Build the schedule at the optimal split and evaluate exactly.
+    let spec = model.spec(1000).unwrap();
+    let sched = hierarchical_schedule(&spec, 1 << 22).unwrap();
+    println!("schedule period: {} slots", sched.period());
+
+    // Demand matching the profile: weight each pair by its class share.
+    let n = 64;
+    let mut rows = vec![vec![0.0f64; n]; n];
+    let mut class_counts = [0usize; 3];
+    for s in 0..n {
+        for d in 0..n {
+            if s != d {
+                let l = spec
+                    .highest_differing_level(NodeId(s as u32), NodeId(d as u32))
+                    .unwrap();
+                class_counts[l] += 1;
+            }
+        }
+    }
+    for (s, row) in rows.iter_mut().enumerate() {
+        for (d, cell) in row.iter_mut().enumerate() {
+            if s != d {
+                let l = spec
+                    .highest_differing_level(NodeId(s as u32), NodeId(d as u32))
+                    .unwrap();
+                *cell = profile[l] / (class_counts[l] / n) as f64;
+            }
+        }
+    }
+    let demand = DemandMatrix::from_rows(rows).unwrap();
+    let paths = HierarchicalPaths::new(spec.clone());
+    let rep = evaluate(&sched.logical_topology(), &paths, &demand).unwrap();
+    println!(
+        "exact flow-level: throughput {:.3} (model {:.3}), mean hops {:.3} (model {:.3})",
+        rep.throughput,
+        model.optimal_throughput(),
+        rep.mean_hops,
+        model.mean_hops()
+    );
+    println!();
+
+    // Packet check with pFabric web-search flows.
+    let router = HierarchicalRouter::new(spec.clone());
+    let mut eng = Engine::new(SimConfig::default(), &sched, &router);
+    let wl = PoissonWorkload {
+        n,
+        load: 0.25,
+        node_bandwidth_bytes_per_ns: 12.5,
+        duration_ns: 1_000_000,
+        seed: 4,
+    };
+    // Spatial model: sample destinations according to the profile.
+    struct ProfileSpatial {
+        spec: sorn::topology::builders::HierarchySpec,
+        profile: Vec<f64>,
+    }
+    impl sorn::traffic::spatial::SpatialModel for ProfileSpatial {
+        fn pick_dst(&self, src: NodeId, rng: &mut rand::rngs::StdRng) -> NodeId {
+            use rand::Rng;
+            // Pick the class, then a uniform destination within it.
+            let u: f64 = rng.gen();
+            let mut acc = 0.0;
+            let mut class = 0;
+            for (l, &x) in self.profile.iter().enumerate() {
+                acc += x;
+                if u < acc {
+                    class = l;
+                    break;
+                }
+                class = l;
+            }
+            loop {
+                let d = NodeId(rng.gen_range(0..self.spec.n() as u32));
+                if d != src && self.spec.highest_differing_level(src, d) == Some(class) {
+                    return d;
+                }
+            }
+        }
+        fn name(&self) -> &str {
+            "hierarchy-profile"
+        }
+    }
+    let spatial = ProfileSpatial {
+        spec: spec.clone(),
+        profile,
+    };
+    let flows = wl.generate(&FlowSizeDist::web_search(), &spatial);
+    let count = flows.len();
+    eng.add_flows(flows).unwrap();
+    let drained = eng.run_until_drained(20_000_000).unwrap();
+    let m = eng.metrics();
+    println!("packet check (pFabric web-search at load 0.25):");
+    println!("  flows: {count}, drained: {drained}, completed: {}", m.flows.len());
+    println!(
+        "  mean hops {:.2} (model {:.2}), mean FCT {:.1} us",
+        m.mean_hops(),
+        model.mean_hops(),
+        m.mean_fct_ns() / 1000.0
+    );
+}

@@ -1,0 +1,89 @@
+//! §6 "Machine Learning Workloads": gravity-weighted inter-clique
+//! bandwidth for a shared training cluster.
+//!
+//! A cluster hosts several training jobs with stable, *non-uniform*
+//! aggregate demand between machine groups (parameter-server pods pull
+//! more than they push, data pods feed trainer pods, ...). Instead of
+//! fine-grained per-job topology optimization — which fragments GPUs and
+//! reacts too slowly — the semi-oblivious framework encodes the gravity
+//! pattern into the schedule (§5 "Expressivity") via a Birkhoff–von-
+//! Neumann decomposition of the clique-level demand.
+//!
+//! Run with: `cargo run --example ml_cluster`
+
+use sorn::routing::{evaluate, DemandMatrix, SornPaths};
+use sorn::topology::builders::{gravity_schedule, sorn_schedule, GravityWeights, SornScheduleParams};
+use sorn::topology::{CliqueMap, NodeId, Ratio};
+
+fn main() {
+    // 4 pods of 8 machines running pipeline-parallel training: stage i
+    // streams activations heavily to stage i+1, with lighter skip and
+    // gradient traffic elsewhere.
+    let n = 32;
+    let cliques = CliqueMap::contiguous(n, 4);
+
+    // Stable aggregate inter-pod pattern (circulant, so every row and
+    // column sums to 6 — the balance the optical layer needs): the next
+    // pipeline stage gets weight 4, everything else weight 1.
+    let weights = GravityWeights::new(vec![
+        // s0 s1 s2 s3
+        vec![0, 4, 1, 1], // stage 0
+        vec![1, 0, 4, 1], // stage 1
+        vec![1, 1, 0, 4], // stage 2
+        vec![4, 1, 1, 0], // stage 3
+    ])
+    .unwrap();
+
+    let q = Ratio::integer(2); // intra gets 2/3 of bandwidth
+    let gravity = gravity_schedule(&cliques, q, &weights, 1 << 20).unwrap();
+    let uniform = sorn_schedule(&cliques, &SornScheduleParams::with_q(q)).unwrap();
+
+    println!("ML cluster: 4 pipeline stages x 8 machines, gravity-weighted inter-pod bandwidth");
+    println!("  gravity schedule period: {} slots", gravity.period());
+    println!("  uniform schedule period: {} slots", uniform.period());
+    println!();
+
+    let gt = gravity.logical_topology();
+    println!("Node 0 (stage 0) inter-pod edges under the gravity schedule:");
+    for (dst, cap) in gt.neighbors(NodeId(0)) {
+        if dst.0 >= 8 {
+            let pod = dst.0 / 8;
+            println!("  0 -> {dst} (stage {pod})  capacity {cap:.4}");
+        }
+    }
+    println!("  (the next pipeline stage gets 4x the bandwidth of the others, as demanded)");
+    println!();
+
+    // Score both schedules against the *actual* demand: pipeline traffic
+    // is inter-heavy (20% intra), split proportional to the gravity
+    // weights across pods.
+    let intra_share = 0.2;
+    let mut rows = vec![vec![0.0f64; n]; n];
+    for (s, row) in rows.iter_mut().enumerate() {
+        let pod = s / 8;
+        for (d, cell) in row.iter_mut().enumerate() {
+            if s == d {
+                continue;
+            }
+            let dpod = d / 8;
+            *cell = if pod == dpod {
+                intra_share / 7.0
+            } else {
+                let w = weights.weight(pod, dpod) as f64;
+                (1.0 - intra_share) * (w / 6.0) / 8.0
+            };
+        }
+    }
+    let demand = DemandMatrix::from_rows(rows).unwrap();
+    let model = SornPaths::new(cliques.clone());
+
+    let ru = evaluate(&uniform.logical_topology(), &model, &demand).unwrap();
+    let rg = evaluate(&gt, &model, &demand).unwrap();
+    println!("Throughput against the real (skewed) demand:");
+    println!("  uniform inter-pod schedule: {:.3}", ru.throughput);
+    println!("  gravity inter-pod schedule: {:.3}", rg.throughput);
+    println!(
+        "  -> encoding the gravity pattern buys {:.0}% more throughput",
+        (rg.throughput / ru.throughput - 1.0) * 100.0
+    );
+}

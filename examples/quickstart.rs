@@ -1,0 +1,61 @@
+//! Quickstart: a guided tour of the SORN library.
+//!
+//! Reproduces the paper's two introductory artifacts as ASCII — the
+//! Figure 1 round-robin schedule and Figure 2(d)'s semi-oblivious
+//! topology A — then runs the paper's example flow (0 → 6) through the
+//! packet simulator.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use sorn::core::{SornConfig, SornNetwork};
+use sorn::sim::{Flow, FlowId};
+use sorn::topology::builders::round_robin;
+use sorn::topology::{NodeId, Ratio};
+
+fn main() {
+    // ---- Figure 1: an oblivious round-robin schedule for 5 nodes ----
+    let rr = round_robin(5).expect("5-node round robin");
+    println!("Figure 1 — oblivious round-robin schedule, 5 nodes:");
+    println!("(rows are time slots, columns are nodes, entries the peer)");
+    println!("{}", rr.render_table());
+
+    // ---- Figure 2(d): topology A — 8 nodes, 2 cliques of 4, q = 3 ----
+    let mut cfg = SornConfig::small(8, 2, 0.5);
+    cfg.q = Some(Ratio::integer(3));
+    let net = SornNetwork::build(cfg).expect("topology A");
+    println!("Figure 2(d) — SORN topology A (2 cliques of 4, q = 3):");
+    println!("{}", net.schedule().render_table());
+
+    let topo = net.schedule().logical_topology();
+    println!("Virtual edges of node 0 (capacity = fraction of bandwidth):");
+    for (dst, cap) in topo.neighbors(NodeId(0)) {
+        let kind = if dst.0 < 4 { "intra" } else { "inter" };
+        println!("  0 -> {dst}  {cap:.2}  ({kind}-clique)");
+    }
+    println!();
+
+    // ---- Closed-form analysis (§4) ----
+    let a = net.analysis();
+    println!("Closed-form analysis at q = {}:", a.q);
+    println!("  intra-clique delta_m: {:.0} slots", a.intra_delta_m.ceil());
+    println!("  inter-clique delta_m: {:.0} slots", a.inter_delta_m.ceil());
+    println!("  worst-case throughput: {:.1}%", a.throughput * 100.0);
+    println!();
+
+    // ---- The paper's example flow: 0 -> 6, e.g. via 0 -> 3 -> 7 -> 6 ----
+    let flows = vec![Flow {
+        id: FlowId(1),
+        src: NodeId(0),
+        dst: NodeId(6),
+        size_bytes: 4 * 1250,
+        arrival_ns: 0,
+    }];
+    let (metrics, drained) = net.simulate(flows, 7, 10_000).expect("simulation");
+    assert!(drained, "the tiny flow must drain");
+    let f = &metrics.flows[0];
+    println!("Simulated the paper's example flow 0 -> 6 (inter-clique):");
+    println!("  cells delivered: {}", metrics.delivered_cells);
+    println!("  max hops: {} (paper: 3-hop inter-clique routing)", f.max_hops);
+    println!("  completion time: {} ns", f.completion_ns);
+    println!("  mean hops per cell: {:.2}", metrics.mean_hops());
+}

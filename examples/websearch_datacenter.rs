@@ -1,0 +1,49 @@
+//! The Figure 2(f) scenario: a 128-node, 8-clique SORN carrying
+//! pFabric web-search traffic across the locality spectrum.
+//!
+//! Prints the theoretical `r = 1/(3 - x)` curve next to the exact
+//! flow-level throughput of the constructed schedules, then packet-
+//! simulates one point with real heavy-tailed flows to confirm the
+//! network drains below its predicted capacity.
+//!
+//! Run with: `cargo run --release --example websearch_datacenter`
+
+use sorn::analysis::fig2f::{generate, validate_point, Fig2fParams};
+use sorn::analysis::render::TextTable;
+
+fn main() {
+    let params = Fig2fParams::default(); // 128 nodes, 8 cliques
+    println!(
+        "Figure 2(f): worst-case throughput vs locality ratio ({} nodes, {} cliques)",
+        params.n, params.cliques
+    );
+
+    let points = generate(&params).expect("figure generation");
+    let mut t = TextTable::new(&["x", "theory 1/(3-x)", "schedule (exact)", "mean hops"]);
+    for p in &points {
+        t.row(vec![
+            format!("{:.1}", p.x),
+            format!("{:.4}", p.theory),
+            format!("{:.4}", p.simulated),
+            format!("{:.3}", p.mean_hops),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("(throughput rises from 1/3 toward 1/2 as locality grows, as in the paper)");
+    println!();
+
+    // Packet-level validation at the paper's median locality with real
+    // pFabric web-search flow sizes.
+    let x = 0.56;
+    let load = 0.30; // below the predicted r = 0.41
+    println!("Packet validation at x = {x}, offered load = {load} (pFabric web-search):");
+    let v = validate_point(128, 8, x, load, 2_000_000, 42).expect("packet validation");
+    println!("  flows completed: {}", v.flows);
+    println!("  drained within budget: {}", v.drained);
+    println!("  mean hops per cell: {:.2} (model: {:.2})", v.mean_hops, 3.0 - x);
+    println!(
+        "  delivery fraction (throughput proxy): {:.3} (~1/mean_hops = {:.3})",
+        v.delivery_fraction,
+        1.0 / v.mean_hops
+    );
+}

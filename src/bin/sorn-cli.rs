@@ -1,0 +1,396 @@
+//! `sorn-cli` — command-line front end for the SORN library.
+//!
+//! ```text
+//! sorn-cli analyze  --n 4096 --cliques 64 --locality 0.56 [--uplinks 16]
+//! sorn-cli schedule --n 8 --cliques 2 --q 3
+//! sorn-cli gen-trace --n 32 --cliques 4 --locality 0.56 --load 0.3 \
+//!                    --duration-us 500 --seed 1 --out trace.json
+//! sorn-cli simulate --trace trace.json --cliques 4 [--locality 0.56]
+//! ```
+//!
+//! Argument parsing is hand-rolled (`--key value` pairs) to keep the
+//! dependency set minimal.
+
+use sorn::analysis::fct::{bucketed_slowdown, DEFAULT_BUCKETS};
+use sorn::analysis::render::{fmt_latency, fmt_pct, TextTable};
+use sorn::core::{SornConfig, SornNetwork};
+use sorn::sim::SimConfig;
+use sorn::topology::Ratio;
+use sorn::traffic::spatial::CliqueLocal;
+use sorn::traffic::{FlowSizeDist, PoissonWorkload, Trace};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+/// Parsed `--key value` arguments.
+struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut flags = HashMap::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let key = &argv[i];
+            if !key.starts_with("--") {
+                return Err(format!("expected --flag, got `{key}`"));
+            }
+            let Some(value) = argv.get(i + 1) else {
+                return Err(format!("flag `{key}` is missing a value"));
+            };
+            flags.insert(key[2..].to_string(), value.clone());
+            i += 2;
+        }
+        Ok(Args { flags })
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{key}: cannot parse `{v}`")),
+        }
+    }
+
+    fn required(&self, key: &str) -> Result<&str, String> {
+        self.flags
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+}
+
+const USAGE: &str = "usage:
+  sorn-cli table1
+  sorn-cli fig2f     [--n <nodes>] [--cliques <count>]
+  sorn-cli hierarchy --radices 4,4,4 --profile 0.6,0.25,0.15
+  sorn-cli analyze   --n <nodes> --cliques <count> --locality <x> [--uplinks u] [--slot-ns s] [--prop-ns p] [--q a/b]
+  sorn-cli schedule  --n <nodes> --cliques <count> [--q a/b | --locality <x>]
+  sorn-cli gen-trace --n <nodes> --cliques <count> --locality <x> --load <rho> --duration-us <t> [--seed k] [--dist web-search|data-mining|fixed:<bytes>] --out <file>
+  sorn-cli simulate  --trace <file> --cliques <count> [--locality <x>] [--seed k] [--max-slots m]";
+
+fn parse_q(s: &str) -> Result<Ratio, String> {
+    if let Some((a, b)) = s.split_once('/') {
+        let num: u64 = a.parse().map_err(|_| format!("bad ratio `{s}`"))?;
+        let den: u64 = b.parse().map_err(|_| format!("bad ratio `{s}`"))?;
+        if num == 0 || den == 0 {
+            return Err(format!("ratio `{s}` must be positive"));
+        }
+        Ok(Ratio::new(num, den))
+    } else {
+        let v: u64 = s.parse().map_err(|_| format!("bad ratio `{s}`"))?;
+        if v == 0 {
+            return Err("ratio must be positive".into());
+        }
+        Ok(Ratio::integer(v))
+    }
+}
+
+fn parse_dist(s: &str) -> Result<FlowSizeDist, String> {
+    match s {
+        "web-search" => Ok(FlowSizeDist::web_search()),
+        "data-mining" => Ok(FlowSizeDist::data_mining()),
+        other => {
+            if let Some(bytes) = other.strip_prefix("fixed:") {
+                let b: u64 = bytes.parse().map_err(|_| format!("bad size `{bytes}`"))?;
+                Ok(FlowSizeDist::fixed(b))
+            } else {
+                Err(format!("unknown distribution `{other}`"))
+            }
+        }
+    }
+}
+
+fn build_config(args: &Args) -> Result<SornConfig, String> {
+    let n: usize = args.get("n", 0usize)?;
+    let cliques: usize = args.get("cliques", 0usize)?;
+    if n == 0 || cliques == 0 {
+        return Err("need --n and --cliques".into());
+    }
+    let mut cfg = SornConfig::small(n, cliques, args.get("locality", 0.56f64)?);
+    cfg.uplinks = args.get("uplinks", 1usize)?;
+    cfg.slot_ns = args.get("slot-ns", 100u64)?;
+    cfg.propagation_ns = args.get("prop-ns", 500u64)?;
+    if let Some(q) = args.flags.get("q") {
+        cfg.q = Some(parse_q(q)?);
+    }
+    cfg.validate().map_err(|e| e.to_string())?;
+    Ok(cfg)
+}
+
+fn parse_list<T: std::str::FromStr>(s: &str, what: &str) -> Result<Vec<T>, String> {
+    s.split(',')
+        .map(|p| p.trim().parse().map_err(|_| format!("bad {what} entry `{p}`")))
+        .collect()
+}
+
+fn cmd_hierarchy(args: &Args) -> Result<(), String> {
+    let radices: Vec<usize> = parse_list(args.required("radices")?, "radix")?;
+    let profile: Vec<f64> = parse_list(args.required("profile")?, "profile")?;
+    let model = sorn::core::HierarchyModel::new(radices.clone(), profile)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "hierarchical SORN over {} nodes ({} levels, radices {:?})",
+        radices.iter().product::<usize>(),
+        radices.len(),
+        radices
+    );
+    let mut t = TextTable::new(&["metric", "value"]);
+    let w = model.optimal_weights();
+    t.row(vec![
+        "optimal bandwidth split".into(),
+        w.iter().map(|v| format!("{v:.3}")).collect::<Vec<_>>().join(" / "),
+    ]);
+    t.row(vec![
+        "mean hops / BW cost".into(),
+        format!("{:.3}", model.mean_hops()),
+    ]);
+    t.row(vec![
+        "worst-case throughput".into(),
+        fmt_pct(model.optimal_throughput()),
+    ]);
+    for l in 0..model.levels() {
+        t.row(vec![
+            format!("level-{l} delta_m (slots)"),
+            format!("{:.0}", model.class_delta_m(l).ceil()),
+        ]);
+    }
+    print!("{}", t.render());
+    Ok(())
+}
+
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    let cfg = build_config(args)?;
+    let net = SornNetwork::build(cfg).map_err(|e| e.to_string())?;
+    let a = net.analysis();
+    println!("SORN analysis — {} nodes, {} cliques of {}, x = {}",
+        net.config().n, net.config().cliques, net.config().clique_size(), net.config().locality);
+    let mut t = TextTable::new(&["metric", "value"]);
+    t.row(vec!["oversubscription q".into(), format!("{:.4}", a.q)]);
+    t.row(vec!["intra delta_m (slots)".into(), format!("{:.0}", a.intra_delta_m.ceil())]);
+    t.row(vec!["inter delta_m (slots)".into(), format!("{:.0}", a.inter_delta_m.ceil())]);
+    t.row(vec!["intra worst latency".into(), fmt_latency(a.intra_latency_ns)]);
+    t.row(vec!["inter worst latency".into(), fmt_latency(a.inter_latency_ns)]);
+    t.row(vec!["worst-case throughput".into(), fmt_pct(a.throughput)]);
+    t.row(vec!["mean hops / BW cost".into(), format!("{:.2}", a.mean_hops)]);
+    t.row(vec!["schedule period (slots)".into(), net.schedule().period().to_string()]);
+    print!("{}", t.render());
+    Ok(())
+}
+
+fn cmd_schedule(args: &Args) -> Result<(), String> {
+    let cfg = build_config(args)?;
+    let net = SornNetwork::build(cfg).map_err(|e| e.to_string())?;
+    print!("{}", net.schedule().render_table());
+    Ok(())
+}
+
+fn cmd_gen_trace(args: &Args) -> Result<(), String> {
+    let cfg = build_config(args)?;
+    let load: f64 = args.get("load", 0.3f64)?;
+    let duration_us: u64 = args.get("duration-us", 500u64)?;
+    let seed: u64 = args.get("seed", 0u64)?;
+    let out = args.required("out")?;
+    let dist = parse_dist(&args.get("dist", "web-search".to_string())?)?;
+
+    let net = SornNetwork::build(cfg.clone()).map_err(|e| e.to_string())?;
+    let wl = PoissonWorkload {
+        n: cfg.n,
+        load,
+        node_bandwidth_bytes_per_ns: 12.5 * cfg.uplinks as f64,
+        duration_ns: duration_us * 1000,
+        seed,
+    };
+    let flows = wl.generate(&dist, &CliqueLocal::new(net.cliques().clone(), cfg.locality));
+    let trace = Trace::record(
+        cfg.n,
+        &format!(
+            "poisson load={load} x={} dist={} duration={duration_us}us seed={seed}",
+            cfg.locality,
+            dist.name()
+        ),
+        &flows,
+    );
+    std::fs::write(out, trace.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {} flows to {out}", flows.len());
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let path = args.required("trace")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let trace = Trace::from_json(&json).map_err(|e| format!("parsing {path}: {e}"))?;
+    let cliques: usize = args.get("cliques", 0usize)?;
+    if cliques == 0 {
+        return Err("need --cliques".into());
+    }
+    let mut cfg = SornConfig::small(trace.nodes, cliques, args.get("locality", 0.56f64)?);
+    cfg.uplinks = args.get("uplinks", 1usize)?;
+    cfg.validate().map_err(|e| e.to_string())?;
+    let seed: u64 = args.get("seed", 0u64)?;
+    let max_slots: u64 = args.get("max-slots", 10_000_000u64)?;
+
+    let net = SornNetwork::build(cfg.clone()).map_err(|e| e.to_string())?;
+    let flows = trace.replay();
+    println!("simulating {} flows ({}) on {} nodes / {} cliques...",
+        flows.len(), trace.description, trace.nodes, cliques);
+    let (metrics, drained) = net
+        .simulate(flows, seed, max_slots)
+        .map_err(|e| e.to_string())?;
+
+    let mut t = TextTable::new(&["metric", "value"]);
+    t.row(vec!["drained".into(), drained.to_string()]);
+    t.row(vec!["flows completed".into(), metrics.flows.len().to_string()]);
+    t.row(vec!["cells delivered".into(), metrics.delivered_cells.to_string()]);
+    t.row(vec!["mean hops".into(), format!("{:.3}", metrics.mean_hops())]);
+    t.row(vec!["delivery fraction".into(), format!("{:.3}", metrics.delivery_fraction())]);
+    t.row(vec!["circuit utilization".into(), format!("{:.3}", metrics.circuit_utilization())]);
+    t.row(vec!["mean FCT".into(), fmt_latency(metrics.mean_fct_ns())]);
+    if let Some(p99) = metrics.fct_percentile_ns(99.0) {
+        t.row(vec!["p99 FCT".into(), fmt_latency(p99 as f64)]);
+    }
+    print!("{}", t.render());
+
+    // Size-bucketed slowdown (pFabric-style).
+    let sim_cfg = SimConfig {
+        slot_ns: cfg.slot_ns,
+        propagation_ns: cfg.propagation_ns,
+        uplinks: cfg.uplinks,
+        ..SimConfig::default()
+    };
+    let buckets = bucketed_slowdown(&metrics.flows, &sim_cfg, &DEFAULT_BUCKETS);
+    println!("\nFCT slowdown by flow size:");
+    let mut bt = TextTable::new(&["size", "flows", "mean slowdown", "p99 slowdown"]);
+    for b in buckets {
+        if b.flows == 0 {
+            continue;
+        }
+        let label = if b.hi == u64::MAX {
+            format!(">= {} KB", b.lo / 1000)
+        } else {
+            format!("{}-{} KB", b.lo / 1000, b.hi / 1000)
+        };
+        bt.row(vec![
+            label,
+            b.flows.to_string(),
+            format!("{:.2}", b.mean_slowdown),
+            format!("{:.2}", b.p99_slowdown),
+        ]);
+    }
+    print!("{}", bt.render());
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        return Err(USAGE.into());
+    };
+    let args = Args::parse(&argv[1..])?;
+    match cmd.as_str() {
+        "table1" => {
+            let params = sorn::analysis::table1::Table1Params::default();
+            print!("{}", sorn::analysis::table1::render(&sorn::analysis::table1::generate(&params)));
+            Ok(())
+        }
+        "fig2f" => {
+            let mut params = sorn::analysis::fig2f::Fig2fParams::default();
+            params.n = args.get("n", params.n)?;
+            params.cliques = args.get("cliques", params.cliques)?;
+            let pts = sorn::analysis::fig2f::generate(&params).map_err(|e| e.to_string())?;
+            let mut t = TextTable::new(&["x", "theory 1/(3-x)", "simulated"]);
+            for p in pts {
+                t.row(vec![
+                    format!("{:.1}", p.x),
+                    format!("{:.4}", p.theory),
+                    format!("{:.4}", p.simulated),
+                ]);
+            }
+            print!("{}", t.render());
+            Ok(())
+        }
+        "hierarchy" => cmd_hierarchy(&args),
+        "analyze" => cmd_analyze(&args),
+        "schedule" => cmd_schedule(&args),
+        "gen-trace" => cmd_gen_trace(&args),
+        "simulate" => cmd_simulate(&args),
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(pairs: &[(&str, &str)]) -> Args {
+        let argv: Vec<String> = pairs
+            .iter()
+            .flat_map(|(k, v)| [format!("--{k}"), v.to_string()])
+            .collect();
+        Args::parse(&argv).unwrap()
+    }
+
+    #[test]
+    fn parse_key_value_pairs() {
+        let a = args(&[("n", "16"), ("cliques", "4")]);
+        assert_eq!(a.get("n", 0usize).unwrap(), 16);
+        assert_eq!(a.get("missing", 7u64).unwrap(), 7);
+        assert!(a.required("cliques").is_ok());
+        assert!(a.required("nope").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(Args::parse(&["positional".into()]).is_err());
+        assert!(Args::parse(&["--dangling".into()]).is_err());
+        let a = args(&[("n", "abc")]);
+        assert!(a.get("n", 0usize).is_err());
+    }
+
+    #[test]
+    fn parse_q_forms() {
+        assert_eq!(parse_q("3").unwrap(), Ratio::integer(3));
+        assert_eq!(parse_q("50/11").unwrap(), Ratio::new(50, 11));
+        assert!(parse_q("0").is_err());
+        assert!(parse_q("a/b").is_err());
+        assert!(parse_q("3/0").is_err());
+    }
+
+    #[test]
+    fn parse_dist_forms() {
+        assert_eq!(parse_dist("web-search").unwrap().name(), "pfabric-web-search");
+        assert_eq!(parse_dist("fixed:1500").unwrap().name(), "fixed-1500B");
+        assert!(parse_dist("bogus").is_err());
+        assert!(parse_dist("fixed:x").is_err());
+    }
+
+    #[test]
+    fn parse_list_forms() {
+        let v: Vec<usize> = parse_list("4,4,8", "radix").unwrap();
+        assert_eq!(v, vec![4, 4, 8]);
+        let f: Vec<f64> = parse_list("0.6, 0.25, 0.15", "profile").unwrap();
+        assert_eq!(f.len(), 3);
+        assert!(parse_list::<usize>("4,x", "radix").is_err());
+    }
+
+    #[test]
+    fn build_config_validates() {
+        let a = args(&[("n", "16"), ("cliques", "4"), ("locality", "0.5")]);
+        let cfg = build_config(&a).unwrap();
+        assert_eq!(cfg.n, 16);
+        assert_eq!(cfg.effective_q(), Ratio::integer(4));
+        let bad = args(&[("n", "10"), ("cliques", "3")]);
+        assert!(build_config(&bad).is_err());
+    }
+}

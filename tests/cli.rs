@@ -1,0 +1,83 @@
+//! End-to-end tests for the `sorn-cli` binary: analyze, schedule,
+//! gen-trace → simulate round trip, and error handling.
+
+use std::process::Command;
+
+fn cli(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_sorn-cli"))
+        .args(args)
+        .output()
+        .expect("launch sorn-cli");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn analyze_prints_the_table1_numbers() {
+    let (ok, out, _) = cli(&[
+        "analyze", "--n", "4096", "--cliques", "64", "--locality", "0.56", "--uplinks", "16",
+    ]);
+    assert!(ok);
+    assert!(out.contains("77"), "{out}");
+    assert!(out.contains("364"), "{out}");
+    assert!(out.contains("1.48 us"), "{out}");
+    assert!(out.contains("40.98%"), "{out}");
+}
+
+#[test]
+fn schedule_prints_topology_a() {
+    let (ok, out, _) = cli(&["schedule", "--n", "8", "--cliques", "2", "--q", "3"]);
+    assert!(ok);
+    // 4-slot schedule; slot 4 is the inter matching 0->4.
+    assert_eq!(out.lines().count(), 5);
+    assert!(out.contains("4\t4\t5\t6\t7\t0\t1\t2\t3"), "{out}");
+}
+
+#[test]
+fn trace_round_trip_through_files() {
+    let dir = std::env::temp_dir().join("sorn-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("trace.json");
+    let trace_s = trace.to_str().unwrap();
+
+    let (ok, out, err) = cli(&[
+        "gen-trace", "--n", "16", "--cliques", "4", "--locality", "0.5", "--load", "0.2",
+        "--duration-us", "100", "--dist", "fixed:5000", "--seed", "3", "--out", trace_s,
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.contains("wrote"), "{out}");
+
+    let (ok2, out2, err2) = cli(&[
+        "simulate", "--trace", trace_s, "--cliques", "4", "--locality", "0.5",
+    ]);
+    assert!(ok2, "{err2}");
+    assert!(out2.contains("drained"), "{out2}");
+    assert!(out2.contains("true"), "{out2}");
+    assert!(out2.contains("FCT slowdown by flow size"), "{out2}");
+}
+
+#[test]
+fn table1_subcommand_matches_paper() {
+    let (ok, out, _) = cli(&["table1"]);
+    assert!(ok);
+    assert!(out.contains("26.59 us"), "{out}");
+    assert!(out.contains("40.98%"), "{out}");
+}
+
+#[test]
+fn errors_are_reported_with_nonzero_exit() {
+    let (ok, _, err) = cli(&["bogus-command"]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"), "{err}");
+
+    let (ok2, _, err2) = cli(&["analyze", "--n", "10", "--cliques", "3"]);
+    assert!(!ok2);
+    assert!(err2.contains("divide"), "{err2}");
+
+    let (ok3, _, err3) = cli(&["simulate", "--cliques", "4"]);
+    assert!(!ok3);
+    assert!(err3.contains("--trace"), "{err3}");
+}

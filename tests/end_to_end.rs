@@ -1,0 +1,165 @@
+//! End-to-end integration: workload generation → SORN network →
+//! packet simulation → metrics, plus the control-plane install path.
+
+use sorn::control::{ControlConfig, ControlLoop, EpochOutcome};
+use sorn::core::{SornConfig, SornNetwork};
+use sorn::routing::SornRouter;
+use sorn::sim::{Engine, SimConfig};
+use sorn::topology::builders::{sorn_schedule, SornScheduleParams};
+use sorn::topology::{CliqueMap, NodeId, Ratio};
+use sorn::traffic::spatial::CliqueLocal;
+use sorn::traffic::{measured_locality, FacebookWorkload, FlowSizeDist, PoissonWorkload, Trace};
+
+#[test]
+fn facebook_workload_through_sorn_network() {
+    let net = SornNetwork::build(SornConfig::small(32, 4, 0.56)).expect("network");
+    let mut wl = FacebookWorkload::paper_reference(net.cliques().clone(), 0.2, 300_000, 9);
+    wl.node_bandwidth_bytes_per_ns = 12.5;
+    let flows = wl.generate();
+    assert!(!flows.is_empty());
+    let n_flows = flows.len();
+
+    let (metrics, drained) = net.simulate(flows, 1, 2_000_000).expect("simulation");
+    assert!(drained, "low-load Facebook workload must drain");
+    assert_eq!(metrics.flows.len(), n_flows);
+    // SORN routing: between 1 and 3 hops for every flow.
+    for f in &metrics.flows {
+        assert!(f.max_hops >= 1 && f.max_hops <= 3);
+    }
+    // Mean hops within the model's [2, 3] band (some 1-hop lucky sprays).
+    let mh = metrics.mean_hops();
+    assert!(mh > 1.5 && mh <= 3.0, "mean hops {mh}");
+}
+
+#[test]
+fn recorded_trace_replays_identically() {
+    let map = CliqueMap::contiguous(16, 4);
+    let wl = PoissonWorkload {
+        n: 16,
+        load: 0.3,
+        node_bandwidth_bytes_per_ns: 12.5,
+        duration_ns: 200_000,
+        seed: 5,
+    };
+    let flows = wl.generate(
+        &FlowSizeDist::web_search(),
+        &CliqueLocal::new(map.clone(), 0.5),
+    );
+    let trace = Trace::record(16, "integration", &flows);
+    let json = trace.to_json();
+    let replayed = Trace::from_json(&json).unwrap().replay();
+
+    let net = SornNetwork::build(SornConfig::small(16, 4, 0.5)).unwrap();
+    let (m1, d1) = net.simulate(flows, 3, 5_000_000).unwrap();
+    let (m2, d2) = net.simulate(replayed, 3, 5_000_000).unwrap();
+    assert_eq!(d1, d2);
+    assert_eq!(m1.delivered_cells, m2.delivered_cells);
+    assert_eq!(m1.cell_latency_sum_ns, m2.cell_latency_sum_ns);
+}
+
+#[test]
+fn control_loop_schedule_installs_into_engine() {
+    // Drive the control loop with scrambled traffic, then run the
+    // schedule it installed inside the packet engine.
+    let n = 16usize;
+    let map = CliqueMap::contiguous(n, 4);
+    let q = Ratio::integer(2);
+    let sched = sorn_schedule(&map, &SornScheduleParams::with_q(q)).unwrap();
+    let mut cfg = ControlConfig::default();
+    cfg.allowed_sizes = vec![4];
+    cfg.alpha = 1.0;
+    let mut ctl = ControlLoop::new(cfg, map, q, sched);
+
+    // Scrambled communities: i % 4.
+    let mut observed = Vec::new();
+    for s in 0..n as u32 {
+        for d in 0..n as u32 {
+            if s != d && s % 4 == d % 4 {
+                observed.push(sorn::sim::Flow {
+                    id: sorn::sim::FlowId(0),
+                    src: NodeId(s),
+                    dst: NodeId(d),
+                    size_bytes: 30_000,
+                    arrival_ns: 0,
+                });
+            }
+        }
+    }
+    ctl.observe(&observed);
+    let outcome = ctl.end_epoch().unwrap();
+    assert!(matches!(outcome, EpochOutcome::Updated { .. }));
+
+    // The installed schedule + matching router must carry the scrambled
+    // traffic in at most 2 hops (it is now all intra-clique).
+    let router = SornRouter::new(ctl.cliques().clone());
+    let mut eng = Engine::new(SimConfig::default(), ctl.schedule(), &router);
+    let flows: Vec<sorn::sim::Flow> = observed
+        .iter()
+        .enumerate()
+        .map(|(i, f)| sorn::sim::Flow {
+            id: sorn::sim::FlowId(i as u64),
+            size_bytes: 2500,
+            arrival_ns: i as u64 * 40,
+            ..*f
+        })
+        .collect();
+    let count = flows.len();
+    eng.add_flows(flows).unwrap();
+    assert!(eng.run_until_drained(1_000_000).unwrap());
+    assert_eq!(eng.metrics().flows.len(), count);
+    for f in &eng.metrics().flows {
+        assert!(
+            f.max_hops <= 2,
+            "after regrouping, community traffic is intra-clique (got {} hops)",
+            f.max_hops
+        );
+    }
+}
+
+#[test]
+fn locality_measured_on_generated_traffic_matches_request() {
+    let map = CliqueMap::contiguous(64, 8);
+    let wl = PoissonWorkload {
+        n: 64,
+        load: 0.4,
+        node_bandwidth_bytes_per_ns: 12.5,
+        duration_ns: 2_000_000,
+        seed: 21,
+    };
+    let flows = wl.generate(
+        &FlowSizeDist::fixed(4000),
+        &CliqueLocal::new(map.clone(), 0.56),
+    );
+    let x = measured_locality(&flows, &map);
+    assert!((x - 0.56).abs() < 0.04, "measured locality {x}");
+}
+
+#[test]
+fn failure_recovery_after_restoration() {
+    // A failed inter-clique gateway stalls inter traffic; restoring it
+    // lets the engine drain without losing anything.
+    let net = SornNetwork::build(SornConfig::small(8, 2, 0.5)).unwrap();
+    let mut eng = Engine::new(SimConfig::default(), net.schedule(), net.router());
+    let flows: Vec<sorn::sim::Flow> = (0..4u32)
+        .map(|s| sorn::sim::Flow {
+            id: sorn::sim::FlowId(s as u64),
+            src: NodeId(s),
+            dst: NodeId(s + 4),
+            size_bytes: 2500,
+            arrival_ns: 0,
+        })
+        .collect();
+    eng.add_flows(flows).unwrap();
+    // Fail all inter links (src clique node i -> node i+4).
+    for i in 0..4u32 {
+        eng.failures_mut().fail_link(NodeId(i), NodeId(i + 4));
+    }
+    assert!(!eng.run_until_drained(5_000).unwrap());
+    let stuck = eng.total_queued();
+    assert!(stuck > 0);
+    for i in 0..4u32 {
+        eng.failures_mut().restore_link(NodeId(i), NodeId(i + 4));
+    }
+    assert!(eng.run_until_drained(100_000).unwrap());
+    assert_eq!(eng.metrics().flows.len(), 4);
+}
