@@ -6,7 +6,7 @@
 //! epoch. We score both with the exact flow-level throughput of their
 //! installed configuration against each epoch's true demand.
 
-use sorn_control::{ControlConfig, ControlLoop, EpochOutcome};
+use sorn_control::{ControlConfig, ControlLoop, DecisionLog, EpochOutcome};
 use sorn_core::CoreError;
 use sorn_routing::{evaluate, DemandMatrix, SornPaths};
 use sorn_sim::Flow;
@@ -43,6 +43,19 @@ pub fn run(
     control: ControlConfig,
     phases: &[(usize, Vec<Flow>)],
 ) -> Result<Vec<AdaptationEpoch>, CoreError> {
+    run_with_decisions(n, initial_cliques, q0, control, phases).map(|(epochs, _)| epochs)
+}
+
+/// Like [`run`], but also returns the control loop's per-epoch
+/// [`DecisionLog`] — the estimated inter-clique demand, candidate plans,
+/// and installed schedule diffs behind each epoch's outcome.
+pub fn run_with_decisions(
+    n: usize,
+    initial_cliques: usize,
+    q0: Ratio,
+    control: ControlConfig,
+    phases: &[(usize, Vec<Flow>)],
+) -> Result<(Vec<AdaptationEpoch>, DecisionLog), CoreError> {
     let static_map = CliqueMap::contiguous(n, initial_cliques);
     let static_sched = sorn_schedule(&static_map, &SornScheduleParams::with_q(q0))?;
 
@@ -85,7 +98,7 @@ pub fn run(
             epoch_idx += 1;
         }
     }
-    Ok(out)
+    Ok((out, ctl.decisions().clone()))
 }
 
 /// Builds a normalized demand matrix from a flow list.
@@ -165,5 +178,21 @@ mod tests {
         for e in updated {
             assert!(e.installation_ns > 0);
         }
+    }
+
+    #[test]
+    fn decision_log_mirrors_epoch_outcomes() {
+        let n = 16;
+        let mut cfg = ControlConfig::default();
+        cfg.allowed_sizes = vec![4];
+        cfg.alpha = 1.0;
+        let phases = vec![(3usize, scrambled(n, 4))];
+        let (epochs, log) = run_with_decisions(n, 4, Ratio::integer(2), cfg, &phases).unwrap();
+        assert_eq!(log.len(), epochs.len(), "one decision per epoch");
+        for (e, d) in epochs.iter().zip(&log.records) {
+            assert_eq!(e.updated, d.outcome == "updated");
+            assert_eq!(e.updated, d.schedule_diff.is_some());
+        }
+        assert!(log.records.iter().all(|d| d.total_estimated_bytes > 0.0));
     }
 }

@@ -110,7 +110,7 @@ mod tests {
     #[test]
     fn ideal_fct_accounts_for_cells_and_uplinks() {
         let cfg = SimConfig::default(); // 1250 B cells, 100 ns slots, 1 uplink
-        // Single cell: one slot + propagation.
+                                        // Single cell: one slot + propagation.
         assert_eq!(ideal_fct_ns(1000, &cfg), 600);
         // Four cells: three more slots of injection.
         assert_eq!(ideal_fct_ns(5000, &cfg), 900);

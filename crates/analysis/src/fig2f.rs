@@ -10,7 +10,7 @@
 //!   pFabric web-search traffic ("real-world traffic \[2\]").
 
 use sorn_core::{model, CoreError, SornConfig, SornNetwork};
-use sorn_sim::SimError;
+use sorn_sim::{Metrics, NoopProbe, Probe, SimError};
 use sorn_traffic::{spatial::CliqueLocal, FlowSizeDist, PoissonWorkload};
 
 /// One point of the Figure 2(f) series.
@@ -94,6 +94,23 @@ pub fn validate_point(
     duration_ns: u64,
     seed: u64,
 ) -> Result<PacketValidation, SimError> {
+    validate_point_traced(n, cliques, x, load, duration_ns, seed, NoopProbe).map(|(v, _, _)| v)
+}
+
+/// Like [`validate_point`], but with a telemetry probe observing the
+/// packet run; returns the full run metrics and the probe alongside the
+/// validation summary, so callers can cross-check a written trace
+/// against the aggregate counters.
+#[allow(clippy::too_many_arguments)]
+pub fn validate_point_traced<P: Probe>(
+    n: usize,
+    cliques: usize,
+    x: f64,
+    load: f64,
+    duration_ns: u64,
+    seed: u64,
+    probe: P,
+) -> Result<(PacketValidation, Metrics, P), SimError> {
     let mut cfg = SornConfig::small(n, cliques, x);
     cfg.q = Some(sorn_topology::Ratio::approximate(model::ideal_q(x), 64));
     let net = SornNetwork::build(cfg).expect("valid point config");
@@ -111,15 +128,16 @@ pub fn validate_point(
     let n_flows = flows.len();
     // Generous drain budget: 50x the workload duration.
     let max_slots = duration_ns / 100 * 50;
-    let (metrics, drained) = net.simulate(flows, seed, max_slots)?;
-    Ok(PacketValidation {
+    let (metrics, drained, probe) = net.simulate_with_probe(flows, seed, max_slots, probe)?;
+    let validation = PacketValidation {
         x,
         offered_load: load,
         drained,
         mean_hops: metrics.mean_hops(),
         delivery_fraction: metrics.delivery_fraction(),
         flows: n_flows.min(metrics.flows.len()),
-    })
+    };
+    Ok((validation, metrics, probe))
 }
 
 #[cfg(test)]
@@ -146,7 +164,12 @@ mod tests {
                 p.simulated,
                 p.theory
             );
-            assert!(p.simulated < p.theory + 0.12, "x={}: sim {}", p.x, p.simulated);
+            assert!(
+                p.simulated < p.theory + 0.12,
+                "x={}: sim {}",
+                p.x,
+                p.simulated
+            );
             // Bandwidth tax shrinks with locality.
             assert!(p.mean_hops <= 3.0 - p.x + 1e-9);
         }

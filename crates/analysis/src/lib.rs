@@ -13,6 +13,8 @@
 //! - [`adaptation`]: the §5 reconfiguration experiment (static vs
 //!   adaptive across macro-pattern shifts, with update-cost accounting).
 //! - [`render`]: plain-text table rendering shared by the bench binaries.
+//! - [`timeseries`]: percentile summaries and CSV timelines over the
+//!   JSONL run traces that `sorn-telemetry` probes produce.
 
 #![warn(missing_docs)]
 
@@ -24,3 +26,4 @@ pub mod render;
 pub mod saturation;
 pub mod syncdomains;
 pub mod table1;
+pub mod timeseries;

@@ -90,7 +90,13 @@ pub fn to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
         }
     }
     let mut out = String::new();
-    out.push_str(&header.iter().map(|h| field(h)).collect::<Vec<_>>().join(","));
+    out.push_str(
+        &header
+            .iter()
+            .map(|h| field(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
     out.push('\n');
     for row in rows {
         out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
@@ -147,7 +153,10 @@ mod tests {
     fn csv_escapes_awkward_fields() {
         let csv = to_csv(
             &["a", "b"],
-            &[vec!["1,5".into(), "say \"hi\"".into()], vec!["2".into(), "plain".into()]],
+            &[
+                vec!["1,5".into(), "say \"hi\"".into()],
+                vec!["2".into(), "plain".into()],
+            ],
         );
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "a,b");

@@ -62,7 +62,8 @@ pub fn probe_stability(
     let flows = workload.flows_at(load);
     let duration = workload.duration_ns();
     let mut eng = Engine::new(cfg, schedule, router);
-    eng.add_flows(flows).expect("workload within network bounds");
+    eng.add_flows(flows)
+        .expect("workload within network bounds");
     let slots = duration / cfg.slot_ns;
     eng.run_slots(slots).expect("probe run");
 

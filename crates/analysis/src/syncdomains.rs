@@ -89,12 +89,7 @@ pub fn flat_sync(n: usize, model: &SyncModel) -> SyncReport {
 ///
 /// `intra_fraction` is the share of slots that are intra-clique
 /// (`q/(q+1)`), weighting the efficiency.
-pub fn sorn_sync(
-    n: usize,
-    cliques: usize,
-    q: f64,
-    model: &SyncModel,
-) -> SyncReport {
+pub fn sorn_sync(n: usize, cliques: usize, q: f64, model: &SyncModel) -> SyncReport {
     assert!(cliques >= 1 && n.is_multiple_of(cliques));
     let c = n / cliques;
     // Inter-domain span: nc anchor points, each a clique apart, so the

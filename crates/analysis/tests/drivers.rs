@@ -109,16 +109,7 @@ fn sorn_saturation_brackets_the_model_prediction() {
         map,
         duration_ns: 300_000,
     };
-    let res = find_saturation(
-        &sched,
-        &router,
-        SimConfig::default(),
-        &wl,
-        0.15,
-        0.9,
-        4,
-        60,
-    );
+    let res = find_saturation(&sched, &router, SimConfig::default(), &wl, 0.15, 0.9, 4, 60);
     assert!(
         res.stable_load > 0.25 && res.stable_load < 0.55,
         "saturation {} far from the r* = 0.4 prediction",

@@ -66,5 +66,10 @@ fn bench_update_preparation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_estimator, bench_optimizer, bench_update_preparation);
+criterion_group!(
+    benches,
+    bench_estimator,
+    bench_optimizer,
+    bench_update_preparation
+);
 criterion_main!(benches);

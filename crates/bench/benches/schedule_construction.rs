@@ -88,7 +88,13 @@ fn bench_nonuniform(c: &mut Criterion) {
     use sorn_topology::CliqueId;
     // 128 nodes: one 64-clique plus four 16-cliques.
     let assignment: Vec<CliqueId> = (0..128u32)
-        .map(|v| if v < 64 { CliqueId(0) } else { CliqueId(1 + (v - 64) / 16) })
+        .map(|v| {
+            if v < 64 {
+                CliqueId(0)
+            } else {
+                CliqueId(1 + (v - 64) / 16)
+            }
+        })
         .collect();
     let map = CliqueMap::from_assignment(&assignment);
     c.bench_function("nonuniform_schedule_128", |b| {

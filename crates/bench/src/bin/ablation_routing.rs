@@ -58,11 +58,18 @@ impl LoadedWorkload for CliqueWorkload {
     }
 }
 
-fn low_load_tax(schedule: &CircuitSchedule, router: &dyn Router, wl: &CliqueWorkload) -> (f64, f64) {
+fn low_load_tax(
+    schedule: &CircuitSchedule,
+    router: &dyn Router,
+    wl: &CliqueWorkload,
+) -> (f64, f64) {
     let mut eng = Engine::new(SimConfig::default(), schedule, router);
     eng.add_flows(wl.flows_at(0.1)).unwrap();
     eng.run_until_drained(10_000_000).unwrap();
-    (eng.metrics().mean_hops(), eng.metrics().mean_fct_ns() / 1000.0)
+    (
+        eng.metrics().mean_hops(),
+        eng.metrics().mean_fct_ns() / 1000.0,
+    )
 }
 
 fn main() {

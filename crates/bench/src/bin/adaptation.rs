@@ -3,9 +3,9 @@
 //! exact flow-level throughput of each system's installed configuration
 //! per epoch, plus update costs.
 
-use sorn_analysis::adaptation::run;
+use sorn_analysis::adaptation::run_with_decisions;
 use sorn_analysis::render::TextTable;
-use sorn_bench::header;
+use sorn_bench::{header, TelemetryOpts};
 use sorn_control::ControlConfig;
 use sorn_sim::{Flow, FlowId};
 use sorn_topology::{NodeId, Ratio};
@@ -30,6 +30,7 @@ fn community_flows(n: u32, group: impl Fn(u32) -> u32, heavy: u64, light: u64) -
 }
 
 fn main() {
+    let telemetry = TelemetryOpts::from_env();
     header("§5 — adapting the topology: static vs adaptive across a pattern shift");
     let n = 64u32;
     let mut control = ControlConfig::default();
@@ -45,7 +46,8 @@ fn main() {
         (4usize, community_flows(n, |v| v % 8, 10_000, 2_000)),
     ];
 
-    let epochs = run(n as usize, 8, Ratio::integer(4), control, &phases).expect("experiment");
+    let (epochs, decisions) =
+        run_with_decisions(n as usize, 8, Ratio::integer(4), control, &phases).expect("experiment");
 
     let mut t = TextTable::new(&[
         "epoch",
@@ -72,8 +74,11 @@ fn main() {
     println!("{}", t.render());
 
     let post_shift: Vec<_> = epochs.iter().skip(5).take(6).collect();
-    let adaptive_mean: f64 =
-        post_shift.iter().map(|e| e.adaptive_throughput).sum::<f64>() / post_shift.len() as f64;
+    let adaptive_mean: f64 = post_shift
+        .iter()
+        .map(|e| e.adaptive_throughput)
+        .sum::<f64>()
+        / post_shift.len() as f64;
     let static_mean: f64 =
         post_shift.iter().map(|e| e.static_throughput).sum::<f64>() / post_shift.len() as f64;
     println!(
@@ -84,4 +89,17 @@ fn main() {
     );
     println!("(updates are installed in seconds-scale control-plane time and the");
     println!(" EWMA+hysteresis keeps the loop from chasing noise — §5, §6)");
+
+    if let Some(path) = &telemetry.trace_out {
+        decisions.write_jsonl(path).expect("write decision log");
+        let outcome_count = |o: &str| decisions.records.iter().filter(|r| r.outcome == o).count();
+        println!(
+            "\ndecision log: {} epochs ({} updated, {} held, {} no-plan) -> {}",
+            decisions.len(),
+            outcome_count("updated"),
+            outcome_count("held"),
+            outcome_count("no_plan"),
+            path.display()
+        );
+    }
 }

@@ -25,7 +25,13 @@ fn main() {
         sizes
     );
 
-    let mut t = TextTable::new(&["clique size", "cliques", "intra matchings", "inter matchings", "spare matchings"]);
+    let mut t = TextTable::new(&[
+        "clique size",
+        "cliques",
+        "intra matchings",
+        "inter matchings",
+        "spare matchings",
+    ]);
     for &c in &sizes {
         let nc = setup.nodes / c;
         let intra = c.saturating_sub(1);

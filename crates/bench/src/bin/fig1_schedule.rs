@@ -25,5 +25,8 @@ fn main() {
     }
     println!();
     println!("Every node cycles through every peer once per period: full");
-    println!("uniform connectivity with period N-1 = {} slots.", s.period());
+    println!(
+        "uniform connectivity with period N-1 = {} slots.",
+        s.period()
+    );
 }

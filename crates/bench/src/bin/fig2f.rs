@@ -7,17 +7,25 @@
 //!   of the constructed schedules, plus packet-level validation points
 //!   driven by pFabric web-search traffic ("real-world traffic \[2\]").
 
-use sorn_analysis::fig2f::{generate, validate_point, Fig2fParams};
+use sorn_analysis::fig2f::{generate, validate_point, validate_point_traced, Fig2fParams};
 use sorn_analysis::render::{to_csv, TextTable};
-use sorn_bench::header;
+use sorn_analysis::timeseries;
+use sorn_bench::{header, TelemetryOpts};
+use sorn_telemetry::{read_jsonl, IntervalSampler, JsonlTraceSink};
 
 fn main() {
+    let telemetry = TelemetryOpts::from_env();
     header("Figure 2(f) — worst-case throughput vs locality ratio");
     let params = Fig2fParams::default();
     println!("network: {} nodes, {} cliques\n", params.n, params.cliques);
 
     let pts = generate(&params).expect("figure generation");
-    let mut t = TextTable::new(&["x", "theory 1/(3-x)", "sim (128 nodes, 8 cliques)", "mean hops"]);
+    let mut t = TextTable::new(&[
+        "x",
+        "theory 1/(3-x)",
+        "sim (128 nodes, 8 cliques)",
+        "mean hops",
+    ]);
     let mut csv_rows = Vec::new();
     for p in &pts {
         let row = vec![
@@ -54,4 +62,33 @@ fn main() {
     println!("{}", v.render());
     println!("(delivery fraction ~= 1/mean_hops; mean hops ~= 3 - x, so the");
     println!(" measured packet-level throughput tracks the theory curve)");
+
+    if let Some(path) = &telemetry.trace_out {
+        header("Telemetry: traced re-run of the x = 0.56 validation point");
+        let sink = JsonlTraceSink::create(path).expect("create trace file");
+        let sampler = IntervalSampler::new(sink, telemetry.sample_interval_ns);
+        let (_, metrics, sampler) =
+            validate_point_traced(128, 8, 0.56, 0.3, 2_000_000, 42, sampler)
+                .expect("traced validation point");
+        let lines = sampler.into_sink().finish().expect("flush trace");
+
+        let events = read_jsonl(path).expect("trace must parse back");
+        assert_eq!(events.len() as u64, lines);
+        let snapshots = timeseries::snapshots_of(&events);
+        let last = snapshots.last().expect("final snapshot present");
+        assert_eq!(
+            last.delivered_cells, metrics.delivered_cells,
+            "final snapshot must agree with the run's aggregate metrics"
+        );
+        println!(
+            "wrote {lines} events to {} (sample interval {} ns)",
+            path.display(),
+            telemetry.sample_interval_ns
+        );
+        println!(
+            "final snapshot: {} delivered cells == metrics aggregate\n",
+            last.delivered_cells
+        );
+        println!("{}", timeseries::summary_table(&snapshots).render());
+    }
 }

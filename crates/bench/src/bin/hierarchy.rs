@@ -71,7 +71,10 @@ fn main() {
     eng.add_flows(flows).unwrap();
     let drained = eng.run_until_drained(5_000_000).unwrap();
     let m = eng.metrics();
-    println!("flows: {count}, drained: {drained}, completed: {}", m.flows.len());
+    println!(
+        "flows: {count}, drained: {drained}, completed: {}",
+        m.flows.len()
+    );
     println!(
         "mean hops: {:.2} (bound {}), mean FCT: {:.2} us",
         m.mean_hops(),

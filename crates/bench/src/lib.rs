@@ -38,10 +38,120 @@ pub fn header(title: &str) {
     println!("==============================================================");
 }
 
+/// Telemetry flags shared by the reproduction binaries.
+///
+/// - `--trace-out <path>`: write a JSONL run trace (or, for the
+///   control-plane binaries, a decision log) to `path`;
+/// - `--sample-interval-ns <n>`: simulated time between trace snapshots
+///   (default 100 µs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryOpts {
+    /// Where to write the JSONL trace; `None` disables tracing.
+    pub trace_out: Option<std::path::PathBuf>,
+    /// Snapshot sampling interval in simulated nanoseconds.
+    pub sample_interval_ns: u64,
+}
+
+impl Default for TelemetryOpts {
+    fn default() -> Self {
+        TelemetryOpts {
+            trace_out: None,
+            sample_interval_ns: Self::DEFAULT_INTERVAL_NS,
+        }
+    }
+}
+
+impl TelemetryOpts {
+    /// Default snapshot interval: 100 µs of simulated time.
+    pub const DEFAULT_INTERVAL_NS: u64 = 100_000;
+
+    /// Parses the telemetry flags from an argument list (without the
+    /// program name). Accepts `--flag value` and `--flag=value` forms;
+    /// rejects unknown arguments.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut opts = TelemetryOpts::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let (flag, inline) = match arg.split_once('=') {
+                Some((f, v)) => (f.to_string(), Some(v.to_string())),
+                None => (arg, None),
+            };
+            let value = |it: &mut dyn Iterator<Item = String>| -> Result<String, String> {
+                match inline.clone() {
+                    Some(v) => Ok(v),
+                    None => it.next().ok_or(format!("{flag} needs a value")),
+                }
+            };
+            match flag.as_str() {
+                "--trace-out" => opts.trace_out = Some(value(&mut it)?.into()),
+                "--sample-interval-ns" => {
+                    let v = value(&mut it)?;
+                    let ns: u64 = v
+                        .parse()
+                        .map_err(|_| format!("--sample-interval-ns: bad number {v:?}"))?;
+                    if ns == 0 {
+                        return Err("--sample-interval-ns must be positive".to_string());
+                    }
+                    opts.sample_interval_ns = ns;
+                }
+                other => return Err(format!("unknown argument {other:?}")),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Parses the process arguments, exiting with a usage message on
+    /// error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(opts) => opts,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("usage: [--trace-out <path>] [--sample-interval-ns <n>]");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::TelemetryOpts;
+
+    fn parse(args: &[&str]) -> Result<TelemetryOpts, String> {
+        TelemetryOpts::parse(args.iter().map(|s| s.to_string()))
+    }
+
     #[test]
     fn header_prints() {
         super::header("test");
+    }
+
+    #[test]
+    fn no_args_gives_defaults() {
+        let opts = parse(&[]).unwrap();
+        assert_eq!(opts, TelemetryOpts::default());
+        assert!(opts.trace_out.is_none());
+        assert_eq!(opts.sample_interval_ns, TelemetryOpts::DEFAULT_INTERVAL_NS);
+    }
+
+    #[test]
+    fn both_flag_forms_parse() {
+        let a = parse(&["--trace-out", "t.jsonl", "--sample-interval-ns", "5000"]).unwrap();
+        let b = parse(&["--trace-out=t.jsonl", "--sample-interval-ns=5000"]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            a.trace_out.as_deref(),
+            Some(std::path::Path::new("t.jsonl"))
+        );
+        assert_eq!(a.sample_interval_ns, 5000);
+    }
+
+    #[test]
+    fn bad_args_are_rejected() {
+        assert!(parse(&["--frobnicate"]).is_err());
+        assert!(parse(&["--trace-out"]).is_err());
+        assert!(parse(&["--sample-interval-ns", "zero"]).is_err());
+        assert!(parse(&["--sample-interval-ns", "0"]).is_err());
     }
 }

@@ -31,7 +31,10 @@ fn fig1_schedule_prints_the_paper_table() {
 #[test]
 fn expressivity_prints_the_paper_clique_sizes() {
     let out = run(env!("CARGO_BIN_EXE_expressivity"));
-    assert!(out.contains("[1, 16, 32, 64, 128, 256, 512, 1024, 2048]"), "{out}");
+    assert!(
+        out.contains("[1, 16, 32, 64, 128, 256, 512, 1024, 2048]"),
+        "{out}"
+    );
     assert!(out.contains("full-mesh capable: true"), "{out}");
 }
 
@@ -48,7 +51,10 @@ fn fig2_topologies_prints_matchings_and_both_topologies() {
     assert!(out.contains("m1"), "{out}");
     assert!(out.contains("Topology A"), "{out}");
     assert!(out.contains("Topology B"), "{out}");
-    assert!(out.contains("every cyclic matching within reach = true"), "{out}");
+    assert!(
+        out.contains("every cyclic matching within reach = true"),
+        "{out}"
+    );
 }
 
 #[test]
@@ -64,5 +70,8 @@ fn nonuniform_bin_shows_tax_reduction() {
     let out = run(env!("CARGO_BIN_EXE_nonuniform_cliques"));
     assert!(out.contains("uniform 4x4"), "{out}");
     assert!(out.contains("non-uniform 8/4/4"), "{out}");
-    assert!(out.contains("matched cliques cut the bandwidth tax"), "{out}");
+    assert!(
+        out.contains("matched cliques cut the bandwidth tax"),
+        "{out}"
+    );
 }

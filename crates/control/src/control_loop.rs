@@ -8,13 +8,14 @@
 //! maintaining guarantees within a healthy estimation error margin", and
 //! hysteresis is what keeps estimation noise from thrashing the fabric.
 
+use crate::decision::{DecisionLog, DecisionRecord, ScheduleDiff};
 use crate::estimator::PatternEstimator;
 use crate::optimizer::{self, OptimizedPlan};
 use crate::updater::{ScheduleUpdater, UpdatePlan, UpdateTiming};
 use sorn_core::model;
 use sorn_core::nic::NicState;
 use sorn_sim::Flow;
-use sorn_topology::{CircuitSchedule, CliqueMap, Ratio, TopologyError};
+use sorn_topology::{CircuitSchedule, CliqueId, CliqueMap, Ratio, TopologyError};
 
 /// Control loop configuration.
 #[derive(Debug, Clone)]
@@ -75,6 +76,7 @@ pub struct ControlLoop {
     schedule: CircuitSchedule,
     nics: Vec<NicState>,
     updates_installed: u64,
+    decisions: DecisionLog,
 }
 
 impl ControlLoop {
@@ -96,7 +98,13 @@ impl ControlLoop {
             schedule,
             nics,
             updates_installed: 0,
+            decisions: DecisionLog::new(),
         }
+    }
+
+    /// The per-epoch decision log.
+    pub fn decisions(&self) -> &DecisionLog {
+        &self.decisions
     }
 
     /// The currently installed schedule.
@@ -143,7 +151,20 @@ impl ControlLoop {
     /// schedule when it clears the hysteresis.
     pub fn end_epoch(&mut self) -> Result<EpochOutcome, TopologyError> {
         self.estimator.end_epoch();
+        let mut record = DecisionRecord {
+            epoch: self.estimator.epochs_seen(),
+            outcome: "no_plan".to_string(),
+            total_estimated_bytes: self.estimator.total(),
+            inter_clique_demand: self.estimator.clique_matrix(&self.cliques),
+            current_throughput: self.current_modeled_throughput(),
+            candidate_throughput: None,
+            candidate_locality: None,
+            candidate_q: None,
+            candidate_clique_sizes: None,
+            schedule_diff: None,
+        };
         if self.estimator.total() == 0.0 {
+            self.decisions.push(record);
             return Ok(EpochOutcome::NoPlan);
         }
         let n = self.estimator.n();
@@ -153,20 +174,47 @@ impl ControlLoop {
             &self.config.allowed_sizes,
             self.config.max_locality,
         ) else {
+            self.decisions.push(record);
             return Ok(EpochOutcome::NoPlan);
         };
 
+        record.candidate_throughput = Some(plan.throughput);
+        record.candidate_locality = Some(plan.locality);
+        record.candidate_q = Some([plan.q.num(), plan.q.den()]);
+        record.candidate_clique_sizes = Some(
+            (0..plan.cliques.cliques())
+                .map(|c| plan.cliques.clique_size(CliqueId(c as u32)))
+                .collect(),
+        );
+
         let current = self.current_modeled_throughput();
         if plan.throughput <= current + self.config.hysteresis {
+            record.outcome = "held".to_string();
+            self.decisions.push(record);
             return Ok(EpochOutcome::Held {
                 current,
                 candidate: plan.throughput,
             });
         }
 
+        let period_before = self.schedule.period();
         let update = self
             .updater
             .prepare(&mut self.nics, &plan.cliques, plan.q)?;
+        record.outcome = "updated".to_string();
+        record.schedule_diff = Some(ScheduleDiff {
+            period_before,
+            period_after: update.schedule.period(),
+            nics_changed: update
+                .reports
+                .iter()
+                .filter(|r| !r.is_rebalance_only())
+                .count(),
+            drained_cells: update.total_drained,
+            rebalance_only: update.rebalance_only,
+            installation_ns: update.installation_ns,
+        });
+        self.decisions.push(record);
         self.cliques = plan.cliques;
         self.q = plan.q;
         self.schedule = update.schedule.clone();
@@ -258,6 +306,45 @@ mod tests {
             "expected Held, got {outcome:?}"
         );
         assert_eq!(l.updates_installed(), 1);
+    }
+
+    #[test]
+    fn decision_log_records_every_epoch() {
+        let mut l = start_loop(16, 4);
+        // Epoch 1: nothing observed.
+        l.end_epoch().unwrap();
+        // Epoch 2: scrambled traffic forces an update.
+        l.observe(&scrambled_flows(16));
+        l.end_epoch().unwrap();
+        // Epoch 3: same pattern is held.
+        l.observe(&scrambled_flows(16));
+        l.end_epoch().unwrap();
+
+        let log = l.decisions();
+        assert_eq!(log.len(), 3, "one record per epoch");
+        assert_eq!(log.records[0].outcome, "no_plan");
+        assert_eq!(log.records[0].total_estimated_bytes, 0.0);
+        assert_eq!(log.records[1].outcome, "updated");
+        assert_eq!(log.records[2].outcome, "held");
+
+        let updated = &log.records[1];
+        // Demand was aggregated over the 4 cliques installed at the time.
+        assert_eq!(updated.inter_clique_demand.len(), 4);
+        let q = updated.candidate_q.expect("candidate existed");
+        assert!(q[1] > 0);
+        assert_eq!(
+            updated.candidate_clique_sizes.as_deref(),
+            Some(&[4, 4, 4, 4][..])
+        );
+        let diff = updated.schedule_diff.as_ref().expect("installed");
+        // SORN's fixed neighbor superset makes regrouping a pure
+        // bandwidth rebalance: no NIC gains or loses a queue.
+        assert_eq!(diff.nics_changed, 0);
+        assert!(diff.rebalance_only);
+        assert!(diff.period_after > 0);
+        // Held and no-plan epochs carry no diff.
+        assert!(log.records[0].schedule_diff.is_none());
+        assert!(log.records[2].schedule_diff.is_none());
     }
 
     #[test]

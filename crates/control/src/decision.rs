@@ -1,0 +1,166 @@
+//! The control-plane decision log.
+//!
+//! Every epoch the [`ControlLoop`](crate::ControlLoop) records what it
+//! saw (estimated inter-clique demand), what it chose (the candidate
+//! plan's q and clique sizes), and what happened (held, updated, or no
+//! plan) — the §5 control plane's equivalent of a flight recorder.
+//! Records serialize to JSON Lines for offline inspection next to the
+//! data-plane run traces from `sorn-telemetry`.
+
+use serde::{Deserialize, Serialize};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// What changed in the installed schedule when an update went out.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleDiff {
+    /// Schedule period before the update.
+    pub period_before: usize,
+    /// Schedule period after the update.
+    pub period_after: usize,
+    /// NICs whose neighbor set changed (beyond pure bandwidth
+    /// rebalancing).
+    pub nics_changed: usize,
+    /// Cells drained across all NICs during installation.
+    pub drained_cells: u64,
+    /// True when the update only rebalanced bandwidth shares.
+    pub rebalance_only: bool,
+    /// Modeled installation time.
+    pub installation_ns: u64,
+}
+
+/// One epoch's decision, as recorded by the control loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionRecord {
+    /// Epochs folded into the estimator when the decision was made.
+    pub epoch: u64,
+    /// `"no_plan"`, `"held"`, or `"updated"`.
+    pub outcome: String,
+    /// Total estimated demand (bytes) across the EWMA matrix.
+    pub total_estimated_bytes: f64,
+    /// Estimated demand aggregated between the cliques installed at
+    /// decision time (row = source clique, column = destination).
+    pub inter_clique_demand: Vec<Vec<f64>>,
+    /// Modeled throughput of the configuration installed when the epoch
+    /// ended.
+    pub current_throughput: f64,
+    /// Modeled throughput of the optimizer's best candidate, when one
+    /// existed.
+    pub candidate_throughput: Option<f64>,
+    /// The candidate plan's traffic locality.
+    pub candidate_locality: Option<f64>,
+    /// The candidate plan's intra:inter slot ratio, as `[num, den]`.
+    pub candidate_q: Option<[u64; 2]>,
+    /// The candidate plan's clique sizes.
+    pub candidate_clique_sizes: Option<Vec<usize>>,
+    /// Populated when the candidate was installed.
+    pub schedule_diff: Option<ScheduleDiff>,
+}
+
+/// An append-only log of per-epoch control decisions.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DecisionLog {
+    /// The decisions, one per completed epoch, in order.
+    pub records: Vec<DecisionRecord>,
+}
+
+impl DecisionLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        DecisionLog::default()
+    }
+
+    /// Appends one epoch's record.
+    pub fn push(&mut self, record: DecisionRecord) {
+        self.records.push(record);
+    }
+
+    /// Number of recorded epochs.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Renders the log as JSON Lines, one record per line.
+    pub fn to_jsonl(&self) -> Result<String, serde_json::Error> {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&serde_json::to_string(r)?);
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
+    /// Writes the log as a JSONL file at `path`.
+    pub fn write_jsonl(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let text = self
+            .to_jsonl()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(text.as_bytes())
+    }
+
+    /// Parses a log back from JSONL text; blank lines are skipped.
+    pub fn parse_jsonl(s: &str) -> Result<Self, serde_json::Error> {
+        let records = s
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(serde_json::from_str)
+            .collect::<Result<Vec<DecisionRecord>, _>>()?;
+        Ok(DecisionLog { records })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(epoch: u64, outcome: &str) -> DecisionRecord {
+        DecisionRecord {
+            epoch,
+            outcome: outcome.to_string(),
+            total_estimated_bytes: 1000.0,
+            inter_clique_demand: vec![vec![0.0, 500.0], vec![500.0, 0.0]],
+            current_throughput: 0.5,
+            candidate_throughput: Some(0.6),
+            candidate_locality: Some(0.8),
+            candidate_q: Some([3, 1]),
+            candidate_clique_sizes: Some(vec![4, 4]),
+            schedule_diff: None,
+        }
+    }
+
+    #[test]
+    fn log_accumulates_in_order() {
+        let mut log = DecisionLog::new();
+        assert!(log.is_empty());
+        log.push(record(1, "held"));
+        log.push(record(2, "updated"));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.records[0].epoch, 1);
+        assert_eq!(log.records[1].outcome, "updated");
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_record() {
+        let mut log = DecisionLog::new();
+        log.push(record(1, "held"));
+        log.push(record(2, "updated"));
+        let text = log.to_jsonl().unwrap();
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let mut log = DecisionLog::new();
+        log.push(record(1, "no_plan"));
+        log.push(record(2, "updated"));
+        let text = log.to_jsonl().unwrap();
+        let back = DecisionLog::parse_jsonl(&text).unwrap();
+        assert_eq!(back, log);
+    }
+}

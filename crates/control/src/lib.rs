@@ -18,15 +18,21 @@
 //! 4. [`ScheduleUpdater`] — builds the schedule, diffs every node's NIC
 //!    state (Figure 2(c)), verifies the fixed-neighbor-superset property,
 //!    counts drained cells, and models installation time.
+//!
+//! Every completed epoch also lands in a [`DecisionLog`]: the estimated
+//! inter-clique demand, the candidate plan, and the installed diff, all
+//! exportable as JSON Lines for offline analysis.
 
 #![warn(missing_docs)]
 
 mod control_loop;
+mod decision;
 mod estimator;
 pub mod optimizer;
 mod updater;
 
 pub use control_loop::{ControlConfig, ControlLoop, EpochOutcome};
+pub use decision::{DecisionLog, DecisionRecord, ScheduleDiff};
 pub use estimator::PatternEstimator;
 pub use optimizer::{assign_cliques, locality_of, optimize, OptimizedPlan};
 pub use updater::{ScheduleUpdater, UpdatePlan, UpdateTiming};

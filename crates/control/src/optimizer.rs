@@ -79,7 +79,10 @@ pub fn assign_cliques(tm: &[f64], n: usize, c: usize) -> CliqueMap {
         }
     }
 
-    let assignment: Vec<CliqueId> = assigned.into_iter().map(|a| a.expect("all assigned")).collect();
+    let assignment: Vec<CliqueId> = assigned
+        .into_iter()
+        .map(|a| a.expect("all assigned"))
+        .collect();
     CliqueMap::from_assignment(&assignment)
 }
 

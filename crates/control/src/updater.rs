@@ -27,8 +27,8 @@ pub struct UpdateTiming {
 impl Default for UpdateTiming {
     fn default() -> Self {
         UpdateTiming {
-            per_node_ns: 1_000_000,    // 1 ms per node state write
-            barrier_ns: 100_000_000,   // 100 ms synchronization
+            per_node_ns: 1_000_000,  // 1 ms per node state write
+            barrier_ns: 100_000_000, // 100 ms synchronization
             parallelism: 64,
         }
     }
@@ -141,7 +141,9 @@ mod tests {
         // New grouping: 4 cliques of 2; node 0's neighbors change.
         let new_map = CliqueMap::contiguous(8, 4);
         let updater = ScheduleUpdater::new(UpdateTiming::default());
-        let plan = updater.prepare(&mut nics, &new_map, Ratio::integer(1)).unwrap();
+        let plan = updater
+            .prepare(&mut nics, &new_map, Ratio::integer(1))
+            .unwrap();
         assert!(!plan.rebalance_only);
         // Neighbor 4 survives in the new topology (0 and 4 share intra
         // index 0 across cliques 0 and 2): check drain accounting against

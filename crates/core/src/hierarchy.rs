@@ -123,9 +123,7 @@ impl HierarchyModel {
     /// `(b_j − 1)/w[j]` circuits; the spray hop is free.
     pub fn class_delta_m(&self, l: usize) -> f64 {
         let w = self.optimal_weights();
-        (0..=l)
-            .map(|j| (self.radices[j] as f64 - 1.0) / w[j])
-            .sum()
+        (0..=l).map(|j| (self.radices[j] as f64 - 1.0) / w[j]).sum()
     }
 
     /// Integer slot weights for the schedule builder, approximating the
@@ -163,12 +161,7 @@ mod tests {
         // Class-0 delta_m matches the paper's intra formula.
         assert!((m.class_delta_m(0) - model::intra_delta_m(q, 64)).abs() < 1e-6);
         // Class-1 delta_m matches the Text-variant inter formula.
-        let expect = model::inter_delta_m(
-            q,
-            64,
-            64,
-            model::InterCliqueLatencyModel::Text,
-        );
+        let expect = model::inter_delta_m(q, 64, 64, model::InterCliqueLatencyModel::Text);
         assert!(
             (m.class_delta_m(1) - expect).abs() < 1e-6,
             "{} vs {}",
@@ -182,8 +175,7 @@ mod tests {
         // 4096 nodes as 64x64 (two-level) or 16x16x16 (three-level) with
         // strongly local traffic.
         let two = HierarchyModel::two_level(64, 64, 0.56).unwrap();
-        let three =
-            HierarchyModel::new(vec![16, 16, 16], vec![0.56, 0.24, 0.2]).unwrap();
+        let three = HierarchyModel::new(vec![16, 16, 16], vec![0.56, 0.24, 0.2]).unwrap();
         // Innermost-class latency: much shorter round robin at level 0.
         assert!(three.class_delta_m(0) < two.class_delta_m(0));
         // But the deepest class pays more hops: throughput dips slightly.

@@ -42,8 +42,8 @@ pub mod baselines;
 mod config;
 pub mod hierarchy;
 pub mod model;
-pub mod nic;
 mod network;
+pub mod nic;
 
 pub use config::{CoreError, SornConfig};
 pub use hierarchy::HierarchyModel;

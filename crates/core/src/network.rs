@@ -8,7 +8,7 @@
 use crate::config::{CoreError, SornConfig};
 use crate::model;
 use sorn_routing::{evaluate, DemandMatrix, SornPaths, SornRouter, ThroughputReport};
-use sorn_sim::{Engine, Flow, Metrics, SimConfig, SimError};
+use sorn_sim::{Engine, Flow, Metrics, NoopProbe, Probe, SimConfig, SimError};
 use sorn_topology::builders::{sorn_schedule, SornScheduleParams};
 use sorn_topology::{CircuitSchedule, CliqueMap};
 
@@ -120,7 +120,10 @@ impl SornNetwork {
     }
 
     /// Exact flow-level throughput for an arbitrary demand matrix.
-    pub fn flow_throughput_for(&self, demand: &DemandMatrix) -> Result<ThroughputReport, CoreError> {
+    pub fn flow_throughput_for(
+        &self,
+        demand: &DemandMatrix,
+    ) -> Result<ThroughputReport, CoreError> {
         let topo = self.schedule.logical_topology();
         let model = SornPaths::new(self.cliques.clone());
         evaluate(&topo, &model, demand)
@@ -135,6 +138,21 @@ impl SornNetwork {
         seed: u64,
         max_slots: u64,
     ) -> Result<(Metrics, bool), SimError> {
+        let (metrics, drained, NoopProbe) =
+            self.simulate_with_probe(flows, seed, max_slots, NoopProbe)?;
+        Ok((metrics, drained))
+    }
+
+    /// Like [`SornNetwork::simulate`], but with a telemetry probe
+    /// observing the run. Fires the probe's run-end hook after the last
+    /// slot and hands the probe back alongside the metrics.
+    pub fn simulate_with_probe<P: Probe>(
+        &self,
+        flows: Vec<Flow>,
+        seed: u64,
+        max_slots: u64,
+        probe: P,
+    ) -> Result<(Metrics, bool, P), SimError> {
         let cfg = SimConfig {
             slot_ns: self.config.slot_ns,
             propagation_ns: self.config.propagation_ns,
@@ -142,10 +160,11 @@ impl SornNetwork {
             seed,
             ..SimConfig::default()
         };
-        let mut engine = Engine::new(cfg, &self.schedule, &self.router);
+        let mut engine = Engine::with_probe(cfg, &self.schedule, &self.router, probe);
         engine.add_flows(flows)?;
         let drained = engine.run_until_drained(max_slots)?;
-        Ok((engine.metrics().clone(), drained))
+        let metrics = engine.metrics().clone();
+        Ok((metrics, drained, engine.finish()))
     }
 }
 

@@ -140,8 +140,7 @@ mod tests {
         let map = CliqueMap::contiguous(12, 3);
         let q: f64 = 2.0;
         let nc = 3.0;
-        let sched =
-            sorn_schedule(&map, &SornScheduleParams::with_q(Ratio::integer(2))).unwrap();
+        let sched = sorn_schedule(&map, &SornScheduleParams::with_q(Ratio::integer(2))).unwrap();
         let topo = sched.logical_topology();
         let res = worst_demand_search(&topo, &SornPaths::new(map.clone()), 400, 4, 3);
         let arbitrary_floor = (q / (2.0 * q + 2.0)).min(1.0 / ((q + 1.0) * (nc - 1.0)));

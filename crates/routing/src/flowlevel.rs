@@ -31,7 +31,10 @@ impl fmt::Display for FlowLevelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FlowLevelError::UnscheduledEdge { src, dst } => {
-                write!(f, "routing uses edge {src} -> {dst} which the schedule never provides")
+                write!(
+                    f,
+                    "routing uses edge {src} -> {dst} which the schedule never provides"
+                )
             }
             FlowLevelError::EmptyDemand => write!(f, "demand matrix carries no traffic"),
             FlowLevelError::InvalidDemand(msg) => write!(f, "invalid demand: {msg}"),

@@ -56,9 +56,7 @@ impl Router for HierarchicalRouter {
             .spec
             .highest_differing_level(node, cell.dst)
             .expect("node != dst");
-        let target = self
-            .spec
-            .with_digit(node, l, self.spec.digit(cell.dst, l));
+        let target = self.spec.with_digit(node, l, self.spec.digit(cell.dst, l));
         RouteDecision::ToNode(target)
     }
 
@@ -140,9 +138,7 @@ mod tests {
         let router = HierarchicalRouter::new(spec);
         let mut eng = Engine::new(SimConfig::default(), &sched, &router);
         let flows: Vec<Flow> = (0..64u32)
-            .flat_map(|s| {
-                [(s, (s + 1) % 64), (s, (s + 17) % 64), (s, (s + 45) % 64)]
-            })
+            .flat_map(|s| [(s, (s + 1) % 64), (s, (s + 17) % 64), (s, (s + 45) % 64)])
             .enumerate()
             .map(|(i, (s, d))| Flow {
                 id: FlowId(i as u64),

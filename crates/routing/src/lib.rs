@@ -33,8 +33,8 @@ pub use adaptive::{AdaptiveSornRouter, AdaptiveVlbRouter};
 pub use adversarial::{worst_demand_search, AdversarialResult};
 pub use flowlevel::{evaluate, DemandMatrix, FlowLevelError, PathModel, ThroughputReport};
 pub use general::{GeneralSornRouter, GEN_INTER_ANY, GEN_INTRA_SPRAY};
-pub use hierarchical::{HierarchicalPaths, HierarchicalRouter, HIER_SPRAY};
 pub use hdim::{HdimRouter, HDIM_CORRECT, HDIM_SPRAY};
+pub use hierarchical::{HierarchicalPaths, HierarchicalRouter, HIER_SPRAY};
 pub use opera::{ExpanderPaths, OperaModel, OperaShortRouter, OPERA_SHORT};
 pub use paths::{DirectPaths, HdimPaths, SornPaths, VlbPaths};
 pub use sorn::{SornRouter, INTRA_SPRAY};

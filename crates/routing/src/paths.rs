@@ -235,7 +235,11 @@ mod tests {
         let rep = evaluate(&topo, &VlbPaths::new(16), &DemandMatrix::uniform(16)).unwrap();
         // Mean hops slightly under 2 because sprays can land on the
         // destination; throughput is 1/mean_hops for this symmetric case.
-        assert!(rep.throughput >= 0.5 - 1e-9, "throughput {}", rep.throughput);
+        assert!(
+            rep.throughput >= 0.5 - 1e-9,
+            "throughput {}",
+            rep.throughput
+        );
         assert!(rep.throughput <= 0.55, "throughput {}", rep.throughput);
         assert!(rep.mean_hops > 1.9 && rep.mean_hops < 2.0);
     }
@@ -245,7 +249,11 @@ mod tests {
         // 2D ORN: 4-hop routing, throughput ~1/4 (§2).
         let topo = hdim_orn(16, 2).unwrap().logical_topology();
         let rep = evaluate(&topo, &HdimPaths::new(16, 2), &DemandMatrix::uniform(16)).unwrap();
-        assert!(rep.throughput >= 0.25 - 1e-9, "throughput {}", rep.throughput);
+        assert!(
+            rep.throughput >= 0.25 - 1e-9,
+            "throughput {}",
+            rep.throughput
+        );
         assert!(rep.throughput <= 0.32, "throughput {}", rep.throughput);
         assert!(rep.mean_hops > 3.0 && rep.mean_hops <= 4.0);
     }
@@ -277,10 +285,18 @@ mod tests {
         // The closed form r = 1/(3-x) is a worst-case bound; the exact
         // evaluation is >= it (sprays sometimes land on the destination)
         // and close.
-        assert!(rep.throughput >= 0.4 - 1e-9, "throughput {}", rep.throughput);
+        assert!(
+            rep.throughput >= 0.4 - 1e-9,
+            "throughput {}",
+            rep.throughput
+        );
         assert!(rep.throughput < 0.5, "throughput {}", rep.throughput);
         // Mean hops just under 3 - x = 2.5.
-        assert!(rep.mean_hops > 2.2 && rep.mean_hops <= 2.5, "hops {}", rep.mean_hops);
+        assert!(
+            rep.mean_hops > 2.2 && rep.mean_hops <= 2.5,
+            "hops {}",
+            rep.mean_hops
+        );
     }
 
     #[test]
@@ -302,7 +318,9 @@ mod tests {
     fn singleton_clique_paths_are_direct() {
         let sorn = SornPaths::new(CliqueMap::contiguous(4, 4));
         let mut paths = Vec::new();
-        sorn.for_each_path(NodeId(0), NodeId(3), &mut |p, q| paths.push((p.to_vec(), q)));
+        sorn.for_each_path(NodeId(0), NodeId(3), &mut |p, q| {
+            paths.push((p.to_vec(), q))
+        });
         assert_eq!(paths, vec![(vec![NodeId(0), NodeId(3)], 1.0)]);
     }
 }

@@ -154,7 +154,10 @@ mod tests {
             r.decide(NodeId(7), &mut c, &mut rng),
             RouteDecision::ToNode(NodeId(6))
         );
-        assert_eq!(r.decide(NodeId(6), &mut c, &mut rng), RouteDecision::Deliver);
+        assert_eq!(
+            r.decide(NodeId(6), &mut c, &mut rng),
+            RouteDecision::Deliver
+        );
     }
 
     #[test]
@@ -211,7 +214,7 @@ mod tests {
         let flows: Vec<Flow> = (0..8)
             .map(|i| Flow {
                 id: FlowId(i),
-                src: NodeId((i % 4) as u32),          // clique 0
+                src: NodeId((i % 4) as u32),           // clique 0
                 dst: NodeId((4 + (i * 3) % 4) as u32), // clique 1
                 size_bytes: 3 * 1250,
                 arrival_ns: i * 50,
@@ -223,7 +226,10 @@ mod tests {
         assert_eq!(m.flows.len(), 8);
         for f in &m.flows {
             assert!(f.max_hops <= 3, "flow took {} hops", f.max_hops);
-            assert!(f.max_hops >= 2, "inter-clique flow cannot arrive in one hop");
+            assert!(
+                f.max_hops >= 2,
+                "inter-clique flow cannot arrive in one hop"
+            );
         }
     }
 
@@ -244,12 +250,7 @@ mod tests {
     #[should_panic(expected = "uniform")]
     fn rejects_nonuniform_cliques() {
         use sorn_topology::CliqueId;
-        let map = CliqueMap::from_assignment(&[
-            CliqueId(0),
-            CliqueId(0),
-            CliqueId(0),
-            CliqueId(1),
-        ]);
+        let map = CliqueMap::from_assignment(&[CliqueId(0), CliqueId(0), CliqueId(0), CliqueId(1)]);
         let _ = SornRouter::new(map);
     }
 }

@@ -104,7 +104,10 @@ mod tests {
             r.decide(NodeId(3), &mut c, &mut rng),
             RouteDecision::ToNode(NodeId(5))
         );
-        assert_eq!(r.decide(NodeId(5), &mut c, &mut rng), RouteDecision::Deliver);
+        assert_eq!(
+            r.decide(NodeId(5), &mut c, &mut rng),
+            RouteDecision::Deliver
+        );
     }
 
     #[test]
@@ -113,7 +116,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut c = cell(0, 5, 1);
         // After the spray hop landed exactly on the destination.
-        assert_eq!(r.decide(NodeId(5), &mut c, &mut rng), RouteDecision::Deliver);
+        assert_eq!(
+            r.decide(NodeId(5), &mut c, &mut rng),
+            RouteDecision::Deliver
+        );
     }
 
     #[test]

@@ -21,7 +21,13 @@ fn assert_probs_sum_to_one(model: &dyn PathModel, n: usize) -> Result<(), TestCa
                 assert_eq!(path.last(), Some(&NodeId(d)));
                 p += q;
             });
-            prop_assert!((p - 1.0).abs() < 1e-9, "pair {}->{}: total prob {}", s, d, p);
+            prop_assert!(
+                (p - 1.0).abs() < 1e-9,
+                "pair {}->{}: total prob {}",
+                s,
+                d,
+                p
+            );
         }
     }
     Ok(())

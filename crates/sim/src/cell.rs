@@ -73,7 +73,10 @@ mod tests {
         assert_eq!(f.cell_count(1250), 3);
         let tiny = Flow { size_bytes: 0, ..f };
         assert_eq!(tiny.cell_count(1250), 1);
-        let exact = Flow { size_bytes: 2500, ..f };
+        let exact = Flow {
+            size_bytes: 2500,
+            ..f
+        };
         assert_eq!(exact.cell_count(1250), 2);
     }
 }

@@ -14,6 +14,7 @@ use crate::cell::{Cell, Flow, FlowId};
 use crate::config::{Nanos, SimConfig};
 use crate::failure::FailureSet;
 use crate::metrics::{FlowRecord, Metrics};
+use crate::probe::{NoopProbe, Probe, SlotView};
 use crate::queues::NodeQueues;
 use crate::router::{RouteDecision, Router};
 use rand::rngs::StdRng;
@@ -91,7 +92,12 @@ impl PartialOrd for Arrival {
 }
 
 /// The simulation engine.
-pub struct Engine<'a> {
+///
+/// Generic over a [`Probe`] for instrumentation; the default
+/// [`NoopProbe`] compiles the hooks away, so `Engine::new` builds an
+/// uninstrumented engine with zero overhead. Use
+/// [`Engine::with_probe`] to attach a real probe.
+pub struct Engine<'a, P: Probe = NoopProbe> {
     cfg: SimConfig,
     schedule: &'a CircuitSchedule,
     router: &'a dyn Router,
@@ -109,11 +115,25 @@ pub struct Engine<'a> {
     rng: StdRng,
     metrics: Metrics,
     slot: u64,
+    probe: P,
 }
 
-impl<'a> Engine<'a> {
-    /// Creates an engine over a schedule and routing scheme.
+impl<'a> Engine<'a, NoopProbe> {
+    /// Creates an uninstrumented engine over a schedule and routing
+    /// scheme.
     pub fn new(cfg: SimConfig, schedule: &'a CircuitSchedule, router: &'a dyn Router) -> Self {
+        Engine::with_probe(cfg, schedule, router, NoopProbe)
+    }
+}
+
+impl<'a, P: Probe> Engine<'a, P> {
+    /// Creates an engine whose run is observed by `probe`.
+    pub fn with_probe(
+        cfg: SimConfig,
+        schedule: &'a CircuitSchedule,
+        router: &'a dyn Router,
+        probe: P,
+    ) -> Self {
         let n = schedule.n();
         Engine {
             rng: StdRng::seed_from_u64(cfg.seed),
@@ -131,7 +151,33 @@ impl<'a> Engine<'a> {
             failures: FailureSet::none(),
             metrics: Metrics::default(),
             slot: 0,
+            probe,
         }
+    }
+
+    /// Shared access to the attached probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Mutable access to the attached probe.
+    pub fn probe_mut(&mut self) -> &mut P {
+        &mut self.probe
+    }
+
+    /// Declares the run over: fires [`Probe::on_run_end`] with a final
+    /// state view and returns the probe. Call after the last
+    /// `run_until_drained`/`run_slots` so buffering probes (samplers,
+    /// trace sinks) can emit their closing snapshot.
+    pub fn finish(mut self) -> P {
+        self.probe.on_run_end(&SlotView {
+            slot: self.slot,
+            now_ns: self.cfg.slot_start(self.slot),
+            metrics: &self.metrics,
+            total_queued: self.queues.iter().map(|q| q.depth()).sum(),
+            inflight_cells: self.inflight.len(),
+        });
+        self.probe
     }
 
     /// Queues flows for future arrival.
@@ -222,6 +268,7 @@ impl<'a> Engine<'a> {
             let (_, key) = self.future_flows.pop().expect("peeked").0;
             let flow = self.future_store.remove(&key).expect("stored flow");
             let total_cells = flow.cell_count(self.cfg.cell_bytes);
+            self.probe.on_flow_start(&flow, now);
             self.injecting[flow.src.index()].push_back(flow.id);
             self.active.insert(
                 flow.id,
@@ -314,9 +361,17 @@ impl<'a> Engine<'a> {
             }
         }
 
-        self.metrics.peak_queue_depth = self.metrics.peak_queue_depth.max(self.total_queued());
+        let queued = self.total_queued();
+        self.metrics.peak_queue_depth = self.metrics.peak_queue_depth.max(queued);
         self.slot += 1;
         self.metrics.slots = self.slot;
+        self.probe.on_slot_end(&SlotView {
+            slot: self.slot,
+            now_ns: now,
+            metrics: &self.metrics,
+            total_queued: queued,
+            inflight_cells: self.inflight.len(),
+        });
         Ok(())
     }
 
@@ -329,18 +384,21 @@ impl<'a> Engine<'a> {
                 let latency = now.saturating_sub(cell.injected_ns);
                 self.metrics
                     .on_delivered(cell.hops, latency, self.cfg.cell_bytes);
+                self.probe.on_delivery(&cell, latency, now);
                 if let Some(af) = self.active.get_mut(&cell.flow) {
                     af.delivered += 1;
                     af.max_hops = af.max_hops.max(cell.hops);
                     if af.delivered >= af.total_cells {
                         let af = self.active.remove(&cell.flow).expect("present");
-                        self.metrics.flows.push(FlowRecord {
+                        let record = FlowRecord {
                             id: af.flow.id,
                             size_bytes: af.flow.size_bytes,
                             arrival_ns: af.flow.arrival_ns,
                             completion_ns: now,
                             max_hops: af.max_hops,
-                        });
+                        };
+                        self.probe.on_flow_finish(&record, now);
+                        self.metrics.flows.push(record);
                     }
                 }
                 Ok(())
@@ -348,6 +406,7 @@ impl<'a> Engine<'a> {
             RouteDecision::ToNode(next) => {
                 if self.queue_full(node) {
                     self.metrics.dropped_cells += 1;
+                    self.probe.on_drop(&cell, node, now);
                     return Ok(());
                 }
                 self.queues[node.index()].push_specific(next, cell);
@@ -356,6 +415,7 @@ impl<'a> Engine<'a> {
             RouteDecision::ToClass(class) => {
                 if self.queue_full(node) {
                     self.metrics.dropped_cells += 1;
+                    self.probe.on_drop(&cell, node, now);
                     return Ok(());
                 }
                 self.queues[node.index()].push_class(class, cell);
@@ -366,8 +426,7 @@ impl<'a> Engine<'a> {
 
     /// True when `node`'s queues are at the configured cap.
     fn queue_full(&self, node: NodeId) -> bool {
-        self.cfg.node_queue_cap > 0
-            && self.queues[node.index()].depth() >= self.cfg.node_queue_cap
+        self.cfg.node_queue_cap > 0 && self.queues[node.index()].depth() >= self.cfg.node_queue_cap
     }
 
     fn handle_arrival(&mut self, a: Arrival) -> Result<(), SimError> {
@@ -388,6 +447,8 @@ impl<'a> Engine<'a> {
             "schedule update must cover the same nodes"
         );
         self.schedule = schedule;
+        self.probe
+            .on_reconfiguration(self.slot, self.cfg.slot_start(self.slot));
     }
 
     /// Replaces the router mid-run (paired with [`Engine::install_schedule`]

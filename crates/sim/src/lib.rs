@@ -43,6 +43,7 @@ mod config;
 mod engine;
 mod failure;
 mod metrics;
+mod probe;
 mod queues;
 mod router;
 
@@ -50,6 +51,7 @@ pub use cell::{Cell, Flow, FlowId};
 pub use config::{Nanos, SimConfig};
 pub use engine::{Engine, SimError};
 pub use failure::FailureSet;
-pub use metrics::{FlowRecord, Metrics};
+pub use metrics::{FlowRecord, LatencyHistogram, Metrics};
+pub use probe::{NoopProbe, Probe, SlotView};
 pub use queues::NodeQueues;
 pub use router::{ClassId, DirectRouter, RouteDecision, Router};

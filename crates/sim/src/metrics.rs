@@ -25,6 +25,102 @@ impl FlowRecord {
     }
 }
 
+/// A log-bucketed (power-of-two) histogram of cell delivery latencies.
+///
+/// Bucket 0 counts exact-zero latencies; bucket `k` (for `k >= 1`)
+/// counts latencies in `[2^(k-1), 2^k)`. 63 doubling buckets cover the
+/// full `u64` nanosecond range, so recording never saturates in
+/// practice. Percentile queries return the inclusive upper bound of the
+/// bucket holding the requested rank — an over-estimate by at most 2x,
+/// at O(1) memory for arbitrarily long runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    count: u64,
+}
+
+// `[u64; 64]` has no derived `Default` (arrays stop at 32), so spell
+// it out.
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; 64],
+            count: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// The bucket index covering `latency_ns`.
+    fn bucket_of(latency_ns: Nanos) -> usize {
+        if latency_ns == 0 {
+            0
+        } else {
+            // Values >= 2^63 share the top bucket.
+            ((64 - latency_ns.leading_zeros()) as usize).min(63)
+        }
+    }
+
+    /// The inclusive upper bound of bucket `k`.
+    fn upper_bound(k: usize) -> Nanos {
+        if k == 0 {
+            0
+        } else if k >= 63 {
+            // The top bucket also absorbs values >= 2^63.
+            u64::MAX
+        } else {
+            (1u64 << k) - 1
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency_ns: Nanos) {
+        self.buckets[Self::bucket_of(latency_ns)] += 1;
+        self.count += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Latency percentile (`p` in `[0, 100]`) as the upper bound of the
+    /// bucket holding that rank; `None` when no samples were recorded.
+    ///
+    /// Rank convention matches [`Metrics::fct_percentile_ns`]:
+    /// `round(p/100 * (count - 1))` over the sorted samples.
+    pub fn percentile(&self, p: f64) -> Option<Nanos> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0).clamp(0.0, 1.0) * (self.count - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return Some(Self::upper_bound(k));
+            }
+        }
+        // Unreachable: `seen` reaches `count > rank` by the last bucket.
+        Some(u64::MAX)
+    }
+
+    /// Median latency (bucket upper bound).
+    pub fn p50(&self) -> Option<Nanos> {
+        self.percentile(50.0)
+    }
+
+    /// 99th-percentile latency (bucket upper bound).
+    pub fn p99(&self) -> Option<Nanos> {
+        self.percentile(99.0)
+    }
+
+    /// 99.9th-percentile latency (bucket upper bound).
+    pub fn p999(&self) -> Option<Nanos> {
+        self.percentile(99.9)
+    }
+}
+
 /// Aggregated counters for a run.
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
@@ -45,6 +141,8 @@ pub struct Metrics {
     pub hop_histogram: [u64; 32],
     /// Sum of per-cell delivery latencies, for the mean.
     pub cell_latency_sum_ns: u128,
+    /// Log-bucketed distribution of per-cell delivery latencies.
+    pub cell_latency: LatencyHistogram,
     /// Completed flows.
     pub flows: Vec<FlowRecord>,
     /// Peak total queue depth observed across all nodes.
@@ -63,6 +161,22 @@ impl Metrics {
         let h = (hops as usize).min(self.hop_histogram.len() - 1);
         self.hop_histogram[h] += 1;
         self.cell_latency_sum_ns += latency_ns as u128;
+        self.cell_latency.record(latency_ns);
+    }
+
+    /// Median cell delivery latency (log-bucket upper bound).
+    pub fn cell_latency_p50_ns(&self) -> Option<Nanos> {
+        self.cell_latency.p50()
+    }
+
+    /// 99th-percentile cell delivery latency (log-bucket upper bound).
+    pub fn cell_latency_p99_ns(&self) -> Option<Nanos> {
+        self.cell_latency.p99()
+    }
+
+    /// 99.9th-percentile cell delivery latency (log-bucket upper bound).
+    pub fn cell_latency_p999_ns(&self) -> Option<Nanos> {
+        self.cell_latency.p999()
     }
 
     /// Mean delivered-cell latency in nanoseconds.
@@ -110,8 +224,11 @@ impl Metrics {
     /// The `k` busiest directed links with their transmission counts,
     /// descending (ties broken by link id for determinism).
     pub fn hottest_links(&self, k: usize) -> Vec<((u32, u32), u64)> {
-        let mut v: Vec<((u32, u32), u64)> =
-            self.link_transmissions.iter().map(|(&l, &c)| (l, c)).collect();
+        let mut v: Vec<((u32, u32), u64)> = self
+            .link_transmissions
+            .iter()
+            .map(|(&l, &c)| (l, c))
+            .collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         v.truncate(k);
         v
@@ -119,12 +236,16 @@ impl Metrics {
 
     /// Coefficient of variation of per-link transmissions — a load-
     /// balance quality measure (0 = perfectly even).
+    ///
+    /// The mean is taken over the per-link counts themselves, so the
+    /// statistic stays correct even when `transmissions` and the link
+    /// map disagree (hand-built or merged metrics).
     pub fn link_load_cv(&self) -> f64 {
         let n = self.link_transmissions.len();
         if n == 0 {
             return 0.0;
         }
-        let mean = self.transmissions as f64 / n as f64;
+        let mean = self.link_transmissions.values().sum::<u64>() as f64 / n as f64;
         if mean == 0.0 {
             return 0.0;
         }
@@ -252,5 +373,69 @@ mod tests {
         let mut m = Metrics::default();
         m.on_delivered(200, 0, 1);
         assert_eq!(m.hop_histogram[31], 1);
+    }
+
+    #[test]
+    fn link_load_cv_ignores_inconsistent_total() {
+        // Regression: the CV once derived its mean from `transmissions`,
+        // so a total inconsistent with the link map skewed the result.
+        let mut m = Metrics::default();
+        m.link_transmissions.insert((0, 1), 5);
+        m.link_transmissions.insert((1, 0), 5);
+        m.transmissions = 99; // deliberately inconsistent
+        assert!(m.link_load_cv() < 1e-12, "even links must give CV 0");
+
+        let mut skew = Metrics::default();
+        skew.link_transmissions.insert((0, 1), 9);
+        skew.link_transmissions.insert((1, 0), 1);
+        skew.transmissions = 0; // would divide by a zero mean before
+                                // mean 5, sd 4 -> CV 0.8.
+        assert!((skew.link_load_cv() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_histogram_bucket_boundaries() {
+        // Bucket 0 = {0}; bucket k = [2^(k-1), 2^k).
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 1);
+        assert_eq!(LatencyHistogram::bucket_of(2), 2);
+        assert_eq!(LatencyHistogram::bucket_of(3), 2);
+        assert_eq!(LatencyHistogram::bucket_of(4), 3);
+        assert_eq!(LatencyHistogram::bucket_of(1023), 10);
+        assert_eq!(LatencyHistogram::bucket_of(1024), 11);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), 63);
+        // Upper bounds are the largest value in each bucket.
+        assert_eq!(LatencyHistogram::upper_bound(0), 0);
+        assert_eq!(LatencyHistogram::upper_bound(1), 1);
+        assert_eq!(LatencyHistogram::upper_bound(11), 2047);
+        assert_eq!(LatencyHistogram::upper_bound(63), u64::MAX);
+    }
+
+    #[test]
+    fn latency_histogram_percentiles() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.p50(), None);
+        // 99 samples at ~600ns (bucket [512, 1024)), one at ~1ms.
+        for _ in 0..99 {
+            h.record(600);
+        }
+        h.record(1_000_000);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.p50(), Some(1023));
+        assert_eq!(h.p99(), Some(1023)); // rank 98 still in the low bucket
+        assert_eq!(h.percentile(100.0), Some((1u64 << 20) - 1));
+    }
+
+    #[test]
+    fn metrics_expose_latency_percentiles() {
+        let mut m = Metrics::default();
+        for lat in [100, 200, 400, 800] {
+            m.on_delivered(1, lat, 1250);
+        }
+        assert_eq!(m.cell_latency.count(), 4);
+        // Rank convention: round(0.5 * 3) = 2 -> 400 -> bucket [256,512).
+        assert_eq!(m.cell_latency_p50_ns(), Some(511));
+        assert_eq!(m.cell_latency_p99_ns(), Some(1023));
+        assert_eq!(m.cell_latency_p999_ns(), Some(1023));
     }
 }

@@ -1,0 +1,103 @@
+//! Instrumentation hooks for the simulation engine.
+//!
+//! The engine is generic over a [`Probe`] — a set of callbacks invoked at
+//! the interesting points of a run: slot boundaries, cell delivery and
+//! drop, flow start and finish, and schedule reconfiguration. The default
+//! probe is [`NoopProbe`], whose empty inlined methods compile away
+//! entirely, so uninstrumented simulations pay nothing for the hooks.
+//!
+//! Concrete probes (samplers, trace writers) live in `sorn-telemetry`;
+//! this module only defines the contract so the engine stays free of any
+//! serialization dependency.
+
+use crate::cell::{Cell, Flow};
+use crate::config::Nanos;
+use crate::metrics::{FlowRecord, Metrics};
+use sorn_topology::NodeId;
+
+/// A read-only view of engine state handed to slot-boundary hooks.
+///
+/// The view borrows the engine's live [`Metrics`], so a probe can sample
+/// any aggregate counter without the engine copying state it may not
+/// need.
+#[derive(Debug, Clone, Copy)]
+pub struct SlotView<'a> {
+    /// The slot that just completed (1-based: after the first slot this
+    /// is 1, matching [`Metrics::slots`]).
+    pub slot: u64,
+    /// Start time of the slot that just completed.
+    pub now_ns: Nanos,
+    /// Aggregate metrics as of the end of the slot.
+    pub metrics: &'a Metrics,
+    /// Cells sitting in node queues right now.
+    pub total_queued: usize,
+    /// Cells propagating on circuits right now.
+    pub inflight_cells: usize,
+}
+
+/// Callbacks invoked by the engine as a simulation runs.
+///
+/// Every method has an empty default body, so a probe implements only
+/// the events it cares about. The engine is monomorphized per probe
+/// type; with [`NoopProbe`] the calls vanish at compile time.
+pub trait Probe {
+    /// Called at the end of every slot, after transmission and metric
+    /// updates for that slot have completed.
+    fn on_slot_end(&mut self, _view: &SlotView<'_>) {}
+
+    /// Called when a cell reaches its destination. `latency_ns` is the
+    /// injection-to-delivery time of the cell.
+    fn on_delivery(&mut self, _cell: &Cell, _latency_ns: Nanos, _now_ns: Nanos) {}
+
+    /// Called when a cell is dropped at `node` because the node's queues
+    /// are at the configured cap.
+    fn on_drop(&mut self, _cell: &Cell, _node: NodeId, _now_ns: Nanos) {}
+
+    /// Called when a flow arrives and begins injecting cells.
+    fn on_flow_start(&mut self, _flow: &Flow, _now_ns: Nanos) {}
+
+    /// Called when the last cell of a flow is delivered.
+    fn on_flow_finish(&mut self, _record: &FlowRecord, _now_ns: Nanos) {}
+
+    /// Called when a new circuit schedule is installed mid-run (the §5
+    /// update operation). `slot` is the slot at which the swap happens.
+    fn on_reconfiguration(&mut self, _slot: u64, _now_ns: Nanos) {}
+
+    /// Called once when the driver declares the run over (see
+    /// `Engine::finish`). Probes that buffer state should emit their
+    /// final snapshot here.
+    fn on_run_end(&mut self, _view: &SlotView<'_>) {}
+}
+
+/// The default probe: observes nothing, costs nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopProbe;
+
+impl Probe for NoopProbe {}
+
+/// Forwarding impl so callers can hand the engine `&mut probe` and keep
+/// ownership (e.g. to inspect the probe after the run without
+/// `into_probe`).
+impl<P: Probe> Probe for &mut P {
+    fn on_slot_end(&mut self, view: &SlotView<'_>) {
+        (**self).on_slot_end(view);
+    }
+    fn on_delivery(&mut self, cell: &Cell, latency_ns: Nanos, now_ns: Nanos) {
+        (**self).on_delivery(cell, latency_ns, now_ns);
+    }
+    fn on_drop(&mut self, cell: &Cell, node: NodeId, now_ns: Nanos) {
+        (**self).on_drop(cell, node, now_ns);
+    }
+    fn on_flow_start(&mut self, flow: &Flow, now_ns: Nanos) {
+        (**self).on_flow_start(flow, now_ns);
+    }
+    fn on_flow_finish(&mut self, record: &FlowRecord, now_ns: Nanos) {
+        (**self).on_flow_finish(record, now_ns);
+    }
+    fn on_reconfiguration(&mut self, slot: u64, now_ns: Nanos) {
+        (**self).on_reconfiguration(slot, now_ns);
+    }
+    fn on_run_end(&mut self, view: &SlotView<'_>) {
+        (**self).on_run_end(view);
+    }
+}

@@ -80,7 +80,11 @@ impl NodeQueues {
             }
         }
         for (class, q) in &mut self.class {
-            let limit = if scan_limit == 0 { q.len() } else { scan_limit.min(q.len()) };
+            let limit = if scan_limit == 0 {
+                q.len()
+            } else {
+                scan_limit.min(q.len())
+            };
             if let Some(pos) = q
                 .iter()
                 .take(limit)
@@ -130,7 +134,6 @@ impl NodeQueues {
 mod tests {
     use super::*;
     use crate::cell::FlowId;
-    
 
     fn cell(dst: u32) -> Cell {
         Cell {
@@ -187,7 +190,7 @@ mod tests {
         let r = EvenClassRouter;
         let mut q = NodeQueues::new(r.classes());
         q.push_class(ClassId(0), cell(1)); // any cell; admissibility is on `to`
-        // Circuit to odd node: class rejects.
+                                           // Circuit to odd node: class rejects.
         assert!(q.pop_for_circuit(&r, NodeId(0), NodeId(3), 0).is_none());
         // Circuit to even node: admitted.
         assert!(q.pop_for_circuit(&r, NodeId(0), NodeId(4), 0).is_some());

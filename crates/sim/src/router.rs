@@ -123,8 +123,14 @@ mod tests {
         let r = DirectRouter;
         let mut rng = StdRng::seed_from_u64(0);
         let mut c = cell(0, 3);
-        assert_eq!(r.decide(NodeId(0), &mut c, &mut rng), RouteDecision::ToNode(NodeId(3)));
-        assert_eq!(r.decide(NodeId(3), &mut c, &mut rng), RouteDecision::Deliver);
+        assert_eq!(
+            r.decide(NodeId(0), &mut c, &mut rng),
+            RouteDecision::ToNode(NodeId(3))
+        );
+        assert_eq!(
+            r.decide(NodeId(3), &mut c, &mut rng),
+            RouteDecision::Deliver
+        );
         assert!(r.classes().is_empty());
         assert_eq!(r.max_hops(), 1);
     }

@@ -1,0 +1,133 @@
+//! The structured trace event model.
+
+use serde::{Deserialize, Serialize};
+use sorn_sim::{Nanos, SlotView};
+
+/// A fixed-interval sample of aggregate engine state.
+///
+/// Counters are cumulative since the start of the run; instantaneous
+/// state (`queued_cells`, `inflight_cells`) is as of the sample time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Simulated time of the sample.
+    pub at_ns: Nanos,
+    /// Slots completed so far.
+    pub slot: u64,
+    /// Cells sitting in node queues.
+    pub queued_cells: u64,
+    /// Cells propagating on circuits.
+    pub inflight_cells: u64,
+    /// Cells injected at sources (cumulative).
+    pub injected_cells: u64,
+    /// Cells delivered to destinations (cumulative).
+    pub delivered_cells: u64,
+    /// Cells dropped at full queues (cumulative).
+    pub dropped_cells: u64,
+    /// Circuit transmissions (cumulative).
+    pub transmissions: u64,
+    /// Fraction of scheduled circuit-slots used so far.
+    pub circuit_utilization: f64,
+    /// Fraction of transmissions that were final-hop deliveries.
+    pub delivery_fraction: f64,
+    /// Median cell delivery latency so far (log-bucket upper bound).
+    pub p50_cell_latency_ns: Option<Nanos>,
+    /// 99th-percentile cell delivery latency so far.
+    pub p99_cell_latency_ns: Option<Nanos>,
+}
+
+impl Snapshot {
+    /// Builds a snapshot from the engine's slot-boundary view.
+    pub fn from_view(view: &SlotView<'_>) -> Self {
+        let m = view.metrics;
+        Snapshot {
+            at_ns: view.now_ns,
+            slot: view.slot,
+            queued_cells: view.total_queued as u64,
+            inflight_cells: view.inflight_cells as u64,
+            injected_cells: m.injected_cells,
+            delivered_cells: m.delivered_cells,
+            dropped_cells: m.dropped_cells,
+            transmissions: m.transmissions,
+            circuit_utilization: m.circuit_utilization(),
+            delivery_fraction: m.delivery_fraction(),
+            p50_cell_latency_ns: m.cell_latency_p50_ns(),
+            p99_cell_latency_ns: m.cell_latency_p99_ns(),
+        }
+    }
+}
+
+/// One record in a run trace.
+///
+/// Serializes as a JSON object whose `event` field names the variant
+/// (`"snapshot"`, `"flow_start"`, ...), one object per JSONL line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "event", rename_all = "snake_case")]
+pub enum TraceEvent {
+    /// A fixed-interval (or final) state sample.
+    Snapshot(Snapshot),
+    /// A flow arrived and began injecting.
+    FlowStart {
+        /// Simulated time of the arrival.
+        at_ns: Nanos,
+        /// Flow id.
+        flow: u64,
+        /// Source node.
+        src: u32,
+        /// Destination node.
+        dst: u32,
+        /// Transfer size in bytes.
+        size_bytes: u64,
+    },
+    /// A flow's last cell was delivered.
+    FlowFinish {
+        /// Simulated time of the final delivery.
+        at_ns: Nanos,
+        /// Flow id.
+        flow: u64,
+        /// Transfer size in bytes.
+        size_bytes: u64,
+        /// Flow completion time.
+        fct_ns: Nanos,
+        /// Largest hop count any of the flow's cells took.
+        max_hops: u8,
+    },
+    /// A cell was dropped at a full node queue.
+    Drop {
+        /// Simulated time of the drop.
+        at_ns: Nanos,
+        /// Owning flow id.
+        flow: u64,
+        /// Node whose queues were full.
+        node: u32,
+        /// Hops the cell had taken.
+        hops: u8,
+    },
+    /// A new circuit schedule was installed mid-run.
+    Reconfiguration {
+        /// Simulated time of the swap.
+        at_ns: Nanos,
+        /// Slot at which the swap happened.
+        slot: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The snapshot payload, when this event is one.
+    pub fn snapshot(&self) -> Option<&Snapshot> {
+        match self {
+            TraceEvent::Snapshot(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Simulated time of the event.
+    pub fn at_ns(&self) -> Nanos {
+        match self {
+            TraceEvent::Snapshot(s) => s.at_ns,
+            TraceEvent::FlowStart { at_ns, .. }
+            | TraceEvent::FlowFinish { at_ns, .. }
+            | TraceEvent::Drop { at_ns, .. }
+            | TraceEvent::Reconfiguration { at_ns, .. } => *at_ns,
+        }
+    }
+}

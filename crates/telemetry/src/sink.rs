@@ -1,0 +1,113 @@
+//! Event sinks: where trace events go.
+
+use crate::event::TraceEvent;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// A destination for trace events.
+///
+/// Sinks are infallible at the call site so probes stay cheap on the
+/// hot path; sinks that can fail (files) record the first error and
+/// surface it when finished.
+pub trait EventSink {
+    /// Accepts one event.
+    fn emit(&mut self, event: &TraceEvent);
+}
+
+/// An in-memory sink — the natural choice for tests and for analyses
+/// that post-process a run in the same process.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    /// Everything emitted, in order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+}
+
+impl EventSink for MemorySink {
+    fn emit(&mut self, event: &TraceEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+/// A sink writing one JSON object per line (JSON Lines) to a file.
+///
+/// Lines are buffered; call [`JsonlTraceSink::finish`] to flush and
+/// learn whether every write succeeded. Dropping the sink flushes on a
+/// best-effort basis.
+#[derive(Debug)]
+pub struct JsonlTraceSink {
+    writer: BufWriter<File>,
+    lines: u64,
+    error: Option<io::Error>,
+}
+
+impl JsonlTraceSink {
+    /// Creates (or truncates) the trace file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(JsonlTraceSink {
+            writer: BufWriter::new(File::create(path)?),
+            lines: 0,
+            error: None,
+        })
+    }
+
+    /// Lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flushes the file and returns the number of lines written, or the
+    /// first error encountered while emitting.
+    pub fn finish(mut self) -> io::Result<u64> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(self.lines)
+    }
+}
+
+impl EventSink for JsonlTraceSink {
+    fn emit(&mut self, event: &TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = match serde_json::to_string(event) {
+            Ok(l) => l,
+            Err(e) => {
+                self.error = Some(io::Error::new(io::ErrorKind::InvalidData, e));
+                return;
+            }
+        };
+        if let Err(e) = self
+            .writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+        {
+            self.error = Some(e);
+            return;
+        }
+        self.lines += 1;
+    }
+}
+
+/// Parses a JSONL trace from a string; blank lines are skipped.
+pub fn parse_jsonl(s: &str) -> Result<Vec<TraceEvent>, serde_json::Error> {
+    s.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(serde_json::from_str)
+        .collect()
+}
+
+/// Reads and parses a JSONL trace file.
+pub fn read_jsonl(path: impl AsRef<Path>) -> io::Result<Vec<TraceEvent>> {
+    let text = std::fs::read_to_string(path)?;
+    parse_jsonl(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}

@@ -281,7 +281,10 @@ mod tests {
         let map = CliqueMap::contiguous(64, 4);
         let sched = sorn_schedule(&map, &SornScheduleParams::with_q(Ratio::integer(3))).unwrap();
         for t in 0..sched.period() as u64 {
-            assert!(s.is_realizable(sched.matching_at(t)), "slot {t} unrealizable");
+            assert!(
+                s.is_realizable(sched.matching_at(t)),
+                "slot {t} unrealizable"
+            );
         }
     }
 
@@ -317,8 +320,9 @@ mod tests {
             grating_ports: 8,
         };
         // A valid permutation-slot: every node shifts by 3.
-        let circuits: Vec<(NodeId, NodeId)> =
-            (0..16u32).map(|v| (NodeId(v), NodeId((v + 3) % 16))).collect();
+        let circuits: Vec<(NodeId, NodeId)> = (0..16u32)
+            .map(|v| (NodeId(v), NodeId((v + 3) % 16)))
+            .collect();
         assert!(s.is_realizable_multislot(&circuits, 1));
         // Two circuits from the same source on the same port need 2
         // wavelengths: shifts 3 and 5 both live on port 0.
@@ -355,10 +359,7 @@ mod tests {
             grating_ports: 8,
         };
         assert!(!s.is_realizable_multislot(&[(NodeId(2), NodeId(2))], 2)); // self loop
-        assert!(!s.is_realizable_multislot(
-            &[(NodeId(0), NodeId(1)), (NodeId(0), NodeId(1))],
-            4
-        )); // duplicate
+        assert!(!s.is_realizable_multislot(&[(NodeId(0), NodeId(1)), (NodeId(0), NodeId(1))], 4)); // duplicate
         assert!(s.is_realizable_multislot(&[], 0));
         assert!(!s.is_realizable_multislot(&[(NodeId(0), NodeId(1))], 0));
     }

@@ -1,0 +1,951 @@
+//! Schedule builders for every topology family the paper evaluates.
+//!
+//! - [`round_robin`]: the flat 1D round robin of Figure 1 (Sirius-like).
+//! - [`sorn_schedule`]: the semi-oblivious two-level clique schedule of
+//!   §4 — `q` units of intra-clique bandwidth per unit of inter-clique
+//!   bandwidth, with inter circuits aligned by intra index
+//!   (Figure 2(d)/(e)).
+//! - [`nonuniform_sorn_schedule`]: §5 expressivity — cliques of unequal
+//!   sizes, with a global rotation block for full cross-clique reach.
+//! - [`hierarchical_schedule`]: §6 multi-level generalization — one
+//!   digit-shift family per hierarchy level, slot counts split by
+//!   integer weights.
+//! - [`gravity_schedule`]: §5/§6 gravity-weighted inter-clique
+//!   bandwidth via a Birkhoff–von-Neumann decomposition of the
+//!   clique-level demand aggregate ([`GravityWeights`]).
+//! - [`hdim_orn`]: h-dimensional optimal oblivious ORN schedules
+//!   (the latency-throughput tradeoff baseline, §2).
+//!
+//! All builders produce a [`CircuitSchedule`] whose slot sequence
+//! spreads each matching family as evenly as possible across the
+//! period, which keeps the worst-case circuit wait (the paper's
+//! intrinsic latency `δm`) near its ideal value.
+
+use crate::error::{invalid, Result, TopologyError};
+use crate::graph::bipartite_matching;
+use crate::matching::Matching;
+use crate::node::{CliqueMap, NodeId};
+use crate::rational::Ratio;
+use crate::schedule::CircuitSchedule;
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
+
+/// Smallest `t` such that `unit | value * t` (and `t >= 1`).
+fn stretch(value: u64, unit: u64) -> u64 {
+    if unit == 0 {
+        1
+    } else {
+        unit / gcd(value, unit)
+    }
+}
+
+/// Merges several slot streams so that each stream's entries are spread
+/// as evenly as possible across the combined sequence. Each stream's
+/// `k`-th entry has deadline `(k + 1) / len` (its ideal fraction of the
+/// period); the earliest deadline goes next, ties broken toward the
+/// earlier stream. Streams drain exactly; order within a stream is kept.
+fn interleave(streams: Vec<Vec<usize>>) -> Vec<usize> {
+    let total: usize = streams.iter().map(Vec::len).sum();
+    let mut next = vec![0usize; streams.len()];
+    let mut out = Vec::with_capacity(total);
+    for _ in 0..total {
+        let mut best: Option<usize> = None;
+        for (i, s) in streams.iter().enumerate() {
+            if next[i] >= s.len() {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                // deadline_i < deadline_b, cross-multiplied.
+                Some(b) => {
+                    ((next[i] + 1) as u128) * (streams[b].len() as u128)
+                        < ((next[b] + 1) as u128) * (s.len() as u128)
+                }
+            };
+            if better {
+                best = Some(i);
+            }
+        }
+        let b = best.expect("streams drain exactly at the end");
+        out.push(streams[b][next[b]]);
+        next[b] += 1;
+    }
+    out
+}
+
+/// The flat 1D round-robin schedule of Figure 1: `n - 1` slots cycling
+/// the matchings `m_1 .. m_{n-1}`, connecting every ordered pair exactly
+/// once per period.
+///
+/// # Errors
+/// Fails when `n < 2`.
+pub fn round_robin(n: usize) -> Result<CircuitSchedule> {
+    if n < 2 {
+        return Err(invalid("n", "round robin needs at least 2 nodes"));
+    }
+    let matchings = (1..n).map(|k| Matching::cyclic(n, k)).collect();
+    CircuitSchedule::from_matchings(matchings)
+}
+
+/// Parameters for [`sorn_schedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SornScheduleParams {
+    /// Intra- to inter-clique bandwidth ratio `q` (§4), kept exact so
+    /// slot counts come out as integers.
+    pub q: Ratio,
+    /// Upper bound on the schedule period, guarding against ratios whose
+    /// exact realization would need an impractically long period.
+    pub max_period: usize,
+}
+
+impl SornScheduleParams {
+    /// Parameters with ratio `q` and the default period bound (`2^22`).
+    pub fn with_q(q: Ratio) -> Self {
+        SornScheduleParams {
+            q,
+            max_period: 1 << 22,
+        }
+    }
+}
+
+/// Builds the semi-oblivious clique schedule of §4 over uniform cliques.
+///
+/// With clique size `s` and `c` cliques, the schedule cycles the `s - 1`
+/// intra-clique rotations and the `c - 1` inter-clique rotations
+/// (aligned by intra index: the node at offset `j` of clique `a` links
+/// to the node at offset `j` of clique `a + r`), giving intra circuits
+/// exactly `q` times the slots of inter circuits. Inter slots are spread
+/// evenly through the period.
+///
+/// Degenerate shapes: a single clique yields the intra rotation alone
+/// (a flat round robin of the clique), and singleton cliques yield the
+/// inter rotation alone; `q` is ignored in both cases since only one
+/// circuit family exists.
+///
+/// ```
+/// use sorn_topology::builders::{sorn_schedule, SornScheduleParams};
+/// use sorn_topology::{CliqueMap, NodeId, Ratio};
+///
+/// // Figure 2(d) topology A: 2 cliques of 4, q = 3.
+/// let map = CliqueMap::contiguous(8, 2);
+/// let s = sorn_schedule(&map, &SornScheduleParams::with_q(Ratio::integer(3))).unwrap();
+/// assert_eq!(s.period(), 4);
+/// // Node 0: intra neighbors 1,2,3 and the aligned inter neighbor 4.
+/// let topo = s.logical_topology();
+/// for d in [1u32, 2, 3, 4] {
+///     assert!((topo.capacity(NodeId(0), NodeId(d)) - 0.25).abs() < 1e-12);
+/// }
+/// ```
+///
+/// # Errors
+/// Fails when the map is not uniform (use [`nonuniform_sorn_schedule`]),
+/// has fewer than 2 nodes, or the exact realization of `q` exceeds
+/// `params.max_period`.
+pub fn sorn_schedule(map: &CliqueMap, params: &SornScheduleParams) -> Result<CircuitSchedule> {
+    let n = map.n();
+    if n < 2 {
+        return Err(invalid("map", "schedule needs at least 2 nodes"));
+    }
+    let Some(s) = map.uniform_size() else {
+        return Err(TopologyError::NotRealizable {
+            reason: "sorn_schedule requires uniform cliques; use nonuniform_sorn_schedule".into(),
+        });
+    };
+    let c = map.cliques();
+    let intra = intra_rotations(map, s);
+    let inter = aligned_inter_rotations(map, c);
+
+    if c == 1 || s == 1 {
+        // Only one circuit family exists; q is moot.
+        let only = if c == 1 { intra } else { inter };
+        return CircuitSchedule::from_matchings(only);
+    }
+
+    let q = params.q;
+    let t = lcm(
+        stretch(q.num(), (s - 1) as u64),
+        stretch(q.den(), (c - 1) as u64),
+    );
+    let intra_slots = q.num() * t;
+    let inter_slots = q.den() * t;
+    let period = intra_slots + inter_slots;
+    if period > params.max_period as u64 {
+        return Err(invalid(
+            "max_period",
+            format!("exact q={q} needs period {period} > {}", params.max_period),
+        ));
+    }
+
+    let pool_split = intra.len();
+    let mut pool = intra;
+    pool.extend(inter);
+    let intra_stream = cycle_indices(0, pool_split, intra_slots as usize);
+    let inter_stream = cycle_indices(pool_split, pool.len() - pool_split, inter_slots as usize);
+    CircuitSchedule::new(pool, interleave(vec![intra_stream, inter_stream]))
+}
+
+/// The `s - 1` per-clique rotation matchings (offset `j` to offset
+/// `j + k mod s_clique` within each clique). For non-uniform maps, a
+/// clique of size `s'` idles in rotations with `k % s' == 0`.
+fn intra_rotations(map: &CliqueMap, s_max: usize) -> Vec<Matching> {
+    let n = map.n();
+    (1..s_max)
+        .map(|k| {
+            let mut dst: Vec<u32> = (0..n as u32).collect();
+            for (node, clique) in map.iter() {
+                let size = map.clique_size(clique);
+                let j = map.intra_index(node) as usize;
+                let to = map
+                    .node_at(clique, ((j + k) % size) as u32)
+                    .expect("rotation stays in clique");
+                dst[node.index()] = to.0;
+            }
+            Matching::from_permutation(dst).expect("per-clique rotation is a permutation")
+        })
+        .collect()
+}
+
+/// The `c - 1` index-aligned inter-clique rotation matchings over a
+/// uniform map: offset `j` of clique `a` to offset `j` of clique
+/// `a + r mod c`.
+fn aligned_inter_rotations(map: &CliqueMap, c: usize) -> Vec<Matching> {
+    let n = map.n();
+    (1..c)
+        .map(|r| {
+            let mut dst: Vec<u32> = (0..n as u32).collect();
+            for (node, clique) in map.iter() {
+                let j = map.intra_index(node);
+                let target = crate::node::CliqueId(((clique.index() + r) % c) as u32);
+                let to = map
+                    .node_at(target, j)
+                    .expect("uniform cliques share offsets");
+                dst[node.index()] = to.0;
+            }
+            Matching::from_permutation(dst).expect("aligned clique rotation is a permutation")
+        })
+        .collect()
+}
+
+/// `count` slot entries cycling matching-pool indices
+/// `base .. base + len`.
+fn cycle_indices(base: usize, len: usize, count: usize) -> Vec<usize> {
+    (0..count).map(|i| base + i % len).collect()
+}
+
+/// Builds a SORN schedule over cliques of unequal sizes (§5
+/// "Expressivity": "cliques of different sizes are possible").
+///
+/// Intra-clique bandwidth comes from per-clique rotations as in
+/// [`sorn_schedule`] (smaller cliques idle in rotations beyond their
+/// size). Because intra offsets no longer align across cliques, inter
+/// bandwidth instead uses the global rotation block `m_1 .. m_{n-1}`,
+/// which gives every ordered node pair a circuit — the general routers
+/// rely on that reach. Intra and inter slot counts keep the exact ratio
+/// `q`; `phase` rotates the slot sequence (0 = canonical), letting
+/// side-by-side deployments decorrelate their schedules.
+///
+/// # Errors
+/// Fails when the map has fewer than 2 nodes or the exact realization
+/// of `q` would exceed `max_period` slots.
+pub fn nonuniform_sorn_schedule(
+    map: &CliqueMap,
+    q: Ratio,
+    phase: u64,
+    max_period: usize,
+) -> Result<CircuitSchedule> {
+    let n = map.n();
+    if n < 2 {
+        return Err(invalid("map", "schedule needs at least 2 nodes"));
+    }
+    let s_max = (0..map.cliques())
+        .map(|c| map.clique_size(crate::node::CliqueId(c as u32)))
+        .max()
+        .expect("cliques are non-empty");
+    let inter: Vec<Matching> = (1..n).map(|k| Matching::cyclic(n, k)).collect();
+    if s_max == 1 {
+        // No intra circuits exist; the global rotation is the schedule.
+        return CircuitSchedule::from_matchings(inter);
+    }
+    let intra = intra_rotations(map, s_max);
+    let t = lcm(
+        stretch(q.num(), (s_max - 1) as u64),
+        stretch(q.den(), (n - 1) as u64),
+    );
+    let intra_slots = q.num() * t;
+    let inter_slots = q.den() * t;
+    let period = intra_slots + inter_slots;
+    if period > max_period as u64 {
+        return Err(invalid(
+            "max_period",
+            format!("exact q={q} needs period {period} > {max_period}"),
+        ));
+    }
+    let pool_split = intra.len();
+    let mut pool = intra;
+    pool.extend(inter);
+    let intra_stream = cycle_indices(0, pool_split, intra_slots as usize);
+    let inter_stream = cycle_indices(pool_split, pool.len() - pool_split, inter_slots as usize);
+    let mut slots = interleave(vec![intra_stream, inter_stream]);
+    let rot = (phase % slots.len() as u64) as usize;
+    slots.rotate_left(rot);
+    CircuitSchedule::new(pool, slots)
+}
+
+/// A multi-level hierarchy: nodes are mixed-radix numbers whose digit at
+/// level `l` (level 0 innermost / least significant) addresses the
+/// branch within that level, plus integer bandwidth weights per level.
+///
+/// `HierarchySpec::new(vec![4, 2], vec![3, 1])` is Figure 2(d)'s
+/// topology A: 8 nodes as 2 cliques of 4, intra weighted 3:1 over inter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchySpec {
+    /// Branching factor per level, innermost first (each `>= 2`).
+    pub radices: Vec<usize>,
+    /// Relative slot weight per level (each `>= 1`).
+    pub weights: Vec<u64>,
+}
+
+impl HierarchySpec {
+    /// Validates and builds a spec.
+    ///
+    /// # Errors
+    /// Fails when the vectors are empty or of different lengths, a radix
+    /// is below 2, or a weight is zero.
+    pub fn new(radices: Vec<usize>, weights: Vec<u64>) -> Result<Self> {
+        if radices.is_empty() || radices.len() != weights.len() {
+            return Err(invalid("radices", "need one weight per level"));
+        }
+        if radices.iter().any(|&r| r < 2) {
+            return Err(invalid("radices", "every level needs branching >= 2"));
+        }
+        if weights.contains(&0) {
+            return Err(invalid("weights", "level weights must be positive"));
+        }
+        Ok(HierarchySpec { radices, weights })
+    }
+
+    /// Total number of nodes (product of the radices).
+    pub fn n(&self) -> usize {
+        self.radices.iter().product()
+    }
+
+    /// Number of hierarchy levels.
+    pub fn levels(&self) -> usize {
+        self.radices.len()
+    }
+
+    /// The digit of `node` at `level`.
+    pub fn digit(&self, node: NodeId, level: usize) -> usize {
+        let mut x = node.index();
+        for &r in &self.radices[..level] {
+            x /= r;
+        }
+        x % self.radices[level]
+    }
+
+    /// `node` with its digit at `level` replaced by `digit`.
+    pub fn with_digit(&self, node: NodeId, level: usize, digit: usize) -> NodeId {
+        debug_assert!(digit < self.radices[level]);
+        let stride: usize = self.radices[..level].iter().product();
+        let old = self.digit(node, level);
+        NodeId((node.index() + stride * digit - stride * old) as u32)
+    }
+
+    /// The highest level at which `a` and `b` differ, or `None` when
+    /// equal. Routing corrects digits from this level downward.
+    pub fn highest_differing_level(&self, a: NodeId, b: NodeId) -> Option<usize> {
+        (0..self.levels())
+            .rev()
+            .find(|&l| self.digit(a, l) != self.digit(b, l))
+    }
+}
+
+/// Builds the multi-level schedule for a [`HierarchySpec`] (§6
+/// "independent schedules on each hierarchical level").
+///
+/// Each slot shifts exactly one level's digit by a constant `k` in
+/// `1 .. radix`, so every circuit connects nodes differing in a single
+/// level. Slot counts per level are exactly proportional to the spec's
+/// weights (each level's count must also divide evenly over its
+/// `radix - 1` shifts; the builder finds the smallest period that
+/// satisfies both). Levels are interleaved evenly through the period.
+///
+/// # Errors
+/// Fails when the smallest exact period exceeds `max_period`.
+pub fn hierarchical_schedule(spec: &HierarchySpec, max_period: usize) -> Result<CircuitSchedule> {
+    let n = spec.n();
+    let levels = spec.levels();
+    // Reduce the weights, then find the smallest common multiplier K so
+    // that each level's slot count w_l * K divides over its shifts.
+    let wg = spec.weights.iter().copied().fold(0, gcd);
+    let weights: Vec<u64> = spec.weights.iter().map(|w| w / wg).collect();
+    let mut k = 1u64;
+    for (l, &w) in weights.iter().enumerate() {
+        k = lcm(k, stretch(w, (spec.radices[l] - 1) as u64));
+    }
+    // Per-shift repeat counts, reduced by their common factor.
+    let mut per_shift: Vec<u64> = (0..levels)
+        .map(|l| weights[l] * k / (spec.radices[l] - 1) as u64)
+        .collect();
+    let pg = per_shift.iter().copied().fold(0, gcd);
+    for c in &mut per_shift {
+        *c /= pg;
+    }
+    let period: u64 = (0..levels)
+        .map(|l| per_shift[l] * (spec.radices[l] - 1) as u64)
+        .sum();
+    if period > max_period as u64 {
+        return Err(invalid(
+            "max_period",
+            format!("exact level weights need period {period} > {max_period}"),
+        ));
+    }
+
+    let mut pool = Vec::new();
+    let mut streams = Vec::with_capacity(levels);
+    for (l, &r) in spec.radices.iter().enumerate() {
+        let base = pool.len();
+        for shift in 1..r {
+            let dst: Vec<u32> = (0..n as u32)
+                .map(|x| {
+                    let node = NodeId(x);
+                    let d = spec.digit(node, l);
+                    spec.with_digit(node, l, (d + shift) % r).0
+                })
+                .collect();
+            pool.push(Matching::from_permutation(dst).expect("digit shift is a permutation"));
+        }
+        streams.push(cycle_indices(
+            base,
+            r - 1,
+            (per_shift[l] * (r - 1) as u64) as usize,
+        ));
+    }
+    CircuitSchedule::new(pool, interleave(streams))
+}
+
+/// An integer clique-level demand aggregate with equal row and column
+/// sums — the matrix form the optical layer can encode as inter-clique
+/// slot shares (§5 "Expressivity", §6 "Machine Learning Workloads").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GravityWeights {
+    w: Vec<Vec<u64>>,
+}
+
+impl GravityWeights {
+    /// Wraps an already-balanced matrix (every row and column sums to
+    /// the same positive value).
+    ///
+    /// # Errors
+    /// Fails when the matrix is empty, not square, all-zero, or its
+    /// line sums are unequal.
+    pub fn new(w: Vec<Vec<u64>>) -> Result<Self> {
+        let nc = w.len();
+        if nc < 2 || w.iter().any(|row| row.len() != nc) {
+            return Err(invalid("weights", "need a square matrix over >= 2 cliques"));
+        }
+        let s: u64 = w[0].iter().sum();
+        if s == 0 {
+            return Err(invalid("weights", "line sums must be positive"));
+        }
+        for i in 0..nc {
+            let row: u64 = w[i].iter().sum();
+            let col: u64 = w.iter().map(|r| r[i]).sum();
+            if row != s || col != s {
+                return Err(invalid(
+                    "weights",
+                    format!("row/column {i} sums to {row}/{col}, expected {s}"),
+                ));
+            }
+        }
+        Ok(GravityWeights { w })
+    }
+
+    /// Pads an arbitrary non-negative aggregate up to the smallest
+    /// balanced matrix that dominates it entry-wise (extra weight goes
+    /// to under-full clique pairs, the diagonal only as a last resort —
+    /// diagonal weight becomes idle slots).
+    ///
+    /// # Errors
+    /// Fails when the matrix is empty, not square, or all-zero.
+    pub fn balanced(mut w: Vec<Vec<u64>>) -> Result<Self> {
+        let nc = w.len();
+        if nc < 2 || w.iter().any(|row| row.len() != nc) {
+            return Err(invalid("weights", "need a square matrix over >= 2 cliques"));
+        }
+        let row_sum = |w: &[Vec<u64>], i: usize| -> u64 { w[i].iter().sum() };
+        let col_sum = |w: &[Vec<u64>], j: usize| -> u64 { w.iter().map(|r| r[j]).sum() };
+        let s = (0..nc)
+            .map(|i| row_sum(&w, i).max(col_sum(&w, i)))
+            .max()
+            .unwrap_or(0);
+        if s == 0 {
+            return Err(invalid("weights", "aggregate is all-zero"));
+        }
+        while let Some(i) = (0..nc).find(|&i| row_sum(&w, i) < s) {
+            let j = (0..nc)
+                .find(|&j| col_sum(&w, j) < s && j != i)
+                .or_else(|| (col_sum(&w, i) < s).then_some(i))
+                .expect("total row deficit equals total column deficit");
+            let add = (s - row_sum(&w, i)).min(s - col_sum(&w, j));
+            w[i][j] += add;
+        }
+        GravityWeights::new(w)
+    }
+
+    /// The uniform aggregate: weight `w` on every ordered clique pair.
+    ///
+    /// # Errors
+    /// Fails when `nc < 2` or `w == 0`.
+    pub fn uniform(nc: usize, w: u64) -> Result<Self> {
+        if w == 0 {
+            return Err(invalid("weights", "uniform weight must be positive"));
+        }
+        let m = (0..nc)
+            .map(|i| (0..nc).map(|j| if i == j { 0 } else { w }).collect())
+            .collect();
+        GravityWeights::new(m)
+    }
+
+    /// Number of cliques.
+    pub fn cliques(&self) -> usize {
+        self.w.len()
+    }
+
+    /// The weight of the clique pair `i -> j`.
+    pub fn weight(&self, i: usize, j: usize) -> u64 {
+        self.w[i][j]
+    }
+
+    /// The common row/column sum.
+    pub fn line_sum(&self) -> u64 {
+        self.w[0].iter().sum()
+    }
+
+    /// Birkhoff–von-Neumann decomposition: clique-level matchings with
+    /// multiplicities that sum the matrix back up. Counts total
+    /// [`GravityWeights::line_sum`]; diagonal entries appear as idle
+    /// ports in their part's matching.
+    ///
+    /// # Errors
+    /// Fails when no perfect matching exists over the positive entries —
+    /// impossible for a balanced matrix, kept as a guard.
+    pub fn decompose(&self) -> Result<Vec<(Matching, u64)>> {
+        let nc = self.cliques();
+        let mut w = self.w.clone();
+        let mut parts = Vec::new();
+        loop {
+            let adj: Vec<Vec<usize>> = (0..nc)
+                .map(|i| (0..nc).filter(|&j| w[i][j] > 0).collect())
+                .collect();
+            if adj.iter().all(Vec::is_empty) {
+                break;
+            }
+            let matched = bipartite_matching(nc, nc, &adj);
+            let mut perm = vec![0u32; nc];
+            let mut count = u64::MAX;
+            for (i, m) in matched.iter().enumerate() {
+                let Some(j) = *m else {
+                    return Err(TopologyError::NotRealizable {
+                        reason: "gravity aggregate is not decomposable".into(),
+                    });
+                };
+                perm[i] = j as u32;
+                count = count.min(w[i][j]);
+            }
+            for (i, &j) in perm.iter().enumerate() {
+                w[i][j as usize] -= count;
+            }
+            parts.push((Matching::from_permutation(perm)?, count));
+        }
+        Ok(parts)
+    }
+}
+
+/// Builds a clique schedule whose inter-clique bandwidth follows a
+/// gravity aggregate instead of the uniform rotation: each part of the
+/// Birkhoff decomposition becomes an index-aligned clique-permutation
+/// matching holding slots proportional to its multiplicity, while intra
+/// slots keep the exact ratio `q` against the inter total.
+///
+/// # Errors
+/// Fails when the map is not uniform, the weight matrix does not match
+/// the clique count, or the exact realization exceeds `max_period`.
+pub fn gravity_schedule(
+    map: &CliqueMap,
+    q: Ratio,
+    weights: &GravityWeights,
+    max_period: usize,
+) -> Result<CircuitSchedule> {
+    let Some(s) = map.uniform_size() else {
+        return Err(TopologyError::NotRealizable {
+            reason: "gravity_schedule requires uniform cliques".into(),
+        });
+    };
+    let c = map.cliques();
+    if weights.cliques() != c {
+        return Err(invalid(
+            "weights",
+            format!(
+                "aggregate covers {} cliques, map has {c}",
+                weights.cliques()
+            ),
+        ));
+    }
+    let parts = weights.decompose()?;
+    let total = weights.line_sum();
+    let n = map.n();
+
+    // Inter matchings: node at offset j of clique a links to offset j of
+    // clique P(a); cliques mapped to themselves idle in that part.
+    let inter: Vec<Matching> = parts
+        .iter()
+        .map(|(p, _)| {
+            let mut dst: Vec<u32> = (0..n as u32).collect();
+            for (node, clique) in map.iter() {
+                let target = p.raw_dst(NodeId(clique.index() as u32));
+                if target.index() != clique.index() {
+                    let to = map
+                        .node_at(crate::node::CliqueId(target.0), map.intra_index(node))
+                        .expect("uniform cliques share offsets");
+                    dst[node.index()] = to.0;
+                }
+            }
+            Matching::from_permutation(dst).expect("aligned clique permutation is a permutation")
+        })
+        .collect();
+
+    if s == 1 {
+        let slots = part_stream_slots(&parts, 1);
+        let streams: Vec<Vec<usize>> = slots
+            .into_iter()
+            .enumerate()
+            .map(|(p, count)| vec![p; count])
+            .collect();
+        return CircuitSchedule::new(inter, interleave(streams));
+    }
+
+    let t = lcm(stretch(q.num(), (s - 1) as u64), stretch(q.den(), total));
+    let intra_slots = q.num() * t;
+    let inter_slots = q.den() * t;
+    let period = intra_slots + inter_slots;
+    if period > max_period as u64 {
+        return Err(invalid(
+            "max_period",
+            format!("exact q={q} over line sum {total} needs period {period} > {max_period}"),
+        ));
+    }
+    let repeat = inter_slots / total;
+
+    let intra = intra_rotations(map, s);
+    let pool_split = intra.len();
+    let mut pool = intra;
+    pool.extend(inter);
+
+    let mut streams = vec![cycle_indices(0, pool_split, intra_slots as usize)];
+    for (p, count) in part_stream_slots(&parts, repeat).into_iter().enumerate() {
+        streams.push(vec![pool_split + p; count]);
+    }
+    CircuitSchedule::new(pool, interleave(streams))
+}
+
+/// Slot counts per decomposition part at `repeat` slots per weight unit.
+fn part_stream_slots(parts: &[(Matching, u64)], repeat: u64) -> Vec<usize> {
+    parts.iter().map(|(_, m)| (m * repeat) as usize).collect()
+}
+
+/// Builds the h-dimensional optimal ORN schedule over `n = Δ^h` nodes
+/// (§2's latency-throughput tradeoff family): nodes are h-digit base-Δ
+/// numbers and each slot advances exactly one digit by a constant,
+/// giving period `h · (Δ - 1)`.
+///
+/// # Errors
+/// Fails when `h == 0` or `n` is not a perfect `h`-th power with
+/// `Δ >= 2`.
+pub fn hdim_orn(n: usize, h: u32) -> Result<CircuitSchedule> {
+    if h == 0 {
+        return Err(invalid("h", "need at least one dimension"));
+    }
+    let delta = (n as f64).powf(1.0 / h as f64).round() as usize;
+    if delta < 2 || delta.checked_pow(h) != Some(n) {
+        return Err(invalid(
+            "n",
+            format!("{n} is not a perfect {h}-th power of a base >= 2"),
+        ));
+    }
+    let spec = HierarchySpec::new(vec![delta; h as usize], vec![1; h as usize])?;
+    hierarchical_schedule(&spec, h as usize * (delta - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::CliqueId;
+
+    #[test]
+    fn round_robin_connects_all_pairs_once() {
+        let s = round_robin(6).unwrap();
+        assert_eq!(s.period(), 5);
+        for a in 0..6u32 {
+            for b in 0..6u32 {
+                if a != b {
+                    let ups = (0..5)
+                        .filter(|&t| s.matching_at(t).connects(NodeId(a), NodeId(b)))
+                        .count();
+                    assert_eq!(ups, 1, "{a}->{b}");
+                }
+            }
+        }
+        assert!(round_robin(1).is_err());
+    }
+
+    #[test]
+    fn sorn_topology_a_matches_figure2d() {
+        let map = CliqueMap::contiguous(8, 2);
+        let s = sorn_schedule(&map, &SornScheduleParams::with_q(Ratio::integer(3))).unwrap();
+        assert_eq!(s.period(), 4);
+        let topo = s.logical_topology();
+        // Exactly neighbors 1,2,3 (intra) and 4 (aligned inter).
+        assert_eq!(topo.degree(NodeId(0)), 4);
+        for d in [1u32, 2, 3, 4] {
+            assert!((topo.capacity(NodeId(0), NodeId(d)) - 0.25).abs() < 1e-12);
+        }
+        assert!((topo.total_capacity(NodeId(0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sorn_fractional_q_is_exact() {
+        let map = CliqueMap::contiguous(32, 4);
+        let q = Ratio::new(50, 11);
+        let s = sorn_schedule(&map, &SornScheduleParams::with_q(q)).unwrap();
+        let (mut intra, mut inter) = (0u64, 0u64);
+        for t in 0..s.period() as u64 {
+            let d = s.matching_at(t).raw_dst(NodeId(0));
+            if map.same_clique(NodeId(0), d) {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert_eq!(intra * q.den(), inter * q.num());
+    }
+
+    #[test]
+    fn sorn_q1_balances_intra_and_inter() {
+        // q = 1 over 2 cliques of 4: 3 intra shifts + 3 inter slots.
+        let map = CliqueMap::contiguous(8, 2);
+        let s = sorn_schedule(&map, &SornScheduleParams::with_q(Ratio::integer(1))).unwrap();
+        assert_eq!(s.period(), 6);
+        let topo = s.logical_topology();
+        assert!((topo.capacity(NodeId(0), NodeId(4)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sorn_rejects_nonuniform_and_tight_periods() {
+        let map = CliqueMap::from_assignment(&[CliqueId(0), CliqueId(0), CliqueId(1)]);
+        assert!(matches!(
+            sorn_schedule(&map, &SornScheduleParams::with_q(Ratio::integer(2))),
+            Err(TopologyError::NotRealizable { .. })
+        ));
+        let map = CliqueMap::contiguous(32, 4);
+        let mut p = SornScheduleParams::with_q(Ratio::new(50, 11));
+        p.max_period = 8;
+        assert!(sorn_schedule(&map, &p).is_err());
+    }
+
+    #[test]
+    fn sorn_degenerate_shapes() {
+        // One clique: intra rotation only (flat round robin).
+        let s = sorn_schedule(
+            &CliqueMap::contiguous(5, 1),
+            &SornScheduleParams::with_q(Ratio::integer(3)),
+        )
+        .unwrap();
+        assert_eq!(s.period(), 4);
+        // Singleton cliques: inter rotation only.
+        let s = sorn_schedule(
+            &CliqueMap::contiguous(5, 5),
+            &SornScheduleParams::with_q(Ratio::integer(3)),
+        )
+        .unwrap();
+        assert_eq!(s.period(), 4);
+        for t in 0..4 {
+            assert!(s.matching_at(t).is_perfect());
+        }
+    }
+
+    #[test]
+    fn nonuniform_covers_all_pairs() {
+        let map = CliqueMap::from_assignment(&[
+            CliqueId(0),
+            CliqueId(0),
+            CliqueId(0),
+            CliqueId(1),
+            CliqueId(1),
+            CliqueId(2),
+        ]);
+        let s = nonuniform_sorn_schedule(&map, Ratio::new(3, 2), 0, 1 << 20).unwrap();
+        s.validate().unwrap();
+        for a in 0..6u32 {
+            for b in 0..6u32 {
+                if a != b {
+                    assert!(
+                        s.next_circuit(NodeId(a), NodeId(b), 0).is_some(),
+                        "{a}->{b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nonuniform_phase_rotates_slots() {
+        let map = CliqueMap::from_assignment(&[CliqueId(0), CliqueId(0), CliqueId(1)]);
+        let a = nonuniform_sorn_schedule(&map, Ratio::integer(1), 0, 1 << 20).unwrap();
+        let b = nonuniform_sorn_schedule(&map, Ratio::integer(1), 1, 1 << 20).unwrap();
+        assert_eq!(a.period(), b.period());
+        assert_eq!(a.matching_at(1), b.matching_at(0));
+    }
+
+    #[test]
+    fn hierarchy_digits_round_trip() {
+        let spec = HierarchySpec::new(vec![4, 2], vec![3, 1]).unwrap();
+        assert_eq!(spec.n(), 8);
+        assert_eq!(spec.digit(NodeId(6), 0), 2);
+        assert_eq!(spec.digit(NodeId(6), 1), 1);
+        assert_eq!(spec.with_digit(NodeId(6), 0, 0), NodeId(4));
+        assert_eq!(spec.with_digit(NodeId(6), 1, 0), NodeId(2));
+        assert_eq!(spec.highest_differing_level(NodeId(0), NodeId(2)), Some(0));
+        assert_eq!(spec.highest_differing_level(NodeId(0), NodeId(6)), Some(1));
+        assert_eq!(spec.highest_differing_level(NodeId(3), NodeId(3)), None);
+        assert!(HierarchySpec::new(vec![1, 2], vec![1, 1]).is_err());
+        assert!(HierarchySpec::new(vec![2, 2], vec![1]).is_err());
+        assert!(HierarchySpec::new(vec![2, 2], vec![1, 0]).is_err());
+    }
+
+    #[test]
+    fn hierarchical_two_level_reduces_to_topology_a() {
+        let spec = HierarchySpec::new(vec![4, 2], vec![3, 1]).unwrap();
+        let s = hierarchical_schedule(&spec, 1 << 20).unwrap();
+        assert_eq!(s.period(), 4);
+        let topo = s.logical_topology();
+        for d in [1u32, 2, 3, 4] {
+            assert!((topo.capacity(NodeId(0), NodeId(d)) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hierarchical_weights_are_exact() {
+        let spec = HierarchySpec::new(vec![3, 4, 2], vec![5, 2, 3]).unwrap();
+        let s = hierarchical_schedule(&spec, 1 << 20).unwrap();
+        let mut per_level = [0u64; 3];
+        for t in 0..s.period() as u64 {
+            let d = s.matching_at(t).raw_dst(NodeId(0));
+            per_level[spec.highest_differing_level(NodeId(0), d).unwrap()] += 1;
+        }
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(
+                    per_level[i] * spec.weights[j],
+                    per_level[j] * spec.weights[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hdim_orn_shifts_one_digit_per_slot() {
+        let s = hdim_orn(16, 2).unwrap();
+        assert_eq!(s.period(), 6);
+        let spec = HierarchySpec::new(vec![4, 4], vec![1, 1]).unwrap();
+        for t in 0..6 {
+            let m = s.matching_at(t);
+            assert!(m.is_perfect());
+            for v in 0..16u32 {
+                let d = m.raw_dst(NodeId(v));
+                let differing = (0..2)
+                    .filter(|&j| spec.digit(NodeId(v), j) != spec.digit(d, j))
+                    .count();
+                assert_eq!(differing, 1);
+            }
+        }
+        assert!(hdim_orn(10, 2).is_err());
+        assert!(hdim_orn(16, 0).is_err());
+    }
+
+    #[test]
+    fn gravity_balancing_and_decomposition() {
+        let w =
+            GravityWeights::balanced(vec![vec![0, 5, 0], vec![1, 0, 2], vec![0, 1, 0]]).unwrap();
+        let s = w.line_sum();
+        for i in 0..3 {
+            let row: u64 = (0..3).map(|j| w.weight(i, j)).sum();
+            let col: u64 = (0..3).map(|j| w.weight(j, i)).sum();
+            assert_eq!(row, s);
+            assert_eq!(col, s);
+        }
+        assert!(w.weight(0, 1) >= 5);
+        let parts = w.decompose().unwrap();
+        let total: u64 = parts.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, s);
+        // Parts reassemble the matrix.
+        let mut re = vec![vec![0u64; 3]; 3];
+        for (p, c) in &parts {
+            for i in 0..3u32 {
+                re[i as usize][p.raw_dst(NodeId(i)).index()] += c;
+            }
+        }
+        for (i, row) in re.iter().enumerate() {
+            for (j, &cell) in row.iter().enumerate() {
+                assert_eq!(cell, w.weight(i, j));
+            }
+        }
+        assert!(GravityWeights::balanced(vec![vec![0, 0], vec![0, 0]]).is_err());
+        assert!(GravityWeights::new(vec![vec![0, 2], vec![1, 0]]).is_err());
+    }
+
+    #[test]
+    fn gravity_schedule_shares_follow_weights() {
+        let map = CliqueMap::contiguous(8, 4);
+        let w = GravityWeights::new(vec![
+            vec![0, 2, 1, 1],
+            vec![1, 0, 2, 1],
+            vec![1, 1, 0, 2],
+            vec![2, 1, 1, 0],
+        ])
+        .unwrap();
+        let s = gravity_schedule(&map, Ratio::integer(1), &w, 1 << 20).unwrap();
+        s.validate().unwrap();
+        let topo = s.logical_topology();
+        // Node 0 (clique 0, offset 0): aligned peers 2, 4, 6 at weights
+        // 2, 1, 1 of the inter half of the bandwidth.
+        let c2 = topo.capacity(NodeId(0), NodeId(2));
+        let c4 = topo.capacity(NodeId(0), NodeId(4));
+        let c6 = topo.capacity(NodeId(0), NodeId(6));
+        assert!((c2 - 2.0 * c4).abs() < 1e-12);
+        assert!((c4 - c6).abs() < 1e-12);
+        // Intra equals inter at q = 1.
+        let intra = topo.capacity(NodeId(0), NodeId(1));
+        assert!((intra - (c2 + c4 + c6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interleave_spreads_minority_stream() {
+        let slots = interleave(vec![vec![0; 6], vec![1, 1]]);
+        assert_eq!(slots.len(), 8);
+        let first = slots.iter().position(|&x| x == 1).unwrap();
+        let last = slots.iter().rposition(|&x| x == 1).unwrap();
+        assert!(last - first >= 3, "inter slots bunched: {slots:?}");
+    }
+}

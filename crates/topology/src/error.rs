@@ -49,7 +49,10 @@ impl fmt::Display for TopologyError {
                 write!(f, "matching over {n} ports is not a permutation (value {dup} repeated or out of range)")
             }
             TopologyError::SizeMismatch { expected, actual } => {
-                write!(f, "matching size mismatch: expected {expected} entries, got {actual}")
+                write!(
+                    f,
+                    "matching size mismatch: expected {expected} entries, got {actual}"
+                )
             }
             TopologyError::UnknownMatching { index, available } => {
                 write!(f, "schedule slot refers to matching {index}, but only {available} matchings exist")
@@ -59,7 +62,10 @@ impl fmt::Display for TopologyError {
                 write!(f, "invalid parameter `{name}`: {message}")
             }
             TopologyError::NotRealizable { reason } => {
-                write!(f, "topology not realizable on this physical setup: {reason}")
+                write!(
+                    f,
+                    "topology not realizable on this physical setup: {reason}"
+                )
             }
         }
     }
@@ -86,14 +92,24 @@ mod tests {
     fn display_messages_are_informative() {
         let e = TopologyError::NotAPermutation { n: 4, dup: 2 };
         assert!(e.to_string().contains("permutation"));
-        let e = TopologyError::SizeMismatch { expected: 8, actual: 7 };
+        let e = TopologyError::SizeMismatch {
+            expected: 8,
+            actual: 7,
+        };
         assert!(e.to_string().contains("expected 8"));
-        let e = TopologyError::UnknownMatching { index: 9, available: 3 };
+        let e = TopologyError::UnknownMatching {
+            index: 9,
+            available: 3,
+        };
         assert!(e.to_string().contains("matching 9"));
-        assert!(TopologyError::EmptySchedule.to_string().contains("no slots"));
+        assert!(TopologyError::EmptySchedule
+            .to_string()
+            .contains("no slots"));
         let e = invalid("q", "must be >= 1");
         assert!(e.to_string().contains("`q`"));
-        let e = TopologyError::NotRealizable { reason: "too few ports".into() };
+        let e = TopologyError::NotRealizable {
+            reason: "too few ports".into(),
+        };
         assert!(e.to_string().contains("too few ports"));
     }
 

@@ -184,7 +184,10 @@ mod tests {
             assert!((4..=6).contains(&deg), "node {v} degree {deg}");
         }
         let diam = g.diameter().expect("expander should be connected");
-        assert!(diam <= 5, "diameter {diam} too large for a 6-regular expander");
+        assert!(
+            diam <= 5,
+            "diameter {diam} too large for a 6-regular expander"
+        );
     }
 
     #[test]

@@ -201,7 +201,10 @@ mod tests {
     fn bfs_on_ring() {
         let g = ring(6);
         let d = g.bfs_distances(NodeId(0));
-        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3), Some(4), Some(5)]);
+        assert_eq!(
+            d,
+            vec![Some(0), Some(1), Some(2), Some(3), Some(4), Some(5)]
+        );
     }
 
     #[test]

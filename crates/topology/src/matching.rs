@@ -122,18 +122,12 @@ impl Matching {
 
     /// True when no port is idle.
     pub fn is_perfect(&self) -> bool {
-        self.dst
-            .iter()
-            .enumerate()
-            .all(|(s, &d)| s != d as usize)
+        self.dst.iter().enumerate().all(|(s, &d)| s != d as usize)
     }
 
     /// True when this is the identity (all ports idle).
     pub fn is_identity(&self) -> bool {
-        self.dst
-            .iter()
-            .enumerate()
-            .all(|(s, &d)| s == d as usize)
+        self.dst.iter().enumerate().all(|(s, &d)| s == d as usize)
     }
 
     /// Raw destination slice (`dst[i]` = destination of node `i`).
@@ -151,11 +145,7 @@ impl Matching {
                 actual: g.n(),
             });
         }
-        let dst = self
-            .dst
-            .iter()
-            .map(|&mid| g.dst[mid as usize])
-            .collect();
+        let dst = self.dst.iter().map(|&mid| g.dst[mid as usize]).collect();
         Matching::from_permutation(dst)
     }
 }

@@ -100,11 +100,7 @@ impl CliqueMap {
     /// # Panics
     /// Panics if clique ids are not dense or a clique is empty.
     pub fn from_assignment(assignment: &[CliqueId]) -> Self {
-        let k = assignment
-            .iter()
-            .map(|c| c.index() + 1)
-            .max()
-            .unwrap_or(0);
+        let k = assignment.iter().map(|c| c.index() + 1).max().unwrap_or(0);
         let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); k];
         let mut intra_of = vec![0u32; assignment.len()];
         for (i, c) in assignment.iter().enumerate() {
@@ -209,7 +205,10 @@ mod tests {
         assert_eq!(m.clique_of(NodeId(4)), CliqueId(1));
         assert_eq!(m.clique_of(NodeId(7)), CliqueId(1));
         assert_eq!(m.intra_index(NodeId(5)), 1);
-        assert_eq!(m.members(CliqueId(1)), &[NodeId(4), NodeId(5), NodeId(6), NodeId(7)]);
+        assert_eq!(
+            m.members(CliqueId(1)),
+            &[NodeId(4), NodeId(5), NodeId(6), NodeId(7)]
+        );
         assert!(m.is_uniform());
         assert_eq!(m.uniform_size(), Some(4));
     }

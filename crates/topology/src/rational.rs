@@ -68,7 +68,10 @@ impl Ratio {
     /// # Panics
     /// Panics if `x <= 0`, is not finite, or `max_den == 0`.
     pub fn approximate(x: f64, max_den: u64) -> Self {
-        assert!(x.is_finite() && x > 0.0, "ratio must be positive and finite");
+        assert!(
+            x.is_finite() && x > 0.0,
+            "ratio must be positive and finite"
+        );
         assert!(max_den > 0, "max_den must be positive");
         // Continued fraction expansion tracking convergents h/k.
         let (mut h0, mut k0, mut h1, mut k1) = (1u64, 0u64, x.floor() as u64, 1u64);

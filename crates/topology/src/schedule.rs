@@ -42,10 +42,7 @@ impl CircuitSchedule {
         if slots.is_empty() {
             return Err(TopologyError::EmptySchedule);
         }
-        let n = matchings
-            .first()
-            .ok_or(TopologyError::EmptySchedule)?
-            .n();
+        let n = matchings.first().ok_or(TopologyError::EmptySchedule)?.n();
         for m in &matchings {
             if m.n() != n {
                 return Err(TopologyError::SizeMismatch {
@@ -286,10 +283,7 @@ impl StaggeredSchedule {
     /// `from`.
     pub fn wait_slots(&self, src: NodeId, dst: NodeId, from: u64) -> Option<u64> {
         (0..self.uplinks)
-            .filter_map(|j| {
-                self.base
-                    .wait_slots(src, dst, from + self.offset_of(j))
-            })
+            .filter_map(|j| self.base.wait_slots(src, dst, from + self.offset_of(j)))
             .min()
     }
 
@@ -356,9 +350,10 @@ impl LogicalTopology {
 
     /// Iterates over every directed virtual edge `(src, dst, fraction)`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
-        self.adj.iter().enumerate().flat_map(|(s, row)| {
-            row.iter().map(move |(d, c)| (NodeId(s as u32), *d, *c))
-        })
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(s, row)| row.iter().map(move |(d, c)| (NodeId(s as u32), *d, *c)))
     }
 
     /// Builds a logical topology directly from weighted edges.
@@ -409,7 +404,7 @@ mod tests {
         let table = s.render_table();
         let lines: Vec<&str> = table.lines().collect();
         assert_eq!(lines.len(), 5); // header + 4 slots
-        // Slot 1 row: A->B, B->C, ... (0->1, 1->2, 2->3, 3->4, 4->0)
+                                    // Slot 1 row: A->B, B->C, ... (0->1, 1->2, 2->3, 3->4, 4->0)
         assert_eq!(lines[1], "1\t1\t2\t3\t4\t0");
         // Slot 4 row: 0->4, 1->0, ...
         assert_eq!(lines[4], "4\t4\t0\t1\t2\t3");

@@ -63,7 +63,9 @@ impl FlowSizeDist {
                 return Err(DistError::InvalidCdf(format!("size {s} must be positive")));
             }
             if !(0.0..=1.0).contains(&p) {
-                return Err(DistError::InvalidCdf(format!("probability {p} outside [0,1]")));
+                return Err(DistError::InvalidCdf(format!(
+                    "probability {p} outside [0,1]"
+                )));
             }
             if s < prev.0 || p < prev.1 {
                 return Err(DistError::InvalidCdf(

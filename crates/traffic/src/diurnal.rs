@@ -108,8 +108,7 @@ impl DiurnalWorkload {
         self.pattern.validate().expect("valid diurnal pattern");
         let mut rng = StdRng::seed_from_u64(self.seed);
         let peak_load = self.pattern.mean_load * (1.0 + self.pattern.amplitude);
-        let peak_rate =
-            peak_load * self.node_bandwidth_bytes_per_ns / self.sizes.mean_bytes();
+        let peak_rate = peak_load * self.node_bandwidth_bytes_per_ns / self.sizes.mean_bytes();
 
         let mut flows = Vec::new();
         for src in 0..self.cliques.n() as u32 {

@@ -122,8 +122,7 @@ impl FacebookWorkload {
         let bulk = FlowSizeDist::data_mining();
 
         // Mean size of the blended distribution, for the arrival rate.
-        let mean_role: f64 =
-            dists.iter().map(|d| d.mean_bytes()).sum::<f64>() / dists.len() as f64;
+        let mean_role: f64 = dists.iter().map(|d| d.mean_bytes()).sum::<f64>() / dists.len() as f64;
         // Choose the per-flow short probability p s.t.
         // p*mean_role / (p*mean_role + (1-p)*mean_bulk) = short_share.
         let mb = bulk.mean_bytes();

@@ -141,7 +141,10 @@ impl CliqueGravity {
     fn pick_clique_except(&self, exclude: CliqueId, rng: &mut StdRng) -> CliqueId {
         let excluded_w = self.weights[exclude.index()];
         let total = self.total_weight - excluded_w;
-        debug_assert!(total > 0.0, "gravity needs weight outside the source clique");
+        debug_assert!(
+            total > 0.0,
+            "gravity needs weight outside the source clique"
+        );
         let mut t = rng.gen::<f64>() * total;
         for (i, &w) in self.weights.iter().enumerate() {
             if i == exclude.index() {

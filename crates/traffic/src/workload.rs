@@ -84,7 +84,12 @@ pub struct WorkloadStats {
 }
 
 /// Computes summary statistics for a generated flow list.
-pub fn stats(flows: &[Flow], n: usize, node_bandwidth_bytes_per_ns: f64, duration_ns: Nanos) -> WorkloadStats {
+pub fn stats(
+    flows: &[Flow],
+    n: usize,
+    node_bandwidth_bytes_per_ns: f64,
+    duration_ns: Nanos,
+) -> WorkloadStats {
     let total_bytes: u64 = flows.iter().map(|f| f.size_bytes).sum();
     let mean = if flows.is_empty() {
         0.0
@@ -131,10 +136,7 @@ pub fn empirical_matrix(flows: &[Flow], n: usize) -> Vec<Vec<f64>> {
             m[f.src.index()][f.dst.index()] += f.size_bytes as f64;
         }
     }
-    let max_row: f64 = m
-        .iter()
-        .map(|r| r.iter().sum::<f64>())
-        .fold(0.0, f64::max);
+    let max_row: f64 = m.iter().map(|r| r.iter().sum::<f64>()).fold(0.0, f64::max);
     if max_row > 0.0 {
         for row in &mut m {
             for v in row.iter_mut() {

@@ -109,7 +109,6 @@ fn main() {
 
 /// Flow ids that did NOT complete.
 fn completed_ids(eng: &Engine, total: usize) -> Vec<u64> {
-    let done: std::collections::HashSet<u64> =
-        eng.metrics().flows.iter().map(|f| f.id.0).collect();
+    let done: std::collections::HashSet<u64> = eng.metrics().flows.iter().map(|f| f.id.0).collect();
     (0..total as u64).filter(|id| !done.contains(id)).collect()
 }

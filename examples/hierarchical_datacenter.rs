@@ -135,7 +135,10 @@ fn main() {
     let drained = eng.run_until_drained(20_000_000).unwrap();
     let m = eng.metrics();
     println!("packet check (pFabric web-search at load 0.25):");
-    println!("  flows: {count}, drained: {drained}, completed: {}", m.flows.len());
+    println!(
+        "  flows: {count}, drained: {drained}, completed: {}",
+        m.flows.len()
+    );
     println!(
         "  mean hops {:.2} (model {:.2}), mean FCT {:.1} us",
         m.mean_hops(),

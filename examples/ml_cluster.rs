@@ -12,7 +12,9 @@
 //! Run with: `cargo run --example ml_cluster`
 
 use sorn::routing::{evaluate, DemandMatrix, SornPaths};
-use sorn::topology::builders::{gravity_schedule, sorn_schedule, GravityWeights, SornScheduleParams};
+use sorn::topology::builders::{
+    gravity_schedule, sorn_schedule, GravityWeights, SornScheduleParams,
+};
 use sorn::topology::{CliqueMap, NodeId, Ratio};
 
 fn main() {

@@ -37,8 +37,14 @@ fn main() {
     // ---- Closed-form analysis (§4) ----
     let a = net.analysis();
     println!("Closed-form analysis at q = {}:", a.q);
-    println!("  intra-clique delta_m: {:.0} slots", a.intra_delta_m.ceil());
-    println!("  inter-clique delta_m: {:.0} slots", a.inter_delta_m.ceil());
+    println!(
+        "  intra-clique delta_m: {:.0} slots",
+        a.intra_delta_m.ceil()
+    );
+    println!(
+        "  inter-clique delta_m: {:.0} slots",
+        a.inter_delta_m.ceil()
+    );
     println!("  worst-case throughput: {:.1}%", a.throughput * 100.0);
     println!();
 
@@ -55,7 +61,10 @@ fn main() {
     let f = &metrics.flows[0];
     println!("Simulated the paper's example flow 0 -> 6 (inter-clique):");
     println!("  cells delivered: {}", metrics.delivered_cells);
-    println!("  max hops: {} (paper: 3-hop inter-clique routing)", f.max_hops);
+    println!(
+        "  max hops: {} (paper: 3-hop inter-clique routing)",
+        f.max_hops
+    );
     println!("  completion time: {} ns", f.completion_ns);
     println!("  mean hops per cell: {:.2}", metrics.mean_hops());
 }

@@ -40,7 +40,11 @@ fn main() {
     let v = validate_point(128, 8, x, load, 2_000_000, 42).expect("packet validation");
     println!("  flows completed: {}", v.flows);
     println!("  drained within budget: {}", v.drained);
-    println!("  mean hops per cell: {:.2} (model: {:.2})", v.mean_hops, 3.0 - x);
+    println!(
+        "  mean hops per cell: {:.2} (model: {:.2})",
+        v.mean_hops,
+        3.0 - x
+    );
     println!(
         "  delivery fraction (throughput proxy): {:.3} (~1/mean_hops = {:.3})",
         v.delivery_fraction,

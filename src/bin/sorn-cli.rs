@@ -121,15 +121,19 @@ fn build_config(args: &Args) -> Result<SornConfig, String> {
 
 fn parse_list<T: std::str::FromStr>(s: &str, what: &str) -> Result<Vec<T>, String> {
     s.split(',')
-        .map(|p| p.trim().parse().map_err(|_| format!("bad {what} entry `{p}`")))
+        .map(|p| {
+            p.trim()
+                .parse()
+                .map_err(|_| format!("bad {what} entry `{p}`"))
+        })
         .collect()
 }
 
 fn cmd_hierarchy(args: &Args) -> Result<(), String> {
     let radices: Vec<usize> = parse_list(args.required("radices")?, "radix")?;
     let profile: Vec<f64> = parse_list(args.required("profile")?, "profile")?;
-    let model = sorn::core::HierarchyModel::new(radices.clone(), profile)
-        .map_err(|e| e.to_string())?;
+    let model =
+        sorn::core::HierarchyModel::new(radices.clone(), profile).map_err(|e| e.to_string())?;
     println!(
         "hierarchical SORN over {} nodes ({} levels, radices {:?})",
         radices.iter().product::<usize>(),
@@ -140,7 +144,10 @@ fn cmd_hierarchy(args: &Args) -> Result<(), String> {
     let w = model.optimal_weights();
     t.row(vec![
         "optimal bandwidth split".into(),
-        w.iter().map(|v| format!("{v:.3}")).collect::<Vec<_>>().join(" / "),
+        w.iter()
+            .map(|v| format!("{v:.3}"))
+            .collect::<Vec<_>>()
+            .join(" / "),
     ]);
     t.row(vec![
         "mean hops / BW cost".into(),
@@ -164,17 +171,40 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
     let cfg = build_config(args)?;
     let net = SornNetwork::build(cfg).map_err(|e| e.to_string())?;
     let a = net.analysis();
-    println!("SORN analysis — {} nodes, {} cliques of {}, x = {}",
-        net.config().n, net.config().cliques, net.config().clique_size(), net.config().locality);
+    println!(
+        "SORN analysis — {} nodes, {} cliques of {}, x = {}",
+        net.config().n,
+        net.config().cliques,
+        net.config().clique_size(),
+        net.config().locality
+    );
     let mut t = TextTable::new(&["metric", "value"]);
     t.row(vec!["oversubscription q".into(), format!("{:.4}", a.q)]);
-    t.row(vec!["intra delta_m (slots)".into(), format!("{:.0}", a.intra_delta_m.ceil())]);
-    t.row(vec!["inter delta_m (slots)".into(), format!("{:.0}", a.inter_delta_m.ceil())]);
-    t.row(vec!["intra worst latency".into(), fmt_latency(a.intra_latency_ns)]);
-    t.row(vec!["inter worst latency".into(), fmt_latency(a.inter_latency_ns)]);
+    t.row(vec![
+        "intra delta_m (slots)".into(),
+        format!("{:.0}", a.intra_delta_m.ceil()),
+    ]);
+    t.row(vec![
+        "inter delta_m (slots)".into(),
+        format!("{:.0}", a.inter_delta_m.ceil()),
+    ]);
+    t.row(vec![
+        "intra worst latency".into(),
+        fmt_latency(a.intra_latency_ns),
+    ]);
+    t.row(vec![
+        "inter worst latency".into(),
+        fmt_latency(a.inter_latency_ns),
+    ]);
     t.row(vec!["worst-case throughput".into(), fmt_pct(a.throughput)]);
-    t.row(vec!["mean hops / BW cost".into(), format!("{:.2}", a.mean_hops)]);
-    t.row(vec!["schedule period (slots)".into(), net.schedule().period().to_string()]);
+    t.row(vec![
+        "mean hops / BW cost".into(),
+        format!("{:.2}", a.mean_hops),
+    ]);
+    t.row(vec![
+        "schedule period (slots)".into(),
+        net.schedule().period().to_string(),
+    ]);
     print!("{}", t.render());
     Ok(())
 }
@@ -202,7 +232,10 @@ fn cmd_gen_trace(args: &Args) -> Result<(), String> {
         duration_ns: duration_us * 1000,
         seed,
     };
-    let flows = wl.generate(&dist, &CliqueLocal::new(net.cliques().clone(), cfg.locality));
+    let flows = wl.generate(
+        &dist,
+        &CliqueLocal::new(net.cliques().clone(), cfg.locality),
+    );
     let trace = Trace::record(
         cfg.n,
         &format!(
@@ -233,19 +266,39 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
 
     let net = SornNetwork::build(cfg.clone()).map_err(|e| e.to_string())?;
     let flows = trace.replay();
-    println!("simulating {} flows ({}) on {} nodes / {} cliques...",
-        flows.len(), trace.description, trace.nodes, cliques);
+    println!(
+        "simulating {} flows ({}) on {} nodes / {} cliques...",
+        flows.len(),
+        trace.description,
+        trace.nodes,
+        cliques
+    );
     let (metrics, drained) = net
         .simulate(flows, seed, max_slots)
         .map_err(|e| e.to_string())?;
 
     let mut t = TextTable::new(&["metric", "value"]);
     t.row(vec!["drained".into(), drained.to_string()]);
-    t.row(vec!["flows completed".into(), metrics.flows.len().to_string()]);
-    t.row(vec!["cells delivered".into(), metrics.delivered_cells.to_string()]);
-    t.row(vec!["mean hops".into(), format!("{:.3}", metrics.mean_hops())]);
-    t.row(vec!["delivery fraction".into(), format!("{:.3}", metrics.delivery_fraction())]);
-    t.row(vec!["circuit utilization".into(), format!("{:.3}", metrics.circuit_utilization())]);
+    t.row(vec![
+        "flows completed".into(),
+        metrics.flows.len().to_string(),
+    ]);
+    t.row(vec![
+        "cells delivered".into(),
+        metrics.delivered_cells.to_string(),
+    ]);
+    t.row(vec![
+        "mean hops".into(),
+        format!("{:.3}", metrics.mean_hops()),
+    ]);
+    t.row(vec![
+        "delivery fraction".into(),
+        format!("{:.3}", metrics.delivery_fraction()),
+    ]);
+    t.row(vec![
+        "circuit utilization".into(),
+        format!("{:.3}", metrics.circuit_utilization()),
+    ]);
     t.row(vec!["mean FCT".into(), fmt_latency(metrics.mean_fct_ns())]);
     if let Some(p99) = metrics.fct_percentile_ns(99.0) {
         t.row(vec!["p99 FCT".into(), fmt_latency(p99 as f64)]);
@@ -291,7 +344,10 @@ fn run() -> Result<(), String> {
     match cmd.as_str() {
         "table1" => {
             let params = sorn::analysis::table1::Table1Params::default();
-            print!("{}", sorn::analysis::table1::render(&sorn::analysis::table1::generate(&params)));
+            print!(
+                "{}",
+                sorn::analysis::table1::render(&sorn::analysis::table1::generate(&params))
+            );
             Ok(())
         }
         "fig2f" => {
@@ -369,7 +425,10 @@ mod tests {
 
     #[test]
     fn parse_dist_forms() {
-        assert_eq!(parse_dist("web-search").unwrap().name(), "pfabric-web-search");
+        assert_eq!(
+            parse_dist("web-search").unwrap().name(),
+            "pfabric-web-search"
+        );
         assert_eq!(parse_dist("fixed:1500").unwrap().name(), "fixed-1500B");
         assert!(parse_dist("bogus").is_err());
         assert!(parse_dist("fixed:x").is_err());

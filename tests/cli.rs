@@ -18,7 +18,15 @@ fn cli(args: &[&str]) -> (bool, String, String) {
 #[test]
 fn analyze_prints_the_table1_numbers() {
     let (ok, out, _) = cli(&[
-        "analyze", "--n", "4096", "--cliques", "64", "--locality", "0.56", "--uplinks", "16",
+        "analyze",
+        "--n",
+        "4096",
+        "--cliques",
+        "64",
+        "--locality",
+        "0.56",
+        "--uplinks",
+        "16",
     ]);
     assert!(ok);
     assert!(out.contains("77"), "{out}");
@@ -44,14 +52,35 @@ fn trace_round_trip_through_files() {
     let trace_s = trace.to_str().unwrap();
 
     let (ok, out, err) = cli(&[
-        "gen-trace", "--n", "16", "--cliques", "4", "--locality", "0.5", "--load", "0.2",
-        "--duration-us", "100", "--dist", "fixed:5000", "--seed", "3", "--out", trace_s,
+        "gen-trace",
+        "--n",
+        "16",
+        "--cliques",
+        "4",
+        "--locality",
+        "0.5",
+        "--load",
+        "0.2",
+        "--duration-us",
+        "100",
+        "--dist",
+        "fixed:5000",
+        "--seed",
+        "3",
+        "--out",
+        trace_s,
     ]);
     assert!(ok, "{err}");
     assert!(out.contains("wrote"), "{out}");
 
     let (ok2, out2, err2) = cli(&[
-        "simulate", "--trace", trace_s, "--cliques", "4", "--locality", "0.5",
+        "simulate",
+        "--trace",
+        trace_s,
+        "--cliques",
+        "4",
+        "--locality",
+        "0.5",
     ]);
     assert!(ok2, "{err2}");
     assert!(out2.contains("drained"), "{out2}");

@@ -37,7 +37,15 @@ fn nonuniform_cliques_full_mesh_within_three_hops() {
     // Sizes 6/3/3 over 12 nodes.
     let c = |x: u32| CliqueId(x);
     let assignment: Vec<CliqueId> = (0..12)
-        .map(|v| if v < 6 { c(0) } else if v < 9 { c(1) } else { c(2) })
+        .map(|v| {
+            if v < 6 {
+                c(0)
+            } else if v < 9 {
+                c(1)
+            } else {
+                c(2)
+            }
+        })
         .collect();
     let map = CliqueMap::from_assignment(&assignment);
     let sched = nonuniform_sorn_schedule(&map, Ratio::integer(2), 0, 1 << 20).unwrap();

@@ -69,18 +69,13 @@ fn table1_shape_who_wins_where() {
     // Ordering claims from §4's discussion of the table:
     // SORN cuts latency by an order of magnitude vs the 1D ORN.
     assert!(
-        by("Nc=64", Some("intra-clique")).min_latency_ns * 10.0
-            <= by("1D", None).min_latency_ns
+        by("Nc=64", Some("intra-clique")).min_latency_ns * 10.0 <= by("1D", None).min_latency_ns
     );
     // SORN intra beats both the 2D ORN and Opera bulk.
-    assert!(
-        by("Nc=64", Some("intra-clique")).min_latency_ns < by("2D", None).min_latency_ns
-    );
+    assert!(by("Nc=64", Some("intra-clique")).min_latency_ns < by("2D", None).min_latency_ns);
     // Throughput: 1D > SORN > Opera > 2D.
     assert!(by("1D", None).throughput > by("Nc=64", Some("intra-clique")).throughput);
-    assert!(
-        by("Nc=64", Some("intra-clique")).throughput > by("Opera", Some("bulk")).throughput
-    );
+    assert!(by("Nc=64", Some("intra-clique")).throughput > by("Opera", Some("bulk")).throughput);
     assert!(by("Opera", Some("bulk")).throughput > by("2D", None).throughput);
     // Bandwidth cost: inverse ordering.
     assert!(by("1D", None).bw_cost < by("Nc=64", Some("intra-clique")).bw_cost);
