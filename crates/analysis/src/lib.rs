@@ -10,6 +10,8 @@
 //!   validation points).
 //! - [`blast`]: the §6 failure blast-radius study (flat VLB vs modular
 //!   SORN).
+//! - [`resilience`]: dynamic failure-storm comparison — degradation and
+//!   recovery-time summaries from the engine's metrics.
 //! - [`adaptation`]: the §5 reconfiguration experiment (static vs
 //!   adaptive across macro-pattern shifts, with update-cost accounting).
 //! - [`render`]: plain-text table rendering shared by the bench binaries.
@@ -23,6 +25,7 @@ pub mod blast;
 pub mod fct;
 pub mod fig2f;
 pub mod render;
+pub mod resilience;
 pub mod saturation;
 pub mod syncdomains;
 pub mod table1;

@@ -8,7 +8,7 @@ use sorn_analysis::timeseries;
 use sorn_bench::{header, TelemetryOpts};
 use sorn_core::{SornConfig, SornNetwork};
 use sorn_routing::{SornPaths, VlbPaths};
-use sorn_sim::{Engine, SimConfig};
+use sorn_sim::{Engine, FaultPlan, SimConfig};
 use sorn_telemetry::{read_jsonl, IntervalSampler, JsonlTraceSink};
 use sorn_topology::{CliqueMap, NodeId};
 use sorn_traffic::{spatial::CliqueLocal, FlowSizeDist, PoissonWorkload};
@@ -61,10 +61,11 @@ fn main() {
     }
 }
 
-/// Packet-simulates a 32-node SORN under steady load, fails the
-/// 0 -> 1 intra-clique link for the middle third of the workload, and
-/// writes the sampled time series to `path` — queue depth rises while
-/// the link is down and drains after restoration.
+/// Packet-simulates a 32-node SORN under steady load with a scripted
+/// [`FaultPlan`] that fails the 0 -> 1 intra-clique link for the middle
+/// third of the workload, and writes the sampled time series to `path`
+/// — queue depth rises while the link is down and drains after
+/// restoration, and the trace carries the fault events themselves.
 fn trace_failure_run(path: &std::path::Path, sample_interval_ns: u64) {
     let net = SornNetwork::build(SornConfig::small(32, 4, 0.5)).expect("network");
     let duration_ns = 500_000u64;
@@ -93,11 +94,10 @@ fn trace_failure_run(path: &std::path::Path, sample_interval_ns: u64) {
     let mut eng = Engine::with_probe(cfg, net.schedule(), net.router(), sampler);
     eng.add_flows(flows).expect("flows in range");
 
-    let third = duration_ns / slot_ns / 3;
-    eng.run_slots(third).expect("pre-failure phase");
-    eng.failures_mut().fail_link(NodeId(0), NodeId(1));
-    eng.run_slots(third).expect("failure phase");
-    eng.failures_mut().restore_link(NodeId(0), NodeId(1));
+    let third_ns = duration_ns / 3;
+    let mut plan = FaultPlan::new();
+    plan.link_outage(NodeId(0), NodeId(1), third_ns, 2 * third_ns);
+    eng.set_fault_plan(plan);
     let drained = eng
         .run_until_drained(duration_ns / slot_ns * 50)
         .expect("drain phase");
@@ -116,4 +116,10 @@ fn trace_failure_run(path: &std::path::Path, sample_interval_ns: u64) {
     println!("{}", timeseries::summary_table(&snapshots).render());
     let peak = snapshots.iter().map(|s| s.queued_cells).max().unwrap_or(0);
     println!("peak sampled queue depth: {peak} cells (watch it rise while the link is down)");
+    println!(
+        "failure slots: {} of {}; degraded-goodput ratio: {:.3}",
+        metrics.failure_slots,
+        metrics.slots,
+        metrics.degraded_goodput_ratio()
+    );
 }

@@ -8,13 +8,13 @@
 //! maintaining guarantees within a healthy estimation error margin", and
 //! hysteresis is what keeps estimation noise from thrashing the fabric.
 
-use crate::decision::{DecisionLog, DecisionRecord, ScheduleDiff};
+use crate::decision::{DecisionLog, DecisionRecord, FailureResponse, ScheduleDiff};
 use crate::estimator::PatternEstimator;
 use crate::optimizer::{self, OptimizedPlan};
 use crate::updater::{ScheduleUpdater, UpdatePlan, UpdateTiming};
 use sorn_core::model;
 use sorn_core::nic::NicState;
-use sorn_sim::Flow;
+use sorn_sim::{FailureSet, Flow};
 use sorn_topology::{CircuitSchedule, CliqueId, CliqueMap, Ratio, TopologyError};
 
 /// Control loop configuration.
@@ -31,6 +31,12 @@ pub struct ControlConfig {
     pub max_locality: f64,
     /// Installation timing model.
     pub timing: UpdateTiming,
+    /// Total installation attempts per epoch before the loop gives up
+    /// and keeps the old schedule (must be at least 1).
+    pub max_install_attempts: u32,
+    /// Modeled backoff before the first installation retry; doubles per
+    /// further retry.
+    pub retry_backoff_ns: u64,
 }
 
 impl Default for ControlConfig {
@@ -41,6 +47,8 @@ impl Default for ControlConfig {
             hysteresis: 0.02,
             max_locality: 0.9,
             timing: UpdateTiming::default(),
+            max_install_attempts: 3,
+            retry_backoff_ns: 50_000_000,
         }
     }
 }
@@ -64,6 +72,28 @@ pub enum EpochOutcome {
         /// The installation diff.
         update: UpdatePlan,
     },
+    /// Installation kept failing mid-reconfiguration; after the bounded
+    /// retries the loop kept the old schedule.
+    InstallFailed {
+        /// Attempts made (equals the configured maximum).
+        attempts: u32,
+        /// Modeled throughput of the abandoned candidate.
+        candidate: f64,
+    },
+}
+
+/// A failure-response record with nothing reported yet — the starting
+/// point when only installation trouble (not data-plane failures) needs
+/// recording.
+fn empty_response() -> FailureResponse {
+    FailureResponse {
+        failed_nodes: Vec::new(),
+        failed_links: Vec::new(),
+        masked_demand_fraction: 0.0,
+        install_attempts: 0,
+        install_backoff_ns: 0,
+        gave_up: false,
+    }
 }
 
 /// The periodic semi-oblivious control loop.
@@ -77,6 +107,8 @@ pub struct ControlLoop {
     nics: Vec<NicState>,
     updates_installed: u64,
     decisions: DecisionLog,
+    health: FailureSet,
+    forced_install_failures: u32,
 }
 
 impl ControlLoop {
@@ -99,7 +131,28 @@ impl ControlLoop {
             nics,
             updates_installed: 0,
             decisions: DecisionLog::new(),
+            health: FailureSet::none(),
+            forced_install_failures: 0,
         }
+    }
+
+    /// Replaces the loop's view of data-plane health. Call when the
+    /// fabric reports failures (e.g. from a [`sorn_sim::LinkHealth`]
+    /// snapshot); demand touching failed nodes is masked out of the next
+    /// optimization.
+    pub fn report_failures(&mut self, failures: &FailureSet) {
+        self.health = failures.clone();
+    }
+
+    /// The loop's current view of data-plane health.
+    pub fn health(&self) -> &FailureSet {
+        &self.health
+    }
+
+    /// Forces the next `count` installation attempts to fail — a test
+    /// and chaos-drill hook exercising the bounded retry/backoff path.
+    pub fn inject_install_failures(&mut self, count: u32) {
+        self.forced_install_failures = count;
     }
 
     /// The per-epoch decision log.
@@ -162,14 +215,50 @@ impl ControlLoop {
             candidate_q: None,
             candidate_clique_sizes: None,
             schedule_diff: None,
+            failure_response: None,
         };
+        // Mask demand touching failed nodes out of the optimizer's input:
+        // a dead node contributes no deliverable traffic, and planning
+        // cliques around it would chase demand that cannot flow.
+        let n = self.estimator.n();
+        let mut demand = self.estimator.matrix().to_vec();
+        if !self.health.is_empty() {
+            let total: f64 = demand.iter().sum();
+            for node in self.health.failed_node_ids() {
+                let i = node.0 as usize;
+                if i >= n {
+                    continue;
+                }
+                for j in 0..n {
+                    demand[i * n + j] = 0.0;
+                    demand[j * n + i] = 0.0;
+                }
+            }
+            let masked_total: f64 = demand.iter().sum();
+            record.failure_response = Some(FailureResponse {
+                failed_nodes: self.health.failed_node_ids().iter().map(|v| v.0).collect(),
+                failed_links: self
+                    .health
+                    .failed_link_ids()
+                    .iter()
+                    .map(|&(a, b)| [a.0, b.0])
+                    .collect(),
+                masked_demand_fraction: if total > 0.0 {
+                    (total - masked_total) / total
+                } else {
+                    0.0
+                },
+                install_attempts: 0,
+                install_backoff_ns: 0,
+                gave_up: false,
+            });
+        }
         if self.estimator.total() == 0.0 {
             self.decisions.push(record);
             return Ok(EpochOutcome::NoPlan);
         }
-        let n = self.estimator.n();
         let Some(plan): Option<OptimizedPlan> = optimizer::optimize(
-            self.estimator.matrix(),
+            &demand,
             n,
             &self.config.allowed_sizes,
             self.config.max_locality,
@@ -198,10 +287,42 @@ impl ControlLoop {
         }
 
         let period_before = self.schedule.period();
-        let update = self
-            .updater
-            .prepare(&mut self.nics, &plan.cliques, plan.q)?;
+        // Installation can fail mid-reconfiguration (a straggler NIC, a
+        // lost control message). Retry with exponential backoff, and give
+        // up — keeping the old, still-consistent schedule — after the
+        // configured attempt budget.
+        let max_attempts = self.config.max_install_attempts.max(1);
+        let mut attempts = 0u32;
+        let mut backoff_ns = 0u64;
+        let update = loop {
+            attempts += 1;
+            if self.forced_install_failures > 0 {
+                self.forced_install_failures -= 1;
+                if attempts >= max_attempts {
+                    record.outcome = "install_failed".to_string();
+                    let fr = record.failure_response.get_or_insert_with(empty_response);
+                    fr.install_attempts = attempts;
+                    fr.install_backoff_ns = backoff_ns;
+                    fr.gave_up = true;
+                    self.decisions.push(record);
+                    return Ok(EpochOutcome::InstallFailed {
+                        attempts,
+                        candidate: plan.throughput,
+                    });
+                }
+                backoff_ns += self.config.retry_backoff_ns << (attempts - 1);
+                continue;
+            }
+            break self
+                .updater
+                .prepare(&mut self.nics, &plan.cliques, plan.q)?;
+        };
         record.outcome = "updated".to_string();
+        if attempts > 1 || record.failure_response.is_some() {
+            let fr = record.failure_response.get_or_insert_with(empty_response);
+            fr.install_attempts = attempts;
+            fr.install_backoff_ns = backoff_ns;
+        }
         record.schedule_diff = Some(ScheduleDiff {
             period_before,
             period_after: update.schedule.period(),
@@ -212,7 +333,9 @@ impl ControlLoop {
                 .count(),
             drained_cells: update.total_drained,
             rebalance_only: update.rebalance_only,
-            installation_ns: update.installation_ns,
+            // Retries delay the rollout; fold the backoff into the
+            // modeled installation time.
+            installation_ns: update.installation_ns + backoff_ns,
         });
         self.decisions.push(record);
         self.cliques = plan.cliques;
@@ -345,6 +468,99 @@ mod tests {
         // Held and no-plan epochs carry no diff.
         assert!(log.records[0].schedule_diff.is_none());
         assert!(log.records[2].schedule_diff.is_none());
+    }
+
+    #[test]
+    fn failed_nodes_are_masked_from_optimization() {
+        let mut l = start_loop(16, 4);
+        // The dominant demand touches node 0; a smaller pair doesn't.
+        l.observe(&[flow(0, 8, 10_000), flow(1, 4, 5_000)]);
+        let mut failures = FailureSet::none();
+        failures.fail_node(NodeId(0));
+        l.report_failures(&failures);
+        let outcome = l.end_epoch().unwrap();
+        assert!(
+            matches!(outcome, EpochOutcome::Updated { .. }),
+            "expected an update, got {outcome:?}"
+        );
+        // With node 0's demand masked, the optimizer plans around the
+        // surviving 1<->4 pair.
+        let map = l.cliques();
+        assert_eq!(map.clique_of(NodeId(1)), map.clique_of(NodeId(4)));
+
+        let record = l.decisions().records.last().unwrap();
+        let fr = record.failure_response.as_ref().expect("failures reported");
+        assert_eq!(fr.failed_nodes, vec![0]);
+        assert!(fr.failed_links.is_empty());
+        // 10_000 of 15_000 bytes were masked.
+        assert!((fr.masked_demand_fraction - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(fr.install_attempts, 1, "clean install");
+        assert_eq!(fr.install_backoff_ns, 0);
+        assert!(!fr.gave_up);
+    }
+
+    #[test]
+    fn install_failure_retries_then_succeeds() {
+        let mut l = start_loop(16, 4);
+        l.observe(&scrambled_flows(16));
+        l.inject_install_failures(2);
+        let outcome = l.end_epoch().unwrap();
+        assert!(
+            matches!(outcome, EpochOutcome::Updated { .. }),
+            "expected an update after retries, got {outcome:?}"
+        );
+        assert_eq!(l.updates_installed(), 1);
+
+        let record = l.decisions().records.last().unwrap();
+        assert_eq!(record.outcome, "updated");
+        let fr = record.failure_response.as_ref().expect("retries recorded");
+        assert_eq!(fr.install_attempts, 3, "two failures + one success");
+        // Exponential backoff: 50ms + 100ms.
+        assert_eq!(fr.install_backoff_ns, 150_000_000);
+        assert!(!fr.gave_up);
+        let diff = record.schedule_diff.as_ref().expect("installed");
+        assert!(diff.installation_ns >= fr.install_backoff_ns);
+    }
+
+    #[test]
+    fn install_failure_gives_up_after_bounded_retries() {
+        let mut l = start_loop(16, 4);
+        let period_before = l.schedule().period();
+        l.observe(&scrambled_flows(16));
+        l.inject_install_failures(5);
+        let outcome = l.end_epoch().unwrap();
+        let EpochOutcome::InstallFailed {
+            attempts,
+            candidate,
+        } = outcome
+        else {
+            panic!("expected InstallFailed, got {outcome:?}");
+        };
+        assert_eq!(attempts, 3);
+        assert!(candidate > 0.0);
+        assert_eq!(l.updates_installed(), 0, "old schedule kept");
+        assert_eq!(l.schedule().period(), period_before);
+
+        let record = l.decisions().records.last().unwrap();
+        assert_eq!(record.outcome, "install_failed");
+        assert!(record.schedule_diff.is_none());
+        let fr = record.failure_response.as_ref().expect("give-up recorded");
+        assert_eq!(fr.install_attempts, 3);
+        assert!(fr.gave_up);
+
+        // The epoch after the storm recovers: the two leftover forced
+        // failures are absorbed by the retry budget.
+        l.observe(&scrambled_flows(16));
+        let outcome = l.end_epoch().unwrap();
+        assert!(
+            matches!(outcome, EpochOutcome::Updated { .. }),
+            "expected recovery, got {outcome:?}"
+        );
+        assert_eq!(l.updates_installed(), 1);
+        let record = l.decisions().records.last().unwrap();
+        let fr = record.failure_response.as_ref().expect("retries recorded");
+        assert_eq!(fr.install_attempts, 3);
+        assert!(!fr.gave_up);
     }
 
     #[test]

@@ -29,6 +29,26 @@ pub struct ScheduleDiff {
     pub installation_ns: u64,
 }
 
+/// How the loop responded to reported failures (and to installation
+/// trouble) during one epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureResponse {
+    /// Nodes reported failed when the epoch ended.
+    pub failed_nodes: Vec<u32>,
+    /// Directed links reported failed, as `[src, dst]`.
+    pub failed_links: Vec<[u32; 2]>,
+    /// Fraction of estimated demand masked out of the optimizer's input
+    /// because an endpoint was failed.
+    pub masked_demand_fraction: f64,
+    /// Installation attempts made this epoch (0 = no install tried,
+    /// 1 = clean install, >1 = retries happened).
+    pub install_attempts: u32,
+    /// Modeled backoff delay added by installation retries.
+    pub install_backoff_ns: u64,
+    /// True when installation was abandoned after the bounded retries.
+    pub gave_up: bool,
+}
+
 /// One epoch's decision, as recorded by the control loop.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DecisionRecord {
@@ -55,6 +75,9 @@ pub struct DecisionRecord {
     pub candidate_clique_sizes: Option<Vec<usize>>,
     /// Populated when the candidate was installed.
     pub schedule_diff: Option<ScheduleDiff>,
+    /// Populated when failures were reported or installation needed
+    /// retries this epoch.
+    pub failure_response: Option<FailureResponse>,
 }
 
 /// An append-only log of per-epoch control decisions.
@@ -131,6 +154,14 @@ mod tests {
             candidate_q: Some([3, 1]),
             candidate_clique_sizes: Some(vec![4, 4]),
             schedule_diff: None,
+            failure_response: Some(FailureResponse {
+                failed_nodes: vec![3],
+                failed_links: vec![[0, 1]],
+                masked_demand_fraction: 0.25,
+                install_attempts: 2,
+                install_backoff_ns: 50_000_000,
+                gave_up: false,
+            }),
         }
     }
 

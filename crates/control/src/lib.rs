@@ -32,7 +32,7 @@ pub mod optimizer;
 mod updater;
 
 pub use control_loop::{ControlConfig, ControlLoop, EpochOutcome};
-pub use decision::{DecisionLog, DecisionRecord, ScheduleDiff};
+pub use decision::{DecisionLog, DecisionRecord, FailureResponse, ScheduleDiff};
 pub use estimator::PatternEstimator;
 pub use optimizer::{assign_cliques, locality_of, optimize, OptimizedPlan};
 pub use updater::{ScheduleUpdater, UpdatePlan, UpdateTiming};

@@ -13,6 +13,7 @@
 use crate::cell::{Cell, Flow, FlowId};
 use crate::config::{Nanos, SimConfig};
 use crate::failure::FailureSet;
+use crate::fault::{FaultPlan, FaultView, LinkHealth};
 use crate::metrics::{FlowRecord, Metrics};
 use crate::probe::{NoopProbe, Probe, SlotView};
 use crate::queues::NodeQueues;
@@ -112,10 +113,25 @@ pub struct Engine<'a, P: Probe = NoopProbe> {
     inflight: BinaryHeap<Reverse<Arrival>>,
     arrival_seq: u64,
     failures: FailureSet,
+    fault_plan: FaultPlan,
+    fault_cursor: usize,
+    health_mirror: Option<LinkHealth>,
+    episode: EpisodeState,
     rng: StdRng,
     metrics: Metrics,
     slot: u64,
     probe: P,
+}
+
+/// Tracks the failure episode the engine is in, for time-to-recover.
+#[derive(Debug, Clone, Copy, Default)]
+struct EpisodeState {
+    /// Total queue depth when the current episode began.
+    onset_queued: usize,
+    /// Set while at least one element is failed.
+    degraded: bool,
+    /// After full restoration: the restore time, awaiting queue recovery.
+    awaiting_recovery_since: Option<Nanos>,
 }
 
 impl<'a> Engine<'a, NoopProbe> {
@@ -149,6 +165,10 @@ impl<'a, P: Probe> Engine<'a, P> {
             inflight: BinaryHeap::new(),
             arrival_seq: 0,
             failures: FailureSet::none(),
+            fault_plan: FaultPlan::new(),
+            fault_cursor: 0,
+            health_mirror: None,
+            episode: EpisodeState::default(),
             metrics: Metrics::default(),
             slot: 0,
             probe,
@@ -170,6 +190,7 @@ impl<'a, P: Probe> Engine<'a, P> {
     /// `run_until_drained`/`run_slots` so buffering probes (samplers,
     /// trace sinks) can emit their closing snapshot.
     pub fn finish(mut self) -> P {
+        self.metrics.stranded_cells = self.count_stranded();
         self.probe.on_run_end(&SlotView {
             slot: self.slot,
             now_ns: self.cfg.slot_start(self.slot),
@@ -198,8 +219,36 @@ impl<'a, P: Probe> Engine<'a, P> {
     }
 
     /// Mutable access to the failure set (§6 blast-radius experiments).
+    ///
+    /// Manual pokes bypass the fault plan: no `on_fault` hook fires, no
+    /// episode is tracked, and an attached health mirror is not
+    /// republished until the next scripted event. Prefer
+    /// [`Engine::set_fault_plan`] for timed failures.
     pub fn failures_mut(&mut self) -> &mut FailureSet {
         &mut self.failures
+    }
+
+    /// Shared access to the failure set.
+    pub fn failures(&self) -> &FailureSet {
+        &self.failures
+    }
+
+    /// Installs a timed fail/restore script. Events whose `at_ns` has
+    /// been reached are applied at the start of each slot, in order,
+    /// firing [`Probe::on_fault`] per event. Replaces any prior plan
+    /// (its unapplied events are discarded).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = plan;
+        self.fault_cursor = 0;
+    }
+
+    /// Attaches a health view that mirrors the engine's failure set.
+    /// Published immediately and after every applied fault event, so
+    /// failure-aware routers and the control plane share one picture of
+    /// what is down.
+    pub fn set_health_mirror(&mut self, health: LinkHealth) {
+        health.publish(&self.failures);
+        self.health_mirror = Some(health);
     }
 
     /// Collected metrics so far.
@@ -250,6 +299,10 @@ impl<'a, P: Probe> Engine<'a, P> {
     /// Advances one slot: deliveries, arrivals, injection, transmission.
     pub fn step(&mut self) -> Result<(), SimError> {
         let now = self.cfg.slot_start(self.slot);
+
+        // 0. Scripted fault events due by this slot boundary take effect
+        // before any routing, so this slot already sees the new health.
+        self.apply_due_faults(now);
 
         // 1. Cells that have landed by the start of this slot.
         while let Some(Reverse(a)) = self.inflight.peek() {
@@ -363,6 +416,17 @@ impl<'a, P: Probe> Engine<'a, P> {
 
         let queued = self.total_queued();
         self.metrics.peak_queue_depth = self.metrics.peak_queue_depth.max(queued);
+        if !self.failures.is_empty() {
+            self.metrics.failure_slots += 1;
+        }
+        if let Some(restored_at) = self.episode.awaiting_recovery_since {
+            if queued <= self.episode.onset_queued {
+                self.metrics
+                    .recovery_times_ns
+                    .push(now.saturating_sub(restored_at));
+                self.episode.awaiting_recovery_since = None;
+            }
+        }
         self.slot += 1;
         self.metrics.slots = self.slot;
         self.probe.on_slot_end(&SlotView {
@@ -375,6 +439,71 @@ impl<'a, P: Probe> Engine<'a, P> {
         Ok(())
     }
 
+    /// Applies every scripted fault event due by `now`, firing the
+    /// probe's `on_fault` hook per event and maintaining the failure-
+    /// episode bookkeeping behind the recovery-time metric.
+    fn apply_due_faults(&mut self, now: Nanos) {
+        let mut applied = false;
+        while let Some(&event) = self.fault_plan.events().get(self.fault_cursor) {
+            if event.at_ns > now {
+                break;
+            }
+            self.fault_cursor += 1;
+            let was_healthy = self.failures.is_empty();
+            event.apply(&mut self.failures);
+            applied = true;
+            if was_healthy && !self.failures.is_empty() {
+                self.metrics.failure_episodes += 1;
+                self.episode.degraded = true;
+                self.episode.onset_queued = self.total_queued();
+                self.episode.awaiting_recovery_since = None;
+            } else if !was_healthy && self.failures.is_empty() {
+                self.episode.degraded = false;
+                self.episode.awaiting_recovery_since = Some(now);
+            }
+            self.probe.on_fault(&FaultView {
+                event: &event,
+                slot: self.slot,
+                now_ns: now,
+                failed_nodes: self.failures.failed_nodes(),
+                failed_links: self.failures.failed_links(),
+            });
+        }
+        if applied {
+            if let Some(health) = &self.health_mirror {
+                health.publish(&self.failures);
+            }
+        }
+    }
+
+    /// Cells currently propagating on circuits.
+    pub fn inflight_cells(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Counts queued cells that cannot make progress under the current
+    /// failure set: cells whose destination node is failed, and cells
+    /// waiting on a specific next hop whose circuit is down. Class-queued
+    /// cells with a live destination are not stranded — any admissible
+    /// circuit can still carry them.
+    pub fn count_stranded(&self) -> u64 {
+        if self.failures.is_empty() {
+            return 0;
+        }
+        let mut stranded = 0u64;
+        for (v, queues) in self.queues.iter().enumerate() {
+            let v = NodeId(v as u32);
+            for (next, cell) in queues.iter_cells() {
+                let dead_dst = self.failures.node_failed(cell.dst);
+                let dead_hop = next.is_some_and(|w| !self.failures.circuit_up(v, w));
+                if dead_dst || dead_hop {
+                    stranded += 1;
+                }
+            }
+        }
+        stranded
+    }
+
     /// Routes a cell sitting at `node` (either freshly injected or just
     /// arrived off a circuit).
     fn route_cell(&mut self, node: NodeId, mut cell: Cell, now: Nanos) -> Result<(), SimError> {
@@ -384,6 +513,9 @@ impl<'a, P: Probe> Engine<'a, P> {
                 let latency = now.saturating_sub(cell.injected_ns);
                 self.metrics
                     .on_delivered(cell.hops, latency, self.cfg.cell_bytes);
+                if !self.failures.is_empty() {
+                    self.metrics.delivered_during_failure += 1;
+                }
                 self.probe.on_delivery(&cell, latency, now);
                 if let Some(af) = self.active.get_mut(&cell.flow) {
                     af.delivered += 1;
@@ -419,6 +551,11 @@ impl<'a, P: Probe> Engine<'a, P> {
                     return Ok(());
                 }
                 self.queues[node.index()].push_class(class, cell);
+                Ok(())
+            }
+            RouteDecision::Drop => {
+                self.metrics.dropped_cells += 1;
+                self.probe.on_drop(&cell, node, now);
                 Ok(())
             }
         }
@@ -573,6 +710,99 @@ mod tests {
         eng.failures_mut().restore_link(NodeId(0), NodeId(1));
         assert!(eng.run_until_drained(50).unwrap());
         assert_eq!(eng.metrics().delivered_cells, 1);
+    }
+
+    #[test]
+    fn fault_plan_drives_outage_and_recovery_metrics() {
+        use crate::fault::FaultPlan;
+        let sched = round_robin(4).unwrap();
+        let router = DirectRouter;
+        let mut eng = Engine::new(SimConfig::default(), &sched, &router);
+        // 10 cells 0 -> 1; the direct circuit dies during the transfer.
+        eng.add_flows([flow(1, 0, 1, 10 * 1250, 0)]).unwrap();
+        let mut plan = FaultPlan::new();
+        plan.link_outage(NodeId(0), NodeId(1), 500, 3_000);
+        eng.set_fault_plan(plan);
+        assert!(eng.run_until_drained(10_000).unwrap());
+        let m = eng.metrics();
+        assert_eq!(m.delivered_cells, 10);
+        assert_eq!(m.failure_episodes, 1);
+        assert!(m.failure_slots > 0);
+        assert_eq!(
+            m.recovery_times_ns.len(),
+            1,
+            "the drained run recovered from its one episode"
+        );
+        // Deliveries resumed only after restoration in this direct
+        // scheme, so degraded goodput is strictly worse than healthy.
+        assert!(m.degraded_goodput_ratio() < 1.0);
+    }
+
+    #[test]
+    fn fault_plan_fires_probe_hook() {
+        use crate::fault::{FaultAction, FaultPlan, FaultView};
+        #[derive(Default)]
+        struct FaultLog(Vec<(Nanos, FaultAction)>);
+        impl Probe for FaultLog {
+            fn on_fault(&mut self, view: &FaultView<'_>) {
+                self.0.push((view.now_ns, view.event.action));
+            }
+        }
+        let sched = round_robin(4).unwrap();
+        let router = DirectRouter;
+        let mut eng =
+            Engine::with_probe(SimConfig::default(), &sched, &router, FaultLog::default());
+        let mut plan = FaultPlan::new();
+        plan.node_outage(NodeId(2), 0, 300);
+        eng.set_fault_plan(plan);
+        eng.run_slots(10).unwrap();
+        let log = eng.finish();
+        assert_eq!(log.0.len(), 2);
+        assert_eq!(log.0[0].1, FaultAction::Fail);
+        assert_eq!(log.0[1].1, FaultAction::Restore);
+        assert!(log.0[0].0 <= log.0[1].0);
+    }
+
+    #[test]
+    fn health_mirror_tracks_fault_plan() {
+        use crate::fault::{FaultPlan, LinkHealth};
+        let sched = round_robin(4).unwrap();
+        let router = DirectRouter;
+        let mut eng = Engine::new(SimConfig::default(), &sched, &router);
+        let health = LinkHealth::new();
+        eng.set_health_mirror(health.clone());
+        assert!(health.is_healthy());
+        let mut plan = FaultPlan::new();
+        plan.link_outage(NodeId(0), NodeId(1), 0, 500);
+        eng.set_fault_plan(plan);
+        eng.run_slots(1).unwrap();
+        assert!(!health.circuit_up(NodeId(0), NodeId(1)));
+        eng.run_slots(10).unwrap();
+        assert!(health.is_healthy());
+    }
+
+    #[test]
+    fn stranded_cells_counted_at_finish() {
+        use crate::fault::FaultPlan;
+        let sched = round_robin(4).unwrap();
+        let router = DirectRouter;
+        let mut eng = Engine::new(SimConfig::default(), &sched, &router);
+        eng.add_flows([flow(1, 0, 1, 5 * 1250, 0)]).unwrap();
+        // The link dies immediately and never comes back.
+        let mut plan = FaultPlan::new();
+        plan.fail_link_at(0, NodeId(0), NodeId(1));
+        eng.set_fault_plan(plan);
+        assert!(!eng.run_until_drained(100).unwrap());
+        let stranded = eng.count_stranded();
+        assert_eq!(stranded as usize, eng.total_queued());
+        let injected = eng.metrics().injected_cells;
+        let inflight = eng.inflight_cells() as u64;
+        let m = eng.metrics().clone();
+        // Accounting identity: nothing is lost, only stranded.
+        assert_eq!(
+            injected,
+            m.delivered_cells + m.dropped_cells + stranded + inflight
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@ use sorn_topology::NodeId;
 use std::collections::HashSet;
 
 /// The set of currently failed elements.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FailureSet {
     nodes: HashSet<u32>,
     links: HashSet<(u32, u32)>,
@@ -69,6 +69,30 @@ impl FailureSet {
     /// Count of failed directed links.
     pub fn failed_links(&self) -> usize {
         self.links.len()
+    }
+
+    /// True when `node` itself is failed.
+    #[inline]
+    pub fn node_failed(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node.0)
+    }
+
+    /// The failed nodes, sorted by id.
+    pub fn failed_node_ids(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.nodes.iter().map(|&n| NodeId(n)).collect();
+        v.sort_unstable_by_key(|n| n.0);
+        v
+    }
+
+    /// The failed directed links, sorted by (src, dst).
+    pub fn failed_link_ids(&self) -> Vec<(NodeId, NodeId)> {
+        let mut v: Vec<(NodeId, NodeId)> = self
+            .links
+            .iter()
+            .map(|&(a, b)| (NodeId(a), NodeId(b)))
+            .collect();
+        v.sort_unstable_by_key(|&(a, b)| (a.0, b.0));
+        v
     }
 }
 

@@ -42,6 +42,7 @@ mod cell;
 mod config;
 mod engine;
 mod failure;
+mod fault;
 mod metrics;
 mod probe;
 mod queues;
@@ -51,6 +52,9 @@ pub use cell::{Cell, Flow, FlowId};
 pub use config::{Nanos, SimConfig};
 pub use engine::{Engine, SimError};
 pub use failure::FailureSet;
+pub use fault::{
+    FaultAction, FaultEvent, FaultPlan, FaultStorm, FaultTarget, FaultView, LinkHealth,
+};
 pub use metrics::{FlowRecord, LatencyHistogram, Metrics};
 pub use probe::{NoopProbe, Probe, SlotView};
 pub use queues::NodeQueues;

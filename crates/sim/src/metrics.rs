@@ -147,10 +147,25 @@ pub struct Metrics {
     pub flows: Vec<FlowRecord>,
     /// Peak total queue depth observed across all nodes.
     pub peak_queue_depth: usize,
-    /// Cells dropped at full node queues (0 unless a queue cap is set).
+    /// Cells dropped at full node queues (0 unless a queue cap is set),
+    /// plus cells a fault-aware router sheds toward a failed destination.
     pub dropped_cells: u64,
     /// Transmissions per directed virtual link `(src, dst)`.
     pub link_transmissions: std::collections::HashMap<(u32, u32), u64>,
+    /// Cells still queued at `Engine::finish` that cannot make progress:
+    /// their destination is failed, or they wait on a specific next hop
+    /// whose circuit is down.
+    pub stranded_cells: u64,
+    /// Slots during which at least one element was failed.
+    pub failure_slots: u64,
+    /// Distinct failure episodes (healthy → degraded transitions).
+    pub failure_episodes: u64,
+    /// Cells delivered while at least one element was failed.
+    pub delivered_during_failure: u64,
+    /// Per-episode recovery times: from the restoration that returned the
+    /// network to full health until total queue depth fell back to its
+    /// pre-failure level.
+    pub recovery_times_ns: Vec<Nanos>,
 }
 
 impl Metrics {
@@ -267,6 +282,55 @@ impl Metrics {
             return 0.0;
         }
         self.dropped_cells as f64 / self.injected_cells as f64
+    }
+
+    /// Goodput while degraded, in delivered cells per slot; 0 when the
+    /// run saw no failure slots.
+    pub fn goodput_during_failure(&self) -> f64 {
+        if self.failure_slots == 0 {
+            return 0.0;
+        }
+        self.delivered_during_failure as f64 / self.failure_slots as f64
+    }
+
+    /// Goodput over the healthy slots, in delivered cells per slot.
+    pub fn goodput_healthy(&self) -> f64 {
+        let healthy_slots = self.slots.saturating_sub(self.failure_slots);
+        if healthy_slots == 0 {
+            return 0.0;
+        }
+        (self.delivered_cells - self.delivered_during_failure) as f64 / healthy_slots as f64
+    }
+
+    /// Degraded-goodput ratio: goodput during failures over healthy
+    /// goodput (1.0 = no degradation; 1.0 when either side is
+    /// unmeasured).
+    pub fn degraded_goodput_ratio(&self) -> f64 {
+        let healthy = self.goodput_healthy();
+        if self.failure_slots == 0 || healthy == 0.0 {
+            return 1.0;
+        }
+        self.goodput_during_failure() / healthy
+    }
+
+    /// Mean time-to-recover across failure episodes whose recovery
+    /// completed, in nanoseconds.
+    pub fn mean_recovery_ns(&self) -> Option<f64> {
+        if self.recovery_times_ns.is_empty() {
+            return None;
+        }
+        Some(
+            self.recovery_times_ns
+                .iter()
+                .map(|&t| t as f64)
+                .sum::<f64>()
+                / self.recovery_times_ns.len() as f64,
+        )
+    }
+
+    /// Worst-case time-to-recover, in nanoseconds.
+    pub fn max_recovery_ns(&self) -> Option<Nanos> {
+        self.recovery_times_ns.iter().copied().max()
     }
 
     /// Mean flow completion time in nanoseconds.
@@ -424,6 +488,27 @@ mod tests {
         assert_eq!(h.p50(), Some(1023));
         assert_eq!(h.p99(), Some(1023)); // rank 98 still in the low bucket
         assert_eq!(h.percentile(100.0), Some((1u64 << 20) - 1));
+    }
+
+    #[test]
+    fn degradation_counters() {
+        let mut m = Metrics::default();
+        // Unmeasured runs report no degradation and no recoveries.
+        assert_eq!(m.goodput_during_failure(), 0.0);
+        assert_eq!(m.degraded_goodput_ratio(), 1.0);
+        assert_eq!(m.mean_recovery_ns(), None);
+        assert_eq!(m.max_recovery_ns(), None);
+        m.slots = 100;
+        m.failure_slots = 20;
+        m.delivered_cells = 100;
+        m.delivered_during_failure = 10;
+        // Healthy: 90 cells over 80 slots; degraded: 10 cells over 20.
+        assert!((m.goodput_healthy() - 1.125).abs() < 1e-12);
+        assert!((m.goodput_during_failure() - 0.5).abs() < 1e-12);
+        assert!((m.degraded_goodput_ratio() - 0.5 / 1.125).abs() < 1e-12);
+        m.recovery_times_ns = vec![100, 300];
+        assert_eq!(m.mean_recovery_ns(), Some(200.0));
+        assert_eq!(m.max_recovery_ns(), Some(300));
     }
 
     #[test]

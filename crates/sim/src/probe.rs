@@ -12,6 +12,7 @@
 
 use crate::cell::{Cell, Flow};
 use crate::config::Nanos;
+use crate::fault::FaultView;
 use crate::metrics::{FlowRecord, Metrics};
 use sorn_topology::NodeId;
 
@@ -63,6 +64,10 @@ pub trait Probe {
     /// update operation). `slot` is the slot at which the swap happens.
     fn on_reconfiguration(&mut self, _slot: u64, _now_ns: Nanos) {}
 
+    /// Called when a scripted [`FaultEvent`](crate::FaultEvent) from the
+    /// engine's fault plan takes effect at a slot boundary.
+    fn on_fault(&mut self, _view: &FaultView<'_>) {}
+
     /// Called once when the driver declares the run over (see
     /// `Engine::finish`). Probes that buffer state should emit their
     /// final snapshot here.
@@ -96,6 +101,9 @@ impl<P: Probe> Probe for &mut P {
     }
     fn on_reconfiguration(&mut self, slot: u64, now_ns: Nanos) {
         (**self).on_reconfiguration(slot, now_ns);
+    }
+    fn on_fault(&mut self, view: &FaultView<'_>) {
+        (**self).on_fault(view);
     }
     fn on_run_end(&mut self, view: &SlotView<'_>) {
         (**self).on_run_end(view);

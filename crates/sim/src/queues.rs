@@ -116,6 +116,20 @@ impl NodeQueues {
         out
     }
 
+    /// Iterates every queued cell together with the specific next hop it
+    /// waits for (`None` for class-queued cells). Order is unspecified;
+    /// use for whole-queue accounting, not replay.
+    pub fn iter_cells(&self) -> impl Iterator<Item = (Option<NodeId>, &Cell)> {
+        self.specific
+            .iter()
+            .flat_map(|(&k, q)| q.iter().map(move |c| (Some(NodeId(k)), c)))
+            .chain(
+                self.class
+                    .iter()
+                    .flat_map(|(_, q)| q.iter().map(|c| (None, c))),
+            )
+    }
+
     /// Number of cells queued for a specific next hop.
     pub fn specific_depth(&self, next: NodeId) -> usize {
         self.specific.get(&next.0).map_or(0, |q| q.len())

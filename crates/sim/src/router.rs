@@ -30,6 +30,9 @@ pub enum RouteDecision {
     /// Queue into a spray class; any circuit admitted by
     /// [`Router::class_admits`] may carry it.
     ToClass(ClassId),
+    /// Shed the cell at this node — used by failure-aware routers when
+    /// the destination is known dead. Counted as a drop, not a delivery.
+    Drop,
 }
 
 /// A routing scheme.

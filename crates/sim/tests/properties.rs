@@ -1,8 +1,10 @@
 //! Property-based tests for the simulator engine: conservation,
-//! determinism, latency floors.
+//! determinism, latency floors, and the failure model.
 
 use proptest::prelude::*;
-use sorn_sim::{DirectRouter, Engine, Flow, FlowId, SimConfig};
+use sorn_sim::{
+    DirectRouter, Engine, FailureSet, FaultAction, FaultPlan, FaultStorm, Flow, FlowId, SimConfig,
+};
 use sorn_topology::builders::round_robin;
 use sorn_topology::NodeId;
 
@@ -92,6 +94,156 @@ proptest! {
         };
         prop_assert_eq!(run(seed), run(seed));
         prop_assert_eq!(run(seed), run(seed.wrapping_add(1)));
+    }
+
+    /// Failing then restoring the same elements is the identity on a
+    /// failure set, regardless of interleaving with other failures.
+    #[test]
+    fn fail_then_restore_is_identity(
+        nodes in proptest::collection::vec(0u32..16, 0..6),
+        links in proptest::collection::vec((0u32..16, 0u32..16), 0..8),
+        background in proptest::collection::vec((0u32..16, 0u32..16), 0..4),
+    ) {
+        let mut f = FailureSet::none();
+        for &(s, d) in &background {
+            f.fail_link(NodeId(s), NodeId(d));
+        }
+        let before = f.clone();
+        for &n in &nodes {
+            f.fail_node(NodeId(n));
+        }
+        for &(s, d) in &links {
+            f.fail_link(NodeId(s), NodeId(d));
+        }
+        for &n in &nodes {
+            f.restore_node(NodeId(n));
+        }
+        for &(s, d) in &links {
+            f.restore_link(NodeId(s), NodeId(d));
+        }
+        prop_assert_eq!(f, before);
+    }
+
+    /// Restores only ever bring circuits up: whatever was up before a
+    /// batch of restores is still up afterwards.
+    #[test]
+    fn circuit_up_is_monotone_under_restores(
+        fails_nodes in proptest::collection::vec(0u32..12, 0..5),
+        fails_links in proptest::collection::vec((0u32..12, 0u32..12), 0..8),
+        restores_nodes in proptest::collection::vec(0u32..12, 0..5),
+        restores_links in proptest::collection::vec((0u32..12, 0u32..12), 0..8),
+    ) {
+        let mut f = FailureSet::none();
+        for &n in &fails_nodes {
+            f.fail_node(NodeId(n));
+        }
+        for &(s, d) in &fails_links {
+            f.fail_link(NodeId(s), NodeId(d));
+        }
+        let before = f.clone();
+        for &n in &restores_nodes {
+            f.restore_node(NodeId(n));
+        }
+        for &(s, d) in &restores_links {
+            f.restore_link(NodeId(s), NodeId(d));
+        }
+        for s in 0..12u32 {
+            for d in 0..12u32 {
+                if before.circuit_up(NodeId(s), NodeId(d)) {
+                    prop_assert!(
+                        f.circuit_up(NodeId(s), NodeId(d)),
+                        "restore took circuit {s}->{d} down"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Storm generation is a pure function of its config: same seed,
+    /// same script; and the script is well-formed (time-sorted, fails
+    /// within the horizon, every fail eventually restored).
+    #[test]
+    fn storms_are_deterministic_and_well_formed(
+        seed in 0u64..1000,
+        horizon in 50_000u64..500_000,
+        mtbf in 10_000.0f64..200_000.0,
+        mttr in 1_000.0f64..50_000.0,
+    ) {
+        let cfg = FaultStorm {
+            seed,
+            horizon_ns: horizon,
+            mtbf_ns: mtbf,
+            mttr_ns: mttr,
+            links: vec![(NodeId(0), NodeId(1)), (NodeId(2), NodeId(3))],
+            nodes: vec![NodeId(5)],
+        };
+        let a = FaultPlan::storm(&cfg);
+        let b = FaultPlan::storm(&cfg);
+        prop_assert_eq!(a.events(), b.events());
+        let mut last = 0u64;
+        let mut balance = 0i64;
+        for e in a.events() {
+            prop_assert!(e.at_ns >= last, "events must be time-sorted");
+            last = e.at_ns;
+            match e.action {
+                FaultAction::Fail => {
+                    prop_assert!(e.at_ns < horizon, "fail at {} past horizon {horizon}", e.at_ns);
+                    balance += 1;
+                }
+                FaultAction::Restore => balance -= 1,
+            }
+        }
+        prop_assert_eq!(balance, 0, "every fail must pair with a restore");
+        // A fully played-out storm leaves the network healthy.
+        let mut f = FailureSet::none();
+        for e in a.events() {
+            e.apply(&mut f);
+        }
+        prop_assert!(f.is_empty());
+    }
+
+    /// Cell accounting holds under arbitrary fault scripts (injected =
+    /// delivered + dropped + in flight + queued), stranded cells are a
+    /// subset of the queued ones, and permanently dead elements leave
+    /// the survivors stranded rather than lost.
+    #[test]
+    fn accounting_holds_under_fault_plans(
+        n in 4usize..8,
+        specs in proptest::collection::vec((0u32..8, 0u32..8, 1u64..8_000, 0u64..2_000), 1..10),
+        outages in proptest::collection::vec((0u32..8, 0u32..8, 0u64..4_000, 0u64..4_000), 0..6),
+        kill_node in proptest::option::of(0u32..8),
+    ) {
+        let sched = round_robin(n).unwrap();
+        let router = DirectRouter;
+        let mut eng = Engine::new(SimConfig::default(), &sched, &router);
+        eng.add_flows(make_flows(n, &specs)).unwrap();
+        let mut plan = FaultPlan::new();
+        for &(s, d, at, len) in &outages {
+            if s != d && (s as usize) < n && (d as usize) < n {
+                plan.link_outage(NodeId(s), NodeId(d), at, at + len.max(1));
+            }
+        }
+        if let Some(v) = kill_node {
+            if (v as usize) < n {
+                // Permanent: never restored, so the run may not drain.
+                plan.fail_node_at(1_000, NodeId(v));
+            }
+        }
+        eng.set_fault_plan(plan);
+        let drained = eng.run_until_drained(5_000).unwrap();
+        let m = eng.metrics();
+        let queued = eng.total_queued() as u64;
+        let stranded = eng.count_stranded();
+        prop_assert_eq!(
+            m.injected_cells,
+            m.delivered_cells + m.dropped_cells + eng.inflight_cells() as u64 + queued,
+            "cells leaked or were double-counted"
+        );
+        prop_assert!(stranded <= queued, "stranded cells must be queued cells");
+        if drained {
+            prop_assert_eq!(queued, 0);
+            prop_assert_eq!(stranded, 0);
+        }
     }
 
     /// Throughput accounting: delivered bytes equal payload times cells,

@@ -1,6 +1,6 @@
 //! A probe that counts hook invocations.
 
-use sorn_sim::{Cell, Flow, FlowRecord, Nanos, Probe, SlotView};
+use sorn_sim::{Cell, FaultView, Flow, FlowRecord, Nanos, Probe, SlotView};
 use sorn_topology::NodeId;
 
 /// Counts every probe callback — the cheapest way to verify that the
@@ -20,6 +20,8 @@ pub struct CountingProbe {
     pub flow_finishes: u64,
     /// `on_reconfiguration` invocations.
     pub reconfigurations: u64,
+    /// `on_fault` invocations.
+    pub faults: u64,
     /// `on_run_end` invocations.
     pub run_ends: u64,
 }
@@ -49,6 +51,9 @@ impl Probe for CountingProbe {
     }
     fn on_reconfiguration(&mut self, _slot: u64, _now_ns: Nanos) {
         self.reconfigurations += 1;
+    }
+    fn on_fault(&mut self, _view: &FaultView<'_>) {
+        self.faults += 1;
     }
     fn on_run_end(&mut self, _view: &SlotView<'_>) {
         self.run_ends += 1;

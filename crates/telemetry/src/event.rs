@@ -109,9 +109,52 @@ pub enum TraceEvent {
         /// Slot at which the swap happened.
         slot: u64,
     },
+    /// A scripted fault event (fail or restore) took effect.
+    Fault {
+        /// Simulated time the event was applied.
+        at_ns: Nanos,
+        /// Slot at whose boundary it was applied.
+        slot: u64,
+        /// `"fail"` or `"restore"`.
+        action: String,
+        /// `"node"`, `"link"`, or `"link_bidir"`.
+        target: String,
+        /// The failed node, or the link's source endpoint.
+        a: u32,
+        /// The link's destination endpoint (`None` for node targets).
+        b: Option<u32>,
+        /// Failed-node count after the event.
+        failed_nodes: u64,
+        /// Failed directed-link count after the event.
+        failed_links: u64,
+    },
 }
 
 impl TraceEvent {
+    /// Builds a fault record from the engine's fault-hook view.
+    pub fn from_fault(view: &sorn_sim::FaultView<'_>) -> Self {
+        use sorn_sim::{FaultAction, FaultTarget};
+        let action = match view.event.action {
+            FaultAction::Fail => "fail",
+            FaultAction::Restore => "restore",
+        };
+        let (target, a, b) = match view.event.target {
+            FaultTarget::Node(v) => ("node", v.0, None),
+            FaultTarget::Link(s, d) => ("link", s.0, Some(d.0)),
+            FaultTarget::LinkBidir(s, d) => ("link_bidir", s.0, Some(d.0)),
+        };
+        TraceEvent::Fault {
+            at_ns: view.now_ns,
+            slot: view.slot,
+            action: action.to_string(),
+            target: target.to_string(),
+            a,
+            b,
+            failed_nodes: view.failed_nodes as u64,
+            failed_links: view.failed_links as u64,
+        }
+    }
+
     /// The snapshot payload, when this event is one.
     pub fn snapshot(&self) -> Option<&Snapshot> {
         match self {
@@ -127,7 +170,8 @@ impl TraceEvent {
             TraceEvent::FlowStart { at_ns, .. }
             | TraceEvent::FlowFinish { at_ns, .. }
             | TraceEvent::Drop { at_ns, .. }
-            | TraceEvent::Reconfiguration { at_ns, .. } => *at_ns,
+            | TraceEvent::Reconfiguration { at_ns, .. }
+            | TraceEvent::Fault { at_ns, .. } => *at_ns,
         }
     }
 }

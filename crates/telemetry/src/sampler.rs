@@ -2,7 +2,7 @@
 
 use crate::event::{Snapshot, TraceEvent};
 use crate::sink::EventSink;
-use sorn_sim::{Cell, Flow, FlowRecord, Nanos, Probe, SlotView};
+use sorn_sim::{Cell, FaultView, Flow, FlowRecord, Nanos, Probe, SlotView};
 use sorn_topology::NodeId;
 
 /// A probe that samples aggregate engine state every `interval_ns` of
@@ -96,6 +96,10 @@ impl<S: EventSink> Probe for IntervalSampler<S> {
             at_ns: now_ns,
             slot,
         });
+    }
+
+    fn on_fault(&mut self, view: &FaultView<'_>) {
+        self.sink.emit(&TraceEvent::from_fault(view));
     }
 
     fn on_run_end(&mut self, view: &SlotView<'_>) {

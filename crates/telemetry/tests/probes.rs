@@ -77,6 +77,53 @@ fn reconfiguration_hook_fires_on_schedule_install() {
     assert_eq!(probe.slots, 6);
 }
 
+/// Scripted fault events reach both the counting probe and the trace.
+#[test]
+fn fault_hook_fires_and_is_traced() {
+    use sorn_sim::FaultPlan;
+    let sched = round_robin(4).unwrap();
+    let router = DirectRouter;
+    let mut plan = FaultPlan::new();
+    plan.link_outage(NodeId(0), NodeId(1), 300, 900);
+    plan.node_outage(NodeId(2), 500, 700);
+
+    let mut eng = Engine::with_probe(SimConfig::default(), &sched, &router, CountingProbe::new());
+    eng.set_fault_plan(plan.clone());
+    eng.run_slots(20).unwrap();
+    let probe = eng.finish();
+    assert_eq!(probe.faults, 4);
+
+    let sampler = IntervalSampler::new(MemorySink::new(), 10_000);
+    let mut eng = Engine::with_probe(SimConfig::default(), &sched, &router, sampler);
+    eng.set_fault_plan(plan);
+    eng.run_slots(20).unwrap();
+    let sink = eng.finish().into_sink();
+    let faults: Vec<&TraceEvent> = sink
+        .events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Fault { .. }))
+        .collect();
+    assert_eq!(faults.len(), 4);
+    if let TraceEvent::Fault {
+        action,
+        target,
+        a,
+        b,
+        ..
+    } = faults[0]
+    {
+        assert_eq!(action, "fail");
+        assert_eq!(target, "link");
+        assert_eq!((*a, *b), (0, Some(1)));
+    } else {
+        unreachable!();
+    }
+    // Trace times are monotone and the fail precedes its restore.
+    for w in faults.windows(2) {
+        assert!(w[1].at_ns() >= w[0].at_ns());
+    }
+}
+
 /// The sampler's final snapshot must agree with the run's aggregate
 /// metrics — the acceptance check for trace consistency.
 #[test]

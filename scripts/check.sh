@@ -1,17 +1,47 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, and the full test suite.
 # Run from anywhere inside the repo.
-set -euo pipefail
+#
+# Runs every step even when an earlier one fails, prints a per-step
+# pass/fail recap, and exits with the first failing step's code.
+set -uo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "== cargo fmt --check =="
-cargo fmt --all --check
+STEPS=()
+RESULTS=()
+FIRST_FAILURE=0
 
-echo "== cargo clippy (deny warnings) =="
-cargo clippy --workspace --all-targets -- -D warnings
+run_step() {
+    local name="$1"
+    shift
+    echo "== ${name} =="
+    "$@"
+    local code=$?
+    STEPS+=("$name")
+    if [ "$code" -eq 0 ]; then
+        RESULTS+=(pass)
+    else
+        RESULTS+=("FAIL (exit $code)")
+        if [ "$FIRST_FAILURE" -eq 0 ]; then
+            FIRST_FAILURE=$code
+        fi
+    fi
+    echo
+}
 
-echo "== cargo test =="
-cargo test --workspace -q
+run_step "cargo fmt --check" cargo fmt --all --check
+run_step "cargo clippy (deny warnings)" cargo clippy --workspace --all-targets -- -D warnings
+run_step "cargo test" cargo test --workspace -q --no-fail-fast
 
-echo "All checks passed."
+echo "== recap =="
+for i in "${!STEPS[@]}"; do
+    printf '%-30s %s\n' "${STEPS[$i]}" "${RESULTS[$i]}"
+done
+
+if [ "$FIRST_FAILURE" -ne 0 ]; then
+    echo "Checks failed."
+else
+    echo "All checks passed."
+fi
+exit "$FIRST_FAILURE"

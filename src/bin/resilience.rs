@@ -1,0 +1,251 @@
+//! Resilience under a seeded failure storm: flat VLB vs modular SORN.
+//!
+//! The §6 blast-radius study argues statically that modular designs
+//! confine each flow's failure exposure; this experiment measures the
+//! dynamic consequence. Both fabrics carry the *same* workload through
+//! the *same* scripted storm (seeded MTBF/MTTR outages over a shared
+//! set of links and nodes), with fault-aware routing detouring around
+//! dead circuits. The table reports goodput degradation while failed
+//! and time-to-recover after repairs, straight from the engine's
+//! metrics. Pass `--trace-out <file>` for per-scheme JSONL run traces.
+
+use sorn_analysis::resilience::{resilience_table, ResilienceRow};
+use sorn_bench::{header, TelemetryOpts};
+use sorn_control::{ControlConfig, ControlLoop, EpochOutcome};
+use sorn_routing::{FaultAwareSornRouter, FaultAwareVlbRouter};
+use sorn_sim::{
+    Engine, FailureSet, FaultPlan, FaultStorm, Flow, LinkHealth, Metrics, Router, SimConfig,
+};
+use sorn_telemetry::{IntervalSampler, JsonlTraceSink};
+use sorn_topology::builders::{round_robin, sorn_schedule, SornScheduleParams};
+use sorn_topology::{CircuitSchedule, CliqueMap, NodeId, Ratio};
+use sorn_traffic::{spatial::CliqueLocal, FlowSizeDist, PoissonWorkload};
+use std::path::{Path, PathBuf};
+
+const N: usize = 32;
+const CLIQUES: usize = 4;
+const DURATION_NS: u64 = 400_000;
+const STORM_SEED: u64 = 5;
+/// The correlated port-group burst (see [`storm`]).
+const BURST_FROM_NS: u64 = 200_000;
+const BURST_UNTIL_NS: u64 = 295_000;
+
+fn main() {
+    let telemetry = TelemetryOpts::from_env();
+    header("Resilience: flat VLB vs modular SORN under one failure storm");
+
+    let map = CliqueMap::contiguous(N, CLIQUES);
+    let q = Ratio::integer(3);
+    let flat_sched = round_robin(N).expect("round robin");
+    let sorn_sched = sorn_schedule(&map, &SornScheduleParams::with_q(q)).expect("sorn schedule");
+
+    // Sustainable load of short fixed-size flows: with headroom, queues
+    // stay shallow while healthy, so the degradation and recovery
+    // columns measure the storm rather than a standing backlog.
+    let wl = PoissonWorkload {
+        n: N,
+        load: 0.3,
+        node_bandwidth_bytes_per_ns: 12.5,
+        duration_ns: DURATION_NS,
+        seed: 11,
+    };
+    let flows = wl.generate(
+        &FlowSizeDist::fixed(10 * 1250),
+        &CliqueLocal::new(map.clone(), 0.7),
+    );
+    let plan = storm(&map);
+    println!(
+        "{N} nodes, {CLIQUES} cliques, {} flows over {DURATION_NS} ns;",
+        flows.len()
+    );
+    println!(
+        "storm: {} fail/restore events (seed {STORM_SEED}): clique-0 link + node outages,",
+        plan.len()
+    );
+    println!(
+        "plus a correlated port-group burst at 4 clique-2 nodes ({BURST_FROM_NS}-{BURST_UNTIL_NS} ns)\n"
+    );
+
+    let flat_health = LinkHealth::new();
+    let flat_router = FaultAwareVlbRouter::new(flat_health.clone());
+    let flat = run_scheme(
+        "flat-vlb",
+        &flat_sched,
+        &flat_router,
+        flat_health,
+        flows.clone(),
+        plan.clone(),
+        &telemetry,
+    );
+
+    let sorn_health = LinkHealth::new();
+    let sorn_router = FaultAwareSornRouter::new(map.clone(), sorn_health.clone());
+    let sorn = run_scheme(
+        "sorn",
+        &sorn_sched,
+        &sorn_router,
+        sorn_health,
+        flows.clone(),
+        plan,
+        &telemetry,
+    );
+
+    println!(
+        "{}",
+        resilience_table(&[
+            ResilienceRow::from_metrics("flat-vlb", &flat),
+            ResilienceRow::from_metrics("sorn", &sorn),
+        ])
+    );
+    println!("Modularity confines the storm: flat VLB sprays through every fabric");
+    println!("link, so the port-group burst queues everyone's traffic behind it and");
+    println!("goodput visibly dips; SORN never schedules those circuits, keeps its");
+    println!("baseline goodput, and drains its (clique-local) backlog far sooner");
+    println!("once repairs land.\n");
+
+    control_recovery_demo(&map, q, &sorn_sched, &flows);
+}
+
+/// The shared storm, two parts, both identical for the two fabrics:
+///
+/// 1. Seeded MTBF/MTTR outages over three clique-0 links (both fabrics
+///    schedule them) plus one node.
+/// 2. A correlated late burst — four clique-2 nodes lose every uplink
+///    toward remote nodes at mismatched intra indices, modeling a
+///    failing port group. Flat VLB sprays over all of those circuits,
+///    so fabric-wide through-traffic queues behind them; SORN schedules
+///    none of them (they are neither intra-clique nor index-matched
+///    gateway links), so its exposure is zero by construction.
+///
+/// How much of one storm each fabric is exposed to is exactly the §6
+/// modularity claim, measured dynamically.
+fn storm(map: &CliqueMap) -> FaultPlan {
+    debug_assert_eq!(map.n(), N);
+    let mut plan = FaultPlan::storm(&FaultStorm {
+        seed: STORM_SEED,
+        horizon_ns: 3 * DURATION_NS / 4,
+        mtbf_ns: 100_000.0,
+        mttr_ns: 12_000.0,
+        links: vec![
+            (NodeId(0), NodeId(1)),
+            (NodeId(2), NodeId(3)),
+            (NodeId(4), NodeId(5)),
+        ],
+        nodes: vec![NodeId(9)],
+    });
+    let members = N / CLIQUES;
+    for src in 16..20u32 {
+        for dst in 0..N as u32 {
+            let cross_clique = map.clique_of(NodeId(src)) != map.clique_of(NodeId(dst));
+            let index_mismatch = src as usize % members != dst as usize % members;
+            if cross_clique && index_mismatch {
+                plan.link_outage(NodeId(src), NodeId(dst), BURST_FROM_NS, BURST_UNTIL_NS);
+            }
+        }
+    }
+    plan
+}
+
+/// Runs one scheme through the storm and returns its final metrics
+/// (stranded count included). With `--trace-out base.jsonl`, the run's
+/// trace lands in `base.<scheme>.jsonl`.
+fn run_scheme(
+    scheme: &str,
+    schedule: &CircuitSchedule,
+    router: &dyn Router,
+    health: LinkHealth,
+    flows: Vec<Flow>,
+    plan: FaultPlan,
+    telemetry: &TelemetryOpts,
+) -> Metrics {
+    let cfg = SimConfig {
+        seed: 42,
+        ..SimConfig::default()
+    };
+    // Measure exactly the active workload window: letting the run drain
+    // to empty would append a low-rate tail of all-healthy slots and
+    // skew the healthy-goodput baseline.
+    let slots = DURATION_NS / cfg.slot_ns;
+    if let Some(base) = &telemetry.trace_out {
+        let path = suffixed(base, scheme);
+        let sink = JsonlTraceSink::create(&path).expect("create trace file");
+        let sampler = IntervalSampler::new(sink, telemetry.sample_interval_ns);
+        let mut eng = Engine::with_probe(cfg, schedule, router, sampler);
+        eng.set_fault_plan(plan);
+        eng.set_health_mirror(health);
+        eng.add_flows(flows).expect("flows in range");
+        eng.run_slots(slots).expect("storm run");
+        let mut metrics = eng.metrics().clone();
+        metrics.stranded_cells = eng.count_stranded();
+        let lines = eng.finish().into_sink().finish().expect("flush trace");
+        println!(
+            "[{scheme}] wrote {lines} trace events to {}",
+            path.display()
+        );
+        metrics
+    } else {
+        let mut eng = Engine::new(cfg, schedule, router);
+        eng.set_fault_plan(plan);
+        eng.set_health_mirror(health);
+        eng.add_flows(flows).expect("flows in range");
+        eng.run_slots(slots).expect("storm run");
+        let mut metrics = eng.metrics().clone();
+        metrics.stranded_cells = eng.count_stranded();
+        metrics
+    }
+}
+
+/// `base.jsonl` + `tag` -> `base.<tag>.jsonl`.
+fn suffixed(base: &Path, tag: &str) -> PathBuf {
+    let stem = base.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+    let ext = base.extension().and_then(|s| s.to_str()).unwrap_or("jsonl");
+    base.with_file_name(format!("{stem}.{tag}.{ext}"))
+}
+
+/// The control-plane half of recovery: feed the loop the storm's
+/// failure set so it masks dead demand out of the optimizer, and force
+/// two installation failures to show the bounded retry/backoff path.
+fn control_recovery_demo(map: &CliqueMap, q: Ratio, schedule: &CircuitSchedule, flows: &[Flow]) {
+    header("Control plane: failure masking + bounded install retries");
+    let mut cfg = ControlConfig::default();
+    cfg.allowed_sizes = vec![4, 8];
+    let mut ctl = ControlLoop::new(cfg, map.clone(), q, schedule.clone());
+    ctl.observe(flows);
+
+    let mut failures = FailureSet::none();
+    failures.fail_node(NodeId(9));
+    failures.fail_link(NodeId(0), NodeId(1));
+    ctl.report_failures(&failures);
+    ctl.inject_install_failures(2);
+
+    let outcome = ctl.end_epoch().expect("epoch");
+    let label = match outcome {
+        EpochOutcome::NoPlan => "no plan".to_string(),
+        EpochOutcome::Held { current, candidate } => {
+            format!("held (current {current:.3}, candidate {candidate:.3})")
+        }
+        EpochOutcome::Updated { throughput, .. } => {
+            format!("updated (modeled throughput {throughput:.3})")
+        }
+        EpochOutcome::InstallFailed {
+            attempts,
+            candidate,
+        } => format!("install failed after {attempts} attempts (candidate {candidate:.3})"),
+    };
+    println!("epoch outcome: {label}");
+    let record = ctl.decisions().records.last().expect("decision recorded");
+    let fr = record
+        .failure_response
+        .as_ref()
+        .expect("failure response recorded");
+    println!(
+        "failed nodes {:?}, failed links {:?}; {:.1}% of estimated demand masked",
+        fr.failed_nodes,
+        fr.failed_links,
+        fr.masked_demand_fraction * 100.0
+    );
+    println!(
+        "install attempts: {}, modeled retry backoff: {} ns, gave up: {}",
+        fr.install_attempts, fr.install_backoff_ns, fr.gave_up
+    );
+}
