@@ -1,0 +1,804 @@
+//! The `BENCH_<label>.json` performance-report schema.
+//!
+//! The root `perf` binary runs a fixed scenario suite and emits one
+//! [`BenchReport`] per invocation; later perf PRs regress-test against
+//! a stored baseline with [`compare`]. The JSON is written and parsed
+//! by hand: the schema is small and fixed, the writer controls float
+//! formatting exactly, and the report pipeline stays independent of
+//! serializer behavior across build environments.
+//!
+//! Schema (version 1):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "label": "ci",
+//!   "created_unix_s": 1754524800,
+//!   "scenarios": [
+//!     {
+//!       "name": "fig2f_sorn",
+//!       "wall_ns": 120000000,
+//!       "slots": 50000,
+//!       "cells_delivered": 400000,
+//!       "cells_per_sec": 3300000.0,
+//!       "slots_per_sec": 416000.0,
+//!       "peak_rss_bytes": 9000000,
+//!       "phases": [
+//!         {"name": "route", "calls": 400000, "total_ns": 40000000,
+//!          "mean_ns": 100.0, "p99_ns": 255}
+//!       ]
+//!     }
+//!   ]
+//! }
+//! ```
+
+use crate::render::TextTable;
+use sorn_telemetry::ProfileReport;
+use std::fmt::Write as _;
+
+/// The schema version this module writes and accepts.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One engine phase's timing breakdown within a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseLine {
+    /// Phase name (`route`, `enqueue`, `transmit`, `deliver`,
+    /// `reconfigure`, `fault_apply`).
+    pub name: String,
+    /// Spans recorded.
+    pub calls: u64,
+    /// Total wall-clock nanoseconds in the phase.
+    pub total_ns: u64,
+    /// Mean span duration in nanoseconds (0 when the phase never ran).
+    pub mean_ns: f64,
+    /// 99th-percentile span duration, `None` when the phase never ran.
+    pub p99_ns: Option<u64>,
+}
+
+/// One scenario's measured performance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// Scenario name, stable across runs (`fig2f_vlb`, `fig2f_sorn`,
+    /// `resilience_storm`, `adaptation_sweep`).
+    pub name: String,
+    /// Wall-clock duration of the scenario.
+    pub wall_ns: u64,
+    /// Simulated slots completed.
+    pub slots: u64,
+    /// Cells delivered.
+    pub cells_delivered: u64,
+    /// Delivered cells per wall-clock second — the headline metric.
+    pub cells_per_sec: f64,
+    /// Simulated slots per wall-clock second.
+    pub slots_per_sec: f64,
+    /// Process peak RSS after the scenario (Linux `VmHWM`; 0 where
+    /// unavailable). Monotone across scenarios within one run.
+    pub peak_rss_bytes: u64,
+    /// Per-phase breakdown from the self-profiler.
+    pub phases: Vec<PhaseLine>,
+}
+
+/// A full `BENCH_<label>.json` report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Always [`SCHEMA_VERSION`] for reports this module writes.
+    pub schema_version: u64,
+    /// The run label (`BENCH_<label>.json`).
+    pub label: String,
+    /// Seconds since the Unix epoch when the report was created.
+    pub created_unix_s: u64,
+    /// The suite's scenarios, in execution order.
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+/// Converts a self-profiler report into schema phase lines.
+pub fn phases_from_profile(report: &ProfileReport) -> Vec<PhaseLine> {
+    report
+        .phases
+        .iter()
+        .map(|p| PhaseLine {
+            name: p.phase.name().to_string(),
+            calls: p.calls,
+            total_ns: p.total_ns,
+            mean_ns: p.mean_ns,
+            p99_ns: p.p99_ns,
+        })
+        .collect()
+}
+
+impl BenchReport {
+    /// The conventional file name for this report.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.label)
+    }
+
+    /// Renders the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema_version\": {},", self.schema_version);
+        let _ = writeln!(out, "  \"label\": {},", json_string(&self.label));
+        let _ = writeln!(out, "  \"created_unix_s\": {},", self.created_unix_s);
+        out.push_str("  \"scenarios\": [");
+        for (i, s) in self.scenarios.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            let _ = writeln!(out, "      \"name\": {},", json_string(&s.name));
+            let _ = writeln!(out, "      \"wall_ns\": {},", s.wall_ns);
+            let _ = writeln!(out, "      \"slots\": {},", s.slots);
+            let _ = writeln!(out, "      \"cells_delivered\": {},", s.cells_delivered);
+            let _ = writeln!(
+                out,
+                "      \"cells_per_sec\": {},",
+                fmt_f64(s.cells_per_sec)
+            );
+            let _ = writeln!(
+                out,
+                "      \"slots_per_sec\": {},",
+                fmt_f64(s.slots_per_sec)
+            );
+            let _ = writeln!(out, "      \"peak_rss_bytes\": {},", s.peak_rss_bytes);
+            out.push_str("      \"phases\": [");
+            for (j, p) in s.phases.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "\n        {{\"name\": {}, \"calls\": {}, \"total_ns\": {}, \
+                     \"mean_ns\": {}, \"p99_ns\": {}}}",
+                    json_string(&p.name),
+                    p.calls,
+                    p.total_ns,
+                    fmt_f64(p.mean_ns),
+                    match p.p99_ns {
+                        Some(v) => v.to_string(),
+                        None => "null".to_string(),
+                    },
+                );
+            }
+            if !s.phases.is_empty() {
+                out.push_str("\n      ");
+            }
+            out.push_str("]\n    }");
+        }
+        if !self.scenarios.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Parses a report from JSON text.
+    pub fn parse(text: &str) -> Result<BenchReport, String> {
+        let value = Json::parse(text)?;
+        let obj = value.object("report")?;
+        let report = BenchReport {
+            schema_version: obj.field("schema_version")?.u64("schema_version")?,
+            label: obj.field("label")?.string("label")?,
+            created_unix_s: obj.field("created_unix_s")?.u64("created_unix_s")?,
+            scenarios: obj
+                .field("scenarios")?
+                .array("scenarios")?
+                .iter()
+                .map(parse_scenario)
+                .collect::<Result<_, _>>()?,
+        };
+        Ok(report)
+    }
+
+    /// Checks the report satisfies the schema's invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "schema_version {} != supported {SCHEMA_VERSION}",
+                self.schema_version
+            ));
+        }
+        if self.label.is_empty() {
+            return Err("empty label".to_string());
+        }
+        if self.scenarios.is_empty() {
+            return Err("no scenarios".to_string());
+        }
+        let mut names = std::collections::HashSet::new();
+        for s in &self.scenarios {
+            if s.name.is_empty() {
+                return Err("scenario with empty name".to_string());
+            }
+            if !names.insert(&s.name) {
+                return Err(format!("duplicate scenario {:?}", s.name));
+            }
+            if s.wall_ns == 0 {
+                return Err(format!("{}: wall_ns is 0", s.name));
+            }
+            if s.slots == 0 {
+                return Err(format!("{}: slots is 0", s.name));
+            }
+            if !s.cells_per_sec.is_finite() || s.cells_per_sec < 0.0 {
+                return Err(format!("{}: bad cells_per_sec", s.name));
+            }
+            if s.phases.is_empty() {
+                return Err(format!("{}: no phase breakdown", s.name));
+            }
+            let mut phase_names = std::collections::HashSet::new();
+            for p in &s.phases {
+                if !phase_names.insert(&p.name) {
+                    return Err(format!("{}: duplicate phase {:?}", s.name, p.name));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_scenario(v: &Json) -> Result<ScenarioResult, String> {
+    let obj = v.object("scenario")?;
+    Ok(ScenarioResult {
+        name: obj.field("name")?.string("name")?,
+        wall_ns: obj.field("wall_ns")?.u64("wall_ns")?,
+        slots: obj.field("slots")?.u64("slots")?,
+        cells_delivered: obj.field("cells_delivered")?.u64("cells_delivered")?,
+        cells_per_sec: obj.field("cells_per_sec")?.f64("cells_per_sec")?,
+        slots_per_sec: obj.field("slots_per_sec")?.f64("slots_per_sec")?,
+        peak_rss_bytes: obj.field("peak_rss_bytes")?.u64("peak_rss_bytes")?,
+        phases: obj
+            .field("phases")?
+            .array("phases")?
+            .iter()
+            .map(|p| {
+                let obj = p.object("phase")?;
+                Ok(PhaseLine {
+                    name: obj.field("name")?.string("name")?,
+                    calls: obj.field("calls")?.u64("calls")?,
+                    total_ns: obj.field("total_ns")?.u64("total_ns")?,
+                    mean_ns: obj.field("mean_ns")?.f64("mean_ns")?,
+                    p99_ns: match obj.field("p99_ns")? {
+                        Json::Null => None,
+                        v => Some(v.u64("p99_ns")?),
+                    },
+                })
+            })
+            .collect::<Result<_, String>>()?,
+    })
+}
+
+/// One scenario's baseline-vs-current delta.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Baseline cells/sec.
+    pub baseline_cps: f64,
+    /// Current cells/sec.
+    pub current_cps: f64,
+    /// Relative change in percent (negative = slower).
+    pub delta_pct: f64,
+    /// True when the slowdown exceeds the threshold.
+    pub regressed: bool,
+}
+
+/// The result of comparing a current report against a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Per-scenario deltas, in the current report's order.
+    pub rows: Vec<CompareRow>,
+    /// Allowed slowdown in percent before a row regresses.
+    pub threshold_pct: f64,
+    /// Baseline scenarios absent from the current report (treated as a
+    /// regression: coverage must not silently shrink).
+    pub missing: Vec<String>,
+}
+
+impl Comparison {
+    /// True when any scenario regressed or disappeared.
+    pub fn regressed(&self) -> bool {
+        !self.missing.is_empty() || self.rows.iter().any(|r| r.regressed)
+    }
+
+    /// The delta table, one row per compared scenario.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&[
+            "scenario",
+            "baseline cells/s",
+            "current cells/s",
+            "delta",
+            "verdict",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.scenario.clone(),
+                format!("{:.0}", r.baseline_cps),
+                format!("{:.0}", r.current_cps),
+                format!("{:+.1}%", r.delta_pct),
+                if r.regressed {
+                    "REGRESSED".to_string()
+                } else {
+                    "ok".to_string()
+                },
+            ]);
+        }
+        let mut out = t.render();
+        for name in &self.missing {
+            let _ = writeln!(out, "missing from current run: {name} (REGRESSED)");
+        }
+        let _ = writeln!(
+            out,
+            "threshold: {:.1}% slowdown on cells/sec",
+            self.threshold_pct
+        );
+        out
+    }
+}
+
+/// Compares `current` against `baseline`, flagging any scenario whose
+/// cells/sec fell by more than `threshold_pct` percent. Scenarios only
+/// present in `current` are reported but never regress.
+pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold_pct: f64) -> Comparison {
+    let mut rows = Vec::new();
+    for cur in &current.scenarios {
+        let Some(base) = baseline.scenarios.iter().find(|s| s.name == cur.name) else {
+            continue;
+        };
+        let delta_pct = if base.cells_per_sec > 0.0 {
+            (cur.cells_per_sec - base.cells_per_sec) / base.cells_per_sec * 100.0
+        } else {
+            0.0
+        };
+        rows.push(CompareRow {
+            scenario: cur.name.clone(),
+            baseline_cps: base.cells_per_sec,
+            current_cps: cur.cells_per_sec,
+            delta_pct,
+            regressed: delta_pct < -threshold_pct,
+        });
+    }
+    let missing = baseline
+        .scenarios
+        .iter()
+        .filter(|b| !current.scenarios.iter().any(|c| c.name == b.name))
+        .map(|b| b.name.clone())
+        .collect();
+    Comparison {
+        rows,
+        threshold_pct,
+        missing,
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A minimal JSON value — just enough to read the schema above (and
+/// anything else structurally similar). Numbers are kept as `f64`,
+/// which is exact for every integer this schema produces (< 2^53).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing content at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn object(&self, what: &str) -> Result<&[(String, Json)], String> {
+        match self {
+            Json::Object(fields) => Ok(fields),
+            _ => Err(format!("{what}: expected object")),
+        }
+    }
+
+    fn array(&self, what: &str) -> Result<&[Json], String> {
+        match self {
+            Json::Array(items) => Ok(items),
+            _ => Err(format!("{what}: expected array")),
+        }
+    }
+
+    fn string(&self, what: &str) -> Result<String, String> {
+        match self {
+            Json::String(s) => Ok(s.clone()),
+            _ => Err(format!("{what}: expected string")),
+        }
+    }
+
+    fn f64(&self, what: &str) -> Result<f64, String> {
+        match self {
+            Json::Number(n) => Ok(*n),
+            Json::Null => Ok(f64::NAN),
+            _ => Err(format!("{what}: expected number")),
+        }
+    }
+
+    fn u64(&self, what: &str) -> Result<u64, String> {
+        match self {
+            Json::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Ok(*n as u64)
+            }
+            _ => Err(format!("{what}: expected non-negative integer")),
+        }
+    }
+}
+
+/// Field lookup on a parsed object.
+trait Fields {
+    fn field(&self, name: &str) -> Result<&Json, String>;
+}
+
+impl Fields for [(String, Json)] {
+    fn field(&self, name: &str) -> Result<&Json, String> {
+        self.iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field {name:?}"))
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected byte at {}", self.pos)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            // Surrogate pairs are not produced by our
+                            // writer; reject rather than mis-decode.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| "unsupported \\u escape".to_string())?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is a &str, so this
+                    // is always well-formed).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| "bad utf-8")?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Number)
+            .map_err(|_| format!("bad number {text:?}"))
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            label: "test".to_string(),
+            created_unix_s: 1_754_524_800,
+            scenarios: vec![
+                ScenarioResult {
+                    name: "fig2f_sorn".to_string(),
+                    wall_ns: 120_000_000,
+                    slots: 50_000,
+                    cells_delivered: 400_000,
+                    cells_per_sec: 3_300_000.5,
+                    slots_per_sec: 416_000.0,
+                    peak_rss_bytes: 9_000_000,
+                    phases: vec![
+                        PhaseLine {
+                            name: "route".to_string(),
+                            calls: 400_000,
+                            total_ns: 40_000_000,
+                            mean_ns: 100.0,
+                            p99_ns: Some(255),
+                        },
+                        PhaseLine {
+                            name: "reconfigure".to_string(),
+                            calls: 0,
+                            total_ns: 0,
+                            mean_ns: 0.0,
+                            p99_ns: None,
+                        },
+                    ],
+                },
+                ScenarioResult {
+                    name: "resilience_storm".to_string(),
+                    wall_ns: 80_000_000,
+                    slots: 4_000,
+                    cells_delivered: 90_000,
+                    cells_per_sec: 1_125_000.0,
+                    slots_per_sec: 50_000.0,
+                    peak_rss_bytes: 9_500_000,
+                    phases: vec![PhaseLine {
+                        name: "transmit".to_string(),
+                        calls: 4_000,
+                        total_ns: 30_000_000,
+                        mean_ns: 7_500.0,
+                        p99_ns: Some(16_383),
+                    }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = sample();
+        let json = report.to_json();
+        let back = BenchReport::parse(&json).expect("parse");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn sample_report_validates() {
+        assert_eq!(sample().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validation_rejects_bad_reports() {
+        let mut r = sample();
+        r.schema_version = 99;
+        assert!(r.validate().is_err());
+
+        let mut r = sample();
+        r.scenarios.clear();
+        assert!(r.validate().is_err());
+
+        let mut r = sample();
+        r.scenarios[1].name = r.scenarios[0].name.clone();
+        assert!(r.validate().is_err());
+
+        let mut r = sample();
+        r.scenarios[0].wall_ns = 0;
+        assert!(r.validate().is_err());
+
+        let mut r = sample();
+        r.scenarios[0].phases.clear();
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn file_name_embeds_the_label() {
+        assert_eq!(sample().file_name(), "BENCH_test.json");
+    }
+
+    #[test]
+    fn compare_flags_only_past_threshold_slowdowns() {
+        let base = sample();
+        let mut cur = sample();
+        // 5% slower: within a 10% threshold.
+        cur.scenarios[0].cells_per_sec = base.scenarios[0].cells_per_sec * 0.95;
+        // 20% faster: never a regression.
+        cur.scenarios[1].cells_per_sec = base.scenarios[1].cells_per_sec * 1.2;
+        let cmp = compare(&base, &cur, 10.0);
+        assert!(!cmp.regressed());
+        assert_eq!(cmp.rows.len(), 2);
+        assert!(cmp.rows[0].delta_pct < 0.0);
+        assert!(cmp.rows[1].delta_pct > 0.0);
+
+        // 20% slower: past the threshold.
+        cur.scenarios[0].cells_per_sec = base.scenarios[0].cells_per_sec * 0.8;
+        let cmp = compare(&base, &cur, 10.0);
+        assert!(cmp.regressed());
+        assert!(cmp.rows[0].regressed);
+        let table = cmp.render();
+        assert!(table.contains("REGRESSED"));
+        assert!(table.contains("fig2f_sorn"));
+    }
+
+    #[test]
+    fn compare_treats_missing_scenarios_as_regressions() {
+        let base = sample();
+        let mut cur = sample();
+        cur.scenarios.remove(1);
+        let cmp = compare(&base, &cur, 10.0);
+        assert!(cmp.regressed());
+        assert_eq!(cmp.missing, vec!["resilience_storm".to_string()]);
+        assert!(cmp.render().contains("missing from current run"));
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_whitespace() {
+        let v = Json::parse(" { \"a\\n\" : [ 1 , -2.5e1 , null , true ] } ").unwrap();
+        let obj = v.object("v").unwrap();
+        let arr = obj.field("a\n").unwrap().array("a").unwrap();
+        assert_eq!(arr[0], Json::Number(1.0));
+        assert_eq!(arr[1], Json::Number(-25.0));
+        assert_eq!(arr[2], Json::Null);
+        assert_eq!(arr[3], Json::Bool(true));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("123 456").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn u64_extraction_rejects_fractions_and_negatives() {
+        assert!(Json::Number(1.5).u64("x").is_err());
+        assert!(Json::Number(-1.0).u64("x").is_err());
+        assert_eq!(Json::Number(42.0).u64("x"), Ok(42));
+    }
+}

@@ -7,16 +7,22 @@
 //! violates that assumption and drives throughput down to
 //! `1/((q+1)(Nc−1))`. The remedy is exactly §5's expressivity: re-encode
 //! the observed aggregate into the schedule (the gravity builder).
+//!
+//! Pass `--trace-out <file>` to also packet-simulate the worst found
+//! permutation on the uniform schedule and record a JSONL run trace.
 
 use sorn_analysis::render::TextTable;
-use sorn_bench::header;
-use sorn_routing::{evaluate, worst_demand_search, DemandMatrix, SornPaths, VlbPaths};
+use sorn_bench::{header, TelemetryOpts};
+use sorn_routing::{evaluate, worst_demand_search, DemandMatrix, SornPaths, SornRouter, VlbPaths};
+use sorn_sim::{Engine, Flow, FlowId, SimConfig};
+use sorn_telemetry::{IntervalSampler, JsonlTraceSink};
 use sorn_topology::builders::{
     gravity_schedule, round_robin, sorn_schedule, GravityWeights, SornScheduleParams,
 };
 use sorn_topology::{CliqueMap, NodeId, Ratio};
 
 fn main() {
+    let telemetry = TelemetryOpts::from_env();
     header("Adversarial demands: the price and remedy of semi-obliviousness");
     let n = 24;
     let nc = 4;
@@ -95,6 +101,37 @@ fn main() {
         }
     }
     println!("{}", t.render());
+
+    // The worst permutation, packet-level: how the aggregate-level
+    // collapse actually plays out in the fabric (queue growth is visible
+    // in the trace's snapshot events).
+    if let Some(path) = &telemetry.trace_out {
+        let flows: Vec<Flow> = sorn_res
+            .worst_permutation
+            .iter()
+            .enumerate()
+            .filter(|&(i, &d)| i != d)
+            .map(|(i, &d)| Flow {
+                id: FlowId(i as u64),
+                src: NodeId(i as u32),
+                dst: NodeId(d as u32),
+                size_bytes: 20 * 1250,
+                arrival_ns: 0,
+            })
+            .collect();
+        let router = SornRouter::new(map.clone());
+        let sink = JsonlTraceSink::create(path).expect("create trace file");
+        let sampler = IntervalSampler::new(sink, telemetry.sample_interval_ns);
+        let mut eng = Engine::with_probe(SimConfig::default(), &uniform_sched, &router, sampler);
+        eng.add_flows(flows).expect("flows in range");
+        eng.run_until_drained(100_000).expect("adversarial run");
+        let lines = eng.finish().into_sink().finish().expect("flush trace");
+        println!(
+            "packet trace of the worst permutation: {lines} events -> {}\n",
+            path.display()
+        );
+    }
+
     println!("Reading: semi-oblivious designs trade worst-case coverage of the");
     println!("*inter-clique aggregate* for bandwidth; when the aggregate shifts,");
     println!("the control plane re-encodes it (gravity schedule) and recovers");

@@ -4,17 +4,24 @@
 //! follows. Compares a fixed-`q` SORN against the tracking one, scoring
 //! each window with the exact flow-level throughput (no lookahead: each
 //! window is scored with the configuration installed *before* it).
+//!
+//! Pass `--trace-out <file>` to also packet-simulate the first busy
+//! window on the fixed-q fabric and record a JSONL run trace
+//! (`--sample-interval-ns` sets the snapshot cadence).
 
 use sorn_analysis::render::TextTable;
-use sorn_bench::header;
+use sorn_bench::{header, TelemetryOpts};
 use sorn_control::PatternEstimator;
 use sorn_core::model;
-use sorn_routing::{evaluate, DemandMatrix, SornPaths};
+use sorn_routing::{evaluate, DemandMatrix, SornPaths, SornRouter};
+use sorn_sim::{Engine, Flow, SimConfig};
+use sorn_telemetry::{IntervalSampler, JsonlTraceSink};
 use sorn_topology::builders::{sorn_schedule, SornScheduleParams};
 use sorn_topology::{CircuitSchedule, CliqueMap, Ratio};
 use sorn_traffic::{DiurnalPattern, DiurnalWorkload, FlowSizeDist};
 
 fn main() {
+    let telemetry = TelemetryOpts::from_env();
     header("§6 — diurnal tracking: fixed q vs control-loop retuning");
     let n = 32usize;
     let cliques = CliqueMap::contiguous(n, 4);
@@ -102,6 +109,33 @@ fn main() {
         }
     }
     println!("{}", t.render());
+
+    // Packet-level companion: trace the first busy window on the fixed-q
+    // fabric (arrivals rebased to the window start).
+    if let Some(path) = &telemetry.trace_out {
+        if let Some(window) = windows.iter().find(|w| !w.is_empty()) {
+            let t0 = window.iter().map(|f| f.arrival_ns).min().unwrap_or(0);
+            let flows: Vec<Flow> = window
+                .iter()
+                .map(|f| Flow {
+                    arrival_ns: f.arrival_ns - t0,
+                    ..*f
+                })
+                .collect();
+            let router = SornRouter::new(cliques.clone());
+            let sink = JsonlTraceSink::create(path).expect("create trace file");
+            let sampler = IntervalSampler::new(sink, telemetry.sample_interval_ns);
+            let mut eng = Engine::with_probe(SimConfig::default(), &fixed_sched, &router, sampler);
+            eng.add_flows(flows).expect("flows in range");
+            eng.run_until_drained(100_000).expect("window run");
+            let lines = eng.finish().into_sink().finish().expect("flush trace");
+            println!(
+                "packet trace of window 0 on the fixed-q fabric: {lines} events -> {}\n",
+                path.display()
+            );
+        }
+    }
+
     let gain = (track_sum / fixed_sum - 1.0) * 100.0;
     println!(
         "day-average throughput: fixed q {:.3}, tracking {:.3} ({gain:+.1}%)",

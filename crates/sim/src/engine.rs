@@ -16,6 +16,7 @@ use crate::failure::FailureSet;
 use crate::fault::{FaultPlan, FaultView, LinkHealth};
 use crate::metrics::{FlowRecord, Metrics};
 use crate::probe::{NoopProbe, Probe, SlotView};
+use crate::profiler::{NoopProfiler, Phase, Profiler};
 use crate::queues::NodeQueues;
 use crate::router::{RouteDecision, Router};
 use rand::rngs::StdRng;
@@ -94,11 +95,13 @@ impl PartialOrd for Arrival {
 
 /// The simulation engine.
 ///
-/// Generic over a [`Probe`] for instrumentation; the default
-/// [`NoopProbe`] compiles the hooks away, so `Engine::new` builds an
-/// uninstrumented engine with zero overhead. Use
-/// [`Engine::with_probe`] to attach a real probe.
-pub struct Engine<'a, P: Probe = NoopProbe> {
+/// Generic over a [`Probe`] for instrumentation and a [`Profiler`]
+/// for self-profiling; the defaults ([`NoopProbe`], [`NoopProfiler`])
+/// compile both away, so `Engine::new` builds an uninstrumented
+/// engine with zero overhead. Use [`Engine::with_probe`] to attach a
+/// real probe and [`Engine::with_probe_and_profiler`] to also time
+/// the engine's own phases.
+pub struct Engine<'a, P: Probe = NoopProbe, F: Profiler = NoopProfiler> {
     cfg: SimConfig,
     schedule: &'a CircuitSchedule,
     router: &'a dyn Router,
@@ -121,6 +124,7 @@ pub struct Engine<'a, P: Probe = NoopProbe> {
     metrics: Metrics,
     slot: u64,
     probe: P,
+    profiler: F,
 }
 
 /// Tracks the failure episode the engine is in, for time-to-recover.
@@ -134,7 +138,7 @@ struct EpisodeState {
     awaiting_recovery_since: Option<Nanos>,
 }
 
-impl<'a> Engine<'a, NoopProbe> {
+impl<'a> Engine<'a, NoopProbe, NoopProfiler> {
     /// Creates an uninstrumented engine over a schedule and routing
     /// scheme.
     pub fn new(cfg: SimConfig, schedule: &'a CircuitSchedule, router: &'a dyn Router) -> Self {
@@ -142,13 +146,27 @@ impl<'a> Engine<'a, NoopProbe> {
     }
 }
 
-impl<'a, P: Probe> Engine<'a, P> {
+impl<'a, P: Probe> Engine<'a, P, NoopProfiler> {
     /// Creates an engine whose run is observed by `probe`.
     pub fn with_probe(
         cfg: SimConfig,
         schedule: &'a CircuitSchedule,
         router: &'a dyn Router,
         probe: P,
+    ) -> Self {
+        Engine::with_probe_and_profiler(cfg, schedule, router, probe, NoopProfiler)
+    }
+}
+
+impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
+    /// Creates an engine observed by `probe` whose own phase timings
+    /// go to `profiler`.
+    pub fn with_probe_and_profiler(
+        cfg: SimConfig,
+        schedule: &'a CircuitSchedule,
+        router: &'a dyn Router,
+        probe: P,
+        profiler: F,
     ) -> Self {
         let n = schedule.n();
         Engine {
@@ -172,12 +190,20 @@ impl<'a, P: Probe> Engine<'a, P> {
             metrics: Metrics::default(),
             slot: 0,
             probe,
+            profiler,
         }
     }
 
     /// Shared access to the attached probe.
     pub fn probe(&self) -> &P {
         &self.probe
+    }
+
+    /// Shared access to the attached profiler. Handle-style profilers
+    /// (the telemetry wall-clock one) can also be read through a clone
+    /// kept by the caller.
+    pub fn profiler(&self) -> &F {
+        &self.profiler
     }
 
     /// Mutable access to the attached probe.
@@ -302,7 +328,10 @@ impl<'a, P: Probe> Engine<'a, P> {
 
         // 0. Scripted fault events due by this slot boundary take effect
         // before any routing, so this slot already sees the new health.
-        self.apply_due_faults(now);
+        {
+            let _span = self.profiler.span(Phase::FaultApply);
+            self.apply_due_faults(now);
+        }
 
         // 1. Cells that have landed by the start of this slot.
         while let Some(Reverse(a)) = self.inflight.peek() {
@@ -314,6 +343,7 @@ impl<'a, P: Probe> Engine<'a, P> {
         }
 
         // 2. Newly arrived flows begin injecting.
+        let enqueue_span = self.profiler.span(Phase::Enqueue);
         while let Some(Reverse((t, _key))) = self.future_flows.peek() {
             if *t > now {
                 break;
@@ -334,8 +364,11 @@ impl<'a, P: Probe> Engine<'a, P> {
                 },
             );
         }
+        drop(enqueue_span);
 
         // 3. Source NICs inject at line rate (uplinks cells per slot).
+        // Not bracketed as a whole: each injected cell is timed inside
+        // `route_cell`, and wrapping the loop too would double-count.
         for src in 0..self.queues.len() {
             let mut budget = self.cfg.uplinks;
             while budget > 0 {
@@ -365,6 +398,7 @@ impl<'a, P: Probe> Engine<'a, P> {
         }
 
         // 4. Transmit one cell per uplink per node along the schedule.
+        let transmit_span = self.profiler.span(Phase::Transmit);
         let period = self.schedule.period() as u64;
         for uplink in 0..self.cfg.uplinks {
             let offset = (uplink as u64 * period) / self.cfg.uplinks as u64;
@@ -413,6 +447,7 @@ impl<'a, P: Probe> Engine<'a, P> {
                 }
             }
         }
+        drop(transmit_span);
 
         let queued = self.total_queued();
         self.metrics.peak_queue_depth = self.metrics.peak_queue_depth.max(queued);
@@ -507,8 +542,12 @@ impl<'a, P: Probe> Engine<'a, P> {
     /// Routes a cell sitting at `node` (either freshly injected or just
     /// arrived off a circuit).
     fn route_cell(&mut self, node: NodeId, mut cell: Cell, now: Nanos) -> Result<(), SimError> {
+        // The phase is only known once the decision is in: terminal
+        // decisions count as Deliver, everything else as Route.
+        let mut span = self.profiler.span(Phase::Route);
         match self.router.decide(node, &mut cell, &mut self.rng) {
             RouteDecision::Deliver => {
+                span.set_phase(Phase::Deliver);
                 debug_assert_eq!(node, cell.dst, "router delivered at the wrong node");
                 let latency = now.saturating_sub(cell.injected_ns);
                 self.metrics
@@ -583,6 +622,7 @@ impl<'a, P: Probe> Engine<'a, P> {
             self.schedule.n(),
             "schedule update must cover the same nodes"
         );
+        let _span = self.profiler.span(Phase::Reconfigure);
         self.schedule = schedule;
         self.probe
             .on_reconfiguration(self.slot, self.cfg.slot_start(self.slot));

@@ -45,6 +45,7 @@ mod failure;
 mod fault;
 mod metrics;
 mod probe;
+mod profiler;
 mod queues;
 mod router;
 
@@ -57,5 +58,6 @@ pub use fault::{
 };
 pub use metrics::{FlowRecord, LatencyHistogram, Metrics};
 pub use probe::{NoopProbe, Probe, SlotView};
+pub use profiler::{NoopProfiler, Phase, PhaseSpan, Profiler};
 pub use queues::NodeQueues;
 pub use router::{ClassId, DirectRouter, RouteDecision, Router};

@@ -84,6 +84,18 @@ impl LatencyHistogram {
         self.count
     }
 
+    /// Non-empty buckets as `(inclusive upper bound, count)` pairs,
+    /// ascending — enough to rebuild a cumulative distribution
+    /// (Prometheus-style `le` buckets) without exposing the layout.
+    pub fn nonzero_buckets(&self) -> Vec<(Nanos, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(k, &c)| (Self::upper_bound(k), c))
+            .collect()
+    }
+
     /// Latency percentile (`p` in `[0, 100]`) as the upper bound of the
     /// bucket holding that rank; `None` when no samples were recorded.
     ///

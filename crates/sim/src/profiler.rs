@@ -1,0 +1,215 @@
+//! Self-profiling hooks: where does the *simulator's* wall-clock go?
+//!
+//! The telemetry [`Probe`](crate::Probe) observes simulated behaviour;
+//! this module observes the simulator itself. The engine is generic
+//! over a [`Profiler`] and brackets each phase of `Engine::step` —
+//! routing, flow enqueue, circuit transmission, delivery, schedule
+//! reconfiguration, fault application — with a scoped timer. The
+//! default [`NoopProfiler`] has `ENABLED = false`, so the timer never
+//! reads the clock and the whole mechanism compiles away, mirroring
+//! the zero-cost `NoopProbe` contract.
+//!
+//! Concrete profilers (wall-clock accumulation with percentiles) live
+//! in `sorn-telemetry`; this module only defines the contract so the
+//! engine stays dependency-free.
+
+use std::time::Instant;
+
+/// The engine phases a [`Profiler`] distinguishes.
+///
+/// The phases partition `Engine::step` disjointly — no span nests
+/// inside another — so summed phase time never exceeds the run's
+/// wall-clock time:
+///
+/// - [`Phase::FaultApply`]: applying due scripted fault events;
+/// - [`Phase::Enqueue`]: activating newly arrived flows;
+/// - [`Phase::Route`]: routing decisions that queue or drop a cell
+///   (freshly injected or just arrived off a circuit);
+/// - [`Phase::Deliver`]: routing decisions that terminate at the
+///   destination, including flow-completion bookkeeping;
+/// - [`Phase::Transmit`]: draining queues onto scheduled circuits;
+/// - [`Phase::Reconfigure`]: mid-run schedule installation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// A routing decision that leaves the cell queued (or dropped).
+    Route,
+    /// Newly arrived flows beginning to inject.
+    Enqueue,
+    /// Queue drain onto the circuits the schedule has up this slot.
+    Transmit,
+    /// Final-hop delivery and flow-completion bookkeeping.
+    Deliver,
+    /// Mid-run circuit-schedule installation (the §5 update).
+    Reconfigure,
+    /// Scripted fault events taking effect at a slot boundary.
+    FaultApply,
+}
+
+impl Phase {
+    /// Every phase, in display order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Route,
+        Phase::Enqueue,
+        Phase::Transmit,
+        Phase::Deliver,
+        Phase::Reconfigure,
+        Phase::FaultApply,
+    ];
+
+    /// A stable dense index (`0..Phase::COUNT`) for array-backed stores.
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Route => 0,
+            Phase::Enqueue => 1,
+            Phase::Transmit => 2,
+            Phase::Deliver => 3,
+            Phase::Reconfigure => 4,
+            Phase::FaultApply => 5,
+        }
+    }
+
+    /// Number of phases.
+    pub const COUNT: usize = 6;
+
+    /// The phase's snake_case name, used in metric names and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Route => "route",
+            Phase::Enqueue => "enqueue",
+            Phase::Transmit => "transmit",
+            Phase::Deliver => "deliver",
+            Phase::Reconfigure => "reconfigure",
+            Phase::FaultApply => "fault_apply",
+        }
+    }
+}
+
+/// A sink for phase timings, cloned into each [`PhaseSpan`].
+///
+/// `ENABLED` gates every clock read at compile time: when it is
+/// `false` (the [`NoopProfiler`]), spans never call `Instant::now`
+/// and `record` is never reached, so the engine's instrumented hot
+/// path monomorphizes to exactly the uninstrumented code.
+///
+/// Implementations use interior mutability (the engine holds the
+/// profiler while spans record into clones of it), so `record` takes
+/// `&self` and `Clone` is expected to be a cheap handle copy.
+pub trait Profiler: Clone {
+    /// Whether spans should read the clock at all.
+    const ENABLED: bool;
+
+    /// Accepts one completed phase timing.
+    fn record(&self, phase: Phase, nanos: u64);
+
+    /// Opens an RAII span: the phase is timed from now until the guard
+    /// drops (or is reclassified via [`PhaseSpan::set_phase`]).
+    fn span(&self, phase: Phase) -> PhaseSpan<Self> {
+        PhaseSpan {
+            start: if Self::ENABLED {
+                Some(Instant::now())
+            } else {
+                None
+            },
+            profiler: self.clone(),
+            phase,
+        }
+    }
+}
+
+/// The default profiler: never reads the clock, costs nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopProfiler;
+
+impl Profiler for NoopProfiler {
+    const ENABLED: bool = false;
+
+    fn record(&self, _phase: Phase, _nanos: u64) {}
+}
+
+/// An RAII guard timing one engine phase.
+///
+/// Created by [`Profiler::span`]; records the elapsed wall-clock time
+/// into its profiler on drop. Holds a clone of the profiler rather
+/// than a borrow so the engine can keep mutating itself inside the
+/// span. For a disabled profiler the guard holds no start time and
+/// drops without side effects.
+#[derive(Debug)]
+pub struct PhaseSpan<F: Profiler> {
+    profiler: F,
+    phase: Phase,
+    start: Option<Instant>,
+}
+
+impl<F: Profiler> PhaseSpan<F> {
+    /// Reclassifies the span — used where the phase is only known at
+    /// exit (a routing decision that turns out to be a delivery).
+    pub fn set_phase(&mut self, phase: Phase) {
+        self.phase = phase;
+    }
+}
+
+impl<F: Profiler> Drop for PhaseSpan<F> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.profiler
+                .record(self.phase, start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[derive(Clone, Default)]
+    struct Recording(Rc<RefCell<Vec<(Phase, u64)>>>);
+
+    impl Profiler for Recording {
+        const ENABLED: bool = true;
+
+        fn record(&self, phase: Phase, nanos: u64) {
+            self.0.borrow_mut().push((phase, nanos));
+        }
+    }
+
+    #[test]
+    fn span_records_its_phase_on_drop() {
+        let p = Recording::default();
+        {
+            let _span = p.span(Phase::Transmit);
+        }
+        let log = p.0.borrow();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].0, Phase::Transmit);
+    }
+
+    #[test]
+    fn reclassified_span_records_the_final_phase() {
+        let p = Recording::default();
+        {
+            let mut span = p.span(Phase::Route);
+            span.set_phase(Phase::Deliver);
+        }
+        assert_eq!(p.0.borrow()[0].0, Phase::Deliver);
+    }
+
+    #[test]
+    fn noop_profiler_never_starts_the_clock() {
+        let span = NoopProfiler.span(Phase::Route);
+        assert!(span.start.is_none());
+    }
+
+    #[test]
+    fn phase_indices_are_dense_and_names_unique() {
+        let mut seen = [false; Phase::COUNT];
+        let mut names = std::collections::HashSet::new();
+        for p in Phase::ALL {
+            assert!(!seen[p.index()]);
+            seen[p.index()] = true;
+            assert!(names.insert(p.name()));
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -16,7 +16,12 @@
 //!   depths, utilization, and delivery counters at a fixed simulated-
 //!   time interval, and forwards discrete events as they happen;
 //! - [`CountingProbe`] — counts hook invocations, for tests and smoke
-//!   checks.
+//!   checks;
+//! - [`WallClockProfiler`] / [`ProfileReport`] — the self-profiling
+//!   backend for the engine's scoped phase timers (where the
+//!   *simulator's* wall-clock goes, not the simulation's);
+//! - [`MetricRegistry`] — named counters/gauges/histograms with
+//!   Prometheus text export and a JSON snapshot.
 //!
 //! ## Example
 //!
@@ -45,10 +50,14 @@
 
 mod counting;
 mod event;
+mod profiler;
+mod registry;
 mod sampler;
 mod sink;
 
 pub use counting::CountingProbe;
 pub use event::{Snapshot, TraceEvent};
+pub use profiler::{PhaseSummary, ProfileReport, WallClockProfiler};
+pub use registry::{HistogramMetric, MetricRegistry};
 pub use sampler::IntervalSampler;
 pub use sink::{parse_jsonl, read_jsonl, EventSink, JsonlTraceSink, MemorySink};

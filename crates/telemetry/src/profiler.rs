@@ -1,0 +1,186 @@
+//! Wall-clock phase profiling: the concrete [`Profiler`] backend.
+//!
+//! [`WallClockProfiler`] accumulates the engine's scoped phase timers
+//! (see `sorn_sim::Phase`) into per-phase call counts, total time, and
+//! a log-bucketed latency distribution for p99. It is a cheap `Rc`
+//! handle: clone one before handing it to the engine and read the
+//! [`ProfileReport`] from your copy after the run — no need to pull
+//! the profiler back out of the engine.
+
+use sorn_sim::{LatencyHistogram, Nanos, Phase, Profiler};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Accumulated timings for one engine phase.
+#[derive(Debug, Clone, Default)]
+struct PhaseStats {
+    calls: u64,
+    total_ns: u64,
+    spans: LatencyHistogram,
+}
+
+/// A [`Profiler`] that accumulates real wall-clock phase timings.
+///
+/// Shared-handle semantics: clones observe the same accumulator, so
+/// the engine's spans (which clone the profiler per span) and the
+/// caller's copy all feed one report.
+#[derive(Debug, Clone, Default)]
+pub struct WallClockProfiler {
+    stats: Rc<RefCell<[PhaseStats; Phase::COUNT]>>,
+}
+
+impl WallClockProfiler {
+    /// A fresh profiler with all phases at zero.
+    pub fn new() -> Self {
+        WallClockProfiler::default()
+    }
+
+    /// Snapshot of everything recorded so far.
+    pub fn report(&self) -> ProfileReport {
+        let stats = self.stats.borrow();
+        ProfileReport {
+            phases: Phase::ALL
+                .iter()
+                .map(|&phase| {
+                    let s = &stats[phase.index()];
+                    PhaseSummary {
+                        phase,
+                        calls: s.calls,
+                        total_ns: s.total_ns,
+                        mean_ns: if s.calls == 0 {
+                            0.0
+                        } else {
+                            s.total_ns as f64 / s.calls as f64
+                        },
+                        p99_ns: s.spans.p99(),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Wall-clock nanoseconds attributed to any phase so far.
+    pub fn total_ns(&self) -> u64 {
+        self.stats.borrow().iter().map(|s| s.total_ns).sum()
+    }
+
+    /// Resets every phase to zero (for back-to-back scenario runs
+    /// sharing one profiler handle).
+    pub fn reset(&self) {
+        *self.stats.borrow_mut() = Default::default();
+    }
+}
+
+impl Profiler for WallClockProfiler {
+    const ENABLED: bool = true;
+
+    fn record(&self, phase: Phase, nanos: u64) {
+        let mut stats = self.stats.borrow_mut();
+        let s = &mut stats[phase.index()];
+        s.calls += 1;
+        s.total_ns += nanos;
+        s.spans.record(nanos);
+    }
+}
+
+/// Per-phase summary line of a [`ProfileReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSummary {
+    /// The phase.
+    pub phase: Phase,
+    /// Spans recorded.
+    pub calls: u64,
+    /// Total wall-clock time in the phase.
+    pub total_ns: u64,
+    /// Mean span duration (0 when the phase never ran).
+    pub mean_ns: f64,
+    /// 99th-percentile span duration (log-bucket upper bound), `None`
+    /// when the phase never ran.
+    pub p99_ns: Option<Nanos>,
+}
+
+/// A snapshot of every phase's accumulated timings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileReport {
+    /// One summary per [`Phase`], in [`Phase::ALL`] order.
+    pub phases: Vec<PhaseSummary>,
+}
+
+impl ProfileReport {
+    /// Wall-clock nanoseconds attributed to any phase.
+    pub fn total_ns(&self) -> u64 {
+        self.phases.iter().map(|p| p.total_ns).sum()
+    }
+
+    /// The summary for one phase.
+    pub fn phase(&self, phase: Phase) -> &PhaseSummary {
+        &self.phases[phase.index()]
+    }
+
+    /// A compact human-readable table (one line per phase that ran).
+    pub fn render(&self) -> String {
+        let mut out =
+            String::from("phase        calls        total_ms      mean_ns       p99_ns\n");
+        for p in &self.phases {
+            if p.calls == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "{:<12} {:>10} {:>13.3} {:>12.1} {:>12}\n",
+                p.phase.name(),
+                p.calls,
+                p.total_ns as f64 / 1e6,
+                p.mean_ns,
+                p.p99_ns.unwrap_or(0),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_per_phase() {
+        let p = WallClockProfiler::new();
+        p.record(Phase::Route, 100);
+        p.record(Phase::Route, 300);
+        p.record(Phase::Transmit, 50);
+        let r = p.report();
+        assert_eq!(r.phase(Phase::Route).calls, 2);
+        assert_eq!(r.phase(Phase::Route).total_ns, 400);
+        assert!((r.phase(Phase::Route).mean_ns - 200.0).abs() < 1e-9);
+        assert_eq!(r.phase(Phase::Transmit).calls, 1);
+        assert_eq!(r.phase(Phase::Enqueue).calls, 0);
+        assert_eq!(r.total_ns(), 450);
+        assert_eq!(p.total_ns(), 450);
+    }
+
+    #[test]
+    fn clones_share_the_accumulator() {
+        let p = WallClockProfiler::new();
+        let q = p.clone();
+        q.record(Phase::Deliver, 42);
+        assert_eq!(p.report().phase(Phase::Deliver).calls, 1);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let p = WallClockProfiler::new();
+        p.record(Phase::Route, 10);
+        p.reset();
+        assert_eq!(p.total_ns(), 0);
+        assert_eq!(p.report().phase(Phase::Route).calls, 0);
+    }
+
+    #[test]
+    fn render_skips_idle_phases() {
+        let p = WallClockProfiler::new();
+        p.record(Phase::Transmit, 1000);
+        let table = p.report().render();
+        assert!(table.contains("transmit"));
+        assert!(!table.contains("reconfigure"));
+    }
+}

@@ -40,12 +40,15 @@ impl EventSink for MemorySink {
 ///
 /// Lines are buffered; call [`JsonlTraceSink::finish`] to flush and
 /// learn whether every write succeeded. Dropping the sink flushes on a
-/// best-effort basis.
+/// best-effort basis and warns on stderr when that flush fails or when
+/// an emit error would otherwise go unreported.
 #[derive(Debug)]
+#[must_use = "call finish() to flush the trace and surface write errors"]
 pub struct JsonlTraceSink {
     writer: BufWriter<File>,
     lines: u64,
     error: Option<io::Error>,
+    finished: bool,
 }
 
 impl JsonlTraceSink {
@@ -55,6 +58,7 @@ impl JsonlTraceSink {
             writer: BufWriter::new(File::create(path)?),
             lines: 0,
             error: None,
+            finished: false,
         })
     }
 
@@ -66,11 +70,25 @@ impl JsonlTraceSink {
     /// Flushes the file and returns the number of lines written, or the
     /// first error encountered while emitting.
     pub fn finish(mut self) -> io::Result<u64> {
+        self.finished = true;
         if let Some(e) = self.error.take() {
             return Err(e);
         }
         self.writer.flush()?;
         Ok(self.lines)
+    }
+}
+
+impl Drop for JsonlTraceSink {
+    fn drop(&mut self) {
+        if self.finished {
+            return;
+        }
+        if let Some(e) = &self.error {
+            eprintln!("sorn-telemetry: trace sink dropped with unreported write error: {e}");
+        } else if let Err(e) = self.writer.flush() {
+            eprintln!("sorn-telemetry: best-effort flush of dropped trace sink failed: {e}");
+        }
     }
 }
 
@@ -110,4 +128,36 @@ pub fn parse_jsonl(s: &str) -> Result<Vec<TraceEvent>, serde_json::Error> {
 pub fn read_jsonl(path: impl AsRef<Path>) -> io::Result<Vec<TraceEvent>> {
     let text = std::fs::read_to_string(path)?;
     parse_jsonl(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_without_finish_still_flushes() {
+        let path =
+            std::env::temp_dir().join(format!("sorn-sink-drop-{}.jsonl", std::process::id()));
+        {
+            let mut sink = JsonlTraceSink::create(&path).unwrap();
+            for slot in 0..3 {
+                sink.emit(&TraceEvent::Reconfiguration { at_ns: 0, slot });
+            }
+            assert_eq!(sink.lines(), 3);
+            // Dropped here without finish(): the Drop impl flushes.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn finish_reports_line_count() {
+        let path =
+            std::env::temp_dir().join(format!("sorn-sink-finish-{}.jsonl", std::process::id()));
+        let mut sink = JsonlTraceSink::create(&path).unwrap();
+        sink.emit(&TraceEvent::Reconfiguration { at_ns: 5, slot: 1 });
+        assert_eq!(sink.finish().unwrap(), 1);
+        std::fs::remove_file(&path).ok();
+    }
 }

@@ -1,0 +1,217 @@
+//! JSONL round-trip coverage for every [`TraceEvent`] variant:
+//! serialize → [`parse_jsonl`] → equality, over generated events.
+
+use proptest::prelude::*;
+use sorn_telemetry::{parse_jsonl, Snapshot, TraceEvent};
+
+fn snapshot() -> impl Strategy<Value = TraceEvent> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        // Fractions stay finite so JSON round-trips are exact.
+        (0.0f64..=1.0, 0.0f64..=1.0),
+        (
+            proptest::option::of(any::<u64>()),
+            proptest::option::of(any::<u64>()),
+        ),
+    )
+        .prop_map(
+            |(
+                (at_ns, slot, queued_cells, inflight_cells),
+                (injected_cells, delivered_cells, dropped_cells, transmissions),
+                (circuit_utilization, delivery_fraction),
+                (p50_cell_latency_ns, p99_cell_latency_ns),
+            )| {
+                TraceEvent::Snapshot(Snapshot {
+                    at_ns,
+                    slot,
+                    queued_cells,
+                    inflight_cells,
+                    injected_cells,
+                    delivered_cells,
+                    dropped_cells,
+                    transmissions,
+                    circuit_utilization,
+                    delivery_fraction,
+                    p50_cell_latency_ns,
+                    p99_cell_latency_ns,
+                })
+            },
+        )
+}
+
+fn flow_start() -> impl Strategy<Value = TraceEvent> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(at_ns, flow, src, dst, size_bytes)| TraceEvent::FlowStart {
+                at_ns,
+                flow,
+                src,
+                dst,
+                size_bytes,
+            },
+        )
+}
+
+fn flow_finish() -> impl Strategy<Value = TraceEvent> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u8>(),
+    )
+        .prop_map(
+            |(at_ns, flow, size_bytes, fct_ns, max_hops)| TraceEvent::FlowFinish {
+                at_ns,
+                flow,
+                size_bytes,
+                fct_ns,
+                max_hops,
+            },
+        )
+}
+
+fn drop_event() -> impl Strategy<Value = TraceEvent> {
+    (any::<u64>(), any::<u64>(), any::<u32>(), any::<u8>()).prop_map(|(at_ns, flow, node, hops)| {
+        TraceEvent::Drop {
+            at_ns,
+            flow,
+            node,
+            hops,
+        }
+    })
+}
+
+fn reconfiguration() -> impl Strategy<Value = TraceEvent> {
+    (any::<u64>(), any::<u64>())
+        .prop_map(|(at_ns, slot)| TraceEvent::Reconfiguration { at_ns, slot })
+}
+
+fn fault() -> impl Strategy<Value = TraceEvent> {
+    (
+        (any::<u64>(), any::<u64>()),
+        prop_oneof![Just("fail".to_string()), Just("restore".to_string())],
+        prop_oneof![
+            Just("node".to_string()),
+            Just("link".to_string()),
+            Just("link_bidir".to_string())
+        ],
+        (
+            any::<u32>(),
+            proptest::option::of(any::<u32>()),
+            any::<u64>(),
+            any::<u64>(),
+        ),
+    )
+        .prop_map(
+            |((at_ns, slot), action, target, (a, b, failed_nodes, failed_links))| {
+                TraceEvent::Fault {
+                    at_ns,
+                    slot,
+                    action,
+                    target,
+                    a,
+                    b,
+                    failed_nodes,
+                    failed_links,
+                }
+            },
+        )
+}
+
+fn any_event() -> impl Strategy<Value = TraceEvent> {
+    prop_oneof![
+        snapshot(),
+        flow_start(),
+        flow_finish(),
+        drop_event(),
+        reconfiguration(),
+        fault(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any mixed sequence of events survives JSONL serialization.
+    #[test]
+    fn every_event_round_trips(events in proptest::collection::vec(any_event(), 1..16)) {
+        let text = events
+            .iter()
+            .map(|e| serde_json::to_string(e).expect("serialize"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = parse_jsonl(&text).expect("parse");
+        prop_assert_eq!(back, events);
+    }
+}
+
+/// One fixed instance of each variant, as a deterministic floor under
+/// the property test.
+#[test]
+fn one_of_each_variant_round_trips() {
+    let events = vec![
+        TraceEvent::Snapshot(Snapshot {
+            at_ns: 1_000,
+            slot: 10,
+            queued_cells: 3,
+            inflight_cells: 2,
+            injected_cells: 40,
+            delivered_cells: 35,
+            dropped_cells: 0,
+            transmissions: 70,
+            circuit_utilization: 0.875,
+            delivery_fraction: 0.5,
+            p50_cell_latency_ns: Some(511),
+            p99_cell_latency_ns: None,
+        }),
+        TraceEvent::FlowStart {
+            at_ns: 0,
+            flow: 7,
+            src: 1,
+            dst: 5,
+            size_bytes: 12_500,
+        },
+        TraceEvent::FlowFinish {
+            at_ns: 2_000,
+            flow: 7,
+            size_bytes: 12_500,
+            fct_ns: 2_000,
+            max_hops: 3,
+        },
+        TraceEvent::Drop {
+            at_ns: 1_500,
+            flow: 8,
+            node: 2,
+            hops: 1,
+        },
+        TraceEvent::Reconfiguration {
+            at_ns: 3_000,
+            slot: 30,
+        },
+        TraceEvent::Fault {
+            at_ns: 4_000,
+            slot: 40,
+            action: "fail".to_string(),
+            target: "link".to_string(),
+            a: 0,
+            b: Some(1),
+            failed_nodes: 0,
+            failed_links: 1,
+        },
+    ];
+    let text = events
+        .iter()
+        .map(|e| serde_json::to_string(e).expect("serialize"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let back = parse_jsonl(&text).expect("parse");
+    assert_eq!(back, events);
+}

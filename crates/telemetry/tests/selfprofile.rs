@@ -1,0 +1,89 @@
+//! The self-profiler's timing contract against a real engine run.
+//!
+//! The engine's phase spans partition `step()` into disjoint intervals,
+//! so the sum of recorded phase time can never exceed the run's
+//! wall-clock time — the property that makes per-phase percentages out
+//! of a `BENCH_*.json` report meaningful.
+
+use sorn_sim::{DirectRouter, Engine, Flow, FlowId, NoopProbe, Phase, SimConfig};
+use sorn_telemetry::WallClockProfiler;
+use sorn_topology::builders::round_robin;
+use sorn_topology::NodeId;
+use std::time::Instant;
+
+fn flows(n: u32) -> Vec<Flow> {
+    (0..n)
+        .map(|i| Flow {
+            id: FlowId(i as u64),
+            src: NodeId(i),
+            dst: NodeId((i + 1) % n),
+            size_bytes: 8 * 1250,
+            arrival_ns: 100 * i as u64,
+        })
+        .collect()
+}
+
+#[test]
+fn phase_totals_never_exceed_run_wall_clock() {
+    let schedule = round_robin(8).unwrap();
+    let router = DirectRouter;
+    let profiler = WallClockProfiler::new();
+
+    let start = Instant::now();
+    let mut eng = Engine::with_probe_and_profiler(
+        SimConfig::default(),
+        &schedule,
+        &router,
+        NoopProbe,
+        profiler.clone(),
+    );
+    eng.add_flows(flows(8)).unwrap();
+    let drained = eng.run_until_drained(100_000).unwrap();
+    let wall_ns = start.elapsed().as_nanos() as u64;
+
+    assert!(drained);
+    let report = profiler.report();
+    assert!(
+        report.total_ns() <= wall_ns,
+        "phase total {} ns exceeds wall clock {} ns",
+        report.total_ns(),
+        wall_ns
+    );
+    // The sum the report exposes is exactly the per-phase sum.
+    let by_phase: u64 = Phase::ALL.iter().map(|p| report.phase(*p).total_ns).sum();
+    assert_eq!(by_phase, report.total_ns());
+
+    // The run exercised the expected phases: every slot transmits and
+    // enqueues, every cell routes, every delivery is reclassified.
+    assert!(report.phase(Phase::Transmit).calls > 0);
+    assert!(report.phase(Phase::Enqueue).calls > 0);
+    assert!(report.phase(Phase::Route).calls > 0);
+    assert!(report.phase(Phase::Deliver).calls > 0);
+    // No schedule swap and no fault plan in this run.
+    assert_eq!(report.phase(Phase::Reconfigure).calls, 0);
+    // Every delivered cell ended in exactly one Route-or-Deliver span.
+    let eng_metrics_cells: u64 = report.phase(Phase::Deliver).calls;
+    assert_eq!(eng_metrics_cells, 8 * 8); // 8 flows x 8 cells each
+}
+
+#[test]
+fn shared_handle_reads_without_extracting_the_engine() {
+    let schedule = round_robin(4).unwrap();
+    let router = DirectRouter;
+    let profiler = WallClockProfiler::new();
+    let mut eng = Engine::with_probe_and_profiler(
+        SimConfig::default(),
+        &schedule,
+        &router,
+        NoopProbe,
+        profiler.clone(),
+    );
+    eng.add_flows(flows(4)).unwrap();
+    eng.run_slots(3).unwrap();
+    // Mid-run read through the caller's clone of the handle.
+    let mid = profiler.report();
+    assert!(mid.phase(Phase::Transmit).calls >= 3);
+    eng.run_until_drained(100_000).unwrap();
+    let done = profiler.report();
+    assert!(done.phase(Phase::Transmit).calls > mid.phase(Phase::Transmit).calls);
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI perf smoke: build the perf harness, run the tiny scenario suite,
+# schema-check the emitted BENCH_ci.json, and exercise the baseline
+# comparison against the report we just produced (same machine, same
+# binary — must pass the regression gate).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== build perf harness =="
+cargo build --release --bin perf
+
+echo "== tiny suite -> BENCH_ci.json =="
+./target/release/perf --tiny --label ci
+
+echo "== schema validation =="
+./target/release/perf --validate BENCH_ci.json
+
+echo "== self-baseline comparison (must not regress) =="
+# Generous threshold: the tiny scenarios finish in milliseconds, so
+# run-to-run noise on shared CI runners is large. This exercises the
+# comparison path, not a real perf gate.
+./target/release/perf --tiny --label ci-rerun --baseline BENCH_ci.json --threshold 75
+
+echo "perf smoke passed."

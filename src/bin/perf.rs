@@ -1,0 +1,440 @@
+//! Perf-regression harness: runs a fixed scenario suite under the
+//! engine's self-profiler and emits a `BENCH_<label>.json` report
+//! (schema in `sorn_analysis::perfreport`).
+//!
+//! Scenarios:
+//!
+//! - `fig2f_vlb` / `fig2f_sorn` — the Figure 2(f) fabric at scale
+//!   (128 nodes, 8 cliques): one clique-local Poisson workload pushed
+//!   through flat VLB and through SORN, packet-simulated to drain.
+//! - `resilience_storm` — the §6 failure storm (32 nodes, fault-aware
+//!   SORN routing), exercising the fault-apply and reroute paths.
+//! - `adaptation_sweep` — §5 control-loop epochs across a macro-pattern
+//!   shift; its unit of work is the *epoch*, so the report's cell
+//!   columns count epochs for this scenario.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf [--label NAME] [--out-dir DIR] [--tiny]
+//!      [--baseline FILE] [--threshold PCT]
+//! perf --validate FILE
+//! ```
+//!
+//! `--tiny` shrinks every scenario for CI smoke runs. `--baseline`
+//! compares this run's cells/sec against a stored report and exits
+//! nonzero when any scenario slowed down by more than `--threshold`
+//! percent (default 25). `--validate` just schema-checks an existing
+//! report file.
+
+use sorn_analysis::perfreport::{
+    compare, phases_from_profile, BenchReport, ScenarioResult, SCHEMA_VERSION,
+};
+use sorn_control::{ControlConfig, ControlLoop};
+use sorn_core::{SornConfig, SornNetwork};
+use sorn_routing::{FaultAwareSornRouter, VlbRouter};
+use sorn_sim::{
+    Engine, FaultPlan, FaultStorm, Flow, FlowId, LinkHealth, NoopProbe, Phase, Profiler, SimConfig,
+};
+use sorn_telemetry::WallClockProfiler;
+use sorn_topology::builders::{round_robin, sorn_schedule, SornScheduleParams};
+use sorn_topology::{CliqueMap, NodeId, Ratio};
+use sorn_traffic::{spatial::CliqueLocal, FlowSizeDist, PoissonWorkload};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const USAGE: &str = "usage: perf [--label NAME] [--out-dir DIR] [--tiny] \
+                     [--baseline FILE] [--threshold PCT] | perf --validate FILE";
+
+struct Opts {
+    label: String,
+    out_dir: PathBuf,
+    baseline: Option<PathBuf>,
+    threshold_pct: f64,
+    tiny: bool,
+    validate: Option<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        label: "local".to_string(),
+        out_dir: PathBuf::from("."),
+        baseline: None,
+        threshold_pct: 25.0,
+        tiny: false,
+        validate: None,
+    };
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        let arg = &args[*i];
+        if let Some(v) = arg.strip_prefix(&format!("{flag}=")) {
+            return Ok(v.to_string());
+        }
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        let arg = args[i].clone();
+        let flag = arg.split('=').next().unwrap_or("");
+        match flag {
+            "--label" => opts.label = value(&mut i, "--label")?,
+            "--out-dir" => opts.out_dir = PathBuf::from(value(&mut i, "--out-dir")?),
+            "--baseline" => opts.baseline = Some(PathBuf::from(value(&mut i, "--baseline")?)),
+            "--threshold" => {
+                opts.threshold_pct = value(&mut i, "--threshold")?
+                    .parse()
+                    .map_err(|_| "--threshold needs a number".to_string())?
+            }
+            "--tiny" => opts.tiny = true,
+            "--validate" => opts.validate = Some(PathBuf::from(value(&mut i, "--validate")?)),
+            _ => return Err(format!("unknown flag {arg:?}")),
+        }
+        i += 1;
+    }
+    if opts.label.is_empty() || opts.label.contains(|c: char| c == '/' || c.is_whitespace()) {
+        return Err(format!("bad label {:?}", opts.label));
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("perf: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &opts.validate {
+        return validate_file(path);
+    }
+
+    println!(
+        "perf suite '{}'{} (schema v{SCHEMA_VERSION})\n",
+        opts.label,
+        if opts.tiny { " [tiny]" } else { "" }
+    );
+    let scenarios = vec![
+        fig2f_scale("fig2f_vlb", opts.tiny),
+        fig2f_scale("fig2f_sorn", opts.tiny),
+        resilience_storm(opts.tiny),
+        adaptation_sweep(opts.tiny),
+    ];
+    let report = BenchReport {
+        schema_version: SCHEMA_VERSION,
+        label: opts.label.clone(),
+        created_unix_s: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        scenarios,
+    };
+    if let Err(e) = report.validate() {
+        eprintln!("perf: produced an invalid report: {e}");
+        return ExitCode::FAILURE;
+    }
+    let path = opts.out_dir.join(report.file_name());
+    if let Err(e) = std::fs::write(&path, report.to_json()) {
+        eprintln!("perf: cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", path.display());
+
+    if let Some(base_path) = &opts.baseline {
+        let base = match std::fs::read_to_string(base_path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| BenchReport::parse(&text))
+            .and_then(|r| r.validate().map(|()| r))
+        {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("perf: bad baseline {}: {e}", base_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let cmp = compare(&base, &report, opts.threshold_pct);
+        println!("\nbaseline: {} ({})", base_path.display(), base.label);
+        println!("{}", cmp.render());
+        if cmp.regressed() {
+            eprintln!("perf: REGRESSION against baseline");
+            return ExitCode::FAILURE;
+        }
+        println!("no regression past {:.1}%", opts.threshold_pct);
+    }
+    ExitCode::SUCCESS
+}
+
+fn validate_file(path: &PathBuf) -> ExitCode {
+    let result = std::fs::read_to_string(path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| BenchReport::parse(&text))
+        .and_then(|r| r.validate().map(|()| r));
+    match result {
+        Ok(r) => {
+            println!(
+                "{}: valid (schema v{}, label '{}', {} scenarios)",
+                path.display(),
+                r.schema_version,
+                r.label,
+                r.scenarios.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{}: INVALID: {e}", path.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Shared clique-local Poisson workload for the fig2f-scale scenarios.
+fn scale_workload(n: usize, cliques: usize, duration_ns: u64) -> Vec<Flow> {
+    let map = CliqueMap::contiguous(n, cliques);
+    let wl = PoissonWorkload {
+        n,
+        load: 0.35,
+        node_bandwidth_bytes_per_ns: 12.5,
+        duration_ns,
+        seed: 7,
+    };
+    wl.generate(&FlowSizeDist::fixed(10 * 1250), &CliqueLocal::new(map, 0.5))
+}
+
+/// One fig2f-scale run: the same workload through flat VLB
+/// (`fig2f_vlb`) or through SORN (`fig2f_sorn`), simulated to drain.
+fn fig2f_scale(name: &str, tiny: bool) -> ScenarioResult {
+    let (n, cliques, duration_ns) = if tiny {
+        (32, 4, 40_000)
+    } else {
+        (128, 8, 150_000)
+    };
+    let flows = scale_workload(n, cliques, duration_ns);
+    let cfg = SimConfig::default();
+    let max_slots = 20 * duration_ns / cfg.slot_ns;
+    let profiler = WallClockProfiler::new();
+
+    let start = Instant::now();
+    let metrics = if name == "fig2f_vlb" {
+        let schedule = round_robin(n).expect("round robin");
+        let router = VlbRouter::new();
+        let mut eng =
+            Engine::with_probe_and_profiler(cfg, &schedule, &router, NoopProbe, profiler.clone());
+        eng.add_flows(flows).expect("flows in range");
+        eng.run_until_drained(max_slots).expect("run");
+        eng.metrics().clone()
+    } else {
+        let net = SornNetwork::build(SornConfig::small(n, cliques, 0.5)).expect("network");
+        let (metrics, _, NoopProbe, _) = net
+            .simulate_instrumented(flows, 42, max_slots, NoopProbe, profiler.clone())
+            .expect("run");
+        metrics
+    };
+    finish_scenario(
+        name,
+        start,
+        metrics.slots,
+        metrics.delivered_cells,
+        &profiler,
+    )
+}
+
+/// The §6 storm on the fault-aware SORN fabric: seeded MTBF/MTTR link
+/// and node outages plus a correlated port-group burst, over the
+/// resilience study's 32-node/4-clique fabric.
+fn resilience_storm(tiny: bool) -> ScenarioResult {
+    const N: usize = 32;
+    const CLIQUES: usize = 4;
+    let duration_ns: u64 = if tiny { 100_000 } else { 400_000 };
+
+    let map = CliqueMap::contiguous(N, CLIQUES);
+    let schedule =
+        sorn_schedule(&map, &SornScheduleParams::with_q(Ratio::integer(3))).expect("schedule");
+    let wl = PoissonWorkload {
+        n: N,
+        load: 0.3,
+        node_bandwidth_bytes_per_ns: 12.5,
+        duration_ns,
+        seed: 11,
+    };
+    let flows = wl.generate(
+        &FlowSizeDist::fixed(10 * 1250),
+        &CliqueLocal::new(map.clone(), 0.7),
+    );
+    let mut plan = FaultPlan::storm(&FaultStorm {
+        seed: 5,
+        horizon_ns: 3 * duration_ns / 4,
+        mtbf_ns: 100_000.0,
+        mttr_ns: 12_000.0,
+        links: vec![
+            (NodeId(0), NodeId(1)),
+            (NodeId(2), NodeId(3)),
+            (NodeId(4), NodeId(5)),
+        ],
+        nodes: vec![NodeId(9)],
+    });
+    // Correlated port-group burst late in the run (see the resilience
+    // experiment for the full rationale).
+    let members = N / CLIQUES;
+    for src in 16..20u32 {
+        for dst in 0..N as u32 {
+            let cross = map.clique_of(NodeId(src)) != map.clique_of(NodeId(dst));
+            if cross && src as usize % members != dst as usize % members {
+                plan.link_outage(
+                    NodeId(src),
+                    NodeId(dst),
+                    duration_ns / 2,
+                    3 * duration_ns / 4,
+                );
+            }
+        }
+    }
+
+    let health = LinkHealth::new();
+    let router = FaultAwareSornRouter::new(map, health.clone());
+    let cfg = SimConfig {
+        seed: 42,
+        ..SimConfig::default()
+    };
+    let slots = duration_ns / cfg.slot_ns;
+    let profiler = WallClockProfiler::new();
+
+    let start = Instant::now();
+    let mut eng =
+        Engine::with_probe_and_profiler(cfg, &schedule, &router, NoopProbe, profiler.clone());
+    eng.set_fault_plan(plan);
+    eng.set_health_mirror(health);
+    eng.add_flows(flows).expect("flows in range");
+    eng.run_slots(slots).expect("storm run");
+    let metrics = eng.metrics().clone();
+    finish_scenario(
+        "resilience_storm",
+        start,
+        metrics.slots,
+        metrics.delivered_cells,
+        &profiler,
+    )
+}
+
+/// §5 control-loop epochs across a macro-pattern shift. Each
+/// `end_epoch` (demand estimation, candidate search, install) is
+/// recorded as a `reconfigure` span; "cells" count epochs here.
+fn adaptation_sweep(tiny: bool) -> ScenarioResult {
+    let (n, phases): (u32, Vec<(usize, Vec<Flow>)>) = if tiny {
+        let n = 32u32;
+        (
+            n,
+            vec![
+                (2, community_flows(n, |v| v / 8, 50_000, 500)),
+                (2, community_flows(n, |v| v % 8, 50_000, 500)),
+            ],
+        )
+    } else {
+        let n = 64u32;
+        (
+            n,
+            vec![
+                (3, community_flows(n, |v| v / 8, 50_000, 500)),
+                (8, community_flows(n, |v| v % 8, 50_000, 500)),
+                (4, community_flows(n, |v| v % 8, 10_000, 2_000)),
+            ],
+        )
+    };
+    let cliques = if tiny { 4 } else { 8 };
+    let q = Ratio::integer(4);
+    let map = CliqueMap::contiguous(n as usize, cliques);
+    let schedule = sorn_schedule(&map, &SornScheduleParams::with_q(q)).expect("schedule");
+    let mut control = ControlConfig::default();
+    control.allowed_sizes = vec![4, 8, 16];
+    control.alpha = 0.5;
+
+    let profiler = WallClockProfiler::new();
+    let start = Instant::now();
+    let mut ctl = ControlLoop::new(control, map, q, schedule);
+    let mut epochs = 0u64;
+    for (count, flows) in &phases {
+        for _ in 0..*count {
+            ctl.observe(flows);
+            let _span = profiler.span(Phase::Reconfigure);
+            ctl.end_epoch().expect("epoch");
+            epochs += 1;
+        }
+    }
+    finish_scenario("adaptation_sweep", start, epochs, epochs, &profiler)
+}
+
+fn community_flows(n: u32, group: impl Fn(u32) -> u32, heavy: u64, light: u64) -> Vec<Flow> {
+    let mut flows = Vec::new();
+    for s in 0..n {
+        for d in 0..n {
+            if s == d {
+                continue;
+            }
+            flows.push(Flow {
+                id: FlowId(0),
+                src: NodeId(s),
+                dst: NodeId(d),
+                size_bytes: if group(s) == group(d) { heavy } else { light },
+                arrival_ns: 0,
+            });
+        }
+    }
+    flows
+}
+
+/// Packages one scenario's measurements and prints its summary.
+fn finish_scenario(
+    name: &str,
+    start: Instant,
+    slots: u64,
+    cells_delivered: u64,
+    profiler: &WallClockProfiler,
+) -> ScenarioResult {
+    let wall_ns = start.elapsed().as_nanos().max(1) as u64;
+    let secs = wall_ns as f64 / 1e9;
+    let profile = profiler.report();
+    let result = ScenarioResult {
+        name: name.to_string(),
+        wall_ns,
+        slots,
+        cells_delivered,
+        cells_per_sec: cells_delivered as f64 / secs,
+        slots_per_sec: slots as f64 / secs,
+        peak_rss_bytes: peak_rss_bytes(),
+        phases: phases_from_profile(&profile),
+    };
+    println!(
+        "[{name}] {:.1} ms wall, {} slots, {} cells, {:.0} cells/s, peak RSS {:.1} MiB",
+        wall_ns as f64 / 1e6,
+        slots,
+        cells_delivered,
+        result.cells_per_sec,
+        result.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+    );
+    println!("{}", profile.render());
+    result
+}
+
+/// Process peak resident set (`VmHWM`), in bytes; 0 where unavailable.
+fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kb: u64 = rest
+                    .trim()
+                    .trim_end_matches("kB")
+                    .trim()
+                    .parse()
+                    .unwrap_or(0);
+                return kb * 1024;
+            }
+        }
+    }
+    0
+}
