@@ -1,0 +1,194 @@
+//! Determinism golden test for the simulation hot path.
+//!
+//! A fixed 32-node scenario is pushed through two routing schemes and
+//! the resulting metrics — `delivered_cells`, `cell_latency_sum_ns`,
+//! `transmissions`, and every per-flow `completion_ns` — are compared
+//! against snapshotted constants. Any hot-path change (queue layout,
+//! arrival calendar, flow bookkeeping) must reproduce these values
+//! bit-for-bit: same configuration in, identical `Metrics` out.
+//!
+//! Both schemes are RNG-free (the engine only touches its seeded RNG
+//! inside `Router::decide`), so the constants are independent of the
+//! RNG implementation and hold on every platform.
+//!
+//! To regenerate after an *intentional* semantic change, run
+//!
+//! ```text
+//! cargo test --test determinism_golden -- --ignored --nocapture
+//! ```
+//!
+//! and paste the printed tables over the constants below.
+
+use rand::rngs::StdRng;
+use sorn_sim::{
+    Cell, ClassId, DirectRouter, Engine, Flow, FlowId, Metrics, RouteDecision, Router, SimConfig,
+};
+use sorn_topology::builders::round_robin;
+use sorn_topology::NodeId;
+
+const N: usize = 32;
+const FLOWS: usize = 16;
+const MAX_SLOTS: u64 = 100_000;
+
+/// The fixed workload: 16 flows with staggered arrivals, 1–5 cells each.
+fn golden_flows() -> Vec<Flow> {
+    (0..FLOWS as u64)
+        .map(|i| Flow {
+            id: FlowId(i),
+            src: NodeId(((7 * i) % N as u64) as u32),
+            dst: NodeId(((7 * i + 11) % N as u64) as u32),
+            size_bytes: (i % 5 + 1) * 1250,
+            arrival_ns: i * 230,
+        })
+        .collect()
+}
+
+/// A deterministic two-hop VLB-style scheme: the first hop sprays onto
+/// whatever circuit is up (class queue), the second must be the direct
+/// circuit to the destination. Never consults the RNG.
+struct DetVlb;
+
+const SPRAY: ClassId = ClassId(0);
+
+impl Router for DetVlb {
+    fn decide(&self, node: NodeId, cell: &mut Cell, _rng: &mut StdRng) -> RouteDecision {
+        if node == cell.dst {
+            RouteDecision::Deliver
+        } else {
+            RouteDecision::ToClass(SPRAY)
+        }
+    }
+    fn class_admits(&self, _class: ClassId, cell: &Cell, _from: NodeId, to: NodeId) -> bool {
+        cell.hops == 0 || to == cell.dst
+    }
+    fn classes(&self) -> &[ClassId] {
+        &[SPRAY]
+    }
+    fn max_hops(&self) -> u8 {
+        2
+    }
+    fn name(&self) -> &str {
+        "det-vlb"
+    }
+}
+
+fn run_scheme(router: &dyn Router) -> Metrics {
+    let schedule = round_robin(N).expect("schedule");
+    let mut eng = Engine::new(SimConfig::default(), &schedule, router);
+    eng.add_flows(golden_flows()).expect("flows in range");
+    assert!(
+        eng.run_until_drained(MAX_SLOTS).expect("run"),
+        "golden scenario must drain"
+    );
+    eng.metrics().clone()
+}
+
+struct Golden {
+    delivered_cells: u64,
+    cell_latency_sum_ns: u128,
+    transmissions: u64,
+    /// `(flow id, completion_ns)` in completion order.
+    completions: &'static [(u64, u64)],
+}
+
+fn check(metrics: &Metrics, want: &Golden, scheme: &str) {
+    assert_eq!(
+        metrics.delivered_cells, want.delivered_cells,
+        "{scheme}: delivered_cells"
+    );
+    assert_eq!(
+        metrics.cell_latency_sum_ns, want.cell_latency_sum_ns,
+        "{scheme}: cell_latency_sum_ns"
+    );
+    assert_eq!(
+        metrics.transmissions, want.transmissions,
+        "{scheme}: transmissions"
+    );
+    let got: Vec<(u64, u64)> = metrics
+        .flows
+        .iter()
+        .map(|f| (f.id.0, f.completion_ns))
+        .collect();
+    assert_eq!(got, want.completions, "{scheme}: per-flow completions");
+}
+
+const GOLDEN_DIRECT: Golden = Golden {
+    delivered_cells: 46,
+    cell_latency_sum_ns: 264700,
+    transmissions: 46,
+    completions: &[
+        (0, 1600),
+        (5, 4700),
+        (10, 4700),
+        (1, 4700),
+        (15, 4700),
+        (6, 7800),
+        (11, 7800),
+        (2, 7800),
+        (7, 10900),
+        (12, 10900),
+        (3, 10900),
+        (8, 14000),
+        (13, 14000),
+        (4, 14000),
+        (14, 17100),
+        (9, 17100),
+    ],
+};
+
+const GOLDEN_SPRAY: Golden = Golden {
+    delivered_cells: 46,
+    cell_latency_sum_ns: 130500,
+    transmissions: 90,
+    completions: &[
+        (0, 1500),
+        (6, 3300),
+        (5, 3500),
+        (4, 3600),
+        (3, 3900),
+        (2, 4100),
+        (1, 4300),
+        (12, 5000),
+        (11, 5200),
+        (10, 5500),
+        (9, 5700),
+        (8, 5900),
+        (7, 6000),
+        (15, 7300),
+        (14, 7500),
+        (13, 7500),
+    ],
+};
+
+#[test]
+fn direct_scheme_matches_golden_metrics() {
+    check(&run_scheme(&DirectRouter), &GOLDEN_DIRECT, "direct");
+}
+
+#[test]
+fn spray_scheme_matches_golden_metrics() {
+    check(&run_scheme(&DetVlb), &GOLDEN_SPRAY, "spray");
+}
+
+/// Regeneration helper: prints the golden constants for the current
+/// engine. Ignored in normal runs.
+#[test]
+#[ignore = "generator for the constants above"]
+fn print_golden_constants() {
+    for (name, router) in [
+        ("GOLDEN_DIRECT", &DirectRouter as &dyn Router),
+        ("GOLDEN_SPRAY", &DetVlb as &dyn Router),
+    ] {
+        let m = run_scheme(router);
+        println!("const {name}: Golden = Golden {{");
+        println!("    delivered_cells: {},", m.delivered_cells);
+        println!("    cell_latency_sum_ns: {},", m.cell_latency_sum_ns);
+        println!("    transmissions: {},", m.transmissions);
+        println!("    completions: &[");
+        for f in &m.flows {
+            println!("        ({}, {}),", f.id.0, f.completion_ns);
+        }
+        println!("    ],");
+        println!("}};");
+    }
+}
