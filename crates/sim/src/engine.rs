@@ -7,14 +7,21 @@
 //! at source NICs at line rate.
 //!
 //! The engine is fully deterministic: a single seeded RNG drives every
-//! routing decision, nodes are visited in id order, and the event heap is
-//! tie-broken by insertion sequence.
+//! routing decision, nodes are visited in id order, and in-flight cells
+//! arrive in transmission order (the calendar ring preserves the
+//! `(arrival time, insertion sequence)` order a heap would impose).
+//!
+//! The hot path is built on dense, index-addressed state: per-next-hop
+//! queues indexed by node id, a flat per-link transmission matrix, a
+//! slot-bucketed arrival calendar, and a slab of active flows — no
+//! hashing or heap rebalancing per transmitted cell.
 
+use crate::calendar::SlotCalendar;
 use crate::cell::{Cell, Flow, FlowId};
 use crate::config::{Nanos, SimConfig};
 use crate::failure::FailureSet;
 use crate::fault::{FaultPlan, FaultView, LinkHealth};
-use crate::metrics::{FlowRecord, Metrics};
+use crate::metrics::{FlowRecord, LinkMatrix, Metrics};
 use crate::probe::{NoopProbe, Probe, SlotView};
 use crate::profiler::{NoopProfiler, Phase, Profiler};
 use crate::queues::NodeQueues;
@@ -74,23 +81,15 @@ struct ActiveFlow {
 }
 
 /// An in-flight cell arriving at a node.
+///
+/// Ordering lives in the calendar ring: cells transmitted in slot `s`
+/// all mature a fixed number of slots later and drain FIFO, which is
+/// exactly the `(at_ns, insertion seq)` order the old heap imposed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Arrival {
     at_ns: Nanos,
-    seq: u64,
     node: NodeId,
     cell: Cell,
-}
-
-impl Ord for Arrival {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at_ns, self.seq).cmp(&(other.at_ns, other.seq))
-    }
-}
-impl PartialOrd for Arrival {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 /// The simulation engine.
@@ -106,15 +105,25 @@ pub struct Engine<'a, P: Probe = NoopProbe, F: Profiler = NoopProfiler> {
     schedule: &'a CircuitSchedule,
     router: &'a dyn Router,
     queues: Vec<NodeQueues>,
-    /// Flows not yet arrived, sorted by arrival time.
+    /// Flows not yet arrived, sorted by arrival time; keys index
+    /// `future_store`.
     future_flows: BinaryHeap<Reverse<(Nanos, u64)>>,
-    future_store: HashMap<u64, Flow>,
-    future_seq: u64,
-    /// Flows currently injecting, per source node (FIFO per node).
-    injecting: Vec<VecDeque<FlowId>>,
-    active: HashMap<FlowId, ActiveFlow>,
-    inflight: BinaryHeap<Reverse<Arrival>>,
-    arrival_seq: u64,
+    /// Pending flows in add order; activation `take`s them out.
+    future_store: Vec<Option<Flow>>,
+    future_pending: usize,
+    /// Flows currently injecting, per source node (FIFO per node);
+    /// entries are slots into `active`.
+    injecting: Vec<VecDeque<usize>>,
+    injecting_flows: usize,
+    /// Active-flow slab; freed slots are reused via `active_free`.
+    active: Vec<Option<ActiveFlow>>,
+    active_free: Vec<usize>,
+    /// `FlowId → slab slot`, consulted once per delivered cell.
+    active_index: HashMap<FlowId, usize>,
+    inflight: SlotCalendar<Arrival>,
+    /// Cells sitting in node queues, maintained incrementally so
+    /// `total_queued`/`is_drained` are O(1) (debug builds re-count).
+    queued_cells: usize,
     failures: FailureSet,
     fault_plan: FaultPlan,
     fault_cursor: usize,
@@ -169,28 +178,40 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
         profiler: F,
     ) -> Self {
         let n = schedule.n();
+        assert!(cfg.slot_ns > 0, "slot_ns must be positive");
+        // Fixed propagation: every cell transmitted in slot `s` is
+        // processed at the start of slot `s + delay_slots`.
+        let delay_slots = (cfg.slot_ns + cfg.propagation_ns).div_ceil(cfg.slot_ns);
         Engine {
             rng: StdRng::seed_from_u64(cfg.seed),
-            cfg,
             schedule,
             router,
-            queues: (0..n).map(|_| NodeQueues::new(router.classes())).collect(),
+            queues: (0..n)
+                .map(|_| NodeQueues::new(n, router.classes()))
+                .collect(),
             future_flows: BinaryHeap::new(),
-            future_store: HashMap::new(),
-            future_seq: 0,
+            future_store: Vec::new(),
+            future_pending: 0,
             injecting: vec![VecDeque::new(); n],
-            active: HashMap::new(),
-            inflight: BinaryHeap::new(),
-            arrival_seq: 0,
+            injecting_flows: 0,
+            active: Vec::new(),
+            active_free: Vec::new(),
+            active_index: HashMap::new(),
+            inflight: SlotCalendar::new(delay_slots),
+            queued_cells: 0,
             failures: FailureSet::none(),
             fault_plan: FaultPlan::new(),
             fault_cursor: 0,
             health_mirror: None,
             episode: EpisodeState::default(),
-            metrics: Metrics::default(),
+            metrics: Metrics {
+                link_transmissions: LinkMatrix::with_nodes(n),
+                ..Metrics::default()
+            },
             slot: 0,
             probe,
             profiler,
+            cfg,
         }
     }
 
@@ -221,7 +242,7 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
             slot: self.slot,
             now_ns: self.cfg.slot_start(self.slot),
             metrics: &self.metrics,
-            total_queued: self.queues.iter().map(|q| q.depth()).sum(),
+            total_queued: self.total_queued(),
             inflight_cells: self.inflight.len(),
         });
         self.probe
@@ -236,10 +257,10 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
                     return Err(SimError::NodeOutOfRange { node, n });
                 }
             }
-            let key = self.future_seq;
-            self.future_seq += 1;
+            let key = self.future_store.len() as u64;
             self.future_flows.push(Reverse((f.arrival_ns, key)));
-            self.future_store.insert(key, f);
+            self.future_store.push(Some(f));
+            self.future_pending += 1;
         }
         Ok(())
     }
@@ -287,17 +308,24 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
         self.slot
     }
 
-    /// Total cells sitting in node queues.
+    /// Total cells sitting in node queues. O(1): the engine maintains
+    /// the count as cells are pushed and popped; debug builds assert it
+    /// against the O(n) per-node recount.
     pub fn total_queued(&self) -> usize {
-        self.queues.iter().map(|q| q.depth()).sum()
+        debug_assert_eq!(
+            self.queued_cells,
+            self.queues.iter().map(|q| q.depth()).sum::<usize>(),
+            "queued-cell counter must match the per-node recount"
+        );
+        self.queued_cells
     }
 
-    /// True when no traffic remains anywhere in the system.
+    /// True when no traffic remains anywhere in the system. O(1).
     pub fn is_drained(&self) -> bool {
-        self.future_store.is_empty()
+        self.future_pending == 0
             && self.inflight.is_empty()
             && self.total_queued() == 0
-            && self.injecting.iter().all(|q| q.is_empty())
+            && self.injecting_flows == 0
     }
 
     /// Runs `slots` more slots.
@@ -334,11 +362,8 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
         }
 
         // 1. Cells that have landed by the start of this slot.
-        while let Some(Reverse(a)) = self.inflight.peek() {
-            if a.at_ns > now {
-                break;
-            }
-            let Reverse(arrival) = self.inflight.pop().expect("peeked");
+        while let Some(arrival) = self.inflight.pop_due(self.slot) {
+            debug_assert!(arrival.at_ns <= now, "calendar released a cell early");
             self.handle_arrival(arrival)?;
         }
 
@@ -349,20 +374,32 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
                 break;
             }
             let (_, key) = self.future_flows.pop().expect("peeked").0;
-            let flow = self.future_store.remove(&key).expect("stored flow");
+            let flow = self.future_store[key as usize].take().expect("stored flow");
+            self.future_pending -= 1;
             let total_cells = flow.cell_count(self.cfg.cell_bytes);
             self.probe.on_flow_start(&flow, now);
-            self.injecting[flow.src.index()].push_back(flow.id);
-            self.active.insert(
-                flow.id,
-                ActiveFlow {
-                    flow,
-                    total_cells,
-                    injected: 0,
-                    delivered: 0,
-                    max_hops: 0,
-                },
-            );
+            let src = flow.src.index();
+            let id = flow.id;
+            let af = ActiveFlow {
+                flow,
+                total_cells,
+                injected: 0,
+                delivered: 0,
+                max_hops: 0,
+            };
+            let slot = match self.active_free.pop() {
+                Some(free) => {
+                    self.active[free] = Some(af);
+                    free
+                }
+                None => {
+                    self.active.push(Some(af));
+                    self.active.len() - 1
+                }
+            };
+            self.active_index.insert(id, slot);
+            self.injecting[src].push_back(slot);
+            self.injecting_flows += 1;
         }
         drop(enqueue_span);
 
@@ -372,12 +409,12 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
         for src in 0..self.queues.len() {
             let mut budget = self.cfg.uplinks;
             while budget > 0 {
-                let Some(&fid) = self.injecting[src].front() else {
+                let Some(&slot) = self.injecting[src].front() else {
                     break;
                 };
-                let af = self.active.get_mut(&fid).expect("active flow");
+                let af = self.active[slot].as_mut().expect("active flow");
                 let cell = Cell {
-                    flow: fid,
+                    flow: af.flow.id,
                     seq: af.injected,
                     src: af.flow.src,
                     dst: af.flow.dst,
@@ -392,6 +429,7 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
                 self.route_cell(flow_src, cell, now)?;
                 if done_injecting {
                     self.injecting[src].pop_front();
+                    self.injecting_flows -= 1;
                 }
                 budget -= 1;
             }
@@ -418,6 +456,7 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
                     self.cfg.class_scan_limit,
                 ) {
                     Some(mut cell) => {
+                        self.queued_cells -= 1;
                         self.router.on_transmit(&mut cell, v, w);
                         cell.hops += 1;
                         if cell.hops > self.router.max_hops() {
@@ -428,20 +467,16 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
                             });
                         }
                         self.metrics.transmissions += 1;
-                        *self
-                            .metrics
-                            .link_transmissions
-                            .entry((v.0, w.0))
-                            .or_insert(0) += 1;
+                        self.metrics.link_transmissions.record(v.0, w.0);
                         let at_ns = now + self.cfg.slot_ns + self.cfg.propagation_ns;
-                        let seq = self.arrival_seq;
-                        self.arrival_seq += 1;
-                        self.inflight.push(Reverse(Arrival {
-                            at_ns,
-                            seq,
-                            node: w,
-                            cell,
-                        }));
+                        self.inflight.push(
+                            self.slot,
+                            Arrival {
+                                at_ns,
+                                node: w,
+                                cell,
+                            },
+                        );
                     }
                     None => self.metrics.idle_circuit_slots += 1,
                 }
@@ -556,11 +591,14 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
                     self.metrics.delivered_during_failure += 1;
                 }
                 self.probe.on_delivery(&cell, latency, now);
-                if let Some(af) = self.active.get_mut(&cell.flow) {
+                if let Some(&slot) = self.active_index.get(&cell.flow) {
+                    let af = self.active[slot].as_mut().expect("indexed slot is live");
                     af.delivered += 1;
                     af.max_hops = af.max_hops.max(cell.hops);
                     if af.delivered >= af.total_cells {
-                        let af = self.active.remove(&cell.flow).expect("present");
+                        let af = self.active[slot].take().expect("present");
+                        self.active_index.remove(&cell.flow);
+                        self.active_free.push(slot);
                         let record = FlowRecord {
                             id: af.flow.id,
                             size_bytes: af.flow.size_bytes,
@@ -581,6 +619,7 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
                     return Ok(());
                 }
                 self.queues[node.index()].push_specific(next, cell);
+                self.queued_cells += 1;
                 Ok(())
             }
             RouteDecision::ToClass(class) => {
@@ -590,6 +629,7 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
                     return Ok(());
                 }
                 self.queues[node.index()].push_class(class, cell);
+                self.queued_cells += 1;
                 Ok(())
             }
             RouteDecision::Drop => {
@@ -654,6 +694,7 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
         for v in 0..self.queues.len() {
             let cells = self.queues[v].drain_all();
             total += cells.len();
+            self.queued_cells -= cells.len();
             for cell in cells {
                 self.route_cell(NodeId(v as u32), cell, now)?;
             }
@@ -918,6 +959,48 @@ mod tests {
     }
 
     #[test]
+    fn schedule_swap_with_cells_inflight() {
+        // Swap the schedule while a cell is still propagating: the
+        // arrival calendar must carry it across the swap and deliver
+        // under the new schedule.
+        let a = round_robin(4).unwrap();
+        let ms = vec![sorn_topology::Matching::cyclic(4, 2)];
+        let b = sorn_topology::CircuitSchedule::from_matchings(ms).unwrap();
+        let router = DirectRouter;
+        let mut eng = Engine::new(SimConfig::default(), &a, &router);
+        eng.add_flows([flow(1, 0, 1, 1250, 0)]).unwrap();
+        eng.run_slots(1).unwrap(); // transmitted in slot 0, now in flight
+        assert_eq!(eng.inflight_cells(), 1);
+        eng.install_schedule(&b);
+        eng.reroute_queued().unwrap();
+        assert!(eng.run_until_drained(100).unwrap());
+        assert_eq!(eng.metrics().delivered_cells, 1);
+        // Same landing time as without the swap: propagation is fixed.
+        assert_eq!(eng.metrics().flows[0].completion_ns, 600);
+    }
+
+    #[test]
+    fn flow_slots_recycle_across_sequential_flows() {
+        // Each flow finishes before the next arrives, so the slab hands
+        // the same slot out repeatedly; records must stay per-flow.
+        let sched = round_robin(4).unwrap();
+        let router = DirectRouter;
+        let mut eng = Engine::new(SimConfig::default(), &sched, &router);
+        eng.add_flows([
+            flow(10, 0, 1, 1250, 0),
+            flow(20, 0, 1, 1250, 5_000),
+            flow(30, 2, 3, 1250, 10_000),
+        ])
+        .unwrap();
+        assert!(eng.run_until_drained(1_000).unwrap());
+        let m = eng.metrics();
+        assert_eq!(m.delivered_cells, 3);
+        let ids: Vec<u64> = m.flows.iter().map(|f| f.id.0).collect();
+        assert_eq!(ids, vec![10, 20, 30]);
+        assert!(m.flows.iter().all(|f| f.max_hops == 1));
+    }
+
+    #[test]
     #[should_panic(expected = "same nodes")]
     fn schedule_swap_rejects_size_change() {
         let a = round_robin(4).unwrap();
@@ -941,7 +1024,7 @@ mod tests {
         let sum: u64 = m.link_transmissions.values().sum();
         assert_eq!(sum, m.transmissions);
         // Direct routing: only (s, s+2) links carry traffic.
-        for &(a, b) in m.link_transmissions.keys() {
+        for (a, b) in m.link_transmissions.keys() {
             assert_eq!((a + 2) % 6, b);
         }
         // Symmetric load: CV 0.

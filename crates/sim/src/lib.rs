@@ -38,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+mod calendar;
 mod cell;
 mod config;
 mod engine;
@@ -56,7 +57,7 @@ pub use failure::FailureSet;
 pub use fault::{
     FaultAction, FaultEvent, FaultPlan, FaultStorm, FaultTarget, FaultView, LinkHealth,
 };
-pub use metrics::{FlowRecord, LatencyHistogram, Metrics};
+pub use metrics::{FlowRecord, LatencyHistogram, LinkMatrix, Metrics};
 pub use probe::{NoopProbe, Probe, SlotView};
 pub use profiler::{NoopProfiler, Phase, PhaseSpan, Profiler};
 pub use queues::NodeQueues;

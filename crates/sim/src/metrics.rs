@@ -133,6 +133,116 @@ impl LatencyHistogram {
     }
 }
 
+/// Dense per-directed-link transmission counts.
+///
+/// A flat `n × n` matrix indexed by `(src, dst)` — the transmit hot
+/// path increments one array slot instead of hashing a link key. The
+/// matrix grows on demand when a larger node id appears (hand-built
+/// metrics); the engine pre-sizes it to the network, so the hot path
+/// never reallocates. Accessors mirror the map API this replaced and
+/// expose only links with a nonzero count, preserving the semantics of
+/// [`Metrics::link_load_cv`] and [`Metrics::hottest_links`].
+#[derive(Debug, Clone, Default)]
+pub struct LinkMatrix {
+    n: u32,
+    counts: Vec<u64>,
+    nonzero: usize,
+}
+
+impl LinkMatrix {
+    /// Creates a matrix pre-sized for node ids `0..n`.
+    pub fn with_nodes(n: usize) -> Self {
+        LinkMatrix {
+            n: n as u32,
+            counts: vec![0; n * n],
+            nonzero: 0,
+        }
+    }
+
+    fn index(&self, src: u32, dst: u32) -> usize {
+        src as usize * self.n as usize + dst as usize
+    }
+
+    fn grow_to(&mut self, need: u32) {
+        let old_n = self.n as usize;
+        let new_n = need as usize;
+        let mut counts = vec![0u64; new_n * new_n];
+        for src in 0..old_n {
+            counts[src * new_n..src * new_n + old_n]
+                .copy_from_slice(&self.counts[src * old_n..(src + 1) * old_n]);
+        }
+        self.counts = counts;
+        self.n = need;
+    }
+
+    /// Counts one transmission on `src → dst` (the hot path).
+    #[inline]
+    pub fn record(&mut self, src: u32, dst: u32) {
+        if src >= self.n || dst >= self.n {
+            self.grow_to(src.max(dst) + 1);
+        }
+        let i = self.index(src, dst);
+        if self.counts[i] == 0 {
+            self.nonzero += 1;
+        }
+        self.counts[i] += 1;
+    }
+
+    /// Sets a link's count outright (building metrics by hand).
+    pub fn insert(&mut self, link: (u32, u32), count: u64) {
+        let (src, dst) = link;
+        if src >= self.n || dst >= self.n {
+            self.grow_to(src.max(dst) + 1);
+        }
+        let i = self.index(src, dst);
+        match (self.counts[i] == 0, count == 0) {
+            (true, false) => self.nonzero += 1,
+            (false, true) => self.nonzero -= 1,
+            _ => {}
+        }
+        self.counts[i] = count;
+    }
+
+    /// The count on one directed link.
+    pub fn get(&self, link: (u32, u32)) -> u64 {
+        let (src, dst) = link;
+        if src >= self.n || dst >= self.n {
+            return 0;
+        }
+        self.counts[self.index(src, dst)]
+    }
+
+    /// Number of links with a nonzero count.
+    pub fn len(&self) -> usize {
+        self.nonzero
+    }
+
+    /// True when no link has transmitted.
+    pub fn is_empty(&self) -> bool {
+        self.nonzero == 0
+    }
+
+    /// Links with a nonzero count, ascending by `(src, dst)`.
+    pub fn iter(&self) -> impl Iterator<Item = ((u32, u32), u64)> + '_ {
+        let n = self.n;
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(move |(i, &c)| (((i as u32) / n, (i as u32) % n), c))
+    }
+
+    /// Nonzero link keys, ascending.
+    pub fn keys(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.iter().map(|(l, _)| l)
+    }
+
+    /// Nonzero counts, in key order.
+    pub fn values(&self) -> impl Iterator<Item = u64> + '_ {
+        self.iter().map(|(_, c)| c)
+    }
+}
+
 /// Aggregated counters for a run.
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
@@ -163,7 +273,7 @@ pub struct Metrics {
     /// plus cells a fault-aware router sheds toward a failed destination.
     pub dropped_cells: u64,
     /// Transmissions per directed virtual link `(src, dst)`.
-    pub link_transmissions: std::collections::HashMap<(u32, u32), u64>,
+    pub link_transmissions: LinkMatrix,
     /// Cells still queued at `Engine::finish` that cannot make progress:
     /// their destination is failed, or they wait on a specific next hop
     /// whose circuit is down.
@@ -251,11 +361,7 @@ impl Metrics {
     /// The `k` busiest directed links with their transmission counts,
     /// descending (ties broken by link id for determinism).
     pub fn hottest_links(&self, k: usize) -> Vec<((u32, u32), u64)> {
-        let mut v: Vec<((u32, u32), u64)> = self
-            .link_transmissions
-            .iter()
-            .map(|(&l, &c)| (l, c))
-            .collect();
+        let mut v: Vec<((u32, u32), u64)> = self.link_transmissions.iter().collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         v.truncate(k);
         v
@@ -279,7 +385,7 @@ impl Metrics {
         let var = self
             .link_transmissions
             .values()
-            .map(|&c| {
+            .map(|c| {
                 let d = c as f64 - mean;
                 d * d
             })
@@ -442,6 +548,25 @@ mod tests {
         assert!(even.link_load_cv() < 1e-12);
         // Empty map: 0.
         assert_eq!(Metrics::default().link_load_cv(), 0.0);
+    }
+
+    #[test]
+    fn link_matrix_grows_and_tracks_nonzero() {
+        let mut m = LinkMatrix::default();
+        m.record(0, 1);
+        m.record(5, 3); // auto-grow past both node ids
+        m.record(0, 1);
+        assert_eq!(m.get((0, 1)), 2);
+        assert_eq!(m.get((5, 3)), 1);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![((0, 1), 2), ((5, 3), 1)]);
+        // Zeroing a link removes it from the nonzero view.
+        m.insert((0, 1), 0);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get((0, 1)), 0);
+        // Out-of-range links read as zero without growing.
+        assert_eq!(m.get((99, 99)), 0);
+        assert!(!m.is_empty());
     }
 
     #[test]

@@ -5,26 +5,50 @@
 //! the node serves the specific queue for `w` first — targeted traffic has
 //! strict priority, as in RotorLB-style designs — then scans class queues
 //! in the router's priority order for a cell whose constraints admit `w`.
+//!
+//! Both queue families are dense and index-addressed: specific queues
+//! are a `Vec` indexed by next-hop node id (allocated once at network
+//! size), and class pushes go through a precomputed `ClassId → index`
+//! table — the transmit hot path never hashes and never scans for a
+//! class.
 
 use crate::cell::Cell;
 use crate::router::{ClassId, Router};
 use sorn_topology::NodeId;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+/// Sentinel in the class-index table for undeclared classes.
+const NO_CLASS: u16 = u16::MAX;
 
 /// The queue set of one node.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct NodeQueues {
-    specific: HashMap<u32, VecDeque<Cell>>,
+    /// One FIFO per possible next hop, indexed by node id.
+    specific: Vec<VecDeque<Cell>>,
     class: Vec<(ClassId, VecDeque<Cell>)>,
+    /// Maps `ClassId.0` to an index into `class`; `NO_CLASS` when
+    /// undeclared.
+    class_index: Vec<u16>,
+    /// Scratch for the order-preserving class scan (reused, empty
+    /// between calls).
+    scratch: Vec<Cell>,
     depth: usize,
 }
 
 impl NodeQueues {
-    /// Creates queues for a node, with one class FIFO per router class.
-    pub fn new(classes: &[ClassId]) -> Self {
+    /// Creates queues for a node in an `n`-node network, with one class
+    /// FIFO per router class.
+    pub fn new(n: usize, classes: &[ClassId]) -> Self {
+        let table_len = classes.iter().map(|c| c.0 as usize + 1).max().unwrap_or(0);
+        let mut class_index = vec![NO_CLASS; table_len];
+        for (i, c) in classes.iter().enumerate() {
+            class_index[c.0 as usize] = i as u16;
+        }
         NodeQueues {
-            specific: HashMap::new(),
+            specific: (0..n).map(|_| VecDeque::new()).collect(),
             class: classes.iter().map(|&c| (c, VecDeque::new())).collect(),
+            class_index,
+            scratch: Vec::new(),
             depth: 0,
         }
     }
@@ -43,7 +67,7 @@ impl NodeQueues {
 
     /// Enqueues a cell destined for a specific next hop.
     pub fn push_specific(&mut self, next: NodeId, cell: Cell) {
-        self.specific.entry(next.0).or_default().push_back(cell);
+        self.specific[next.index()].push_back(cell);
         self.depth += 1;
     }
 
@@ -52,12 +76,13 @@ impl NodeQueues {
     /// # Panics
     /// Panics if the router never declared `class` — that is a scheme bug.
     pub fn push_class(&mut self, class: ClassId, cell: Cell) {
-        let q = self
-            .class
-            .iter_mut()
-            .find(|(c, _)| *c == class)
+        let idx = self
+            .class_index
+            .get(class.0 as usize)
+            .copied()
+            .filter(|&i| i != NO_CLASS)
             .unwrap_or_else(|| panic!("router routed into undeclared class {class:?}"));
-        q.1.push_back(cell);
+        self.class[idx as usize].1.push_back(cell);
         self.depth += 1;
     }
 
@@ -65,7 +90,9 @@ impl NodeQueues {
     ///
     /// `scan_limit` bounds how deep each class queue is searched for an
     /// admissible cell (`0` = unbounded). Head-of-line cells whose
-    /// constraints reject `to` are skipped, not dropped.
+    /// constraints reject `to` are skipped, not dropped — they are
+    /// rotated back to the front in their original order, so an
+    /// admissible pop costs O(cells scanned), not O(queue length).
     pub fn pop_for_circuit<R: Router + ?Sized>(
         &mut self,
         router: &R,
@@ -73,26 +100,33 @@ impl NodeQueues {
         to: NodeId,
         scan_limit: usize,
     ) -> Option<Cell> {
-        if let Some(q) = self.specific.get_mut(&to.0) {
-            if let Some(cell) = q.pop_front() {
-                self.depth -= 1;
-                return Some(cell);
-            }
+        if let Some(cell) = self.specific[to.index()].pop_front() {
+            self.depth -= 1;
+            return Some(cell);
         }
+        let scratch = &mut self.scratch;
         for (class, q) in &mut self.class {
             let limit = if scan_limit == 0 {
                 q.len()
             } else {
                 scan_limit.min(q.len())
             };
-            if let Some(pos) = q
-                .iter()
-                .take(limit)
-                .position(|cell| router.class_admits(*class, cell, from, to))
-            {
-                let cell = q.remove(pos).expect("position within bounds");
+            let mut admitted = None;
+            for _ in 0..limit {
+                let cell = q.pop_front().expect("limit <= len");
+                if router.class_admits(*class, &cell, from, to) {
+                    admitted = Some(cell);
+                    break;
+                }
+                scratch.push(cell);
+            }
+            // Skipped heads go back to the front, original order intact.
+            for cell in scratch.drain(..).rev() {
+                q.push_front(cell);
+            }
+            if admitted.is_some() {
                 self.depth -= 1;
-                return Some(cell);
+                return admitted;
             }
         }
         None
@@ -102,12 +136,8 @@ impl NodeQueues {
     /// update); returns the cells in an arbitrary but deterministic order.
     pub fn drain_all(&mut self) -> Vec<Cell> {
         let mut out = Vec::with_capacity(self.depth);
-        let mut keys: Vec<u32> = self.specific.keys().copied().collect();
-        keys.sort_unstable();
-        for k in keys {
-            if let Some(q) = self.specific.get_mut(&k) {
-                out.extend(q.drain(..));
-            }
+        for q in &mut self.specific {
+            out.extend(q.drain(..));
         }
         for (_, q) in &mut self.class {
             out.extend(q.drain(..));
@@ -122,7 +152,8 @@ impl NodeQueues {
     pub fn iter_cells(&self) -> impl Iterator<Item = (Option<NodeId>, &Cell)> {
         self.specific
             .iter()
-            .flat_map(|(&k, q)| q.iter().map(move |c| (Some(NodeId(k)), c)))
+            .enumerate()
+            .flat_map(|(k, q)| q.iter().map(move |c| (Some(NodeId(k as u32)), c)))
             .chain(
                 self.class
                     .iter()
@@ -132,15 +163,16 @@ impl NodeQueues {
 
     /// Number of cells queued for a specific next hop.
     pub fn specific_depth(&self, next: NodeId) -> usize {
-        self.specific.get(&next.0).map_or(0, |q| q.len())
+        self.specific.get(next.index()).map_or(0, |q| q.len())
     }
 
     /// Number of cells queued in a class.
     pub fn class_depth(&self, class: ClassId) -> usize {
-        self.class
-            .iter()
-            .find(|(c, _)| *c == class)
-            .map_or(0, |(_, q)| q.len())
+        self.class_index
+            .get(class.0 as usize)
+            .copied()
+            .filter(|&i| i != NO_CLASS)
+            .map_or(0, |i| self.class[i as usize].1.len())
     }
 }
 
@@ -148,6 +180,9 @@ impl NodeQueues {
 mod tests {
     use super::*;
     use crate::cell::FlowId;
+
+    /// Network size for the queue tests: node ids up to 9 appear.
+    const N: usize = 16;
 
     fn cell(dst: u32) -> Cell {
         Cell {
@@ -189,7 +224,7 @@ mod tests {
     #[test]
     fn specific_queue_has_priority() {
         let r = EvenClassRouter;
-        let mut q = NodeQueues::new(r.classes());
+        let mut q = NodeQueues::new(N, r.classes());
         q.push_class(ClassId(0), cell(9));
         q.push_specific(NodeId(2), cell(7));
         assert_eq!(q.depth(), 2);
@@ -202,7 +237,7 @@ mod tests {
     #[test]
     fn class_scan_skips_inadmissible_heads() {
         let r = EvenClassRouter;
-        let mut q = NodeQueues::new(r.classes());
+        let mut q = NodeQueues::new(N, r.classes());
         q.push_class(ClassId(0), cell(1)); // any cell; admissibility is on `to`
                                            // Circuit to odd node: class rejects.
         assert!(q.pop_for_circuit(&r, NodeId(0), NodeId(3), 0).is_none());
@@ -238,7 +273,7 @@ mod tests {
             }
         }
         let r = PickyRouter;
-        let mut q = NodeQueues::new(r.classes());
+        let mut q = NodeQueues::new(N, r.classes());
         q.push_class(ClassId(0), cell(5));
         q.push_class(ClassId(0), cell(6));
         // With scan limit 1 only the head (dst 5) is considered.
@@ -249,16 +284,58 @@ mod tests {
     }
 
     #[test]
+    fn skipped_heads_keep_their_order() {
+        let r = EvenClassRouter;
+        let mut q = NodeQueues::new(N, r.classes());
+        // Only `to` matters for admission, so track order via dst.
+        for d in [1, 3, 5, 7] {
+            q.push_class(ClassId(0), cell(d));
+        }
+        // Admissible circuit: the head (dst 1) pops first...
+        let got = q.pop_for_circuit(&r, NodeId(0), NodeId(2), 0).unwrap();
+        assert_eq!(got.dst, NodeId(1));
+        // ...and an inadmissible circuit in between must not reorder.
+        assert!(q.pop_for_circuit(&r, NodeId(0), NodeId(3), 0).is_none());
+        for want in [3, 5, 7] {
+            let got = q.pop_for_circuit(&r, NodeId(0), NodeId(2), 0).unwrap();
+            assert_eq!(got.dst, NodeId(want));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
     #[should_panic(expected = "undeclared class")]
     fn undeclared_class_panics() {
-        let mut q = NodeQueues::new(&[]);
+        let mut q = NodeQueues::new(N, &[]);
         q.push_class(ClassId(3), cell(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared class")]
+    fn undeclared_class_below_table_len_panics() {
+        // Class 2 is inside the index table (class 3 sizes it) but was
+        // never declared — the sentinel must still reject it.
+        let mut q = NodeQueues::new(N, &[ClassId(0), ClassId(3)]);
+        q.push_class(ClassId(2), cell(1));
+    }
+
+    #[test]
+    fn sparse_class_ids_resolve_through_the_table() {
+        let classes = [ClassId(7), ClassId(2)];
+        let mut q = NodeQueues::new(N, &classes);
+        q.push_class(ClassId(7), cell(1));
+        q.push_class(ClassId(2), cell(2));
+        q.push_class(ClassId(2), cell(3));
+        assert_eq!(q.class_depth(ClassId(7)), 1);
+        assert_eq!(q.class_depth(ClassId(2)), 2);
+        assert_eq!(q.class_depth(ClassId(0)), 0);
+        assert_eq!(q.depth(), 3);
     }
 
     #[test]
     fn drain_all_empties_everything() {
         let r = EvenClassRouter;
-        let mut q = NodeQueues::new(r.classes());
+        let mut q = NodeQueues::new(N, r.classes());
         q.push_specific(NodeId(1), cell(1));
         q.push_specific(NodeId(2), cell(2));
         q.push_class(ClassId(0), cell(3));
