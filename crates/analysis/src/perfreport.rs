@@ -14,6 +14,8 @@
 //!   "schema_version": 1,
 //!   "label": "ci",
 //!   "created_unix_s": 1754524800,
+//!   "jobs": 2,
+//!   "suite_wall_ns": 150000000,
 //!   "scenarios": [
 //!     {
 //!       "name": "fig2f_sorn",
@@ -87,6 +89,13 @@ pub struct BenchReport {
     pub label: String,
     /// Seconds since the Unix epoch when the report was created.
     pub created_unix_s: u64,
+    /// Worker threads the suite ran on (1 = sequential; reports from
+    /// before the field existed parse as 1).
+    pub jobs: u64,
+    /// Wall-clock nanoseconds for the whole suite, measured around the
+    /// scenario fan-out; 0 when unrecorded (older reports). With
+    /// `jobs > 1` this is smaller than the scenarios' summed `wall_ns`.
+    pub suite_wall_ns: u64,
     /// The suite's scenarios, in execution order.
     pub scenarios: Vec<ScenarioResult>,
 }
@@ -118,6 +127,8 @@ impl BenchReport {
         let _ = writeln!(out, "  \"schema_version\": {},", self.schema_version);
         let _ = writeln!(out, "  \"label\": {},", json_string(&self.label));
         let _ = writeln!(out, "  \"created_unix_s\": {},", self.created_unix_s);
+        let _ = writeln!(out, "  \"jobs\": {},", self.jobs);
+        let _ = writeln!(out, "  \"suite_wall_ns\": {},", self.suite_wall_ns);
         out.push_str("  \"scenarios\": [");
         for (i, s) in self.scenarios.iter().enumerate() {
             if i > 0 {
@@ -178,6 +189,16 @@ impl BenchReport {
             schema_version: obj.field("schema_version")?.u64("schema_version")?,
             label: obj.field("label")?.string("label")?,
             created_unix_s: obj.field("created_unix_s")?.u64("created_unix_s")?,
+            // Both fields postdate the first reports; absent means a
+            // sequential run that never recorded its suite wall time.
+            jobs: match obj.opt_field("jobs") {
+                Some(v) => v.u64("jobs")?,
+                None => 1,
+            },
+            suite_wall_ns: match obj.opt_field("suite_wall_ns") {
+                Some(v) => v.u64("suite_wall_ns")?,
+                None => 0,
+            },
             scenarios: obj
                 .field("scenarios")?
                 .array("scenarios")?
@@ -186,6 +207,18 @@ impl BenchReport {
                 .collect::<Result<_, _>>()?,
         };
         Ok(report)
+    }
+
+    /// Serial-sum-to-suite-wall speedup of the scenario fan-out:
+    /// `sum(scenario wall_ns) / suite_wall_ns`. `None` when the suite
+    /// wall time was never recorded. Sequential runs sit near 1.0;
+    /// `--jobs N` runs approach the parallelizable share of N.
+    pub fn aggregate_speedup(&self) -> Option<f64> {
+        if self.suite_wall_ns == 0 {
+            return None;
+        }
+        let serial: u64 = self.scenarios.iter().map(|s| s.wall_ns).sum();
+        Some(serial as f64 / self.suite_wall_ns as f64)
     }
 
     /// Checks the report satisfies the schema's invariants.
@@ -198,6 +231,9 @@ impl BenchReport {
         }
         if self.label.is_empty() {
             return Err("empty label".to_string());
+        }
+        if self.jobs == 0 {
+            return Err("jobs is 0".to_string());
         }
         if self.scenarios.is_empty() {
             return Err("no scenarios".to_string());
@@ -462,14 +498,17 @@ impl Json {
 /// Field lookup on a parsed object.
 trait Fields {
     fn field(&self, name: &str) -> Result<&Json, String>;
+    fn opt_field(&self, name: &str) -> Option<&Json>;
 }
 
 impl Fields for [(String, Json)] {
     fn field(&self, name: &str) -> Result<&Json, String> {
-        self.iter()
-            .find(|(k, _)| k == name)
-            .map(|(_, v)| v)
+        self.opt_field(name)
             .ok_or_else(|| format!("missing field {name:?}"))
+    }
+
+    fn opt_field(&self, name: &str) -> Option<&Json> {
+        self.iter().find(|(k, _)| k == name).map(|(_, v)| v)
     }
 }
 
@@ -652,6 +691,8 @@ mod tests {
             schema_version: SCHEMA_VERSION,
             label: "test".to_string(),
             created_unix_s: 1_754_524_800,
+            jobs: 2,
+            suite_wall_ns: 150_000_000,
             scenarios: vec![
                 ScenarioResult {
                     name: "fig2f_sorn".to_string(),
@@ -737,6 +778,35 @@ mod tests {
     #[test]
     fn file_name_embeds_the_label() {
         assert_eq!(sample().file_name(), "BENCH_test.json");
+    }
+
+    #[test]
+    fn reports_without_parallelism_fields_still_parse() {
+        // Reports written before `jobs` / `suite_wall_ns` existed must
+        // keep parsing (the committed baselines are such files).
+        let mut json = sample().to_json();
+        json = json
+            .lines()
+            .filter(|l| !l.contains("\"jobs\"") && !l.contains("\"suite_wall_ns\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = BenchReport::parse(&json).expect("parse legacy report");
+        assert_eq!(back.jobs, 1);
+        assert_eq!(back.suite_wall_ns, 0);
+        assert_eq!(back.aggregate_speedup(), None);
+        assert_eq!(back.validate(), Ok(()));
+    }
+
+    #[test]
+    fn aggregate_speedup_is_serial_sum_over_suite_wall() {
+        let r = sample();
+        // 120 ms + 80 ms of scenario work in a 150 ms suite.
+        let speedup = r.aggregate_speedup().expect("suite wall recorded");
+        assert!((speedup - 200.0 / 150.0).abs() < 1e-12);
+
+        let mut r = sample();
+        r.jobs = 0;
+        assert!(r.validate().is_err());
     }
 
     #[test]

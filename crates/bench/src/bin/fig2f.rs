@@ -7,14 +7,25 @@
 //!   of the constructed schedules, plus packet-level validation points
 //!   driven by pFabric web-search traffic ("real-world traffic \[2\]").
 
-use sorn_analysis::fig2f::{generate, validate_point, validate_point_traced, Fig2fParams};
+use sorn_analysis::fig2f::{
+    generate, validate_point, validate_point_traced, Fig2fParams, PacketValidation,
+};
 use sorn_analysis::render::{to_csv, TextTable};
 use sorn_analysis::timeseries;
-use sorn_bench::{header, TelemetryOpts};
+use sorn_bench::{header, run_jobs, take_jobs_flag, Task, TelemetryOpts};
 use sorn_telemetry::{read_jsonl, IntervalSampler, JsonlTraceSink};
 
 fn main() {
-    let telemetry = TelemetryOpts::from_env();
+    let parsed = take_jobs_flag(std::env::args().skip(1))
+        .and_then(|(jobs, rest)| TelemetryOpts::parse(rest).map(|t| (jobs, t)));
+    let (jobs, telemetry) = match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: fig2f [--jobs N] [--trace-out <path>] [--sample-interval-ns <n>]");
+            std::process::exit(2);
+        }
+    };
     header("Figure 2(f) — worst-case throughput vs locality ratio");
     let params = Fig2fParams::default();
     println!("network: {} nodes, {} cliques\n", params.n, params.cliques);
@@ -49,8 +60,18 @@ fn main() {
     header("Packet-level validation (pFabric web-search flows)");
     println!("offered load 0.3 per node; a load below r must drain:\n");
     let mut v = TextTable::new(&["x", "flows", "drained", "mean hops", "delivery fraction"]);
-    for &x in &[0.2, 0.56, 0.8] {
-        let p = validate_point(128, 8, x, 0.3, 2_000_000, 42).expect("validation point");
+    // The packet runs dominate the wall time and are independent seeded
+    // simulations — fan them out under --jobs; rows land in x order.
+    const POINTS: [f64; 3] = [0.2, 0.56, 0.8];
+    let tasks: Vec<Task<PacketValidation>> = POINTS
+        .iter()
+        .map(|&x| -> Task<PacketValidation> {
+            Box::new(move || {
+                validate_point(128, 8, x, 0.3, 2_000_000, 42).expect("validation point")
+            })
+        })
+        .collect();
+    for (x, p) in POINTS.iter().zip(run_jobs(jobs, tasks)) {
         v.row(vec![
             format!("{x:.2}"),
             p.flows.to_string(),

@@ -38,6 +38,76 @@ pub fn header(title: &str) {
     println!("==============================================================");
 }
 
+/// A unit of work for [`run_jobs`]: boxed so heterogeneous scenario
+/// closures fit one task list.
+pub type Task<T> = Box<dyn FnOnce() -> T + Send>;
+
+/// Runs `tasks` on up to `jobs` worker threads (std only, no external
+/// thread pool), returning results in the tasks' original order.
+///
+/// `jobs <= 1` — or a single task — runs everything inline on the
+/// caller's thread: exactly the code path the sequential binaries
+/// always had, so a `--jobs 1` run is trivially identical to the
+/// pre-parallel behavior. Workers pull tasks from a shared queue, so
+/// uneven task durations still keep all threads busy.
+pub fn run_jobs<T: Send>(jobs: usize, tasks: Vec<Task<T>>) -> Vec<T> {
+    if jobs <= 1 || tasks.len() <= 1 {
+        return tasks.into_iter().map(|t| t()).collect();
+    }
+    let n = tasks.len();
+    let queue: std::sync::Mutex<std::collections::VecDeque<(usize, Task<T>)>> =
+        std::sync::Mutex::new(tasks.into_iter().enumerate().collect());
+    let slots: Vec<std::sync::Mutex<Option<T>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..jobs.min(n) {
+            s.spawn(|| loop {
+                // Pop under the lock, run with it released.
+                let next = queue.lock().expect("task queue poisoned").pop_front();
+                let Some((i, task)) = next else { break };
+                *slots[i].lock().expect("result slot poisoned") = Some(task());
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot poisoned")
+                .expect("every task ran")
+        })
+        .collect()
+}
+
+/// Splits a `--jobs N` / `--jobs=N` flag out of an argument list,
+/// returning the worker count (default 1) and the remaining arguments
+/// for the binary's own parser.
+pub fn take_jobs_flag(
+    args: impl IntoIterator<Item = String>,
+) -> Result<(usize, Vec<String>), String> {
+    let mut jobs = 1usize;
+    let mut rest = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let value = if arg == "--jobs" {
+            it.next()
+                .ok_or_else(|| "--jobs needs a value".to_string())?
+        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+            v.to_string()
+        } else {
+            rest.push(arg);
+            continue;
+        };
+        jobs = value
+            .parse()
+            .map_err(|_| format!("--jobs: bad count {value:?}"))?;
+        if jobs == 0 {
+            return Err("--jobs must be at least 1".to_string());
+        }
+    }
+    Ok((jobs, rest))
+}
+
 /// Telemetry flags shared by the reproduction binaries.
 ///
 /// - `--trace-out <path>`: write a JSONL run trace (or, for the
@@ -125,6 +195,39 @@ mod tests {
     #[test]
     fn header_prints() {
         super::header("test");
+    }
+
+    fn squares(jobs: usize) -> Vec<usize> {
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..16)
+            .map(|i| -> Box<dyn FnOnce() -> usize + Send> { Box::new(move || i * i) })
+            .collect();
+        super::run_jobs(jobs, tasks)
+    }
+
+    #[test]
+    fn run_jobs_preserves_task_order() {
+        let want: Vec<usize> = (0..16).map(|i| i * i).collect();
+        assert_eq!(squares(1), want);
+        assert_eq!(squares(4), want);
+        // More workers than tasks is fine.
+        assert_eq!(squares(64), want);
+    }
+
+    #[test]
+    fn jobs_flag_parses_both_forms_and_passes_the_rest() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let (jobs, rest) =
+            super::take_jobs_flag(args(&["--jobs", "4", "--trace-out", "t"])).unwrap();
+        assert_eq!(jobs, 4);
+        assert_eq!(rest, args(&["--trace-out", "t"]));
+        let (jobs, rest) = super::take_jobs_flag(args(&["--jobs=2"])).unwrap();
+        assert_eq!(jobs, 2);
+        assert!(rest.is_empty());
+        let (jobs, _) = super::take_jobs_flag(args(&[])).unwrap();
+        assert_eq!(jobs, 1);
+        assert!(super::take_jobs_flag(args(&["--jobs"])).is_err());
+        assert!(super::take_jobs_flag(args(&["--jobs", "0"])).is_err());
+        assert!(super::take_jobs_flag(args(&["--jobs", "many"])).is_err());
     }
 
     #[test]

@@ -1,25 +1,46 @@
 #!/usr/bin/env bash
-# CI perf smoke: build the perf harness, run the tiny scenario suite,
-# schema-check the emitted BENCH_ci.json, and exercise the baseline
-# comparison against the report we just produced (same machine, same
-# binary — must pass the regression gate).
+# CI perf smoke: build the perf harness, run the tiny scenario suite in
+# parallel, schema-check the emitted report, prove --jobs does not
+# change simulation results, and gate against the committed baseline.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
 echo "== build perf harness =="
 cargo build --release --bin perf
 
-echo "== tiny suite -> BENCH_ci.json =="
-./target/release/perf --tiny --label ci
+echo "== tiny suite, 2 jobs -> BENCH_ci.json =="
+./target/release/perf --tiny --label ci --jobs 2
 
 echo "== schema validation =="
 ./target/release/perf --validate BENCH_ci.json
 
-echo "== self-baseline comparison (must not regress) =="
+echo "== --jobs 2 must reproduce --jobs 1 per-scenario sim results =="
+# Per-scenario slots and delivered cells come from seeded simulations
+# and must be byte-identical at any job count; wall times, cells/sec,
+# and RSS are machine noise, so strip everything but the sim results.
+deterministic() {
+  grep -E '^\[[a-z0-9_]+\]' "$1" | awk '{
+    for (i = 1; i <= NF; i++) {
+      if ($i == "slots,") s = $(i - 1)
+      if ($i == "cells,") c = $(i - 1)
+    }
+    print $1, s, c
+  }'
+}
+./target/release/perf --tiny --label ci-j1 --jobs 1 --out-dir "$tmpdir" > "$tmpdir/j1.out"
+./target/release/perf --tiny --label ci-j2 --jobs 2 --out-dir "$tmpdir" > "$tmpdir/j2.out"
+diff <(deterministic "$tmpdir/j1.out") <(deterministic "$tmpdir/j2.out")
+echo "jobs=1 and jobs=2 agree on every scenario's slots and cells."
+
+echo "== committed-baseline comparison (must not regress) =="
 # Generous threshold: the tiny scenarios finish in milliseconds, so
-# run-to-run noise on shared CI runners is large. This exercises the
-# comparison path, not a real perf gate.
-./target/release/perf --tiny --label ci-rerun --baseline BENCH_ci.json --threshold 75
+# run-to-run noise across CI machines is large. This gates gross
+# regressions and exercises the comparison path.
+./target/release/perf --tiny --label ci-rerun --jobs 2 --out-dir "$tmpdir" \
+  --baseline results/bench_baseline.json --threshold 75
 
 echo "perf smoke passed."

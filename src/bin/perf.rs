@@ -16,20 +16,27 @@
 //! Usage:
 //!
 //! ```text
-//! perf [--label NAME] [--out-dir DIR] [--tiny]
+//! perf [--label NAME] [--out-dir DIR] [--tiny] [--jobs N]
 //!      [--baseline FILE] [--threshold PCT]
 //! perf --validate FILE
 //! ```
 //!
-//! `--tiny` shrinks every scenario for CI smoke runs. `--baseline`
-//! compares this run's cells/sec against a stored report and exits
-//! nonzero when any scenario slowed down by more than `--threshold`
-//! percent (default 25). `--validate` just schema-checks an existing
-//! report file.
+//! `--tiny` shrinks every scenario for CI smoke runs. `--jobs N` runs
+//! the scenarios on N worker threads; every scenario is self-contained
+//! and seeded, so its simulation metrics are identical at any job
+//! count, and the report records the suite wall time and aggregate
+//! speedup alongside each scenario's own wall time. (Under `--jobs > 1`
+//! the per-scenario cells/sec contend for cores and `peak_rss_bytes` —
+//! process-wide `VmHWM` — reflects the concurrent set, so record
+//! baselines with `--jobs 1`.) `--baseline` compares this run's
+//! cells/sec against a stored report and exits nonzero when any
+//! scenario slowed down by more than `--threshold` percent (default
+//! 25). `--validate` just schema-checks an existing report file.
 
 use sorn_analysis::perfreport::{
     compare, phases_from_profile, BenchReport, ScenarioResult, SCHEMA_VERSION,
 };
+use sorn_bench::{run_jobs, Task};
 use sorn_control::{ControlConfig, ControlLoop};
 use sorn_core::{SornConfig, SornNetwork};
 use sorn_routing::{FaultAwareSornRouter, VlbRouter};
@@ -44,7 +51,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-const USAGE: &str = "usage: perf [--label NAME] [--out-dir DIR] [--tiny] \
+const USAGE: &str = "usage: perf [--label NAME] [--out-dir DIR] [--tiny] [--jobs N] \
                      [--baseline FILE] [--threshold PCT] | perf --validate FILE";
 
 struct Opts {
@@ -53,6 +60,7 @@ struct Opts {
     baseline: Option<PathBuf>,
     threshold_pct: f64,
     tiny: bool,
+    jobs: usize,
     validate: Option<PathBuf>,
 }
 
@@ -63,6 +71,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         baseline: None,
         threshold_pct: 25.0,
         tiny: false,
+        jobs: 1,
         validate: None,
     };
     let mut i = 0;
@@ -89,6 +98,14 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                     .map_err(|_| "--threshold needs a number".to_string())?
             }
             "--tiny" => opts.tiny = true,
+            "--jobs" => {
+                opts.jobs = value(&mut i, "--jobs")?
+                    .parse()
+                    .map_err(|_| "--jobs needs a count".to_string())?;
+                if opts.jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+            }
             "--validate" => opts.validate = Some(PathBuf::from(value(&mut i, "--validate")?)),
             _ => return Err(format!("unknown flag {arg:?}")),
         }
@@ -119,12 +136,24 @@ fn main() -> ExitCode {
         opts.label,
         if opts.tiny { " [tiny]" } else { "" }
     );
-    let scenarios = vec![
-        fig2f_scale("fig2f_vlb", opts.tiny),
-        fig2f_scale("fig2f_sorn", opts.tiny),
-        resilience_storm(opts.tiny),
-        adaptation_sweep(opts.tiny),
+    // Each scenario is a self-contained closure (own workload, own
+    // seeded engine, own profiler), so the suite can fan out across
+    // worker threads; summaries are printed after the join, in suite
+    // order, so stdout is identical at any job count.
+    let tiny = opts.tiny;
+    let tasks: Vec<Task<(ScenarioResult, String)>> = vec![
+        Box::new(move || fig2f_scale("fig2f_vlb", tiny)),
+        Box::new(move || fig2f_scale("fig2f_sorn", tiny)),
+        Box::new(move || resilience_storm(tiny)),
+        Box::new(move || adaptation_sweep(tiny)),
     ];
+    let suite_start = Instant::now();
+    let outcomes = run_jobs(opts.jobs, tasks);
+    let suite_wall_ns = suite_start.elapsed().as_nanos().max(1) as u64;
+    let (scenarios, summaries): (Vec<ScenarioResult>, Vec<String>) = outcomes.into_iter().unzip();
+    for s in &summaries {
+        print!("{s}");
+    }
     let report = BenchReport {
         schema_version: SCHEMA_VERSION,
         label: opts.label.clone(),
@@ -132,8 +161,18 @@ fn main() -> ExitCode {
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
             .unwrap_or(0),
+        jobs: opts.jobs as u64,
+        suite_wall_ns,
         scenarios,
     };
+    let serial_ns: u64 = report.scenarios.iter().map(|s| s.wall_ns).sum();
+    println!(
+        "suite: {:.1} ms wall on {} job(s); scenario sum {:.1} ms; aggregate speedup {:.2}x",
+        suite_wall_ns as f64 / 1e6,
+        opts.jobs,
+        serial_ns as f64 / 1e6,
+        report.aggregate_speedup().unwrap_or(1.0),
+    );
     if let Err(e) = report.validate() {
         eprintln!("perf: produced an invalid report: {e}");
         return ExitCode::FAILURE;
@@ -207,7 +246,7 @@ fn scale_workload(n: usize, cliques: usize, duration_ns: u64) -> Vec<Flow> {
 
 /// One fig2f-scale run: the same workload through flat VLB
 /// (`fig2f_vlb`) or through SORN (`fig2f_sorn`), simulated to drain.
-fn fig2f_scale(name: &str, tiny: bool) -> ScenarioResult {
+fn fig2f_scale(name: &str, tiny: bool) -> (ScenarioResult, String) {
     let (n, cliques, duration_ns) = if tiny {
         (32, 4, 40_000)
     } else {
@@ -246,7 +285,7 @@ fn fig2f_scale(name: &str, tiny: bool) -> ScenarioResult {
 /// The §6 storm on the fault-aware SORN fabric: seeded MTBF/MTTR link
 /// and node outages plus a correlated port-group burst, over the
 /// resilience study's 32-node/4-clique fabric.
-fn resilience_storm(tiny: bool) -> ScenarioResult {
+fn resilience_storm(tiny: bool) -> (ScenarioResult, String) {
     const N: usize = 32;
     const CLIQUES: usize = 4;
     let duration_ns: u64 = if tiny { 100_000 } else { 400_000 };
@@ -323,7 +362,7 @@ fn resilience_storm(tiny: bool) -> ScenarioResult {
 /// §5 control-loop epochs across a macro-pattern shift. Each
 /// `end_epoch` (demand estimation, candidate search, install) is
 /// recorded as a `reconfigure` span; "cells" count epochs here.
-fn adaptation_sweep(tiny: bool) -> ScenarioResult {
+fn adaptation_sweep(tiny: bool) -> (ScenarioResult, String) {
     let (n, phases): (u32, Vec<(usize, Vec<Flow>)>) = if tiny {
         let n = 32u32;
         (
@@ -386,14 +425,17 @@ fn community_flows(n: u32, group: impl Fn(u32) -> u32, heavy: u64, light: u64) -
     flows
 }
 
-/// Packages one scenario's measurements and prints its summary.
+/// Packages one scenario's measurements and renders its summary text
+/// (returned, not printed: under `--jobs` the caller prints summaries
+/// after the join, in suite order).
 fn finish_scenario(
     name: &str,
     start: Instant,
     slots: u64,
     cells_delivered: u64,
     profiler: &WallClockProfiler,
-) -> ScenarioResult {
+) -> (ScenarioResult, String) {
+    use std::fmt::Write as _;
     let wall_ns = start.elapsed().as_nanos().max(1) as u64;
     let secs = wall_ns as f64 / 1e9;
     let profile = profiler.report();
@@ -407,7 +449,9 @@ fn finish_scenario(
         peak_rss_bytes: peak_rss_bytes(),
         phases: phases_from_profile(&profile),
     };
-    println!(
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
         "[{name}] {:.1} ms wall, {} slots, {} cells, {:.0} cells/s, peak RSS {:.1} MiB",
         wall_ns as f64 / 1e6,
         slots,
@@ -415,8 +459,8 @@ fn finish_scenario(
         result.cells_per_sec,
         result.peak_rss_bytes as f64 / (1024.0 * 1024.0),
     );
-    println!("{}", profile.render());
-    result
+    let _ = writeln!(text, "{}", profile.render());
+    (result, text)
 }
 
 /// Process peak resident set (`VmHWM`), in bytes; 0 where unavailable.

@@ -7,10 +7,12 @@
 //! set of links and nodes), with fault-aware routing detouring around
 //! dead circuits. The table reports goodput degradation while failed
 //! and time-to-recover after repairs, straight from the engine's
-//! metrics. Pass `--trace-out <file>` for per-scheme JSONL run traces.
+//! metrics. Pass `--trace-out <file>` for per-scheme JSONL run traces;
+//! `--jobs 2` runs the two fabrics on worker threads (each run is
+//! self-contained and seeded, so the table is identical either way).
 
 use sorn_analysis::resilience::{resilience_table, ResilienceRow};
-use sorn_bench::{header, TelemetryOpts};
+use sorn_bench::{header, run_jobs, take_jobs_flag, Task, TelemetryOpts};
 use sorn_control::{ControlConfig, ControlLoop, EpochOutcome};
 use sorn_routing::{FaultAwareSornRouter, FaultAwareVlbRouter};
 use sorn_sim::{
@@ -31,7 +33,7 @@ const BURST_FROM_NS: u64 = 200_000;
 const BURST_UNTIL_NS: u64 = 295_000;
 
 fn main() {
-    let telemetry = TelemetryOpts::from_env();
+    let (jobs, telemetry) = parse_args();
     header("Resilience: flat VLB vs modular SORN under one failure storm");
 
     let map = CliqueMap::contiguous(N, CLIQUES);
@@ -66,29 +68,40 @@ fn main() {
         "plus a correlated port-group burst at 4 clique-2 nodes ({BURST_FROM_NS}-{BURST_UNTIL_NS} ns)\n"
     );
 
-    let flat_health = LinkHealth::new();
-    let flat_router = FaultAwareVlbRouter::new(flat_health.clone());
-    let flat = run_scheme(
-        "flat-vlb",
-        &flat_sched,
-        &flat_router,
-        flat_health,
-        flows.clone(),
-        plan.clone(),
-        &telemetry,
-    );
-
-    let sorn_health = LinkHealth::new();
-    let sorn_router = FaultAwareSornRouter::new(map.clone(), sorn_health.clone());
-    let sorn = run_scheme(
-        "sorn",
-        &sorn_sched,
-        &sorn_router,
-        sorn_health,
-        flows.clone(),
-        plan,
-        &telemetry,
-    );
+    // Each scheme's closure owns everything it touches (schedule,
+    // router, health mirror, flows, plan), so the pair can run on
+    // worker threads; trace messages print after the join, in order.
+    let tasks: Vec<Task<(Metrics, Option<String>)>> = vec![
+        {
+            let (sched, flows, plan, telemetry) =
+                (flat_sched, flows.clone(), plan.clone(), telemetry.clone());
+            Box::new(move || {
+                let health = LinkHealth::new();
+                let router = FaultAwareVlbRouter::new(health.clone());
+                run_scheme("flat-vlb", &sched, &router, health, flows, plan, &telemetry)
+            })
+        },
+        {
+            let (sched, cliques, flows, plan, telemetry) = (
+                sorn_sched.clone(),
+                map.clone(),
+                flows.clone(),
+                plan,
+                telemetry.clone(),
+            );
+            Box::new(move || {
+                let health = LinkHealth::new();
+                let router = FaultAwareSornRouter::new(cliques, health.clone());
+                run_scheme("sorn", &sched, &router, health, flows, plan, &telemetry)
+            })
+        },
+    ];
+    let mut results = run_jobs(jobs, tasks).into_iter();
+    let (flat, flat_msg) = results.next().expect("flat-vlb result");
+    let (sorn, sorn_msg) = results.next().expect("sorn result");
+    for msg in [flat_msg, sorn_msg].into_iter().flatten() {
+        println!("{msg}");
+    }
 
     println!(
         "{}",
@@ -147,7 +160,8 @@ fn storm(map: &CliqueMap) -> FaultPlan {
 }
 
 /// Runs one scheme through the storm and returns its final metrics
-/// (stranded count included). With `--trace-out base.jsonl`, the run's
+/// (stranded count included) plus a trace-file message to print once
+/// every scheme has joined. With `--trace-out base.jsonl`, the run's
 /// trace lands in `base.<scheme>.jsonl`.
 fn run_scheme(
     scheme: &str,
@@ -157,7 +171,7 @@ fn run_scheme(
     flows: Vec<Flow>,
     plan: FaultPlan,
     telemetry: &TelemetryOpts,
-) -> Metrics {
+) -> (Metrics, Option<String>) {
     let cfg = SimConfig {
         seed: 42,
         ..SimConfig::default()
@@ -178,11 +192,11 @@ fn run_scheme(
         let mut metrics = eng.metrics().clone();
         metrics.stranded_cells = eng.count_stranded();
         let lines = eng.finish().into_sink().finish().expect("flush trace");
-        println!(
+        let msg = format!(
             "[{scheme}] wrote {lines} trace events to {}",
             path.display()
         );
-        metrics
+        (metrics, Some(msg))
     } else {
         let mut eng = Engine::new(cfg, schedule, router);
         eng.set_fault_plan(plan);
@@ -191,7 +205,24 @@ fn run_scheme(
         eng.run_slots(slots).expect("storm run");
         let mut metrics = eng.metrics().clone();
         metrics.stranded_cells = eng.count_stranded();
-        metrics
+        (metrics, None)
+    }
+}
+
+/// Parses `--jobs` plus the shared telemetry flags, exiting with a
+/// usage line on error.
+fn parse_args() -> (usize, TelemetryOpts) {
+    let parsed = take_jobs_flag(std::env::args().skip(1))
+        .and_then(|(jobs, rest)| TelemetryOpts::parse(rest).map(|t| (jobs, t)));
+    match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: resilience [--jobs N] [--trace-out <path>] [--sample-interval-ns <n>]"
+            );
+            std::process::exit(2);
+        }
     }
 }
 
