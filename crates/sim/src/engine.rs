@@ -21,6 +21,7 @@ use crate::cell::{Cell, Flow, FlowId};
 use crate::config::{Nanos, SimConfig};
 use crate::failure::FailureSet;
 use crate::fault::{FaultPlan, FaultView, LinkHealth};
+use crate::hash::FastHashBuilder;
 use crate::metrics::{FlowRecord, LinkMatrix, Metrics};
 use crate::probe::{NoopProbe, Probe, SlotView};
 use crate::profiler::{NoopProfiler, Phase, Profiler};
@@ -118,8 +119,9 @@ pub struct Engine<'a, P: Probe = NoopProbe, F: Profiler = NoopProfiler> {
     /// Active-flow slab; freed slots are reused via `active_free`.
     active: Vec<Option<ActiveFlow>>,
     active_free: Vec<usize>,
-    /// `FlowId → slab slot`, consulted once per delivered cell.
-    active_index: HashMap<FlowId, usize>,
+    /// `FlowId → slab slot`, consulted once per delivered cell (hence
+    /// the fast unkeyed hasher — ids are simulation-assigned).
+    active_index: HashMap<FlowId, usize, FastHashBuilder>,
     inflight: SlotCalendar<Arrival>,
     /// Cells sitting in node queues, maintained incrementally so
     /// `total_queued`/`is_drained` are O(1) (debug builds re-count).
@@ -196,7 +198,7 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
             injecting_flows: 0,
             active: Vec::new(),
             active_free: Vec::new(),
-            active_index: HashMap::new(),
+            active_index: HashMap::default(),
             inflight: SlotCalendar::new(delay_slots),
             queued_cells: 0,
             failures: FailureSet::none(),
@@ -406,7 +408,12 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
         // 3. Source NICs inject at line rate (uplinks cells per slot).
         // Not bracketed as a whole: each injected cell is timed inside
         // `route_cell`, and wrapping the loop too would double-count.
+        // The flow counter skips the per-node scan entirely during
+        // injection-free stretches (e.g. the drain tail of a run).
         for src in 0..self.queues.len() {
+            if self.injecting_flows == 0 {
+                break;
+            }
             let mut budget = self.cfg.uplinks;
             while budget > 0 {
                 let Some(&slot) = self.injecting[src].front() else {
@@ -438,15 +445,22 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
         // 4. Transmit one cell per uplink per node along the schedule.
         let transmit_span = self.profiler.span(Phase::Transmit);
         let period = self.schedule.period() as u64;
+        // Hoisted out of the per-node loop: the active matching (one
+        // `t % period` resolution per uplink instead of per port) and
+        // the all-healthy fast path (skips three hash probes per port
+        // when nothing has failed — the common case).
+        let schedule = self.schedule;
+        let healthy = self.failures.is_empty();
         for uplink in 0..self.cfg.uplinks {
             let offset = (uplink as u64 * period) / self.cfg.uplinks as u64;
             let t = self.slot + offset;
+            let matching = schedule.matching_at(t);
             for v in 0..self.queues.len() {
                 let v = NodeId(v as u32);
-                let Some(w) = self.schedule.dst_at(t, v) else {
+                let Some(w) = matching.dst_of(v) else {
                     continue; // idle port this slot
                 };
-                if !self.failures.circuit_up(v, w) {
+                if !healthy && !self.failures.circuit_up(v, w) {
                     continue;
                 }
                 match self.queues[v.index()].pop_for_circuit(

@@ -44,6 +44,7 @@ mod config;
 mod engine;
 mod failure;
 mod fault;
+mod hash;
 mod metrics;
 mod probe;
 mod profiler;

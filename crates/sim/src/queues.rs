@@ -100,6 +100,9 @@ impl NodeQueues {
         to: NodeId,
         scan_limit: usize,
     ) -> Option<Cell> {
+        if self.depth == 0 {
+            return None; // nothing queued anywhere on this node
+        }
         if let Some(cell) = self.specific[to.index()].pop_front() {
             self.depth -= 1;
             return Some(cell);
