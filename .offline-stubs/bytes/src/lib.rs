@@ -1,0 +1,1 @@
+//! Offline typecheck stub (unused in code).

@@ -1,0 +1,103 @@
+//! Offline typecheck stub for `criterion 0.5` — API subset, no timing.
+#![allow(clippy::new_without_default)]
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+
+pub struct Criterion;
+
+impl Criterion {
+    pub fn new() -> Self {
+        Criterion
+    }
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, _id: &str, mut f: F) -> &mut Self {
+        f(&mut Bencher);
+        self
+    }
+    pub fn benchmark_group(&mut self, _name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup(PhantomData)
+    }
+}
+
+pub struct BenchmarkGroup<'a>(PhantomData<&'a ()>);
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, _id: impl IdLike, mut f: F) -> &mut Self {
+        f(&mut Bencher);
+        self
+    }
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        _id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        f(&mut Bencher, input);
+        self
+    }
+    pub fn finish(self) {}
+}
+
+pub trait IdLike {}
+impl IdLike for BenchmarkId {}
+impl IdLike for &str {}
+
+pub struct Bencher;
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let _ = f();
+    }
+}
+
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct BenchmarkId;
+
+impl BenchmarkId {
+    pub fn new<P: Display>(_name: &str, _p: P) -> Self {
+        BenchmarkId
+    }
+    pub fn from_parameter<P: Display>(_p: P) -> Self {
+        BenchmarkId
+    }
+}
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::new();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let _ = $cfg;
+            let mut c = $crate::Criterion::new();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,143 @@
+//! Offline typecheck stub for `proptest 1`: the `proptest!` macro
+//! swallows its body (property tests are not typechecked offline), while
+//! the `Strategy` combinators used by helper functions outside the macro
+//! typecheck for real.
+
+use std::marker::PhantomData;
+
+#[macro_export]
+macro_rules! proptest {
+    ($($t:tt)*) => {};
+}
+
+/// Error type returned by `prop_assert!` helpers outside the macro.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError(reason.into())
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return Err($crate::TestCaseError::fail(format!("{:?} != {:?}", a, b)));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    }};
+}
+
+pub trait Strategy: Sized {
+    type Value;
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F, T> {
+        Map(self, f, PhantomData)
+    }
+}
+
+pub struct Map<S, F, T>(S, F, PhantomData<T>);
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F, T> {
+    type Value = T;
+}
+
+impl<T> Strategy for std::ops::Range<T> {
+    type Value = T;
+}
+
+impl<T> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+}
+
+pub struct VecStrategy<S>(S);
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+}
+
+pub mod collection {
+    pub fn vec<S, Z>(element: S, _size: Z) -> super::VecStrategy<S> {
+        super::VecStrategy(element)
+    }
+}
+
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Strategy for Any<T> {
+    type Value = T;
+}
+
+pub fn any<T>() -> Any<T> {
+    Any(PhantomData)
+}
+
+pub struct Just<T>(pub T);
+
+impl<T> Strategy for Just<T> {
+    type Value = T;
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+        }
+    };
+}
+
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Typechecks as the first arm's strategy; alternatives are discarded.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($first:expr $(, $rest:expr)* $(,)?) => {{
+        $(let _ = $rest;)*
+        $first
+    }};
+}
+
+pub mod option {
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: super::Strategy> super::Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+    }
+
+    pub fn of<S>(strategy: S) -> OptionStrategy<S> {
+        OptionStrategy(strategy)
+    }
+}
+
+pub mod prelude {
+    pub use crate::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+    pub use crate::{any, Just, Strategy};
+}

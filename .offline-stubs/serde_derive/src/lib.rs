@@ -1,0 +1,14 @@
+//! Offline typecheck stub: no-op serde derives (traits are blanket-impl'd
+//! in the stub `serde`, so the derive needs to emit nothing).
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
