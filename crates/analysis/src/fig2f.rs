@@ -85,7 +85,9 @@ pub struct PacketValidation {
 
 /// Packet-simulates one Figure 2(f) point with pFabric web-search flows
 /// at the given offered load, checking that a load below the predicted
-/// throughput drains.
+/// throughput drains. `engine_threads` shards the engine's slot phases
+/// (`1` = serial path; any value is bit-identical).
+#[allow(clippy::too_many_arguments)]
 pub fn validate_point(
     n: usize,
     cliques: usize,
@@ -93,8 +95,19 @@ pub fn validate_point(
     load: f64,
     duration_ns: u64,
     seed: u64,
+    engine_threads: usize,
 ) -> Result<PacketValidation, SimError> {
-    validate_point_traced(n, cliques, x, load, duration_ns, seed, NoopProbe).map(|(v, _, _)| v)
+    validate_point_traced(
+        n,
+        cliques,
+        x,
+        load,
+        duration_ns,
+        seed,
+        engine_threads,
+        NoopProbe,
+    )
+    .map(|(v, _, _)| v)
 }
 
 /// Like [`validate_point`], but with a telemetry probe observing the
@@ -109,10 +122,12 @@ pub fn validate_point_traced<P: Probe>(
     load: f64,
     duration_ns: u64,
     seed: u64,
+    engine_threads: usize,
     probe: P,
 ) -> Result<(PacketValidation, Metrics, P), SimError> {
     let mut cfg = SornConfig::small(n, cliques, x);
     cfg.q = Some(sorn_topology::Ratio::approximate(model::ideal_q(x), 64));
+    cfg.engine_threads = engine_threads;
     let net = SornNetwork::build(cfg).expect("valid point config");
     let map = net.cliques().clone();
 
@@ -184,7 +199,9 @@ mod tests {
 
     #[test]
     fn packet_validation_drains_below_capacity() {
-        let v = validate_point(16, 4, 0.5, 0.2, 200_000, 7).unwrap();
+        let v = validate_point(16, 4, 0.5, 0.2, 200_000, 7, 1).unwrap();
+        // The sharded engine must reproduce the serial run bit-for-bit.
+        assert_eq!(validate_point(16, 4, 0.5, 0.2, 200_000, 7, 2).unwrap(), v);
         assert!(v.drained, "load 0.2 below r=0.4 must drain: {v:?}");
         assert!(v.flows > 0);
         assert!(v.mean_hops > 1.0 && v.mean_hops <= 3.0);

@@ -15,6 +15,7 @@
 //!   "label": "ci",
 //!   "created_unix_s": 1754524800,
 //!   "jobs": 2,
+//!   "engine_threads": 1,
 //!   "suite_wall_ns": 150000000,
 //!   "scenarios": [
 //!     {
@@ -92,6 +93,11 @@ pub struct BenchReport {
     /// Worker threads the suite ran on (1 = sequential; reports from
     /// before the field existed parse as 1).
     pub jobs: u64,
+    /// Per-simulation engine threads (`SimConfig::engine_threads`) the
+    /// scenarios ran with (1 = serial engine; reports from before the
+    /// field existed parse as 1). Orthogonal to `jobs`: `jobs`
+    /// parallelizes across scenarios, `engine_threads` inside each one.
+    pub engine_threads: u64,
     /// Wall-clock nanoseconds for the whole suite, measured around the
     /// scenario fan-out; 0 when unrecorded (older reports). With
     /// `jobs > 1` this is smaller than the scenarios' summed `wall_ns`.
@@ -128,6 +134,7 @@ impl BenchReport {
         let _ = writeln!(out, "  \"label\": {},", json_string(&self.label));
         let _ = writeln!(out, "  \"created_unix_s\": {},", self.created_unix_s);
         let _ = writeln!(out, "  \"jobs\": {},", self.jobs);
+        let _ = writeln!(out, "  \"engine_threads\": {},", self.engine_threads);
         let _ = writeln!(out, "  \"suite_wall_ns\": {},", self.suite_wall_ns);
         out.push_str("  \"scenarios\": [");
         for (i, s) in self.scenarios.iter().enumerate() {
@@ -195,6 +202,10 @@ impl BenchReport {
                 Some(v) => v.u64("jobs")?,
                 None => 1,
             },
+            engine_threads: match obj.opt_field("engine_threads") {
+                Some(v) => v.u64("engine_threads")?,
+                None => 1,
+            },
             suite_wall_ns: match obj.opt_field("suite_wall_ns") {
                 Some(v) => v.u64("suite_wall_ns")?,
                 None => 0,
@@ -234,6 +245,9 @@ impl BenchReport {
         }
         if self.jobs == 0 {
             return Err("jobs is 0".to_string());
+        }
+        if self.engine_threads == 0 {
+            return Err("engine_threads is 0".to_string());
         }
         if self.scenarios.is_empty() {
             return Err("no scenarios".to_string());
@@ -692,6 +706,7 @@ mod tests {
             label: "test".to_string(),
             created_unix_s: 1_754_524_800,
             jobs: 2,
+            engine_threads: 1,
             suite_wall_ns: 150_000_000,
             scenarios: vec![
                 ScenarioResult {
@@ -787,11 +802,16 @@ mod tests {
         let mut json = sample().to_json();
         json = json
             .lines()
-            .filter(|l| !l.contains("\"jobs\"") && !l.contains("\"suite_wall_ns\""))
+            .filter(|l| {
+                !l.contains("\"jobs\"")
+                    && !l.contains("\"engine_threads\"")
+                    && !l.contains("\"suite_wall_ns\"")
+            })
             .collect::<Vec<_>>()
             .join("\n");
         let back = BenchReport::parse(&json).expect("parse legacy report");
         assert_eq!(back.jobs, 1);
+        assert_eq!(back.engine_threads, 1);
         assert_eq!(back.suite_wall_ns, 0);
         assert_eq!(back.aggregate_speedup(), None);
         assert_eq!(back.validate(), Ok(()));

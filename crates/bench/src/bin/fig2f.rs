@@ -12,17 +12,20 @@ use sorn_analysis::fig2f::{
 };
 use sorn_analysis::render::{to_csv, TextTable};
 use sorn_analysis::timeseries;
-use sorn_bench::{header, run_jobs, take_jobs_flag, Task, TelemetryOpts};
+use sorn_bench::{header, run_jobs, take_engine_threads_flag, take_jobs_flag, Task, TelemetryOpts};
 use sorn_telemetry::{read_jsonl, IntervalSampler, JsonlTraceSink};
 
 fn main() {
     let parsed = take_jobs_flag(std::env::args().skip(1))
-        .and_then(|(jobs, rest)| TelemetryOpts::parse(rest).map(|t| (jobs, t)));
-    let (jobs, telemetry) = match parsed {
+        .and_then(|(jobs, rest)| take_engine_threads_flag(rest).map(|(t, rest)| (jobs, t, rest)))
+        .and_then(|(jobs, threads, rest)| TelemetryOpts::parse(rest).map(|t| (jobs, threads, t)));
+    let (jobs, engine_threads, telemetry) = match parsed {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: fig2f [--jobs N] [--trace-out <path>] [--sample-interval-ns <n>]");
+            eprintln!(
+                "usage: fig2f [--jobs N] [--engine-threads N] [--trace-out <path>] [--sample-interval-ns <n>]"
+            );
             std::process::exit(2);
         }
     };
@@ -67,7 +70,8 @@ fn main() {
         .iter()
         .map(|&x| -> Task<PacketValidation> {
             Box::new(move || {
-                validate_point(128, 8, x, 0.3, 2_000_000, 42).expect("validation point")
+                validate_point(128, 8, x, 0.3, 2_000_000, 42, engine_threads)
+                    .expect("validation point")
             })
         })
         .collect();
@@ -89,7 +93,7 @@ fn main() {
         let sink = JsonlTraceSink::create(path).expect("create trace file");
         let sampler = IntervalSampler::new(sink, telemetry.sample_interval_ns);
         let (_, metrics, sampler) =
-            validate_point_traced(128, 8, 0.56, 0.3, 2_000_000, 42, sampler)
+            validate_point_traced(128, 8, 0.56, 0.3, 2_000_000, 42, engine_threads, sampler)
                 .expect("traced validation point");
         let lines = sampler.into_sink().finish().expect("flush trace");
 

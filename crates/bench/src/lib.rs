@@ -85,27 +85,51 @@ pub fn run_jobs<T: Send>(jobs: usize, tasks: Vec<Task<T>>) -> Vec<T> {
 pub fn take_jobs_flag(
     args: impl IntoIterator<Item = String>,
 ) -> Result<(usize, Vec<String>), String> {
-    let mut jobs = 1usize;
+    take_count_flag("--jobs", args)
+}
+
+/// Splits an `--engine-threads N` / `--engine-threads=N` flag out of an
+/// argument list, returning the per-simulation thread count (default 1,
+/// the serial engine path) and the remaining arguments.
+///
+/// `--jobs` parallelizes across scenarios; `--engine-threads` shards the
+/// slot phases *inside* one simulation (`SimConfig::engine_threads`).
+/// Both are bit-deterministic, so they compose freely — but on a small
+/// machine prefer `--jobs` until scenarios run out.
+pub fn take_engine_threads_flag(
+    args: impl IntoIterator<Item = String>,
+) -> Result<(usize, Vec<String>), String> {
+    take_count_flag("--engine-threads", args)
+}
+
+/// Shared parser behind [`take_jobs_flag`] and
+/// [`take_engine_threads_flag`]: extracts one positive-count flag,
+/// passing every other argument through untouched.
+fn take_count_flag(
+    name: &str,
+    args: impl IntoIterator<Item = String>,
+) -> Result<(usize, Vec<String>), String> {
+    let mut count = 1usize;
     let mut rest = Vec::new();
     let mut it = args.into_iter();
+    let prefix = format!("{name}=");
     while let Some(arg) = it.next() {
-        let value = if arg == "--jobs" {
-            it.next()
-                .ok_or_else(|| "--jobs needs a value".to_string())?
-        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+        let value = if arg == name {
+            it.next().ok_or_else(|| format!("{name} needs a value"))?
+        } else if let Some(v) = arg.strip_prefix(&prefix) {
             v.to_string()
         } else {
             rest.push(arg);
             continue;
         };
-        jobs = value
+        count = value
             .parse()
-            .map_err(|_| format!("--jobs: bad count {value:?}"))?;
-        if jobs == 0 {
-            return Err("--jobs must be at least 1".to_string());
+            .map_err(|_| format!("{name}: bad count {value:?}"))?;
+        if count == 0 {
+            return Err(format!("{name} must be at least 1"));
         }
     }
-    Ok((jobs, rest))
+    Ok((count, rest))
 }
 
 /// Telemetry flags shared by the reproduction binaries.
@@ -228,6 +252,23 @@ mod tests {
         assert!(super::take_jobs_flag(args(&["--jobs"])).is_err());
         assert!(super::take_jobs_flag(args(&["--jobs", "0"])).is_err());
         assert!(super::take_jobs_flag(args(&["--jobs", "many"])).is_err());
+    }
+
+    #[test]
+    fn engine_threads_flag_parses_and_composes_with_jobs() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let (threads, rest) =
+            super::take_engine_threads_flag(args(&["--engine-threads", "4", "--jobs", "2"]))
+                .unwrap();
+        assert_eq!(threads, 4);
+        let (jobs, rest) = super::take_jobs_flag(rest).unwrap();
+        assert_eq!(jobs, 2);
+        assert!(rest.is_empty());
+        let (threads, _) = super::take_engine_threads_flag(args(&["--engine-threads=2"])).unwrap();
+        assert_eq!(threads, 2);
+        let (threads, _) = super::take_engine_threads_flag(args(&[])).unwrap();
+        assert_eq!(threads, 1);
+        assert!(super::take_engine_threads_flag(args(&["--engine-threads", "0"])).is_err());
     }
 
     #[test]

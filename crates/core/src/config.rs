@@ -58,6 +58,10 @@ pub struct SornConfig {
     /// Which published δm formula the analysis uses for inter-clique
     /// latency (see `model` module docs).
     pub inter_latency_model: InterCliqueLatencyModel,
+    /// Threads the packet engine shards each slot across
+    /// (`SimConfig::engine_threads`); `1` is the serial path, and any
+    /// value yields bit-identical results.
+    pub engine_threads: usize,
 }
 
 impl SornConfig {
@@ -73,6 +77,7 @@ impl SornConfig {
             slot_ns: 100,
             propagation_ns: 500,
             inter_latency_model: InterCliqueLatencyModel::Table,
+            engine_threads: 1,
         }
     }
 
@@ -88,6 +93,7 @@ impl SornConfig {
             slot_ns: 100,
             propagation_ns: 500,
             inter_latency_model: InterCliqueLatencyModel::Table,
+            engine_threads: 1,
         }
     }
 

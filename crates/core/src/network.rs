@@ -175,6 +175,7 @@ impl SornNetwork {
             propagation_ns: self.config.propagation_ns,
             uplinks: self.config.uplinks,
             seed,
+            engine_threads: self.config.engine_threads,
             ..SimConfig::default()
         };
         let mut engine =

@@ -16,8 +16,8 @@ use crate::sorn::INTRA_SPRAY;
 use crate::vlb::VLB_SPRAY;
 use sorn_sim::{Cell, ClassId, RouteDecision, Router};
 use sorn_topology::{CliqueMap, NodeId};
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Tracks in-flight direct-queue occupancy per (node, next-hop).
 ///
@@ -49,7 +49,7 @@ impl ShadowCounts {
 pub struct AdaptiveVlbRouter {
     threshold: u64,
     classes: [ClassId; 1],
-    shadow: RefCell<ShadowCounts>,
+    shadow: Mutex<ShadowCounts>,
 }
 
 impl AdaptiveVlbRouter {
@@ -59,7 +59,7 @@ impl AdaptiveVlbRouter {
         AdaptiveVlbRouter {
             threshold,
             classes: [VLB_SPRAY],
-            shadow: RefCell::new(ShadowCounts::default()),
+            shadow: Mutex::new(ShadowCounts::default()),
         }
     }
 
@@ -70,24 +70,19 @@ impl AdaptiveVlbRouter {
 }
 
 impl Router for AdaptiveVlbRouter {
-    fn decide(
-        &self,
-        node: NodeId,
-        cell: &mut Cell,
-        _rng: &mut rand::rngs::StdRng,
-    ) -> RouteDecision {
+    fn decide(&self, node: NodeId, cell: &mut Cell, _rng: &mut sorn_sim::NodeRng) -> RouteDecision {
         if node == cell.dst {
             return RouteDecision::Deliver;
         }
         if cell.hops == 0 {
-            let mut shadow = self.shadow.borrow_mut();
+            let mut shadow = self.shadow.lock().expect("shadow counts poisoned");
             if shadow.depth(node, cell.dst) < self.threshold {
                 shadow.inc(node, cell.dst);
                 return RouteDecision::ToNode(cell.dst);
             }
             return RouteDecision::ToClass(VLB_SPRAY);
         }
-        let mut shadow = self.shadow.borrow_mut();
+        let mut shadow = self.shadow.lock().expect("shadow counts poisoned");
         shadow.inc(node, cell.dst);
         RouteDecision::ToNode(cell.dst)
     }
@@ -99,7 +94,10 @@ impl Router for AdaptiveVlbRouter {
     fn on_transmit(&self, cell: &mut Cell, from: NodeId, to: NodeId) {
         // A direct-queue cell leaves `from` toward its destination.
         if to == cell.dst {
-            self.shadow.borrow_mut().dec(from, cell.dst);
+            self.shadow
+                .lock()
+                .expect("shadow counts poisoned")
+                .dec(from, cell.dst);
         }
     }
 
@@ -126,7 +124,7 @@ pub struct AdaptiveSornRouter {
     cliques: CliqueMap,
     threshold: u64,
     classes: [ClassId; 1],
-    shadow: RefCell<ShadowCounts>,
+    shadow: Mutex<ShadowCounts>,
 }
 
 impl AdaptiveSornRouter {
@@ -140,7 +138,7 @@ impl AdaptiveSornRouter {
             cliques,
             threshold,
             classes: [INTRA_SPRAY],
-            shadow: RefCell::new(ShadowCounts::default()),
+            shadow: Mutex::new(ShadowCounts::default()),
         }
     }
 
@@ -152,12 +150,7 @@ impl AdaptiveSornRouter {
 }
 
 impl Router for AdaptiveSornRouter {
-    fn decide(
-        &self,
-        node: NodeId,
-        cell: &mut Cell,
-        _rng: &mut rand::rngs::StdRng,
-    ) -> RouteDecision {
+    fn decide(&self, node: NodeId, cell: &mut Cell, _rng: &mut sorn_sim::NodeRng) -> RouteDecision {
         if node == cell.dst {
             return RouteDecision::Deliver;
         }
@@ -170,7 +163,7 @@ impl Router for AdaptiveSornRouter {
             }
             if here == dest {
                 // Direct-first inside the clique.
-                let mut shadow = self.shadow.borrow_mut();
+                let mut shadow = self.shadow.lock().expect("shadow counts poisoned");
                 if shadow.depth(node, cell.dst) < self.threshold {
                     shadow.inc(node, cell.dst);
                     return RouteDecision::ToNode(cell.dst);
@@ -191,7 +184,10 @@ impl Router for AdaptiveSornRouter {
 
     fn on_transmit(&self, cell: &mut Cell, from: NodeId, to: NodeId) {
         if to == cell.dst && cell.hops == 0 {
-            self.shadow.borrow_mut().dec(from, cell.dst);
+            self.shadow
+                .lock()
+                .expect("shadow counts poisoned")
+                .dec(from, cell.dst);
         }
     }
 

@@ -48,12 +48,7 @@ impl FaultAwareVlbRouter {
 }
 
 impl Router for FaultAwareVlbRouter {
-    fn decide(
-        &self,
-        node: NodeId,
-        cell: &mut Cell,
-        _rng: &mut rand::rngs::StdRng,
-    ) -> RouteDecision {
+    fn decide(&self, node: NodeId, cell: &mut Cell, _rng: &mut sorn_sim::NodeRng) -> RouteDecision {
         if node == cell.dst {
             return RouteDecision::Deliver;
         }
@@ -149,12 +144,7 @@ impl FaultAwareSornRouter {
 }
 
 impl Router for FaultAwareSornRouter {
-    fn decide(
-        &self,
-        node: NodeId,
-        cell: &mut Cell,
-        _rng: &mut rand::rngs::StdRng,
-    ) -> RouteDecision {
+    fn decide(&self, node: NodeId, cell: &mut Cell, _rng: &mut sorn_sim::NodeRng) -> RouteDecision {
         if node == cell.dst {
             return RouteDecision::Deliver;
         }
@@ -215,8 +205,6 @@ impl Router for FaultAwareSornRouter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use sorn_sim::{Engine, FailureSet, FaultPlan, Flow, FlowId, SimConfig};
 
     fn cell(src: u32, dst: u32, hops: u8) -> Cell {
@@ -243,7 +231,7 @@ mod tests {
     fn vlb_detours_around_a_dead_direct_circuit() {
         let health = health_with(|f| f.fail_link(NodeId(3), NodeId(5)));
         let r = FaultAwareVlbRouter::new(health);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = sorn_sim::NodeRng::for_node(0, 0);
         let mut c = cell(0, 5, 1);
         // At node 3 the direct circuit is down: re-spray.
         assert_eq!(
@@ -267,7 +255,7 @@ mod tests {
     fn dead_destination_is_shed() {
         let health = health_with(|f| f.fail_node(NodeId(5)));
         let r = FaultAwareVlbRouter::new(health);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = sorn_sim::NodeRng::for_node(0, 0);
         let mut c = cell(0, 5, 0);
         assert_eq!(r.decide(NodeId(0), &mut c, &mut rng), RouteDecision::Drop);
     }
@@ -287,7 +275,7 @@ mod tests {
         let map = CliqueMap::contiguous(8, 2);
         let health = health_with(|f| f.fail_node(NodeId(7)));
         let r = FaultAwareSornRouter::new(map, health);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = sorn_sim::NodeRng::for_node(0, 0);
         let mut c = cell(0, 6, 1);
         // At node 3 the pinned gateway (7) is dead: re-spray in-clique.
         assert_eq!(
@@ -309,7 +297,7 @@ mod tests {
         let map = CliqueMap::contiguous(8, 2);
         let health = health_with(|f| f.fail_link(NodeId(5), NodeId(6)));
         let r = FaultAwareSornRouter::new(map, health);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = sorn_sim::NodeRng::for_node(0, 0);
         let mut c = cell(4, 6, 1);
         assert_eq!(
             r.decide(NodeId(5), &mut c, &mut rng),
@@ -403,7 +391,7 @@ mod tests {
         let map = CliqueMap::contiguous(8, 2);
         let r = FaultAwareSornRouter::new(map.clone(), LinkHealth::new());
         let base = crate::sorn::SornRouter::new(map);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = sorn_sim::NodeRng::for_node(0, 0);
         for (at, dst, hops) in [(0u32, 6u32, 0u8), (3, 6, 1), (7, 6, 2), (1, 3, 1)] {
             let mut a = cell(0, dst, hops);
             let mut b = cell(0, dst, hops);

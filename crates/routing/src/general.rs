@@ -40,12 +40,7 @@ impl GeneralSornRouter {
 }
 
 impl Router for GeneralSornRouter {
-    fn decide(
-        &self,
-        node: NodeId,
-        cell: &mut Cell,
-        _rng: &mut rand::rngs::StdRng,
-    ) -> RouteDecision {
+    fn decide(&self, node: NodeId, cell: &mut Cell, _rng: &mut sorn_sim::NodeRng) -> RouteDecision {
         if node == cell.dst {
             return RouteDecision::Deliver;
         }
@@ -172,11 +167,10 @@ mod tests {
 
     #[test]
     fn singleton_source_cliques_skip_the_spray() {
-        use rand::SeedableRng;
         let a = |c: u32| CliqueId(c);
         let map = CliqueMap::from_assignment(&[a(0), a(1), a(1), a(1)]);
         let r = GeneralSornRouter::new(map);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = sorn_sim::NodeRng::for_node(0, 0);
         let mut cell = Cell {
             flow: FlowId(0),
             seq: 0,

@@ -84,12 +84,7 @@ impl HdimRouter {
 }
 
 impl Router for HdimRouter {
-    fn decide(
-        &self,
-        node: NodeId,
-        cell: &mut Cell,
-        _rng: &mut rand::rngs::StdRng,
-    ) -> RouteDecision {
+    fn decide(&self, node: NodeId, cell: &mut Cell, _rng: &mut sorn_sim::NodeRng) -> RouteDecision {
         if node == cell.dst {
             return RouteDecision::Deliver;
         }
@@ -138,8 +133,6 @@ impl Router for HdimRouter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use sorn_sim::{Engine, Flow, FlowId, SimConfig};
     use sorn_topology::builders::hdim_orn;
 
@@ -170,7 +163,7 @@ mod tests {
     #[test]
     fn spray_tracks_dimensions_via_tag() {
         let r = HdimRouter::new(16, 2);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = sorn_sim::NodeRng::for_node(0, 0);
         let mut c = cell(0, 15);
         // Fresh cell: spray phase.
         assert_eq!(

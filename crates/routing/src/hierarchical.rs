@@ -38,12 +38,7 @@ impl HierarchicalRouter {
 }
 
 impl Router for HierarchicalRouter {
-    fn decide(
-        &self,
-        node: NodeId,
-        cell: &mut Cell,
-        _rng: &mut rand::rngs::StdRng,
-    ) -> RouteDecision {
+    fn decide(&self, node: NodeId, cell: &mut Cell, _rng: &mut sorn_sim::NodeRng) -> RouteDecision {
         if node == cell.dst {
             return RouteDecision::Deliver;
         }

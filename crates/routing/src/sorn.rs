@@ -55,12 +55,7 @@ impl SornRouter {
 }
 
 impl Router for SornRouter {
-    fn decide(
-        &self,
-        node: NodeId,
-        cell: &mut Cell,
-        _rng: &mut rand::rngs::StdRng,
-    ) -> RouteDecision {
+    fn decide(&self, node: NodeId, cell: &mut Cell, _rng: &mut sorn_sim::NodeRng) -> RouteDecision {
         if node == cell.dst {
             return RouteDecision::Deliver;
         }
@@ -109,8 +104,6 @@ impl Router for SornRouter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use sorn_sim::{Engine, Flow, FlowId, SimConfig};
     use sorn_topology::builders::{sorn_schedule, SornScheduleParams};
     use sorn_topology::Ratio;
@@ -136,7 +129,7 @@ mod tests {
         // Topology A, flow 0 -> 6: spray inside clique 0, inter link from
         // the intermediate (same intra index in clique 1), intra to 6.
         let r = router8();
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = sorn_sim::NodeRng::for_node(0, 0);
         let mut c = cell(0, 6, 0);
         assert_eq!(
             r.decide(NodeId(0), &mut c, &mut rng),
@@ -164,7 +157,7 @@ mod tests {
     fn alternate_paper_path_via_node_1() {
         // 0 -> 1 -> 4 -> 6 from the paper.
         let r = router8();
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = sorn_sim::NodeRng::for_node(0, 0);
         let mut c = cell(0, 6, 1);
         // Spray landed on node 1; its gateway to clique 1 is node 5?
         // intra index of 1 is 1 => member(clique 1, 1) = node 5.
@@ -237,7 +230,7 @@ mod tests {
     fn singleton_cliques_route_directly() {
         let map = CliqueMap::contiguous(4, 4);
         let r = SornRouter::new(map);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = sorn_sim::NodeRng::for_node(0, 0);
         let mut c = cell(0, 3, 0);
         // Gateway of node 0 toward clique 3 is node 3 itself.
         assert_eq!(

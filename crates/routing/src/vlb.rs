@@ -34,12 +34,7 @@ impl Default for VlbRouter {
 }
 
 impl Router for VlbRouter {
-    fn decide(
-        &self,
-        node: NodeId,
-        cell: &mut Cell,
-        _rng: &mut rand::rngs::StdRng,
-    ) -> RouteDecision {
+    fn decide(&self, node: NodeId, cell: &mut Cell, _rng: &mut sorn_sim::NodeRng) -> RouteDecision {
         if node == cell.dst {
             return RouteDecision::Deliver;
         }
@@ -73,8 +68,6 @@ impl Router for VlbRouter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use sorn_sim::{Engine, Flow, FlowId, SimConfig};
     use sorn_topology::builders::round_robin;
 
@@ -93,7 +86,7 @@ mod tests {
     #[test]
     fn decision_sequence_is_spray_then_direct() {
         let r = VlbRouter::new();
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = sorn_sim::NodeRng::for_node(0, 0);
         let mut c = cell(0, 5, 0);
         assert_eq!(
             r.decide(NodeId(0), &mut c, &mut rng),
@@ -113,7 +106,7 @@ mod tests {
     #[test]
     fn spray_can_land_on_destination_early() {
         let r = VlbRouter::new();
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = sorn_sim::NodeRng::for_node(0, 0);
         let mut c = cell(0, 5, 1);
         // After the spray hop landed exactly on the destination.
         assert_eq!(

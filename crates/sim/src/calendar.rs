@@ -19,7 +19,7 @@ use std::collections::VecDeque;
 /// A calendar queue whose items all mature a fixed `delay_slots` after
 /// they are pushed.
 #[derive(Debug, Clone)]
-pub(crate) struct SlotCalendar<T> {
+pub struct SlotCalendar<T> {
     buckets: Vec<VecDeque<T>>,
     /// Arrival slot of each bucket's current contents. Lets a drain
     /// that lags several ring revolutions behind still release buckets
@@ -36,7 +36,7 @@ impl<T> SlotCalendar<T> {
     /// Creates a calendar for items maturing `delay_slots` after their
     /// push slot (`delay_slots >= 1`: an item never matures in the slot
     /// it was sent).
-    pub(crate) fn new(delay_slots: u64) -> Self {
+    pub fn new(delay_slots: u64) -> Self {
         assert!(delay_slots >= 1, "cells cannot arrive in their send slot");
         SlotCalendar {
             buckets: (0..=delay_slots).map(|_| VecDeque::new()).collect(),
@@ -48,18 +48,18 @@ impl<T> SlotCalendar<T> {
     }
 
     /// Items not yet popped.
-    pub(crate) fn len(&self) -> usize {
+    pub fn len(&self) -> usize {
         self.count
     }
 
     /// True when nothing is in flight.
-    pub(crate) fn is_empty(&self) -> bool {
+    pub fn is_empty(&self) -> bool {
         self.count == 0
     }
 
     /// Enqueues an item sent in `now_slot`, maturing at
     /// `now_slot + delay_slots`.
-    pub(crate) fn push(&mut self, now_slot: u64, item: T) {
+    pub fn push(&mut self, now_slot: u64, item: T) {
         let arrival = now_slot + self.delay_slots;
         let idx = (arrival % self.buckets.len() as u64) as usize;
         debug_assert!(
@@ -79,7 +79,7 @@ impl<T> SlotCalendar<T> {
     /// arrival slot first, FIFO within a slot. Advances past empty
     /// buckets, so slots skipped by the caller are still drained in
     /// order (the drain-past-deadline path).
-    pub(crate) fn pop_due(&mut self, now_slot: u64) -> Option<T> {
+    pub fn pop_due(&mut self, now_slot: u64) -> Option<T> {
         if self.count == 0 {
             // Fast-forward over idle periods without touching buckets.
             self.head_slot = self.head_slot.max(now_slot + 1);

@@ -37,6 +37,11 @@ pub struct SimConfig {
     /// `0` means unbounded (the open-loop default for throughput
     /// studies). Finite caps enable loss experiments.
     pub node_queue_cap: usize,
+    /// Threads the engine shards each slot's routing and transmit work
+    /// across. `1` (the default) runs the classic inline path with no
+    /// worker pool; any value produces bit-identical results — per-node
+    /// RNG streams and node-ordered merges make parallelism invisible.
+    pub engine_threads: usize,
 }
 
 impl Default for SimConfig {
@@ -50,6 +55,7 @@ impl Default for SimConfig {
             max_hops: 16,
             class_scan_limit: 0,
             node_queue_cap: 0,
+            engine_threads: 1,
         }
     }
 }

@@ -6,10 +6,25 @@
 //! and are re-routed (or delivered) on arrival. Flow arrivals inject cells
 //! at source NICs at line rate.
 //!
-//! The engine is fully deterministic: a single seeded RNG drives every
-//! routing decision, nodes are visited in id order, and in-flight cells
-//! arrive in transmission order (the calendar ring preserves the
-//! `(arrival time, insertion sequence)` order a heap would impose).
+//! The engine is fully deterministic — and deterministically *parallel*.
+//! Routing randomness comes from per-node counter-based streams
+//! ([`crate::rng::NodeRng`]), so a decision depends only on the seed, the
+//! deciding node, and that node's decision count, never on cross-node
+//! interleaving. The two heavy passes of a slot are sharded by node:
+//!
+//! * **arrival routing** — due arrivals are grouped by arrival node and
+//!   routed node-ascending; queue pushes are node-local, while
+//!   deliveries and drops are buffered per shard and applied in node
+//!   order afterwards;
+//! * **the transmit walk** — each shard walks its node range across all
+//!   uplinks, popping node-local queues and buffering transmitted cells;
+//!   the buffers merge into the arrival calendar in node order, so the
+//!   canonical calendar order is `(node, uplink)`.
+//!
+//! Because every per-node mutation happens on the thread owning that
+//! node's shard and every cross-node effect is applied in a canonical
+//! node-ascending merge, a run with `SimConfig::engine_threads = k`
+//! is bit-identical to the serial run for any `k`.
 //!
 //! The hot path is built on dense, index-addressed state: per-next-hop
 //! queues indexed by node id, a flat per-link transmission matrix, a
@@ -23,16 +38,24 @@ use crate::failure::FailureSet;
 use crate::fault::{FaultPlan, FaultView, LinkHealth};
 use crate::hash::FastHashBuilder;
 use crate::metrics::{FlowRecord, LinkMatrix, Metrics};
+use crate::par::WorkerPool;
 use crate::probe::{NoopProbe, Probe, SlotView};
 use crate::profiler::{NoopProfiler, Phase, Profiler};
 use crate::queues::NodeQueues;
+use crate::rng::NodeRng;
 use crate::router::{RouteDecision, Router};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use sorn_topology::{CircuitSchedule, NodeId};
+use std::cell::Cell as MemoCell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::fmt;
+use std::sync::Mutex;
+
+/// Below this many due arrivals the pass runs inline even when a pool
+/// is attached — fan-out overhead would exceed the routing work. The
+/// inline path processes the identical canonical (node-ascending)
+/// order, so the cutover is invisible in the results.
+const PAR_MIN_ARRIVALS: usize = 64;
 
 /// Errors surfaced by a simulation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,13 +107,82 @@ struct ActiveFlow {
 /// An in-flight cell arriving at a node.
 ///
 /// Ordering lives in the calendar ring: cells transmitted in slot `s`
-/// all mature a fixed number of slots later and drain FIFO, which is
-/// exactly the `(at_ns, insertion seq)` order the old heap imposed.
+/// all mature a fixed number of slots later and drain FIFO in the
+/// canonical `(node, uplink)` transmit-merge order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Arrival {
     at_ns: Nanos,
     node: NodeId,
     cell: Cell,
+}
+
+/// Per-shard output of the sharded passes. Shards write only here (and
+/// into their own slice of node state); the engine folds the scratch
+/// back into global state in shard (= node) order.
+#[derive(Debug, Default)]
+struct ShardScratch {
+    /// Arrival pass: cells delivered at their destination, with the
+    /// arrival timestamp, in canonical node order.
+    deliveries: Vec<(Cell, Nanos)>,
+    /// Arrival pass: cells shed by the router or a full queue.
+    drops: Vec<(NodeId, Cell, Nanos)>,
+    /// Transmit pass: cells put on circuits, `(arrival node, cell)`,
+    /// in `(node, uplink)` order.
+    sent: Vec<(NodeId, Cell)>,
+    /// Net change to the global queued-cell count.
+    queued_delta: isize,
+    /// Net change to the incremental stranded-cell count (only
+    /// meaningful while tracking is active).
+    stranded_delta: i64,
+    transmissions: u64,
+    idle: u64,
+    /// Links whose count left zero in this shard's matrix band.
+    links_nonzero_delta: usize,
+    /// First hop-bound violation seen by this shard, in canonical order.
+    err: Option<SimError>,
+}
+
+impl ShardScratch {
+    /// Prepares the scratch for a pass; the event buffers were drained
+    /// by the previous merge and keep their capacity.
+    fn reset(&mut self) {
+        debug_assert!(self.deliveries.is_empty() && self.drops.is_empty() && self.sent.is_empty());
+        self.queued_delta = 0;
+        self.stranded_delta = 0;
+        self.transmissions = 0;
+        self.idle = 0;
+        self.links_nonzero_delta = 0;
+        self.err = None;
+    }
+}
+
+/// Memo for [`Engine::count_stranded`]: valid while the failure epoch
+/// matches and queue mutations have been tracked incrementally.
+#[derive(Debug, Clone, Copy, Default)]
+struct StrandedMemo {
+    valid: bool,
+    epoch: u64,
+    count: u64,
+}
+
+/// One shard of the arrival-routing pass: a contiguous node range with
+/// exclusive access to those nodes' queues, RNG streams, and arrival
+/// index lists.
+struct ArrivalShard<'w> {
+    base: usize,
+    queues: &'w mut [NodeQueues],
+    rngs: &'w mut [NodeRng],
+    lists: &'w mut [Vec<u32>],
+    out: &'w mut ShardScratch,
+}
+
+/// One shard of the transmit walk: a contiguous node range plus the
+/// matching band of link-matrix rows.
+struct TransmitShard<'w> {
+    base: usize,
+    queues: &'w mut [NodeQueues],
+    links: &'w mut [u64],
+    out: &'w mut ShardScratch,
 }
 
 /// The simulation engine.
@@ -106,6 +198,9 @@ pub struct Engine<'a, P: Probe = NoopProbe, F: Profiler = NoopProfiler> {
     schedule: &'a CircuitSchedule,
     router: &'a dyn Router,
     queues: Vec<NodeQueues>,
+    /// One decision stream per node; parallel shards borrow disjoint
+    /// ranges, so streams never contend and never reorder.
+    rngs: Vec<NodeRng>,
     /// Flows not yet arrived, sorted by arrival time; keys index
     /// `future_store`.
     future_flows: BinaryHeap<Reverse<(Nanos, u64)>>,
@@ -127,13 +222,31 @@ pub struct Engine<'a, P: Probe = NoopProbe, F: Profiler = NoopProfiler> {
     /// `total_queued`/`is_drained` are O(1) (debug builds re-count).
     queued_cells: usize,
     failures: FailureSet,
+    /// Bumped whenever the failure set may have changed (scripted
+    /// events, `failures_mut` borrows); stale epochs invalidate the
+    /// stranded memo.
+    failure_epoch: u64,
+    /// Incremental stranded-cell count; see [`Engine::count_stranded`].
+    stranded: MemoCell<StrandedMemo>,
     fault_plan: FaultPlan,
     fault_cursor: usize,
     health_mirror: Option<LinkHealth>,
     episode: EpisodeState,
-    rng: StdRng,
     metrics: Metrics,
     slot: u64,
+    /// Present when `cfg.engine_threads > 1`; `None` keeps every pass
+    /// on the caller's thread.
+    pool: Option<WorkerPool>,
+    /// Reusable per-shard scratch (one entry per shard in use).
+    shards: Vec<ShardScratch>,
+    /// Due arrivals drained from the calendar each slot (reused).
+    arrival_buf: Vec<Arrival>,
+    /// Per-node indices into `arrival_buf`, giving the canonical
+    /// node-grouped processing order (reused; cleared by the shards).
+    node_arrivals: Vec<Vec<u32>>,
+    /// Flow records completed during a merge, applied after the deliver
+    /// span closes (reused).
+    finished_flows: Vec<FlowRecord>,
     probe: P,
     profiler: F,
 }
@@ -185,7 +298,9 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
         // processed at the start of slot `s + delay_slots`.
         let delay_slots = (cfg.slot_ns + cfg.propagation_ns).div_ceil(cfg.slot_ns);
         Engine {
-            rng: StdRng::seed_from_u64(cfg.seed),
+            rngs: (0..n)
+                .map(|v| NodeRng::for_node(cfg.seed, v as u32))
+                .collect(),
             schedule,
             router,
             queues: (0..n)
@@ -202,6 +317,8 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
             inflight: SlotCalendar::new(delay_slots),
             queued_cells: 0,
             failures: FailureSet::none(),
+            failure_epoch: 0,
+            stranded: MemoCell::new(StrandedMemo::default()),
             fault_plan: FaultPlan::new(),
             fault_cursor: 0,
             health_mirror: None,
@@ -211,6 +328,11 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
                 ..Metrics::default()
             },
             slot: 0,
+            pool: (cfg.engine_threads > 1).then(|| WorkerPool::new(cfg.engine_threads)),
+            shards: Vec::new(),
+            arrival_buf: Vec::new(),
+            node_arrivals: vec![Vec::new(); n],
+            finished_flows: Vec::new(),
             probe,
             profiler,
             cfg,
@@ -274,6 +396,9 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
     /// republished until the next scripted event. Prefer
     /// [`Engine::set_fault_plan`] for timed failures.
     pub fn failures_mut(&mut self) -> &mut FailureSet {
+        // Conservatively assume the borrow mutates: a stale stranded
+        // memo is recomputed on the next query.
+        self.failure_epoch += 1;
         &mut self.failures
     }
 
@@ -363,11 +488,9 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
             self.apply_due_faults(now);
         }
 
-        // 1. Cells that have landed by the start of this slot.
-        while let Some(arrival) = self.inflight.pop_due(self.slot) {
-            debug_assert!(arrival.at_ns <= now, "calendar released a cell early");
-            self.handle_arrival(arrival)?;
-        }
+        // 1. Cells that have landed by the start of this slot, routed in
+        // canonical node order (sharded across the pool when present).
+        self.arrival_pass(now);
 
         // 2. Newly arrived flows begin injecting.
         let enqueue_span = self.profiler.span(Phase::Enqueue);
@@ -406,10 +529,10 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
         drop(enqueue_span);
 
         // 3. Source NICs inject at line rate (uplinks cells per slot).
-        // Not bracketed as a whole: each injected cell is timed inside
-        // `route_cell`, and wrapping the loop too would double-count.
-        // The flow counter skips the per-node scan entirely during
-        // injection-free stretches (e.g. the drain tail of a run).
+        // Stays serial: injection is node-local and cheap next to the
+        // sharded passes, and each injected cell is timed inside
+        // `route_cell`. The flow counter skips the per-node scan
+        // entirely during injection-free stretches.
         for src in 0..self.queues.len() {
             if self.injecting_flows == 0 {
                 break;
@@ -433,7 +556,7 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
                 let done_injecting = af.injected >= af.total_cells;
                 let flow_src = af.flow.src;
                 self.metrics.injected_cells += 1;
-                self.route_cell(flow_src, cell, now)?;
+                self.route_cell(flow_src, cell, now);
                 if done_injecting {
                     self.injecting[src].pop_front();
                     self.injecting_flows -= 1;
@@ -442,66 +565,21 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
             }
         }
 
-        // 4. Transmit one cell per uplink per node along the schedule.
-        let transmit_span = self.profiler.span(Phase::Transmit);
-        let period = self.schedule.period() as u64;
-        // Hoisted out of the per-node loop: the active matching (one
-        // `t % period` resolution per uplink instead of per port) and
-        // the all-healthy fast path (skips three hash probes per port
-        // when nothing has failed — the common case).
-        let schedule = self.schedule;
-        let healthy = self.failures.is_empty();
-        for uplink in 0..self.cfg.uplinks {
-            let offset = (uplink as u64 * period) / self.cfg.uplinks as u64;
-            let t = self.slot + offset;
-            let matching = schedule.matching_at(t);
-            for v in 0..self.queues.len() {
-                let v = NodeId(v as u32);
-                let Some(w) = matching.dst_of(v) else {
-                    continue; // idle port this slot
-                };
-                if !healthy && !self.failures.circuit_up(v, w) {
-                    continue;
-                }
-                match self.queues[v.index()].pop_for_circuit(
-                    self.router,
-                    v,
-                    w,
-                    self.cfg.class_scan_limit,
-                ) {
-                    Some(mut cell) => {
-                        self.queued_cells -= 1;
-                        self.router.on_transmit(&mut cell, v, w);
-                        cell.hops += 1;
-                        if cell.hops > self.router.max_hops() {
-                            return Err(SimError::HopBoundExceeded {
-                                flow: cell.flow,
-                                hops: cell.hops,
-                                bound: self.router.max_hops(),
-                            });
-                        }
-                        self.metrics.transmissions += 1;
-                        self.metrics.link_transmissions.record(v.0, w.0);
-                        let at_ns = now + self.cfg.slot_ns + self.cfg.propagation_ns;
-                        self.inflight.push(
-                            self.slot,
-                            Arrival {
-                                at_ns,
-                                node: w,
-                                cell,
-                            },
-                        );
-                    }
-                    None => self.metrics.idle_circuit_slots += 1,
-                }
-            }
-        }
-        drop(transmit_span);
+        // 4. Transmit one cell per uplink per node along the schedule,
+        // sharded by node; shard outputs merge in node order, giving
+        // the calendar its canonical `(node, uplink)` arrival order.
+        let transmit_err = self.transmit_pass(now);
 
         let queued = self.total_queued();
         self.metrics.peak_queue_depth = self.metrics.peak_queue_depth.max(queued);
         if !self.failures.is_empty() {
             self.metrics.failure_slots += 1;
+            // Keep the stranded gauge live while degraded: the first
+            // query after a failure-set change walks the queues, then
+            // the incremental count makes this O(1) per slot.
+            self.metrics.stranded_cells = self.count_stranded();
+        } else if self.metrics.stranded_cells != 0 {
+            self.metrics.stranded_cells = 0;
         }
         if let Some(restored_at) = self.episode.awaiting_recovery_since {
             if queued <= self.episode.onset_queued {
@@ -520,7 +598,225 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
             total_queued: queued,
             inflight_cells: self.inflight.len(),
         });
-        Ok(())
+        transmit_err
+    }
+
+    /// Drains due arrivals, groups them by arrival node, routes them
+    /// (inline or across the pool), and applies deliveries and drops in
+    /// canonical node order.
+    fn arrival_pass(&mut self, now: Nanos) {
+        let mut buf = std::mem::take(&mut self.arrival_buf);
+        debug_assert!(buf.is_empty());
+        while let Some(arrival) = self.inflight.pop_due(self.slot) {
+            debug_assert!(arrival.at_ns <= now, "calendar released a cell early");
+            buf.push(arrival);
+        }
+        if buf.is_empty() {
+            self.arrival_buf = buf;
+            return;
+        }
+        let track = self.stranded_tracking();
+        let n = self.queues.len();
+        let mut lists = std::mem::take(&mut self.node_arrivals);
+        for (i, a) in buf.iter().enumerate() {
+            lists[a.node.index()].push(i as u32);
+        }
+        let mut scratch = std::mem::take(&mut self.shards);
+        let shards_used;
+        {
+            let route_span = self.profiler.span(Phase::Route);
+            let router = self.router;
+            let cfg = &self.cfg;
+            let failures = &self.failures;
+            match &self.pool {
+                Some(pool) if buf.len() >= PAR_MIN_ARRIVALS && n > 1 => {
+                    let k = pool.threads().min(n);
+                    let chunk = n.div_ceil(k);
+                    shards_used = n.div_ceil(chunk);
+                    if scratch.len() < shards_used {
+                        scratch.resize_with(shards_used, ShardScratch::default);
+                    }
+                    let mut work: Vec<Mutex<Option<ArrivalShard<'_>>>> =
+                        Vec::with_capacity(shards_used);
+                    for (i, (((q, r), l), s)) in self
+                        .queues
+                        .chunks_mut(chunk)
+                        .zip(self.rngs.chunks_mut(chunk))
+                        .zip(lists.chunks_mut(chunk))
+                        .zip(scratch.iter_mut())
+                        .enumerate()
+                    {
+                        s.reset();
+                        work.push(Mutex::new(Some(ArrivalShard {
+                            base: i * chunk,
+                            queues: q,
+                            rngs: r,
+                            lists: l,
+                            out: s,
+                        })));
+                    }
+                    let buf_ref: &[Arrival] = &buf;
+                    pool.run(work.len(), &|i| {
+                        let mut shard = work[i]
+                            .lock()
+                            .expect("shard slot poisoned")
+                            .take()
+                            .expect("each shard is claimed once");
+                        run_arrival_shard(&mut shard, buf_ref, router, cfg, failures, track);
+                    });
+                }
+                _ => {
+                    shards_used = 1;
+                    if scratch.is_empty() {
+                        scratch.push(ShardScratch::default());
+                    }
+                    scratch[0].reset();
+                    let mut shard = ArrivalShard {
+                        base: 0,
+                        queues: &mut self.queues,
+                        rngs: &mut self.rngs,
+                        lists: &mut lists,
+                        out: &mut scratch[0],
+                    };
+                    run_arrival_shard(&mut shard, &buf, router, cfg, failures, track);
+                }
+            }
+            drop(route_span);
+        }
+
+        // Merge, in shard (= node) order: deliveries under the deliver
+        // span, completion records after it — flow bookkeeping and its
+        // probe hooks are not per-cell delivery work (BENCH once showed
+        // a 14x deliver-mean skew from exactly this misattribution).
+        let mut finished = std::mem::take(&mut self.finished_flows);
+        debug_assert!(finished.is_empty());
+        for s in &mut scratch[..shards_used] {
+            self.queued_cells = (self.queued_cells as isize + s.queued_delta) as usize;
+            if track {
+                self.stranded_adjust(s.stranded_delta);
+            }
+            for (cell, at_ns) in s.deliveries.drain(..) {
+                // One span per delivered cell, as on the inline path:
+                // `Deliver.calls` equals delivered cells either way.
+                let span = self.profiler.span(Phase::Deliver);
+                let record = self.apply_delivery(cell, at_ns);
+                drop(span);
+                if let Some(record) = record {
+                    finished.push(record);
+                }
+            }
+            for (node, cell, at_ns) in s.drops.drain(..) {
+                self.metrics.dropped_cells += 1;
+                self.probe.on_drop(&cell, node, at_ns);
+            }
+        }
+        for record in finished.drain(..) {
+            self.probe.on_flow_finish(&record, record.completion_ns);
+            self.metrics.flows.push(record);
+        }
+        self.finished_flows = finished;
+        buf.clear();
+        self.arrival_buf = buf;
+        self.node_arrivals = lists;
+        self.shards = scratch;
+    }
+
+    /// The transmit walk, sharded by node range; merges shard outputs
+    /// (calendar pushes, counters, first error) in node order.
+    fn transmit_pass(&mut self, now: Nanos) -> Result<(), SimError> {
+        let transmit_span = self.profiler.span(Phase::Transmit);
+        let track = self.stranded_tracking();
+        let n = self.queues.len();
+        let mut scratch = std::mem::take(&mut self.shards);
+        let shards_used;
+        {
+            let router = self.router;
+            let cfg = &self.cfg;
+            let failures = &self.failures;
+            let schedule = self.schedule;
+            let slot = self.slot;
+            match &self.pool {
+                Some(pool) if n > 1 => {
+                    let k = pool.threads().min(n);
+                    let chunk = n.div_ceil(k);
+                    shards_used = n.div_ceil(chunk);
+                    if scratch.len() < shards_used {
+                        scratch.resize_with(shards_used, ShardScratch::default);
+                    }
+                    let (mat_n, bands) = self.metrics.link_transmissions.row_bands_mut(chunk);
+                    debug_assert_eq!(mat_n, n, "link matrix must match the network size");
+                    let mut work: Vec<Mutex<Option<TransmitShard<'_>>>> =
+                        Vec::with_capacity(shards_used);
+                    for (i, ((q, band), s)) in self
+                        .queues
+                        .chunks_mut(chunk)
+                        .zip(bands)
+                        .zip(scratch.iter_mut())
+                        .enumerate()
+                    {
+                        s.reset();
+                        work.push(Mutex::new(Some(TransmitShard {
+                            base: i * chunk,
+                            queues: q,
+                            links: band,
+                            out: s,
+                        })));
+                    }
+                    pool.run(work.len(), &|i| {
+                        let mut shard = work[i]
+                            .lock()
+                            .expect("shard slot poisoned")
+                            .take()
+                            .expect("each shard is claimed once");
+                        run_transmit_shard(
+                            &mut shard, router, cfg, schedule, slot, failures, track, n,
+                        );
+                    });
+                }
+                _ => {
+                    shards_used = 1;
+                    if scratch.is_empty() {
+                        scratch.push(ShardScratch::default());
+                    }
+                    scratch[0].reset();
+                    let (mat_n, mut bands) = self.metrics.link_transmissions.row_bands_mut(n);
+                    debug_assert_eq!(mat_n, n, "link matrix must match the network size");
+                    let band = bands.next().expect("one full band");
+                    let mut shard = TransmitShard {
+                        base: 0,
+                        queues: &mut self.queues,
+                        links: band,
+                        out: &mut scratch[0],
+                    };
+                    run_transmit_shard(&mut shard, router, cfg, schedule, slot, failures, track, n);
+                }
+            }
+        }
+        let mut err = None;
+        let at_ns = now + self.cfg.slot_ns + self.cfg.propagation_ns;
+        for s in &mut scratch[..shards_used] {
+            self.queued_cells = (self.queued_cells as isize + s.queued_delta) as usize;
+            if track {
+                self.stranded_adjust(s.stranded_delta);
+            }
+            self.metrics.transmissions += s.transmissions;
+            self.metrics.idle_circuit_slots += s.idle;
+            self.metrics
+                .link_transmissions
+                .add_nonzero(s.links_nonzero_delta);
+            for (node, cell) in s.sent.drain(..) {
+                self.inflight.push(self.slot, Arrival { at_ns, node, cell });
+            }
+            if err.is_none() {
+                err = s.err.take();
+            }
+        }
+        self.shards = scratch;
+        drop(transmit_span);
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Applies every scripted fault event due by `now`, firing the
@@ -554,6 +850,7 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
             });
         }
         if applied {
+            self.failure_epoch += 1;
             if let Some(health) = &self.health_mirror {
                 health.publish(&self.failures);
             }
@@ -570,10 +867,38 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
     /// waiting on a specific next hop whose circuit is down. Class-queued
     /// cells with a live destination are not stranded — any admissible
     /// circuit can still carry them.
+    ///
+    /// The first call after a failure-set change walks every queued
+    /// cell; while the failure set is stable the count is maintained
+    /// incrementally on queue pushes and pops, so repeated calls (the
+    /// engine refreshes `Metrics::stranded_cells` every degraded slot)
+    /// are O(1). Within one failure epoch a queued cell's strandedness
+    /// is constant, which is what makes push/pop deltas sufficient;
+    /// debug builds assert the incremental count against the walk.
     pub fn count_stranded(&self) -> u64 {
         if self.failures.is_empty() {
             return 0;
         }
+        let memo = self.stranded.get();
+        if memo.valid && memo.epoch == self.failure_epoch {
+            debug_assert_eq!(
+                memo.count,
+                self.count_stranded_brute(),
+                "incremental stranded count must match the brute-force walk"
+            );
+            return memo.count;
+        }
+        let count = self.count_stranded_brute();
+        self.stranded.set(StrandedMemo {
+            valid: true,
+            epoch: self.failure_epoch,
+            count,
+        });
+        count
+    }
+
+    /// The O(queued cells) reference walk behind [`Engine::count_stranded`].
+    fn count_stranded_brute(&self) -> u64 {
         let mut stranded = 0u64;
         for (v, queues) in self.queues.iter().enumerate() {
             let v = NodeId(v as u32);
@@ -588,79 +913,119 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
         stranded
     }
 
-    /// Routes a cell sitting at `node` (either freshly injected or just
-    /// arrived off a circuit).
-    fn route_cell(&mut self, node: NodeId, mut cell: Cell, now: Nanos) -> Result<(), SimError> {
+    /// True when the stranded memo is live and per-push/pop deltas keep
+    /// it exact — i.e. a failure set is active and unchanged since the
+    /// memo was computed.
+    fn stranded_tracking(&self) -> bool {
+        let memo = self.stranded.get();
+        memo.valid && memo.epoch == self.failure_epoch && !self.failures.is_empty()
+    }
+
+    /// Folds a queue-mutation delta into the live stranded memo.
+    fn stranded_adjust(&self, delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        let mut memo = self.stranded.get();
+        debug_assert!(memo.valid && memo.epoch == self.failure_epoch);
+        memo.count = (memo.count as i64 + delta) as u64;
+        self.stranded.set(memo);
+    }
+
+    /// Drops the stranded memo outright (bulk queue surgery).
+    fn stranded_invalidate(&self) {
+        self.stranded.set(StrandedMemo::default());
+    }
+
+    /// Routes a cell sitting at `node` (freshly injected, or re-routed
+    /// after a schedule swap). Arrival-pass routing uses the sharded
+    /// equivalent, [`run_arrival_shard`].
+    fn route_cell(&mut self, node: NodeId, mut cell: Cell, now: Nanos) {
+        let router = self.router;
         // The phase is only known once the decision is in: terminal
         // decisions count as Deliver, everything else as Route.
         let mut span = self.profiler.span(Phase::Route);
-        match self.router.decide(node, &mut cell, &mut self.rng) {
+        match router.decide(node, &mut cell, &mut self.rngs[node.index()]) {
             RouteDecision::Deliver => {
                 span.set_phase(Phase::Deliver);
-                debug_assert_eq!(node, cell.dst, "router delivered at the wrong node");
-                let latency = now.saturating_sub(cell.injected_ns);
-                self.metrics
-                    .on_delivered(cell.hops, latency, self.cfg.cell_bytes);
-                if !self.failures.is_empty() {
-                    self.metrics.delivered_during_failure += 1;
+                let record = self.apply_delivery(cell, now);
+                // Flow-completion bookkeeping (and its probe hooks,
+                // which may write trace lines) is not delivery work;
+                // close the span before it.
+                drop(span);
+                if let Some(record) = record {
+                    self.probe.on_flow_finish(&record, record.completion_ns);
+                    self.metrics.flows.push(record);
                 }
-                self.probe.on_delivery(&cell, latency, now);
-                if let Some(&slot) = self.active_index.get(&cell.flow) {
-                    let af = self.active[slot].as_mut().expect("indexed slot is live");
-                    af.delivered += 1;
-                    af.max_hops = af.max_hops.max(cell.hops);
-                    if af.delivered >= af.total_cells {
-                        let af = self.active[slot].take().expect("present");
-                        self.active_index.remove(&cell.flow);
-                        self.active_free.push(slot);
-                        let record = FlowRecord {
-                            id: af.flow.id,
-                            size_bytes: af.flow.size_bytes,
-                            arrival_ns: af.flow.arrival_ns,
-                            completion_ns: now,
-                            max_hops: af.max_hops,
-                        };
-                        self.probe.on_flow_finish(&record, now);
-                        self.metrics.flows.push(record);
-                    }
-                }
-                Ok(())
             }
             RouteDecision::ToNode(next) => {
                 if self.queue_full(node) {
                     self.metrics.dropped_cells += 1;
                     self.probe.on_drop(&cell, node, now);
-                    return Ok(());
+                    return;
+                }
+                if self.stranded_tracking()
+                    && (self.failures.node_failed(cell.dst)
+                        || !self.failures.circuit_up(node, next))
+                {
+                    self.stranded_adjust(1);
                 }
                 self.queues[node.index()].push_specific(next, cell);
                 self.queued_cells += 1;
-                Ok(())
             }
             RouteDecision::ToClass(class) => {
                 if self.queue_full(node) {
                     self.metrics.dropped_cells += 1;
                     self.probe.on_drop(&cell, node, now);
-                    return Ok(());
+                    return;
+                }
+                if self.stranded_tracking() && self.failures.node_failed(cell.dst) {
+                    self.stranded_adjust(1);
                 }
                 self.queues[node.index()].push_class(class, cell);
                 self.queued_cells += 1;
-                Ok(())
             }
             RouteDecision::Drop => {
                 self.metrics.dropped_cells += 1;
                 self.probe.on_drop(&cell, node, now);
-                Ok(())
             }
         }
+    }
+
+    /// Applies one delivery to the metrics and flow slab; returns the
+    /// completion record when this cell finished its flow. The caller
+    /// pushes the record and fires `on_flow_finish` outside the deliver
+    /// span.
+    fn apply_delivery(&mut self, cell: Cell, now: Nanos) -> Option<FlowRecord> {
+        let latency = now.saturating_sub(cell.injected_ns);
+        self.metrics
+            .on_delivered(cell.hops, latency, self.cfg.cell_bytes);
+        if !self.failures.is_empty() {
+            self.metrics.delivered_during_failure += 1;
+        }
+        self.probe.on_delivery(&cell, latency, now);
+        let &slot = self.active_index.get(&cell.flow)?;
+        let af = self.active[slot].as_mut().expect("indexed slot is live");
+        af.delivered += 1;
+        af.max_hops = af.max_hops.max(cell.hops);
+        if af.delivered < af.total_cells {
+            return None;
+        }
+        let af = self.active[slot].take().expect("present");
+        self.active_index.remove(&cell.flow);
+        self.active_free.push(slot);
+        Some(FlowRecord {
+            id: af.flow.id,
+            size_bytes: af.flow.size_bytes,
+            arrival_ns: af.flow.arrival_ns,
+            completion_ns: now,
+            max_hops: af.max_hops,
+        })
     }
 
     /// True when `node`'s queues are at the configured cap.
     fn queue_full(&self, node: NodeId) -> bool {
         self.cfg.node_queue_cap > 0 && self.queues[node.index()].depth() >= self.cfg.node_queue_cap
-    }
-
-    fn handle_arrival(&mut self, a: Arrival) -> Result<(), SimError> {
-        self.route_cell(a.node, a.cell, a.at_ns)
     }
 
     /// Installs a new circuit schedule mid-run — the §5 update operation
@@ -704,19 +1069,148 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
     /// Returns the number of cells re-routed.
     pub fn reroute_queued(&mut self) -> Result<usize, SimError> {
         let now = self.cfg.slot_start(self.slot);
+        // Bulk surgery: strandedness is recomputed on the next query.
+        self.stranded_invalidate();
         let mut total = 0;
         for v in 0..self.queues.len() {
             let cells = self.queues[v].drain_all();
             total += cells.len();
             self.queued_cells -= cells.len();
             for cell in cells {
-                self.route_cell(NodeId(v as u32), cell, now)?;
+                self.route_cell(NodeId(v as u32), cell, now);
             }
         }
         Ok(total)
     }
 }
 
+/// Routes one shard's grouped arrivals: node-ascending within the
+/// shard's range, arrival order within a node. Queue pushes are applied
+/// directly (node-local); deliveries and drops go to the scratch for
+/// the engine's ordered merge.
+fn run_arrival_shard(
+    shard: &mut ArrivalShard<'_>,
+    buf: &[Arrival],
+    router: &dyn Router,
+    cfg: &SimConfig,
+    failures: &FailureSet,
+    track_stranded: bool,
+) {
+    for li in 0..shard.lists.len() {
+        if shard.lists[li].is_empty() {
+            continue;
+        }
+        let node = NodeId((shard.base + li) as u32);
+        let queue = &mut shard.queues[li];
+        let rng = &mut shard.rngs[li];
+        for &i in shard.lists[li].iter() {
+            let a = buf[i as usize];
+            debug_assert_eq!(a.node, node, "arrival grouped under the wrong node");
+            let mut cell = a.cell;
+            match router.decide(node, &mut cell, rng) {
+                RouteDecision::Deliver => {
+                    debug_assert_eq!(node, cell.dst, "router delivered at the wrong node");
+                    shard.out.deliveries.push((cell, a.at_ns));
+                }
+                RouteDecision::ToNode(next) => {
+                    if cfg.node_queue_cap > 0 && queue.depth() >= cfg.node_queue_cap {
+                        shard.out.drops.push((node, cell, a.at_ns));
+                        continue;
+                    }
+                    if track_stranded
+                        && (failures.node_failed(cell.dst) || !failures.circuit_up(node, next))
+                    {
+                        shard.out.stranded_delta += 1;
+                    }
+                    queue.push_specific(next, cell);
+                    shard.out.queued_delta += 1;
+                }
+                RouteDecision::ToClass(class) => {
+                    if cfg.node_queue_cap > 0 && queue.depth() >= cfg.node_queue_cap {
+                        shard.out.drops.push((node, cell, a.at_ns));
+                        continue;
+                    }
+                    if track_stranded && failures.node_failed(cell.dst) {
+                        shard.out.stranded_delta += 1;
+                    }
+                    queue.push_class(class, cell);
+                    shard.out.queued_delta += 1;
+                }
+                RouteDecision::Drop => shard.out.drops.push((node, cell, a.at_ns)),
+            }
+        }
+        shard.lists[li].clear();
+    }
+}
+
+/// Walks one shard's node range across every uplink, popping node-local
+/// queues and buffering transmitted cells in `(node, uplink)` order.
+#[allow(clippy::too_many_arguments)]
+fn run_transmit_shard(
+    shard: &mut TransmitShard<'_>,
+    router: &dyn Router,
+    cfg: &SimConfig,
+    schedule: &CircuitSchedule,
+    slot: u64,
+    failures: &FailureSet,
+    track_stranded: bool,
+    n: usize,
+) {
+    let healthy = failures.is_empty();
+    let period = schedule.period() as u64;
+    let max_hops = router.max_hops();
+    // One matching resolution per uplink per shard call, as in the old
+    // hoisted serial walk.
+    let mut matchings = Vec::with_capacity(cfg.uplinks);
+    for uplink in 0..cfg.uplinks {
+        let offset = (uplink as u64 * period) / cfg.uplinks as u64;
+        matchings.push(schedule.matching_at(slot + offset));
+    }
+    for li in 0..shard.queues.len() {
+        let v = NodeId((shard.base + li) as u32);
+        for matching in &matchings {
+            let Some(w) = matching.dst_of(v) else {
+                continue; // idle port this slot
+            };
+            if !healthy && !failures.circuit_up(v, w) {
+                continue;
+            }
+            match shard.queues[li].pop_for_circuit(router, v, w, cfg.class_scan_limit) {
+                Some(mut cell) => {
+                    shard.out.queued_delta -= 1;
+                    // A popped cell rode a live circuit, so it was
+                    // stranded only if its destination is dead.
+                    if track_stranded && failures.node_failed(cell.dst) {
+                        shard.out.stranded_delta -= 1;
+                    }
+                    router.on_transmit(&mut cell, v, w);
+                    cell.hops += 1;
+                    if cell.hops > max_hops {
+                        // Record the first violation in canonical order
+                        // and finish the pass: both the inline and the
+                        // sharded path then abort with identical state.
+                        if shard.out.err.is_none() {
+                            shard.out.err = Some(SimError::HopBoundExceeded {
+                                flow: cell.flow,
+                                hops: cell.hops,
+                                bound: max_hops,
+                            });
+                        }
+                        continue;
+                    }
+                    shard.out.transmissions += 1;
+                    let count = &mut shard.links[li * n + w.index()];
+                    if *count == 0 {
+                        shard.out.links_nonzero_delta += 1;
+                    }
+                    *count += 1;
+                    shard.out.sent.push((w, cell));
+                }
+                None => shard.out.idle += 1,
+            }
+        }
+    }
+}
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1089,5 +1583,144 @@ mod tests {
         assert_eq!(rerouted, queued);
         assert_eq!(eng.total_queued(), queued);
         assert!(eng.run_until_drained(100).unwrap());
+    }
+
+    /// A 2-hop VLB-style router that actually consumes the RNG stream:
+    /// fresh cells bounce through a random intermediate.
+    struct RandomViaRouter;
+    impl Router for RandomViaRouter {
+        fn decide(
+            &self,
+            node: NodeId,
+            cell: &mut Cell,
+            rng: &mut crate::rng::NodeRng,
+        ) -> RouteDecision {
+            if node == cell.dst {
+                return RouteDecision::Deliver;
+            }
+            if cell.tag == 0 {
+                cell.tag = 1;
+                let via = NodeId(rng.gen_range(16) as u32);
+                if via != node && via != cell.dst {
+                    return RouteDecision::ToNode(via);
+                }
+            }
+            RouteDecision::ToNode(cell.dst)
+        }
+        fn class_admits(
+            &self,
+            _c: crate::router::ClassId,
+            _cell: &Cell,
+            _from: NodeId,
+            _to: NodeId,
+        ) -> bool {
+            false
+        }
+        fn classes(&self) -> &[crate::router::ClassId] {
+            &[]
+        }
+        fn max_hops(&self) -> u8 {
+            8
+        }
+        fn name(&self) -> &str {
+            "random-via"
+        }
+    }
+
+    fn busy_run(threads: usize) -> Metrics {
+        let sched = round_robin(16).unwrap();
+        let router = RandomViaRouter;
+        let mut cfg = SimConfig::default();
+        cfg.uplinks = 8; // enough arrivals per slot to cross PAR_MIN_ARRIVALS
+        cfg.seed = 11;
+        cfg.engine_threads = threads;
+        let mut eng = Engine::new(cfg, &sched, &router);
+        let flows: Vec<Flow> = (0..200)
+            .map(|i| {
+                flow(
+                    i,
+                    (i % 16) as u32,
+                    ((i * 7 + 3) % 16) as u32,
+                    8 * 1250,
+                    (i % 5) * 100,
+                )
+            })
+            .collect();
+        eng.add_flows(flows).unwrap();
+        assert!(eng.run_until_drained(50_000).unwrap());
+        eng.metrics().clone()
+    }
+
+    #[test]
+    fn parallel_runs_match_serial_bit_for_bit() {
+        let serial = busy_run(1);
+        assert!(serial.delivered_cells > 0);
+        assert_eq!(serial, busy_run(2), "2 threads must match serial");
+        assert_eq!(serial, busy_run(4), "4 threads must match serial");
+    }
+
+    #[test]
+    fn stranded_count_is_incremental_and_matches_brute_walk() {
+        use crate::fault::FaultPlan;
+        let sched = round_robin(8).unwrap();
+        let router = DirectRouter;
+        let mut eng = Engine::new(SimConfig::default(), &sched, &router);
+        let flows: Vec<Flow> = (0..8u32)
+            .map(|s| flow(s as u64, s, (s + 1) % 8, 6 * 1250, 0))
+            .collect();
+        eng.add_flows(flows).unwrap();
+        let mut plan = FaultPlan::new();
+        plan.node_outage(NodeId(1), 200, 2_000);
+        plan.link_outage(NodeId(2), NodeId(3), 400, 1_500);
+        eng.set_fault_plan(plan);
+        let mut checked_degraded = 0;
+        for _ in 0..40 {
+            eng.step().unwrap();
+            // First call may rescan; the second must hit the memo. Both
+            // must agree with the brute walk at every boundary.
+            let a = eng.count_stranded();
+            let b = eng.count_stranded();
+            assert_eq!(a, b);
+            assert_eq!(a, eng.count_stranded_brute());
+            if !eng.failures().is_empty() {
+                checked_degraded += 1;
+                assert_eq!(eng.metrics().stranded_cells, a);
+            }
+        }
+        assert!(checked_degraded > 0, "the fault plan must have fired");
+        // Manual failure-set pokes invalidate the memo via the epoch.
+        eng.failures_mut().fail_node(NodeId(5));
+        assert_eq!(eng.count_stranded(), eng.count_stranded_brute());
+    }
+
+    #[test]
+    fn parallel_engine_handles_faults_and_schedule_swaps() {
+        use crate::fault::FaultPlan;
+        let run = |threads: usize| {
+            let a = round_robin(16).unwrap();
+            let b = round_robin(16).unwrap();
+            let router = RandomViaRouter;
+            let mut cfg = SimConfig::default();
+            cfg.uplinks = 8;
+            cfg.seed = 3;
+            cfg.engine_threads = threads;
+            let mut eng = Engine::new(cfg, &a, &router);
+            let flows: Vec<Flow> = (0..120)
+                .map(|i| flow(i, (i % 16) as u32, ((i * 5 + 2) % 16) as u32, 4 * 1250, 0))
+                .collect();
+            eng.add_flows(flows).unwrap();
+            let mut plan = FaultPlan::new();
+            plan.link_outage(NodeId(0), NodeId(1), 100, 1_200);
+            plan.node_outage(NodeId(9), 300, 900);
+            eng.set_fault_plan(plan);
+            eng.run_slots(6).unwrap();
+            eng.install_schedule(&b);
+            eng.reroute_queued().unwrap();
+            eng.run_until_drained(50_000).unwrap();
+            eng.metrics().clone()
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(2));
+        assert_eq!(serial, run(4));
     }
 }

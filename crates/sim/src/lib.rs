@@ -46,9 +46,11 @@ mod failure;
 mod fault;
 mod hash;
 mod metrics;
+mod par;
 mod probe;
 mod profiler;
 mod queues;
+mod rng;
 mod router;
 
 pub use cell::{Cell, Flow, FlowId};
@@ -59,7 +61,16 @@ pub use fault::{
     FaultAction, FaultEvent, FaultPlan, FaultStorm, FaultTarget, FaultView, LinkHealth,
 };
 pub use metrics::{FlowRecord, LatencyHistogram, LinkMatrix, Metrics};
+pub use par::WorkerPool;
 pub use probe::{NoopProbe, Probe, SlotView};
 pub use profiler::{NoopProfiler, Phase, PhaseSpan, Profiler};
 pub use queues::NodeQueues;
+pub use rng::NodeRng;
 pub use router::{ClassId, DirectRouter, RouteDecision, Router};
+
+/// Internal hot-path types re-exported for this crate's Criterion
+/// benches (`benches/hotpath.rs`). Not part of the public API.
+#[doc(hidden)]
+pub mod bench_internals {
+    pub use crate::calendar::SlotCalendar;
+}

@@ -142,7 +142,7 @@ impl LatencyHistogram {
 /// never reallocates. Accessors mirror the map API this replaced and
 /// expose only links with a nonzero count, preserving the semantics of
 /// [`Metrics::link_load_cv`] and [`Metrics::hottest_links`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LinkMatrix {
     n: u32,
     counts: Vec<u64>,
@@ -186,6 +186,25 @@ impl LinkMatrix {
             self.nonzero += 1;
         }
         self.counts[i] += 1;
+    }
+
+    /// Splits the matrix into mutable bands of `rows_per_band` whole
+    /// rows, for the engine's sharded transmit walk: each shard owns the
+    /// rows of its node range and writes counts without synchronization.
+    /// Returns the matrix dimension alongside the band iterator so the
+    /// caller can verify it matches the network size.
+    pub(crate) fn row_bands_mut(
+        &mut self,
+        rows_per_band: usize,
+    ) -> (usize, std::slice::ChunksMut<'_, u64>) {
+        let n = self.n as usize;
+        (n, self.counts.chunks_mut(rows_per_band.max(1) * n.max(1)))
+    }
+
+    /// Folds a shard's count of newly nonzero links back in (the bands
+    /// handed out by [`LinkMatrix::row_bands_mut`] bypass `record`).
+    pub(crate) fn add_nonzero(&mut self, newly_nonzero: usize) {
+        self.nonzero += newly_nonzero;
     }
 
     /// Sets a link's count outright (building metrics by hand).
@@ -244,7 +263,7 @@ impl LinkMatrix {
 }
 
 /// Aggregated counters for a run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Metrics {
     /// Slots simulated so far.
     pub slots: u64,

@@ -1,0 +1,267 @@
+//! A persistent worker pool for intra-slot parallelism.
+//!
+//! `Engine::step` runs its shardable passes (arrival routing, the
+//! transmit walk) on this pool when `SimConfig::engine_threads > 1`.
+//! Spawning threads per slot would swamp any win — a slot's work is
+//! microseconds — so the pool keeps its workers alive for the life of
+//! the engine and hands them one job (a set of shard indices) per pass.
+//!
+//! Std-only by design: the workspace forbids runtime dependencies, so
+//! coordination is a `Mutex`/`Condvar` pair. The caller participates in
+//! the work (a pool of `t` threads spawns `t − 1` workers), and `run`
+//! does not return until every shard of the job has completed — that
+//! barrier is what makes the scoped borrows in the job sound.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A job visible to the workers: a shard-indexed closure plus claim and
+/// completion counters. The closure reference is lifetime-erased; the
+/// completion barrier in [`WorkerPool::run`] keeps it alive for as long
+/// as any worker can touch it.
+struct Job {
+    f: &'static (dyn Fn(usize) + Sync),
+    shards: usize,
+    next: AtomicUsize,
+    state: Mutex<JobState>,
+    done: Condvar,
+}
+
+#[derive(Default)]
+struct JobState {
+    completed: usize,
+    panicked: bool,
+}
+
+impl Job {
+    /// Claims and runs shards until none remain; returns whether any
+    /// shard panicked.
+    fn work(&self) {
+        loop {
+            let shard = self.next.fetch_add(1, Ordering::Relaxed);
+            if shard >= self.shards {
+                return;
+            }
+            let panicked = catch_unwind(AssertUnwindSafe(|| (self.f)(shard))).is_err();
+            let mut state = self.state.lock().expect("job state poisoned");
+            state.completed += 1;
+            state.panicked |= panicked;
+            if state.completed == self.shards {
+                self.done.notify_all();
+            }
+        }
+    }
+}
+
+/// What the pool's mailbox currently holds.
+struct Mailbox {
+    /// Bumped per published job so sleeping workers can tell "new job"
+    /// from a spurious wakeup.
+    seq: u64,
+    job: Option<Arc<Job>>,
+    shutdown: bool,
+}
+
+struct Shared {
+    mailbox: Mutex<Mailbox>,
+    ready: Condvar,
+}
+
+/// A fixed-size pool of persistent workers.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// A pool that runs jobs on `threads` threads total: `threads − 1`
+    /// spawned workers plus the calling thread.
+    ///
+    /// # Panics
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "a pool needs at least one thread");
+        let shared = Arc::new(Shared {
+            mailbox: Mutex::new(Mailbox {
+                seq: 0,
+                job: None,
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+        });
+        let workers = (0..threads - 1)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers,
+            threads,
+        }
+    }
+
+    /// Total threads jobs run on (workers + the caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(0) .. f(shards - 1)` across the pool and the calling
+    /// thread, returning only when every shard has finished.
+    ///
+    /// Shards are claimed dynamically, so `f` must not assume any
+    /// shard-to-thread mapping; determinism has to come from the shards
+    /// writing disjoint state (the engine's passes give each shard its
+    /// own slice of nodes and its own scratch).
+    ///
+    /// # Panics
+    /// Panics if any shard panicked (after all shards finished).
+    pub fn run(&self, shards: usize, f: &(dyn Fn(usize) + Sync)) {
+        if shards == 0 {
+            return;
+        }
+        // SAFETY: the job (and thus this reference) is only invoked
+        // between publication below and the completion barrier at the
+        // end of this call; `f` outlives the call, so erasing its
+        // lifetime never lets a worker see a dangling reference.
+        let f: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+        let job = Arc::new(Job {
+            f,
+            shards,
+            next: AtomicUsize::new(0),
+            state: Mutex::new(JobState::default()),
+            done: Condvar::new(),
+        });
+        {
+            let mut mailbox = self.shared.mailbox.lock().expect("pool mailbox poisoned");
+            mailbox.seq += 1;
+            mailbox.job = Some(Arc::clone(&job));
+            self.shared.ready.notify_all();
+        }
+        // The caller works too — a 1-thread pool is just an inline loop.
+        job.work();
+        let mut state = job.state.lock().expect("job state poisoned");
+        while state.completed < shards {
+            state = job.done.wait(state).expect("job state poisoned");
+        }
+        // Retire the job so late-waking workers don't re-scan it.
+        {
+            let mut mailbox = self.shared.mailbox.lock().expect("pool mailbox poisoned");
+            if mailbox
+                .job
+                .as_ref()
+                .is_some_and(|current| Arc::ptr_eq(current, &job))
+            {
+                mailbox.job = None;
+            }
+        }
+        assert!(!state.panicked, "a pool shard panicked");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut mailbox = self.shared.mailbox.lock().expect("pool mailbox poisoned");
+            mailbox.shutdown = true;
+            self.shared.ready.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut last_seen = 0u64;
+    loop {
+        let job = {
+            let mut mailbox = shared.mailbox.lock().expect("pool mailbox poisoned");
+            loop {
+                if mailbox.shutdown {
+                    return;
+                }
+                if mailbox.seq != last_seen {
+                    last_seen = mailbox.seq;
+                    if let Some(job) = mailbox.job.clone() {
+                        break job;
+                    }
+                }
+                mailbox = shared.ready.wait(mailbox).expect("pool mailbox poisoned");
+            }
+        };
+        job.work();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_shard_exactly_once() {
+        let pool = WorkerPool::new(4);
+        for round in 0..50 {
+            let shards = 1 + round % 9;
+            let hits: Vec<AtomicU64> = (0..shards).map(|_| AtomicU64::new(0)).collect();
+            pool.run(shards, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for h in &hits {
+                assert_eq!(h.load(Ordering::Relaxed), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert!(pool.workers.is_empty());
+        let sum = AtomicU64::new(0);
+        pool.run(16, &|i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 120);
+    }
+
+    #[test]
+    fn scoped_borrows_of_disjoint_slices_are_visible_after_run() {
+        let pool = WorkerPool::new(3);
+        let mut data = vec![0u64; 32];
+        let chunks: Vec<Mutex<Option<&mut [u64]>>> =
+            data.chunks_mut(8).map(|c| Mutex::new(Some(c))).collect();
+        pool.run(chunks.len(), &|i| {
+            let mut guard = chunks[i].lock().unwrap();
+            for (j, v) in guard.take().unwrap().iter_mut().enumerate() {
+                *v = (i * 8 + j) as u64;
+            }
+        });
+        drop(chunks);
+        let want: Vec<u64> = (0..32).collect();
+        assert_eq!(data, want);
+    }
+
+    #[test]
+    fn shard_panic_surfaces_after_the_barrier() {
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(4, &|i| {
+                if i == 2 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The pool stays usable after a panicked job.
+        let sum = AtomicU64::new(0);
+        pool.run(4, &|i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 6);
+    }
+}

@@ -206,7 +206,7 @@ mod tests {
             &self,
             _node: NodeId,
             _cell: &mut Cell,
-            _rng: &mut rand::rngs::StdRng,
+            _rng: &mut crate::rng::NodeRng,
         ) -> crate::router::RouteDecision {
             crate::router::RouteDecision::ToClass(ClassId(0))
         }
@@ -258,7 +258,7 @@ mod tests {
                 &self,
                 _n: NodeId,
                 _c: &mut Cell,
-                _r: &mut rand::rngs::StdRng,
+                _r: &mut crate::rng::NodeRng,
             ) -> crate::router::RouteDecision {
                 crate::router::RouteDecision::ToClass(ClassId(0))
             }

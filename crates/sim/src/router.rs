@@ -13,7 +13,7 @@
 //!    given queued class cell use it?
 
 use crate::cell::Cell;
-use rand::rngs::StdRng;
+use crate::rng::NodeRng;
 use sorn_topology::NodeId;
 
 /// Identifier of a router-defined spray class.
@@ -37,16 +37,24 @@ pub enum RouteDecision {
 
 /// A routing scheme.
 ///
-/// Implementations must be deterministic given the RNG: the engine passes
-/// a seeded [`StdRng`] so runs are reproducible.
-pub trait Router {
+/// Implementations must be deterministic given the RNG: the engine
+/// passes the deciding node's own counter-based [`NodeRng`] stream, so a
+/// decision depends only on `(seed, node, decisions made at that node)`
+/// and runs reproduce exactly — serial or sharded across threads.
+///
+/// `Sync` is a supertrait because the engine calls `decide`,
+/// `class_admits`, and `on_transmit` from worker threads when
+/// `SimConfig::engine_threads > 1`. Routers with interior mutable state
+/// must key it by the acting node (the engine shards work by node), so
+/// a `Mutex` around per-node state stays deterministic.
+pub trait Router: Sync {
     /// Decides the next step for `cell` arriving at `node`, possibly
     /// updating the cell's router-owned `tag`.
     ///
     /// Called once when the cell is injected at its source and once per
     /// intermediate hop. Must return [`RouteDecision::Deliver`] when
     /// `node == cell.dst`.
-    fn decide(&self, node: NodeId, cell: &mut Cell, rng: &mut StdRng) -> RouteDecision;
+    fn decide(&self, node: NodeId, cell: &mut Cell, rng: &mut NodeRng) -> RouteDecision;
 
     /// Whether a cell queued in `class` at node `from` may ride a circuit
     /// to `to`.
@@ -78,7 +86,7 @@ pub trait Router {
 pub struct DirectRouter;
 
 impl Router for DirectRouter {
-    fn decide(&self, node: NodeId, cell: &mut Cell, _rng: &mut StdRng) -> RouteDecision {
+    fn decide(&self, node: NodeId, cell: &mut Cell, _rng: &mut NodeRng) -> RouteDecision {
         if node == cell.dst {
             RouteDecision::Deliver
         } else {
@@ -107,7 +115,6 @@ impl Router for DirectRouter {
 mod tests {
     use super::*;
     use crate::cell::{Cell, FlowId};
-    use rand::SeedableRng;
 
     fn cell(src: u32, dst: u32) -> Cell {
         Cell {
@@ -124,7 +131,7 @@ mod tests {
     #[test]
     fn direct_router_targets_destination() {
         let r = DirectRouter;
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = NodeRng::for_node(0, 0);
         let mut c = cell(0, 3);
         assert_eq!(
             r.decide(NodeId(0), &mut c, &mut rng),

@@ -37,7 +37,7 @@ fn main() {
     let x = 0.56;
     let load = 0.30; // below the predicted r = 0.41
     println!("Packet validation at x = {x}, offered load = {load} (pFabric web-search):");
-    let v = validate_point(128, 8, x, load, 2_000_000, 42).expect("packet validation");
+    let v = validate_point(128, 8, x, load, 2_000_000, 42, 1).expect("packet validation");
     println!("  flows completed: {}", v.flows);
     println!("  drained within budget: {}", v.drained);
     println!(

@@ -36,6 +36,14 @@ deterministic() {
 diff <(deterministic "$tmpdir/j1.out") <(deterministic "$tmpdir/j2.out")
 echo "jobs=1 and jobs=2 agree on every scenario's slots and cells."
 
+echo "== --engine-threads 2 must reproduce the serial engine bit-for-bit =="
+# Unlike --jobs (which only reorders whole scenarios), --engine-threads
+# shards the slot phases inside each simulation; the deterministic merge
+# promises identical sim results, so the same stripped output must match.
+./target/release/perf --tiny --label ci-t2 --engine-threads 2 --out-dir "$tmpdir" > "$tmpdir/t2.out"
+diff <(deterministic "$tmpdir/j1.out") <(deterministic "$tmpdir/t2.out")
+echo "engine-threads=1 and engine-threads=2 agree on every scenario's slots and cells."
+
 echo "== committed-baseline comparison (must not regress) =="
 # Generous threshold: the tiny scenarios finish in milliseconds, so
 # run-to-run noise across CI machines is large. This gates gross

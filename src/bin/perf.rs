@@ -16,10 +16,15 @@
 //! Usage:
 //!
 //! ```text
-//! perf [--label NAME] [--out-dir DIR] [--tiny] [--jobs N]
-//!      [--baseline FILE] [--threshold PCT]
+//! perf [--label NAME] [--out-dir DIR] [--tiny] [--scale512] [--jobs N]
+//!      [--engine-threads N] [--baseline FILE] [--threshold PCT]
 //! perf --validate FILE
 //! ```
+//!
+//! `--engine-threads N` shards each simulation's slot phases across N
+//! threads (`SimConfig::engine_threads`); results are bit-identical at
+//! any count, so it only moves the timings. `--scale512` swaps the
+//! suite for the 512-node scaling scenarios used to benchmark it.
 //!
 //! `--tiny` shrinks every scenario for CI smoke runs. `--jobs N` runs
 //! the scenarios on N worker threads; every scenario is self-contained
@@ -51,7 +56,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-const USAGE: &str = "usage: perf [--label NAME] [--out-dir DIR] [--tiny] [--jobs N] \
+const USAGE: &str = "usage: perf [--label NAME] [--out-dir DIR] [--tiny] [--scale512] \
+                     [--jobs N] [--engine-threads N] \
                      [--baseline FILE] [--threshold PCT] | perf --validate FILE";
 
 struct Opts {
@@ -60,7 +66,9 @@ struct Opts {
     baseline: Option<PathBuf>,
     threshold_pct: f64,
     tiny: bool,
+    scale512: bool,
     jobs: usize,
+    engine_threads: usize,
     validate: Option<PathBuf>,
 }
 
@@ -71,7 +79,9 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         baseline: None,
         threshold_pct: 25.0,
         tiny: false,
+        scale512: false,
         jobs: 1,
+        engine_threads: 1,
         validate: None,
     };
     let mut i = 0;
@@ -98,12 +108,21 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                     .map_err(|_| "--threshold needs a number".to_string())?
             }
             "--tiny" => opts.tiny = true,
+            "--scale512" => opts.scale512 = true,
             "--jobs" => {
                 opts.jobs = value(&mut i, "--jobs")?
                     .parse()
                     .map_err(|_| "--jobs needs a count".to_string())?;
                 if opts.jobs == 0 {
                     return Err("--jobs must be at least 1".to_string());
+                }
+            }
+            "--engine-threads" => {
+                opts.engine_threads = value(&mut i, "--engine-threads")?
+                    .parse()
+                    .map_err(|_| "--engine-threads needs a count".to_string())?;
+                if opts.engine_threads == 0 {
+                    return Err("--engine-threads must be at least 1".to_string());
                 }
             }
             "--validate" => opts.validate = Some(PathBuf::from(value(&mut i, "--validate")?)),
@@ -134,19 +153,37 @@ fn main() -> ExitCode {
     println!(
         "perf suite '{}'{} (schema v{SCHEMA_VERSION})\n",
         opts.label,
-        if opts.tiny { " [tiny]" } else { "" }
+        if opts.tiny {
+            " [tiny]"
+        } else if opts.scale512 {
+            " [scale512]"
+        } else {
+            ""
+        }
     );
     // Each scenario is a self-contained closure (own workload, own
     // seeded engine, own profiler), so the suite can fan out across
     // worker threads; summaries are printed after the join, in suite
-    // order, so stdout is identical at any job count.
+    // order, so stdout is identical at any job count. Simulation
+    // results are also identical at any --engine-threads count (the
+    // engine's determinism contract), so only the timings move.
     let tiny = opts.tiny;
-    let tasks: Vec<Task<(ScenarioResult, String)>> = vec![
-        Box::new(move || fig2f_scale("fig2f_vlb", tiny)),
-        Box::new(move || fig2f_scale("fig2f_sorn", tiny)),
-        Box::new(move || resilience_storm(tiny)),
-        Box::new(move || adaptation_sweep(tiny)),
-    ];
+    let engine_threads = opts.engine_threads;
+    let tasks: Vec<Task<(ScenarioResult, String)>> = if opts.scale512 {
+        // The 512-node scaling scenarios: one big fabric per routing
+        // scheme, the workload where intra-run sharding has room to pay.
+        vec![
+            Box::new(move || scale512("scale512_vlb", engine_threads)),
+            Box::new(move || scale512("scale512_sorn", engine_threads)),
+        ]
+    } else {
+        vec![
+            Box::new(move || fig2f_scale("fig2f_vlb", tiny, engine_threads)),
+            Box::new(move || fig2f_scale("fig2f_sorn", tiny, engine_threads)),
+            Box::new(move || resilience_storm(tiny, engine_threads)),
+            Box::new(move || adaptation_sweep(tiny)),
+        ]
+    };
     let suite_start = Instant::now();
     let outcomes = run_jobs(opts.jobs, tasks);
     let suite_wall_ns = suite_start.elapsed().as_nanos().max(1) as u64;
@@ -162,6 +199,7 @@ fn main() -> ExitCode {
             .map(|d| d.as_secs())
             .unwrap_or(0),
         jobs: opts.jobs as u64,
+        engine_threads: opts.engine_threads as u64,
         suite_wall_ns,
         scenarios,
     };
@@ -246,19 +284,52 @@ fn scale_workload(n: usize, cliques: usize, duration_ns: u64) -> Vec<Flow> {
 
 /// One fig2f-scale run: the same workload through flat VLB
 /// (`fig2f_vlb`) or through SORN (`fig2f_sorn`), simulated to drain.
-fn fig2f_scale(name: &str, tiny: bool) -> (ScenarioResult, String) {
+fn fig2f_scale(name: &str, tiny: bool, engine_threads: usize) -> (ScenarioResult, String) {
     let (n, cliques, duration_ns) = if tiny {
         (32, 4, 40_000)
     } else {
         (128, 8, 150_000)
     };
+    run_scale_scenario(name, n, cliques, duration_ns, engine_threads)
+}
+
+/// The 512-node scaling scenario behind `--scale512`: the fig2f fabric
+/// at 512 nodes / 8 cliques, sized so `--engine-threads` sweeps finish
+/// in minutes on a laptop. `results/bench_par_{1,2,4}.json` are this
+/// suite at 1/2/4 engine threads.
+fn scale512(name: &str, engine_threads: usize) -> (ScenarioResult, String) {
+    let scheme = if name.ends_with("_vlb") {
+        "fig2f_vlb"
+    } else {
+        "fig2f_sorn"
+    };
+    let (result, text) = run_scale_scenario(scheme, 512, 8, 40_000, engine_threads);
+    (
+        ScenarioResult {
+            name: name.to_string(),
+            ..result
+        },
+        text.replacen(scheme, name, 1),
+    )
+}
+
+fn run_scale_scenario(
+    scheme: &str,
+    n: usize,
+    cliques: usize,
+    duration_ns: u64,
+    engine_threads: usize,
+) -> (ScenarioResult, String) {
     let flows = scale_workload(n, cliques, duration_ns);
-    let cfg = SimConfig::default();
+    let cfg = SimConfig {
+        engine_threads,
+        ..SimConfig::default()
+    };
     let max_slots = 20 * duration_ns / cfg.slot_ns;
     let profiler = WallClockProfiler::new();
 
     let start = Instant::now();
-    let metrics = if name == "fig2f_vlb" {
+    let metrics = if scheme == "fig2f_vlb" {
         let schedule = round_robin(n).expect("round robin");
         let router = VlbRouter::new();
         let mut eng =
@@ -267,14 +338,16 @@ fn fig2f_scale(name: &str, tiny: bool) -> (ScenarioResult, String) {
         eng.run_until_drained(max_slots).expect("run");
         eng.metrics().clone()
     } else {
-        let net = SornNetwork::build(SornConfig::small(n, cliques, 0.5)).expect("network");
+        let mut sorn_cfg = SornConfig::small(n, cliques, 0.5);
+        sorn_cfg.engine_threads = engine_threads;
+        let net = SornNetwork::build(sorn_cfg).expect("network");
         let (metrics, _, NoopProbe, _) = net
             .simulate_instrumented(flows, 42, max_slots, NoopProbe, profiler.clone())
             .expect("run");
         metrics
     };
     finish_scenario(
-        name,
+        scheme,
         start,
         metrics.slots,
         metrics.delivered_cells,
@@ -285,7 +358,7 @@ fn fig2f_scale(name: &str, tiny: bool) -> (ScenarioResult, String) {
 /// The §6 storm on the fault-aware SORN fabric: seeded MTBF/MTTR link
 /// and node outages plus a correlated port-group burst, over the
 /// resilience study's 32-node/4-clique fabric.
-fn resilience_storm(tiny: bool) -> (ScenarioResult, String) {
+fn resilience_storm(tiny: bool, engine_threads: usize) -> (ScenarioResult, String) {
     const N: usize = 32;
     const CLIQUES: usize = 4;
     let duration_ns: u64 = if tiny { 100_000 } else { 400_000 };
@@ -337,6 +410,7 @@ fn resilience_storm(tiny: bool) -> (ScenarioResult, String) {
     let router = FaultAwareSornRouter::new(map, health.clone());
     let cfg = SimConfig {
         seed: 42,
+        engine_threads,
         ..SimConfig::default()
     };
     let slots = duration_ns / cfg.slot_ns;

@@ -9,10 +9,12 @@
 //! and time-to-recover after repairs, straight from the engine's
 //! metrics. Pass `--trace-out <file>` for per-scheme JSONL run traces;
 //! `--jobs 2` runs the two fabrics on worker threads (each run is
-//! self-contained and seeded, so the table is identical either way).
+//! self-contained and seeded, so the table is identical either way);
+//! `--engine-threads N` shards the slot phases inside each simulation
+//! (also bit-identical at any thread count).
 
 use sorn_analysis::resilience::{resilience_table, ResilienceRow};
-use sorn_bench::{header, run_jobs, take_jobs_flag, Task, TelemetryOpts};
+use sorn_bench::{header, run_jobs, take_engine_threads_flag, take_jobs_flag, Task, TelemetryOpts};
 use sorn_control::{ControlConfig, ControlLoop, EpochOutcome};
 use sorn_routing::{FaultAwareSornRouter, FaultAwareVlbRouter};
 use sorn_sim::{
@@ -33,7 +35,7 @@ const BURST_FROM_NS: u64 = 200_000;
 const BURST_UNTIL_NS: u64 = 295_000;
 
 fn main() {
-    let (jobs, telemetry) = parse_args();
+    let (jobs, engine_threads, telemetry) = parse_args();
     header("Resilience: flat VLB vs modular SORN under one failure storm");
 
     let map = CliqueMap::contiguous(N, CLIQUES);
@@ -78,7 +80,16 @@ fn main() {
             Box::new(move || {
                 let health = LinkHealth::new();
                 let router = FaultAwareVlbRouter::new(health.clone());
-                run_scheme("flat-vlb", &sched, &router, health, flows, plan, &telemetry)
+                run_scheme(
+                    "flat-vlb",
+                    &sched,
+                    &router,
+                    health,
+                    flows,
+                    plan,
+                    engine_threads,
+                    &telemetry,
+                )
             })
         },
         {
@@ -92,7 +103,16 @@ fn main() {
             Box::new(move || {
                 let health = LinkHealth::new();
                 let router = FaultAwareSornRouter::new(cliques, health.clone());
-                run_scheme("sorn", &sched, &router, health, flows, plan, &telemetry)
+                run_scheme(
+                    "sorn",
+                    &sched,
+                    &router,
+                    health,
+                    flows,
+                    plan,
+                    engine_threads,
+                    &telemetry,
+                )
             })
         },
     ];
@@ -163,6 +183,7 @@ fn storm(map: &CliqueMap) -> FaultPlan {
 /// (stranded count included) plus a trace-file message to print once
 /// every scheme has joined. With `--trace-out base.jsonl`, the run's
 /// trace lands in `base.<scheme>.jsonl`.
+#[allow(clippy::too_many_arguments)]
 fn run_scheme(
     scheme: &str,
     schedule: &CircuitSchedule,
@@ -170,10 +191,12 @@ fn run_scheme(
     health: LinkHealth,
     flows: Vec<Flow>,
     plan: FaultPlan,
+    engine_threads: usize,
     telemetry: &TelemetryOpts,
 ) -> (Metrics, Option<String>) {
     let cfg = SimConfig {
         seed: 42,
+        engine_threads,
         ..SimConfig::default()
     };
     // Measure exactly the active workload window: letting the run drain
@@ -209,17 +232,18 @@ fn run_scheme(
     }
 }
 
-/// Parses `--jobs` plus the shared telemetry flags, exiting with a
-/// usage line on error.
-fn parse_args() -> (usize, TelemetryOpts) {
+/// Parses `--jobs`, `--engine-threads`, and the shared telemetry flags,
+/// exiting with a usage line on error.
+fn parse_args() -> (usize, usize, TelemetryOpts) {
     let parsed = take_jobs_flag(std::env::args().skip(1))
-        .and_then(|(jobs, rest)| TelemetryOpts::parse(rest).map(|t| (jobs, t)));
+        .and_then(|(jobs, rest)| take_engine_threads_flag(rest).map(|(t, rest)| (jobs, t, rest)))
+        .and_then(|(jobs, threads, rest)| TelemetryOpts::parse(rest).map(|t| (jobs, threads, t)));
     match parsed {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: resilience [--jobs N] [--trace-out <path>] [--sample-interval-ns <n>]"
+                "usage: resilience [--jobs N] [--engine-threads N] [--trace-out <path>] [--sample-interval-ns <n>]"
             );
             std::process::exit(2);
         }

@@ -19,9 +19,9 @@
 //!
 //! and paste the printed tables over the constants below.
 
-use rand::rngs::StdRng;
 use sorn_sim::{
-    Cell, ClassId, DirectRouter, Engine, Flow, FlowId, Metrics, RouteDecision, Router, SimConfig,
+    Cell, ClassId, DirectRouter, Engine, Flow, FlowId, Metrics, NodeRng, RouteDecision, Router,
+    SimConfig,
 };
 use sorn_topology::builders::round_robin;
 use sorn_topology::NodeId;
@@ -51,7 +51,7 @@ struct DetVlb;
 const SPRAY: ClassId = ClassId(0);
 
 impl Router for DetVlb {
-    fn decide(&self, node: NodeId, cell: &mut Cell, _rng: &mut StdRng) -> RouteDecision {
+    fn decide(&self, node: NodeId, cell: &mut Cell, _rng: &mut NodeRng) -> RouteDecision {
         if node == cell.dst {
             RouteDecision::Deliver
         } else {
@@ -73,8 +73,16 @@ impl Router for DetVlb {
 }
 
 fn run_scheme(router: &dyn Router) -> Metrics {
+    run_scheme_threaded(router, 1)
+}
+
+fn run_scheme_threaded(router: &dyn Router, engine_threads: usize) -> Metrics {
     let schedule = round_robin(N).expect("schedule");
-    let mut eng = Engine::new(SimConfig::default(), &schedule, router);
+    let cfg = SimConfig {
+        engine_threads,
+        ..SimConfig::default()
+    };
+    let mut eng = Engine::new(cfg, &schedule, router);
     eng.add_flows(golden_flows()).expect("flows in range");
     assert!(
         eng.run_until_drained(MAX_SLOTS).expect("run"),
@@ -125,14 +133,14 @@ const GOLDEN_DIRECT: Golden = Golden {
         (6, 7800),
         (11, 7800),
         (2, 7800),
+        (3, 10900),
         (7, 10900),
         (12, 10900),
-        (3, 10900),
         (8, 14000),
         (13, 14000),
         (4, 14000),
-        (14, 17100),
         (9, 17100),
+        (14, 17100),
     ],
 };
 
@@ -155,8 +163,8 @@ const GOLDEN_SPRAY: Golden = Golden {
         (8, 5900),
         (7, 6000),
         (15, 7300),
-        (14, 7500),
         (13, 7500),
+        (14, 7500),
     ],
 };
 
@@ -168,6 +176,25 @@ fn direct_scheme_matches_golden_metrics() {
 #[test]
 fn spray_scheme_matches_golden_metrics() {
     check(&run_scheme(&DetVlb), &GOLDEN_SPRAY, "spray");
+}
+
+/// The parallel engine must reproduce the same golden constants — not
+/// just match the serial run, but hit the identical committed snapshot
+/// at every thread count.
+#[test]
+fn parallel_engine_matches_golden_metrics() {
+    for threads in [2, 4] {
+        check(
+            &run_scheme_threaded(&DirectRouter, threads),
+            &GOLDEN_DIRECT,
+            &format!("direct@{threads}t"),
+        );
+        check(
+            &run_scheme_threaded(&DetVlb, threads),
+            &GOLDEN_SPRAY,
+            &format!("spray@{threads}t"),
+        );
+    }
 }
 
 /// Regeneration helper: prints the golden constants for the current
