@@ -1,0 +1,276 @@
+//! Tail autopsy: where a traced cell's latency actually went.
+//!
+//! Consumes the [`CellBreakdown`]s a
+//! [`FlowTraceCollector`](sorn_telemetry::FlowTraceCollector) derives
+//! from causal flow traces and answers the question the aggregate
+//! latency histogram can't: for the *slowest* cells, how much of the
+//! time was unavoidable reconfiguration wait (the rotation schedule's
+//! tax), how much was queueing contention, and how much was time on the
+//! wire. Renders a paper-style text table with a percentile summary on
+//! top and one row per tail cell below.
+
+use crate::render::{fmt_latency, fmt_pct, TextTable};
+use sorn_telemetry::CellBreakdown;
+
+/// Aggregate attribution over one latency population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttributionShare {
+    /// Fraction of total latency spent queued (contention).
+    pub queue: f64,
+    /// Fraction spent waiting for scheduled circuits.
+    pub reconfig: f64,
+    /// Fraction spent in transmission (slot + propagation).
+    pub transmit: f64,
+}
+
+impl AttributionShare {
+    fn of(cells: &[&CellBreakdown]) -> AttributionShare {
+        let total: u64 = cells.iter().filter_map(|c| c.latency_ns).sum();
+        if total == 0 {
+            return AttributionShare {
+                queue: 0.0,
+                reconfig: 0.0,
+                transmit: 0.0,
+            };
+        }
+        let queue: u64 = cells.iter().map(|c| c.queue_ns).sum();
+        let reconfig: u64 = cells.iter().map(|c| c.reconfig_wait_ns).sum();
+        let transmit: u64 = cells.iter().map(|c| c.transmit_ns).sum();
+        AttributionShare {
+            queue: queue as f64 / total as f64,
+            reconfig: reconfig as f64 / total as f64,
+            transmit: transmit as f64 / total as f64,
+        }
+    }
+}
+
+/// One percentile band of the delivered-latency distribution with its
+/// attribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TailBand {
+    /// Human label, e.g. `"p99.9"`.
+    pub label: &'static str,
+    /// The percentile's latency threshold in nanoseconds.
+    pub threshold_ns: u64,
+    /// Number of delivered cells at or above the threshold.
+    pub cells: usize,
+    /// Where those cells' latency went.
+    pub share: AttributionShare,
+}
+
+/// The full tail-autopsy report over one run's traced cells.
+#[derive(Debug, Clone)]
+pub struct TailAutopsy {
+    /// Traced cells that were delivered.
+    pub delivered: usize,
+    /// Traced cells that were dropped.
+    pub dropped: usize,
+    /// Traced cells neither delivered nor dropped at run end.
+    pub in_flight: usize,
+    /// Attribution over every delivered traced cell.
+    pub overall: AttributionShare,
+    /// Attribution bands at p50 / p99 / p99.9 of delivered latency.
+    pub bands: Vec<TailBand>,
+    /// The slowest delivered cells, latency-descending (ties broken by
+    /// flow then seq, so the report is deterministic).
+    pub worst: Vec<CellBreakdown>,
+}
+
+impl TailAutopsy {
+    /// Builds the autopsy, keeping the `keep_worst` slowest delivered
+    /// cells for the per-cell table.
+    pub fn from_breakdowns(breakdowns: &[CellBreakdown], keep_worst: usize) -> TailAutopsy {
+        let delivered: Vec<&CellBreakdown> = breakdowns
+            .iter()
+            .filter(|c| c.latency_ns.is_some())
+            .collect();
+        let dropped = breakdowns.iter().filter(|c| c.dropped).count();
+        let in_flight = breakdowns.len() - delivered.len() - dropped;
+
+        let mut by_latency = delivered.clone();
+        // Latency descending; (flow, seq) ascending on ties keeps the
+        // report byte-stable across runs and thread counts.
+        by_latency.sort_by(|a, b| {
+            b.latency_ns
+                .cmp(&a.latency_ns)
+                .then(a.flow.cmp(&b.flow))
+                .then(a.seq.cmp(&b.seq))
+        });
+
+        let bands = [("p50", 0.50), ("p99", 0.99), ("p99.9", 0.999)]
+            .into_iter()
+            .filter_map(|(label, p)| {
+                if by_latency.is_empty() {
+                    return None;
+                }
+                // Cells at or above the percentile: the slowest
+                // (1-p) fraction of them, at least one. Round rather
+                // than ceil: (1-0.999)*1000 is 1.0000000000000009.
+                let keep = (((1.0 - p) * by_latency.len() as f64).round() as usize)
+                    .clamp(1, by_latency.len());
+                let band = &by_latency[..keep];
+                Some(TailBand {
+                    label,
+                    threshold_ns: band[keep - 1].latency_ns.unwrap_or(0),
+                    cells: keep,
+                    share: AttributionShare::of(band),
+                })
+            })
+            .collect();
+
+        TailAutopsy {
+            delivered: delivered.len(),
+            dropped,
+            in_flight,
+            overall: AttributionShare::of(&delivered),
+            bands,
+            worst: by_latency.into_iter().take(keep_worst).cloned().collect(),
+        }
+    }
+
+    /// Renders the report: a band summary table and the per-cell tail
+    /// table, in the `render` module's text-table style.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "tail autopsy: {} delivered, {} dropped, {} in flight\n\n",
+            self.delivered, self.dropped, self.in_flight
+        );
+
+        let mut bands = TextTable::new(&[
+            "band",
+            "latency >=",
+            "cells",
+            "queue",
+            "reconfig",
+            "transmit",
+        ]);
+        bands.row(vec![
+            "all".into(),
+            "-".into(),
+            self.delivered.to_string(),
+            fmt_pct(self.overall.queue),
+            fmt_pct(self.overall.reconfig),
+            fmt_pct(self.overall.transmit),
+        ]);
+        for b in &self.bands {
+            bands.row(vec![
+                b.label.into(),
+                fmt_latency(b.threshold_ns as f64),
+                b.cells.to_string(),
+                fmt_pct(b.share.queue),
+                fmt_pct(b.share.reconfig),
+                fmt_pct(b.share.transmit),
+            ]);
+        }
+        out.push_str(&bands.render());
+
+        if !self.worst.is_empty() {
+            out.push('\n');
+            let mut worst = TextTable::new(&[
+                "flow", "cell", "latency", "queue", "reconfig", "transmit", "hops",
+            ]);
+            for c in &self.worst {
+                worst.row(vec![
+                    c.flow.to_string(),
+                    c.seq.to_string(),
+                    fmt_latency(c.latency_ns.unwrap_or(0) as f64),
+                    fmt_latency(c.queue_ns as f64),
+                    fmt_latency(c.reconfig_wait_ns as f64),
+                    fmt_latency(c.transmit_ns as f64),
+                    c.hops.to_string(),
+                ]);
+            }
+            out.push_str(&worst.render());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(flow: u64, seq: u64, latency: Option<u64>, q: u64, r: u64, t: u64) -> CellBreakdown {
+        CellBreakdown {
+            flow,
+            seq,
+            injected_ns: 0,
+            latency_ns: latency,
+            queue_ns: q,
+            reconfig_wait_ns: r,
+            transmit_ns: t,
+            hops: 2,
+            dropped: latency.is_none(),
+        }
+    }
+
+    #[test]
+    fn attribution_shares_sum_to_one_for_exact_splits() {
+        let cells = vec![cell(0, 0, Some(1000), 300, 200, 500)];
+        let a = TailAutopsy::from_breakdowns(&cells, 4);
+        assert!((a.overall.queue - 0.3).abs() < 1e-12);
+        assert!((a.overall.reconfig - 0.2).abs() < 1e-12);
+        assert!((a.overall.transmit - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_bands_narrow_toward_the_slowest_cells() {
+        // 1000 cells: 999 fast (all transmit), 1 slow (all queueing).
+        let mut cells: Vec<CellBreakdown> =
+            (0..999).map(|i| cell(i, 0, Some(700), 0, 0, 700)).collect();
+        cells.push(cell(999, 0, Some(50_000), 49_300, 0, 700));
+        let a = TailAutopsy::from_breakdowns(&cells, 3);
+        assert_eq!(a.delivered, 1000);
+        let p999 = a.bands.iter().find(|b| b.label == "p99.9").unwrap();
+        assert_eq!(p999.cells, 1);
+        assert!(p999.share.queue > 0.95, "tail should be queue-dominated");
+        // The overall split is transmit-heavy.
+        assert!(a.overall.transmit > 0.9);
+        assert_eq!(a.worst.len(), 3);
+        assert_eq!(a.worst[0].flow, 999);
+    }
+
+    #[test]
+    fn worst_rows_are_deterministically_ordered() {
+        let cells = vec![
+            cell(2, 0, Some(900), 0, 0, 900),
+            cell(1, 1, Some(900), 0, 0, 900),
+            cell(1, 0, Some(900), 0, 0, 900),
+        ];
+        let a = TailAutopsy::from_breakdowns(&cells, 3);
+        let order: Vec<(u64, u64)> = a.worst.iter().map(|c| (c.flow, c.seq)).collect();
+        assert_eq!(order, vec![(1, 0), (1, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn dropped_and_in_flight_cells_are_counted_not_attributed() {
+        let cells = vec![cell(0, 0, Some(700), 0, 0, 700), cell(0, 1, None, 0, 0, 0)];
+        let a = TailAutopsy::from_breakdowns(&cells, 2);
+        assert_eq!(a.delivered, 1);
+        assert_eq!(a.dropped, 1);
+        assert_eq!(a.in_flight, 0);
+        assert_eq!(a.worst.len(), 1);
+    }
+
+    #[test]
+    fn render_contains_bands_and_rows() {
+        let cells = vec![cell(7, 3, Some(1400), 400, 300, 700)];
+        let a = TailAutopsy::from_breakdowns(&cells, 1);
+        let text = a.render();
+        assert!(text.contains("tail autopsy: 1 delivered"));
+        assert!(text.contains("p99.9"));
+        assert!(text.contains("1.40 us"));
+        // Per-cell table includes the flow id.
+        assert!(text.lines().any(|l| l.trim_start().starts_with('7')));
+        // Deterministic rendering.
+        assert_eq!(text, a.render());
+    }
+
+    #[test]
+    fn empty_input_renders_without_panicking() {
+        let a = TailAutopsy::from_breakdowns(&[], 4);
+        assert_eq!(a.delivered, 0);
+        assert!(a.bands.is_empty());
+        assert!(a.render().contains("0 delivered"));
+    }
+}

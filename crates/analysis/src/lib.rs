@@ -19,10 +19,14 @@
 //!   schema, with baseline comparison for perf-regression checks.
 //! - [`timeseries`]: percentile summaries and CSV timelines over the
 //!   JSONL run traces that `sorn-telemetry` probes produce.
+//! - [`autopsy`]: tail-latency attribution tables over the causal flow
+//!   traces (`--trace-flows`) — queueing vs transmission vs
+//!   reconfiguration wait at p50/p99/p99.9.
 
 #![warn(missing_docs)]
 
 pub mod adaptation;
+pub mod autopsy;
 pub mod blast;
 pub mod fct;
 pub mod fig2f;

@@ -137,13 +137,22 @@ fn take_count_flag(
 /// - `--trace-out <path>`: write a JSONL run trace (or, for the
 ///   control-plane binaries, a decision log) to `path`;
 /// - `--sample-interval-ns <n>`: simulated time between trace snapshots
-///   (default 100 µs).
+///   (default 100 µs);
+/// - `--serve-metrics <addr>`: serve live `/metrics`, `/health`, and
+///   `/progress` over HTTP while the run executes (port `0` picks a
+///   free one);
+/// - `--serve-linger-ms <n>`: keep the endpoint up this long after the
+///   run finishes, so scrapers can collect the final snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TelemetryOpts {
     /// Where to write the JSONL trace; `None` disables tracing.
     pub trace_out: Option<std::path::PathBuf>,
     /// Snapshot sampling interval in simulated nanoseconds.
     pub sample_interval_ns: u64,
+    /// Address for the live metrics endpoint; `None` disables it.
+    pub serve_metrics: Option<String>,
+    /// How long the endpoint outlives the run, in milliseconds.
+    pub serve_linger_ms: u64,
 }
 
 impl Default for TelemetryOpts {
@@ -151,6 +160,8 @@ impl Default for TelemetryOpts {
         TelemetryOpts {
             trace_out: None,
             sample_interval_ns: Self::DEFAULT_INTERVAL_NS,
+            serve_metrics: None,
+            serve_linger_ms: 0,
         }
     }
 }
@@ -188,6 +199,13 @@ impl TelemetryOpts {
                     }
                     opts.sample_interval_ns = ns;
                 }
+                "--serve-metrics" => opts.serve_metrics = Some(value(&mut it)?),
+                "--serve-linger-ms" => {
+                    let v = value(&mut it)?;
+                    opts.serve_linger_ms = v
+                        .parse()
+                        .map_err(|_| format!("--serve-linger-ms: bad number {v:?}"))?;
+                }
                 other => return Err(format!("unknown argument {other:?}")),
             }
         }
@@ -201,7 +219,10 @@ impl TelemetryOpts {
             Ok(opts) => opts,
             Err(e) => {
                 eprintln!("error: {e}");
-                eprintln!("usage: [--trace-out <path>] [--sample-interval-ns <n>]");
+                eprintln!(
+                    "usage: [--trace-out <path>] [--sample-interval-ns <n>] \
+                     [--serve-metrics <addr>] [--serve-linger-ms <n>]"
+                );
                 std::process::exit(2);
             }
         }
@@ -297,5 +318,13 @@ mod tests {
         assert!(parse(&["--trace-out"]).is_err());
         assert!(parse(&["--sample-interval-ns", "zero"]).is_err());
         assert!(parse(&["--sample-interval-ns", "0"]).is_err());
+        assert!(parse(&["--serve-linger-ms", "soon"]).is_err());
+    }
+
+    #[test]
+    fn serve_flags_parse() {
+        let opts = parse(&["--serve-metrics", "127.0.0.1:0", "--serve-linger-ms=250"]).unwrap();
+        assert_eq!(opts.serve_metrics.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(opts.serve_linger_ms, 250);
     }
 }

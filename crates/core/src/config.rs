@@ -62,6 +62,9 @@ pub struct SornConfig {
     /// (`SimConfig::engine_threads`); `1` is the serial path, and any
     /// value yields bit-identical results.
     pub engine_threads: usize,
+    /// Causal flow tracing (`SimConfig::trace_one_in`): trace roughly
+    /// one flow in this many; `0` disables tracing.
+    pub trace_one_in: u64,
 }
 
 impl SornConfig {
@@ -78,6 +81,7 @@ impl SornConfig {
             propagation_ns: 500,
             inter_latency_model: InterCliqueLatencyModel::Table,
             engine_threads: 1,
+            trace_one_in: 0,
         }
     }
 
@@ -94,6 +98,7 @@ impl SornConfig {
             propagation_ns: 500,
             inter_latency_model: InterCliqueLatencyModel::Table,
             engine_threads: 1,
+            trace_one_in: 0,
         }
     }
 

@@ -176,6 +176,7 @@ impl SornNetwork {
             uplinks: self.config.uplinks,
             seed,
             engine_threads: self.config.engine_threads,
+            trace_one_in: self.config.trace_one_in,
             ..SimConfig::default()
         };
         let mut engine =

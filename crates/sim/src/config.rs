@@ -42,6 +42,12 @@ pub struct SimConfig {
     /// worker pool; any value produces bit-identical results — per-node
     /// RNG streams and node-ordered merges make parallelism invisible.
     pub engine_threads: usize,
+    /// Causal flow tracing: trace roughly one flow in this many (`1`
+    /// traces every flow). `0` — the default — disables tracing; the
+    /// engine then emits no hop events and pays nothing. The traced
+    /// subset is a pure hash of `(seed, flow id)`, so it is identical
+    /// at any `engine_threads` and enabling it never perturbs routing.
+    pub trace_one_in: u64,
 }
 
 impl Default for SimConfig {
@@ -56,6 +62,7 @@ impl Default for SimConfig {
             class_scan_limit: 0,
             node_queue_cap: 0,
             engine_threads: 1,
+            trace_one_in: 0,
         }
     }
 }

@@ -44,6 +44,7 @@ use crate::profiler::{NoopProfiler, Phase, Profiler};
 use crate::queues::NodeQueues;
 use crate::rng::NodeRng;
 use crate::router::{RouteDecision, Router};
+use crate::trace::{circuit_wait_slots, FlowSampler, HopEvent, HopKind};
 use sorn_topology::{CircuitSchedule, NodeId};
 use std::cell::Cell as MemoCell;
 use std::cmp::Reverse;
@@ -129,6 +130,9 @@ struct ShardScratch {
     /// Transmit pass: cells put on circuits, `(arrival node, cell)`,
     /// in `(node, uplink)` order.
     sent: Vec<(NodeId, Cell)>,
+    /// Hop events of traced flows, in canonical order within the shard.
+    /// Always empty when tracing is off.
+    hops: Vec<HopEvent>,
     /// Net change to the global queued-cell count.
     queued_delta: isize,
     /// Net change to the incremental stranded-cell count (only
@@ -147,6 +151,7 @@ impl ShardScratch {
     /// by the previous merge and keep their capacity.
     fn reset(&mut self) {
         debug_assert!(self.deliveries.is_empty() && self.drops.is_empty() && self.sent.is_empty());
+        debug_assert!(self.hops.is_empty());
         self.queued_delta = 0;
         self.stranded_delta = 0;
         self.transmissions = 0;
@@ -247,6 +252,10 @@ pub struct Engine<'a, P: Probe = NoopProbe, F: Profiler = NoopProfiler> {
     /// Flow records completed during a merge, applied after the deliver
     /// span closes (reused).
     finished_flows: Vec<FlowRecord>,
+    /// Present when `cfg.trace_one_in > 0`: decides which flows get
+    /// hop-by-hop spans. Pure hash of `(seed, flow id)` — it never
+    /// draws from the routing streams, so tracing cannot perturb a run.
+    tracer: Option<FlowSampler>,
     probe: P,
     profiler: F,
 }
@@ -333,6 +342,7 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
             arrival_buf: Vec::new(),
             node_arrivals: vec![Vec::new(); n],
             finished_flows: Vec::new(),
+            tracer: (cfg.trace_one_in > 0).then(|| FlowSampler::new(cfg.seed, cfg.trace_one_in)),
             probe,
             profiler,
             cfg,
@@ -368,6 +378,7 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
             metrics: &self.metrics,
             total_queued: self.total_queued(),
             inflight_cells: self.inflight.len(),
+            active_flows: self.active_index.len(),
         });
         self.probe
     }
@@ -597,6 +608,7 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
             metrics: &self.metrics,
             total_queued: queued,
             inflight_cells: self.inflight.len(),
+            active_flows: self.active_index.len(),
         });
         transmit_err
     }
@@ -628,6 +640,9 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
             let router = self.router;
             let cfg = &self.cfg;
             let failures = &self.failures;
+            let tracer = self.tracer;
+            let schedule = self.schedule;
+            let slot = self.slot;
             match &self.pool {
                 Some(pool) if buf.len() >= PAR_MIN_ARRIVALS && n > 1 => {
                     let k = pool.threads().min(n);
@@ -662,7 +677,10 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
                             .expect("shard slot poisoned")
                             .take()
                             .expect("each shard is claimed once");
-                        run_arrival_shard(&mut shard, buf_ref, router, cfg, failures, track);
+                        run_arrival_shard(
+                            &mut shard, buf_ref, router, cfg, failures, track, tracer, schedule,
+                            slot,
+                        );
                     });
                 }
                 _ => {
@@ -678,7 +696,9 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
                         lists: &mut lists,
                         out: &mut scratch[0],
                     };
-                    run_arrival_shard(&mut shard, &buf, router, cfg, failures, track);
+                    run_arrival_shard(
+                        &mut shard, &buf, router, cfg, failures, track, tracer, schedule, slot,
+                    );
                 }
             }
             drop(route_span);
@@ -694,6 +714,9 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
             self.queued_cells = (self.queued_cells as isize + s.queued_delta) as usize;
             if track {
                 self.stranded_adjust(s.stranded_delta);
+            }
+            for ev in s.hops.drain(..) {
+                self.probe.on_hop(&ev);
             }
             for (cell, at_ns) in s.deliveries.drain(..) {
                 // One span per delivered cell, as on the inline path:
@@ -735,6 +758,7 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
             let failures = &self.failures;
             let schedule = self.schedule;
             let slot = self.slot;
+            let tracer = self.tracer;
             match &self.pool {
                 Some(pool) if n > 1 => {
                     let k = pool.threads().min(n);
@@ -769,7 +793,7 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
                             .take()
                             .expect("each shard is claimed once");
                         run_transmit_shard(
-                            &mut shard, router, cfg, schedule, slot, failures, track, n,
+                            &mut shard, router, cfg, schedule, slot, failures, track, n, tracer,
                         );
                     });
                 }
@@ -788,7 +812,9 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
                         links: band,
                         out: &mut scratch[0],
                     };
-                    run_transmit_shard(&mut shard, router, cfg, schedule, slot, failures, track, n);
+                    run_transmit_shard(
+                        &mut shard, router, cfg, schedule, slot, failures, track, n, tracer,
+                    );
                 }
             }
         }
@@ -804,6 +830,9 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
             self.metrics
                 .link_transmissions
                 .add_nonzero(s.links_nonzero_delta);
+            for ev in s.hops.drain(..) {
+                self.probe.on_hop(&ev);
+            }
             for (node, cell) in s.sent.drain(..) {
                 self.inflight.push(self.slot, Arrival { at_ns, node, cell });
             }
@@ -942,6 +971,7 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
     /// equivalent, [`run_arrival_shard`].
     fn route_cell(&mut self, node: NodeId, mut cell: Cell, now: Nanos) {
         let router = self.router;
+        let traced = self.tracer.is_some_and(|t| t.is_traced(cell.flow));
         // The phase is only known once the decision is in: terminal
         // decisions count as Deliver, everything else as Route.
         let mut span = self.profiler.span(Phase::Route);
@@ -953,6 +983,15 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
                 // which may write trace lines) is not delivery work;
                 // close the span before it.
                 drop(span);
+                if traced {
+                    let latency_ns = now.saturating_sub(cell.injected_ns);
+                    self.probe.on_hop(&HopEvent::for_cell(
+                        &cell,
+                        node,
+                        now,
+                        HopKind::Deliver { latency_ns },
+                    ));
+                }
                 if let Some(record) = record {
                     self.probe.on_flow_finish(&record, record.completion_ns);
                     self.metrics.flows.push(record);
@@ -962,6 +1001,10 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
                 if self.queue_full(node) {
                     self.metrics.dropped_cells += 1;
                     self.probe.on_drop(&cell, node, now);
+                    if traced {
+                        self.probe
+                            .on_hop(&HopEvent::for_cell(&cell, node, now, HopKind::Drop));
+                    }
                     return;
                 }
                 if self.stranded_tracking()
@@ -972,11 +1015,30 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
                 }
                 self.queues[node.index()].push_specific(next, cell);
                 self.queued_cells += 1;
+                if traced {
+                    let wait =
+                        circuit_wait_slots(self.schedule, self.slot, self.cfg.uplinks, node, next);
+                    let depth = self.queues[node.index()].depth();
+                    self.probe.on_hop(&HopEvent::for_cell(
+                        &cell,
+                        node,
+                        now,
+                        HopKind::Enqueue {
+                            next: Some(next),
+                            depth,
+                            circuit_wait_slots: wait,
+                        },
+                    ));
+                }
             }
             RouteDecision::ToClass(class) => {
                 if self.queue_full(node) {
                     self.metrics.dropped_cells += 1;
                     self.probe.on_drop(&cell, node, now);
+                    if traced {
+                        self.probe
+                            .on_hop(&HopEvent::for_cell(&cell, node, now, HopKind::Drop));
+                    }
                     return;
                 }
                 if self.stranded_tracking() && self.failures.node_failed(cell.dst) {
@@ -984,10 +1046,27 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
                 }
                 self.queues[node.index()].push_class(class, cell);
                 self.queued_cells += 1;
+                if traced {
+                    let depth = self.queues[node.index()].depth();
+                    self.probe.on_hop(&HopEvent::for_cell(
+                        &cell,
+                        node,
+                        now,
+                        HopKind::Enqueue {
+                            next: None,
+                            depth,
+                            circuit_wait_slots: 0,
+                        },
+                    ));
+                }
             }
             RouteDecision::Drop => {
                 self.metrics.dropped_cells += 1;
                 self.probe.on_drop(&cell, node, now);
+                if traced {
+                    self.probe
+                        .on_hop(&HopEvent::for_cell(&cell, node, now, HopKind::Drop));
+                }
             }
         }
     }
@@ -1088,6 +1167,7 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
 /// shard's range, arrival order within a node. Queue pushes are applied
 /// directly (node-local); deliveries and drops go to the scratch for
 /// the engine's ordered merge.
+#[allow(clippy::too_many_arguments)]
 fn run_arrival_shard(
     shard: &mut ArrivalShard<'_>,
     buf: &[Arrival],
@@ -1095,6 +1175,9 @@ fn run_arrival_shard(
     cfg: &SimConfig,
     failures: &FailureSet,
     track_stranded: bool,
+    tracer: Option<FlowSampler>,
+    schedule: &CircuitSchedule,
+    slot: u64,
 ) {
     for li in 0..shard.lists.len() {
         if shard.lists[li].is_empty() {
@@ -1107,13 +1190,31 @@ fn run_arrival_shard(
             let a = buf[i as usize];
             debug_assert_eq!(a.node, node, "arrival grouped under the wrong node");
             let mut cell = a.cell;
+            let traced = tracer.is_some_and(|t| t.is_traced(cell.flow));
             match router.decide(node, &mut cell, rng) {
                 RouteDecision::Deliver => {
                     debug_assert_eq!(node, cell.dst, "router delivered at the wrong node");
+                    if traced {
+                        let latency_ns = a.at_ns.saturating_sub(cell.injected_ns);
+                        shard.out.hops.push(HopEvent::for_cell(
+                            &cell,
+                            node,
+                            a.at_ns,
+                            HopKind::Deliver { latency_ns },
+                        ));
+                    }
                     shard.out.deliveries.push((cell, a.at_ns));
                 }
                 RouteDecision::ToNode(next) => {
                     if cfg.node_queue_cap > 0 && queue.depth() >= cfg.node_queue_cap {
+                        if traced {
+                            shard.out.hops.push(HopEvent::for_cell(
+                                &cell,
+                                node,
+                                a.at_ns,
+                                HopKind::Drop,
+                            ));
+                        }
                         shard.out.drops.push((node, cell, a.at_ns));
                         continue;
                     }
@@ -1124,9 +1225,30 @@ fn run_arrival_shard(
                     }
                     queue.push_specific(next, cell);
                     shard.out.queued_delta += 1;
+                    if traced {
+                        let wait = circuit_wait_slots(schedule, slot, cfg.uplinks, node, next);
+                        shard.out.hops.push(HopEvent::for_cell(
+                            &cell,
+                            node,
+                            a.at_ns,
+                            HopKind::Enqueue {
+                                next: Some(next),
+                                depth: queue.depth(),
+                                circuit_wait_slots: wait,
+                            },
+                        ));
+                    }
                 }
                 RouteDecision::ToClass(class) => {
                     if cfg.node_queue_cap > 0 && queue.depth() >= cfg.node_queue_cap {
+                        if traced {
+                            shard.out.hops.push(HopEvent::for_cell(
+                                &cell,
+                                node,
+                                a.at_ns,
+                                HopKind::Drop,
+                            ));
+                        }
                         shard.out.drops.push((node, cell, a.at_ns));
                         continue;
                     }
@@ -1135,8 +1257,30 @@ fn run_arrival_shard(
                     }
                     queue.push_class(class, cell);
                     shard.out.queued_delta += 1;
+                    if traced {
+                        shard.out.hops.push(HopEvent::for_cell(
+                            &cell,
+                            node,
+                            a.at_ns,
+                            HopKind::Enqueue {
+                                next: None,
+                                depth: queue.depth(),
+                                circuit_wait_slots: 0,
+                            },
+                        ));
+                    }
                 }
-                RouteDecision::Drop => shard.out.drops.push((node, cell, a.at_ns)),
+                RouteDecision::Drop => {
+                    if traced {
+                        shard.out.hops.push(HopEvent::for_cell(
+                            &cell,
+                            node,
+                            a.at_ns,
+                            HopKind::Drop,
+                        ));
+                    }
+                    shard.out.drops.push((node, cell, a.at_ns));
+                }
             }
         }
         shard.lists[li].clear();
@@ -1155,7 +1299,9 @@ fn run_transmit_shard(
     failures: &FailureSet,
     track_stranded: bool,
     n: usize,
+    tracer: Option<FlowSampler>,
 ) {
+    let now = cfg.slot_start(slot);
     let healthy = failures.is_empty();
     let period = schedule.period() as u64;
     let max_hops = router.max_hops();
@@ -1204,6 +1350,17 @@ fn run_transmit_shard(
                         shard.out.links_nonzero_delta += 1;
                     }
                     *count += 1;
+                    if tracer.is_some_and(|t| t.is_traced(cell.flow)) {
+                        shard.out.hops.push(HopEvent::for_cell(
+                            &cell,
+                            v,
+                            now,
+                            HopKind::Transmit {
+                                to: w,
+                                depth_after: shard.queues[li].depth(),
+                            },
+                        ));
+                    }
                     shard.out.sent.push((w, cell));
                 }
                 None => shard.out.idle += 1,

@@ -52,6 +52,7 @@ mod profiler;
 mod queues;
 mod rng;
 mod router;
+mod trace;
 
 pub use cell::{Cell, Flow, FlowId};
 pub use config::{Nanos, SimConfig};
@@ -67,6 +68,7 @@ pub use profiler::{NoopProfiler, Phase, PhaseSpan, Profiler};
 pub use queues::NodeQueues;
 pub use rng::NodeRng;
 pub use router::{ClassId, DirectRouter, RouteDecision, Router};
+pub use trace::{circuit_wait_slots, FlowSampler, HopEvent, HopKind, CIRCUIT_NEVER};
 
 /// Internal hot-path types re-exported for this crate's Criterion
 /// benches (`benches/hotpath.rs`). Not part of the public API.

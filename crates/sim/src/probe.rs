@@ -14,6 +14,7 @@ use crate::cell::{Cell, Flow};
 use crate::config::Nanos;
 use crate::fault::FaultView;
 use crate::metrics::{FlowRecord, Metrics};
+use crate::trace::HopEvent;
 use sorn_topology::NodeId;
 
 /// A read-only view of engine state handed to slot-boundary hooks.
@@ -34,6 +35,8 @@ pub struct SlotView<'a> {
     pub total_queued: usize,
     /// Cells propagating on circuits right now.
     pub inflight_cells: usize,
+    /// Flows started but not yet fully delivered.
+    pub active_flows: usize,
 }
 
 /// Callbacks invoked by the engine as a simulation runs.
@@ -72,6 +75,13 @@ pub trait Probe {
     /// `Engine::finish`). Probes that buffer state should emit their
     /// final snapshot here.
     fn on_run_end(&mut self, _view: &SlotView<'_>) {}
+
+    /// Called for every span of a traced cell's journey when causal
+    /// flow tracing is on (`SimConfig::trace_one_in > 0`). Events
+    /// arrive in the engine's canonical order — node-ascending within
+    /// each pass — so the stream is byte-identical at any thread count.
+    /// Never called when tracing is off.
+    fn on_hop(&mut self, _event: &HopEvent) {}
 }
 
 /// The default probe: observes nothing, costs nothing.
@@ -107,5 +117,101 @@ impl<P: Probe> Probe for &mut P {
     }
     fn on_run_end(&mut self, view: &SlotView<'_>) {
         (**self).on_run_end(view);
+    }
+    fn on_hop(&mut self, event: &HopEvent) {
+        (**self).on_hop(event);
+    }
+}
+
+/// Pairs two probes into one: every hook fires on `A` first, then `B`.
+/// Nest tuples to stack any number of observers on one engine without a
+/// bespoke combinator type — `(live, (tracer, recorder))`.
+impl<A: Probe, B: Probe> Probe for (A, B) {
+    fn on_slot_end(&mut self, view: &SlotView<'_>) {
+        self.0.on_slot_end(view);
+        self.1.on_slot_end(view);
+    }
+    fn on_delivery(&mut self, cell: &Cell, latency_ns: Nanos, now_ns: Nanos) {
+        self.0.on_delivery(cell, latency_ns, now_ns);
+        self.1.on_delivery(cell, latency_ns, now_ns);
+    }
+    fn on_drop(&mut self, cell: &Cell, node: NodeId, now_ns: Nanos) {
+        self.0.on_drop(cell, node, now_ns);
+        self.1.on_drop(cell, node, now_ns);
+    }
+    fn on_flow_start(&mut self, flow: &Flow, now_ns: Nanos) {
+        self.0.on_flow_start(flow, now_ns);
+        self.1.on_flow_start(flow, now_ns);
+    }
+    fn on_flow_finish(&mut self, record: &FlowRecord, now_ns: Nanos) {
+        self.0.on_flow_finish(record, now_ns);
+        self.1.on_flow_finish(record, now_ns);
+    }
+    fn on_reconfiguration(&mut self, slot: u64, now_ns: Nanos) {
+        self.0.on_reconfiguration(slot, now_ns);
+        self.1.on_reconfiguration(slot, now_ns);
+    }
+    fn on_fault(&mut self, view: &FaultView<'_>) {
+        self.0.on_fault(view);
+        self.1.on_fault(view);
+    }
+    fn on_run_end(&mut self, view: &SlotView<'_>) {
+        self.0.on_run_end(view);
+        self.1.on_run_end(view);
+    }
+    fn on_hop(&mut self, event: &HopEvent) {
+        self.0.on_hop(event);
+        self.1.on_hop(event);
+    }
+}
+
+/// A probe that may not be there: `None` observes nothing. Lets a
+/// binary decide at runtime whether to attach an observer while the
+/// engine stays monomorphized over one composed probe type.
+impl<P: Probe> Probe for Option<P> {
+    fn on_slot_end(&mut self, view: &SlotView<'_>) {
+        if let Some(p) = self {
+            p.on_slot_end(view);
+        }
+    }
+    fn on_delivery(&mut self, cell: &Cell, latency_ns: Nanos, now_ns: Nanos) {
+        if let Some(p) = self {
+            p.on_delivery(cell, latency_ns, now_ns);
+        }
+    }
+    fn on_drop(&mut self, cell: &Cell, node: NodeId, now_ns: Nanos) {
+        if let Some(p) = self {
+            p.on_drop(cell, node, now_ns);
+        }
+    }
+    fn on_flow_start(&mut self, flow: &Flow, now_ns: Nanos) {
+        if let Some(p) = self {
+            p.on_flow_start(flow, now_ns);
+        }
+    }
+    fn on_flow_finish(&mut self, record: &FlowRecord, now_ns: Nanos) {
+        if let Some(p) = self {
+            p.on_flow_finish(record, now_ns);
+        }
+    }
+    fn on_reconfiguration(&mut self, slot: u64, now_ns: Nanos) {
+        if let Some(p) = self {
+            p.on_reconfiguration(slot, now_ns);
+        }
+    }
+    fn on_fault(&mut self, view: &FaultView<'_>) {
+        if let Some(p) = self {
+            p.on_fault(view);
+        }
+    }
+    fn on_run_end(&mut self, view: &SlotView<'_>) {
+        if let Some(p) = self {
+            p.on_run_end(view);
+        }
+    }
+    fn on_hop(&mut self, event: &HopEvent) {
+        if let Some(p) = self {
+            p.on_hop(event);
+        }
     }
 }

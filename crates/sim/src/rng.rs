@@ -13,9 +13,11 @@
 /// Weyl-sequence increment of SplitMix64 (the golden ratio, 2^64/φ).
 const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
 
-/// Applies the SplitMix64 output finalizer.
+/// Applies the SplitMix64 output finalizer. Shared with the flow
+/// tracer's sampler so traced-set membership is a pure hash of
+/// `(seed, flow id)` that never touches these streams.
 #[inline]
-fn mix(mut z: u64) -> u64 {
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)

@@ -1,0 +1,274 @@
+//! Causal flow tracing: deterministic sampling and hop-by-hop spans.
+//!
+//! A traced run follows a *sampled subset* of flows through every hop:
+//! the routing decision and queue entry (with queue depth and the
+//! schedule-implied wait for the chosen circuit), the transmit onto a
+//! link, and the final delivery. Sampling is a pure function of the run
+//! seed and the flow id — it never draws from the per-node routing
+//! streams ([`crate::NodeRng`]) — so enabling tracing cannot perturb a
+//! simulation, and the traced set is identical at any
+//! `SimConfig::engine_threads`.
+//!
+//! Hop events produced inside the engine's sharded passes are buffered
+//! per shard and merged in canonical node-ascending order, exactly like
+//! deliveries and drops, so the event stream a probe observes is
+//! byte-identical between serial and parallel runs.
+
+use crate::cell::{Cell, FlowId};
+use crate::config::Nanos;
+use crate::rng::mix;
+use sorn_topology::{CircuitSchedule, NodeId};
+
+/// Sentinel for [`HopKind::Enqueue::circuit_wait_slots`] when the
+/// schedule never brings up a circuit toward the chosen next hop.
+pub const CIRCUIT_NEVER: u32 = u32::MAX;
+
+/// Deterministic flow-sampling decision, keyed by `(seed, flow id)`.
+///
+/// `one_in = k` traces roughly one flow in `k` (exactly: the flows whose
+/// mixed key lands in the lowest `1/k` of the hash space). `one_in = 1`
+/// traces everything. The decision is stateless, so every shard — and
+/// every re-run at a different thread count — agrees on the traced set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowSampler {
+    key: u64,
+    /// Inclusive upper bound on the mixed hash for a traced flow.
+    threshold: u64,
+}
+
+impl FlowSampler {
+    /// Samples one flow in `one_in` under `seed`.
+    ///
+    /// # Panics
+    /// Panics if `one_in` is zero (use `Option<FlowSampler>` — or
+    /// `SimConfig::trace_one_in = 0` — for "tracing off").
+    pub fn new(seed: u64, one_in: u64) -> Self {
+        assert!(one_in > 0, "sampling rate must be positive");
+        FlowSampler {
+            // Decorrelate from the routing streams: they key on
+            // mix(mix(seed) ^ ...), this keys on mix(seed ^ !0).
+            key: mix(seed ^ u64::MAX),
+            threshold: u64::MAX / one_in,
+        }
+    }
+
+    /// True when `flow` belongs to the traced subset.
+    #[inline]
+    pub fn is_traced(&self, flow: FlowId) -> bool {
+        mix(self.key ^ flow.0) <= self.threshold
+    }
+}
+
+/// What happened to a traced cell at one point of its journey.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HopKind {
+    /// The router picked a next hop (or spray class) and the cell
+    /// entered the node's queues.
+    Enqueue {
+        /// Chosen next hop; `None` when the cell went to a spray class
+        /// queue (any admissible circuit may carry it).
+        next: Option<NodeId>,
+        /// Node queue depth right after the push (this cell included).
+        depth: usize,
+        /// Slots until the schedule first brings up a circuit toward
+        /// `next`, counted from the slot of the enqueue. `0` for class
+        /// queues (some admissible circuit is assumed reachable) and
+        /// [`CIRCUIT_NEVER`] when the schedule never connects the pair.
+        /// This is the *unavoidable* reconfiguration wait; any extra
+        /// time in queue is contention.
+        circuit_wait_slots: u32,
+    },
+    /// The cell was popped from the queue and put on a circuit.
+    Transmit {
+        /// Receiving node of the circuit.
+        to: NodeId,
+        /// Node queue depth right after the pop (this cell excluded).
+        depth_after: usize,
+    },
+    /// The cell reached its destination.
+    Deliver {
+        /// Injection-to-delivery time of the cell.
+        latency_ns: Nanos,
+    },
+    /// The cell was shed (full queue or router decision).
+    Drop,
+}
+
+/// One hop-by-hop span event for a traced cell.
+///
+/// Events for one cell always appear in causal order; across cells the
+/// stream follows the engine's canonical order (node-ascending within
+/// each pass), so it is identical at any thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopEvent {
+    /// The traced flow.
+    pub flow: FlowId,
+    /// Cell sequence number within the flow.
+    pub seq: u64,
+    /// Node where the event happened.
+    pub node: NodeId,
+    /// Simulated time of the event (slot start for queue/transmit
+    /// events, arrival time for deliveries).
+    pub at_ns: Nanos,
+    /// Injection time of the cell (every span of a cell carries it, so
+    /// consumers never need to join against a separate injection log).
+    pub injected_ns: Nanos,
+    /// Hops the cell had taken when the event fired.
+    pub hops: u8,
+    /// The event itself.
+    pub kind: HopKind,
+}
+
+/// Slots until the schedule first connects `v -> w`, counted from
+/// `slot` inclusive, considering all `uplinks` staggered planes.
+/// Returns [`CIRCUIT_NEVER`] if no plane ever provides the circuit
+/// (the scan is bounded by one schedule period).
+pub fn circuit_wait_slots(
+    schedule: &CircuitSchedule,
+    slot: u64,
+    uplinks: usize,
+    v: NodeId,
+    w: NodeId,
+) -> u32 {
+    let period = schedule.period() as u64;
+    for d in 0..period {
+        for uplink in 0..uplinks {
+            let offset = (uplink as u64 * period) / uplinks as u64;
+            if schedule.matching_at(slot + d + offset).dst_of(v) == Some(w) {
+                return d as u32;
+            }
+        }
+    }
+    CIRCUIT_NEVER
+}
+
+impl HopEvent {
+    /// Compact single-line debug rendering used by golden tests; stable
+    /// across platforms (pure integer formatting).
+    pub fn render(&self) -> String {
+        let head = format!(
+            "f{} c{} n{} t{} i{} h{}",
+            self.flow.0, self.seq, self.node.0, self.at_ns, self.injected_ns, self.hops
+        );
+        match self.kind {
+            HopKind::Enqueue {
+                next,
+                depth,
+                circuit_wait_slots,
+            } => {
+                let nx = match next {
+                    Some(n) => format!("{}", n.0),
+                    None => "class".to_string(),
+                };
+                format!("{head} ENQ next={nx} depth={depth} wait={circuit_wait_slots}")
+            }
+            HopKind::Transmit { to, depth_after } => {
+                format!("{head} TX to={} depth={depth_after}", to.0)
+            }
+            HopKind::Deliver { latency_ns } => format!("{head} DLV lat={latency_ns}"),
+            HopKind::Drop => format!("{head} DROP"),
+        }
+    }
+
+    /// Helper used at every engine emission site: builds the event from
+    /// the cell it describes.
+    #[inline]
+    pub(crate) fn for_cell(cell: &Cell, node: NodeId, at_ns: Nanos, kind: HopKind) -> Self {
+        HopEvent {
+            flow: cell.flow,
+            seq: cell.seq,
+            node,
+            at_ns,
+            injected_ns: cell.injected_ns,
+            hops: cell.hops,
+            kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sorn_topology::builders::round_robin;
+
+    #[test]
+    fn sampling_is_pure_and_seed_dependent() {
+        let s = FlowSampler::new(7, 4);
+        let t = FlowSampler::new(7, 4);
+        for id in 0..256u64 {
+            assert_eq!(s.is_traced(FlowId(id)), t.is_traced(FlowId(id)));
+        }
+        let other = FlowSampler::new(8, 4);
+        let same: usize = (0..4096u64)
+            .filter(|&id| s.is_traced(FlowId(id)) == other.is_traced(FlowId(id)))
+            .count();
+        assert!(same < 4096, "different seeds must sample differently");
+    }
+
+    #[test]
+    fn sampling_rate_is_roughly_one_in_k() {
+        let s = FlowSampler::new(42, 8);
+        let hits = (0..80_000u64).filter(|&id| s.is_traced(FlowId(id))).count();
+        // Expect ~10_000; allow wide slack (hash, not RNG).
+        assert!((8_000..12_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn one_in_one_traces_everything() {
+        let s = FlowSampler::new(3, 1);
+        assert!((0..1000u64).all(|id| s.is_traced(FlowId(id))));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        FlowSampler::new(0, 0);
+    }
+
+    #[test]
+    fn circuit_wait_matches_round_robin_rotation() {
+        // round_robin(4): matching at slot s connects v -> v + (s % 3) + 1.
+        let sched = round_robin(4).unwrap();
+        // 0 -> 1 is up at slot 0: wait 0 from slot 0.
+        assert_eq!(circuit_wait_slots(&sched, 0, 1, NodeId(0), NodeId(1)), 0);
+        // 0 -> 3 comes up at slot 2: wait 2 from slot 0, 0 from slot 2.
+        assert_eq!(circuit_wait_slots(&sched, 0, 1, NodeId(0), NodeId(3)), 2);
+        assert_eq!(circuit_wait_slots(&sched, 2, 1, NodeId(0), NodeId(3)), 0);
+        // A self-circuit never exists.
+        assert_eq!(
+            circuit_wait_slots(&sched, 0, 1, NodeId(0), NodeId(0)),
+            CIRCUIT_NEVER
+        );
+    }
+
+    #[test]
+    fn staggered_uplinks_shrink_the_wait() {
+        let sched = round_robin(4).unwrap();
+        // With 3 planes (one per distinct matching) every circuit is up
+        // every slot.
+        for w in 1..4u32 {
+            assert_eq!(circuit_wait_slots(&sched, 0, 3, NodeId(0), NodeId(w)), 0);
+        }
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let ev = HopEvent {
+            flow: FlowId(9),
+            seq: 2,
+            node: NodeId(3),
+            at_ns: 700,
+            injected_ns: 100,
+            hops: 1,
+            kind: HopKind::Enqueue {
+                next: Some(NodeId(5)),
+                depth: 4,
+                circuit_wait_slots: 2,
+            },
+        };
+        assert_eq!(
+            ev.render(),
+            "f9 c2 n3 t700 i100 h1 ENQ next=5 depth=4 wait=2"
+        );
+    }
+}

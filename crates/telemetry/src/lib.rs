@@ -21,7 +21,17 @@
 //!   backend for the engine's scoped phase timers (where the
 //!   *simulator's* wall-clock goes, not the simulation's);
 //! - [`MetricRegistry`] — named counters/gauges/histograms with
-//!   Prometheus text export and a JSON snapshot.
+//!   Prometheus text export and a JSON snapshot;
+//! - [`FlowTraceCollector`] — collects the engine's causal hop spans
+//!   for sampled flows and exports Chrome `trace_event` JSON plus
+//!   per-cell latency breakdowns (queueing vs transmission vs
+//!   reconfiguration wait);
+//! - [`FlightRecorder`] — an always-on bounded ring of recent anomalous
+//!   events (drops, faults, stranded onsets, drop spikes) that dumps to
+//!   JSON Lines when a watchdog fires;
+//! - [`MetricsServer`] / [`LiveMetricsProbe`] — a std-only background
+//!   HTTP listener serving `/metrics`, `/health`, and `/progress` from
+//!   snapshots published at slot boundaries.
 //!
 //! ## Example
 //!
@@ -51,13 +61,19 @@
 mod counting;
 mod event;
 mod profiler;
+mod recorder;
 mod registry;
 mod sampler;
+mod serve;
 mod sink;
+mod trace;
 
 pub use counting::CountingProbe;
 pub use event::{Snapshot, TraceEvent};
 pub use profiler::{PhaseSummary, ProfileReport, WallClockProfiler};
+pub use recorder::{FlightRecorder, RecordedEvent, DEFAULT_CAPACITY, DEFAULT_DROP_SPIKE};
 pub use registry::{HistogramMetric, MetricRegistry};
 pub use sampler::IntervalSampler;
+pub use serve::{LiveMetricsProbe, MetricsPublisher, MetricsServer};
 pub use sink::{parse_jsonl, read_jsonl, EventSink, JsonlTraceSink, MemorySink};
+pub use trace::{CellBreakdown, FlowTraceCollector};

@@ -1,0 +1,548 @@
+//! The flight recorder: an always-on, fixed-size ring of recent engine
+//! events.
+//!
+//! [`FlightRecorder`] is a [`Probe`] that keeps the last `capacity`
+//! noteworthy events — drops, fault transitions, reconfigurations,
+//! stranded-cell onsets, per-slot drop spikes — in a preallocated ring.
+//! Memory is strictly bounded by the capacity regardless of run length
+//! or network size, so it is safe to leave attached at `--scale512` and
+//! beyond.
+//!
+//! Every recorded event is derived from *simulated* state (slots,
+//! simulated time, deterministic counters), so the ring contents are
+//! byte-identical at any `engine_threads`. The one wall-clock watchdog
+//! — slow-slot detection — is opt-in
+//! ([`FlightRecorder::with_slow_slot_watchdog`]) precisely because its
+//! entries depend on host timing; leave it off when comparing dumps
+//! across runs.
+//!
+//! When an anomaly watchdog fires (a drop spike, a stranded onset, or a
+//! slow slot), the recorder arms itself; drivers check
+//! [`FlightRecorder::anomaly`] at the end of a run and dump the ring
+//! with [`FlightRecorder::dump_jsonl`]. If the process panics mid-run
+//! while a dump path is configured, the recorder writes the dump from
+//! its `Drop` impl — the black-box survives the crash.
+
+use sorn_sim::{Cell, FaultAction, FaultTarget, FaultView, Nanos, Probe, SlotView};
+use std::fmt::Write as _;
+use std::io::{self, Write};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Default ring capacity: enough recent history to diagnose a spike
+/// without meaningful memory cost (entries are small and fixed-size).
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// Default drop-spike threshold: this many drops within one slot arms
+/// the anomaly flag.
+pub const DEFAULT_DROP_SPIKE: u64 = 64;
+
+/// One recorded engine event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordedEvent {
+    /// A cell was dropped (queue cap or router decision).
+    Drop {
+        /// Simulated time of the drop.
+        at_ns: Nanos,
+        /// Dropping node.
+        node: u32,
+        /// Flow of the dropped cell.
+        flow: u64,
+        /// Cell sequence number within the flow.
+        seq: u64,
+    },
+    /// A scripted fault event took effect.
+    Fault {
+        /// Simulated time of the transition.
+        at_ns: Nanos,
+        /// Slot at whose boundary it applied.
+        slot: u64,
+        /// `"fail"` or `"restore"`.
+        action: &'static str,
+        /// Affected element, rendered (`"node 3"`, `"link 0->1"`).
+        target: String,
+        /// Failed-node count after the event.
+        failed_nodes: usize,
+        /// Failed directed-link count after the event.
+        failed_links: usize,
+    },
+    /// A new circuit schedule was installed mid-run.
+    Reconfiguration {
+        /// Simulated time of the swap.
+        at_ns: Nanos,
+        /// Slot of the swap.
+        slot: u64,
+    },
+    /// Queued cells became stranded (the count left zero).
+    StrandedOnset {
+        /// Simulated time at the end of the slot that stranded them.
+        at_ns: Nanos,
+        /// The slot.
+        slot: u64,
+        /// Stranded-cell count observed.
+        stranded: u64,
+    },
+    /// More than the configured threshold of drops landed in one slot.
+    DropSpike {
+        /// Simulated time at the end of the spiking slot.
+        at_ns: Nanos,
+        /// The slot.
+        slot: u64,
+        /// Drops within that slot.
+        drops: u64,
+    },
+    /// A slot took anomalously long in wall-clock terms (opt-in
+    /// watchdog; host-dependent, never recorded by default).
+    SlowSlot {
+        /// The slot.
+        slot: u64,
+        /// Wall-clock microseconds the slot took.
+        wall_us: u64,
+    },
+}
+
+impl RecordedEvent {
+    /// Hand-rolled single-line JSON rendering (no serde: determinism
+    /// and zero dependencies on the dump path).
+    pub fn to_json(&self) -> String {
+        match self {
+            RecordedEvent::Drop {
+                at_ns,
+                node,
+                flow,
+                seq,
+            } => format!(
+                "{{\"type\":\"drop\",\"at_ns\":{at_ns},\"node\":{node},\"flow\":{flow},\"seq\":{seq}}}"
+            ),
+            RecordedEvent::Fault {
+                at_ns,
+                slot,
+                action,
+                target,
+                failed_nodes,
+                failed_links,
+            } => format!(
+                "{{\"type\":\"fault\",\"at_ns\":{at_ns},\"slot\":{slot},\"action\":\"{action}\",\"target\":\"{target}\",\"failed_nodes\":{failed_nodes},\"failed_links\":{failed_links}}}"
+            ),
+            RecordedEvent::Reconfiguration { at_ns, slot } => {
+                format!("{{\"type\":\"reconfiguration\",\"at_ns\":{at_ns},\"slot\":{slot}}}")
+            }
+            RecordedEvent::StrandedOnset {
+                at_ns,
+                slot,
+                stranded,
+            } => format!(
+                "{{\"type\":\"stranded_onset\",\"at_ns\":{at_ns},\"slot\":{slot},\"stranded\":{stranded}}}"
+            ),
+            RecordedEvent::DropSpike { at_ns, slot, drops } => format!(
+                "{{\"type\":\"drop_spike\",\"at_ns\":{at_ns},\"slot\":{slot},\"drops\":{drops}}}"
+            ),
+            RecordedEvent::SlowSlot { slot, wall_us } => {
+                format!("{{\"type\":\"slow_slot\",\"slot\":{slot},\"wall_us\":{wall_us}}}")
+            }
+        }
+    }
+}
+
+/// The always-on bounded event ring. See the module docs.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    ring: Vec<RecordedEvent>,
+    capacity: usize,
+    /// Index of the next write (ring is full once `total >= capacity`).
+    head: usize,
+    /// Events recorded over the whole run (not just those retained).
+    total: u64,
+    drop_spike_threshold: u64,
+    last_dropped: u64,
+    last_stranded: u64,
+    anomaly: Option<String>,
+    /// Wall-clock watchdog: fire when a slot exceeds this many µs.
+    slow_slot_us: Option<u64>,
+    last_slot_end: Option<Instant>,
+    /// Dump target for the panic-path `Drop` impl and
+    /// [`FlightRecorder::dump_if_anomalous`].
+    dump_path: Option<PathBuf>,
+    dumped: bool,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the last `capacity` events.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder needs a positive capacity");
+        FlightRecorder {
+            ring: Vec::with_capacity(capacity.min(DEFAULT_CAPACITY)),
+            capacity,
+            head: 0,
+            total: 0,
+            drop_spike_threshold: DEFAULT_DROP_SPIKE,
+            last_dropped: 0,
+            last_stranded: 0,
+            anomaly: None,
+            slow_slot_us: None,
+            last_slot_end: None,
+            dump_path: None,
+            dumped: false,
+        }
+    }
+
+    /// Sets the per-slot drop count that arms the anomaly flag.
+    pub fn with_drop_spike_threshold(mut self, drops: u64) -> Self {
+        self.drop_spike_threshold = drops;
+        self
+    }
+
+    /// Enables the wall-clock slow-slot watchdog (host-dependent:
+    /// entries and anomalies from it are NOT deterministic across
+    /// machines or runs — leave off when byte-comparing dumps).
+    pub fn with_slow_slot_watchdog(mut self, threshold_us: u64) -> Self {
+        self.slow_slot_us = Some(threshold_us);
+        self
+    }
+
+    /// Configures where [`FlightRecorder::dump_if_anomalous`] — and the
+    /// panic-path `Drop` impl — write the JSONL dump.
+    pub fn with_dump_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.dump_path = Some(path.into());
+        self
+    }
+
+    /// Events recorded over the whole run (including ones the ring has
+    /// since overwritten).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// The retained events, oldest first.
+    pub fn entries(&self) -> Vec<&RecordedEvent> {
+        if self.ring.len() < self.capacity {
+            self.ring.iter().collect()
+        } else {
+            self.ring[self.head..]
+                .iter()
+                .chain(self.ring[..self.head].iter())
+                .collect()
+        }
+    }
+
+    /// The first anomaly the watchdogs saw, if any.
+    pub fn anomaly(&self) -> Option<&str> {
+        self.anomaly.as_deref()
+    }
+
+    /// Writes the ring as JSON Lines: a header object, then one event
+    /// per line, oldest first.
+    pub fn dump_jsonl(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut head = format!(
+            "{{\"type\":\"flight_recorder\",\"retained\":{},\"total\":{},\"capacity\":{}",
+            self.ring.len(),
+            self.total,
+            self.capacity
+        );
+        match &self.anomaly {
+            Some(a) => {
+                let _ = write!(head, ",\"anomaly\":\"{}\"}}", escape(a));
+            }
+            None => head.push_str(",\"anomaly\":null}"),
+        }
+        writeln!(w, "{head}")?;
+        for ev in self.entries() {
+            writeln!(w, "{}", ev.to_json())?;
+        }
+        Ok(())
+    }
+
+    /// The dump as a string (tests, endpoints).
+    pub fn dump_string(&self) -> String {
+        let mut buf = Vec::new();
+        self.dump_jsonl(&mut buf).expect("vec write cannot fail");
+        String::from_utf8(buf).expect("dump is ASCII")
+    }
+
+    /// If an anomaly was flagged and a dump path is configured, writes
+    /// the dump there. Returns the path written, if any.
+    pub fn dump_if_anomalous(&mut self) -> io::Result<Option<PathBuf>> {
+        if self.anomaly.is_none() || self.dumped {
+            return Ok(None);
+        }
+        let Some(path) = self.dump_path.clone() else {
+            return Ok(None);
+        };
+        let mut f = std::fs::File::create(&path)?;
+        self.dump_jsonl(&mut f)?;
+        f.flush()?;
+        self.dumped = true;
+        Ok(Some(path))
+    }
+
+    fn record(&mut self, ev: RecordedEvent) {
+        self.total += 1;
+        if self.ring.len() < self.capacity {
+            self.ring.push(ev);
+        } else {
+            self.ring[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    fn flag(&mut self, anomaly: String) {
+        if self.anomaly.is_none() {
+            self.anomaly = Some(anomaly);
+        }
+    }
+}
+
+impl Drop for FlightRecorder {
+    fn drop(&mut self) {
+        // The black-box survives a crash: on panic, write the dump if a
+        // path was configured and nothing was written yet.
+        if std::thread::panicking() && !self.dumped {
+            if let Some(path) = self.dump_path.clone() {
+                if let Ok(mut f) = std::fs::File::create(&path) {
+                    let _ = self.dump_jsonl(&mut f);
+                    eprintln!(
+                        "sorn-telemetry: flight recorder dumped to {} (panic)",
+                        path.display()
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+impl Probe for FlightRecorder {
+    fn on_drop(&mut self, cell: &Cell, node: sorn_topology::NodeId, now_ns: Nanos) {
+        self.record(RecordedEvent::Drop {
+            at_ns: now_ns,
+            node: node.0,
+            flow: cell.flow.0,
+            seq: cell.seq,
+        });
+    }
+
+    fn on_fault(&mut self, view: &FaultView<'_>) {
+        let action = match view.event.action {
+            FaultAction::Fail => "fail",
+            FaultAction::Restore => "restore",
+        };
+        let target = match view.event.target {
+            FaultTarget::Node(v) => format!("node {}", v.0),
+            FaultTarget::Link(a, b) => format!("link {}->{}", a.0, b.0),
+            FaultTarget::LinkBidir(a, b) => format!("link {}<->{}", a.0, b.0),
+        };
+        self.record(RecordedEvent::Fault {
+            at_ns: view.now_ns,
+            slot: view.slot,
+            action,
+            target,
+            failed_nodes: view.failed_nodes,
+            failed_links: view.failed_links,
+        });
+    }
+
+    fn on_reconfiguration(&mut self, slot: u64, now_ns: Nanos) {
+        self.record(RecordedEvent::Reconfiguration {
+            at_ns: now_ns,
+            slot,
+        });
+    }
+
+    fn on_slot_end(&mut self, view: &SlotView<'_>) {
+        let dropped = view.metrics.dropped_cells;
+        let slot_drops = dropped.saturating_sub(self.last_dropped);
+        self.last_dropped = dropped;
+        if slot_drops >= self.drop_spike_threshold {
+            self.record(RecordedEvent::DropSpike {
+                at_ns: view.now_ns,
+                slot: view.slot,
+                drops: slot_drops,
+            });
+            self.flag(format!(
+                "drop spike: {slot_drops} drops in slot {}",
+                view.slot
+            ));
+        }
+        let stranded = view.metrics.stranded_cells;
+        if stranded > 0 && self.last_stranded == 0 {
+            self.record(RecordedEvent::StrandedOnset {
+                at_ns: view.now_ns,
+                slot: view.slot,
+                stranded,
+            });
+            self.flag(format!(
+                "stranded onset: {stranded} cells in slot {}",
+                view.slot
+            ));
+        }
+        self.last_stranded = stranded;
+        if let Some(threshold_us) = self.slow_slot_us {
+            let now = Instant::now();
+            if let Some(prev) = self.last_slot_end {
+                let wall_us = now.duration_since(prev).as_micros() as u64;
+                if wall_us >= threshold_us {
+                    self.record(RecordedEvent::SlowSlot {
+                        slot: view.slot,
+                        wall_us,
+                    });
+                    self.flag(format!("slow slot: {wall_us} us at slot {}", view.slot));
+                }
+            }
+            self.last_slot_end = Some(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sorn_sim::{FlowId, Metrics};
+    use sorn_topology::NodeId;
+
+    fn cell(flow: u64, seq: u64) -> Cell {
+        Cell {
+            flow: FlowId(flow),
+            seq,
+            src: NodeId(0),
+            dst: NodeId(1),
+            injected_ns: 0,
+            hops: 0,
+            tag: 0,
+        }
+    }
+
+    fn view(metrics: &Metrics, slot: u64) -> SlotView<'_> {
+        SlotView {
+            slot,
+            now_ns: slot * 100,
+            metrics,
+            total_queued: 0,
+            inflight_cells: 0,
+            active_flows: 0,
+        }
+    }
+
+    #[test]
+    fn ring_is_strictly_bounded_and_keeps_the_newest() {
+        let mut r = FlightRecorder::new(4);
+        for i in 0..10 {
+            r.on_drop(&cell(i, 0), NodeId(0), i * 10);
+        }
+        assert_eq!(r.total_recorded(), 10);
+        let entries = r.entries();
+        assert_eq!(entries.len(), 4);
+        // Oldest-first: drops of flows 6..10 remain.
+        match entries[0] {
+            RecordedEvent::Drop { flow, .. } => assert_eq!(*flow, 6),
+            other => panic!("unexpected {other:?}"),
+        }
+        match entries[3] {
+            RecordedEvent::Drop { flow, .. } => assert_eq!(*flow, 9),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drop_spike_watchdog_flags_anomaly() {
+        let mut r = FlightRecorder::new(16).with_drop_spike_threshold(3);
+        let mut m = Metrics::default();
+        m.dropped_cells = 2;
+        r.on_slot_end(&view(&m, 1));
+        assert!(r.anomaly().is_none());
+        m.dropped_cells = 10; // 8 drops in slot 2
+        r.on_slot_end(&view(&m, 2));
+        assert!(r.anomaly().unwrap().contains("drop spike"));
+        assert!(r.entries().iter().any(|e| matches!(
+            e,
+            RecordedEvent::DropSpike {
+                drops: 8,
+                slot: 2,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn stranded_onset_recorded_once_per_episode() {
+        let mut r = FlightRecorder::new(16);
+        let mut m = Metrics::default();
+        m.stranded_cells = 5;
+        r.on_slot_end(&view(&m, 1));
+        r.on_slot_end(&view(&m, 2)); // still stranded: no new entry
+        m.stranded_cells = 0;
+        r.on_slot_end(&view(&m, 3));
+        m.stranded_cells = 2;
+        r.on_slot_end(&view(&m, 4)); // new episode
+        let onsets = r
+            .entries()
+            .iter()
+            .filter(|e| matches!(e, RecordedEvent::StrandedOnset { .. }))
+            .count();
+        assert_eq!(onsets, 2);
+    }
+
+    #[test]
+    fn dump_is_one_json_object_per_line() {
+        let mut r = FlightRecorder::new(8);
+        r.on_drop(&cell(3, 7), NodeId(2), 400);
+        r.on_reconfiguration(5, 500);
+        let dump = r.dump_string();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 3); // header + 2 events
+        assert!(lines[0].contains("\"type\":\"flight_recorder\""));
+        assert!(lines[0].contains("\"retained\":2"));
+        assert!(lines[1].contains("\"type\":\"drop\""));
+        assert!(lines[2].contains("\"type\":\"reconfiguration\""));
+        for l in lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+            assert_eq!(l.matches('{').count(), l.matches('}').count());
+        }
+    }
+
+    #[test]
+    fn dump_if_anomalous_writes_only_on_anomaly() {
+        let path = std::env::temp_dir().join(format!("sorn-fr-{}.jsonl", std::process::id()));
+        let mut r = FlightRecorder::new(8).with_dump_path(&path);
+        assert_eq!(r.dump_if_anomalous().unwrap(), None);
+        let mut m = Metrics::default();
+        m.dropped_cells = DEFAULT_DROP_SPIKE + 1;
+        r.on_slot_end(&view(&m, 1));
+        assert_eq!(r.dump_if_anomalous().unwrap(), Some(path.clone()));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("drop spike"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fault_entries_render_targets() {
+        use sorn_sim::FaultEvent;
+        let mut r = FlightRecorder::new(8);
+        let event = FaultEvent {
+            at_ns: 100,
+            action: FaultAction::Fail,
+            target: FaultTarget::Link(NodeId(0), NodeId(1)),
+        };
+        r.on_fault(&FaultView {
+            event: &event,
+            slot: 1,
+            now_ns: 100,
+            failed_nodes: 0,
+            failed_links: 1,
+        });
+        let dump = r.dump_string();
+        assert!(dump.contains("\"action\":\"fail\""));
+        assert!(dump.contains("\"target\":\"link 0->1\""));
+    }
+}

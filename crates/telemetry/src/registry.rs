@@ -52,26 +52,29 @@ impl MetricRegistry {
 
     /// Adds `by` to the named counter, creating it at zero.
     pub fn inc_counter(&mut self, name: &str, by: u64) {
-        debug_assert!(valid_name(name), "bad metric name {name:?}");
-        *self.counters.entry(name.to_string()).or_insert(0) += by;
+        *self
+            .counters
+            .entry(sanitize_name(name).into_owned())
+            .or_insert(0) += by;
     }
 
     /// Sets the named counter outright (for importing totals).
     pub fn set_counter(&mut self, name: &str, value: u64) {
-        debug_assert!(valid_name(name), "bad metric name {name:?}");
-        self.counters.insert(name.to_string(), value);
+        self.counters
+            .insert(sanitize_name(name).into_owned(), value);
     }
 
     /// Sets the named gauge.
     pub fn set_gauge(&mut self, name: &str, value: f64) {
-        debug_assert!(valid_name(name), "bad metric name {name:?}");
-        self.gauges.insert(name.to_string(), value);
+        self.gauges.insert(sanitize_name(name).into_owned(), value);
     }
 
     /// Records one sample into the named histogram, creating it empty.
     pub fn observe(&mut self, name: &str, value: u64) {
-        debug_assert!(valid_name(name), "bad metric name {name:?}");
-        let h = self.histograms.entry(name.to_string()).or_default();
+        let h = self
+            .histograms
+            .entry(sanitize_name(name).into_owned())
+            .or_default();
         h.hist.record(value);
         h.sum += value as u128;
     }
@@ -79,24 +82,27 @@ impl MetricRegistry {
     /// Imports a whole histogram under `name` (replacing any previous
     /// one), with `sum` the exact sum of its samples.
     pub fn set_histogram(&mut self, name: &str, hist: LatencyHistogram, sum: u128) {
-        debug_assert!(valid_name(name), "bad metric name {name:?}");
-        self.histograms
-            .insert(name.to_string(), HistogramMetric { hist, sum });
+        self.histograms.insert(
+            sanitize_name(name).into_owned(),
+            HistogramMetric { hist, sum },
+        );
     }
 
-    /// The named counter's value, when present.
+    /// The named counter's value, when present. Looks up under the same
+    /// sanitization the insert applied, so callers can use the name
+    /// they registered with.
     pub fn counter(&self, name: &str) -> Option<u64> {
-        self.counters.get(name).copied()
+        self.counters.get(sanitize_name(name).as_ref()).copied()
     }
 
     /// The named gauge's value, when present.
     pub fn gauge(&self, name: &str) -> Option<f64> {
-        self.gauges.get(name).copied()
+        self.gauges.get(sanitize_name(name).as_ref()).copied()
     }
 
     /// The named histogram, when present.
     pub fn histogram(&self, name: &str) -> Option<&HistogramMetric> {
-        self.histograms.get(name)
+        self.histograms.get(sanitize_name(name).as_ref())
     }
 
     /// Number of registered metrics across all three kinds.
@@ -218,6 +224,30 @@ fn valid_name(name: &str) -> bool {
         _ => return false,
     }
     chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Forces an arbitrary string into the legal metric-name charset so a
+/// hostile or buggy name can never corrupt the text exposition (a name
+/// containing a newline or space would otherwise inject whole lines
+/// into `render_prometheus`). Legal names borrow straight through;
+/// every illegal character becomes `_`, a leading digit is prefixed
+/// with `_`, and the empty string becomes `_`.
+fn sanitize_name(name: &str) -> std::borrow::Cow<'_, str> {
+    if valid_name(name) {
+        return std::borrow::Cow::Borrowed(name);
+    }
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let legal = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if legal { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    std::borrow::Cow::Owned(out)
 }
 
 fn fmt_f64(v: f64) -> String {
@@ -373,6 +403,43 @@ mod tests {
         assert!(!valid_name("9starts_with_digit"));
         assert!(!valid_name("has-dash"));
         assert!(!valid_name("has space"));
+    }
+
+    #[test]
+    fn hostile_names_are_sanitized_not_rendered_raw() {
+        let mut r = MetricRegistry::new();
+        // A newline in a name would otherwise inject whole lines into
+        // the exposition; spaces and dashes would corrupt parsing.
+        r.inc_counter("evil\nname 1\ninjected_line 2", 1);
+        r.set_gauge("has-dash and space", 2.0);
+        r.inc_counter("9starts_with_digit", 3);
+        r.inc_counter("", 4);
+
+        let text = r.render_prometheus();
+        for line in text.lines() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let name = line.split(|c| c == ' ' || c == '{').next().unwrap();
+            assert!(valid_name(name), "illegal rendered name {name:?}");
+        }
+        assert!(!text.contains("injected_line 2\n") || text.contains("_injected_line_2"));
+        assert_eq!(r.counter("evil\nname 1\ninjected_line 2"), Some(1));
+        assert_eq!(r.counter("evil_name_1_injected_line_2"), Some(1));
+        assert_eq!(r.gauge("has_dash_and_space"), Some(2.0));
+        assert_eq!(r.counter("_9starts_with_digit"), Some(3));
+        assert_eq!(r.counter("_"), Some(4));
+    }
+
+    #[test]
+    fn sanitize_passes_legal_names_through_unchanged() {
+        assert!(matches!(
+            sanitize_name("sorn_engine_slots_total"),
+            std::borrow::Cow::Borrowed("sorn_engine_slots_total")
+        ));
+        assert_eq!(sanitize_name("a b"), "a_b");
+        assert_eq!(sanitize_name("7up"), "_7up");
+        assert_eq!(sanitize_name(""), "_");
     }
 
     #[test]

@@ -1,0 +1,347 @@
+//! A std-only live metrics endpoint for running simulations.
+//!
+//! [`MetricsServer::bind`] starts a background accept thread serving
+//! three read-only routes over HTTP/1.1:
+//!
+//! - `/metrics` — the latest [`crate::MetricRegistry`] rendering in the
+//!   Prometheus text exposition format;
+//! - `/health` — `200 ok` while the run is live, `200 done` after;
+//! - `/progress` — a small JSON object: slot, simulated time, active
+//!   flows, queued and in-flight cells, delivered cells, and wall-clock
+//!   cells/s.
+//!
+//! The simulation side never blocks on the network: a
+//! [`MetricsPublisher`] swaps complete pre-rendered snapshots behind a
+//! mutex at slot boundaries, and request threads only ever read the
+//! current snapshot. [`LiveMetricsProbe`] is the engine-facing wrapper:
+//! attach it as (part of) a probe and it re-renders and publishes at
+//! most once per `min_publish_interval` of wall time, so even
+//! million-slot runs pay a handful of renders per second.
+//!
+//! Everything here is `std`-only (TcpListener + threads): no HTTP
+//! library, no async runtime — the first concrete step toward the
+//! resident `sorn-serve` what-if service.
+
+use crate::registry::MetricRegistry;
+use sorn_sim::{Metrics, Probe, SlotView};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Snapshot state shared between the publisher and request threads.
+#[derive(Debug)]
+struct Shared {
+    /// Latest Prometheus rendering.
+    metrics_text: Mutex<String>,
+    /// Latest `/progress` JSON object.
+    progress_json: Mutex<String>,
+    /// Cleared when the run finishes (`/health` flips to `done`).
+    live: AtomicBool,
+    /// Set when the accept loop should exit.
+    shutdown: AtomicBool,
+}
+
+/// The background HTTP listener. Dropping it without
+/// [`MetricsServer::shutdown`] leaves the thread serving until process
+/// exit (harmless for short-lived binaries, but call `shutdown` for a
+/// clean join).
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// The simulation-side handle: swaps in fresh snapshots.
+#[derive(Debug, Clone)]
+pub struct MetricsPublisher {
+    shared: Arc<Shared>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9898`; port `0` picks a free one)
+    /// and starts the accept thread. Returns the server handle and the
+    /// publisher for the simulation side.
+    pub fn bind(addr: &str) -> io::Result<(MetricsServer, MetricsPublisher)> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            metrics_text: Mutex::new(String::new()),
+            progress_json: Mutex::new(
+                "{\"slot\":0,\"now_ns\":0,\"active_flows\":0,\"queued_cells\":0,\
+                 \"inflight_cells\":0,\"delivered_cells\":0,\"cells_per_sec\":0}"
+                    .to_string(),
+            ),
+            live: AtomicBool::new(true),
+            shutdown: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("sorn-metrics-serve".into())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok((
+            MetricsServer {
+                addr: local,
+                shared: Arc::clone(&shared),
+                handle: Some(handle),
+            },
+            MetricsPublisher { shared },
+        ))
+    }
+
+    /// The bound address (useful with port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Marks the run done and joins the accept thread. Existing
+    /// snapshots keep serving until the wake-up connection lands.
+    pub fn shutdown(mut self) {
+        self.shared.live.store(false, Ordering::SeqCst);
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl MetricsPublisher {
+    /// Swaps in a fresh Prometheus rendering.
+    pub fn publish_metrics(&self, text: String) {
+        *self.shared.metrics_text.lock().expect("snapshot lock") = text;
+    }
+
+    /// Swaps in a fresh `/progress` snapshot.
+    #[allow(clippy::too_many_arguments)]
+    pub fn publish_progress(
+        &self,
+        slot: u64,
+        now_ns: u64,
+        active_flows: usize,
+        queued_cells: usize,
+        inflight_cells: usize,
+        delivered_cells: u64,
+        cells_per_sec: u64,
+    ) {
+        let json = format!(
+            "{{\"slot\":{slot},\"now_ns\":{now_ns},\"active_flows\":{active_flows},\
+             \"queued_cells\":{queued_cells},\"inflight_cells\":{inflight_cells},\
+             \"delivered_cells\":{delivered_cells},\"cells_per_sec\":{cells_per_sec}}}"
+        );
+        *self.shared.progress_json.lock().expect("snapshot lock") = json;
+    }
+
+    /// Marks the run finished (`/health` answers `done`); the listener
+    /// keeps serving final snapshots until the server is shut down.
+    pub fn mark_done(&self) {
+        self.shared.live.store(false, Ordering::SeqCst);
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // One last wake-up connection arrives from shutdown();
+            // answer nothing and exit.
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_shared = Arc::clone(&shared);
+        // One short-lived thread per request: scrape traffic is a few
+        // requests per second at most.
+        let _ = std::thread::Builder::new()
+            .name("sorn-metrics-conn".into())
+            .spawn(move || {
+                let _ = serve_one(stream, &conn_shared);
+            });
+    }
+}
+
+fn serve_one(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut buf = [0u8; 2048];
+    let mut len = 0;
+    // Read until the end of the request head (we ignore any body).
+    while len < buf.len() {
+        let n = stream.read(&mut buf[len..])?;
+        if n == 0 {
+            break;
+        }
+        len += n;
+        if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let path = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            shared.metrics_text.lock().expect("snapshot lock").clone(),
+        ),
+        "/health" => {
+            let body = if shared.live.load(Ordering::SeqCst) {
+                "ok\n"
+            } else {
+                "done\n"
+            };
+            ("200 OK", "text/plain; charset=utf-8", body.to_string())
+        }
+        "/progress" => (
+            "200 OK",
+            "application/json",
+            shared.progress_json.lock().expect("snapshot lock").clone(),
+        ),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// A probe that keeps a [`MetricsServer`] fed with fresh snapshots.
+///
+/// At each slot boundary it updates cheap progress counters; the full
+/// Prometheus re-render is wall-clock gated (default every 100 ms) so
+/// the simulation never spends meaningful time serializing. Attach it
+/// alongside other probes with the tuple combinator:
+/// `(live_probe, other_probe)`.
+#[derive(Debug)]
+pub struct LiveMetricsProbe {
+    publisher: MetricsPublisher,
+    registry: MetricRegistry,
+    min_publish_interval: Duration,
+    started: Instant,
+    last_publish: Option<Instant>,
+}
+
+impl LiveMetricsProbe {
+    /// Wraps `publisher` with the default 100 ms re-render gate.
+    pub fn new(publisher: MetricsPublisher) -> Self {
+        LiveMetricsProbe::with_interval(publisher, Duration::from_millis(100))
+    }
+
+    /// Wraps `publisher`, re-rendering at most once per `interval`.
+    pub fn with_interval(publisher: MetricsPublisher, interval: Duration) -> Self {
+        LiveMetricsProbe {
+            publisher,
+            registry: MetricRegistry::new(),
+            min_publish_interval: interval,
+            started: Instant::now(),
+            last_publish: None,
+        }
+    }
+
+    fn publish(&mut self, metrics: &Metrics, view: &SlotView<'_>) {
+        self.registry.record_engine(metrics);
+        self.publisher
+            .publish_metrics(self.registry.render_prometheus());
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let cells_per_sec = if elapsed > 0.0 {
+            (metrics.delivered_cells as f64 / elapsed) as u64
+        } else {
+            0
+        };
+        self.publisher.publish_progress(
+            view.slot,
+            view.now_ns,
+            view.active_flows,
+            view.total_queued,
+            view.inflight_cells,
+            metrics.delivered_cells,
+            cells_per_sec,
+        );
+    }
+}
+
+impl Probe for LiveMetricsProbe {
+    fn on_slot_end(&mut self, view: &SlotView<'_>) {
+        let due = self
+            .last_publish
+            .is_none_or(|t| t.elapsed() >= self.min_publish_interval);
+        if due {
+            self.last_publish = Some(Instant::now());
+            self.publish(view.metrics, view);
+        }
+    }
+
+    // Publishes the final state but does NOT mark the run done: several
+    // engine runs may share one publisher (a scenario suite), so the
+    // binary calls `MetricsPublisher::mark_done` when all work is over.
+    fn on_run_end(&mut self, view: &SlotView<'_>) {
+        self.publish(view.metrics, view);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_metrics_health_progress_and_404() {
+        let (server, publisher) = MetricsServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        publisher.publish_metrics("# TYPE sorn_x counter\nsorn_x 7\n".to_string());
+        publisher.publish_progress(12, 1200, 3, 4, 5, 6, 7);
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"));
+        assert!(metrics.contains("text/plain; version=0.0.4"));
+        assert!(metrics.contains("sorn_x 7"));
+
+        let health = get(addr, "/health");
+        assert!(health.contains("ok"));
+
+        let progress = get(addr, "/progress");
+        assert!(progress.contains("\"slot\":12"));
+        assert!(progress.contains("\"cells_per_sec\":7"));
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"));
+
+        publisher.mark_done();
+        let done = get(addr, "/health");
+        assert!(done.contains("done"));
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn snapshots_swap_atomically() {
+        let (server, publisher) = MetricsServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        for i in 0..20 {
+            publisher.publish_metrics(format!("gen {i}\n"));
+            let text = get(addr, "/metrics");
+            // The response is always a complete snapshot: its body is
+            // exactly one published generation, never a mix.
+            assert!(text.contains("gen "), "{text}");
+        }
+        server.shutdown();
+    }
+}

@@ -2,8 +2,85 @@
 
 use crate::event::TraceEvent;
 use std::fs::File;
-use std::io::{self, BufWriter, Write};
+use std::io::{self, Seek, SeekFrom, Write};
 use std::path::Path;
+
+/// A writer that can roll partially-written bytes back to a known-good
+/// length — how [`JsonlTraceSink`] keeps torn lines out of trace files.
+trait Rollback: Write {
+    /// Discards everything past the first `len` bytes.
+    fn rollback_to(&mut self, len: u64) -> io::Result<()>;
+}
+
+impl Rollback for File {
+    fn rollback_to(&mut self, len: u64) -> io::Result<()> {
+        self.set_len(len)?;
+        self.seek(SeekFrom::Start(len)).map(|_| ())
+    }
+}
+
+/// Buffered writes that only ever land on record boundaries.
+///
+/// Records accumulate in an in-memory buffer (each appended whole) and
+/// reach the underlying writer in record-aligned batches. When a batch
+/// write fails partway, the writer is rolled back to the last byte
+/// known to end a complete record, so downstream readers never see a
+/// torn record no matter where the failure landed.
+#[derive(Debug)]
+struct RecordWriter<W: Rollback> {
+    inner: W,
+    /// Complete records not yet handed to `inner`.
+    buf: Vec<u8>,
+    /// Bytes of `inner` known to hold only complete records.
+    durable: u64,
+}
+
+/// Flush the record buffer once it holds this much.
+const FLUSH_BYTES: usize = 64 * 1024;
+
+impl<W: Rollback> RecordWriter<W> {
+    fn new(inner: W) -> Self {
+        RecordWriter {
+            inner,
+            buf: Vec::with_capacity(FLUSH_BYTES),
+            durable: 0,
+        }
+    }
+
+    /// Buffers one complete record, flushing when the buffer is full.
+    fn push_record(&mut self, record: &[u8]) -> io::Result<()> {
+        self.buf.extend_from_slice(record);
+        if self.buf.len() >= FLUSH_BYTES {
+            self.flush_records()?;
+        }
+        Ok(())
+    }
+
+    /// Writes every buffered record through; on failure rolls the
+    /// underlying writer back to the last record boundary and drops the
+    /// batch (the error is surfaced to the caller).
+    fn flush_records(&mut self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let result = self.inner.write_all(&self.buf);
+        match result {
+            Ok(()) => self.durable += self.buf.len() as u64,
+            Err(_) => {
+                // Best effort: a failing device may refuse the rollback
+                // too, but then the original error is the story.
+                let _ = self.inner.rollback_to(self.durable);
+            }
+        }
+        self.buf.clear();
+        result
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.flush_records()?;
+        self.inner.flush()
+    }
+}
 
 /// A destination for trace events.
 ///
@@ -42,10 +119,16 @@ impl EventSink for MemorySink {
 /// learn whether every write succeeded. Dropping the sink flushes on a
 /// best-effort basis and warns on stderr when that flush fails or when
 /// an emit error would otherwise go unreported.
+///
+/// **Torn-line guarantee:** each record (line plus its newline) is
+/// buffered whole and written in record-aligned batches; if a write
+/// fails partway, the file is truncated back to the end of the last
+/// complete record. A reader therefore never sees a half-written JSON
+/// line, even after a mid-run crash of the writing process's disk.
 #[derive(Debug)]
 #[must_use = "call finish() to flush the trace and surface write errors"]
 pub struct JsonlTraceSink {
-    writer: BufWriter<File>,
+    writer: RecordWriter<File>,
     lines: u64,
     error: Option<io::Error>,
     finished: bool,
@@ -55,7 +138,7 @@ impl JsonlTraceSink {
     /// Creates (or truncates) the trace file at `path`.
     pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
         Ok(JsonlTraceSink {
-            writer: BufWriter::new(File::create(path)?),
+            writer: RecordWriter::new(File::create(path)?),
             lines: 0,
             error: None,
             finished: false,
@@ -97,18 +180,15 @@ impl EventSink for JsonlTraceSink {
         if self.error.is_some() {
             return;
         }
-        let line = match serde_json::to_string(event) {
+        let mut line = match serde_json::to_string(event) {
             Ok(l) => l,
             Err(e) => {
                 self.error = Some(io::Error::new(io::ErrorKind::InvalidData, e));
                 return;
             }
         };
-        if let Err(e) = self
-            .writer
-            .write_all(line.as_bytes())
-            .and_then(|()| self.writer.write_all(b"\n"))
-        {
+        line.push('\n');
+        if let Err(e) = self.writer.push_record(line.as_bytes()) {
             self.error = Some(e);
             return;
         }
@@ -148,6 +228,101 @@ mod tests {
         }
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text.lines().count(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A Vec-backed writer that starts failing after `accept` bytes —
+    /// and, like a real device, may accept a *partial* write first.
+    struct LimitedWriter {
+        bytes: Vec<u8>,
+        accept: usize,
+    }
+
+    impl Write for LimitedWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let room = self.accept.saturating_sub(self.bytes.len());
+            if room == 0 {
+                return Err(io::Error::new(io::ErrorKind::Other, "device full"));
+            }
+            let n = room.min(buf.len());
+            self.bytes.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl Rollback for LimitedWriter {
+        fn rollback_to(&mut self, len: u64) -> io::Result<()> {
+            self.bytes.truncate(len as usize);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn failed_batch_rolls_back_to_record_boundary() {
+        // Device accepts 25 bytes; three 10-byte records flush as one
+        // batch that tears mid-record 3.
+        let mut w = RecordWriter::new(LimitedWriter {
+            bytes: Vec::new(),
+            accept: 25,
+        });
+        for i in 0..3 {
+            w.push_record(format!("record-{i}\n").as_bytes()).unwrap();
+        }
+        assert!(w.flush().is_err());
+        // Nothing partial survives: the failing batch rolled back whole.
+        assert!(w.inner.bytes.is_empty());
+        assert_eq!(w.durable, 0);
+    }
+
+    #[test]
+    fn rollback_preserves_earlier_durable_records() {
+        // First batch (2 records, 20 bytes) lands; the second tears.
+        let mut w = RecordWriter::new(LimitedWriter {
+            bytes: Vec::new(),
+            accept: 25,
+        });
+        w.push_record(b"record-0-\n").unwrap();
+        w.push_record(b"record-1-\n").unwrap();
+        w.flush().unwrap();
+        w.push_record(b"record-2-\n").unwrap();
+        assert!(w.flush().is_err());
+        // The device holds exactly the first two whole records.
+        assert_eq!(w.inner.bytes, b"record-0-\nrecord-1-\n");
+        assert_eq!(w.durable, 20);
+        // Every surviving line is complete.
+        assert!(w.inner.bytes.ends_with(b"\n"));
+    }
+
+    #[test]
+    fn large_buffers_flush_on_record_boundaries() {
+        let mut w = RecordWriter::new(LimitedWriter {
+            bytes: Vec::new(),
+            accept: usize::MAX,
+        });
+        let record = vec![b'x'; 1000];
+        for _ in 0..100 {
+            // 100 KiB total: crosses the internal flush threshold.
+            let mut rec = record.clone();
+            rec.push(b'\n');
+            w.push_record(&rec).unwrap();
+        }
+        w.flush().unwrap();
+        assert_eq!(w.inner.bytes.len(), 100 * 1001);
+        assert_eq!(w.durable, 100 * 1001);
+    }
+
+    #[test]
+    fn file_rollback_truncates_to_requested_length() {
+        let path =
+            std::env::temp_dir().join(format!("sorn-sink-rollback-{}.bin", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(b"whole-line\ntorn-fragme").unwrap();
+        f.rollback_to(11).unwrap();
+        drop(f);
+        assert_eq!(std::fs::read(&path).unwrap(), b"whole-line\n");
         std::fs::remove_file(&path).ok();
     }
 

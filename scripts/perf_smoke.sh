@@ -23,12 +23,15 @@ echo "== --jobs 2 must reproduce --jobs 1 per-scenario sim results =="
 # and must be byte-identical at any job count; wall times, cells/sec,
 # and RSS are machine noise, so strip everything but the sim results.
 deterministic() {
+  # Only headline lines carry "N slots, M cells,"; other [scenario]
+  # lines (trace summaries, recorder notes) are skipped.
   grep -E '^\[[a-z0-9_]+\]' "$1" | awk '{
+    s = ""; c = ""
     for (i = 1; i <= NF; i++) {
       if ($i == "slots,") s = $(i - 1)
       if ($i == "cells,") c = $(i - 1)
     }
-    print $1, s, c
+    if (s != "" && c != "") print $1, s, c
   }'
 }
 ./target/release/perf --tiny --label ci-j1 --jobs 1 --out-dir "$tmpdir" > "$tmpdir/j1.out"
@@ -43,6 +46,59 @@ echo "== --engine-threads 2 must reproduce the serial engine bit-for-bit =="
 ./target/release/perf --tiny --label ci-t2 --engine-threads 2 --out-dir "$tmpdir" > "$tmpdir/t2.out"
 diff <(deterministic "$tmpdir/j1.out") <(deterministic "$tmpdir/t2.out")
 echo "engine-threads=1 and engine-threads=2 agree on every scenario's slots and cells."
+
+echo "== tracing + flight recorder must not change sim results or break the bank =="
+# --trace-flows 1 traces every flow and the recorder is always on; the
+# stripped sim results must still match the untraced run, and the traced
+# span files must be byte-identical at any engine-thread count.
+./target/release/perf --tiny --label ci-tr1 --trace-flows 1 --out-dir "$tmpdir/tr1" > "$tmpdir/tr1.out"
+./target/release/perf --tiny --label ci-tr4 --trace-flows 1 --engine-threads 4 \
+  --out-dir "$tmpdir/tr4" > "$tmpdir/tr4.out"
+diff <(deterministic "$tmpdir/j1.out") <(deterministic "$tmpdir/tr1.out")
+echo "tracing on and off agree on every scenario's slots and cells."
+for f in "$tmpdir"/tr1/TRACE_*.txt; do
+  diff "$f" "$tmpdir/tr4/$(basename "$f")"
+done
+echo "traced spans are byte-identical at engine-threads 1 and 4."
+
+# Overhead guard: fully-traced cells/s must stay within a generous
+# factor of the untraced run (tiny scenarios are milliseconds, so the
+# bound only catches pathological slowdowns, not noise).
+awk_rate() {
+  grep -E '^\[[a-z0-9_]+\]' "$1" | awk '
+    { for (i = 1; i <= NF; i++) { if ($i == "cells/s,") { r += $(i - 1) } } }
+    END { print int(r) }'
+}
+base_rate="$(awk_rate "$tmpdir/j1.out")"
+traced_rate="$(awk_rate "$tmpdir/tr1.out")"
+echo "aggregate cells/s: untraced=$base_rate traced=$traced_rate"
+if [ "$((traced_rate * 10))" -lt "$((base_rate))" ]; then
+  echo "FAIL: tracing overhead above 10x (traced=$traced_rate untraced=$base_rate)" >&2
+  exit 1
+fi
+echo "tracing overhead within bound."
+
+echo "== live /metrics endpoint must answer a mid-run scrape =="
+# Lingering after the suite keeps the endpoint up long enough for the
+# scrape even if the tiny suite outruns the curl below.
+./target/release/perf --tiny --label ci-serve --serve-metrics 127.0.0.1:19898 \
+  --serve-linger-ms 4000 --out-dir "$tmpdir/serve" > "$tmpdir/serve.out" &
+serve_pid=$!
+scrape=""
+for _ in $(seq 1 40); do
+  if scrape="$(curl -sf http://127.0.0.1:19898/metrics 2>/dev/null)" && [ -n "$scrape" ]; then
+    break
+  fi
+  sleep 0.1
+done
+wait "$serve_pid"
+[ -n "$scrape" ] || { echo "FAIL: no /metrics scrape answered" >&2; exit 1; }
+# Well-formed Prometheus text: at least one TYPE line and a sample.
+echo "$scrape" | grep -q '^# TYPE sorn_engine_' || {
+  echo "FAIL: scrape missing TYPE lines:"; echo "$scrape"; exit 1; } >&2
+echo "$scrape" | grep -Eq '^sorn_engine_[a-z_]+ [0-9]' || {
+  echo "FAIL: scrape missing samples:"; echo "$scrape"; exit 1; } >&2
+echo "mid-run /metrics scrape is well-formed Prometheus text."
 
 echo "== committed-baseline comparison (must not regress) =="
 # Generous threshold: the tiny scenarios finish in milliseconds, so

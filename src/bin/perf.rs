@@ -18,8 +18,22 @@
 //! ```text
 //! perf [--label NAME] [--out-dir DIR] [--tiny] [--scale512] [--jobs N]
 //!      [--engine-threads N] [--baseline FILE] [--threshold PCT]
+//!      [--trace-flows N] [--serve-metrics ADDR] [--serve-linger-ms N]
 //! perf --validate FILE
 //! ```
+//!
+//! `--trace-flows N` turns on causal flow tracing for the simulation
+//! scenarios (roughly one flow in N; 1 traces everything): each
+//! scenario prints a tail-autopsy table attributing its slowest traced
+//! cells' latency to queueing vs transmission vs reconfiguration wait,
+//! and writes `TRACE_<scenario>.json` (Chrome `trace_event`, load in
+//! Perfetto) plus `TRACE_<scenario>.txt` (the canonical span log, byte-
+//! identical at any `--engine-threads`) to the out dir. A flight
+//! recorder rides along always; when a run trips an anomaly watchdog it
+//! dumps `FLIGHT_<scenario>.jsonl`. `--serve-metrics ADDR` serves live
+//! `/metrics`, `/health`, and `/progress` over HTTP during the suite;
+//! `--serve-linger-ms` keeps it up after the last scenario so scrapers
+//! can catch the final snapshot.
 //!
 //! `--engine-threads N` shards each simulation's slot phases across N
 //! threads (`SimConfig::engine_threads`); results are bit-identical at
@@ -38,6 +52,7 @@
 //! scenario slowed down by more than `--threshold` percent (default
 //! 25). `--validate` just schema-checks an existing report file.
 
+use sorn_analysis::autopsy::TailAutopsy;
 use sorn_analysis::perfreport::{
     compare, phases_from_profile, BenchReport, ScenarioResult, SCHEMA_VERSION,
 };
@@ -46,9 +61,12 @@ use sorn_control::{ControlConfig, ControlLoop};
 use sorn_core::{SornConfig, SornNetwork};
 use sorn_routing::{FaultAwareSornRouter, VlbRouter};
 use sorn_sim::{
-    Engine, FaultPlan, FaultStorm, Flow, FlowId, LinkHealth, NoopProbe, Phase, Profiler, SimConfig,
+    Engine, FaultPlan, FaultStorm, Flow, FlowId, LinkHealth, Phase, Profiler, SimConfig,
 };
-use sorn_telemetry::WallClockProfiler;
+use sorn_telemetry::{
+    FlightRecorder, FlowTraceCollector, LiveMetricsProbe, MetricsPublisher, MetricsServer,
+    WallClockProfiler, DEFAULT_CAPACITY,
+};
 use sorn_topology::builders::{round_robin, sorn_schedule, SornScheduleParams};
 use sorn_topology::{CliqueMap, NodeId, Ratio};
 use sorn_traffic::{spatial::CliqueLocal, FlowSizeDist, PoissonWorkload};
@@ -58,6 +76,7 @@ use std::time::Instant;
 
 const USAGE: &str = "usage: perf [--label NAME] [--out-dir DIR] [--tiny] [--scale512] \
                      [--jobs N] [--engine-threads N] \
+                     [--trace-flows N] [--serve-metrics ADDR] [--serve-linger-ms N] \
                      [--baseline FILE] [--threshold PCT] | perf --validate FILE";
 
 struct Opts {
@@ -69,7 +88,84 @@ struct Opts {
     scale512: bool,
     jobs: usize,
     engine_threads: usize,
+    trace_flows: u64,
+    serve_metrics: Option<String>,
+    serve_linger_ms: u64,
     validate: Option<PathBuf>,
+}
+
+/// Observability settings threaded into every scenario closure.
+#[derive(Clone)]
+struct Instruments {
+    /// `SimConfig::trace_one_in`; 0 disables causal tracing.
+    trace_one_in: u64,
+    /// Where trace exports and flight-recorder dumps land.
+    out_dir: PathBuf,
+    /// Live-endpoint publisher when `--serve-metrics` is up.
+    publisher: Option<MetricsPublisher>,
+}
+
+/// The composed per-scenario probe: an optional live-metrics feeder, an
+/// optional causal-trace collector, and the always-on flight recorder.
+type ObsProbe = (
+    Option<LiveMetricsProbe>,
+    (Option<FlowTraceCollector>, FlightRecorder),
+);
+
+impl Instruments {
+    fn probe(&self, scheme: &str, slot_ns: u64) -> ObsProbe {
+        (
+            self.publisher.clone().map(LiveMetricsProbe::new),
+            (
+                (self.trace_one_in > 0).then(|| FlowTraceCollector::new(slot_ns)),
+                FlightRecorder::new(DEFAULT_CAPACITY)
+                    .with_dump_path(self.out_dir.join(format!("FLIGHT_{scheme}.jsonl"))),
+            ),
+        )
+    }
+
+    /// Turns the run's observers into summary text: the tail-autopsy
+    /// table for traced runs (plus `TRACE_<scheme>.{json,txt}` exports)
+    /// and a pointer to the flight-recorder dump when a watchdog fired.
+    /// Everything printed is deterministic at any `--engine-threads`.
+    fn summarize(&self, scheme: &str, probe: ObsProbe, propagation_ns: u64) -> String {
+        use std::fmt::Write as _;
+        let (_live, (collector, mut recorder)) = probe;
+        let mut text = String::new();
+        if let Some(c) = collector {
+            let autopsy = TailAutopsy::from_breakdowns(&c.cell_breakdowns(), 5);
+            let _ = writeln!(text, "[{scheme}] traced {} hop events", c.len());
+            for line in autopsy.render().lines() {
+                let _ = writeln!(text, "  {line}");
+            }
+            let json_path = self.out_dir.join(format!("TRACE_{scheme}.json"));
+            let txt_path = self.out_dir.join(format!("TRACE_{scheme}.txt"));
+            if let Err(e) = std::fs::write(&json_path, c.chrome_trace_json(propagation_ns))
+                .and_then(|()| std::fs::write(&txt_path, c.render_all()))
+            {
+                eprintln!("perf: cannot write trace export for {scheme}: {e}");
+            } else {
+                let _ = writeln!(
+                    text,
+                    "  exports: {} (Perfetto), {} (span log)",
+                    json_path.display(),
+                    txt_path.display()
+                );
+            }
+        }
+        match recorder.dump_if_anomalous() {
+            Ok(Some(path)) => {
+                let _ = writeln!(
+                    text,
+                    "[{scheme}] flight recorder: anomaly -> {}",
+                    path.display()
+                );
+            }
+            Ok(None) => {}
+            Err(e) => eprintln!("perf: flight-recorder dump for {scheme} failed: {e}"),
+        }
+        text
+    }
 }
 
 fn parse_args(args: &[String]) -> Result<Opts, String> {
@@ -82,6 +178,9 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         scale512: false,
         jobs: 1,
         engine_threads: 1,
+        trace_flows: 0,
+        serve_metrics: None,
+        serve_linger_ms: 0,
         validate: None,
     };
     let mut i = 0;
@@ -124,6 +223,20 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                 if opts.engine_threads == 0 {
                     return Err("--engine-threads must be at least 1".to_string());
                 }
+            }
+            "--trace-flows" => {
+                opts.trace_flows = value(&mut i, "--trace-flows")?
+                    .parse()
+                    .map_err(|_| "--trace-flows needs a count".to_string())?;
+                if opts.trace_flows == 0 {
+                    return Err("--trace-flows must be at least 1 (1 traces all)".to_string());
+                }
+            }
+            "--serve-metrics" => opts.serve_metrics = Some(value(&mut i, "--serve-metrics")?),
+            "--serve-linger-ms" => {
+                opts.serve_linger_ms = value(&mut i, "--serve-linger-ms")?
+                    .parse()
+                    .map_err(|_| "--serve-linger-ms needs a number".to_string())?
             }
             "--validate" => opts.validate = Some(PathBuf::from(value(&mut i, "--validate")?)),
             _ => return Err(format!("unknown flag {arg:?}")),
@@ -169,18 +282,45 @@ fn main() -> ExitCode {
     // engine's determinism contract), so only the timings move.
     let tiny = opts.tiny;
     let engine_threads = opts.engine_threads;
+    if let Err(e) = std::fs::create_dir_all(&opts.out_dir) {
+        eprintln!(
+            "perf: cannot create --out-dir {}: {e}",
+            opts.out_dir.display()
+        );
+        return ExitCode::from(2);
+    }
+    let server = match &opts.serve_metrics {
+        Some(addr) => match MetricsServer::bind(addr) {
+            Ok((server, publisher)) => {
+                eprintln!("perf: serving /metrics on http://{}", server.local_addr());
+                Some((server, publisher))
+            }
+            Err(e) => {
+                eprintln!("perf: cannot bind --serve-metrics {addr}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    let inst = Instruments {
+        trace_one_in: opts.trace_flows,
+        out_dir: opts.out_dir.clone(),
+        publisher: server.as_ref().map(|(_, p)| p.clone()),
+    };
     let tasks: Vec<Task<(ScenarioResult, String)>> = if opts.scale512 {
         // The 512-node scaling scenarios: one big fabric per routing
         // scheme, the workload where intra-run sharding has room to pay.
+        let (a, b) = (inst.clone(), inst.clone());
         vec![
-            Box::new(move || scale512("scale512_vlb", engine_threads)),
-            Box::new(move || scale512("scale512_sorn", engine_threads)),
+            Box::new(move || scale512("scale512_vlb", engine_threads, &a)),
+            Box::new(move || scale512("scale512_sorn", engine_threads, &b)),
         ]
     } else {
+        let (a, b, c) = (inst.clone(), inst.clone(), inst.clone());
         vec![
-            Box::new(move || fig2f_scale("fig2f_vlb", tiny, engine_threads)),
-            Box::new(move || fig2f_scale("fig2f_sorn", tiny, engine_threads)),
-            Box::new(move || resilience_storm(tiny, engine_threads)),
+            Box::new(move || fig2f_scale("fig2f_vlb", tiny, engine_threads, &a)),
+            Box::new(move || fig2f_scale("fig2f_sorn", tiny, engine_threads, &b)),
+            Box::new(move || resilience_storm(tiny, engine_threads, &c)),
             Box::new(move || adaptation_sweep(tiny)),
         ]
     };
@@ -243,6 +383,13 @@ fn main() -> ExitCode {
         }
         println!("no regression past {:.1}%", opts.threshold_pct);
     }
+    if let Some((server, publisher)) = server {
+        publisher.mark_done();
+        if opts.serve_linger_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(opts.serve_linger_ms));
+        }
+        server.shutdown();
+    }
     ExitCode::SUCCESS
 }
 
@@ -284,26 +431,31 @@ fn scale_workload(n: usize, cliques: usize, duration_ns: u64) -> Vec<Flow> {
 
 /// One fig2f-scale run: the same workload through flat VLB
 /// (`fig2f_vlb`) or through SORN (`fig2f_sorn`), simulated to drain.
-fn fig2f_scale(name: &str, tiny: bool, engine_threads: usize) -> (ScenarioResult, String) {
+fn fig2f_scale(
+    name: &str,
+    tiny: bool,
+    engine_threads: usize,
+    inst: &Instruments,
+) -> (ScenarioResult, String) {
     let (n, cliques, duration_ns) = if tiny {
         (32, 4, 40_000)
     } else {
         (128, 8, 150_000)
     };
-    run_scale_scenario(name, n, cliques, duration_ns, engine_threads)
+    run_scale_scenario(name, n, cliques, duration_ns, engine_threads, inst)
 }
 
 /// The 512-node scaling scenario behind `--scale512`: the fig2f fabric
 /// at 512 nodes / 8 cliques, sized so `--engine-threads` sweeps finish
 /// in minutes on a laptop. `results/bench_par_{1,2,4}.json` are this
 /// suite at 1/2/4 engine threads.
-fn scale512(name: &str, engine_threads: usize) -> (ScenarioResult, String) {
+fn scale512(name: &str, engine_threads: usize, inst: &Instruments) -> (ScenarioResult, String) {
     let scheme = if name.ends_with("_vlb") {
         "fig2f_vlb"
     } else {
         "fig2f_sorn"
     };
-    let (result, text) = run_scale_scenario(scheme, 512, 8, 40_000, engine_threads);
+    let (result, text) = run_scale_scenario(scheme, 512, 8, 40_000, engine_threads, inst);
     (
         ScenarioResult {
             name: name.to_string(),
@@ -319,46 +471,57 @@ fn run_scale_scenario(
     cliques: usize,
     duration_ns: u64,
     engine_threads: usize,
+    inst: &Instruments,
 ) -> (ScenarioResult, String) {
     let flows = scale_workload(n, cliques, duration_ns);
     let cfg = SimConfig {
         engine_threads,
+        trace_one_in: inst.trace_one_in,
         ..SimConfig::default()
     };
     let max_slots = 20 * duration_ns / cfg.slot_ns;
     let profiler = WallClockProfiler::new();
+    let probe = inst.probe(scheme, cfg.slot_ns);
 
     let start = Instant::now();
-    let metrics = if scheme == "fig2f_vlb" {
+    let (metrics, probe) = if scheme == "fig2f_vlb" {
         let schedule = round_robin(n).expect("round robin");
         let router = VlbRouter::new();
         let mut eng =
-            Engine::with_probe_and_profiler(cfg, &schedule, &router, NoopProbe, profiler.clone());
+            Engine::with_probe_and_profiler(cfg, &schedule, &router, probe, profiler.clone());
         eng.add_flows(flows).expect("flows in range");
         eng.run_until_drained(max_slots).expect("run");
-        eng.metrics().clone()
+        let metrics = eng.metrics().clone();
+        (metrics, eng.finish())
     } else {
         let mut sorn_cfg = SornConfig::small(n, cliques, 0.5);
         sorn_cfg.engine_threads = engine_threads;
+        sorn_cfg.trace_one_in = inst.trace_one_in;
         let net = SornNetwork::build(sorn_cfg).expect("network");
-        let (metrics, _, NoopProbe, _) = net
-            .simulate_instrumented(flows, 42, max_slots, NoopProbe, profiler.clone())
+        let (metrics, _, probe, _) = net
+            .simulate_instrumented(flows, 42, max_slots, probe, profiler.clone())
             .expect("run");
-        metrics
+        (metrics, probe)
     };
-    finish_scenario(
+    let (result, mut text) = finish_scenario(
         scheme,
         start,
         metrics.slots,
         metrics.delivered_cells,
         &profiler,
-    )
+    );
+    text.push_str(&inst.summarize(scheme, probe, cfg.propagation_ns));
+    (result, text)
 }
 
 /// The §6 storm on the fault-aware SORN fabric: seeded MTBF/MTTR link
 /// and node outages plus a correlated port-group burst, over the
 /// resilience study's 32-node/4-clique fabric.
-fn resilience_storm(tiny: bool, engine_threads: usize) -> (ScenarioResult, String) {
+fn resilience_storm(
+    tiny: bool,
+    engine_threads: usize,
+    inst: &Instruments,
+) -> (ScenarioResult, String) {
     const N: usize = 32;
     const CLIQUES: usize = 4;
     let duration_ns: u64 = if tiny { 100_000 } else { 400_000 };
@@ -411,26 +574,30 @@ fn resilience_storm(tiny: bool, engine_threads: usize) -> (ScenarioResult, Strin
     let cfg = SimConfig {
         seed: 42,
         engine_threads,
+        trace_one_in: inst.trace_one_in,
         ..SimConfig::default()
     };
     let slots = duration_ns / cfg.slot_ns;
     let profiler = WallClockProfiler::new();
+    let probe = inst.probe("resilience_storm", cfg.slot_ns);
 
     let start = Instant::now();
-    let mut eng =
-        Engine::with_probe_and_profiler(cfg, &schedule, &router, NoopProbe, profiler.clone());
+    let mut eng = Engine::with_probe_and_profiler(cfg, &schedule, &router, probe, profiler.clone());
     eng.set_fault_plan(plan);
     eng.set_health_mirror(health);
     eng.add_flows(flows).expect("flows in range");
     eng.run_slots(slots).expect("storm run");
     let metrics = eng.metrics().clone();
-    finish_scenario(
+    let probe = eng.finish();
+    let (result, mut text) = finish_scenario(
         "resilience_storm",
         start,
         metrics.slots,
         metrics.delivered_cells,
         &profiler,
-    )
+    );
+    text.push_str(&inst.summarize("resilience_storm", probe, cfg.propagation_ns));
+    (result, text)
 }
 
 /// §5 control-loop epochs across a macro-pattern shift. Each

@@ -12,6 +12,13 @@
 //! self-contained and seeded, so the table is identical either way);
 //! `--engine-threads N` shards the slot phases inside each simulation
 //! (also bit-identical at any thread count).
+//!
+//! `--serve-metrics ADDR` serves live `/metrics`, `/health`, and
+//! `/progress` over HTTP while the storms run (`--serve-linger-ms`
+//! keeps the endpoint up afterwards). A flight recorder always rides
+//! along; a scheme that trips an anomaly watchdog (the storm's drop
+//! spikes usually do) dumps its recent-event ring to
+//! `FLIGHT_<scheme>.jsonl` in the working directory.
 
 use sorn_analysis::resilience::{resilience_table, ResilienceRow};
 use sorn_bench::{header, run_jobs, take_engine_threads_flag, take_jobs_flag, Task, TelemetryOpts};
@@ -20,7 +27,10 @@ use sorn_routing::{FaultAwareSornRouter, FaultAwareVlbRouter};
 use sorn_sim::{
     Engine, FailureSet, FaultPlan, FaultStorm, Flow, LinkHealth, Metrics, Router, SimConfig,
 };
-use sorn_telemetry::{IntervalSampler, JsonlTraceSink};
+use sorn_telemetry::{
+    FlightRecorder, IntervalSampler, JsonlTraceSink, LiveMetricsProbe, MetricsPublisher,
+    MetricsServer, DEFAULT_CAPACITY,
+};
 use sorn_topology::builders::{round_robin, sorn_schedule, SornScheduleParams};
 use sorn_topology::{CircuitSchedule, CliqueMap, NodeId, Ratio};
 use sorn_traffic::{spatial::CliqueLocal, FlowSizeDist, PoissonWorkload};
@@ -37,6 +47,19 @@ const BURST_UNTIL_NS: u64 = 295_000;
 fn main() {
     let (jobs, engine_threads, telemetry) = parse_args();
     header("Resilience: flat VLB vs modular SORN under one failure storm");
+
+    let server = telemetry.serve_metrics.as_ref().map(|addr| {
+        let (server, publisher) = MetricsServer::bind(addr).unwrap_or_else(|e| {
+            eprintln!("resilience: cannot bind --serve-metrics {addr}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!(
+            "resilience: serving /metrics on http://{}",
+            server.local_addr()
+        );
+        (server, publisher)
+    });
+    let publisher = server.as_ref().map(|(_, p)| p.clone());
 
     let map = CliqueMap::contiguous(N, CLIQUES);
     let q = Ratio::integer(3);
@@ -75,8 +98,13 @@ fn main() {
     // worker threads; trace messages print after the join, in order.
     let tasks: Vec<Task<(Metrics, Option<String>)>> = vec![
         {
-            let (sched, flows, plan, telemetry) =
-                (flat_sched, flows.clone(), plan.clone(), telemetry.clone());
+            let (sched, flows, plan, telemetry, publisher) = (
+                flat_sched,
+                flows.clone(),
+                plan.clone(),
+                telemetry.clone(),
+                publisher.clone(),
+            );
             Box::new(move || {
                 let health = LinkHealth::new();
                 let router = FaultAwareVlbRouter::new(health.clone());
@@ -89,16 +117,18 @@ fn main() {
                     plan,
                     engine_threads,
                     &telemetry,
+                    publisher,
                 )
             })
         },
         {
-            let (sched, cliques, flows, plan, telemetry) = (
+            let (sched, cliques, flows, plan, telemetry, publisher) = (
                 sorn_sched.clone(),
                 map.clone(),
                 flows.clone(),
                 plan,
                 telemetry.clone(),
+                publisher.clone(),
             );
             Box::new(move || {
                 let health = LinkHealth::new();
@@ -112,6 +142,7 @@ fn main() {
                     plan,
                     engine_threads,
                     &telemetry,
+                    publisher,
                 )
             })
         },
@@ -137,6 +168,14 @@ fn main() {
     println!("once repairs land.\n");
 
     control_recovery_demo(&map, q, &sorn_sched, &flows);
+
+    if let Some((server, publisher)) = server {
+        publisher.mark_done();
+        if telemetry.serve_linger_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(telemetry.serve_linger_ms));
+        }
+        server.shutdown();
+    }
 }
 
 /// The shared storm, two parts, both identical for the two fabrics:
@@ -180,9 +219,10 @@ fn storm(map: &CliqueMap) -> FaultPlan {
 }
 
 /// Runs one scheme through the storm and returns its final metrics
-/// (stranded count included) plus a trace-file message to print once
+/// (stranded count included) plus observer messages to print once
 /// every scheme has joined. With `--trace-out base.jsonl`, the run's
-/// trace lands in `base.<scheme>.jsonl`.
+/// trace lands in `base.<scheme>.jsonl`. A flight recorder always
+/// observes; an anomalous run dumps `FLIGHT_<scheme>.jsonl`.
 #[allow(clippy::too_many_arguments)]
 fn run_scheme(
     scheme: &str,
@@ -193,6 +233,7 @@ fn run_scheme(
     plan: FaultPlan,
     engine_threads: usize,
     telemetry: &TelemetryOpts,
+    publisher: Option<MetricsPublisher>,
 ) -> (Metrics, Option<String>) {
     let cfg = SimConfig {
         seed: 42,
@@ -203,33 +244,50 @@ fn run_scheme(
     // to empty would append a low-rate tail of all-healthy slots and
     // skew the healthy-goodput baseline.
     let slots = DURATION_NS / cfg.slot_ns;
-    if let Some(base) = &telemetry.trace_out {
+    let live = publisher.map(LiveMetricsProbe::new);
+    let recorder =
+        FlightRecorder::new(DEFAULT_CAPACITY).with_dump_path(format!("FLIGHT_{scheme}.jsonl"));
+    let mut messages = Vec::new();
+    let (mut metrics, recorder) = if let Some(base) = &telemetry.trace_out {
         let path = suffixed(base, scheme);
         let sink = JsonlTraceSink::create(&path).expect("create trace file");
         let sampler = IntervalSampler::new(sink, telemetry.sample_interval_ns);
-        let mut eng = Engine::with_probe(cfg, schedule, router, sampler);
+        let mut eng = Engine::with_probe(cfg, schedule, router, (sampler, (live, recorder)));
         eng.set_fault_plan(plan);
         eng.set_health_mirror(health);
         eng.add_flows(flows).expect("flows in range");
         eng.run_slots(slots).expect("storm run");
         let mut metrics = eng.metrics().clone();
         metrics.stranded_cells = eng.count_stranded();
-        let lines = eng.finish().into_sink().finish().expect("flush trace");
-        let msg = format!(
+        let (sampler, (_live, recorder)) = eng.finish();
+        let lines = sampler.into_sink().finish().expect("flush trace");
+        messages.push(format!(
             "[{scheme}] wrote {lines} trace events to {}",
             path.display()
-        );
-        (metrics, Some(msg))
+        ));
+        (metrics, recorder)
     } else {
-        let mut eng = Engine::new(cfg, schedule, router);
+        let mut eng = Engine::with_probe(cfg, schedule, router, (live, recorder));
         eng.set_fault_plan(plan);
         eng.set_health_mirror(health);
         eng.add_flows(flows).expect("flows in range");
         eng.run_slots(slots).expect("storm run");
         let mut metrics = eng.metrics().clone();
         metrics.stranded_cells = eng.count_stranded();
-        (metrics, None)
+        let (_live, recorder) = eng.finish();
+        (metrics, recorder)
+    };
+    let mut recorder = recorder;
+    match recorder.dump_if_anomalous() {
+        Ok(Some(path)) => messages.push(format!(
+            "[{scheme}] flight recorder: anomaly -> {}",
+            path.display()
+        )),
+        Ok(None) => {}
+        Err(e) => eprintln!("resilience: flight-recorder dump for {scheme} failed: {e}"),
     }
+    let msg = (!messages.is_empty()).then(|| messages.join("\n"));
+    (metrics, msg)
 }
 
 /// Parses `--jobs`, `--engine-threads`, and the shared telemetry flags,
