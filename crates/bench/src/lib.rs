@@ -229,6 +229,273 @@ impl TelemetryOpts {
     }
 }
 
+/// Checkpoint/resume flags shared by the long-running binaries.
+///
+/// - `--checkpoint-dir <dir>`: keep rolling checkpoint generations in
+///   `dir` (created if missing). Enables checkpointing.
+/// - `--checkpoint-every <n>`: write a checkpoint every `n` slots
+///   (default [`CheckpointOpts::DEFAULT_EVERY_SLOTS`]); requires
+///   `--checkpoint-dir`.
+/// - `--resume`: before running, load the newest valid checkpoint from
+///   `--checkpoint-dir` and continue from it; requires
+///   `--checkpoint-dir`. Starting fresh when the directory holds no
+///   checkpoint yet is an error (a silent fresh start would masquerade
+///   as a resumed run).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CheckpointOpts {
+    /// Rolling checkpoint directory; `None` disables checkpointing.
+    pub dir: Option<std::path::PathBuf>,
+    /// Slots between periodic checkpoints.
+    pub every_slots: Option<u64>,
+    /// Resume from the newest valid checkpoint before running.
+    pub resume: bool,
+}
+
+impl CheckpointOpts {
+    /// Default checkpoint cadence when `--checkpoint-dir` is given
+    /// without `--checkpoint-every`.
+    pub const DEFAULT_EVERY_SLOTS: u64 = 10_000;
+
+    /// True when checkpointing is configured at all.
+    pub fn enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// The effective checkpoint cadence in slots.
+    pub fn cadence(&self) -> u64 {
+        self.every_slots.unwrap_or(Self::DEFAULT_EVERY_SLOTS)
+    }
+
+    /// Splits the checkpoint flags out of an argument list, returning
+    /// the parsed options and the remaining arguments for the binary's
+    /// own parser. Accepts `--flag value` and `--flag=value` forms.
+    pub fn take(args: impl IntoIterator<Item = String>) -> Result<(Self, Vec<String>), String> {
+        let mut opts = CheckpointOpts::default();
+        let mut rest = Vec::new();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let (flag, inline) = match arg.split_once('=') {
+                Some((f, v)) => (f.to_string(), Some(v.to_string())),
+                None => (arg.clone(), None),
+            };
+            let value = |it: &mut dyn Iterator<Item = String>| -> Result<String, String> {
+                match inline.clone() {
+                    Some(v) => Ok(v),
+                    None => it.next().ok_or(format!("{flag} needs a value")),
+                }
+            };
+            match flag.as_str() {
+                "--checkpoint-dir" => opts.dir = Some(value(&mut it)?.into()),
+                "--checkpoint-every" => {
+                    let v = value(&mut it)?;
+                    let n: u64 = v
+                        .parse()
+                        .map_err(|_| format!("--checkpoint-every: bad slot count {v:?}"))?;
+                    if n == 0 {
+                        return Err("--checkpoint-every must be at least 1".to_string());
+                    }
+                    opts.every_slots = Some(n);
+                }
+                "--resume" => opts.resume = true,
+                _ => rest.push(arg),
+            }
+        }
+        if opts.dir.is_none() && (opts.every_slots.is_some() || opts.resume) {
+            return Err("--checkpoint-every / --resume require --checkpoint-dir".to_string());
+        }
+        Ok((opts, rest))
+    }
+}
+
+/// Exit code for a run interrupted by SIGINT/SIGTERM after writing a
+/// final checkpoint: distinct from success (0) and usage errors (2) so
+/// wrappers can tell "stopped cleanly, resume me" apart from both.
+pub const EXIT_INTERRUPTED: i32 = 3;
+
+static STOP_FLAG: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn record_stop_signal(_signum: i32) {
+    STOP_FLAG.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Installs SIGINT/SIGTERM handlers that set a stop flag instead of
+/// killing the process, and returns that flag.
+///
+/// The checkpointed run loops poll the flag at slot boundaries: on the
+/// first signal the current slot finishes, a final checkpoint is
+/// written, sinks are flushed, and the process exits with
+/// [`EXIT_INTERRUPTED`]. Installing twice is harmless. On non-unix
+/// targets this returns the (never-set) flag without registering
+/// handlers.
+pub fn install_stop_handler() -> &'static std::sync::atomic::AtomicBool {
+    #[cfg(unix)]
+    {
+        // Raw libc signal(2) via FFI keeps this std-only: the handler
+        // merely stores to a static atomic, which is async-signal-safe.
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, record_stop_signal as *const () as usize);
+            signal(SIGTERM, record_stop_signal as *const () as usize);
+        }
+    }
+    &STOP_FLAG
+}
+
+/// Loads the newest valid checkpoint for a resuming run. `Ok(None)`
+/// means "not resuming" or "no checkpoint written yet — start fresh"
+/// (a scenario may have finished before the interruption; rerunning it
+/// is deterministic). A directory whose every generation is corrupt is
+/// an error, never a silent fresh start.
+pub fn load_resume(
+    store: &sorn_sim::CheckpointStore,
+    resume: bool,
+) -> Result<Option<sorn_sim::LoadOutcome>, String> {
+    if !resume {
+        return Ok(None);
+    }
+    match store.load_latest() {
+        Ok(out) => Ok(Some(out)),
+        Err(sorn_sim::CheckpointError::NoValidCheckpoint { ref skipped, .. })
+            if skipped.is_empty() =>
+        {
+            Ok(None)
+        }
+        Err(e) => Err(format!("cannot resume: {e}")),
+    }
+}
+
+/// How far [`drive_checkpointed`] should run the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunMode {
+    /// Run until the engine's absolute slot counter reaches this value
+    /// (so a resumed engine continues to the same end slot).
+    UntilSlot(u64),
+    /// Run until the engine drains, giving up at this absolute slot.
+    UntilDrained(u64),
+}
+
+/// What ended a [`drive_checkpointed`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriveOutcome {
+    /// The run mode's goal was reached.
+    Completed {
+        /// Whether the engine had drained when the goal was reached.
+        drained: bool,
+    },
+    /// The stop flag was raised; the current slot was finished and a
+    /// final checkpoint written to `path`.
+    Interrupted {
+        /// Slot the final checkpoint captures.
+        slot: u64,
+        /// Where the final checkpoint landed.
+        path: std::path::PathBuf,
+    },
+}
+
+/// An error from a checkpointed run: the simulation itself failed, or a
+/// checkpoint could not be written.
+#[derive(Debug)]
+pub enum DriveError {
+    /// The engine returned an error mid-run.
+    Sim(sorn_sim::SimError),
+    /// Writing a checkpoint failed.
+    Checkpoint(sorn_sim::CheckpointError),
+}
+
+impl std::fmt::Display for DriveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriveError::Sim(e) => write!(f, "simulation failed: {e}"),
+            DriveError::Checkpoint(e) => write!(f, "checkpoint failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DriveError {}
+
+/// Runs `engine` under periodic checkpointing with graceful-stop
+/// support. This is the shared slot loop behind every binary's
+/// `--checkpoint-*` flags.
+///
+/// Every `every_slots` slots (and when `stop` is raised) the engine is
+/// snapshotted at a slot boundary, `decorate` may attach sidecar blobs
+/// (probe state such as trace or flight-recorder bytes), the snapshot
+/// goes through `store`, and `on_written(slot, path, bytes)` fires so
+/// the caller can log or publish telemetry. When `stop` is observed the
+/// current slot is already complete; a final checkpoint is written and
+/// [`DriveOutcome::Interrupted`] returned.
+#[allow(clippy::too_many_arguments)]
+pub fn drive_checkpointed<P, F, FS>(
+    engine: &mut sorn_sim::Engine<'_, P, F>,
+    mode: RunMode,
+    store: &mut sorn_sim::CheckpointStore<FS>,
+    every_slots: u64,
+    stop: &std::sync::atomic::AtomicBool,
+    mut decorate: impl FnMut(&sorn_sim::Engine<'_, P, F>, &mut sorn_sim::Snapshot),
+    mut on_written: impl FnMut(u64, &std::path::Path, usize),
+) -> Result<DriveOutcome, DriveError>
+where
+    P: sorn_sim::Probe,
+    F: sorn_sim::Profiler,
+    FS: sorn_sim::CheckpointFs,
+{
+    use std::sync::atomic::Ordering;
+
+    let every = every_slots.max(1);
+    let mut write =
+        |engine: &sorn_sim::Engine<'_, P, F>,
+         decorate: &mut dyn FnMut(&sorn_sim::Engine<'_, P, F>, &mut sorn_sim::Snapshot),
+         on_written: &mut dyn FnMut(u64, &std::path::Path, usize)|
+         -> Result<std::path::PathBuf, DriveError> {
+            let mut snap = engine.checkpoint();
+            decorate(engine, &mut snap);
+            let (path, bytes) = store.write(&snap).map_err(DriveError::Checkpoint)?;
+            on_written(engine.now_slot(), &path, bytes);
+            Ok(path)
+        };
+
+    let mut next_ckpt = engine.now_slot().saturating_add(every);
+    loop {
+        let done = match mode {
+            RunMode::UntilSlot(end) => {
+                if engine.now_slot() >= end {
+                    Some(DriveOutcome::Completed {
+                        drained: engine.is_drained(),
+                    })
+                } else {
+                    None
+                }
+            }
+            RunMode::UntilDrained(max_slot) => {
+                if engine.is_drained() {
+                    Some(DriveOutcome::Completed { drained: true })
+                } else if engine.now_slot() >= max_slot {
+                    Some(DriveOutcome::Completed { drained: false })
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some(outcome) = done {
+            return Ok(outcome);
+        }
+        if stop.load(Ordering::SeqCst) {
+            let slot = engine.now_slot();
+            let path = write(engine, &mut decorate, &mut on_written)?;
+            return Ok(DriveOutcome::Interrupted { slot, path });
+        }
+        engine.step().map_err(DriveError::Sim)?;
+        if engine.now_slot() >= next_ckpt {
+            write(engine, &mut decorate, &mut on_written)?;
+            next_ckpt = engine.now_slot().saturating_add(every);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::TelemetryOpts;
@@ -326,5 +593,158 @@ mod tests {
         let opts = parse(&["--serve-metrics", "127.0.0.1:0", "--serve-linger-ms=250"]).unwrap();
         assert_eq!(opts.serve_metrics.as_deref(), Some("127.0.0.1:0"));
         assert_eq!(opts.serve_linger_ms, 250);
+    }
+
+    #[test]
+    fn checkpoint_flags_parse_and_pass_the_rest() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let (opts, rest) = super::CheckpointOpts::take(args(&[
+            "--checkpoint-dir",
+            "ckpts",
+            "--checkpoint-every=500",
+            "--resume",
+            "--trace-out",
+            "t",
+        ]))
+        .unwrap();
+        assert!(opts.enabled());
+        assert_eq!(opts.dir.as_deref(), Some(std::path::Path::new("ckpts")));
+        assert_eq!(opts.cadence(), 500);
+        assert!(opts.resume);
+        assert_eq!(rest, args(&["--trace-out", "t"]));
+
+        let (opts, rest) = super::CheckpointOpts::take(args(&["--foo"])).unwrap();
+        assert!(!opts.enabled());
+        assert!(!opts.resume);
+        assert_eq!(opts.cadence(), super::CheckpointOpts::DEFAULT_EVERY_SLOTS);
+        assert_eq!(rest, args(&["--foo"]));
+    }
+
+    #[test]
+    fn checkpoint_flags_reject_bad_combinations() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(super::CheckpointOpts::take(args(&["--resume"])).is_err());
+        assert!(super::CheckpointOpts::take(args(&["--checkpoint-every", "9"])).is_err());
+        assert!(super::CheckpointOpts::take(args(&[
+            "--checkpoint-dir",
+            "d",
+            "--checkpoint-every",
+            "0"
+        ]))
+        .is_err());
+        assert!(super::CheckpointOpts::take(args(&["--checkpoint-dir"])).is_err());
+        assert!(super::CheckpointOpts::take(args(&[
+            "--checkpoint-dir",
+            "d",
+            "--checkpoint-every",
+            "x"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn stop_handler_returns_the_flag() {
+        let flag = super::install_stop_handler();
+        assert!(!flag.load(std::sync::atomic::Ordering::SeqCst));
+        // Idempotent.
+        let again = super::install_stop_handler();
+        assert!(std::ptr::eq(flag, again));
+    }
+
+    fn seeded_flows(n: u32, count: u64) -> Vec<sorn_sim::Flow> {
+        use sorn_topology::NodeId;
+        (0..count)
+            .map(|i| sorn_sim::Flow {
+                id: sorn_sim::FlowId(i + 1),
+                src: NodeId((i as u32 * 7) % n),
+                dst: NodeId((i as u32 * 13 + 3) % n),
+                size_bytes: 1250 * (1 + i % 5),
+                arrival_ns: 40 * i,
+            })
+            .map(|f| {
+                if f.src == f.dst {
+                    sorn_sim::Flow {
+                        dst: sorn_topology::NodeId((f.dst.0 + 1) % n),
+                        ..f
+                    }
+                } else {
+                    f
+                }
+            })
+            .collect()
+    }
+
+    /// Interrupt mid-run, resume from the written checkpoint, and land
+    /// on exactly the metrics of an uninterrupted run.
+    #[test]
+    fn drive_checkpointed_interrupt_then_resume_matches_uninterrupted() {
+        use sorn_sim::{CheckpointFaultFs, CheckpointStore, DirectRouter, Engine, SimConfig};
+        use sorn_topology::builders::round_robin;
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let sched = round_robin(8).unwrap();
+        let router = DirectRouter;
+        let flows = seeded_flows(8, 40);
+
+        // Reference: run to drain, no interruptions.
+        let mut reference = Engine::new(SimConfig::default(), &sched, &router);
+        reference.add_flows(flows.clone()).unwrap();
+        assert!(reference.run_until_drained(100_000).unwrap());
+        let want = reference.metrics().clone();
+
+        // Checkpointed run, stopped by the flag partway through.
+        let mut store = CheckpointStore::with_fs("ckpt", CheckpointFaultFs::new(), 2);
+        let stop = AtomicBool::new(false);
+        let mut engine = Engine::new(SimConfig::default(), &sched, &router);
+        engine.add_flows(flows).unwrap();
+        let mut written = Vec::new();
+        // Run a few slots, then raise the flag as if a signal landed.
+        let outcome = super::drive_checkpointed(
+            &mut engine,
+            super::RunMode::UntilSlot(5),
+            &mut store,
+            2,
+            &stop,
+            |_, snap| snap.attach_blob("marker", b"x".to_vec()),
+            |slot, path, bytes| written.push((slot, path.to_path_buf(), bytes)),
+        )
+        .unwrap();
+        assert_eq!(outcome, super::DriveOutcome::Completed { drained: false });
+        assert!(!written.is_empty());
+        stop.store(true, Ordering::SeqCst);
+        let outcome = super::drive_checkpointed(
+            &mut engine,
+            super::RunMode::UntilDrained(100_000),
+            &mut store,
+            2,
+            &stop,
+            |_, snap| snap.attach_blob("marker", b"x".to_vec()),
+            |slot, path, bytes| written.push((slot, path.to_path_buf(), bytes)),
+        )
+        .unwrap();
+        let super::DriveOutcome::Interrupted { slot, .. } = outcome else {
+            panic!("expected interruption, got {outcome:?}");
+        };
+        assert_eq!(slot, 5);
+        drop(engine);
+
+        // Resume from the store and finish.
+        let loaded = store.load_latest().unwrap();
+        assert_eq!(loaded.snapshot.blob("marker"), Some(&b"x"[..]));
+        assert_eq!(loaded.snapshot.slot(), 5);
+        let mut resumed = Engine::restore(&loaded.snapshot, &sched, &router).unwrap();
+        stop.store(false, Ordering::SeqCst);
+        let outcome = super::drive_checkpointed(
+            &mut resumed,
+            super::RunMode::UntilDrained(100_000),
+            &mut store,
+            1_000,
+            &stop,
+            |_, _| {},
+            |_, _, _| {},
+        )
+        .unwrap();
+        assert_eq!(outcome, super::DriveOutcome::Completed { drained: true });
+        assert_eq!(resumed.metrics(), &want);
     }
 }

@@ -219,4 +219,45 @@ mod tests {
         let sched = hierarchical_schedule(&spec, 1 << 22).unwrap();
         sched.validate().unwrap();
     }
+
+    /// Builds the model's schedule at `n` nodes and checks the §6
+    /// structural invariants: the schedule validates (every slot a
+    /// perfect matching), each node's port fans out to exactly
+    /// `sum(radix - 1)` distinct neighbors over one period (one
+    /// single-digit shift per slot), and single-level peers are
+    /// directly reachable while multi-level pairs are not (routing
+    /// corrects one digit per hop).
+    fn check_hierarchy_at(radices: Vec<usize>, profile: Vec<f64>, n: usize) {
+        use sorn_topology::builders::hierarchical_schedule;
+        use sorn_topology::NodeId;
+        let expected_degree: usize = radices.iter().map(|r| r - 1).sum();
+        let m = HierarchyModel::new(radices, profile).unwrap();
+        let spec = m.spec(100).unwrap();
+        assert_eq!(spec.n(), n);
+        let sched = hierarchical_schedule(&spec, 1 << 22).unwrap();
+        sched.validate().unwrap();
+        let topo = sched.logical_topology();
+        assert_eq!(topo.n(), n);
+        for node in 0..n {
+            assert_eq!(
+                topo.degree(NodeId(node as u32)),
+                expected_degree,
+                "node {node} port count"
+            );
+        }
+        // Node 0's level-0 peer (digit shift) has a direct circuit;
+        // the diagonal peer differing at every level never does.
+        assert!(sched.max_wait(NodeId(0), NodeId(1)).is_some());
+        assert!(sched.max_wait(NodeId(0), NodeId((n - 1) as u32)).is_none());
+    }
+
+    #[test]
+    fn hierarchy_512_nodes_is_structurally_sound() {
+        check_hierarchy_at(vec![8, 8, 8], vec![0.6, 0.25, 0.15], 512);
+    }
+
+    #[test]
+    fn hierarchy_4096_nodes_is_structurally_sound() {
+        check_hierarchy_at(vec![16, 16, 16], vec![0.56, 0.24, 0.2], 4096);
+    }
 }

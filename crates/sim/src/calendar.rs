@@ -75,6 +75,43 @@ impl<T> SlotCalendar<T> {
         self.count += 1;
     }
 
+    /// Decomposes the calendar for checkpointing:
+    /// `(delay_slots, head_slot, stamps, buckets)`. The item count is
+    /// implied by the bucket contents.
+    pub(crate) fn parts(&self) -> (u64, u64, &[u64], &[VecDeque<T>]) {
+        (
+            self.delay_slots,
+            self.head_slot,
+            &self.stamps,
+            &self.buckets,
+        )
+    }
+
+    /// Rebuilds a calendar from checkpointed parts. Returns `None` when
+    /// the parts are structurally inconsistent (wrong bucket count or a
+    /// zero delay) — a corrupt or hand-forged snapshot, never a panic.
+    pub(crate) fn from_parts(
+        delay_slots: u64,
+        head_slot: u64,
+        stamps: Vec<u64>,
+        buckets: Vec<VecDeque<T>>,
+    ) -> Option<Self> {
+        if delay_slots == 0
+            || buckets.len() as u64 != delay_slots + 1
+            || stamps.len() != buckets.len()
+        {
+            return None;
+        }
+        let count = buckets.iter().map(|b| b.len()).sum();
+        Some(SlotCalendar {
+            buckets,
+            stamps,
+            delay_slots,
+            head_slot,
+            count,
+        })
+    }
+
     /// Pops the next item whose arrival slot is `<= now_slot`, oldest
     /// arrival slot first, FIFO within a slot. Advances past empty
     /// buckets, so slots skipped by the caller are still drained in

@@ -48,6 +48,14 @@ pub struct SimConfig {
     /// subset is a pure hash of `(seed, flow id)`, so it is identical
     /// at any `engine_threads` and enabling it never perturbs routing.
     pub trace_one_in: u64,
+    /// Checkpoint cadence for long runs, in slots; `0` — the default —
+    /// disables periodic checkpointing. The engine itself only exposes
+    /// [`Engine::checkpoint`](crate::Engine::checkpoint) at slot
+    /// boundaries; run drivers (the `perf`/`resilience`/`sorn-cli`
+    /// binaries) consult this cadence to decide *when* to call it and
+    /// where the snapshot files go. Restoring a snapshot carries the
+    /// cadence along, so a resumed run keeps checkpointing on schedule.
+    pub checkpoint_every_slots: u64,
 }
 
 impl Default for SimConfig {
@@ -63,6 +71,7 @@ impl Default for SimConfig {
             node_queue_cap: 0,
             engine_threads: 1,
             trace_one_in: 0,
+            checkpoint_every_slots: 0,
         }
     }
 }

@@ -33,6 +33,7 @@
 
 use crate::calendar::SlotCalendar;
 use crate::cell::{Cell, Flow, FlowId};
+use crate::checkpoint::{QueuesSnap, RestoreError, Snapshot};
 use crate::config::{Nanos, SimConfig};
 use crate::failure::FailureSet;
 use crate::fault::{FaultPlan, FaultView, LinkHealth};
@@ -43,7 +44,7 @@ use crate::probe::{NoopProbe, Probe, SlotView};
 use crate::profiler::{NoopProfiler, Phase, Profiler};
 use crate::queues::NodeQueues;
 use crate::rng::NodeRng;
-use crate::router::{RouteDecision, Router};
+use crate::router::{ClassId, RouteDecision, Router};
 use crate::trace::{circuit_wait_slots, FlowSampler, HopEvent, HopKind};
 use sorn_topology::{CircuitSchedule, NodeId};
 use std::cell::Cell as MemoCell;
@@ -96,13 +97,14 @@ impl fmt::Display for SimError {
 impl std::error::Error for SimError {}
 
 /// Tracks a flow that is still injecting or still has cells in flight.
+/// `pub(crate)` so checkpoints can carry the slab verbatim.
 #[derive(Debug, Clone)]
-struct ActiveFlow {
-    flow: Flow,
-    total_cells: u64,
-    injected: u64,
-    delivered: u64,
-    max_hops: u8,
+pub(crate) struct ActiveFlow {
+    pub(crate) flow: Flow,
+    pub(crate) total_cells: u64,
+    pub(crate) injected: u64,
+    pub(crate) delivered: u64,
+    pub(crate) max_hops: u8,
 }
 
 /// An in-flight cell arriving at a node.
@@ -111,10 +113,10 @@ struct ActiveFlow {
 /// all mature a fixed number of slots later and drain FIFO in the
 /// canonical `(node, uplink)` transmit-merge order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Arrival {
-    at_ns: Nanos,
-    node: NodeId,
-    cell: Cell,
+pub(crate) struct Arrival {
+    pub(crate) at_ns: Nanos,
+    pub(crate) node: NodeId,
+    pub(crate) cell: Cell,
 }
 
 /// Per-shard output of the sharded passes. Shards write only here (and
@@ -262,13 +264,13 @@ pub struct Engine<'a, P: Probe = NoopProbe, F: Profiler = NoopProfiler> {
 
 /// Tracks the failure episode the engine is in, for time-to-recover.
 #[derive(Debug, Clone, Copy, Default)]
-struct EpisodeState {
+pub(crate) struct EpisodeState {
     /// Total queue depth when the current episode began.
-    onset_queued: usize,
+    pub(crate) onset_queued: usize,
     /// Set while at least one element is failed.
-    degraded: bool,
+    pub(crate) degraded: bool,
     /// After full restoration: the restore time, awaiting queue recovery.
-    awaiting_recovery_since: Option<Nanos>,
+    pub(crate) awaiting_recovery_since: Option<Nanos>,
 }
 
 impl<'a> Engine<'a, NoopProbe, NoopProfiler> {
@@ -276,6 +278,17 @@ impl<'a> Engine<'a, NoopProbe, NoopProfiler> {
     /// scheme.
     pub fn new(cfg: SimConfig, schedule: &'a CircuitSchedule, router: &'a dyn Router) -> Self {
         Engine::with_probe(cfg, schedule, router, NoopProbe)
+    }
+
+    /// Rebuilds an uninstrumented engine from a snapshot; see
+    /// [`Engine::restore_with_probe_and_profiler`] for the validation
+    /// contract.
+    pub fn restore(
+        snapshot: &Snapshot,
+        schedule: &'a CircuitSchedule,
+        router: &'a dyn Router,
+    ) -> Result<Self, RestoreError> {
+        Engine::restore_with_probe(snapshot, schedule, router, NoopProbe)
     }
 }
 
@@ -288,6 +301,18 @@ impl<'a, P: Probe> Engine<'a, P, NoopProfiler> {
         probe: P,
     ) -> Self {
         Engine::with_probe_and_profiler(cfg, schedule, router, probe, NoopProfiler)
+    }
+
+    /// Rebuilds an engine observed by `probe` from a snapshot; see
+    /// [`Engine::restore_with_probe_and_profiler`] for the validation
+    /// contract.
+    pub fn restore_with_probe(
+        snapshot: &Snapshot,
+        schedule: &'a CircuitSchedule,
+        router: &'a dyn Router,
+        probe: P,
+    ) -> Result<Self, RestoreError> {
+        Engine::restore_with_probe_and_profiler(snapshot, schedule, router, probe, NoopProfiler)
     }
 }
 
@@ -1160,6 +1185,338 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
             }
         }
         Ok(total)
+    }
+
+    /// Captures the complete engine state as a [`Snapshot`].
+    ///
+    /// Valid at slot boundaries only — that is, between calls to
+    /// [`Engine::step`]/[`Engine::run_slots`], which is the only time a
+    /// caller can observe the engine anyway. Restoring the snapshot
+    /// (see [`Engine::restore`]) and running the remaining slots is
+    /// bit-identical to never having stopped, at any
+    /// `SimConfig::engine_threads`.
+    ///
+    /// The snapshot does not capture the schedule, the router, the
+    /// probe, or an attached health mirror: the first two are borrowed
+    /// configuration the restoring caller must rebuild (the snapshot
+    /// *does* record the router's class ids and the network size so a
+    /// mismatched rebuild is rejected), and the last two are
+    /// re-attached explicitly. Run drivers persist probe state through
+    /// [`Snapshot::attach_blob`].
+    pub fn checkpoint(&self) -> Snapshot {
+        let (delay_slots, head_slot, stamps, buckets) = self.inflight.parts();
+        Snapshot {
+            cfg: self.cfg,
+            n: self.queues.len() as u64,
+            slot: self.slot,
+            class_ids: self.router.classes().iter().map(|c| c.0 as u16).collect(),
+            rng_states: self.rngs.iter().map(|r| r.raw_state()).collect(),
+            queues: self
+                .queues
+                .iter()
+                .map(|q| {
+                    let (specific, class) = q.export_cells();
+                    QueuesSnap { specific, class }
+                })
+                .collect(),
+            queued_cells: self.queued_cells as u64,
+            cal_delay_slots: delay_slots,
+            cal_head_slot: head_slot,
+            cal_stamps: stamps.to_vec(),
+            cal_buckets: buckets
+                .iter()
+                .map(|b| b.iter().copied().collect())
+                .collect(),
+            // Pending flows in ascending original-key order; restore
+            // renumbers them 0..m, which preserves the arrival heap's
+            // (arrival_ns, key) tie-break order exactly.
+            future: self.future_store.iter().filter_map(|f| *f).collect(),
+            injecting: self
+                .injecting
+                .iter()
+                .map(|d| d.iter().map(|&i| i as u64).collect())
+                .collect(),
+            active: self.active.clone(),
+            active_free: self.active_free.iter().map(|&i| i as u64).collect(),
+            failed_nodes: self
+                .failures
+                .failed_node_ids()
+                .iter()
+                .map(|n| n.0)
+                .collect(),
+            failed_links: self
+                .failures
+                .failed_link_ids()
+                .iter()
+                .map(|&(a, b)| (a.0, b.0))
+                .collect(),
+            failure_epoch: self.failure_epoch,
+            fault_events: self.fault_plan.events().to_vec(),
+            fault_cursor: self.fault_cursor as u64,
+            episode: self.episode,
+            metrics: self.metrics.clone(),
+            blobs: Vec::new(),
+        }
+    }
+
+    /// Rebuilds an engine from a snapshot, validating it against the
+    /// schedule and router it will run with. The inverse of
+    /// [`Engine::checkpoint`]; see [`Engine::restore`] for the
+    /// uninstrumented convenience form.
+    ///
+    /// Every structural invariant is checked — node count, class ids,
+    /// slab/free-list/injection-list consistency, queue-count
+    /// bookkeeping, calendar shape — so a decoded-but-inconsistent
+    /// snapshot yields [`RestoreError`] rather than an engine that
+    /// panics later.
+    pub fn restore_with_probe_and_profiler(
+        snapshot: &Snapshot,
+        schedule: &'a CircuitSchedule,
+        router: &'a dyn Router,
+        probe: P,
+        profiler: F,
+    ) -> Result<Self, RestoreError> {
+        let n = schedule.n();
+        if snapshot.n as usize != n {
+            return Err(RestoreError::NodeCountMismatch {
+                snapshot: snapshot.n as usize,
+                schedule: n,
+            });
+        }
+        let router_classes: Vec<u16> = router.classes().iter().map(|c| c.0 as u16).collect();
+        if snapshot.class_ids != router_classes {
+            return Err(RestoreError::ClassMismatch {
+                snapshot: snapshot.class_ids.clone(),
+                router: router_classes,
+            });
+        }
+        let cfg = snapshot.cfg;
+        let bad = |reason: String| RestoreError::Inconsistent { reason };
+        if cfg.slot_ns == 0 {
+            return Err(bad("slot_ns is zero".into()));
+        }
+        let delay_slots = (cfg.slot_ns + cfg.propagation_ns).div_ceil(cfg.slot_ns);
+        if snapshot.cal_delay_slots != delay_slots {
+            return Err(bad(format!(
+                "calendar delay {} does not match the config-derived {delay_slots}",
+                snapshot.cal_delay_slots
+            )));
+        }
+        if snapshot.rng_states.len() != n {
+            return Err(bad(format!(
+                "{} RNG streams for {n} nodes",
+                snapshot.rng_states.len()
+            )));
+        }
+        if snapshot.queues.len() != n {
+            return Err(bad(format!(
+                "{} queue sets for {n} nodes",
+                snapshot.queues.len()
+            )));
+        }
+        if snapshot.injecting.len() != n {
+            return Err(bad(format!(
+                "{} injection lists for {n} nodes",
+                snapshot.injecting.len()
+            )));
+        }
+        if snapshot.metrics.link_transmissions.dim() as usize != n {
+            return Err(bad(format!(
+                "link matrix covers {} nodes, network has {n}",
+                snapshot.metrics.link_transmissions.dim()
+            )));
+        }
+
+        // Active-flow slab: the free list must name exactly the vacant
+        // slots (no duplicates), injection lists must point at live
+        // slots, and no flow id may occupy two slots.
+        let slab_len = snapshot.active.len();
+        let mut seen_free = vec![false; slab_len];
+        for &idx in &snapshot.active_free {
+            let idx = idx as usize;
+            let vacant = snapshot.active.get(idx).is_some_and(|s| s.is_none());
+            if !vacant || seen_free[idx] {
+                return Err(bad(format!("free-list entry {idx} is not a vacant slot")));
+            }
+            seen_free[idx] = true;
+        }
+        let vacant_total = snapshot.active.iter().filter(|s| s.is_none()).count();
+        if snapshot.active_free.len() != vacant_total {
+            return Err(bad(format!(
+                "free list has {} entries for {vacant_total} vacant slots",
+                snapshot.active_free.len()
+            )));
+        }
+        let mut active_index: HashMap<FlowId, usize, FastHashBuilder> = HashMap::default();
+        for (i, slot) in snapshot.active.iter().enumerate() {
+            if let Some(af) = slot {
+                if af.flow.src.index() >= n || af.flow.dst.index() >= n {
+                    return Err(bad(format!(
+                        "active flow {:?} endpoint out of range",
+                        af.flow.id
+                    )));
+                }
+                if active_index.insert(af.flow.id, i).is_some() {
+                    return Err(bad(format!(
+                        "flow {:?} occupies two slab slots",
+                        af.flow.id
+                    )));
+                }
+            }
+        }
+        let mut injecting: Vec<VecDeque<usize>> = Vec::with_capacity(n);
+        let mut injecting_flows = 0usize;
+        for list in &snapshot.injecting {
+            let mut deque = VecDeque::with_capacity(list.len());
+            for &idx in list {
+                let idx = idx as usize;
+                if snapshot.active.get(idx).is_none_or(|s| s.is_none()) {
+                    return Err(bad(format!("injection list references vacant slot {idx}")));
+                }
+                deque.push_back(idx);
+            }
+            injecting_flows += deque.len();
+            injecting.push(deque);
+        }
+
+        // Queues: replay every FIFO through the same push paths a live
+        // run uses. Class ids were validated against the router above,
+        // so push_class cannot hit its undeclared-class panic.
+        let mut queues: Vec<NodeQueues> = (0..n)
+            .map(|_| NodeQueues::new(n, router.classes()))
+            .collect();
+        let mut queued_cells = 0usize;
+        for (v, qs) in snapshot.queues.iter().enumerate() {
+            for (next, cells) in &qs.specific {
+                if *next as usize >= n {
+                    return Err(bad(format!("queued cells for next hop {next} (n = {n})")));
+                }
+                for c in cells {
+                    queues[v].push_specific(NodeId(*next), *c);
+                }
+                queued_cells += cells.len();
+            }
+            for (class, cells) in &qs.class {
+                let id = u8::try_from(*class)
+                    .map_err(|_| bad(format!("class id {class} out of range")))?;
+                if !router_classes.contains(class) {
+                    return Err(bad(format!("queued cells for undeclared class {class}")));
+                }
+                for c in cells {
+                    queues[v].push_class(ClassId(id), *c);
+                }
+                queued_cells += cells.len();
+            }
+        }
+        if queued_cells as u64 != snapshot.queued_cells {
+            return Err(bad(format!(
+                "queued-cell counter {} but {queued_cells} cells in queues",
+                snapshot.queued_cells
+            )));
+        }
+
+        for bucket in &snapshot.cal_buckets {
+            for a in bucket {
+                if a.node.index() >= n {
+                    return Err(bad(format!("in-flight cell arriving at node {}", a.node)));
+                }
+            }
+        }
+        let inflight = SlotCalendar::from_parts(
+            snapshot.cal_delay_slots,
+            snapshot.cal_head_slot,
+            snapshot.cal_stamps.clone(),
+            snapshot
+                .cal_buckets
+                .iter()
+                .map(|b| b.iter().copied().collect())
+                .collect(),
+        )
+        .ok_or_else(|| bad("calendar ring shape is invalid".into()))?;
+
+        let mut future_flows = BinaryHeap::with_capacity(snapshot.future.len());
+        let mut future_store = Vec::with_capacity(snapshot.future.len());
+        for f in &snapshot.future {
+            if f.src.index() >= n || f.dst.index() >= n {
+                return Err(bad(format!(
+                    "pending flow {:?} endpoint out of range",
+                    f.id
+                )));
+            }
+            let key = future_store.len() as u64;
+            future_flows.push(Reverse((f.arrival_ns, key)));
+            future_store.push(Some(*f));
+        }
+        let future_pending = future_store.len();
+
+        let mut failures = FailureSet::none();
+        for &v in &snapshot.failed_nodes {
+            failures.fail_node(NodeId(v));
+        }
+        for &(a, b) in &snapshot.failed_links {
+            failures.fail_link(NodeId(a), NodeId(b));
+        }
+        // Events are stored sorted, so re-pushing in order rebuilds the
+        // identical plan (ties keep their relative order).
+        let mut fault_plan = FaultPlan::new();
+        for e in &snapshot.fault_events {
+            fault_plan.push(*e);
+        }
+        if snapshot.fault_cursor as usize > fault_plan.events().len() {
+            return Err(bad(format!(
+                "fault cursor {} past the {} scripted events",
+                snapshot.fault_cursor,
+                fault_plan.events().len()
+            )));
+        }
+
+        Ok(Engine {
+            rngs: snapshot
+                .rng_states
+                .iter()
+                .map(|&s| NodeRng::from_raw_state(s))
+                .collect(),
+            schedule,
+            router,
+            queues,
+            future_flows,
+            future_store,
+            future_pending,
+            injecting,
+            injecting_flows,
+            active: snapshot.active.clone(),
+            active_free: snapshot.active_free.iter().map(|&i| i as usize).collect(),
+            active_index,
+            inflight,
+            queued_cells,
+            failures,
+            failure_epoch: snapshot.failure_epoch,
+            // Left invalid: the next stranded query recomputes the same
+            // count the uninterrupted run's incremental memo holds.
+            stranded: MemoCell::new(StrandedMemo::default()),
+            fault_plan,
+            fault_cursor: snapshot.fault_cursor as usize,
+            health_mirror: None,
+            episode: snapshot.episode,
+            metrics: snapshot.metrics.clone(),
+            slot: snapshot.slot,
+            pool: (cfg.engine_threads > 1).then(|| WorkerPool::new(cfg.engine_threads)),
+            shards: Vec::new(),
+            arrival_buf: Vec::new(),
+            node_arrivals: vec![Vec::new(); n],
+            finished_flows: Vec::new(),
+            tracer: (cfg.trace_one_in > 0).then(|| FlowSampler::new(cfg.seed, cfg.trace_one_in)),
+            probe,
+            profiler,
+            cfg,
+        })
+    }
+
+    /// Returns the probe *without* firing [`Probe::on_run_end`] — for
+    /// drivers that checkpoint mid-run and carry the probe across a
+    /// restore instead of closing the run (contrast [`Engine::finish`]).
+    pub fn into_probe(self) -> P {
+        self.probe
     }
 }
 

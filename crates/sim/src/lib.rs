@@ -40,6 +40,7 @@
 
 mod calendar;
 mod cell;
+mod checkpoint;
 mod config;
 mod engine;
 mod failure;
@@ -55,6 +56,10 @@ mod router;
 mod trace;
 
 pub use cell::{Cell, Flow, FlowId};
+pub use checkpoint::{
+    crc64, CheckpointError, CheckpointFaultFs, CheckpointFs, CheckpointStore, LoadOutcome,
+    RestoreError, Snapshot, StdFs, WriteFault, FORMAT_VERSION, KEEP_GENERATIONS, MAGIC,
+};
 pub use config::{Nanos, SimConfig};
 pub use engine::{Engine, SimError};
 pub use failure::FailureSet;

@@ -73,6 +73,16 @@ impl LatencyHistogram {
         }
     }
 
+    /// The raw bucket array and sample count, for checkpointing.
+    pub(crate) fn raw_parts(&self) -> (&[u64; 64], u64) {
+        (&self.buckets, self.count)
+    }
+
+    /// Rebuilds a histogram from checkpointed parts.
+    pub(crate) fn from_raw_parts(buckets: [u64; 64], count: u64) -> Self {
+        LatencyHistogram { buckets, count }
+    }
+
     /// Records one latency sample.
     pub fn record(&mut self, latency_ns: Nanos) {
         self.buckets[Self::bucket_of(latency_ns)] += 1;
@@ -157,6 +167,13 @@ impl LinkMatrix {
             counts: vec![0; n * n],
             nonzero: 0,
         }
+    }
+
+    /// The matrix dimension (node ids `0..dim` are in range), for
+    /// checkpointing: a restored matrix must be rebuilt at the same
+    /// dimension so the engine's sharded row bands keep lining up.
+    pub(crate) fn dim(&self) -> u32 {
+        self.n
     }
 
     fn index(&self, src: u32, dst: u32) -> usize {

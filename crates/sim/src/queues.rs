@@ -164,6 +164,30 @@ impl NodeQueues {
             )
     }
 
+    /// Exports every FIFO's contents for checkpointing: nonempty
+    /// specific queues as `(next-hop id, cells front-to-back)` in
+    /// ascending next-hop order, and nonempty class queues as
+    /// `(class id, cells front-to-back)` in declaration order. A
+    /// restore replays the cells through `push_specific`/`push_class`
+    /// in this order, which reproduces each FIFO byte-for-byte.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn export_cells(&self) -> (Vec<(u32, Vec<Cell>)>, Vec<(u16, Vec<Cell>)>) {
+        let specific = self
+            .specific
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(next, q)| (next as u32, q.iter().copied().collect()))
+            .collect();
+        let class = self
+            .class
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(c, q)| (c.0 as u16, q.iter().copied().collect()))
+            .collect();
+        (specific, class)
+    }
+
     /// Number of cells queued for a specific next hop.
     pub fn specific_depth(&self, next: NodeId) -> usize {
         self.specific.get(next.index()).map_or(0, |q| q.len())

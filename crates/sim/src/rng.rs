@@ -45,6 +45,19 @@ impl NodeRng {
         NodeRng { state: key }
     }
 
+    /// The raw Weyl-sequence state, for checkpointing. Together with
+    /// [`NodeRng::from_raw_state`] this round-trips a stream exactly:
+    /// the state *is* the stream position.
+    pub(crate) fn raw_state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuilds a stream at the exact position captured by
+    /// [`NodeRng::raw_state`].
+    pub(crate) fn from_raw_state(state: u64) -> Self {
+        NodeRng { state }
+    }
+
     /// Next raw 64-bit draw.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

@@ -99,6 +99,29 @@ pub enum RecordedEvent {
         /// Wall-clock microseconds the slot took.
         wall_us: u64,
     },
+    /// The run driver wrote a checkpoint generation.
+    CheckpointWritten {
+        /// Slot the checkpoint captured.
+        slot: u64,
+        /// Encoded size in bytes.
+        bytes: u64,
+        /// Generation file path.
+        path: String,
+    },
+    /// The run driver restored state from a checkpoint.
+    CheckpointRestored {
+        /// Slot the run resumed from.
+        slot: u64,
+        /// Generation file path it loaded.
+        path: String,
+    },
+    /// A corrupt checkpoint generation was skipped during load.
+    CheckpointCorruptSkipped {
+        /// The rejected file.
+        path: String,
+        /// Why it was rejected.
+        reason: String,
+    },
 }
 
 impl RecordedEvent {
@@ -140,6 +163,19 @@ impl RecordedEvent {
             RecordedEvent::SlowSlot { slot, wall_us } => {
                 format!("{{\"type\":\"slow_slot\",\"slot\":{slot},\"wall_us\":{wall_us}}}")
             }
+            RecordedEvent::CheckpointWritten { slot, bytes, path } => format!(
+                "{{\"type\":\"checkpoint_written\",\"slot\":{slot},\"bytes\":{bytes},\"path\":\"{}\"}}",
+                escape(path)
+            ),
+            RecordedEvent::CheckpointRestored { slot, path } => format!(
+                "{{\"type\":\"checkpoint_restored\",\"slot\":{slot},\"path\":\"{}\"}}",
+                escape(path)
+            ),
+            RecordedEvent::CheckpointCorruptSkipped { path, reason } => format!(
+                "{{\"type\":\"checkpoint_corrupt_skipped\",\"path\":\"{}\",\"reason\":\"{}\"}}",
+                escape(path),
+                escape(reason)
+            ),
         }
     }
 }
@@ -284,6 +320,123 @@ impl FlightRecorder {
         Ok(Some(path))
     }
 
+    /// Records that the run driver wrote a checkpoint generation.
+    /// Driver-fired (never engine-fired), so engine-level restore
+    /// equivalence is unaffected by checkpointing cadence.
+    pub fn note_checkpoint_written(&mut self, slot: u64, bytes: u64, path: &str) {
+        self.record(RecordedEvent::CheckpointWritten {
+            slot,
+            bytes,
+            path: path.to_string(),
+        });
+    }
+
+    /// Records that the run driver restored from a checkpoint.
+    pub fn note_checkpoint_restored(&mut self, slot: u64, path: &str) {
+        self.record(RecordedEvent::CheckpointRestored {
+            slot,
+            path: path.to_string(),
+        });
+    }
+
+    /// Records that a corrupt checkpoint generation was skipped.
+    pub fn note_checkpoint_corrupt_skipped(&mut self, path: &str, reason: &str) {
+        self.record(RecordedEvent::CheckpointCorruptSkipped {
+            path: path.to_string(),
+            reason: reason.to_string(),
+        });
+    }
+
+    /// Serializes the recorder's deterministic state (ring, counters,
+    /// anomaly flag) so a resumed process reproduces the dump
+    /// byte-for-byte. Wall-clock watchdog state and the dump path are
+    /// not captured — the restoring driver reconfigures those.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        fn put_str(out: &mut Vec<u8>, s: &str) {
+            out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.capacity as u64).to_le_bytes());
+        out.extend_from_slice(&self.total.to_le_bytes());
+        out.extend_from_slice(&self.drop_spike_threshold.to_le_bytes());
+        out.extend_from_slice(&self.last_dropped.to_le_bytes());
+        out.extend_from_slice(&self.last_stranded.to_le_bytes());
+        put_str(&mut out, self.anomaly.as_deref().unwrap_or(""));
+        out.push(self.anomaly.is_some() as u8);
+        let entries = self.entries();
+        out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+        for ev in entries {
+            encode_event(&mut out, ev);
+        }
+        out
+    }
+
+    /// Rebuilds a recorder from [`FlightRecorder::to_bytes`] output.
+    /// Returns a description of the problem on malformed input (never
+    /// panics).
+    pub fn from_bytes(bytes: &[u8]) -> Result<FlightRecorder, String> {
+        let mut pos = 0usize;
+        fn u64_at(bytes: &[u8], pos: &mut usize) -> Result<u64, String> {
+            let end = pos.checked_add(8).filter(|&e| e <= bytes.len());
+            let end = end.ok_or_else(|| "recorder blob truncated".to_string())?;
+            let v = u64::from_le_bytes(bytes[*pos..end].try_into().expect("8 bytes"));
+            *pos = end;
+            Ok(v)
+        }
+        fn str_at(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+            let len = u64_at(bytes, pos)? as usize;
+            let send = pos.checked_add(len).filter(|&e| e <= bytes.len());
+            let send = send.ok_or_else(|| "recorder blob truncated".to_string())?;
+            let s = String::from_utf8(bytes[*pos..send].to_vec())
+                .map_err(|_| "recorder blob holds non-UTF-8 text".to_string())?;
+            *pos = send;
+            Ok(s)
+        }
+        let capacity = u64_at(bytes, &mut pos)? as usize;
+        if capacity == 0 {
+            return Err("recorder blob has zero capacity".to_string());
+        }
+        let total = u64_at(bytes, &mut pos)?;
+        let drop_spike_threshold = u64_at(bytes, &mut pos)?;
+        let last_dropped = u64_at(bytes, &mut pos)?;
+        let last_stranded = u64_at(bytes, &mut pos)?;
+        let anomaly_text = str_at(bytes, &mut pos)?;
+        let has_anomaly = match bytes.get(pos) {
+            Some(0) => false,
+            Some(1) => true,
+            _ => return Err("recorder blob has a bad anomaly flag".to_string()),
+        };
+        pos += 1;
+        let count = u64_at(bytes, &mut pos)? as usize;
+        if count > capacity {
+            return Err("recorder blob retains more events than its capacity".to_string());
+        }
+        let mut ring = Vec::with_capacity(count.min(DEFAULT_CAPACITY));
+        for _ in 0..count {
+            ring.push(decode_event(bytes, &mut pos)?);
+        }
+        if pos != bytes.len() {
+            return Err("recorder blob has trailing bytes".to_string());
+        }
+        Ok(FlightRecorder {
+            ring,
+            capacity,
+            // Oldest-first storage means index 0 is the next overwrite
+            // target once full — exactly `record`'s convention.
+            head: 0,
+            total,
+            drop_spike_threshold,
+            last_dropped,
+            last_stranded,
+            anomaly: has_anomaly.then_some(anomaly_text),
+            slow_slot_us: None,
+            last_slot_end: None,
+            dump_path: None,
+            dumped: false,
+        })
+    }
+
     fn record(&mut self, ev: RecordedEvent) {
         self.total += 1;
         if self.ring.len() < self.capacity {
@@ -321,6 +474,173 @@ impl Drop for FlightRecorder {
 
 fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Binary event encoding behind [`FlightRecorder::to_bytes`]: a tag
+/// byte, then the fields little-endian (strings length-prefixed).
+fn encode_event(out: &mut Vec<u8>, ev: &RecordedEvent) {
+    fn put_str(out: &mut Vec<u8>, s: &str) {
+        out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+        out.extend_from_slice(s.as_bytes());
+    }
+    fn put_u64(out: &mut Vec<u8>, v: u64) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    match ev {
+        RecordedEvent::Drop {
+            at_ns,
+            node,
+            flow,
+            seq,
+        } => {
+            out.push(0);
+            put_u64(out, *at_ns);
+            put_u64(out, *node as u64);
+            put_u64(out, *flow);
+            put_u64(out, *seq);
+        }
+        RecordedEvent::Fault {
+            at_ns,
+            slot,
+            action,
+            target,
+            failed_nodes,
+            failed_links,
+        } => {
+            out.push(1);
+            put_u64(out, *at_ns);
+            put_u64(out, *slot);
+            out.push((*action == "restore") as u8);
+            put_str(out, target);
+            put_u64(out, *failed_nodes as u64);
+            put_u64(out, *failed_links as u64);
+        }
+        RecordedEvent::Reconfiguration { at_ns, slot } => {
+            out.push(2);
+            put_u64(out, *at_ns);
+            put_u64(out, *slot);
+        }
+        RecordedEvent::StrandedOnset {
+            at_ns,
+            slot,
+            stranded,
+        } => {
+            out.push(3);
+            put_u64(out, *at_ns);
+            put_u64(out, *slot);
+            put_u64(out, *stranded);
+        }
+        RecordedEvent::DropSpike { at_ns, slot, drops } => {
+            out.push(4);
+            put_u64(out, *at_ns);
+            put_u64(out, *slot);
+            put_u64(out, *drops);
+        }
+        RecordedEvent::SlowSlot { slot, wall_us } => {
+            out.push(5);
+            put_u64(out, *slot);
+            put_u64(out, *wall_us);
+        }
+        RecordedEvent::CheckpointWritten { slot, bytes, path } => {
+            out.push(6);
+            put_u64(out, *slot);
+            put_u64(out, *bytes);
+            put_str(out, path);
+        }
+        RecordedEvent::CheckpointRestored { slot, path } => {
+            out.push(7);
+            put_u64(out, *slot);
+            put_str(out, path);
+        }
+        RecordedEvent::CheckpointCorruptSkipped { path, reason } => {
+            out.push(8);
+            put_str(out, path);
+            put_str(out, reason);
+        }
+    }
+}
+
+/// Inverse of [`encode_event`]; bounds-checked, never panics.
+fn decode_event(bytes: &[u8], pos: &mut usize) -> Result<RecordedEvent, String> {
+    fn u64_at(bytes: &[u8], pos: &mut usize) -> Result<u64, String> {
+        let end = pos
+            .checked_add(8)
+            .filter(|&e| e <= bytes.len())
+            .ok_or_else(|| "recorder blob truncated".to_string())?;
+        let v = u64::from_le_bytes(bytes[*pos..end].try_into().expect("8 bytes"));
+        *pos = end;
+        Ok(v)
+    }
+    fn u8_at(bytes: &[u8], pos: &mut usize) -> Result<u8, String> {
+        let b = *bytes
+            .get(*pos)
+            .ok_or_else(|| "recorder blob truncated".to_string())?;
+        *pos += 1;
+        Ok(b)
+    }
+    fn str_at(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        let len = u64_at(bytes, pos)? as usize;
+        let end = pos
+            .checked_add(len)
+            .filter(|&e| e <= bytes.len())
+            .ok_or_else(|| "recorder blob truncated".to_string())?;
+        let s = String::from_utf8(bytes[*pos..end].to_vec())
+            .map_err(|_| "recorder blob holds non-UTF-8 text".to_string())?;
+        *pos = end;
+        Ok(s)
+    }
+    Ok(match u8_at(bytes, pos)? {
+        0 => RecordedEvent::Drop {
+            at_ns: u64_at(bytes, pos)?,
+            node: u64_at(bytes, pos)? as u32,
+            flow: u64_at(bytes, pos)?,
+            seq: u64_at(bytes, pos)?,
+        },
+        1 => RecordedEvent::Fault {
+            at_ns: u64_at(bytes, pos)?,
+            slot: u64_at(bytes, pos)?,
+            action: if u8_at(bytes, pos)? == 1 {
+                "restore"
+            } else {
+                "fail"
+            },
+            target: str_at(bytes, pos)?,
+            failed_nodes: u64_at(bytes, pos)? as usize,
+            failed_links: u64_at(bytes, pos)? as usize,
+        },
+        2 => RecordedEvent::Reconfiguration {
+            at_ns: u64_at(bytes, pos)?,
+            slot: u64_at(bytes, pos)?,
+        },
+        3 => RecordedEvent::StrandedOnset {
+            at_ns: u64_at(bytes, pos)?,
+            slot: u64_at(bytes, pos)?,
+            stranded: u64_at(bytes, pos)?,
+        },
+        4 => RecordedEvent::DropSpike {
+            at_ns: u64_at(bytes, pos)?,
+            slot: u64_at(bytes, pos)?,
+            drops: u64_at(bytes, pos)?,
+        },
+        5 => RecordedEvent::SlowSlot {
+            slot: u64_at(bytes, pos)?,
+            wall_us: u64_at(bytes, pos)?,
+        },
+        6 => RecordedEvent::CheckpointWritten {
+            slot: u64_at(bytes, pos)?,
+            bytes: u64_at(bytes, pos)?,
+            path: str_at(bytes, pos)?,
+        },
+        7 => RecordedEvent::CheckpointRestored {
+            slot: u64_at(bytes, pos)?,
+            path: str_at(bytes, pos)?,
+        },
+        8 => RecordedEvent::CheckpointCorruptSkipped {
+            path: str_at(bytes, pos)?,
+            reason: str_at(bytes, pos)?,
+        },
+        tag => return Err(format!("recorder blob has unknown event tag {tag}")),
+    })
 }
 
 impl Probe for FlightRecorder {
@@ -523,6 +843,35 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("drop spike"));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn byte_round_trip_reproduces_the_dump() {
+        let mut r = FlightRecorder::new(4).with_drop_spike_threshold(3);
+        for i in 0..6 {
+            r.on_drop(&cell(i, 0), NodeId(1), i * 10);
+        }
+        let mut m = Metrics::default();
+        m.dropped_cells = 10;
+        r.on_slot_end(&view(&m, 2)); // arms the anomaly, wraps the ring
+        r.note_checkpoint_written(2, 123, "/tmp/ckpt-1.sorn");
+        r.note_checkpoint_restored(2, "/tmp/ckpt-1.sorn");
+        r.note_checkpoint_corrupt_skipped("/tmp/ckpt-2.sorn", "checksum \"mismatch\"");
+        let bytes = r.to_bytes();
+        let back = FlightRecorder::from_bytes(&bytes).expect("round trip");
+        assert_eq!(back.dump_string(), r.dump_string());
+        assert_eq!(back.total_recorded(), r.total_recorded());
+        assert_eq!(back.to_bytes(), bytes, "re-encoding is byte-stable");
+    }
+
+    #[test]
+    fn recorder_blob_truncations_never_panic() {
+        let mut r = FlightRecorder::new(4);
+        r.note_checkpoint_written(1, 99, "/tmp/x.sorn");
+        let bytes = r.to_bytes();
+        for len in 0..bytes.len() {
+            assert!(FlightRecorder::from_bytes(&bytes[..len]).is_err());
+        }
     }
 
     #[test]

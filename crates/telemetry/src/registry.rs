@@ -420,7 +420,7 @@ mod tests {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let name = line.split(|c| c == ' ' || c == '{').next().unwrap();
+            let name = line.split([' ', '{']).next().unwrap();
             assert!(valid_name(name), "illegal rendered name {name:?}");
         }
         assert!(!text.contains("injected_line 2\n") || text.contains("_injected_line_2"));

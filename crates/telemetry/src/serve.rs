@@ -249,6 +249,29 @@ impl LiveMetricsProbe {
         }
     }
 
+    /// Bumps `sorn_checkpoints_written_total` and pushes a fresh
+    /// `/metrics` rendering immediately (checkpoints are rare, so this
+    /// bypasses the wall-clock gate).
+    pub fn note_checkpoint_written(&mut self) {
+        self.bump_checkpoint_counter("sorn_checkpoints_written_total");
+    }
+
+    /// Bumps `sorn_checkpoints_restored_total` and re-renders.
+    pub fn note_checkpoint_restored(&mut self) {
+        self.bump_checkpoint_counter("sorn_checkpoints_restored_total");
+    }
+
+    /// Bumps `sorn_checkpoints_corrupt_skipped_total` and re-renders.
+    pub fn note_checkpoint_corrupt_skipped(&mut self) {
+        self.bump_checkpoint_counter("sorn_checkpoints_corrupt_skipped_total");
+    }
+
+    fn bump_checkpoint_counter(&mut self, name: &str) {
+        self.registry.inc_counter(name, 1);
+        self.publisher
+            .publish_metrics(self.registry.render_prometheus());
+    }
+
     fn publish(&mut self, metrics: &Metrics, view: &SlotView<'_>) {
         self.registry.record_engine(metrics);
         self.publisher

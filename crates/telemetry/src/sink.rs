@@ -242,7 +242,7 @@ mod tests {
         fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
             let room = self.accept.saturating_sub(self.bytes.len());
             if room == 0 {
-                return Err(io::Error::new(io::ErrorKind::Other, "device full"));
+                return Err(io::Error::other("device full"));
             }
             let n = room.min(buf.len());
             self.bytes.extend_from_slice(&buf[..n]);

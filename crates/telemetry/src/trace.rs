@@ -97,6 +97,136 @@ impl FlowTraceCollector {
         out
     }
 
+    /// Serializes the collector (slot length + buffered events, in
+    /// order) so a resumed process reproduces every rendering —
+    /// `render_all`, breakdowns, Chrome JSON — byte-for-byte.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.events.len() * 40);
+        out.extend_from_slice(&self.slot_ns.to_le_bytes());
+        out.extend_from_slice(&(self.events.len() as u64).to_le_bytes());
+        for ev in &self.events {
+            out.extend_from_slice(&ev.flow.0.to_le_bytes());
+            out.extend_from_slice(&ev.seq.to_le_bytes());
+            out.extend_from_slice(&ev.node.0.to_le_bytes());
+            out.extend_from_slice(&ev.at_ns.to_le_bytes());
+            out.extend_from_slice(&ev.injected_ns.to_le_bytes());
+            out.push(ev.hops);
+            match ev.kind {
+                HopKind::Enqueue {
+                    next,
+                    depth,
+                    circuit_wait_slots,
+                } => {
+                    out.push(0);
+                    match next {
+                        Some(n) => {
+                            out.push(1);
+                            out.extend_from_slice(&n.0.to_le_bytes());
+                        }
+                        None => {
+                            out.push(0);
+                            out.extend_from_slice(&0u32.to_le_bytes());
+                        }
+                    }
+                    out.extend_from_slice(&(depth as u64).to_le_bytes());
+                    out.extend_from_slice(&circuit_wait_slots.to_le_bytes());
+                }
+                HopKind::Transmit { to, depth_after } => {
+                    out.push(1);
+                    out.extend_from_slice(&to.0.to_le_bytes());
+                    out.extend_from_slice(&(depth_after as u64).to_le_bytes());
+                }
+                HopKind::Deliver { latency_ns } => {
+                    out.push(2);
+                    out.extend_from_slice(&latency_ns.to_le_bytes());
+                }
+                HopKind::Drop => out.push(3),
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a collector from [`FlowTraceCollector::to_bytes`]
+    /// output. Returns a description of the problem on malformed input
+    /// (never panics).
+    pub fn from_bytes(bytes: &[u8]) -> Result<FlowTraceCollector, String> {
+        fn u64_at(bytes: &[u8], pos: &mut usize) -> Result<u64, String> {
+            let end = pos.checked_add(8).filter(|&e| e <= bytes.len());
+            let end = end.ok_or_else(|| "trace blob truncated".to_string())?;
+            let v = u64::from_le_bytes(bytes[*pos..end].try_into().expect("8 bytes"));
+            *pos = end;
+            Ok(v)
+        }
+        fn u32_at(bytes: &[u8], pos: &mut usize) -> Result<u32, String> {
+            let end = pos.checked_add(4).filter(|&e| e <= bytes.len());
+            let end = end.ok_or_else(|| "trace blob truncated".to_string())?;
+            let v = u32::from_le_bytes(bytes[*pos..end].try_into().expect("4 bytes"));
+            *pos = end;
+            Ok(v)
+        }
+        fn u8_at(bytes: &[u8], pos: &mut usize) -> Result<u8, String> {
+            let b = *bytes
+                .get(*pos)
+                .ok_or_else(|| "trace blob truncated".to_string())?;
+            *pos += 1;
+            Ok(b)
+        }
+        let mut pos = 0usize;
+        let slot_ns = u64_at(bytes, &mut pos)?;
+        let count = u64_at(bytes, &mut pos)? as usize;
+        if count > bytes.len().saturating_sub(pos) / 30 {
+            return Err("trace blob event count exceeds the bytes present".to_string());
+        }
+        let mut events = Vec::with_capacity(count);
+        for _ in 0..count {
+            let flow = sorn_sim::FlowId(u64_at(bytes, &mut pos)?);
+            let seq = u64_at(bytes, &mut pos)?;
+            let node = sorn_topology::NodeId(u32_at(bytes, &mut pos)?);
+            let at_ns = u64_at(bytes, &mut pos)?;
+            let injected_ns = u64_at(bytes, &mut pos)?;
+            let hops = u8_at(bytes, &mut pos)?;
+            let kind = match u8_at(bytes, &mut pos)? {
+                0 => {
+                    let has_next = match u8_at(bytes, &mut pos)? {
+                        0 => false,
+                        1 => true,
+                        v => return Err(format!("trace blob has bad option byte {v}")),
+                    };
+                    let next_raw = u32_at(bytes, &mut pos)?;
+                    let depth = u64_at(bytes, &mut pos)? as usize;
+                    let circuit_wait_slots = u32_at(bytes, &mut pos)?;
+                    HopKind::Enqueue {
+                        next: has_next.then_some(sorn_topology::NodeId(next_raw)),
+                        depth,
+                        circuit_wait_slots,
+                    }
+                }
+                1 => HopKind::Transmit {
+                    to: sorn_topology::NodeId(u32_at(bytes, &mut pos)?),
+                    depth_after: u64_at(bytes, &mut pos)? as usize,
+                },
+                2 => HopKind::Deliver {
+                    latency_ns: u64_at(bytes, &mut pos)?,
+                },
+                3 => HopKind::Drop,
+                tag => return Err(format!("trace blob has unknown hop tag {tag}")),
+            };
+            events.push(HopEvent {
+                flow,
+                seq,
+                node,
+                at_ns,
+                injected_ns,
+                hops,
+                kind,
+            });
+        }
+        if pos != bytes.len() {
+            return Err("trace blob has trailing bytes".to_string());
+        }
+        Ok(FlowTraceCollector { slot_ns, events })
+    }
+
     /// Per-cell latency attribution, keyed `(flow, seq)` in ascending
     /// order.
     ///
@@ -173,8 +303,10 @@ impl FlowTraceCollector {
     pub fn chrome_trace_json(&self, propagation_ns: Nanos) -> String {
         let mut out = String::from("{\"traceEvents\":[");
         let mut first = true;
-        // Track the open enqueue per cell to close it at transmit.
-        let mut pending: BTreeMap<(u64, u64), (Nanos, usize, u32, Option<u32>)> = BTreeMap::new();
+        // Track the open enqueue per cell to close it at transmit:
+        // (enqueue time, hop index, depth, circuit wait) per (flow, seq).
+        type OpenEnqueue = (Nanos, usize, u32, Option<u32>);
+        let mut pending: BTreeMap<(u64, u64), OpenEnqueue> = BTreeMap::new();
         for ev in &self.events {
             let key = (ev.flow.0, ev.seq);
             match ev.kind {
@@ -381,6 +513,48 @@ mod tests {
         let text = c.render_all();
         assert_eq!(text.lines().count(), 2);
         assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn byte_round_trip_reproduces_every_rendering() {
+        let mut c = FlowTraceCollector::new(100);
+        c.on_hop(&ev(
+            0,
+            0,
+            0,
+            HopKind::Enqueue {
+                next: Some(NodeId(1)),
+                depth: 3,
+                circuit_wait_slots: 2,
+            },
+        ));
+        c.on_hop(&ev(
+            0,
+            0,
+            500,
+            HopKind::Transmit {
+                to: NodeId(1),
+                depth_after: 2,
+            },
+        ));
+        c.on_hop(&ev(0, 1, 1100, HopKind::Deliver { latency_ns: 1100 }));
+        c.on_hop(&ev(1, 0, 1200, HopKind::Drop));
+        let bytes = c.to_bytes();
+        let back = FlowTraceCollector::from_bytes(&bytes).expect("round trip");
+        assert_eq!(back.render_all(), c.render_all());
+        assert_eq!(back.chrome_trace_json(500), c.chrome_trace_json(500));
+        assert_eq!(back.cell_breakdowns(), c.cell_breakdowns());
+        assert_eq!(back.to_bytes(), bytes, "re-encoding is byte-stable");
+    }
+
+    #[test]
+    fn trace_blob_truncations_never_panic() {
+        let mut c = FlowTraceCollector::new(100);
+        c.on_hop(&ev(0, 2, 300, HopKind::Drop));
+        let bytes = c.to_bytes();
+        for len in 0..bytes.len() {
+            assert!(FlowTraceCollector::from_bytes(&bytes[..len]).is_err());
+        }
     }
 
     #[test]

@@ -100,6 +100,49 @@ echo "$scrape" | grep -Eq '^sorn_engine_[a-z_]+ [0-9]' || {
   echo "FAIL: scrape missing samples:"; echo "$scrape"; exit 1; } >&2
 echo "mid-run /metrics scrape is well-formed Prometheus text."
 
+echo "== SIGTERM mid-run + --resume must reproduce the uninterrupted run =="
+# The checkpointed perf path runs its direct-engine scenarios
+# sequentially (fig2f_vlb + resilience_storm). Reference: the same
+# checkpointed configuration, uninterrupted. Then: start a fresh run,
+# SIGTERM it mid-flight (exit code 3, final checkpoint on disk), resume
+# with --resume (exit 0), and byte-compare the deterministic BENCH
+# headline fields and every TRACE file against the reference.
+ck_flags=(--trace-flows 1 --checkpoint-every 100)
+./target/release/perf --label ck-ref "${ck_flags[@]}" \
+  --checkpoint-dir "$tmpdir/ck-ref" --out-dir "$tmpdir/ckref" > "$tmpdir/ckref.out"
+
+interrupted=""
+for delay in 0.30 0.15 0.08 0.04 0.02; do
+  rm -rf "$tmpdir/ck" "$tmpdir/ckres"
+  ./target/release/perf --label ck-int "${ck_flags[@]}" \
+    --checkpoint-dir "$tmpdir/ck" --out-dir "$tmpdir/ckres" > "$tmpdir/ckint.out" 2>&1 &
+  perf_pid=$!
+  sleep "$delay"
+  kill -TERM "$perf_pid" 2>/dev/null || true
+  rc=0; wait "$perf_pid" || rc=$?
+  if [ "$rc" -eq 3 ]; then
+    interrupted=yes
+    break
+  fi
+  # rc 0 = the suite outran the signal; retry with a shorter delay.
+  [ "$rc" -eq 0 ] || { echo "FAIL: interrupted run exited $rc (want 3)" >&2; exit 1; }
+done
+[ -n "$interrupted" ] || { echo "FAIL: could not interrupt the run mid-flight" >&2; exit 1; }
+ls "$tmpdir"/ck/*/ckpt-*.sorn > /dev/null || {
+  echo "FAIL: no checkpoint written on SIGTERM" >&2; exit 1; }
+echo "SIGTERM landed mid-run: exit 3 with a final checkpoint on disk."
+
+./target/release/perf --label ck-res "${ck_flags[@]}" \
+  --checkpoint-dir "$tmpdir/ck" --out-dir "$tmpdir/ckres" --resume > "$tmpdir/ckres.out"
+# Deterministic BENCH headline fields (wall times and RSS are noise):
+headline() { grep -o '"slots": [0-9]*\|"cells_delivered": [0-9]*' "$1"; }
+diff <(headline "$tmpdir"/ckref/BENCH_ck-ref.json) \
+     <(headline "$tmpdir"/ckres/BENCH_ck-res.json)
+for f in "$tmpdir"/ckref/TRACE_*; do
+  cmp "$f" "$tmpdir/ckres/$(basename "$f")"
+done
+echo "resumed run matches the uninterrupted run byte-for-byte (BENCH headline + traces)."
+
 echo "== committed-baseline comparison (must not regress) =="
 # Generous threshold: the tiny scenarios finish in milliseconds, so
 # run-to-run noise across CI machines is large. This gates gross

@@ -40,6 +40,19 @@
 //! any count, so it only moves the timings. `--scale512` swaps the
 //! suite for the 512-node scaling scenarios used to benchmark it.
 //!
+//! `--checkpoint-dir DIR` turns on crash-safe checkpointing for the
+//! direct-engine scenarios (`fig2f_vlb`, `resilience_storm`, or
+//! `scale512_vlb` under `--scale512`): every `--checkpoint-every N`
+//! slots the engine plus its trace/flight-recorder state is snapshotted
+//! to a rolling pair of generations in `DIR/<scenario>/`. The
+//! SORN-routed scenarios and `adaptation_sweep` drive the engine behind
+//! higher-level APIs that cannot snapshot mid-run, so a checkpointed
+//! suite is just the direct-engine scenarios, run sequentially. SIGINT
+//! or SIGTERM finishes the current slot, writes a final checkpoint, and
+//! exits with code 3; `--resume` continues from the newest valid
+//! checkpoint and produces bit-identical metrics and trace output to an
+//! uninterrupted run.
+//!
 //! `--tiny` shrinks every scenario for CI smoke runs. `--jobs N` runs
 //! the scenarios on N worker threads; every scenario is self-contained
 //! and seeded, so its simulation metrics are identical at any job
@@ -56,12 +69,16 @@ use sorn_analysis::autopsy::TailAutopsy;
 use sorn_analysis::perfreport::{
     compare, phases_from_profile, BenchReport, ScenarioResult, SCHEMA_VERSION,
 };
-use sorn_bench::{run_jobs, Task};
+use sorn_bench::{
+    drive_checkpointed, install_stop_handler, load_resume, run_jobs, CheckpointOpts, DriveOutcome,
+    RunMode, Task, EXIT_INTERRUPTED,
+};
 use sorn_control::{ControlConfig, ControlLoop};
 use sorn_core::{SornConfig, SornNetwork};
 use sorn_routing::{FaultAwareSornRouter, VlbRouter};
 use sorn_sim::{
-    Engine, FaultPlan, FaultStorm, Flow, FlowId, LinkHealth, Phase, Profiler, SimConfig,
+    CheckpointStore, Engine, FaultPlan, FaultStorm, Flow, FlowId, LinkHealth, Phase, Profiler,
+    SimConfig, Snapshot,
 };
 use sorn_telemetry::{
     FlightRecorder, FlowTraceCollector, LiveMetricsProbe, MetricsPublisher, MetricsServer,
@@ -77,6 +94,7 @@ use std::time::Instant;
 const USAGE: &str = "usage: perf [--label NAME] [--out-dir DIR] [--tiny] [--scale512] \
                      [--jobs N] [--engine-threads N] \
                      [--trace-flows N] [--serve-metrics ADDR] [--serve-linger-ms N] \
+                     [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] \
                      [--baseline FILE] [--threshold PCT] | perf --validate FILE";
 
 struct Opts {
@@ -251,7 +269,14 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = match parse_args(&args) {
+    let (ckpt, rest) = match CheckpointOpts::take(args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("perf: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let opts = match parse_args(&rest) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("perf: {e}\n{USAGE}");
@@ -307,25 +332,100 @@ fn main() -> ExitCode {
         out_dir: opts.out_dir.clone(),
         publisher: server.as_ref().map(|(_, p)| p.clone()),
     };
-    let tasks: Vec<Task<(ScenarioResult, String)>> = if opts.scale512 {
-        // The 512-node scaling scenarios: one big fabric per routing
-        // scheme, the workload where intra-run sharding has room to pay.
-        let (a, b) = (inst.clone(), inst.clone());
-        vec![
-            Box::new(move || scale512("scale512_vlb", engine_threads, &a)),
-            Box::new(move || scale512("scale512_sorn", engine_threads, &b)),
-        ]
-    } else {
-        let (a, b, c) = (inst.clone(), inst.clone(), inst.clone());
-        vec![
-            Box::new(move || fig2f_scale("fig2f_vlb", tiny, engine_threads, &a)),
-            Box::new(move || fig2f_scale("fig2f_sorn", tiny, engine_threads, &b)),
-            Box::new(move || resilience_storm(tiny, engine_threads, &c)),
-            Box::new(move || adaptation_sweep(tiny)),
-        ]
-    };
     let suite_start = Instant::now();
-    let outcomes = run_jobs(opts.jobs, tasks);
+    let effective_jobs = if ckpt.enabled() { 1 } else { opts.jobs };
+    let outcomes: Vec<(ScenarioResult, String)> = if ckpt.enabled() {
+        if opts.jobs > 1 {
+            eprintln!(
+                "perf: --checkpoint-dir runs scenarios sequentially; ignoring --jobs {}",
+                opts.jobs
+            );
+        }
+        let dir = ckpt.dir.clone().expect("enabled() implies a dir");
+        let ctx = CkptCtx {
+            dir,
+            every: ckpt.cadence(),
+            resume: ckpt.resume,
+            stop: install_stop_handler(),
+        };
+        eprintln!(
+            "perf: checkpointing to {} every {} slots (SORN-routed scenarios and \
+             adaptation_sweep are skipped: they cannot snapshot mid-run)",
+            ctx.dir.display(),
+            ctx.every
+        );
+        let run = || -> Result<Option<Vec<(ScenarioResult, String)>>, String> {
+            let mut out = Vec::new();
+            if opts.scale512 {
+                match run_scale_checkpointed(
+                    "scale512_vlb",
+                    512,
+                    8,
+                    40_000,
+                    engine_threads,
+                    &inst,
+                    &ctx,
+                )? {
+                    Some(r) => out.push(r),
+                    None => return Ok(None),
+                }
+            } else {
+                let (n, cliques, duration_ns) = fig2f_dims(tiny);
+                match run_scale_checkpointed(
+                    "fig2f_vlb",
+                    n,
+                    cliques,
+                    duration_ns,
+                    engine_threads,
+                    &inst,
+                    &ctx,
+                )? {
+                    Some(r) => out.push(r),
+                    None => return Ok(None),
+                }
+                match resilience_storm_checkpointed(tiny, engine_threads, &inst, &ctx)? {
+                    Some(r) => out.push(r),
+                    None => return Ok(None),
+                }
+            }
+            Ok(Some(out))
+        };
+        match run() {
+            Err(e) => {
+                eprintln!("perf: {e}");
+                return ExitCode::from(2);
+            }
+            Ok(None) => {
+                // Interrupted: the final checkpoint is on disk; flush
+                // the live endpoint and signal "resume me" distinctly.
+                if let Some((server, publisher)) = server {
+                    publisher.mark_done();
+                    server.shutdown();
+                }
+                return ExitCode::from(EXIT_INTERRUPTED as u8);
+            }
+            Ok(Some(outcomes)) => outcomes,
+        }
+    } else {
+        let tasks: Vec<Task<(ScenarioResult, String)>> = if opts.scale512 {
+            // The 512-node scaling scenarios: one big fabric per routing
+            // scheme, the workload where intra-run sharding has room to pay.
+            let (a, b) = (inst.clone(), inst.clone());
+            vec![
+                Box::new(move || scale512("scale512_vlb", engine_threads, &a)),
+                Box::new(move || scale512("scale512_sorn", engine_threads, &b)),
+            ]
+        } else {
+            let (a, b, c) = (inst.clone(), inst.clone(), inst.clone());
+            vec![
+                Box::new(move || fig2f_scale("fig2f_vlb", tiny, engine_threads, &a)),
+                Box::new(move || fig2f_scale("fig2f_sorn", tiny, engine_threads, &b)),
+                Box::new(move || resilience_storm(tiny, engine_threads, &c)),
+                Box::new(move || adaptation_sweep(tiny)),
+            ]
+        };
+        run_jobs(opts.jobs, tasks)
+    };
     let suite_wall_ns = suite_start.elapsed().as_nanos().max(1) as u64;
     let (scenarios, summaries): (Vec<ScenarioResult>, Vec<String>) = outcomes.into_iter().unzip();
     for s in &summaries {
@@ -338,7 +438,7 @@ fn main() -> ExitCode {
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
             .unwrap_or(0),
-        jobs: opts.jobs as u64,
+        jobs: effective_jobs as u64,
         engine_threads: opts.engine_threads as u64,
         suite_wall_ns,
         scenarios,
@@ -347,7 +447,7 @@ fn main() -> ExitCode {
     println!(
         "suite: {:.1} ms wall on {} job(s); scenario sum {:.1} ms; aggregate speedup {:.2}x",
         suite_wall_ns as f64 / 1e6,
-        opts.jobs,
+        effective_jobs,
         serial_ns as f64 / 1e6,
         report.aggregate_speedup().unwrap_or(1.0),
     );
@@ -429,6 +529,15 @@ fn scale_workload(n: usize, cliques: usize, duration_ns: u64) -> Vec<Flow> {
     wl.generate(&FlowSizeDist::fixed(10 * 1250), &CliqueLocal::new(map, 0.5))
 }
 
+/// Fabric and workload dimensions for the fig2f-scale scenarios.
+fn fig2f_dims(tiny: bool) -> (usize, usize, u64) {
+    if tiny {
+        (32, 4, 40_000)
+    } else {
+        (128, 8, 150_000)
+    }
+}
+
 /// One fig2f-scale run: the same workload through flat VLB
 /// (`fig2f_vlb`) or through SORN (`fig2f_sorn`), simulated to drain.
 fn fig2f_scale(
@@ -437,11 +546,7 @@ fn fig2f_scale(
     engine_threads: usize,
     inst: &Instruments,
 ) -> (ScenarioResult, String) {
-    let (n, cliques, duration_ns) = if tiny {
-        (32, 4, 40_000)
-    } else {
-        (128, 8, 150_000)
-    };
+    let (n, cliques, duration_ns) = fig2f_dims(tiny);
     run_scale_scenario(name, n, cliques, duration_ns, engine_threads, inst)
 }
 
@@ -514,14 +619,321 @@ fn run_scale_scenario(
     (result, text)
 }
 
-/// The §6 storm on the fault-aware SORN fabric: seeded MTBF/MTTR link
-/// and node outages plus a correlated port-group burst, over the
-/// resilience study's 32-node/4-clique fabric.
-fn resilience_storm(
+/// Checkpoint wiring threaded into the checkpointable scenarios.
+struct CkptCtx<'a> {
+    /// Root checkpoint directory; each scenario gets a subdirectory.
+    dir: PathBuf,
+    /// Slots between periodic checkpoints.
+    every: u64,
+    /// Resume each scenario from its newest valid checkpoint.
+    resume: bool,
+    /// Raised by SIGINT/SIGTERM; polled at slot boundaries.
+    stop: &'a std::sync::atomic::AtomicBool,
+}
+
+/// Snapshot blob names for the probe state carried across a resume.
+const BLOB_TRACE: &str = "trace";
+const BLOB_FLIGHT: &str = "flight";
+
+/// Rebuilds the scenario probe for a resumed run: the causal-trace
+/// collector and flight recorder come back from the snapshot's sidecar
+/// blobs (so their output is identical to an uninterrupted run); the
+/// live-metrics feeder is wall-clock state and starts fresh.
+fn probe_from_snapshot(
+    inst: &Instruments,
+    scheme: &str,
+    slot_ns: u64,
+    snap: &Snapshot,
+) -> Result<ObsProbe, String> {
+    let collector = match snap.blob(BLOB_TRACE) {
+        Some(b) => Some(
+            FlowTraceCollector::from_bytes(b)
+                .map_err(|e| format!("[{scheme}] bad trace blob in checkpoint: {e}"))?,
+        ),
+        None => (inst.trace_one_in > 0).then(|| FlowTraceCollector::new(slot_ns)),
+    };
+    let recorder = match snap.blob(BLOB_FLIGHT) {
+        Some(b) => FlightRecorder::from_bytes(b)
+            .map_err(|e| format!("[{scheme}] bad flight-recorder blob in checkpoint: {e}"))?,
+        None => FlightRecorder::new(DEFAULT_CAPACITY),
+    }
+    .with_dump_path(inst.out_dir.join(format!("FLIGHT_{scheme}.jsonl")));
+    Ok((
+        inst.publisher.clone().map(LiveMetricsProbe::new),
+        (collector, recorder),
+    ))
+}
+
+/// Attaches the probe's trace and flight-recorder state to a snapshot
+/// as sidecar blobs, so a resume rebuilds observers mid-stream.
+fn attach_probe_blobs(probe: &ObsProbe, snap: &mut Snapshot) {
+    let (_live, (collector, recorder)) = probe;
+    if let Some(c) = collector {
+        snap.attach_blob(BLOB_TRACE, c.to_bytes());
+    }
+    snap.attach_blob(BLOB_FLIGHT, recorder.to_bytes());
+}
+
+/// Mirrors checkpoint lifecycle events into the flight recorder and the
+/// live `/metrics` endpoint. Fired by this driver, never by the engine,
+/// so simulation results stay bit-identical with checkpointing on or
+/// off.
+fn note_checkpoint_events(
+    probe: &mut ObsProbe,
+    restored: Option<(u64, &std::path::Path)>,
+    skipped: &[(PathBuf, String)],
+    written: &[(u64, PathBuf, usize)],
+) {
+    let (live, (_collector, recorder)) = probe;
+    for (path, reason) in skipped {
+        recorder.note_checkpoint_corrupt_skipped(&path.display().to_string(), reason);
+        if let Some(l) = live.as_mut() {
+            l.note_checkpoint_corrupt_skipped();
+        }
+    }
+    if let Some((slot, path)) = restored {
+        recorder.note_checkpoint_restored(slot, &path.display().to_string());
+        if let Some(l) = live.as_mut() {
+            l.note_checkpoint_restored();
+        }
+    }
+    for (slot, path, bytes) in written {
+        recorder.note_checkpoint_written(*slot, *bytes as u64, &path.display().to_string());
+        if let Some(l) = live.as_mut() {
+            l.note_checkpoint_written();
+        }
+    }
+}
+
+/// The VLB scale scenario under checkpointing: same fabric and workload
+/// as [`run_scale_scenario`]'s VLB branch, driven slot-by-slot with
+/// periodic snapshots. Returns `Ok(None)` when interrupted by a signal
+/// (the final checkpoint is already on disk).
+fn run_scale_checkpointed(
+    scheme: &str,
+    n: usize,
+    cliques: usize,
+    duration_ns: u64,
+    engine_threads: usize,
+    inst: &Instruments,
+    ckpt: &CkptCtx<'_>,
+) -> Result<Option<(ScenarioResult, String)>, String> {
+    let cfg = SimConfig {
+        engine_threads,
+        trace_one_in: inst.trace_one_in,
+        ..SimConfig::default()
+    };
+    let max_slots = 20 * duration_ns / cfg.slot_ns;
+    let schedule = round_robin(n).expect("round robin");
+    let router = VlbRouter::new();
+    let profiler = WallClockProfiler::new();
+    let start = Instant::now();
+    let mut store =
+        CheckpointStore::open(ckpt.dir.join(scheme)).map_err(|e| format!("[{scheme}] {e}"))?;
+
+    let mut eng = match load_resume(&store, ckpt.resume).map_err(|e| format!("[{scheme}] {e}"))? {
+        Some(mut out) => {
+            out.snapshot.set_engine_threads(engine_threads);
+            let probe = probe_from_snapshot(inst, scheme, cfg.slot_ns, &out.snapshot)?;
+            let mut eng = Engine::restore_with_probe_and_profiler(
+                &out.snapshot,
+                &schedule,
+                &router,
+                probe,
+                profiler.clone(),
+            )
+            .map_err(|e| {
+                format!(
+                    "[{scheme}] checkpoint {} does not fit this scenario: {e}",
+                    out.path.display()
+                )
+            })?;
+            eprintln!(
+                "perf: [{scheme}] resumed from {} at slot {}",
+                out.path.display(),
+                out.snapshot.slot()
+            );
+            note_checkpoint_events(
+                eng.probe_mut(),
+                Some((out.snapshot.slot(), &out.path)),
+                &out.skipped,
+                &[],
+            );
+            eng
+        }
+        None => {
+            let probe = inst.probe(scheme, cfg.slot_ns);
+            let mut eng =
+                Engine::with_probe_and_profiler(cfg, &schedule, &router, probe, profiler.clone());
+            eng.add_flows(scale_workload(n, cliques, duration_ns))
+                .expect("flows in range");
+            eng
+        }
+    };
+
+    let mut written = Vec::new();
+    let outcome = drive_checkpointed(
+        &mut eng,
+        RunMode::UntilDrained(max_slots),
+        &mut store,
+        ckpt.every,
+        ckpt.stop,
+        |eng, snap| attach_probe_blobs(eng.probe(), snap),
+        |slot, path, bytes| written.push((slot, path.to_path_buf(), bytes)),
+    )
+    .map_err(|e| format!("[{scheme}] {e}"))?;
+    note_checkpoint_events(eng.probe_mut(), None, &[], &written);
+    match outcome {
+        DriveOutcome::Interrupted { slot, path } => {
+            eprintln!(
+                "perf: [{scheme}] interrupted at slot {slot}; wrote {}; rerun with --resume",
+                path.display()
+            );
+            Ok(None)
+        }
+        DriveOutcome::Completed { .. } => {
+            let metrics = eng.metrics().clone();
+            let probe = eng.finish();
+            let (result, mut text) = finish_scenario(
+                scheme,
+                start,
+                metrics.slots,
+                metrics.delivered_cells,
+                &profiler,
+            );
+            text.push_str(&inst.summarize(scheme, probe, cfg.propagation_ns));
+            Ok(Some((result, text)))
+        }
+    }
+}
+
+/// The §6 storm under checkpointing: [`resilience_storm`]'s fabric,
+/// workload, and fault plan, driven slot-by-slot with periodic
+/// snapshots. The restored engine re-attaches a fresh health mirror
+/// ([`Engine::set_health_mirror`] republishes the restored failure set
+/// immediately, so fault-aware routing picks up exactly where it left
+/// off). Returns `Ok(None)` when interrupted by a signal.
+fn resilience_storm_checkpointed(
     tiny: bool,
     engine_threads: usize,
     inst: &Instruments,
-) -> (ScenarioResult, String) {
+    ckpt: &CkptCtx<'_>,
+) -> Result<Option<(ScenarioResult, String)>, String> {
+    let scheme = "resilience_storm";
+    let StormFixture {
+        map,
+        schedule,
+        flows,
+        plan,
+        duration_ns,
+    } = storm_fixture(tiny);
+    let health = LinkHealth::new();
+    let router = FaultAwareSornRouter::new(map, health.clone());
+    let cfg = SimConfig {
+        seed: 42,
+        engine_threads,
+        trace_one_in: inst.trace_one_in,
+        ..SimConfig::default()
+    };
+    let slots = duration_ns / cfg.slot_ns;
+    let profiler = WallClockProfiler::new();
+    let start = Instant::now();
+    let mut store =
+        CheckpointStore::open(ckpt.dir.join(scheme)).map_err(|e| format!("[{scheme}] {e}"))?;
+
+    let mut eng = match load_resume(&store, ckpt.resume).map_err(|e| format!("[{scheme}] {e}"))? {
+        Some(mut out) => {
+            out.snapshot.set_engine_threads(engine_threads);
+            let probe = probe_from_snapshot(inst, scheme, cfg.slot_ns, &out.snapshot)?;
+            let mut eng = Engine::restore_with_probe_and_profiler(
+                &out.snapshot,
+                &schedule,
+                &router,
+                probe,
+                profiler.clone(),
+            )
+            .map_err(|e| {
+                format!(
+                    "[{scheme}] checkpoint {} does not fit this scenario: {e}",
+                    out.path.display()
+                )
+            })?;
+            // The snapshot carries the fault plan and failure state;
+            // only the shared health view must be re-attached.
+            eng.set_health_mirror(health);
+            eprintln!(
+                "perf: [{scheme}] resumed from {} at slot {}",
+                out.path.display(),
+                out.snapshot.slot()
+            );
+            note_checkpoint_events(
+                eng.probe_mut(),
+                Some((out.snapshot.slot(), &out.path)),
+                &out.skipped,
+                &[],
+            );
+            eng
+        }
+        None => {
+            let probe = inst.probe(scheme, cfg.slot_ns);
+            let mut eng =
+                Engine::with_probe_and_profiler(cfg, &schedule, &router, probe, profiler.clone());
+            eng.set_fault_plan(plan);
+            eng.set_health_mirror(health);
+            eng.add_flows(flows).expect("flows in range");
+            eng
+        }
+    };
+
+    let mut written = Vec::new();
+    let outcome = drive_checkpointed(
+        &mut eng,
+        RunMode::UntilSlot(slots),
+        &mut store,
+        ckpt.every,
+        ckpt.stop,
+        |eng, snap| attach_probe_blobs(eng.probe(), snap),
+        |slot, path, bytes| written.push((slot, path.to_path_buf(), bytes)),
+    )
+    .map_err(|e| format!("[{scheme}] {e}"))?;
+    note_checkpoint_events(eng.probe_mut(), None, &[], &written);
+    match outcome {
+        DriveOutcome::Interrupted { slot, path } => {
+            eprintln!(
+                "perf: [{scheme}] interrupted at slot {slot}; wrote {}; rerun with --resume",
+                path.display()
+            );
+            Ok(None)
+        }
+        DriveOutcome::Completed { .. } => {
+            let metrics = eng.metrics().clone();
+            let probe = eng.finish();
+            let (result, mut text) = finish_scenario(
+                scheme,
+                start,
+                metrics.slots,
+                metrics.delivered_cells,
+                &profiler,
+            );
+            text.push_str(&inst.summarize(scheme, probe, cfg.propagation_ns));
+            Ok(Some((result, text)))
+        }
+    }
+}
+
+/// The §6 storm fixture shared by the plain and checkpointed storm
+/// scenarios: the 32-node/4-clique fabric, its clique-local workload,
+/// and the scripted fault plan (seeded MTBF/MTTR outages plus a
+/// correlated port-group burst late in the run).
+struct StormFixture {
+    map: CliqueMap,
+    schedule: sorn_topology::CircuitSchedule,
+    flows: Vec<Flow>,
+    plan: FaultPlan,
+    duration_ns: u64,
+}
+
+fn storm_fixture(tiny: bool) -> StormFixture {
     const N: usize = 32;
     const CLIQUES: usize = 4;
     let duration_ns: u64 = if tiny { 100_000 } else { 400_000 };
@@ -568,7 +980,30 @@ fn resilience_storm(
             }
         }
     }
+    StormFixture {
+        map,
+        schedule,
+        flows,
+        plan,
+        duration_ns,
+    }
+}
 
+/// The §6 storm on the fault-aware SORN fabric: seeded MTBF/MTTR link
+/// and node outages plus a correlated port-group burst, over the
+/// resilience study's 32-node/4-clique fabric.
+fn resilience_storm(
+    tiny: bool,
+    engine_threads: usize,
+    inst: &Instruments,
+) -> (ScenarioResult, String) {
+    let StormFixture {
+        map,
+        schedule,
+        flows,
+        plan,
+        duration_ns,
+    } = storm_fixture(tiny);
     let health = LinkHealth::new();
     let router = FaultAwareSornRouter::new(map, health.clone());
     let cfg = SimConfig {

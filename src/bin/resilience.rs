@@ -19,13 +19,28 @@
 //! along; a scheme that trips an anomaly watchdog (the storm's drop
 //! spikes usually do) dumps its recent-event ring to
 //! `FLIGHT_<scheme>.jsonl` in the working directory.
+//!
+//! `--checkpoint-dir DIR` turns on crash-safe checkpointing: both
+//! schemes run sequentially, snapshotting engine plus flight-recorder
+//! state every `--checkpoint-every N` slots to `DIR/<scheme>/` (two
+//! rolling generations). SIGINT/SIGTERM finishes the current slot,
+//! writes a final checkpoint, and exits with code 3; `--resume`
+//! continues from the newest valid checkpoint and prints the identical
+//! table an uninterrupted run would have. Checkpointing composes with
+//! `--engine-threads` but not with `--trace-out` (the JSONL sink
+//! appends to a file mid-run and cannot be rewound on resume).
 
 use sorn_analysis::resilience::{resilience_table, ResilienceRow};
-use sorn_bench::{header, run_jobs, take_engine_threads_flag, take_jobs_flag, Task, TelemetryOpts};
+use sorn_bench::{
+    drive_checkpointed, header, install_stop_handler, load_resume, run_jobs,
+    take_engine_threads_flag, take_jobs_flag, CheckpointOpts, DriveOutcome, RunMode, Task,
+    TelemetryOpts, EXIT_INTERRUPTED,
+};
 use sorn_control::{ControlConfig, ControlLoop, EpochOutcome};
 use sorn_routing::{FaultAwareSornRouter, FaultAwareVlbRouter};
 use sorn_sim::{
-    Engine, FailureSet, FaultPlan, FaultStorm, Flow, LinkHealth, Metrics, Router, SimConfig,
+    CheckpointStore, Engine, FailureSet, FaultPlan, FaultStorm, Flow, LinkHealth, Metrics, Router,
+    SimConfig,
 };
 use sorn_telemetry::{
     FlightRecorder, IntervalSampler, JsonlTraceSink, LiveMetricsProbe, MetricsPublisher,
@@ -45,8 +60,23 @@ const BURST_FROM_NS: u64 = 200_000;
 const BURST_UNTIL_NS: u64 = 295_000;
 
 fn main() {
-    let (jobs, engine_threads, telemetry) = parse_args();
+    let (jobs, engine_threads, ckpt, telemetry) = parse_args();
     header("Resilience: flat VLB vs modular SORN under one failure storm");
+
+    // The per-scheme trace files land next to the `--trace-out` base
+    // path; create its directory up front so a fresh results tree
+    // doesn't fail deep inside a worker thread.
+    if let Some(base) = &telemetry.trace_out {
+        if let Some(parent) = base.parent().filter(|p| !p.as_os_str().is_empty()) {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!(
+                    "resilience: cannot create --trace-out directory {}: {e}",
+                    parent.display()
+                );
+                std::process::exit(2);
+            }
+        }
+    }
 
     let server = telemetry.serve_metrics.as_ref().map(|addr| {
         let (server, publisher) = MetricsServer::bind(addr).unwrap_or_else(|e| {
@@ -93,63 +123,124 @@ fn main() {
         "plus a correlated port-group burst at 4 clique-2 nodes ({BURST_FROM_NS}-{BURST_UNTIL_NS} ns)\n"
     );
 
-    // Each scheme's closure owns everything it touches (schedule,
-    // router, health mirror, flows, plan), so the pair can run on
-    // worker threads; trace messages print after the join, in order.
-    let tasks: Vec<Task<(Metrics, Option<String>)>> = vec![
-        {
-            let (sched, flows, plan, telemetry, publisher) = (
-                flat_sched,
+    let (flat, flat_msg, sorn, sorn_msg) = if let Some(ckpt_dir) = &ckpt.dir {
+        // Checkpointed runs go sequentially: the two schemes share one
+        // stop flag, and a signal mid-suite leaves each scheme's own
+        // rolling generations behind for `--resume`.
+        if jobs > 1 {
+            eprintln!("resilience: --checkpoint-dir runs the schemes sequentially; ignoring --jobs {jobs}");
+        }
+        let stop = install_stop_handler();
+        eprintln!(
+            "resilience: checkpointing to {} every {} slots",
+            ckpt_dir.display(),
+            ckpt.cadence()
+        );
+        let mut done = Vec::new();
+        for scheme in ["flat-vlb", "sorn"] {
+            let health = LinkHealth::new();
+            let flat_router;
+            let sorn_router;
+            let (sched, router): (_, &dyn Router) = if scheme == "flat-vlb" {
+                flat_router = FaultAwareVlbRouter::new(health.clone());
+                (&flat_sched, &flat_router)
+            } else {
+                sorn_router = FaultAwareSornRouter::new(map.clone(), health.clone());
+                (&sorn_sched, &sorn_router)
+            };
+            let outcome = run_scheme_checkpointed(
+                scheme,
+                sched,
+                router,
+                health,
                 flows.clone(),
                 plan.clone(),
-                telemetry.clone(),
+                engine_threads,
                 publisher.clone(),
+                ckpt_dir,
+                ckpt.cadence(),
+                ckpt.resume,
+                stop,
             );
-            Box::new(move || {
-                let health = LinkHealth::new();
-                let router = FaultAwareVlbRouter::new(health.clone());
-                run_scheme(
-                    "flat-vlb",
-                    &sched,
-                    &router,
-                    health,
-                    flows,
+            match outcome {
+                Err(e) => {
+                    eprintln!("resilience: {e}");
+                    std::process::exit(2);
+                }
+                Ok(None) => {
+                    // Interrupted: final checkpoint is on disk.
+                    if let Some((server, publisher)) = server {
+                        publisher.mark_done();
+                        server.shutdown();
+                    }
+                    std::process::exit(EXIT_INTERRUPTED);
+                }
+                Ok(Some(r)) => done.push(r),
+            }
+        }
+        let (sorn, sorn_msg) = done.pop().expect("sorn result");
+        let (flat, flat_msg) = done.pop().expect("flat-vlb result");
+        (flat, flat_msg, sorn, sorn_msg)
+    } else {
+        // Each scheme's closure owns everything it touches (schedule,
+        // router, health mirror, flows, plan), so the pair can run on
+        // worker threads; trace messages print after the join, in order.
+        let tasks: Vec<Task<(Metrics, Option<String>)>> = vec![
+            {
+                let (sched, flows, plan, telemetry, publisher) = (
+                    flat_sched,
+                    flows.clone(),
+                    plan.clone(),
+                    telemetry.clone(),
+                    publisher.clone(),
+                );
+                Box::new(move || {
+                    let health = LinkHealth::new();
+                    let router = FaultAwareVlbRouter::new(health.clone());
+                    run_scheme(
+                        "flat-vlb",
+                        &sched,
+                        &router,
+                        health,
+                        flows,
+                        plan,
+                        engine_threads,
+                        &telemetry,
+                        publisher,
+                    )
+                })
+            },
+            {
+                let (sched, cliques, flows, plan, telemetry, publisher) = (
+                    sorn_sched.clone(),
+                    map.clone(),
+                    flows.clone(),
                     plan,
-                    engine_threads,
-                    &telemetry,
-                    publisher,
-                )
-            })
-        },
-        {
-            let (sched, cliques, flows, plan, telemetry, publisher) = (
-                sorn_sched.clone(),
-                map.clone(),
-                flows.clone(),
-                plan,
-                telemetry.clone(),
-                publisher.clone(),
-            );
-            Box::new(move || {
-                let health = LinkHealth::new();
-                let router = FaultAwareSornRouter::new(cliques, health.clone());
-                run_scheme(
-                    "sorn",
-                    &sched,
-                    &router,
-                    health,
-                    flows,
-                    plan,
-                    engine_threads,
-                    &telemetry,
-                    publisher,
-                )
-            })
-        },
-    ];
-    let mut results = run_jobs(jobs, tasks).into_iter();
-    let (flat, flat_msg) = results.next().expect("flat-vlb result");
-    let (sorn, sorn_msg) = results.next().expect("sorn result");
+                    telemetry.clone(),
+                    publisher.clone(),
+                );
+                Box::new(move || {
+                    let health = LinkHealth::new();
+                    let router = FaultAwareSornRouter::new(cliques, health.clone());
+                    run_scheme(
+                        "sorn",
+                        &sched,
+                        &router,
+                        health,
+                        flows,
+                        plan,
+                        engine_threads,
+                        &telemetry,
+                        publisher,
+                    )
+                })
+            },
+        ];
+        let mut results = run_jobs(jobs, tasks).into_iter();
+        let (flat, flat_msg) = results.next().expect("flat-vlb result");
+        let (sorn, sorn_msg) = results.next().expect("sorn result");
+        (flat, flat_msg, sorn, sorn_msg)
+    };
     for msg in [flat_msg, sorn_msg].into_iter().flatten() {
         println!("{msg}");
     }
@@ -248,9 +339,15 @@ fn run_scheme(
     let recorder =
         FlightRecorder::new(DEFAULT_CAPACITY).with_dump_path(format!("FLIGHT_{scheme}.jsonl"));
     let mut messages = Vec::new();
-    let (mut metrics, recorder) = if let Some(base) = &telemetry.trace_out {
+    let (metrics, recorder) = if let Some(base) = &telemetry.trace_out {
         let path = suffixed(base, scheme);
-        let sink = JsonlTraceSink::create(&path).expect("create trace file");
+        let sink = JsonlTraceSink::create(&path).unwrap_or_else(|e| {
+            eprintln!(
+                "resilience: cannot create --trace-out file {}: {e}",
+                path.display()
+            );
+            std::process::exit(2);
+        });
         let sampler = IntervalSampler::new(sink, telemetry.sample_interval_ns);
         let mut eng = Engine::with_probe(cfg, schedule, router, (sampler, (live, recorder)));
         eng.set_fault_plan(plan);
@@ -260,7 +357,13 @@ fn run_scheme(
         let mut metrics = eng.metrics().clone();
         metrics.stranded_cells = eng.count_stranded();
         let (sampler, (_live, recorder)) = eng.finish();
-        let lines = sampler.into_sink().finish().expect("flush trace");
+        let lines = sampler.into_sink().finish().unwrap_or_else(|e| {
+            eprintln!(
+                "resilience: cannot flush --trace-out file {}: {e}",
+                path.display()
+            );
+            std::process::exit(2);
+        });
         messages.push(format!(
             "[{scheme}] wrote {lines} trace events to {}",
             path.display()
@@ -290,18 +393,186 @@ fn run_scheme(
     (metrics, msg)
 }
 
-/// Parses `--jobs`, `--engine-threads`, and the shared telemetry flags,
-/// exiting with a usage line on error.
-fn parse_args() -> (usize, usize, TelemetryOpts) {
+/// Snapshot blob name carrying the flight recorder's serialized state,
+/// so a resumed run's anomaly dump still contains pre-interrupt events.
+const BLOB_FLIGHT: &str = "flight";
+
+/// The checkpointed variant of [`run_scheme`]: same storm, driven
+/// slot-by-slot with a snapshot of engine plus flight-recorder state to
+/// `dir/<scheme>/` every `every` slots, honoring the shared stop flag.
+/// Returns `Ok(None)` when interrupted (the final checkpoint is already
+/// on disk); on completion the metrics and messages are identical to an
+/// uninterrupted [`run_scheme`] run without tracing.
+#[allow(clippy::too_many_arguments)]
+fn run_scheme_checkpointed(
+    scheme: &str,
+    schedule: &CircuitSchedule,
+    router: &dyn Router,
+    health: LinkHealth,
+    flows: Vec<Flow>,
+    plan: FaultPlan,
+    engine_threads: usize,
+    publisher: Option<MetricsPublisher>,
+    dir: &Path,
+    every: u64,
+    resume: bool,
+    stop: &std::sync::atomic::AtomicBool,
+) -> Result<Option<(Metrics, Option<String>)>, String> {
+    let cfg = SimConfig {
+        seed: 42,
+        engine_threads,
+        ..SimConfig::default()
+    };
+    let slots = DURATION_NS / cfg.slot_ns;
+    let mut store =
+        CheckpointStore::open(dir.join(scheme)).map_err(|e| format!("[{scheme}] {e}"))?;
+
+    let mut eng = match load_resume(&store, resume).map_err(|e| format!("[{scheme}] {e}"))? {
+        Some(mut out) => {
+            out.snapshot.set_engine_threads(engine_threads);
+            let live = publisher.map(LiveMetricsProbe::new);
+            let recorder = match out.snapshot.blob(BLOB_FLIGHT) {
+                Some(bytes) => FlightRecorder::from_bytes(bytes)
+                    .map_err(|e| format!("[{scheme}] flight blob in checkpoint: {e}"))?,
+                None => FlightRecorder::new(DEFAULT_CAPACITY),
+            }
+            .with_dump_path(format!("FLIGHT_{scheme}.jsonl"));
+            let mut eng =
+                Engine::restore_with_probe(&out.snapshot, schedule, router, (live, recorder))
+                    .map_err(|e| {
+                        format!(
+                            "[{scheme}] checkpoint {} does not fit this scenario: {e}",
+                            out.path.display()
+                        )
+                    })?;
+            // The snapshot carries the fault plan and failure state;
+            // only the shared health view must be re-attached.
+            eng.set_health_mirror(health);
+            eprintln!(
+                "resilience: [{scheme}] resumed from {} at slot {}",
+                out.path.display(),
+                out.snapshot.slot()
+            );
+            note_checkpoint_events(
+                eng.probe_mut(),
+                Some((out.snapshot.slot(), &out.path)),
+                &out.skipped,
+                &[],
+            );
+            eng
+        }
+        None => {
+            let live = publisher.map(LiveMetricsProbe::new);
+            let recorder = FlightRecorder::new(DEFAULT_CAPACITY)
+                .with_dump_path(format!("FLIGHT_{scheme}.jsonl"));
+            let mut eng = Engine::with_probe(cfg, schedule, router, (live, recorder));
+            eng.set_fault_plan(plan);
+            eng.set_health_mirror(health);
+            eng.add_flows(flows).expect("flows in range");
+            eng
+        }
+    };
+
+    let mut written = Vec::new();
+    let outcome = drive_checkpointed(
+        &mut eng,
+        RunMode::UntilSlot(slots),
+        &mut store,
+        every,
+        stop,
+        |eng, snap| {
+            let (_live, recorder) = eng.probe();
+            snap.attach_blob(BLOB_FLIGHT, recorder.to_bytes());
+        },
+        |slot, path, bytes| written.push((slot, path.to_path_buf(), bytes)),
+    )
+    .map_err(|e| format!("[{scheme}] {e}"))?;
+    note_checkpoint_events(eng.probe_mut(), None, &[], &written);
+    match outcome {
+        DriveOutcome::Interrupted { slot, path } => {
+            eprintln!(
+                "resilience: [{scheme}] interrupted at slot {slot}; wrote {}; rerun with --resume",
+                path.display()
+            );
+            Ok(None)
+        }
+        DriveOutcome::Completed { .. } => {
+            let mut metrics = eng.metrics().clone();
+            metrics.stranded_cells = eng.count_stranded();
+            let (_live, mut recorder) = eng.finish();
+            let mut messages = Vec::new();
+            match recorder.dump_if_anomalous() {
+                Ok(Some(path)) => messages.push(format!(
+                    "[{scheme}] flight recorder: anomaly -> {}",
+                    path.display()
+                )),
+                Ok(None) => {}
+                Err(e) => eprintln!("resilience: flight-recorder dump for {scheme} failed: {e}"),
+            }
+            let msg = (!messages.is_empty()).then(|| messages.join("\n"));
+            Ok(Some((metrics, msg)))
+        }
+    }
+}
+
+/// Mirrors checkpoint lifecycle events into the flight recorder and the
+/// live `/metrics` endpoint. Fired by this driver, never by the engine,
+/// so the table stays bit-identical with checkpointing on or off.
+fn note_checkpoint_events(
+    probe: &mut (Option<LiveMetricsProbe>, FlightRecorder),
+    restored: Option<(u64, &Path)>,
+    skipped: &[(PathBuf, String)],
+    written: &[(u64, PathBuf, usize)],
+) {
+    let (live, recorder) = probe;
+    for (path, reason) in skipped {
+        recorder.note_checkpoint_corrupt_skipped(&path.display().to_string(), reason);
+        if let Some(l) = live.as_mut() {
+            l.note_checkpoint_corrupt_skipped();
+        }
+    }
+    if let Some((slot, path)) = restored {
+        recorder.note_checkpoint_restored(slot, &path.display().to_string());
+        if let Some(l) = live.as_mut() {
+            l.note_checkpoint_restored();
+        }
+    }
+    for (slot, path, bytes) in written {
+        recorder.note_checkpoint_written(*slot, *bytes as u64, &path.display().to_string());
+        if let Some(l) = live.as_mut() {
+            l.note_checkpoint_written();
+        }
+    }
+}
+
+/// Parses `--jobs`, `--engine-threads`, the checkpoint flags, and the
+/// shared telemetry flags, exiting with a usage line on error.
+fn parse_args() -> (usize, usize, CheckpointOpts, TelemetryOpts) {
     let parsed = take_jobs_flag(std::env::args().skip(1))
         .and_then(|(jobs, rest)| take_engine_threads_flag(rest).map(|(t, rest)| (jobs, t, rest)))
-        .and_then(|(jobs, threads, rest)| TelemetryOpts::parse(rest).map(|t| (jobs, threads, t)));
+        .and_then(|(jobs, threads, rest)| {
+            CheckpointOpts::take(rest).map(|(c, rest)| (jobs, threads, c, rest))
+        })
+        .and_then(|(jobs, threads, ckpt, rest)| {
+            TelemetryOpts::parse(rest).map(|t| (jobs, threads, ckpt, t))
+        });
     match parsed {
-        Ok(v) => v,
+        Ok(v) => {
+            if v.2.enabled() && v.3.trace_out.is_some() {
+                eprintln!(
+                    "error: --checkpoint-dir cannot be combined with --trace-out \
+                     (the JSONL trace file cannot be rewound on resume)"
+                );
+                std::process::exit(2);
+            }
+            v
+        }
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: resilience [--jobs N] [--engine-threads N] [--trace-out <path>] [--sample-interval-ns <n>]"
+                "usage: resilience [--jobs N] [--engine-threads N] [--trace-out <path>] \
+                 [--sample-interval-ns <n>] [--serve-metrics <addr>] [--serve-linger-ms <n>] \
+                 [--checkpoint-dir <dir>] [--checkpoint-every <n>] [--resume]"
             );
             std::process::exit(2);
         }

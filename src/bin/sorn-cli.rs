@@ -15,11 +15,19 @@ use sorn::analysis::fct::{bucketed_slowdown, DEFAULT_BUCKETS};
 use sorn::analysis::render::{fmt_latency, fmt_pct, TextTable};
 use sorn::core::{SornConfig, SornNetwork};
 use sorn::sim::SimConfig;
+use sorn::sim::{CheckpointStore, Engine};
 use sorn::topology::Ratio;
 use sorn::traffic::spatial::CliqueLocal;
 use sorn::traffic::{FlowSizeDist, PoissonWorkload, Trace};
+use sorn_bench::{
+    drive_checkpointed, install_stop_handler, load_resume, DriveOutcome, RunMode, EXIT_INTERRUPTED,
+};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// Flags that take no value (`--resume` vs `--key value`).
+const BOOL_FLAGS: &[&str] = &["resume"];
 
 /// Parsed `--key value` arguments.
 struct Args {
@@ -34,6 +42,11 @@ impl Args {
             let key = &argv[i];
             if !key.starts_with("--") {
                 return Err(format!("expected --flag, got `{key}`"));
+            }
+            if BOOL_FLAGS.contains(&&key[2..]) {
+                flags.insert(key[2..].to_string(), "true".to_string());
+                i += 1;
+                continue;
             }
             let Some(value) = argv.get(i + 1) else {
                 return Err(format!("flag `{key}` is missing a value"));
@@ -68,7 +81,8 @@ const USAGE: &str = "usage:
   sorn-cli analyze   --n <nodes> --cliques <count> --locality <x> [--uplinks u] [--slot-ns s] [--prop-ns p] [--q a/b]
   sorn-cli schedule  --n <nodes> --cliques <count> [--q a/b | --locality <x>]
   sorn-cli gen-trace --n <nodes> --cliques <count> --locality <x> --load <rho> --duration-us <t> [--seed k] [--dist web-search|data-mining|fixed:<bytes>] --out <file>
-  sorn-cli simulate  --trace <file> --cliques <count> [--locality <x>] [--seed k] [--max-slots m]";
+  sorn-cli simulate  --trace <file> --cliques <count> [--locality <x>] [--seed k] [--max-slots m]
+                     [--checkpoint-dir <dir>] [--checkpoint-every <slots>] [--resume]";
 
 fn parse_q(s: &str) -> Result<Ratio, String> {
     if let Some((a, b)) = s.split_once('/') {
@@ -273,9 +287,15 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         trace.nodes,
         cliques
     );
-    let (metrics, drained) = net
-        .simulate(flows, seed, max_slots)
-        .map_err(|e| e.to_string())?;
+    let (metrics, drained) = if let Some(dir) = args.flags.get("checkpoint-dir") {
+        simulate_checkpointed(&net, &cfg, flows, seed, max_slots, args, PathBuf::from(dir))?
+    } else {
+        if args.flags.contains_key("checkpoint-every") || args.flags.contains_key("resume") {
+            return Err("--checkpoint-every/--resume require --checkpoint-dir".into());
+        }
+        net.simulate(flows, seed, max_slots)
+            .map_err(|e| e.to_string())?
+    };
 
     let mut t = TextTable::new(&["metric", "value"]);
     t.row(vec!["drained".into(), drained.to_string()]);
@@ -333,6 +353,87 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     }
     print!("{}", bt.render());
     Ok(())
+}
+
+/// The crash-safe variant of `simulate`: drives the engine directly,
+/// snapshotting full state to `dir/simulate/` every `--checkpoint-every`
+/// slots (default 10000, two rolling generations). SIGINT/SIGTERM
+/// finishes the current slot, writes a final checkpoint, and exits with
+/// code 3; `--resume` continues from the newest valid generation and
+/// prints the identical tables an uninterrupted run would have.
+fn simulate_checkpointed(
+    net: &SornNetwork,
+    cfg: &SornConfig,
+    flows: Vec<sorn::sim::Flow>,
+    seed: u64,
+    max_slots: u64,
+    args: &Args,
+    dir: PathBuf,
+) -> Result<(sorn::sim::Metrics, bool), String> {
+    let every: u64 = args.get("checkpoint-every", 10_000u64)?;
+    if every == 0 {
+        return Err("flag --checkpoint-every: must be >= 1".into());
+    }
+    let resume = args.flags.contains_key("resume");
+    let sim_cfg = SimConfig {
+        slot_ns: cfg.slot_ns,
+        propagation_ns: cfg.propagation_ns,
+        uplinks: cfg.uplinks,
+        seed,
+        engine_threads: cfg.engine_threads,
+        trace_one_in: cfg.trace_one_in,
+        ..SimConfig::default()
+    };
+    let mut store = CheckpointStore::open(dir.join("simulate")).map_err(|e| e.to_string())?;
+    let stop = install_stop_handler();
+    let mut eng = match load_resume(&store, resume)? {
+        Some(out) => {
+            for (path, reason) in &out.skipped {
+                eprintln!(
+                    "sorn-cli: skipped corrupt checkpoint {}: {reason}",
+                    path.display()
+                );
+            }
+            let eng =
+                Engine::restore(&out.snapshot, net.schedule(), net.router()).map_err(|e| {
+                    format!(
+                        "checkpoint {} does not fit this scenario: {e}",
+                        out.path.display()
+                    )
+                })?;
+            eprintln!(
+                "sorn-cli: resumed from {} at slot {}",
+                out.path.display(),
+                out.snapshot.slot()
+            );
+            eng
+        }
+        None => {
+            let mut eng = Engine::new(sim_cfg, net.schedule(), net.router());
+            eng.add_flows(flows).map_err(|e| e.to_string())?;
+            eng
+        }
+    };
+    let outcome = drive_checkpointed(
+        &mut eng,
+        RunMode::UntilDrained(max_slots),
+        &mut store,
+        every,
+        stop,
+        |_, _| {},
+        |_, _, _| {},
+    )
+    .map_err(|e| e.to_string())?;
+    match outcome {
+        DriveOutcome::Interrupted { slot, path } => {
+            eprintln!(
+                "sorn-cli: interrupted at slot {slot}; wrote {}; rerun with --resume",
+                path.display()
+            );
+            std::process::exit(EXIT_INTERRUPTED);
+        }
+        DriveOutcome::Completed { drained } => Ok((eng.metrics().clone(), drained)),
+    }
 }
 
 fn run() -> Result<(), String> {
@@ -404,6 +505,13 @@ mod tests {
         assert_eq!(a.get("missing", 7u64).unwrap(), 7);
         assert!(a.required("cliques").is_ok());
         assert!(a.required("nope").is_err());
+    }
+
+    #[test]
+    fn parse_bool_flags_take_no_value() {
+        let a = Args::parse(&["--resume".into(), "--n".into(), "4".into()]).unwrap();
+        assert_eq!(a.flags.get("resume").map(String::as_str), Some("true"));
+        assert_eq!(a.get("n", 0usize).unwrap(), 4);
     }
 
     #[test]
