@@ -102,6 +102,125 @@ pub fn take_engine_threads_flag(
     take_count_flag("--engine-threads", args)
 }
 
+/// Network-weather flags shared by the reproduction binaries.
+///
+/// - `--weather`: attach the clique-granularity weather probe and emit
+///   `WEATHER_<scheme>.txt`/`.json` run reports;
+/// - `--weather-topk <K>`: size of the heavy-hitter sketches (default
+///   [`WeatherOpts::DEFAULT_TOPK`]; implies `--weather`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeatherOpts {
+    /// True when the weather layer is on.
+    pub enabled: bool,
+    /// Heavy-hitter slots per sketch.
+    pub topk: usize,
+}
+
+impl WeatherOpts {
+    /// Default sketch capacity, matching `sorn_telemetry::DEFAULT_TOPK`.
+    pub const DEFAULT_TOPK: usize = 32;
+
+    /// Splits the weather flags out of an argument list, passing every
+    /// other argument through untouched.
+    pub fn take(
+        args: impl IntoIterator<Item = String>,
+    ) -> Result<(WeatherOpts, Vec<String>), String> {
+        let mut opts = WeatherOpts {
+            enabled: false,
+            topk: Self::DEFAULT_TOPK,
+        };
+        let mut rest = Vec::new();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let topk_value = if arg == "--weather-topk" {
+                Some(
+                    it.next()
+                        .ok_or_else(|| "--weather-topk needs a value".to_string())?,
+                )
+            } else {
+                arg.strip_prefix("--weather-topk=").map(str::to_string)
+            };
+            if let Some(value) = topk_value {
+                opts.topk = value
+                    .parse()
+                    .map_err(|_| format!("--weather-topk: bad count {value:?}"))?;
+                if opts.topk == 0 {
+                    return Err("--weather-topk must be at least 1".to_string());
+                }
+                opts.enabled = true;
+            } else if arg == "--weather" {
+                opts.enabled = true;
+            } else {
+                rest.push(arg);
+            }
+        }
+        Ok((opts, rest))
+    }
+}
+
+/// Splits a `--flight-ring N` / `--flight-ring=N` flag out of an
+/// argument list: the flight-recorder ring capacity (default
+/// [`sorn_telemetry::DEFAULT_CAPACITY`]). Rejects capacities that are
+/// not a power of two — the ring masks its head index, and a usage
+/// error here must exit 2 like every other bad flag.
+pub fn take_flight_ring_flag(
+    args: impl IntoIterator<Item = String>,
+) -> Result<(usize, Vec<String>), String> {
+    let mut capacity = sorn_telemetry::DEFAULT_CAPACITY;
+    let mut rest = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let value = if arg == "--flight-ring" {
+            it.next()
+                .ok_or_else(|| "--flight-ring needs a value".to_string())?
+        } else if let Some(v) = arg.strip_prefix("--flight-ring=") {
+            v.to_string()
+        } else {
+            rest.push(arg);
+            continue;
+        };
+        capacity = value
+            .parse()
+            .map_err(|_| format!("--flight-ring: bad capacity {value:?}"))?;
+        if !capacity.is_power_of_two() {
+            return Err(format!(
+                "--flight-ring must be a power of two, got {capacity}"
+            ));
+        }
+    }
+    Ok((capacity, rest))
+}
+
+/// Splits a `--trace-flows N` / `--trace-flows=N` flag out of an
+/// argument list: causal-trace sampling (`SimConfig::trace_one_in`,
+/// roughly one flow in N; 1 traces everything). Default 0 — tracing
+/// off; an explicit value must be at least 1.
+pub fn take_trace_flows_flag(
+    args: impl IntoIterator<Item = String>,
+) -> Result<(u64, Vec<String>), String> {
+    let mut one_in = 0u64;
+    let mut rest = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let value = if arg == "--trace-flows" {
+            it.next()
+                .ok_or_else(|| "--trace-flows needs a value".to_string())?
+        } else if let Some(v) = arg.strip_prefix("--trace-flows=") {
+            v.to_string()
+        } else {
+            rest.push(arg);
+            continue;
+        };
+        one_in = value
+            .parse()
+            .map_err(|_| format!("--trace-flows: bad count {value:?}"))?;
+        if one_in == 0 {
+            return Err("--trace-flows must be at least 1 (1 traces all)".to_string());
+        }
+    }
+    Ok((one_in, rest))
+}
+
 /// Shared parser behind [`take_jobs_flag`] and
 /// [`take_engine_threads_flag`]: extracts one positive-count flag,
 /// passing every other argument through untouched.
@@ -557,6 +676,57 @@ mod tests {
         let (threads, _) = super::take_engine_threads_flag(args(&[])).unwrap();
         assert_eq!(threads, 1);
         assert!(super::take_engine_threads_flag(args(&["--engine-threads", "0"])).is_err());
+    }
+
+    #[test]
+    fn weather_flags_parse_and_imply_each_other() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let (opts, rest) = super::WeatherOpts::take(args(&["--weather", "--jobs", "2"])).unwrap();
+        assert!(opts.enabled);
+        assert_eq!(opts.topk, super::WeatherOpts::DEFAULT_TOPK);
+        assert_eq!(rest, args(&["--jobs", "2"]));
+        // --weather-topk implies --weather; both value forms work.
+        let (opts, _) = super::WeatherOpts::take(args(&["--weather-topk", "8"])).unwrap();
+        assert!(opts.enabled);
+        assert_eq!(opts.topk, 8);
+        let (opts, _) = super::WeatherOpts::take(args(&["--weather-topk=16"])).unwrap();
+        assert_eq!(opts.topk, 16);
+        let (opts, _) = super::WeatherOpts::take(args(&[])).unwrap();
+        assert!(!opts.enabled);
+        assert!(super::WeatherOpts::take(args(&["--weather-topk"])).is_err());
+        assert!(super::WeatherOpts::take(args(&["--weather-topk", "0"])).is_err());
+        assert!(super::WeatherOpts::take(args(&["--weather-topk", "x"])).is_err());
+    }
+
+    #[test]
+    fn flight_ring_flag_requires_a_power_of_two() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let (cap, rest) = super::take_flight_ring_flag(args(&["--flight-ring", "1024"])).unwrap();
+        assert_eq!(cap, 1024);
+        assert!(rest.is_empty());
+        let (cap, _) = super::take_flight_ring_flag(args(&["--flight-ring=64"])).unwrap();
+        assert_eq!(cap, 64);
+        let (cap, _) = super::take_flight_ring_flag(args(&[])).unwrap();
+        assert_eq!(cap, sorn_telemetry::DEFAULT_CAPACITY);
+        assert!(super::take_flight_ring_flag(args(&["--flight-ring", "1000"])).is_err());
+        assert!(super::take_flight_ring_flag(args(&["--flight-ring", "0"])).is_err());
+        assert!(super::take_flight_ring_flag(args(&["--flight-ring"])).is_err());
+    }
+
+    #[test]
+    fn trace_flows_flag_defaults_off_and_rejects_zero() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let (one_in, rest) =
+            super::take_trace_flows_flag(args(&["--trace-flows", "4", "--jobs", "2"])).unwrap();
+        assert_eq!(one_in, 4);
+        assert_eq!(rest, args(&["--jobs", "2"]));
+        let (one_in, _) = super::take_trace_flows_flag(args(&["--trace-flows=1"])).unwrap();
+        assert_eq!(one_in, 1);
+        let (one_in, _) = super::take_trace_flows_flag(args(&[])).unwrap();
+        assert_eq!(one_in, 0);
+        assert!(super::take_trace_flows_flag(args(&["--trace-flows", "0"])).is_err());
+        assert!(super::take_trace_flows_flag(args(&["--trace-flows"])).is_err());
+        assert!(super::take_trace_flows_flag(args(&["--trace-flows", "x"])).is_err());
     }
 
     #[test]

@@ -129,9 +129,9 @@ struct ShardScratch {
     deliveries: Vec<(Cell, Nanos)>,
     /// Arrival pass: cells shed by the router or a full queue.
     drops: Vec<(NodeId, Cell, Nanos)>,
-    /// Transmit pass: cells put on circuits, `(arrival node, cell)`,
-    /// in `(node, uplink)` order.
-    sent: Vec<(NodeId, Cell)>,
+    /// Transmit pass: cells put on circuits, `(sender, arrival node,
+    /// cell)`, in `(node, uplink)` order.
+    sent: Vec<(NodeId, NodeId, Cell)>,
     /// Hop events of traced flows, in canonical order within the shard.
     /// Always empty when tracing is off.
     hops: Vec<HopEvent>,
@@ -404,6 +404,7 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
             total_queued: self.total_queued(),
             inflight_cells: self.inflight.len(),
             active_flows: self.active_index.len(),
+            queues: &self.queues,
         });
         self.probe
     }
@@ -634,6 +635,7 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
             total_queued: queued,
             inflight_cells: self.inflight.len(),
             active_flows: self.active_index.len(),
+            queues: &self.queues,
         });
         transmit_err
     }
@@ -858,7 +860,8 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
             for ev in s.hops.drain(..) {
                 self.probe.on_hop(&ev);
             }
-            for (node, cell) in s.sent.drain(..) {
+            for (from, node, cell) in s.sent.drain(..) {
+                self.probe.on_transmit(&cell, from, node, now);
                 self.inflight.push(self.slot, Arrival { at_ns, node, cell });
             }
             if err.is_none() {
@@ -1718,7 +1721,7 @@ fn run_transmit_shard(
                             },
                         ));
                     }
-                    shard.out.sent.push((w, cell));
+                    shard.out.sent.push((v, w, cell));
                 }
                 None => shard.out.idle += 1,
             }

@@ -14,6 +14,7 @@ use crate::cell::{Cell, Flow};
 use crate::config::Nanos;
 use crate::fault::FaultView;
 use crate::metrics::{FlowRecord, Metrics};
+use crate::queues::NodeQueues;
 use crate::trace::HopEvent;
 use sorn_topology::NodeId;
 
@@ -37,6 +38,18 @@ pub struct SlotView<'a> {
     pub inflight_cells: usize,
     /// Flows started but not yet fully delivered.
     pub active_flows: usize,
+    /// Per-node queue sets, indexed by node id, for probes that need
+    /// depth at finer grain than `total_queued`. May be empty when a
+    /// view is synthesized outside the engine (tests, adapters).
+    pub queues: &'a [NodeQueues],
+}
+
+impl SlotView<'_> {
+    /// Cells queued at `node` right now (`0` if the view carries no
+    /// per-node queues or `node` is out of range).
+    pub fn queue_depth(&self, node: NodeId) -> usize {
+        self.queues.get(node.index()).map_or(0, NodeQueues::depth)
+    }
 }
 
 /// Callbacks invoked by the engine as a simulation runs.
@@ -56,6 +69,14 @@ pub trait Probe {
     /// Called when a cell is dropped at `node` because the node's queues
     /// are at the configured cap.
     fn on_drop(&mut self, _cell: &Cell, _node: NodeId, _now_ns: Nanos) {}
+
+    /// Called once per cell transmission: `cell` left `from` on the
+    /// circuit to `to` during the slot starting at `now_ns`. Fires on
+    /// the merge thread in the engine's canonical `(node, uplink)`
+    /// order, so the stream is byte-identical at any thread count.
+    /// Unlike [`Probe::on_hop`] this fires for *every* cell, not just
+    /// traced ones — it is the feed for link/port accounting probes.
+    fn on_transmit(&mut self, _cell: &Cell, _from: NodeId, _to: NodeId, _now_ns: Nanos) {}
 
     /// Called when a flow arrives and begins injecting cells.
     fn on_flow_start(&mut self, _flow: &Flow, _now_ns: Nanos) {}
@@ -103,6 +124,9 @@ impl<P: Probe> Probe for &mut P {
     fn on_drop(&mut self, cell: &Cell, node: NodeId, now_ns: Nanos) {
         (**self).on_drop(cell, node, now_ns);
     }
+    fn on_transmit(&mut self, cell: &Cell, from: NodeId, to: NodeId, now_ns: Nanos) {
+        (**self).on_transmit(cell, from, to, now_ns);
+    }
     fn on_flow_start(&mut self, flow: &Flow, now_ns: Nanos) {
         (**self).on_flow_start(flow, now_ns);
     }
@@ -138,6 +162,10 @@ impl<A: Probe, B: Probe> Probe for (A, B) {
     fn on_drop(&mut self, cell: &Cell, node: NodeId, now_ns: Nanos) {
         self.0.on_drop(cell, node, now_ns);
         self.1.on_drop(cell, node, now_ns);
+    }
+    fn on_transmit(&mut self, cell: &Cell, from: NodeId, to: NodeId, now_ns: Nanos) {
+        self.0.on_transmit(cell, from, to, now_ns);
+        self.1.on_transmit(cell, from, to, now_ns);
     }
     fn on_flow_start(&mut self, flow: &Flow, now_ns: Nanos) {
         self.0.on_flow_start(flow, now_ns);
@@ -182,6 +210,11 @@ impl<P: Probe> Probe for Option<P> {
     fn on_drop(&mut self, cell: &Cell, node: NodeId, now_ns: Nanos) {
         if let Some(p) = self {
             p.on_drop(cell, node, now_ns);
+        }
+    }
+    fn on_transmit(&mut self, cell: &Cell, from: NodeId, to: NodeId, now_ns: Nanos) {
+        if let Some(p) = self {
+            p.on_transmit(cell, from, to, now_ns);
         }
     }
     fn on_flow_start(&mut self, flow: &Flow, now_ns: Nanos) {

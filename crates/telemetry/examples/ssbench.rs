@@ -1,0 +1,36 @@
+//! Microbenchmark for `SpaceSaving::observe` hot paths.
+//!
+//! The sketch sits on the engine's transmit merge path, so its
+//! per-observe cost bounds the `--weather` overhead. Three regimes:
+//! a 512-key uniform stream (port-like: constant churn, all misses),
+//! an effectively-all-distinct stream (link-like: worst-case churn),
+//! and a 16-key stream into k = 32 (hit-heavy steady state).
+//!
+//! Run with `cargo run --release -p sorn-telemetry --example ssbench`.
+
+use sorn_telemetry::SpaceSaving;
+use std::time::Instant;
+
+fn bench(name: &str, modulus: u64, shift: u32) {
+    let n = 10_000_000u64;
+    let mut sketch = SpaceSaving::new(32);
+    let mut x = 12345u64;
+    let t = Instant::now();
+    for _ in 0..n {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        sketch.observe((x >> shift) % modulus, 1);
+    }
+    println!(
+        "{name:<18} {:6.1} ns/observe (top key {})",
+        t.elapsed().as_nanos() as f64 / n as f64,
+        sketch.top()[0].key
+    );
+}
+
+fn main() {
+    bench("port-like (512):", 512, 33);
+    bench("link-like (all):", u64::MAX, 20);
+    bench("hit-heavy (16):", 16, 33);
+}

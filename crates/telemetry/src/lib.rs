@@ -30,8 +30,12 @@
 //!   events (drops, faults, stranded onsets, drop spikes) that dumps to
 //!   JSON Lines when a watchdog fires;
 //! - [`MetricsServer`] / [`LiveMetricsProbe`] — a std-only background
-//!   HTTP listener serving `/metrics`, `/health`, and `/progress` from
-//!   snapshots published at slot boundaries.
+//!   HTTP listener serving `/metrics`, `/health`, `/progress`, and
+//!   `/weather` from snapshots published at slot boundaries;
+//! - [`WeatherProbe`] — bounded-memory "network weather": per-clique
+//!   demand/goodput matrices, [`SpaceSaving`] heavy-hitter sketches for
+//!   flows/links/ports, and an [`EpochSeries`] decimated timeline, with
+//!   deterministic text/JSON run reports.
 //!
 //! ## Example
 //!
@@ -67,6 +71,7 @@ mod sampler;
 mod serve;
 mod sink;
 mod trace;
+mod weather;
 
 pub use counting::CountingProbe;
 pub use event::{Snapshot, TraceEvent};
@@ -77,3 +82,7 @@ pub use sampler::IntervalSampler;
 pub use serve::{LiveMetricsProbe, MetricsPublisher, MetricsServer};
 pub use sink::{parse_jsonl, read_jsonl, EventSink, JsonlTraceSink, MemorySink};
 pub use trace::{CellBreakdown, FlowTraceCollector};
+pub use weather::{
+    EpochSeries, SketchEntry, SpaceSaving, WeatherBucket, WeatherProbe, DEFAULT_SERIES_BUDGET,
+    DEFAULT_TOPK,
+};

@@ -751,6 +751,7 @@ mod tests {
             total_queued: 0,
             inflight_cells: 0,
             active_flows: 0,
+            queues: &[],
         }
     }
 

@@ -38,6 +38,12 @@ struct Shared {
     metrics_text: Mutex<String>,
     /// Latest `/progress` JSON object.
     progress_json: Mutex<String>,
+    /// Latest `/weather` JSON report (`{}` until a weather probe
+    /// publishes).
+    weather_json: Mutex<String>,
+    /// Weather headline gauges appended to `/metrics` (empty until a
+    /// weather probe publishes).
+    weather_gauges: Mutex<String>,
     /// Cleared when the run finishes (`/health` flips to `done`).
     live: AtomicBool,
     /// Set when the accept loop should exit.
@@ -72,9 +78,12 @@ impl MetricsServer {
             metrics_text: Mutex::new(String::new()),
             progress_json: Mutex::new(
                 "{\"slot\":0,\"now_ns\":0,\"active_flows\":0,\"queued_cells\":0,\
-                 \"inflight_cells\":0,\"delivered_cells\":0,\"cells_per_sec\":0}"
+                 \"inflight_cells\":0,\"delivered_cells\":0,\"cells_per_sec\":0,\
+                 \"recent_cells_per_sec\":0,\"eta_s\":-1}"
                     .to_string(),
             ),
+            weather_json: Mutex::new("{}".to_string()),
+            weather_gauges: Mutex::new(String::new()),
             live: AtomicBool::new(true),
             shutdown: AtomicBool::new(false),
         });
@@ -116,7 +125,11 @@ impl MetricsPublisher {
         *self.shared.metrics_text.lock().expect("snapshot lock") = text;
     }
 
-    /// Swaps in a fresh `/progress` snapshot.
+    /// Swaps in a fresh `/progress` snapshot. `cells_per_sec` is the
+    /// whole-run average, `recent_cells_per_sec` the rate between the
+    /// last two slot-boundary snapshots, and `eta_s` the wall-clock
+    /// seconds to `max_slots` at the recent rate (`-1` when unknown —
+    /// no slot bound, or no throughput yet).
     #[allow(clippy::too_many_arguments)]
     pub fn publish_progress(
         &self,
@@ -127,13 +140,23 @@ impl MetricsPublisher {
         inflight_cells: usize,
         delivered_cells: u64,
         cells_per_sec: u64,
+        recent_cells_per_sec: u64,
+        eta_s: i64,
     ) {
         let json = format!(
             "{{\"slot\":{slot},\"now_ns\":{now_ns},\"active_flows\":{active_flows},\
              \"queued_cells\":{queued_cells},\"inflight_cells\":{inflight_cells},\
-             \"delivered_cells\":{delivered_cells},\"cells_per_sec\":{cells_per_sec}}}"
+             \"delivered_cells\":{delivered_cells},\"cells_per_sec\":{cells_per_sec},\
+             \"recent_cells_per_sec\":{recent_cells_per_sec},\"eta_s\":{eta_s}}}"
         );
         *self.shared.progress_json.lock().expect("snapshot lock") = json;
+    }
+
+    /// Swaps in a fresh `/weather` report plus the headline gauges
+    /// appended to every `/metrics` response.
+    pub fn publish_weather(&self, json: String, gauges: String) {
+        *self.shared.weather_json.lock().expect("snapshot lock") = json;
+        *self.shared.weather_gauges.lock().expect("snapshot lock") = gauges;
     }
 
     /// Marks the run finished (`/health` answers `done`); the listener
@@ -184,11 +207,13 @@ fn serve_one(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
         .and_then(|l| l.split_whitespace().nth(1))
         .unwrap_or("/");
     let (status, content_type, body) = match path {
-        "/metrics" => (
-            "200 OK",
-            "text/plain; version=0.0.4; charset=utf-8",
-            shared.metrics_text.lock().expect("snapshot lock").clone(),
-        ),
+        "/metrics" => {
+            // Registry rendering plus weather headline gauges: the two
+            // publishers own disjoint snapshots, concatenated per scrape.
+            let mut body = shared.metrics_text.lock().expect("snapshot lock").clone();
+            body.push_str(&shared.weather_gauges.lock().expect("snapshot lock"));
+            ("200 OK", "text/plain; version=0.0.4; charset=utf-8", body)
+        }
         "/health" => {
             let body = if shared.live.load(Ordering::SeqCst) {
                 "ok\n"
@@ -201,6 +226,11 @@ fn serve_one(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
             "200 OK",
             "application/json",
             shared.progress_json.lock().expect("snapshot lock").clone(),
+        ),
+        "/weather" => (
+            "200 OK",
+            "application/json",
+            shared.weather_json.lock().expect("snapshot lock").clone(),
         ),
         _ => (
             "404 Not Found",
@@ -230,6 +260,12 @@ pub struct LiveMetricsProbe {
     min_publish_interval: Duration,
     started: Instant,
     last_publish: Option<Instant>,
+    /// Slot bound of the run, for the `/progress` ETA field.
+    max_slots: Option<u64>,
+    /// The previous published slot-boundary snapshot:
+    /// `(instant, slot, delivered_cells)` — the basis for the recent
+    /// throughput rate and the ETA.
+    last_snapshot: Option<(Instant, u64, u64)>,
 }
 
 impl LiveMetricsProbe {
@@ -246,7 +282,15 @@ impl LiveMetricsProbe {
             min_publish_interval: interval,
             started: Instant::now(),
             last_publish: None,
+            max_slots: None,
+            last_snapshot: None,
         }
+    }
+
+    /// Declares the run's slot bound so `/progress` can report an ETA.
+    pub fn with_max_slots(mut self, max_slots: u64) -> Self {
+        self.max_slots = Some(max_slots);
+        self
     }
 
     /// Bumps `sorn_checkpoints_written_total` and pushes a fresh
@@ -282,6 +326,27 @@ impl LiveMetricsProbe {
         } else {
             0
         };
+        // Recent rate and ETA come from the delta between the last two
+        // slot-boundary snapshots, not the whole-run average, so they
+        // track the *current* pace of a long run.
+        let now = Instant::now();
+        let mut recent_cells_per_sec = cells_per_sec;
+        let mut slots_per_sec = 0.0;
+        if let Some((at, slot, delivered)) = self.last_snapshot {
+            let window = now.duration_since(at).as_secs_f64();
+            if window > 0.0 {
+                recent_cells_per_sec =
+                    (metrics.delivered_cells.saturating_sub(delivered) as f64 / window) as u64;
+                slots_per_sec = view.slot.saturating_sub(slot) as f64 / window;
+            }
+        }
+        let eta_s = match self.max_slots {
+            Some(max) if slots_per_sec > 0.0 => {
+                (max.saturating_sub(view.slot) as f64 / slots_per_sec).ceil() as i64
+            }
+            _ => -1,
+        };
+        self.last_snapshot = Some((now, view.slot, metrics.delivered_cells));
         self.publisher.publish_progress(
             view.slot,
             view.now_ns,
@@ -290,6 +355,8 @@ impl LiveMetricsProbe {
             view.inflight_cells,
             metrics.delivered_cells,
             cells_per_sec,
+            recent_cells_per_sec,
+            eta_s,
         );
     }
 }
@@ -330,7 +397,7 @@ mod tests {
         let (server, publisher) = MetricsServer::bind("127.0.0.1:0").unwrap();
         let addr = server.local_addr();
         publisher.publish_metrics("# TYPE sorn_x counter\nsorn_x 7\n".to_string());
-        publisher.publish_progress(12, 1200, 3, 4, 5, 6, 7);
+        publisher.publish_progress(12, 1200, 3, 4, 5, 6, 7, 9, 42);
 
         let metrics = get(addr, "/metrics");
         assert!(metrics.starts_with("HTTP/1.1 200 OK"));
@@ -343,6 +410,21 @@ mod tests {
         let progress = get(addr, "/progress");
         assert!(progress.contains("\"slot\":12"));
         assert!(progress.contains("\"cells_per_sec\":7"));
+        assert!(progress.contains("\"recent_cells_per_sec\":9"));
+        assert!(progress.contains("\"eta_s\":42"));
+
+        let weather = get(addr, "/weather");
+        assert!(weather.contains("{}"));
+        publisher.publish_weather(
+            "{\"scheme\":\"t\"}".to_string(),
+            "# TYPE sorn_weather_x gauge\nsorn_weather_x 3\n".to_string(),
+        );
+        let weather = get(addr, "/weather");
+        assert!(weather.contains("\"scheme\":\"t\""));
+        // Headline gauges ride along on /metrics.
+        let merged = get(addr, "/metrics");
+        assert!(merged.contains("sorn_x 7"));
+        assert!(merged.contains("sorn_weather_x 3"));
 
         let missing = get(addr, "/nope");
         assert!(missing.starts_with("HTTP/1.1 404"));

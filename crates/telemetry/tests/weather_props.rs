@@ -1,0 +1,64 @@
+//! Property coverage for the Space-Saving sketch against exact counts
+//! on small universes: counts conserve total weight, every reported
+//! count overestimates truth by at most its recorded error, errors stay
+//! within the N/K bound, and every key heavier than N/K is present.
+
+use proptest::prelude::*;
+use sorn_telemetry::SpaceSaving;
+use std::collections::HashMap;
+
+proptest! {
+    #[test]
+    fn sketch_error_is_bounded_by_n_over_k(
+        keys in proptest::collection::vec(0u64..16, 1..400),
+        k in 1usize..12,
+    ) {
+        let mut sketch = SpaceSaving::new(k);
+        let mut exact: HashMap<u64, u64> = HashMap::new();
+        for &key in &keys {
+            sketch.observe(key, 1);
+            *exact.entry(key).or_default() += 1;
+        }
+        let n = keys.len() as u64;
+        let bound = n / k as u64;
+        let top = sketch.top();
+        prop_assert!(top.len() <= k);
+        // Space-Saving conserves total weight across its entries.
+        let total: u64 = top.iter().map(|e| e.count).sum();
+        prop_assert_eq!(total, n);
+        for e in &top {
+            let truth = exact.get(&e.key).copied().unwrap_or(0);
+            // Counts only overestimate, by at most the recorded error,
+            // and the error never exceeds N/K.
+            prop_assert!(e.count >= truth);
+            prop_assert!(e.count - truth <= e.error);
+            prop_assert!(e.error <= bound);
+        }
+        // Any key with true weight above N/K cannot have been evicted.
+        for (&key, &count) in &exact {
+            if count > bound {
+                prop_assert!(top.iter().any(|e| e.key == key));
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_observations_conserve_total_weight(
+        obs in proptest::collection::vec((0u64..8, 1u64..50), 1..100),
+        k in 1usize..8,
+    ) {
+        let mut sketch = SpaceSaving::new(k);
+        let mut n = 0u64;
+        for &(key, weight) in &obs {
+            sketch.observe(key, weight);
+            n += weight;
+        }
+        let total: u64 = sketch.top().iter().map(|e| e.count).sum();
+        prop_assert_eq!(total, n);
+        // The same bound holds for weighted streams.
+        let bound = n / k as u64;
+        for e in sketch.top() {
+            prop_assert!(e.error <= bound);
+        }
+    }
+}

@@ -78,6 +78,26 @@ if [ "$((traced_rate * 10))" -lt "$((base_rate))" ]; then
 fi
 echo "tracing overhead within bound."
 
+echo "== weather reports must be byte-identical serial vs --engine-threads 2 =="
+# --weather rolls engine events up into WEATHER_<scenario>.{txt,json};
+# the reports are pure functions of merged sim state, so the serial and
+# sharded runs must produce byte-identical files (and the sim results
+# themselves must still match the plain run).
+./target/release/perf --tiny --label ci-w1 --weather --weather-topk 32 \
+  --out-dir "$tmpdir/w1" > "$tmpdir/w1.out"
+./target/release/perf --tiny --label ci-w2 --weather --weather-topk 32 \
+  --engine-threads 2 --out-dir "$tmpdir/w2" > "$tmpdir/w2.out"
+diff <(deterministic "$tmpdir/j1.out") <(deterministic "$tmpdir/w1.out")
+echo "weather on and off agree on every scenario's slots and cells."
+weather_files=0
+for f in "$tmpdir"/w1/WEATHER_*.txt "$tmpdir"/w1/WEATHER_*.json; do
+  cmp "$f" "$tmpdir/w2/$(basename "$f")"
+  weather_files=$((weather_files + 1))
+done
+[ "$weather_files" -ge 2 ] || {
+  echo "FAIL: expected weather reports, found $weather_files" >&2; exit 1; }
+echo "$weather_files weather reports byte-identical at engine-threads 1 and 2."
+
 echo "== live /metrics endpoint must answer a mid-run scrape =="
 # Lingering after the suite keeps the endpoint up long enough for the
 # scrape even if the tiny suite outruns the curl below.
@@ -107,7 +127,7 @@ echo "== SIGTERM mid-run + --resume must reproduce the uninterrupted run =="
 # SIGTERM it mid-flight (exit code 3, final checkpoint on disk), resume
 # with --resume (exit 0), and byte-compare the deterministic BENCH
 # headline fields and every TRACE file against the reference.
-ck_flags=(--trace-flows 1 --checkpoint-every 100)
+ck_flags=(--trace-flows 1 --weather --checkpoint-every 100)
 ./target/release/perf --label ck-ref "${ck_flags[@]}" \
   --checkpoint-dir "$tmpdir/ck-ref" --out-dir "$tmpdir/ckref" > "$tmpdir/ckref.out"
 
@@ -138,10 +158,10 @@ echo "SIGTERM landed mid-run: exit 3 with a final checkpoint on disk."
 headline() { grep -o '"slots": [0-9]*\|"cells_delivered": [0-9]*' "$1"; }
 diff <(headline "$tmpdir"/ckref/BENCH_ck-ref.json) \
      <(headline "$tmpdir"/ckres/BENCH_ck-res.json)
-for f in "$tmpdir"/ckref/TRACE_*; do
+for f in "$tmpdir"/ckref/TRACE_* "$tmpdir"/ckref/WEATHER_*; do
   cmp "$f" "$tmpdir/ckres/$(basename "$f")"
 done
-echo "resumed run matches the uninterrupted run byte-for-byte (BENCH headline + traces)."
+echo "resumed run matches the uninterrupted run byte-for-byte (BENCH headline + traces + weather)."
 
 echo "== committed-baseline comparison (must not regress) =="
 # Generous threshold: the tiny scenarios finish in milliseconds, so

@@ -18,7 +18,8 @@
 //! ```text
 //! perf [--label NAME] [--out-dir DIR] [--tiny] [--scale512] [--jobs N]
 //!      [--engine-threads N] [--baseline FILE] [--threshold PCT]
-//!      [--trace-flows N] [--serve-metrics ADDR] [--serve-linger-ms N]
+//!      [--trace-flows N] [--weather] [--weather-topk K] [--flight-ring N]
+//!      [--serve-metrics ADDR] [--serve-linger-ms N]
 //! perf --validate FILE
 //! ```
 //!
@@ -29,9 +30,15 @@
 //! and writes `TRACE_<scenario>.json` (Chrome `trace_event`, load in
 //! Perfetto) plus `TRACE_<scenario>.txt` (the canonical span log, byte-
 //! identical at any `--engine-threads`) to the out dir. A flight
-//! recorder rides along always; when a run trips an anomaly watchdog it
-//! dumps `FLIGHT_<scenario>.jsonl`. `--serve-metrics ADDR` serves live
-//! `/metrics`, `/health`, and `/progress` over HTTP during the suite;
+//! recorder rides along always (`--flight-ring N` sizes its ring, a
+//! power of two, default 4096); when a run trips an anomaly watchdog it
+//! dumps `FLIGHT_<scenario>.jsonl`. `--weather` turns on the bounded-
+//! memory network-weather roll-up (per-clique demand/goodput matrices,
+//! `--weather-topk K` heavy-hitter sketches, a decimated timeline) and
+//! writes `WEATHER_<scenario>.{txt,json}` run reports, byte-identical
+//! at any `--engine-threads` and across a checkpoint/resume.
+//! `--serve-metrics ADDR` serves live `/metrics`, `/health`,
+//! `/progress`, and `/weather` over HTTP during the suite;
 //! `--serve-linger-ms` keeps it up after the last scenario so scrapers
 //! can catch the final snapshot.
 //!
@@ -70,8 +77,8 @@ use sorn_analysis::perfreport::{
     compare, phases_from_profile, BenchReport, ScenarioResult, SCHEMA_VERSION,
 };
 use sorn_bench::{
-    drive_checkpointed, install_stop_handler, load_resume, run_jobs, CheckpointOpts, DriveOutcome,
-    RunMode, Task, EXIT_INTERRUPTED,
+    drive_checkpointed, install_stop_handler, load_resume, run_jobs, take_flight_ring_flag,
+    CheckpointOpts, DriveOutcome, RunMode, Task, WeatherOpts, EXIT_INTERRUPTED,
 };
 use sorn_control::{ControlConfig, ControlLoop};
 use sorn_core::{SornConfig, SornNetwork};
@@ -82,7 +89,7 @@ use sorn_sim::{
 };
 use sorn_telemetry::{
     FlightRecorder, FlowTraceCollector, LiveMetricsProbe, MetricsPublisher, MetricsServer,
-    WallClockProfiler, DEFAULT_CAPACITY,
+    WallClockProfiler, WeatherProbe,
 };
 use sorn_topology::builders::{round_robin, sorn_schedule, SornScheduleParams};
 use sorn_topology::{CliqueMap, NodeId, Ratio};
@@ -93,7 +100,8 @@ use std::time::Instant;
 
 const USAGE: &str = "usage: perf [--label NAME] [--out-dir DIR] [--tiny] [--scale512] \
                      [--jobs N] [--engine-threads N] \
-                     [--trace-flows N] [--serve-metrics ADDR] [--serve-linger-ms N] \
+                     [--trace-flows N] [--weather] [--weather-topk K] [--flight-ring N] \
+                     [--serve-metrics ADDR] [--serve-linger-ms N] \
                      [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] \
                      [--baseline FILE] [--threshold PCT] | perf --validate FILE";
 
@@ -121,22 +129,41 @@ struct Instruments {
     out_dir: PathBuf,
     /// Live-endpoint publisher when `--serve-metrics` is up.
     publisher: Option<MetricsPublisher>,
+    /// `--weather` / `--weather-topk`: the network-weather roll-up.
+    weather: WeatherOpts,
+    /// `--flight-ring`: flight-recorder ring capacity (power of two).
+    flight_ring: usize,
 }
 
 /// The composed per-scenario probe: an optional live-metrics feeder, an
-/// optional causal-trace collector, and the always-on flight recorder.
+/// optional causal-trace collector, an optional network-weather
+/// roll-up, and the always-on flight recorder.
 type ObsProbe = (
     Option<LiveMetricsProbe>,
-    (Option<FlowTraceCollector>, FlightRecorder),
+    (
+        (Option<FlowTraceCollector>, Option<WeatherProbe>),
+        FlightRecorder,
+    ),
 );
 
 impl Instruments {
-    fn probe(&self, scheme: &str, slot_ns: u64) -> ObsProbe {
+    fn probe(&self, scheme: &str, slot_ns: u64, map: &CliqueMap, max_slots: u64) -> ObsProbe {
         (
-            self.publisher.clone().map(LiveMetricsProbe::new),
+            self.publisher
+                .clone()
+                .map(|p| LiveMetricsProbe::new(p).with_max_slots(max_slots)),
             (
-                (self.trace_one_in > 0).then(|| FlowTraceCollector::new(slot_ns)),
-                FlightRecorder::new(DEFAULT_CAPACITY)
+                (
+                    (self.trace_one_in > 0).then(|| FlowTraceCollector::new(slot_ns)),
+                    self.weather.enabled.then(|| {
+                        let probe = WeatherProbe::new(map.clone(), self.weather.topk);
+                        match &self.publisher {
+                            Some(p) => probe.with_publisher(p.clone()),
+                            None => probe,
+                        }
+                    }),
+                ),
+                FlightRecorder::new(self.flight_ring)
                     .with_dump_path(self.out_dir.join(format!("FLIGHT_{scheme}.jsonl"))),
             ),
         )
@@ -148,8 +175,24 @@ impl Instruments {
     /// Everything printed is deterministic at any `--engine-threads`.
     fn summarize(&self, scheme: &str, probe: ObsProbe, propagation_ns: u64) -> String {
         use std::fmt::Write as _;
-        let (_live, (collector, mut recorder)) = probe;
+        let (_live, ((collector, weather), mut recorder)) = probe;
         let mut text = String::new();
+        if let Some(w) = weather {
+            let txt_path = self.out_dir.join(format!("WEATHER_{scheme}.txt"));
+            let json_path = self.out_dir.join(format!("WEATHER_{scheme}.json"));
+            if let Err(e) = std::fs::write(&txt_path, w.render_txt(scheme))
+                .and_then(|()| std::fs::write(&json_path, w.render_json(scheme)))
+            {
+                eprintln!("perf: cannot write weather report for {scheme}: {e}");
+            } else {
+                let _ = writeln!(
+                    text,
+                    "[{scheme}] weather: {} and {}",
+                    txt_path.display(),
+                    json_path.display()
+                );
+            }
+        }
         if let Some(c) = collector {
             let autopsy = TailAutopsy::from_breakdowns(&c.cell_breakdowns(), 5);
             let _ = writeln!(text, "[{scheme}] traced {} hop events", c.len());
@@ -269,7 +312,21 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (ckpt, rest) = match CheckpointOpts::take(args) {
+    let (weather, rest) = match WeatherOpts::take(args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("perf: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let (flight_ring, rest) = match take_flight_ring_flag(rest) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("perf: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let (ckpt, rest) = match CheckpointOpts::take(rest) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("perf: {e}\n{USAGE}");
@@ -331,6 +388,8 @@ fn main() -> ExitCode {
         trace_one_in: opts.trace_flows,
         out_dir: opts.out_dir.clone(),
         publisher: server.as_ref().map(|(_, p)| p.clone()),
+        weather,
+        flight_ring,
     };
     let suite_start = Instant::now();
     let effective_jobs = if ckpt.enabled() { 1 } else { opts.jobs };
@@ -586,7 +645,8 @@ fn run_scale_scenario(
     };
     let max_slots = 20 * duration_ns / cfg.slot_ns;
     let profiler = WallClockProfiler::new();
-    let probe = inst.probe(scheme, cfg.slot_ns);
+    let map = CliqueMap::contiguous(n, cliques);
+    let probe = inst.probe(scheme, cfg.slot_ns, &map, max_slots);
 
     let start = Instant::now();
     let (metrics, probe) = if scheme == "fig2f_vlb" {
@@ -634,15 +694,19 @@ struct CkptCtx<'a> {
 /// Snapshot blob names for the probe state carried across a resume.
 const BLOB_TRACE: &str = "trace";
 const BLOB_FLIGHT: &str = "flight";
+const BLOB_WEATHER: &str = "weather";
 
 /// Rebuilds the scenario probe for a resumed run: the causal-trace
-/// collector and flight recorder come back from the snapshot's sidecar
-/// blobs (so their output is identical to an uninterrupted run); the
-/// live-metrics feeder is wall-clock state and starts fresh.
+/// collector, weather roll-up, and flight recorder come back from the
+/// snapshot's sidecar blobs (so their output is identical to an
+/// uninterrupted run); the live-metrics feeder is wall-clock state and
+/// starts fresh.
 fn probe_from_snapshot(
     inst: &Instruments,
     scheme: &str,
     slot_ns: u64,
+    map: &CliqueMap,
+    max_slots: u64,
     snap: &Snapshot,
 ) -> Result<ObsProbe, String> {
     let collector = match snap.blob(BLOB_TRACE) {
@@ -652,24 +716,44 @@ fn probe_from_snapshot(
         ),
         None => (inst.trace_one_in > 0).then(|| FlowTraceCollector::new(slot_ns)),
     };
+    let weather = match snap.blob(BLOB_WEATHER) {
+        Some(b) => Some(
+            WeatherProbe::from_bytes(b, map.clone())
+                .map_err(|e| format!("[{scheme}] bad weather blob in checkpoint: {e}"))?,
+        ),
+        None => inst
+            .weather
+            .enabled
+            .then(|| WeatherProbe::new(map.clone(), inst.weather.topk)),
+    }
+    .map(|w| match &inst.publisher {
+        Some(p) => w.with_publisher(p.clone()),
+        None => w,
+    });
     let recorder = match snap.blob(BLOB_FLIGHT) {
         Some(b) => FlightRecorder::from_bytes(b)
             .map_err(|e| format!("[{scheme}] bad flight-recorder blob in checkpoint: {e}"))?,
-        None => FlightRecorder::new(DEFAULT_CAPACITY),
+        None => FlightRecorder::new(inst.flight_ring),
     }
     .with_dump_path(inst.out_dir.join(format!("FLIGHT_{scheme}.jsonl")));
     Ok((
-        inst.publisher.clone().map(LiveMetricsProbe::new),
-        (collector, recorder),
+        inst.publisher
+            .clone()
+            .map(|p| LiveMetricsProbe::new(p).with_max_slots(max_slots)),
+        ((collector, weather), recorder),
     ))
 }
 
-/// Attaches the probe's trace and flight-recorder state to a snapshot
-/// as sidecar blobs, so a resume rebuilds observers mid-stream.
+/// Attaches the probe's trace, weather, and flight-recorder state to a
+/// snapshot as sidecar blobs, so a resume rebuilds observers
+/// mid-stream.
 fn attach_probe_blobs(probe: &ObsProbe, snap: &mut Snapshot) {
-    let (_live, (collector, recorder)) = probe;
+    let (_live, ((collector, weather), recorder)) = probe;
     if let Some(c) = collector {
         snap.attach_blob(BLOB_TRACE, c.to_bytes());
+    }
+    if let Some(w) = weather {
+        snap.attach_blob(BLOB_WEATHER, w.to_bytes());
     }
     snap.attach_blob(BLOB_FLIGHT, recorder.to_bytes());
 }
@@ -684,7 +768,7 @@ fn note_checkpoint_events(
     skipped: &[(PathBuf, String)],
     written: &[(u64, PathBuf, usize)],
 ) {
-    let (live, (_collector, recorder)) = probe;
+    let (live, ((_collector, _weather), recorder)) = probe;
     for (path, reason) in skipped {
         recorder.note_checkpoint_corrupt_skipped(&path.display().to_string(), reason);
         if let Some(l) = live.as_mut() {
@@ -727,6 +811,7 @@ fn run_scale_checkpointed(
     let schedule = round_robin(n).expect("round robin");
     let router = VlbRouter::new();
     let profiler = WallClockProfiler::new();
+    let map = CliqueMap::contiguous(n, cliques);
     let start = Instant::now();
     let mut store =
         CheckpointStore::open(ckpt.dir.join(scheme)).map_err(|e| format!("[{scheme}] {e}"))?;
@@ -734,7 +819,8 @@ fn run_scale_checkpointed(
     let mut eng = match load_resume(&store, ckpt.resume).map_err(|e| format!("[{scheme}] {e}"))? {
         Some(mut out) => {
             out.snapshot.set_engine_threads(engine_threads);
-            let probe = probe_from_snapshot(inst, scheme, cfg.slot_ns, &out.snapshot)?;
+            let probe =
+                probe_from_snapshot(inst, scheme, cfg.slot_ns, &map, max_slots, &out.snapshot)?;
             let mut eng = Engine::restore_with_probe_and_profiler(
                 &out.snapshot,
                 &schedule,
@@ -762,7 +848,7 @@ fn run_scale_checkpointed(
             eng
         }
         None => {
-            let probe = inst.probe(scheme, cfg.slot_ns);
+            let probe = inst.probe(scheme, cfg.slot_ns, &map, max_slots);
             let mut eng =
                 Engine::with_probe_and_profiler(cfg, &schedule, &router, probe, profiler.clone());
             eng.add_flows(scale_workload(n, cliques, duration_ns))
@@ -827,6 +913,7 @@ fn resilience_storm_checkpointed(
         plan,
         duration_ns,
     } = storm_fixture(tiny);
+    let cmap = map.clone();
     let health = LinkHealth::new();
     let router = FaultAwareSornRouter::new(map, health.clone());
     let cfg = SimConfig {
@@ -844,7 +931,8 @@ fn resilience_storm_checkpointed(
     let mut eng = match load_resume(&store, ckpt.resume).map_err(|e| format!("[{scheme}] {e}"))? {
         Some(mut out) => {
             out.snapshot.set_engine_threads(engine_threads);
-            let probe = probe_from_snapshot(inst, scheme, cfg.slot_ns, &out.snapshot)?;
+            let probe =
+                probe_from_snapshot(inst, scheme, cfg.slot_ns, &cmap, slots, &out.snapshot)?;
             let mut eng = Engine::restore_with_probe_and_profiler(
                 &out.snapshot,
                 &schedule,
@@ -875,7 +963,7 @@ fn resilience_storm_checkpointed(
             eng
         }
         None => {
-            let probe = inst.probe(scheme, cfg.slot_ns);
+            let probe = inst.probe(scheme, cfg.slot_ns, &cmap, slots);
             let mut eng =
                 Engine::with_probe_and_profiler(cfg, &schedule, &router, probe, profiler.clone());
             eng.set_fault_plan(plan);
@@ -1004,6 +1092,7 @@ fn resilience_storm(
         plan,
         duration_ns,
     } = storm_fixture(tiny);
+    let cmap = map.clone();
     let health = LinkHealth::new();
     let router = FaultAwareSornRouter::new(map, health.clone());
     let cfg = SimConfig {
@@ -1014,7 +1103,7 @@ fn resilience_storm(
     };
     let slots = duration_ns / cfg.slot_ns;
     let profiler = WallClockProfiler::new();
-    let probe = inst.probe("resilience_storm", cfg.slot_ns);
+    let probe = inst.probe("resilience_storm", cfg.slot_ns, &cmap, slots);
 
     let start = Instant::now();
     let mut eng = Engine::with_probe_and_profiler(cfg, &schedule, &router, probe, profiler.clone());

@@ -13,12 +13,23 @@
 //! `--engine-threads N` shards the slot phases inside each simulation
 //! (also bit-identical at any thread count).
 //!
-//! `--serve-metrics ADDR` serves live `/metrics`, `/health`, and
-//! `/progress` over HTTP while the storms run (`--serve-linger-ms`
-//! keeps the endpoint up afterwards). A flight recorder always rides
-//! along; a scheme that trips an anomaly watchdog (the storm's drop
-//! spikes usually do) dumps its recent-event ring to
+//! `--serve-metrics ADDR` serves live `/metrics`, `/health`,
+//! `/progress`, and `/weather` over HTTP while the storms run
+//! (`--serve-linger-ms` keeps the endpoint up afterwards). A flight
+//! recorder always rides along (`--flight-ring N` sizes its ring, a
+//! power of two, default 4096); a scheme that trips an anomaly watchdog
+//! (the storm's drop spikes usually do) dumps its recent-event ring to
 //! `FLIGHT_<scheme>.jsonl` in the working directory.
+//!
+//! `--trace-flows N` turns on causal flow tracing (roughly one flow in
+//! N; 1 traces everything): each scheme prints a tail-autopsy table
+//! attributing its slowest traced cells' latency to queueing vs
+//! transmission vs reconfiguration wait. `--weather` attaches the
+//! bounded-memory network-weather roll-up (per-clique demand/goodput
+//! matrices, `--weather-topk K` heavy-hitter sketches, a decimated
+//! timeline) and writes `WEATHER_<scheme>.{txt,json}` run reports in
+//! the working directory, byte-identical at any `--engine-threads` and
+//! across a checkpoint/resume.
 //!
 //! `--checkpoint-dir DIR` turns on crash-safe checkpointing: both
 //! schemes run sequentially, snapshotting engine plus flight-recorder
@@ -30,21 +41,22 @@
 //! `--engine-threads` but not with `--trace-out` (the JSONL sink
 //! appends to a file mid-run and cannot be rewound on resume).
 
+use sorn_analysis::autopsy::TailAutopsy;
 use sorn_analysis::resilience::{resilience_table, ResilienceRow};
 use sorn_bench::{
     drive_checkpointed, header, install_stop_handler, load_resume, run_jobs,
-    take_engine_threads_flag, take_jobs_flag, CheckpointOpts, DriveOutcome, RunMode, Task,
-    TelemetryOpts, EXIT_INTERRUPTED,
+    take_engine_threads_flag, take_flight_ring_flag, take_jobs_flag, take_trace_flows_flag,
+    CheckpointOpts, DriveOutcome, RunMode, Task, TelemetryOpts, WeatherOpts, EXIT_INTERRUPTED,
 };
 use sorn_control::{ControlConfig, ControlLoop, EpochOutcome};
 use sorn_routing::{FaultAwareSornRouter, FaultAwareVlbRouter};
 use sorn_sim::{
     CheckpointStore, Engine, FailureSet, FaultPlan, FaultStorm, Flow, LinkHealth, Metrics, Router,
-    SimConfig,
+    SimConfig, Snapshot,
 };
 use sorn_telemetry::{
-    FlightRecorder, IntervalSampler, JsonlTraceSink, LiveMetricsProbe, MetricsPublisher,
-    MetricsServer, DEFAULT_CAPACITY,
+    FlightRecorder, FlowTraceCollector, IntervalSampler, JsonlTraceSink, LiveMetricsProbe,
+    MetricsPublisher, MetricsServer, WeatherProbe,
 };
 use sorn_topology::builders::{round_robin, sorn_schedule, SornScheduleParams};
 use sorn_topology::{CircuitSchedule, CliqueMap, NodeId, Ratio};
@@ -59,8 +71,97 @@ const STORM_SEED: u64 = 5;
 const BURST_FROM_NS: u64 = 200_000;
 const BURST_UNTIL_NS: u64 = 295_000;
 
+/// Copyable per-scheme observability knobs from the command line.
+#[derive(Clone, Copy)]
+struct ObsOpts {
+    /// `--weather` / `--weather-topk`: the network-weather roll-up.
+    weather: WeatherOpts,
+    /// `--flight-ring`: flight-recorder ring capacity (power of two).
+    flight_ring: usize,
+    /// `--trace-flows`: causal-trace sampling (one flow in N); 0 off.
+    trace_flows: u64,
+}
+
+/// The composed per-scheme probe: an optional causal-trace collector,
+/// an optional live-metrics feeder, an optional weather roll-up, and
+/// the always-on flight recorder.
+type SchemeProbe = (
+    Option<FlowTraceCollector>,
+    (
+        (Option<LiveMetricsProbe>, Option<WeatherProbe>),
+        FlightRecorder,
+    ),
+);
+
+/// Builds one scheme's fresh [`SchemeProbe`].
+fn scheme_probe(
+    scheme: &str,
+    obs: ObsOpts,
+    map: &CliqueMap,
+    slots: u64,
+    slot_ns: u64,
+    publisher: &Option<MetricsPublisher>,
+) -> SchemeProbe {
+    (
+        (obs.trace_flows > 0).then(|| FlowTraceCollector::new(slot_ns)),
+        (
+            (
+                publisher
+                    .clone()
+                    .map(|p| LiveMetricsProbe::new(p).with_max_slots(slots)),
+                obs.weather.enabled.then(|| {
+                    let probe = WeatherProbe::new(map.clone(), obs.weather.topk);
+                    match publisher {
+                        Some(p) => probe.with_publisher(p.clone()),
+                        None => probe,
+                    }
+                }),
+            ),
+            FlightRecorder::new(obs.flight_ring).with_dump_path(format!("FLIGHT_{scheme}.jsonl")),
+        ),
+    )
+}
+
+/// Turns one scheme's finished probe into summary messages: the
+/// tail-autopsy table for traced runs, the weather run reports, and a
+/// pointer to the flight-recorder dump when a watchdog fired.
+/// Everything is deterministic at any `--engine-threads`.
+fn summarize_probe(scheme: &str, probe: SchemeProbe, messages: &mut Vec<String>) {
+    let (collector, ((_live, weather), mut recorder)) = probe;
+    if let Some(c) = collector {
+        let autopsy = TailAutopsy::from_breakdowns(&c.cell_breakdowns(), 5);
+        messages.push(format!("[{scheme}] traced {} hop events", c.len()));
+        for line in autopsy.render().lines() {
+            messages.push(format!("  {line}"));
+        }
+    }
+    if let Some(w) = weather {
+        let txt_path = PathBuf::from(format!("WEATHER_{scheme}.txt"));
+        let json_path = PathBuf::from(format!("WEATHER_{scheme}.json"));
+        if let Err(e) = std::fs::write(&txt_path, w.render_txt(scheme))
+            .and_then(|()| std::fs::write(&json_path, w.render_json(scheme)))
+        {
+            eprintln!("resilience: cannot write weather report for {scheme}: {e}");
+        } else {
+            messages.push(format!(
+                "[{scheme}] weather: {} and {}",
+                txt_path.display(),
+                json_path.display()
+            ));
+        }
+    }
+    match recorder.dump_if_anomalous() {
+        Ok(Some(path)) => messages.push(format!(
+            "[{scheme}] flight recorder: anomaly -> {}",
+            path.display()
+        )),
+        Ok(None) => {}
+        Err(e) => eprintln!("resilience: flight-recorder dump for {scheme} failed: {e}"),
+    }
+}
+
 fn main() {
-    let (jobs, engine_threads, ckpt, telemetry) = parse_args();
+    let (jobs, engine_threads, ckpt, telemetry, obs) = parse_args();
     header("Resilience: flat VLB vs modular SORN under one failure storm");
 
     // The per-scheme trace files land next to the `--trace-out` base
@@ -153,9 +254,11 @@ fn main() {
                 sched,
                 router,
                 health,
+                &map,
                 flows.clone(),
                 plan.clone(),
                 engine_threads,
+                obs,
                 publisher.clone(),
                 ckpt_dir,
                 ckpt.cadence(),
@@ -187,8 +290,9 @@ fn main() {
         // worker threads; trace messages print after the join, in order.
         let tasks: Vec<Task<(Metrics, Option<String>)>> = vec![
             {
-                let (sched, flows, plan, telemetry, publisher) = (
+                let (sched, map, flows, plan, telemetry, publisher) = (
                     flat_sched,
+                    map.clone(),
                     flows.clone(),
                     plan.clone(),
                     telemetry.clone(),
@@ -202,16 +306,18 @@ fn main() {
                         &sched,
                         &router,
                         health,
+                        &map,
                         flows,
                         plan,
                         engine_threads,
                         &telemetry,
+                        obs,
                         publisher,
                     )
                 })
             },
             {
-                let (sched, cliques, flows, plan, telemetry, publisher) = (
+                let (sched, map, flows, plan, telemetry, publisher) = (
                     sorn_sched.clone(),
                     map.clone(),
                     flows.clone(),
@@ -221,16 +327,18 @@ fn main() {
                 );
                 Box::new(move || {
                     let health = LinkHealth::new();
-                    let router = FaultAwareSornRouter::new(cliques, health.clone());
+                    let router = FaultAwareSornRouter::new(map.clone(), health.clone());
                     run_scheme(
                         "sorn",
                         &sched,
                         &router,
                         health,
+                        &map,
                         flows,
                         plan,
                         engine_threads,
                         &telemetry,
+                        obs,
                         publisher,
                     )
                 })
@@ -320,26 +428,27 @@ fn run_scheme(
     schedule: &CircuitSchedule,
     router: &dyn Router,
     health: LinkHealth,
+    map: &CliqueMap,
     flows: Vec<Flow>,
     plan: FaultPlan,
     engine_threads: usize,
     telemetry: &TelemetryOpts,
+    obs: ObsOpts,
     publisher: Option<MetricsPublisher>,
 ) -> (Metrics, Option<String>) {
     let cfg = SimConfig {
         seed: 42,
         engine_threads,
+        trace_one_in: obs.trace_flows,
         ..SimConfig::default()
     };
     // Measure exactly the active workload window: letting the run drain
     // to empty would append a low-rate tail of all-healthy slots and
     // skew the healthy-goodput baseline.
     let slots = DURATION_NS / cfg.slot_ns;
-    let live = publisher.map(LiveMetricsProbe::new);
-    let recorder =
-        FlightRecorder::new(DEFAULT_CAPACITY).with_dump_path(format!("FLIGHT_{scheme}.jsonl"));
+    let inner = scheme_probe(scheme, obs, map, slots, cfg.slot_ns, &publisher);
     let mut messages = Vec::new();
-    let (metrics, recorder) = if let Some(base) = &telemetry.trace_out {
+    let (metrics, probe) = if let Some(base) = &telemetry.trace_out {
         let path = suffixed(base, scheme);
         let sink = JsonlTraceSink::create(&path).unwrap_or_else(|e| {
             eprintln!(
@@ -349,14 +458,14 @@ fn run_scheme(
             std::process::exit(2);
         });
         let sampler = IntervalSampler::new(sink, telemetry.sample_interval_ns);
-        let mut eng = Engine::with_probe(cfg, schedule, router, (sampler, (live, recorder)));
+        let mut eng = Engine::with_probe(cfg, schedule, router, (sampler, inner));
         eng.set_fault_plan(plan);
         eng.set_health_mirror(health);
         eng.add_flows(flows).expect("flows in range");
         eng.run_slots(slots).expect("storm run");
         let mut metrics = eng.metrics().clone();
         metrics.stranded_cells = eng.count_stranded();
-        let (sampler, (_live, recorder)) = eng.finish();
+        let (sampler, probe) = eng.finish();
         let lines = sampler.into_sink().finish().unwrap_or_else(|e| {
             eprintln!(
                 "resilience: cannot flush --trace-out file {}: {e}",
@@ -368,50 +477,101 @@ fn run_scheme(
             "[{scheme}] wrote {lines} trace events to {}",
             path.display()
         ));
-        (metrics, recorder)
+        (metrics, probe)
     } else {
-        let mut eng = Engine::with_probe(cfg, schedule, router, (live, recorder));
+        let mut eng = Engine::with_probe(cfg, schedule, router, inner);
         eng.set_fault_plan(plan);
         eng.set_health_mirror(health);
         eng.add_flows(flows).expect("flows in range");
         eng.run_slots(slots).expect("storm run");
         let mut metrics = eng.metrics().clone();
         metrics.stranded_cells = eng.count_stranded();
-        let (_live, recorder) = eng.finish();
-        (metrics, recorder)
+        (metrics, eng.finish())
     };
-    let mut recorder = recorder;
-    match recorder.dump_if_anomalous() {
-        Ok(Some(path)) => messages.push(format!(
-            "[{scheme}] flight recorder: anomaly -> {}",
-            path.display()
-        )),
-        Ok(None) => {}
-        Err(e) => eprintln!("resilience: flight-recorder dump for {scheme} failed: {e}"),
-    }
+    summarize_probe(scheme, probe, &mut messages);
     let msg = (!messages.is_empty()).then(|| messages.join("\n"));
     (metrics, msg)
 }
 
-/// Snapshot blob name carrying the flight recorder's serialized state,
-/// so a resumed run's anomaly dump still contains pre-interrupt events.
+/// Snapshot blob names for the probe state carried across a resume:
+/// the causal-trace collector, the weather roll-up, and the flight
+/// recorder (so a resumed run's reports and anomaly dump still contain
+/// pre-interrupt events).
+const BLOB_TRACE: &str = "trace";
+const BLOB_WEATHER: &str = "weather";
 const BLOB_FLIGHT: &str = "flight";
 
+/// Rebuilds one scheme's probe for a resumed run from the snapshot's
+/// sidecar blobs; the live-metrics feeder is wall-clock state and
+/// starts fresh.
+fn probe_from_snapshot(
+    scheme: &str,
+    obs: ObsOpts,
+    map: &CliqueMap,
+    slots: u64,
+    slot_ns: u64,
+    publisher: &Option<MetricsPublisher>,
+    snap: &Snapshot,
+) -> Result<SchemeProbe, String> {
+    let collector = match snap.blob(BLOB_TRACE) {
+        Some(b) => Some(
+            FlowTraceCollector::from_bytes(b)
+                .map_err(|e| format!("[{scheme}] bad trace blob in checkpoint: {e}"))?,
+        ),
+        None => (obs.trace_flows > 0).then(|| FlowTraceCollector::new(slot_ns)),
+    };
+    let weather = match snap.blob(BLOB_WEATHER) {
+        Some(b) => Some(
+            WeatherProbe::from_bytes(b, map.clone())
+                .map_err(|e| format!("[{scheme}] bad weather blob in checkpoint: {e}"))?,
+        ),
+        None => obs
+            .weather
+            .enabled
+            .then(|| WeatherProbe::new(map.clone(), obs.weather.topk)),
+    }
+    .map(|w| match publisher {
+        Some(p) => w.with_publisher(p.clone()),
+        None => w,
+    });
+    let recorder = match snap.blob(BLOB_FLIGHT) {
+        Some(bytes) => FlightRecorder::from_bytes(bytes)
+            .map_err(|e| format!("[{scheme}] flight blob in checkpoint: {e}"))?,
+        None => FlightRecorder::new(obs.flight_ring),
+    }
+    .with_dump_path(format!("FLIGHT_{scheme}.jsonl"));
+    Ok((
+        collector,
+        (
+            (
+                publisher
+                    .clone()
+                    .map(|p| LiveMetricsProbe::new(p).with_max_slots(slots)),
+                weather,
+            ),
+            recorder,
+        ),
+    ))
+}
+
 /// The checkpointed variant of [`run_scheme`]: same storm, driven
-/// slot-by-slot with a snapshot of engine plus flight-recorder state to
-/// `dir/<scheme>/` every `every` slots, honoring the shared stop flag.
-/// Returns `Ok(None)` when interrupted (the final checkpoint is already
-/// on disk); on completion the metrics and messages are identical to an
-/// uninterrupted [`run_scheme`] run without tracing.
+/// slot-by-slot with a snapshot of engine plus probe state (trace,
+/// weather, flight recorder) to `dir/<scheme>/` every `every` slots,
+/// honoring the shared stop flag. Returns `Ok(None)` when interrupted
+/// (the final checkpoint is already on disk); on completion the metrics
+/// and messages are identical to an uninterrupted [`run_scheme`] run
+/// without `--trace-out`.
 #[allow(clippy::too_many_arguments)]
 fn run_scheme_checkpointed(
     scheme: &str,
     schedule: &CircuitSchedule,
     router: &dyn Router,
     health: LinkHealth,
+    map: &CliqueMap,
     flows: Vec<Flow>,
     plan: FaultPlan,
     engine_threads: usize,
+    obs: ObsOpts,
     publisher: Option<MetricsPublisher>,
     dir: &Path,
     every: u64,
@@ -421,6 +581,7 @@ fn run_scheme_checkpointed(
     let cfg = SimConfig {
         seed: 42,
         engine_threads,
+        trace_one_in: obs.trace_flows,
         ..SimConfig::default()
     };
     let slots = DURATION_NS / cfg.slot_ns;
@@ -430,21 +591,22 @@ fn run_scheme_checkpointed(
     let mut eng = match load_resume(&store, resume).map_err(|e| format!("[{scheme}] {e}"))? {
         Some(mut out) => {
             out.snapshot.set_engine_threads(engine_threads);
-            let live = publisher.map(LiveMetricsProbe::new);
-            let recorder = match out.snapshot.blob(BLOB_FLIGHT) {
-                Some(bytes) => FlightRecorder::from_bytes(bytes)
-                    .map_err(|e| format!("[{scheme}] flight blob in checkpoint: {e}"))?,
-                None => FlightRecorder::new(DEFAULT_CAPACITY),
-            }
-            .with_dump_path(format!("FLIGHT_{scheme}.jsonl"));
-            let mut eng =
-                Engine::restore_with_probe(&out.snapshot, schedule, router, (live, recorder))
-                    .map_err(|e| {
-                        format!(
-                            "[{scheme}] checkpoint {} does not fit this scenario: {e}",
-                            out.path.display()
-                        )
-                    })?;
+            let probe = probe_from_snapshot(
+                scheme,
+                obs,
+                map,
+                slots,
+                cfg.slot_ns,
+                &publisher,
+                &out.snapshot,
+            )?;
+            let mut eng = Engine::restore_with_probe(&out.snapshot, schedule, router, probe)
+                .map_err(|e| {
+                    format!(
+                        "[{scheme}] checkpoint {} does not fit this scenario: {e}",
+                        out.path.display()
+                    )
+                })?;
             // The snapshot carries the fault plan and failure state;
             // only the shared health view must be re-attached.
             eng.set_health_mirror(health);
@@ -462,10 +624,8 @@ fn run_scheme_checkpointed(
             eng
         }
         None => {
-            let live = publisher.map(LiveMetricsProbe::new);
-            let recorder = FlightRecorder::new(DEFAULT_CAPACITY)
-                .with_dump_path(format!("FLIGHT_{scheme}.jsonl"));
-            let mut eng = Engine::with_probe(cfg, schedule, router, (live, recorder));
+            let probe = scheme_probe(scheme, obs, map, slots, cfg.slot_ns, &publisher);
+            let mut eng = Engine::with_probe(cfg, schedule, router, probe);
             eng.set_fault_plan(plan);
             eng.set_health_mirror(health);
             eng.add_flows(flows).expect("flows in range");
@@ -481,7 +641,13 @@ fn run_scheme_checkpointed(
         every,
         stop,
         |eng, snap| {
-            let (_live, recorder) = eng.probe();
+            let (collector, ((_live, weather), recorder)) = eng.probe();
+            if let Some(c) = collector {
+                snap.attach_blob(BLOB_TRACE, c.to_bytes());
+            }
+            if let Some(w) = weather {
+                snap.attach_blob(BLOB_WEATHER, w.to_bytes());
+            }
             snap.attach_blob(BLOB_FLIGHT, recorder.to_bytes());
         },
         |slot, path, bytes| written.push((slot, path.to_path_buf(), bytes)),
@@ -499,16 +665,9 @@ fn run_scheme_checkpointed(
         DriveOutcome::Completed { .. } => {
             let mut metrics = eng.metrics().clone();
             metrics.stranded_cells = eng.count_stranded();
-            let (_live, mut recorder) = eng.finish();
+            let probe = eng.finish();
             let mut messages = Vec::new();
-            match recorder.dump_if_anomalous() {
-                Ok(Some(path)) => messages.push(format!(
-                    "[{scheme}] flight recorder: anomaly -> {}",
-                    path.display()
-                )),
-                Ok(None) => {}
-                Err(e) => eprintln!("resilience: flight-recorder dump for {scheme} failed: {e}"),
-            }
+            summarize_probe(scheme, probe, &mut messages);
             let msg = (!messages.is_empty()).then(|| messages.join("\n"));
             Ok(Some((metrics, msg)))
         }
@@ -519,12 +678,12 @@ fn run_scheme_checkpointed(
 /// live `/metrics` endpoint. Fired by this driver, never by the engine,
 /// so the table stays bit-identical with checkpointing on or off.
 fn note_checkpoint_events(
-    probe: &mut (Option<LiveMetricsProbe>, FlightRecorder),
+    probe: &mut SchemeProbe,
     restored: Option<(u64, &Path)>,
     skipped: &[(PathBuf, String)],
     written: &[(u64, PathBuf, usize)],
 ) {
-    let (live, recorder) = probe;
+    let (_collector, ((live, _weather), recorder)) = probe;
     for (path, reason) in skipped {
         recorder.note_checkpoint_corrupt_skipped(&path.display().to_string(), reason);
         if let Some(l) = live.as_mut() {
@@ -545,18 +704,32 @@ fn note_checkpoint_events(
     }
 }
 
-/// Parses `--jobs`, `--engine-threads`, the checkpoint flags, and the
-/// shared telemetry flags, exiting with a usage line on error.
-fn parse_args() -> (usize, usize, CheckpointOpts, TelemetryOpts) {
-    let parsed = take_jobs_flag(std::env::args().skip(1))
-        .and_then(|(jobs, rest)| take_engine_threads_flag(rest).map(|(t, rest)| (jobs, t, rest)))
-        .and_then(|(jobs, threads, rest)| {
-            CheckpointOpts::take(rest).map(|(c, rest)| (jobs, threads, c, rest))
-        })
-        .and_then(|(jobs, threads, ckpt, rest)| {
-            TelemetryOpts::parse(rest).map(|t| (jobs, threads, ckpt, t))
-        });
-    match parsed {
+/// Parses `--jobs`, `--engine-threads`, the observability flags
+/// (`--weather`, `--weather-topk`, `--flight-ring`, `--trace-flows`),
+/// the checkpoint flags, and the shared telemetry flags, exiting with a
+/// usage line on error.
+fn parse_args() -> (usize, usize, CheckpointOpts, TelemetryOpts, ObsOpts) {
+    let parse = || -> Result<(usize, usize, CheckpointOpts, TelemetryOpts, ObsOpts), String> {
+        let (jobs, rest) = take_jobs_flag(std::env::args().skip(1))?;
+        let (threads, rest) = take_engine_threads_flag(rest)?;
+        let (weather, rest) = WeatherOpts::take(rest)?;
+        let (flight_ring, rest) = take_flight_ring_flag(rest)?;
+        let (trace_flows, rest) = take_trace_flows_flag(rest)?;
+        let (ckpt, rest) = CheckpointOpts::take(rest)?;
+        let telemetry = TelemetryOpts::parse(rest)?;
+        Ok((
+            jobs,
+            threads,
+            ckpt,
+            telemetry,
+            ObsOpts {
+                weather,
+                flight_ring,
+                trace_flows,
+            },
+        ))
+    };
+    match parse() {
         Ok(v) => {
             if v.2.enabled() && v.3.trace_out.is_some() {
                 eprintln!(
@@ -571,8 +744,10 @@ fn parse_args() -> (usize, usize, CheckpointOpts, TelemetryOpts) {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: resilience [--jobs N] [--engine-threads N] [--trace-out <path>] \
-                 [--sample-interval-ns <n>] [--serve-metrics <addr>] [--serve-linger-ms <n>] \
-                 [--checkpoint-dir <dir>] [--checkpoint-every <n>] [--resume]"
+                 [--sample-interval-ns <n>] [--trace-flows <n>] [--weather] \
+                 [--weather-topk <k>] [--flight-ring <n>] [--serve-metrics <addr>] \
+                 [--serve-linger-ms <n>] [--checkpoint-dir <dir>] [--checkpoint-every <n>] \
+                 [--resume]"
             );
             std::process::exit(2);
         }

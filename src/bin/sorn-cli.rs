@@ -22,12 +22,13 @@ use sorn::traffic::{FlowSizeDist, PoissonWorkload, Trace};
 use sorn_bench::{
     drive_checkpointed, install_stop_handler, load_resume, DriveOutcome, RunMode, EXIT_INTERRUPTED,
 };
+use sorn_telemetry::{WeatherProbe, DEFAULT_TOPK};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 /// Flags that take no value (`--resume` vs `--key value`).
-const BOOL_FLAGS: &[&str] = &["resume"];
+const BOOL_FLAGS: &[&str] = &["resume", "weather"];
 
 /// Parsed `--key value` arguments.
 struct Args {
@@ -82,6 +83,7 @@ const USAGE: &str = "usage:
   sorn-cli schedule  --n <nodes> --cliques <count> [--q a/b | --locality <x>]
   sorn-cli gen-trace --n <nodes> --cliques <count> --locality <x> --load <rho> --duration-us <t> [--seed k] [--dist web-search|data-mining|fixed:<bytes>] --out <file>
   sorn-cli simulate  --trace <file> --cliques <count> [--locality <x>] [--seed k] [--max-slots m]
+                     [--weather] [--weather-topk <k>]
                      [--checkpoint-dir <dir>] [--checkpoint-every <slots>] [--resume]";
 
 fn parse_q(s: &str) -> Result<Ratio, String> {
@@ -287,14 +289,33 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         trace.nodes,
         cliques
     );
-    let (metrics, drained) = if let Some(dir) = args.flags.get("checkpoint-dir") {
-        simulate_checkpointed(&net, &cfg, flows, seed, max_slots, args, PathBuf::from(dir))?
+    // `--weather-topk` implies `--weather`, mirroring the harness flags.
+    let weather_topk: usize = args.get("weather-topk", DEFAULT_TOPK)?;
+    if weather_topk == 0 {
+        return Err("flag --weather-topk: must be >= 1".into());
+    }
+    let weather_on = args.flags.contains_key("weather") || args.flags.contains_key("weather-topk");
+    let (metrics, drained, weather) = if let Some(dir) = args.flags.get("checkpoint-dir") {
+        simulate_checkpointed(
+            &net,
+            &cfg,
+            flows,
+            seed,
+            max_slots,
+            args,
+            PathBuf::from(dir),
+            weather_on,
+            weather_topk,
+        )?
     } else {
         if args.flags.contains_key("checkpoint-every") || args.flags.contains_key("resume") {
             return Err("--checkpoint-every/--resume require --checkpoint-dir".into());
         }
-        net.simulate(flows, seed, max_slots)
-            .map_err(|e| e.to_string())?
+        let probe = weather_on.then(|| WeatherProbe::new(net.cliques().clone(), weather_topk));
+        let (metrics, drained, probe) = net
+            .simulate_with_probe(flows, seed, max_slots, probe)
+            .map_err(|e| e.to_string())?;
+        (metrics, drained, probe)
     };
 
     let mut t = TextTable::new(&["metric", "value"]);
@@ -352,15 +373,32 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         ]);
     }
     print!("{}", bt.render());
+
+    if let Some(w) = weather {
+        println!();
+        print!("{}", w.render_txt("simulate"));
+        let txt_path = "WEATHER_simulate.txt";
+        let json_path = "WEATHER_simulate.json";
+        std::fs::write(txt_path, w.render_txt("simulate"))
+            .and_then(|()| std::fs::write(json_path, w.render_json("simulate")))
+            .map_err(|e| format!("writing weather report: {e}"))?;
+        println!("wrote {txt_path} and {json_path}");
+    }
     Ok(())
 }
 
+/// Snapshot blob name carrying the weather probe's serialized state, so
+/// a resumed run's report is byte-identical to an uninterrupted one.
+const BLOB_WEATHER: &str = "weather";
+
 /// The crash-safe variant of `simulate`: drives the engine directly,
-/// snapshotting full state to `dir/simulate/` every `--checkpoint-every`
-/// slots (default 10000, two rolling generations). SIGINT/SIGTERM
-/// finishes the current slot, writes a final checkpoint, and exits with
-/// code 3; `--resume` continues from the newest valid generation and
-/// prints the identical tables an uninterrupted run would have.
+/// snapshotting full state (plus the weather probe, when on) to
+/// `dir/simulate/` every `--checkpoint-every` slots (default 10000, two
+/// rolling generations). SIGINT/SIGTERM finishes the current slot,
+/// writes a final checkpoint, and exits with code 3; `--resume`
+/// continues from the newest valid generation and prints the identical
+/// tables an uninterrupted run would have.
+#[allow(clippy::too_many_arguments)]
 fn simulate_checkpointed(
     net: &SornNetwork,
     cfg: &SornConfig,
@@ -369,7 +407,9 @@ fn simulate_checkpointed(
     max_slots: u64,
     args: &Args,
     dir: PathBuf,
-) -> Result<(sorn::sim::Metrics, bool), String> {
+    weather_on: bool,
+    weather_topk: usize,
+) -> Result<(sorn::sim::Metrics, bool, Option<WeatherProbe>), String> {
     let every: u64 = args.get("checkpoint-every", 10_000u64)?;
     if every == 0 {
         return Err("flag --checkpoint-every: must be >= 1".into());
@@ -394,13 +434,21 @@ fn simulate_checkpointed(
                     path.display()
                 );
             }
+            let probe = match out.snapshot.blob(BLOB_WEATHER) {
+                Some(b) => Some(
+                    WeatherProbe::from_bytes(b, net.cliques().clone())
+                        .map_err(|e| format!("bad weather blob in checkpoint: {e}"))?,
+                ),
+                None => weather_on.then(|| WeatherProbe::new(net.cliques().clone(), weather_topk)),
+            };
             let eng =
-                Engine::restore(&out.snapshot, net.schedule(), net.router()).map_err(|e| {
-                    format!(
-                        "checkpoint {} does not fit this scenario: {e}",
-                        out.path.display()
-                    )
-                })?;
+                Engine::restore_with_probe(&out.snapshot, net.schedule(), net.router(), probe)
+                    .map_err(|e| {
+                        format!(
+                            "checkpoint {} does not fit this scenario: {e}",
+                            out.path.display()
+                        )
+                    })?;
             eprintln!(
                 "sorn-cli: resumed from {} at slot {}",
                 out.path.display(),
@@ -409,7 +457,8 @@ fn simulate_checkpointed(
             eng
         }
         None => {
-            let mut eng = Engine::new(sim_cfg, net.schedule(), net.router());
+            let probe = weather_on.then(|| WeatherProbe::new(net.cliques().clone(), weather_topk));
+            let mut eng = Engine::with_probe(sim_cfg, net.schedule(), net.router(), probe);
             eng.add_flows(flows).map_err(|e| e.to_string())?;
             eng
         }
@@ -420,7 +469,11 @@ fn simulate_checkpointed(
         &mut store,
         every,
         stop,
-        |_, _| {},
+        |eng, snap| {
+            if let Some(w) = eng.probe() {
+                snap.attach_blob(BLOB_WEATHER, w.to_bytes());
+            }
+        },
         |_, _, _| {},
     )
     .map_err(|e| e.to_string())?;
@@ -432,7 +485,10 @@ fn simulate_checkpointed(
             );
             std::process::exit(EXIT_INTERRUPTED);
         }
-        DriveOutcome::Completed { drained } => Ok((eng.metrics().clone(), drained)),
+        DriveOutcome::Completed { drained } => {
+            let metrics = eng.metrics().clone();
+            Ok((metrics, drained, eng.finish()))
+        }
     }
 }
 
