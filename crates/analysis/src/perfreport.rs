@@ -7,11 +7,12 @@
 //! formatting exactly, and the report pipeline stays independent of
 //! serializer behavior across build environments.
 //!
-//! Schema (version 1):
+//! Schema (version 2; version 1 lacked `bytes_per_node` and still
+//! parses, with the field reported as 0):
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "label": "ci",
 //!   "created_unix_s": 1754524800,
 //!   "jobs": 2,
@@ -26,6 +27,7 @@
 //!       "cells_per_sec": 3300000.0,
 //!       "slots_per_sec": 416000.0,
 //!       "peak_rss_bytes": 9000000,
+//!       "bytes_per_node": 70312,
 //!       "phases": [
 //!         {"name": "route", "calls": 400000, "total_ns": 40000000,
 //!          "mean_ns": 100.0, "p99_ns": 255}
@@ -39,8 +41,9 @@ use crate::render::TextTable;
 use sorn_telemetry::ProfileReport;
 use std::fmt::Write as _;
 
-/// The schema version this module writes and accepts.
-pub const SCHEMA_VERSION: u64 = 1;
+/// The schema version this module writes. Parsing and validation also
+/// accept every earlier version.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One engine phase's timing breakdown within a scenario.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,6 +80,10 @@ pub struct ScenarioResult {
     /// Process peak RSS after the scenario (Linux `VmHWM`; 0 where
     /// unavailable). Monotone across scenarios within one run.
     pub peak_rss_bytes: u64,
+    /// Peak RSS divided by the scenario's fabric size in nodes — the
+    /// memory-scaling headline for the warehouse scenarios. 0 in
+    /// schema-v1 reports and where RSS is unavailable.
+    pub bytes_per_node: u64,
     /// Per-phase breakdown from the self-profiler.
     pub phases: Vec<PhaseLine>,
 }
@@ -157,6 +164,7 @@ impl BenchReport {
                 fmt_f64(s.slots_per_sec)
             );
             let _ = writeln!(out, "      \"peak_rss_bytes\": {},", s.peak_rss_bytes);
+            let _ = writeln!(out, "      \"bytes_per_node\": {},", s.bytes_per_node);
             out.push_str("      \"phases\": [");
             for (j, p) in s.phases.iter().enumerate() {
                 if j > 0 {
@@ -234,9 +242,9 @@ impl BenchReport {
 
     /// Checks the report satisfies the schema's invariants.
     pub fn validate(&self) -> Result<(), String> {
-        if self.schema_version != SCHEMA_VERSION {
+        if self.schema_version == 0 || self.schema_version > SCHEMA_VERSION {
             return Err(format!(
-                "schema_version {} != supported {SCHEMA_VERSION}",
+                "schema_version {} not in supported range 1..={SCHEMA_VERSION}",
                 self.schema_version
             ));
         }
@@ -293,6 +301,11 @@ fn parse_scenario(v: &Json) -> Result<ScenarioResult, String> {
         cells_per_sec: obj.field("cells_per_sec")?.f64("cells_per_sec")?,
         slots_per_sec: obj.field("slots_per_sec")?.f64("slots_per_sec")?,
         peak_rss_bytes: obj.field("peak_rss_bytes")?.u64("peak_rss_bytes")?,
+        // Schema v1 predates the field; absent parses as "unrecorded".
+        bytes_per_node: match obj.opt_field("bytes_per_node") {
+            Some(v) => v.u64("bytes_per_node")?,
+            None => 0,
+        },
         phases: obj
             .field("phases")?
             .array("phases")?
@@ -327,6 +340,15 @@ pub struct CompareRow {
     pub delta_pct: f64,
     /// True when the slowdown exceeds the threshold.
     pub regressed: bool,
+    /// Baseline peak RSS in bytes (0 = unrecorded).
+    pub baseline_rss: u64,
+    /// Current peak RSS in bytes (0 = unrecorded).
+    pub current_rss: u64,
+    /// Relative peak-RSS change in percent (positive = more memory);
+    /// 0 when either side never recorded RSS.
+    pub rss_delta_pct: f64,
+    /// True when the RSS growth exceeds the threshold.
+    pub rss_regressed: bool,
 }
 
 /// The result of comparing a current report against a baseline.
@@ -342,9 +364,10 @@ pub struct Comparison {
 }
 
 impl Comparison {
-    /// True when any scenario regressed or disappeared.
+    /// True when any scenario regressed (in throughput or peak RSS) or
+    /// disappeared.
     pub fn regressed(&self) -> bool {
-        !self.missing.is_empty() || self.rows.iter().any(|r| r.regressed)
+        !self.missing.is_empty() || self.rows.iter().any(|r| r.regressed || r.rss_regressed)
     }
 
     /// The delta table, one row per compared scenario.
@@ -354,19 +377,27 @@ impl Comparison {
             "baseline cells/s",
             "current cells/s",
             "delta",
+            "rss delta",
             "verdict",
         ]);
         for r in &self.rows {
+            let verdict = match (r.regressed, r.rss_regressed) {
+                (false, false) => "ok".to_string(),
+                (true, false) => "REGRESSED (cells/s)".to_string(),
+                (false, true) => "REGRESSED (rss)".to_string(),
+                (true, true) => "REGRESSED (cells/s, rss)".to_string(),
+            };
             t.row(vec![
                 r.scenario.clone(),
                 format!("{:.0}", r.baseline_cps),
                 format!("{:.0}", r.current_cps),
                 format!("{:+.1}%", r.delta_pct),
-                if r.regressed {
-                    "REGRESSED".to_string()
+                if r.baseline_rss > 0 && r.current_rss > 0 {
+                    format!("{:+.1}%", r.rss_delta_pct)
                 } else {
-                    "ok".to_string()
+                    "n/a".to_string()
                 },
+                verdict,
             ]);
         }
         let mut out = t.render();
@@ -375,16 +406,18 @@ impl Comparison {
         }
         let _ = writeln!(
             out,
-            "threshold: {:.1}% slowdown on cells/sec",
-            self.threshold_pct
+            "threshold: {:.1}% slowdown on cells/sec, {:.1}% growth on peak RSS",
+            self.threshold_pct, self.threshold_pct
         );
         out
     }
 }
 
 /// Compares `current` against `baseline`, flagging any scenario whose
-/// cells/sec fell by more than `threshold_pct` percent. Scenarios only
-/// present in `current` are reported but never regress.
+/// cells/sec fell — or whose peak RSS grew — by more than
+/// `threshold_pct` percent. RSS is only gated when both reports
+/// recorded it (legacy baselines and non-Linux runs carry 0). Scenarios
+/// only present in `current` are reported but never regress.
 pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold_pct: f64) -> Comparison {
     let mut rows = Vec::new();
     for cur in &current.scenarios {
@@ -396,12 +429,22 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold_pct: f64
         } else {
             0.0
         };
+        let rss_delta_pct = if base.peak_rss_bytes > 0 && cur.peak_rss_bytes > 0 {
+            (cur.peak_rss_bytes as f64 - base.peak_rss_bytes as f64) / base.peak_rss_bytes as f64
+                * 100.0
+        } else {
+            0.0
+        };
         rows.push(CompareRow {
             scenario: cur.name.clone(),
             baseline_cps: base.cells_per_sec,
             current_cps: cur.cells_per_sec,
             delta_pct,
             regressed: delta_pct < -threshold_pct,
+            baseline_rss: base.peak_rss_bytes,
+            current_rss: cur.peak_rss_bytes,
+            rss_delta_pct,
+            rss_regressed: rss_delta_pct > threshold_pct,
         });
     }
     let missing = baseline
@@ -717,6 +760,7 @@ mod tests {
                     cells_per_sec: 3_300_000.5,
                     slots_per_sec: 416_000.0,
                     peak_rss_bytes: 9_000_000,
+                    bytes_per_node: 70_312,
                     phases: vec![
                         PhaseLine {
                             name: "route".to_string(),
@@ -742,6 +786,7 @@ mod tests {
                     cells_per_sec: 1_125_000.0,
                     slots_per_sec: 50_000.0,
                     peak_rss_bytes: 9_500_000,
+                    bytes_per_node: 74_218,
                     phases: vec![PhaseLine {
                         name: "transmit".to_string(),
                         calls: 4_000,
@@ -818,6 +863,27 @@ mod tests {
     }
 
     #[test]
+    fn schema_v1_reports_still_parse_and_validate() {
+        // A v1 file: no bytes_per_node, schema_version 1. Committed
+        // baselines from earlier PRs are such files.
+        let mut json = sample().to_json();
+        json = json
+            .lines()
+            .filter(|l| !l.contains("\"bytes_per_node\""))
+            .map(|l| l.replace("\"schema_version\": 2", "\"schema_version\": 1"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = BenchReport::parse(&json).expect("parse v1 report");
+        assert_eq!(back.schema_version, 1);
+        assert!(back.scenarios.iter().all(|s| s.bytes_per_node == 0));
+        assert_eq!(back.validate(), Ok(()));
+        // Future versions stay rejected.
+        let mut r = sample();
+        r.schema_version = SCHEMA_VERSION + 1;
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
     fn aggregate_speedup_is_serial_sum_over_suite_wall() {
         let r = sample();
         // 120 ms + 80 ms of scenario work in a 150 ms suite.
@@ -851,6 +917,30 @@ mod tests {
         let table = cmp.render();
         assert!(table.contains("REGRESSED"));
         assert!(table.contains("fig2f_sorn"));
+    }
+
+    #[test]
+    fn compare_gates_on_peak_rss_growth() {
+        let base = sample();
+        let mut cur = sample();
+        // 50% more memory at equal throughput: an RSS regression.
+        cur.scenarios[0].peak_rss_bytes = base.scenarios[0].peak_rss_bytes * 3 / 2;
+        let cmp = compare(&base, &cur, 10.0);
+        assert!(cmp.regressed());
+        assert!(cmp.rows[0].rss_regressed && !cmp.rows[0].regressed);
+        assert!(cmp.render().contains("REGRESSED (rss)"));
+
+        // RSS shrinking is never a regression.
+        cur.scenarios[0].peak_rss_bytes = base.scenarios[0].peak_rss_bytes / 2;
+        assert!(!compare(&base, &cur, 10.0).regressed());
+
+        // Legacy baselines without RSS (0) skip the gate.
+        let mut old = sample();
+        old.scenarios[0].peak_rss_bytes = 0;
+        cur.scenarios[0].peak_rss_bytes = base.scenarios[0].peak_rss_bytes * 10;
+        let cmp = compare(&old, &cur, 10.0);
+        assert!(!cmp.rows[0].rss_regressed);
+        assert!(cmp.render().contains("n/a"));
     }
 
     #[test]

@@ -260,4 +260,59 @@ mod tests {
     fn hierarchy_4096_nodes_is_structurally_sound() {
         check_hierarchy_at(vec![16, 16, 16], vec![0.56, 0.24, 0.2], 4096);
     }
+
+    /// The warehouse-scale variant of [`check_hierarchy_at`]: the full
+    /// logical topology is O(period x n), so at 16k/65k nodes the same
+    /// invariants are checked on sampled nodes instead — over one
+    /// period each sample meets every single-digit shift (and only
+    /// those), giving exactly `sum(radix - 1)` distinct peers, none of
+    /// them itself; routing reachability is spot-checked as before.
+    fn check_hierarchy_sampled(radices: Vec<usize>, profile: Vec<f64>, n: usize, sample: &[u32]) {
+        use sorn_topology::builders::hierarchical_schedule;
+        use sorn_topology::NodeId;
+        let expected_degree: usize = radices.iter().map(|r| r - 1).sum();
+        let m = HierarchyModel::new(radices.clone(), profile).unwrap();
+        let spec = m.spec(100).unwrap();
+        assert_eq!(spec.n(), n);
+        let sched = hierarchical_schedule(&spec, 1 << 22).unwrap();
+        sched.validate().unwrap();
+        for &v in sample {
+            let node = NodeId(v);
+            let mut peers = std::collections::BTreeSet::new();
+            for t in 0..sched.period() as u64 {
+                let d = sched.matching_at(t).raw_dst(node);
+                assert_ne!(d, node, "node {v} matched to itself at slot {t}");
+                assert_eq!(
+                    spec.highest_differing_level(node, d)
+                        .map(|l| (0..l).all(|j| spec.digit(node, j) == spec.digit(d, j))),
+                    Some(true),
+                    "node {v} slot {t}: circuit must shift exactly one digit"
+                );
+                peers.insert(d.0);
+            }
+            assert_eq!(peers.len(), expected_degree, "node {v} distinct peers");
+        }
+        assert!(sched.max_wait(NodeId(0), NodeId(1)).is_some());
+        assert!(sched.max_wait(NodeId(0), NodeId((n - 1) as u32)).is_none());
+    }
+
+    #[test]
+    fn hierarchy_16k_nodes_is_structurally_sound() {
+        check_hierarchy_sampled(
+            vec![16, 32, 32],
+            vec![0.6, 0.25, 0.15],
+            16384,
+            &[0, 17, 8191, 16383],
+        );
+    }
+
+    #[test]
+    fn hierarchy_65k_nodes_is_structurally_sound() {
+        check_hierarchy_sampled(
+            vec![16, 64, 64],
+            vec![0.56, 0.24, 0.2],
+            65536,
+            &[0, 65, 32767, 65535],
+        );
+    }
 }

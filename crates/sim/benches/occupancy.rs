@@ -1,0 +1,188 @@
+//! Criterion microbenchmarks for the warehouse-scale state layouts.
+//!
+//! Two representation choices drive the engine's large-fabric cost:
+//! link/port occupancy (a `u64`-word bitset walked with word ops versus
+//! the hash-probed set it replaced) and active-flow state (the
+//! struct-of-arrays [`FlowTable`] versus the legacy
+//! `HashMap<FlowId, usize>` + slab). Each is benched head-to-head at
+//! several fabric sizes and fill rates so the crossover — and any
+//! regression — is attributed to the structure, not an end-to-end run.
+//!
+//! Run with `cargo bench -p sorn-sim --bench occupancy`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sorn_sim::bench_internals::FlowTable;
+use sorn_sim::{Flow, FlowId};
+use sorn_topology::NodeId;
+use std::collections::{HashMap, HashSet};
+use std::hint::black_box;
+
+/// Deterministic SplitMix64 so both structures see identical members.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The nodes holding queued cells, at `fill` occupancy of an `n`-node
+/// fabric.
+fn occupied_nodes(n: usize, fill: f64, seed: u64) -> Vec<u32> {
+    let mut state = seed;
+    (0..n as u32)
+        .filter(|_| (splitmix(&mut state) >> 11) as f64 / (1u64 << 53) as f64 <= fill)
+        .collect()
+}
+
+/// The transmit walk the engine runs per slot, bitset form: word ops
+/// find occupied nodes, empty 64-node words cost one load.
+fn walk_bitset(words: &[u64]) -> u64 {
+    let mut visited = 0u64;
+    for (w, &word) in words.iter().enumerate() {
+        let mut bits = word;
+        while bits != 0 {
+            let v = w as u64 * 64 + bits.trailing_zeros() as u64;
+            visited = visited.wrapping_add(black_box(v));
+            bits &= bits - 1;
+        }
+    }
+    visited
+}
+
+/// The same walk, hash-probe form: every node asks the set whether it
+/// has queued cells (the layout the bitset replaced).
+fn walk_hashset(n: usize, set: &HashSet<u32>) -> u64 {
+    let mut visited = 0u64;
+    for v in 0..n as u32 {
+        if set.contains(&v) {
+            visited = visited.wrapping_add(black_box(v as u64));
+        }
+    }
+    visited
+}
+
+fn bench_occupancy_walk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("occupancy_walk");
+    for &n in &[4096usize, 16384, 65536] {
+        for &fill in &[0.02f64, 0.25] {
+            let occupied = occupied_nodes(n, fill, 0xfeed);
+            let mut words = vec![0u64; n.div_ceil(64)];
+            let mut set = HashSet::with_capacity(occupied.len());
+            for &v in &occupied {
+                words[v as usize / 64] |= 1u64 << (v % 64);
+                set.insert(v);
+            }
+            let label = format!("{n}n_{:02}pct", (fill * 100.0) as u32);
+            group.throughput(Throughput::Elements(n as u64));
+            group.bench_with_input(BenchmarkId::new("bitset", &label), &words, |b, words| {
+                b.iter(|| walk_bitset(black_box(words)))
+            });
+            group.bench_with_input(BenchmarkId::new("hashset", &label), &set, |b, set| {
+                b.iter(|| walk_hashset(n, black_box(set)))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The legacy active-flow layout: an `Option` slab behind an id map.
+struct SlabFlows {
+    index: HashMap<u64, usize>,
+    slab: Vec<Option<(Flow, u64, u64)>>,
+}
+
+impl SlabFlows {
+    fn build(flows: &[Flow], total_cells: u64) -> Self {
+        let mut t = SlabFlows {
+            index: HashMap::with_capacity(flows.len()),
+            slab: Vec::with_capacity(flows.len()),
+        };
+        for f in flows {
+            t.index.insert(f.id.0, t.slab.len());
+            t.slab.push(Some((f.clone(), total_cells, 0)));
+        }
+        t
+    }
+
+    fn record_delivery(&mut self, id: FlowId) -> bool {
+        let Some(&slot) = self.index.get(&id.0) else {
+            return false;
+        };
+        let entry = self.slab[slot].as_mut().expect("indexed slot is live");
+        entry.2 += 1;
+        if entry.2 < entry.1 {
+            return false;
+        }
+        self.slab[slot] = None;
+        self.index.remove(&id.0);
+        true
+    }
+}
+
+/// The delivery stream the engine sees: `total_cells` deliveries per
+/// flow, interleaved round-robin across all live flows.
+fn delivery_stream(flows: &[Flow], total_cells: u64) -> Vec<FlowId> {
+    let mut stream = Vec::with_capacity(flows.len() * total_cells as usize);
+    for _ in 0..total_cells {
+        stream.extend(flows.iter().map(|f| f.id));
+    }
+    stream
+}
+
+fn bench_flow_lookup(c: &mut Criterion) {
+    const TOTAL_CELLS: u64 = 4;
+    let mut group = c.benchmark_group("flow_delivery_lookup");
+    for &live in &[1024usize, 16384] {
+        let flows: Vec<Flow> = (0..live as u64)
+            .map(|i| Flow {
+                id: FlowId(i),
+                src: NodeId((i % 64) as u32),
+                dst: NodeId((i % 97) as u32),
+                size_bytes: TOTAL_CELLS * 1250,
+                arrival_ns: 0,
+            })
+            .collect();
+        let stream = delivery_stream(&flows, TOTAL_CELLS);
+        group.throughput(Throughput::Elements(stream.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("soa_table", live),
+            &(&flows, &stream),
+            |b, (flows, stream)| {
+                b.iter(|| {
+                    let mut t = FlowTable::new();
+                    for f in flows.iter() {
+                        t.insert(f, TOTAL_CELLS);
+                    }
+                    let mut done = 0u64;
+                    for &id in stream.iter() {
+                        if t.record_delivery(id, 2, 0).is_some() {
+                            done += 1;
+                        }
+                    }
+                    black_box(done)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("slab_hashmap", live),
+            &(&flows, &stream),
+            |b, (flows, stream)| {
+                b.iter(|| {
+                    let mut t = SlabFlows::build(flows, TOTAL_CELLS);
+                    let mut done = 0u64;
+                    for &id in stream.iter() {
+                        if t.record_delivery(id) {
+                            done += 1;
+                        }
+                    }
+                    black_box(done)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_occupancy_walk, bench_flow_lookup);
+criterion_main!(benches);

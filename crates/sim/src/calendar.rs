@@ -112,6 +112,22 @@ impl<T> SlotCalendar<T> {
         })
     }
 
+    /// Earliest arrival slot of any in-flight item, or `None` when the
+    /// calendar is empty. Lets the engine fast-forward over quiescent
+    /// gaps: every slot strictly before the returned one is guaranteed
+    /// to drain nothing.
+    pub fn next_due_slot(&self) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        self.buckets
+            .iter()
+            .zip(&self.stamps)
+            .filter(|(b, _)| !b.is_empty())
+            .map(|(_, &stamp)| stamp)
+            .min()
+    }
+
     /// Pops the next item whose arrival slot is `<= now_slot`, oldest
     /// arrival slot first, FIFO within a slot. Advances past empty
     /// buckets, so slots skipped by the caller are still drained in
@@ -194,6 +210,14 @@ mod tests {
                 let mut model = HeapModel::default();
                 let mut payload = 0u32;
                 for slot in 0..400u64 {
+                    // The earliest in-flight arrival slot must match the
+                    // heap's peek exactly, every slot.
+                    let want_due = model.heap.peek().map(|&Reverse((at, _, _))| at);
+                    assert_eq!(
+                        cal.next_due_slot(),
+                        want_due,
+                        "delay {delay} seed {seed} slot {slot}"
+                    );
                     // Drain everything due this slot, comparing order.
                     loop {
                         let want = model.pop_due(slot);
@@ -257,6 +281,19 @@ mod tests {
         assert_eq!(cal.pop_due(5_001), None);
         assert_eq!(cal.pop_due(5_002), Some(2));
         assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn next_due_slot_tracks_earliest_arrival() {
+        let mut cal = SlotCalendar::new(3);
+        assert_eq!(cal.next_due_slot(), None);
+        cal.push(5, 1); // matures at 8
+        cal.push(7, 2); // matures at 10
+        assert_eq!(cal.next_due_slot(), Some(8));
+        assert_eq!(cal.pop_due(8), Some(1));
+        assert_eq!(cal.next_due_slot(), Some(10));
+        assert_eq!(cal.pop_due(10), Some(2));
+        assert_eq!(cal.next_due_slot(), None);
     }
 
     #[test]

@@ -26,10 +26,18 @@
 //! node-ascending merge, a run with `SimConfig::engine_threads = k`
 //! is bit-identical to the serial run for any `k`.
 //!
-//! The hot path is built on dense, index-addressed state: per-next-hop
-//! queues indexed by node id, a flat per-link transmission matrix, a
-//! slot-bucketed arrival calendar, and a slab of active flows — no
-//! hashing or heap rebalancing per transmitted cell.
+//! The hot path is built on index-addressed state sized for warehouse
+//! scale: a per-node *occupancy bitset* (one bit per node, set while
+//! anything is queued there) lets the transmit walk skip 64 idle nodes
+//! per word test, sparse per-node next-hop queues and a sparse per-link
+//! transmission matrix keep memory linear in nodes rather than
+//! quadratic, active flows live in struct-of-arrays columns behind a
+//! direct-mapped id index ([`crate::flow_table::FlowTable`]), and a
+//! slot-bucketed arrival calendar orders in-flight cells — no hashing
+//! or heap rebalancing per transmitted cell. Slots with provably no
+//! work (nothing queued, injecting, in flight, arriving, or faulting)
+//! fast-forward through [`Engine::step_quiet`], touching only the
+//! idle-port counters.
 
 use crate::calendar::SlotCalendar;
 use crate::cell::{Cell, Flow, FlowId};
@@ -37,8 +45,9 @@ use crate::checkpoint::{QueuesSnap, RestoreError, Snapshot};
 use crate::config::{Nanos, SimConfig};
 use crate::failure::FailureSet;
 use crate::fault::{FaultPlan, FaultView, LinkHealth};
+use crate::flow_table::FlowTable;
 use crate::hash::FastHashBuilder;
-use crate::metrics::{FlowRecord, LinkMatrix, Metrics};
+use crate::metrics::{FlowRecord, LinkMatrix, LinkRow, Metrics};
 use crate::par::WorkerPool;
 use crate::probe::{NoopProbe, Probe, SlotView};
 use crate::profiler::{NoopProfiler, Phase, Profiler};
@@ -46,7 +55,7 @@ use crate::queues::NodeQueues;
 use crate::rng::NodeRng;
 use crate::router::{ClassId, RouteDecision, Router};
 use crate::trace::{circuit_wait_slots, FlowSampler, HopEvent, HopKind};
-use sorn_topology::{CircuitSchedule, NodeId};
+use sorn_topology::{CircuitSchedule, Matching, NodeId};
 use std::cell::Cell as MemoCell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -173,23 +182,79 @@ struct StrandedMemo {
 }
 
 /// One shard of the arrival-routing pass: a contiguous node range with
-/// exclusive access to those nodes' queues, RNG streams, and arrival
-/// index lists.
+/// exclusive access to those nodes' queues, RNG streams, arrival index
+/// lists, and occupancy words (shard bases are 64-aligned, so the
+/// occupancy bitset splits on word boundaries).
 struct ArrivalShard<'w> {
     base: usize,
     queues: &'w mut [NodeQueues],
     rngs: &'w mut [NodeRng],
     lists: &'w mut [Vec<u32>],
+    occ: &'w mut [u64],
     out: &'w mut ShardScratch,
 }
 
 /// One shard of the transmit walk: a contiguous node range plus the
-/// matching band of link-matrix rows.
+/// matching band of link-matrix rows and occupancy words.
 struct TransmitShard<'w> {
     base: usize,
     queues: &'w mut [NodeQueues],
-    links: &'w mut [u64],
+    links: &'w mut [LinkRow],
+    occ: &'w mut [u64],
     out: &'w mut ShardScratch,
+}
+
+/// Precomputed per-matching port tables for the bitset transmit walk.
+///
+/// `words[m][w]` counts the scheduled (non-self) ports of pool matching
+/// `m` among nodes `64w .. 64w+63`: when an occupancy word is zero, the
+/// walk charges that many idle ports and skips 64 nodes without touching
+/// a queue. `totals[m]` is the matching's total active circuits, which
+/// is all a provably-quiet slot needs ([`Engine::step_quiet`]).
+struct IdleTables {
+    words: Vec<Vec<u32>>,
+    totals: Vec<u64>,
+}
+
+impl IdleTables {
+    fn build(schedule: &CircuitSchedule) -> Self {
+        let n = schedule.n();
+        let pool = schedule.matchings();
+        let mut words = Vec::with_capacity(pool.len());
+        let mut totals = Vec::with_capacity(pool.len());
+        for m in pool {
+            let mut per = vec![0u32; n.div_ceil(64)];
+            let mut total = 0u64;
+            for v in 0..n {
+                if m.dst_of(NodeId(v as u32)).is_some() {
+                    per[v / 64] += 1;
+                    total += 1;
+                }
+            }
+            words.push(per);
+            totals.push(total);
+        }
+        IdleTables { words, totals }
+    }
+}
+
+/// The uplink-staggered matchings active in `slot`, each with its index
+/// into the schedule's matching pool (the key into [`IdleTables`]).
+fn staggered_matchings<'a>(
+    schedule: &'a CircuitSchedule,
+    cfg: &SimConfig,
+    slot: u64,
+) -> Vec<(usize, &'a Matching)> {
+    let period = schedule.period() as u64;
+    let indices = schedule.slot_indices();
+    let pool = schedule.matchings();
+    (0..cfg.uplinks)
+        .map(|uplink| {
+            let offset = (uplink as u64 * period) / cfg.uplinks as u64;
+            let pi = indices[((slot + offset) % period) as usize];
+            (pi, &pool[pi])
+        })
+        .collect()
 }
 
 /// The simulation engine.
@@ -215,15 +280,17 @@ pub struct Engine<'a, P: Probe = NoopProbe, F: Profiler = NoopProfiler> {
     future_store: Vec<Option<Flow>>,
     future_pending: usize,
     /// Flows currently injecting, per source node (FIFO per node);
-    /// entries are slots into `active`.
+    /// entries are slots into `table`.
     injecting: Vec<VecDeque<usize>>,
     injecting_flows: usize,
-    /// Active-flow slab; freed slots are reused via `active_free`.
-    active: Vec<Option<ActiveFlow>>,
-    active_free: Vec<usize>,
-    /// `FlowId → slab slot`, consulted once per delivered cell (hence
-    /// the fast unkeyed hasher — ids are simulation-assigned).
-    active_index: HashMap<FlowId, usize, FastHashBuilder>,
+    /// Active flows in struct-of-arrays columns with a direct-mapped id
+    /// index — no hash probe per delivered cell.
+    table: FlowTable,
+    /// One bit per node, set exactly while that node has queued cells;
+    /// the transmit walk tests 64 nodes per word.
+    occupancy: Vec<u64>,
+    /// Per-matching scheduled-port counts; rebuilt on schedule installs.
+    idle_tables: IdleTables,
     inflight: SlotCalendar<Arrival>,
     /// Cells sitting in node queues, maintained incrementally so
     /// `total_queued`/`is_drained` are O(1) (debug builds re-count).
@@ -337,17 +404,15 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
                 .collect(),
             schedule,
             router,
-            queues: (0..n)
-                .map(|_| NodeQueues::new(n, router.classes()))
-                .collect(),
+            queues: (0..n).map(|_| NodeQueues::new(router.classes())).collect(),
             future_flows: BinaryHeap::new(),
             future_store: Vec::new(),
             future_pending: 0,
             injecting: vec![VecDeque::new(); n],
             injecting_flows: 0,
-            active: Vec::new(),
-            active_free: Vec::new(),
-            active_index: HashMap::default(),
+            table: FlowTable::new(),
+            occupancy: vec![0; n.div_ceil(64)],
+            idle_tables: IdleTables::build(schedule),
             inflight: SlotCalendar::new(delay_slots),
             queued_cells: 0,
             failures: FailureSet::none(),
@@ -403,7 +468,7 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
             metrics: &self.metrics,
             total_queued: self.total_queued(),
             inflight_cells: self.inflight.len(),
-            active_flows: self.active_index.len(),
+            active_flows: self.table.live_count(),
             queues: &self.queues,
         });
         self.probe
@@ -514,9 +579,76 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
         Ok(self.is_drained())
     }
 
+    /// True when this slot provably has no work: nothing queued or
+    /// injecting, no arrival or flow activation due, no scripted fault
+    /// firing, and a healthy fabric. Such a slot's only observable
+    /// effects are idle-port counts and the per-slot hooks, so
+    /// [`Engine::step_quiet`] reproduces it in O(uplinks).
+    fn slot_is_quiet(&self, now: Nanos) -> bool {
+        self.queued_cells == 0
+            && self.injecting_flows == 0
+            && self.failures.is_empty()
+            && self
+                .inflight
+                .next_due_slot()
+                .is_none_or(|due| due > self.slot)
+            && self
+                .future_flows
+                .peek()
+                .is_none_or(|&Reverse((t, _))| t > now)
+            && self
+                .fault_plan
+                .events()
+                .get(self.fault_cursor)
+                .is_none_or(|e| e.at_ns > now)
+    }
+
+    /// Fast-forwards one provably-quiet slot (see
+    /// [`Engine::slot_is_quiet`]) without walking any node: every
+    /// scheduled port idles, so the idle counter advances by each active
+    /// matching's precomputed circuit total, the calendar head keeps
+    /// pace, and the per-slot probe hook fires exactly as on the full
+    /// path — a fast-forwarded run stays bit-identical, checkpoints
+    /// included.
+    fn step_quiet(&mut self, now: Nanos) {
+        // Keep the calendar's head-slot evolution (a checkpointed field)
+        // identical to the full path's drain loop.
+        let stray = self.inflight.pop_due(self.slot);
+        debug_assert!(stray.is_none(), "quiet slot released an arrival");
+        for &(pi, _) in &staggered_matchings(self.schedule, &self.cfg, self.slot) {
+            self.metrics.idle_circuit_slots += self.idle_tables.totals[pi];
+        }
+        if self.metrics.stranded_cells != 0 {
+            self.metrics.stranded_cells = 0;
+        }
+        if let Some(restored_at) = self.episode.awaiting_recovery_since {
+            // An empty queue is trivially back at its onset depth.
+            self.metrics
+                .recovery_times_ns
+                .push(now.saturating_sub(restored_at));
+            self.episode.awaiting_recovery_since = None;
+        }
+        self.slot += 1;
+        self.metrics.slots = self.slot;
+        self.probe.on_slot_end(&SlotView {
+            slot: self.slot,
+            now_ns: now,
+            metrics: &self.metrics,
+            total_queued: 0,
+            inflight_cells: self.inflight.len(),
+            active_flows: self.table.live_count(),
+            queues: &self.queues,
+        });
+    }
+
     /// Advances one slot: deliveries, arrivals, injection, transmission.
     pub fn step(&mut self) -> Result<(), SimError> {
         let now = self.cfg.slot_start(self.slot);
+
+        if self.slot_is_quiet(now) {
+            self.step_quiet(now);
+            return Ok(());
+        }
 
         // 0. Scripted fault events due by this slot boundary take effect
         // before any routing, so this slot already sees the new health.
@@ -541,25 +673,7 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
             let total_cells = flow.cell_count(self.cfg.cell_bytes);
             self.probe.on_flow_start(&flow, now);
             let src = flow.src.index();
-            let id = flow.id;
-            let af = ActiveFlow {
-                flow,
-                total_cells,
-                injected: 0,
-                delivered: 0,
-                max_hops: 0,
-            };
-            let slot = match self.active_free.pop() {
-                Some(free) => {
-                    self.active[free] = Some(af);
-                    free
-                }
-                None => {
-                    self.active.push(Some(af));
-                    self.active.len() - 1
-                }
-            };
-            self.active_index.insert(id, slot);
+            let slot = self.table.insert(&flow, total_cells);
             self.injecting[src].push_back(slot);
             self.injecting_flows += 1;
         }
@@ -579,21 +693,9 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
                 let Some(&slot) = self.injecting[src].front() else {
                     break;
                 };
-                let af = self.active[slot].as_mut().expect("active flow");
-                let cell = Cell {
-                    flow: af.flow.id,
-                    seq: af.injected,
-                    src: af.flow.src,
-                    dst: af.flow.dst,
-                    injected_ns: now,
-                    hops: 0,
-                    tag: 0,
-                };
-                af.injected += 1;
-                let done_injecting = af.injected >= af.total_cells;
-                let flow_src = af.flow.src;
+                let (cell, done_injecting) = self.table.next_cell(slot, now);
                 self.metrics.injected_cells += 1;
-                self.route_cell(flow_src, cell, now);
+                self.route_cell(cell.src, cell, now);
                 if done_injecting {
                     self.injecting[src].pop_front();
                     self.injecting_flows -= 1;
@@ -634,7 +736,7 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
             metrics: &self.metrics,
             total_queued: queued,
             inflight_cells: self.inflight.len(),
-            active_flows: self.active_index.len(),
+            active_flows: self.table.live_count(),
             queues: &self.queues,
         });
         transmit_err
@@ -673,18 +775,22 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
             match &self.pool {
                 Some(pool) if buf.len() >= PAR_MIN_ARRIVALS && n > 1 => {
                     let k = pool.threads().min(n);
-                    let chunk = n.div_ceil(k);
+                    // 64-aligned so each shard owns whole occupancy
+                    // words; ceil(ceil(n/64) / (chunk/64)) == ceil(n/chunk),
+                    // so the word bands pair 1:1 with the node bands.
+                    let chunk = n.div_ceil(k).next_multiple_of(64);
                     shards_used = n.div_ceil(chunk);
                     if scratch.len() < shards_used {
                         scratch.resize_with(shards_used, ShardScratch::default);
                     }
                     let mut work: Vec<Mutex<Option<ArrivalShard<'_>>>> =
                         Vec::with_capacity(shards_used);
-                    for (i, (((q, r), l), s)) in self
+                    for (i, ((((q, r), l), o), s)) in self
                         .queues
                         .chunks_mut(chunk)
                         .zip(self.rngs.chunks_mut(chunk))
                         .zip(lists.chunks_mut(chunk))
+                        .zip(self.occupancy.chunks_mut(chunk / 64))
                         .zip(scratch.iter_mut())
                         .enumerate()
                     {
@@ -694,6 +800,7 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
                             queues: q,
                             rngs: r,
                             lists: l,
+                            occ: o,
                             out: s,
                         })));
                     }
@@ -721,6 +828,7 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
                         queues: &mut self.queues,
                         rngs: &mut self.rngs,
                         lists: &mut lists,
+                        occ: &mut self.occupancy,
                         out: &mut scratch[0],
                     };
                     run_arrival_shard(
@@ -786,10 +894,12 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
             let schedule = self.schedule;
             let slot = self.slot;
             let tracer = self.tracer;
+            let tables = &self.idle_tables;
             match &self.pool {
                 Some(pool) if n > 1 => {
                     let k = pool.threads().min(n);
-                    let chunk = n.div_ceil(k);
+                    // 64-aligned: see the arrival pass.
+                    let chunk = n.div_ceil(k).next_multiple_of(64);
                     shards_used = n.div_ceil(chunk);
                     if scratch.len() < shards_used {
                         scratch.resize_with(shards_used, ShardScratch::default);
@@ -798,10 +908,11 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
                     debug_assert_eq!(mat_n, n, "link matrix must match the network size");
                     let mut work: Vec<Mutex<Option<TransmitShard<'_>>>> =
                         Vec::with_capacity(shards_used);
-                    for (i, ((q, band), s)) in self
+                    for (i, (((q, band), o), s)) in self
                         .queues
                         .chunks_mut(chunk)
                         .zip(bands)
+                        .zip(self.occupancy.chunks_mut(chunk / 64))
                         .zip(scratch.iter_mut())
                         .enumerate()
                     {
@@ -810,6 +921,7 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
                             base: i * chunk,
                             queues: q,
                             links: band,
+                            occ: o,
                             out: s,
                         })));
                     }
@@ -820,7 +932,8 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
                             .take()
                             .expect("each shard is claimed once");
                         run_transmit_shard(
-                            &mut shard, router, cfg, schedule, slot, failures, track, n, tracer,
+                            &mut shard, router, cfg, schedule, tables, slot, failures, track,
+                            tracer,
                         );
                     });
                 }
@@ -837,10 +950,11 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
                         base: 0,
                         queues: &mut self.queues,
                         links: band,
+                        occ: &mut self.occupancy,
                         out: &mut scratch[0],
                     };
                     run_transmit_shard(
-                        &mut shard, router, cfg, schedule, slot, failures, track, n, tracer,
+                        &mut shard, router, cfg, schedule, tables, slot, failures, track, tracer,
                     );
                 }
             }
@@ -1042,6 +1156,7 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
                     self.stranded_adjust(1);
                 }
                 self.queues[node.index()].push_specific(next, cell);
+                self.occupancy[node.index() / 64] |= 1u64 << (node.index() % 64);
                 self.queued_cells += 1;
                 if traced {
                     let wait =
@@ -1073,6 +1188,7 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
                     self.stranded_adjust(1);
                 }
                 self.queues[node.index()].push_class(class, cell);
+                self.occupancy[node.index() / 64] |= 1u64 << (node.index() % 64);
                 self.queued_cells += 1;
                 if traced {
                     let depth = self.queues[node.index()].depth();
@@ -1111,23 +1227,7 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
             self.metrics.delivered_during_failure += 1;
         }
         self.probe.on_delivery(&cell, latency, now);
-        let &slot = self.active_index.get(&cell.flow)?;
-        let af = self.active[slot].as_mut().expect("indexed slot is live");
-        af.delivered += 1;
-        af.max_hops = af.max_hops.max(cell.hops);
-        if af.delivered < af.total_cells {
-            return None;
-        }
-        let af = self.active[slot].take().expect("present");
-        self.active_index.remove(&cell.flow);
-        self.active_free.push(slot);
-        Some(FlowRecord {
-            id: af.flow.id,
-            size_bytes: af.flow.size_bytes,
-            arrival_ns: af.flow.arrival_ns,
-            completion_ns: now,
-            max_hops: af.max_hops,
-        })
+        self.table.record_delivery(cell.flow, cell.hops, now)
     }
 
     /// True when `node`'s queues are at the configured cap.
@@ -1150,6 +1250,7 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
         );
         let _span = self.profiler.span(Phase::Reconfigure);
         self.schedule = schedule;
+        self.idle_tables = IdleTables::build(schedule);
         self.probe
             .on_reconfiguration(self.slot, self.cfg.slot_start(self.slot));
     }
@@ -1183,6 +1284,9 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
             let cells = self.queues[v].drain_all();
             total += cells.len();
             self.queued_cells -= cells.len();
+            // The re-routes below push back into this node's queues and
+            // re-set the bit whenever anything actually lands there.
+            self.occupancy[v / 64] &= !(1u64 << (v % 64));
             for cell in cells {
                 self.route_cell(NodeId(v as u32), cell, now);
             }
@@ -1239,8 +1343,8 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
                 .iter()
                 .map(|d| d.iter().map(|&i| i as u64).collect())
                 .collect(),
-            active: self.active.clone(),
-            active_free: self.active_free.iter().map(|&i| i as u64).collect(),
+            active: self.table.to_slab(),
+            active_free: self.table.free_slots(),
             failed_nodes: self
                 .failures
                 .failed_node_ids()
@@ -1385,9 +1489,8 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
         // Queues: replay every FIFO through the same push paths a live
         // run uses. Class ids were validated against the router above,
         // so push_class cannot hit its undeclared-class panic.
-        let mut queues: Vec<NodeQueues> = (0..n)
-            .map(|_| NodeQueues::new(n, router.classes()))
-            .collect();
+        let mut queues: Vec<NodeQueues> =
+            (0..n).map(|_| NodeQueues::new(router.classes())).collect();
         let mut queued_cells = 0usize;
         for (v, qs) in snapshot.queues.iter().enumerate() {
             for (next, cells) in &qs.specific {
@@ -1473,6 +1576,20 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
             )));
         }
 
+        // The structural checks above guaranteed exactly what
+        // `from_slab` assumes: free list == vacant slots, unique ids.
+        drop(active_index);
+        let table = FlowTable::from_slab(
+            &snapshot.active,
+            snapshot.active_free.iter().map(|&i| i as u32).collect(),
+        );
+        let mut occupancy = vec![0u64; n.div_ceil(64)];
+        for (v, q) in queues.iter().enumerate() {
+            if !q.is_empty() {
+                occupancy[v / 64] |= 1u64 << (v % 64);
+            }
+        }
+
         Ok(Engine {
             rngs: snapshot
                 .rng_states
@@ -1487,9 +1604,9 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
             future_pending,
             injecting,
             injecting_flows,
-            active: snapshot.active.clone(),
-            active_free: snapshot.active_free.iter().map(|&i| i as usize).collect(),
-            active_index,
+            table,
+            occupancy,
+            idle_tables: IdleTables::build(schedule),
             inflight,
             queued_cells,
             failures,
@@ -1584,6 +1701,7 @@ fn run_arrival_shard(
                         shard.out.stranded_delta += 1;
                     }
                     queue.push_specific(next, cell);
+                    shard.occ[li / 64] |= 1u64 << (li % 64);
                     shard.out.queued_delta += 1;
                     if traced {
                         let wait = circuit_wait_slots(schedule, slot, cfg.uplinks, node, next);
@@ -1616,6 +1734,7 @@ fn run_arrival_shard(
                         shard.out.stranded_delta += 1;
                     }
                     queue.push_class(class, cell);
+                    shard.occ[li / 64] |= 1u64 << (li % 64);
                     shard.out.queued_delta += 1;
                     if traced {
                         shard.out.hops.push(HopEvent::for_cell(
@@ -1647,84 +1766,167 @@ fn run_arrival_shard(
     }
 }
 
+/// Transmits one popped cell on circuit `v → w`: the shared tail of the
+/// healthy and degraded transmit walks. Returns `true` when the cell was
+/// actually sent (hop-bound violations are recorded, not sent).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn transmit_popped(
+    shard_out: &mut ShardScratch,
+    depth_after: usize,
+    mut cell: Cell,
+    v: NodeId,
+    w: NodeId,
+    router: &dyn Router,
+    max_hops: u8,
+    now: Nanos,
+    tracer: Option<FlowSampler>,
+    links_row: &mut LinkRow,
+) {
+    router.on_transmit(&mut cell, v, w);
+    cell.hops += 1;
+    if cell.hops > max_hops {
+        // Record the first violation in canonical order and finish the
+        // pass: both the inline and the sharded path then abort with
+        // identical state.
+        if shard_out.err.is_none() {
+            shard_out.err = Some(SimError::HopBoundExceeded {
+                flow: cell.flow,
+                hops: cell.hops,
+                bound: max_hops,
+            });
+        }
+        return;
+    }
+    shard_out.transmissions += 1;
+    if LinkMatrix::bump_row(links_row, w.0) {
+        shard_out.links_nonzero_delta += 1;
+    }
+    if tracer.is_some_and(|t| t.is_traced(cell.flow)) {
+        shard_out.hops.push(HopEvent::for_cell(
+            &cell,
+            v,
+            now,
+            HopKind::Transmit {
+                to: w,
+                depth_after,
+            },
+        ));
+    }
+    shard_out.sent.push((v, w, cell));
+}
+
 /// Walks one shard's node range across every uplink, popping node-local
 /// queues and buffering transmitted cells in `(node, uplink)` order.
+///
+/// On a healthy fabric the walk is occupancy-driven: every scheduled
+/// port in a 64-node word is charged idle up front from the precomputed
+/// [`IdleTables`], a zero word skips all 64 nodes, and each successful
+/// pop refunds one pre-charged idle port — the counters come out
+/// identical to the per-node reference walk, which remains in place for
+/// degraded fabrics (failure checks are per-circuit there anyway).
 #[allow(clippy::too_many_arguments)]
 fn run_transmit_shard(
     shard: &mut TransmitShard<'_>,
     router: &dyn Router,
     cfg: &SimConfig,
     schedule: &CircuitSchedule,
+    tables: &IdleTables,
     slot: u64,
     failures: &FailureSet,
     track_stranded: bool,
-    n: usize,
     tracer: Option<FlowSampler>,
 ) {
     let now = cfg.slot_start(slot);
-    let healthy = failures.is_empty();
-    let period = schedule.period() as u64;
     let max_hops = router.max_hops();
     // One matching resolution per uplink per shard call, as in the old
     // hoisted serial walk.
-    let mut matchings = Vec::with_capacity(cfg.uplinks);
-    for uplink in 0..cfg.uplinks {
-        let offset = (uplink as u64 * period) / cfg.uplinks as u64;
-        matchings.push(schedule.matching_at(slot + offset));
+    let matchings = staggered_matchings(schedule, cfg, slot);
+    if failures.is_empty() {
+        debug_assert_eq!(shard.base % 64, 0, "shard bases must be word-aligned");
+        for gw_local in 0..shard.occ.len() {
+            let gw = shard.base / 64 + gw_local;
+            // Pre-charge every scheduled port in this word as idle;
+            // pops below refund theirs.
+            for &(pi, _) in &matchings {
+                shard.out.idle += tables.words[pi][gw] as u64;
+            }
+            let mut bits = shard.occ[gw_local];
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let li = gw_local * 64 + b;
+                let v = NodeId((shard.base + li) as u32);
+                for &(_, matching) in &matchings {
+                    let Some(w) = matching.dst_of(v) else {
+                        continue; // idle port this slot
+                    };
+                    let Some(cell) =
+                        shard.queues[li].pop_for_circuit(router, v, w, cfg.class_scan_limit)
+                    else {
+                        continue; // stays idle, as pre-charged
+                    };
+                    shard.out.idle -= 1;
+                    shard.out.queued_delta -= 1;
+                    transmit_popped(
+                        shard.out,
+                        shard.queues[li].depth(),
+                        cell,
+                        v,
+                        w,
+                        router,
+                        max_hops,
+                        now,
+                        tracer,
+                        &mut shard.links[li],
+                    );
+                }
+                if shard.queues[li].is_empty() {
+                    shard.occ[gw_local] &= !(1u64 << b);
+                }
+            }
+        }
+        return;
     }
+    // Degraded fabric: the per-node reference walk with per-circuit
+    // health checks (a down circuit is neither idle nor transmitting).
     for li in 0..shard.queues.len() {
         let v = NodeId((shard.base + li) as u32);
-        for matching in &matchings {
+        let mut popped = false;
+        for &(_, matching) in &matchings {
             let Some(w) = matching.dst_of(v) else {
                 continue; // idle port this slot
             };
-            if !healthy && !failures.circuit_up(v, w) {
+            if !failures.circuit_up(v, w) {
                 continue;
             }
             match shard.queues[li].pop_for_circuit(router, v, w, cfg.class_scan_limit) {
-                Some(mut cell) => {
+                Some(cell) => {
+                    popped = true;
                     shard.out.queued_delta -= 1;
                     // A popped cell rode a live circuit, so it was
                     // stranded only if its destination is dead.
                     if track_stranded && failures.node_failed(cell.dst) {
                         shard.out.stranded_delta -= 1;
                     }
-                    router.on_transmit(&mut cell, v, w);
-                    cell.hops += 1;
-                    if cell.hops > max_hops {
-                        // Record the first violation in canonical order
-                        // and finish the pass: both the inline and the
-                        // sharded path then abort with identical state.
-                        if shard.out.err.is_none() {
-                            shard.out.err = Some(SimError::HopBoundExceeded {
-                                flow: cell.flow,
-                                hops: cell.hops,
-                                bound: max_hops,
-                            });
-                        }
-                        continue;
-                    }
-                    shard.out.transmissions += 1;
-                    let count = &mut shard.links[li * n + w.index()];
-                    if *count == 0 {
-                        shard.out.links_nonzero_delta += 1;
-                    }
-                    *count += 1;
-                    if tracer.is_some_and(|t| t.is_traced(cell.flow)) {
-                        shard.out.hops.push(HopEvent::for_cell(
-                            &cell,
-                            v,
-                            now,
-                            HopKind::Transmit {
-                                to: w,
-                                depth_after: shard.queues[li].depth(),
-                            },
-                        ));
-                    }
-                    shard.out.sent.push((v, w, cell));
+                    transmit_popped(
+                        shard.out,
+                        shard.queues[li].depth(),
+                        cell,
+                        v,
+                        w,
+                        router,
+                        max_hops,
+                        now,
+                        tracer,
+                        &mut shard.links[li],
+                    );
                 }
                 None => shard.out.idle += 1,
             }
+        }
+        if popped && shard.queues[li].is_empty() {
+            shard.occ[li / 64] &= !(1u64 << (li % 64));
         }
     }
 }
@@ -2239,5 +2441,54 @@ mod tests {
         let serial = run(1);
         assert_eq!(serial, run(2));
         assert_eq!(serial, run(4));
+    }
+
+    proptest::proptest! {
+        /// The occupancy bitset must agree, at every slot boundary and
+        /// at any thread count, with the hash-probe reference model the
+        /// word-walk replaced: the set of nodes built by probing every
+        /// node's queues for emptiness.
+        #[test]
+        fn occupancy_bitset_matches_hash_probe_reference(
+            seed in 0u64..1_000,
+            threads in 1usize..4,
+            specs in proptest::collection::vec(
+                (0u32..16, 0u32..16, 1u64..30_000, 0u64..3_000),
+                1..40,
+            ),
+        ) {
+            let sched = round_robin(16).unwrap();
+            let router = RandomViaRouter;
+            let mut cfg = SimConfig::default();
+            cfg.uplinks = 4;
+            cfg.seed = seed;
+            cfg.engine_threads = threads;
+            let mut eng = Engine::new(cfg, &sched, &router);
+            let flows: Vec<Flow> = specs
+                .iter()
+                .enumerate()
+                .filter(|(_, (s, d, _, _))| s != d)
+                .map(|(i, &(s, d, bytes, at))| flow(i as u64, s, d, bytes, at))
+                .collect();
+            eng.add_flows(flows).unwrap();
+            for _ in 0..200 {
+                eng.step().unwrap();
+                let reference: std::collections::HashSet<usize> =
+                    (0..16).filter(|&v| !eng.queues[v].is_empty()).collect();
+                for v in 0..16usize {
+                    let bit = eng.occupancy[v / 64] >> (v % 64) & 1 == 1;
+                    proptest::prop_assert_eq!(
+                        bit,
+                        reference.contains(&v),
+                        "slot {}: node {} bitset/hash-probe disagreement",
+                        eng.slot,
+                        v
+                    );
+                }
+                if eng.total_queued() == 0 && eng.inflight.is_empty() {
+                    break;
+                }
+            }
+        }
     }
 }

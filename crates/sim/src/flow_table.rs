@@ -1,0 +1,330 @@
+//! Struct-of-arrays storage for active flows.
+//!
+//! The engine previously tracked flows in a slab of `Option<ActiveFlow>`
+//! behind a `FlowId → slot` hash map. At warehouse scale the hash probe
+//! per delivered cell and the pointer-chasing slab layout dominate the
+//! delivery path, so this module flattens the slab into parallel `Vec`s
+//! (one per field — the transmit/delivery walks touch only the columns
+//! they need) with a `u64`-word liveness bitset, and replaces the hash
+//! map with a dense direct-mapped `id → slot` table for the
+//! simulation-assigned id range (hash spill only for outliers).
+//!
+//! Slot allocation is LIFO through an explicit free list, byte-for-byte
+//! the discipline of the slab it replaces, so checkpoints taken from a
+//! [`FlowTable`]-backed engine are identical to the legacy layout's
+//! (`to_slab`/`from_slab` convert at the snapshot boundary).
+
+use crate::cell::{Cell, Flow, FlowId};
+use crate::config::Nanos;
+use crate::engine::ActiveFlow;
+use crate::hash::FastHashBuilder;
+use crate::metrics::FlowRecord;
+use sorn_topology::NodeId;
+use std::collections::HashMap;
+
+/// Flow ids below this go through the dense direct-mapped index (grown
+/// on demand to the highest id seen); larger ids spill to a hash map so
+/// a hostile id cannot allocate an absurd table.
+const DENSE_ID_LIMIT: u64 = 1 << 22;
+
+/// Dense-index sentinel: this id is not an active flow.
+const NO_SLOT: u32 = u32::MAX;
+
+/// Active flows as parallel columns indexed by slot.
+#[derive(Debug, Default)]
+pub struct FlowTable {
+    ids: Vec<FlowId>,
+    srcs: Vec<NodeId>,
+    dsts: Vec<NodeId>,
+    sizes: Vec<u64>,
+    arrivals: Vec<Nanos>,
+    totals: Vec<u64>,
+    injected: Vec<u64>,
+    delivered: Vec<u64>,
+    max_hops: Vec<u8>,
+    /// One bit per slot: set while the slot holds a live flow.
+    live: Vec<u64>,
+    /// Vacant slots, reused LIFO — the same order the legacy slab's
+    /// free list produced, so restored runs allocate identically.
+    free: Vec<u32>,
+    /// `id → slot` for ids below [`DENSE_ID_LIMIT`].
+    dense: Vec<u32>,
+    /// `id → slot` for ids at or above [`DENSE_ID_LIMIT`].
+    spill: HashMap<u64, u32, FastHashBuilder>,
+    live_count: usize,
+}
+
+impl FlowTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        FlowTable::default()
+    }
+
+    /// Number of live (indexed) flows.
+    pub fn live_count(&self) -> usize {
+        self.live_count
+    }
+
+    fn is_live(&self, slot: usize) -> bool {
+        self.live
+            .get(slot / 64)
+            .is_some_and(|w| w & (1u64 << (slot % 64)) != 0)
+    }
+
+    fn index_get(&self, id: FlowId) -> Option<usize> {
+        if id.0 < DENSE_ID_LIMIT {
+            match self.dense.get(id.0 as usize) {
+                Some(&s) if s != NO_SLOT => Some(s as usize),
+                _ => None,
+            }
+        } else {
+            self.spill.get(&id.0).map(|&s| s as usize)
+        }
+    }
+
+    /// Points `id` at `slot`; returns `true` when the id was not
+    /// indexed before (duplicate ids overwrite, like the map they
+    /// replace, leaving the old slot an unindexed orphan).
+    fn index_set(&mut self, id: FlowId, slot: u32) -> bool {
+        if id.0 < DENSE_ID_LIMIT {
+            let i = id.0 as usize;
+            if i >= self.dense.len() {
+                self.dense.resize(i + 1, NO_SLOT);
+            }
+            let was = self.dense[i];
+            self.dense[i] = slot;
+            was == NO_SLOT
+        } else {
+            self.spill.insert(id.0, slot).is_none()
+        }
+    }
+
+    fn index_remove(&mut self, id: FlowId) {
+        if id.0 < DENSE_ID_LIMIT {
+            if let Some(s) = self.dense.get_mut(id.0 as usize) {
+                *s = NO_SLOT;
+            }
+        } else {
+            self.spill.remove(&id.0);
+        }
+    }
+
+    /// Admits a newly arrived flow; returns its slot (reused LIFO from
+    /// the free list, else appended).
+    pub fn insert(&mut self, flow: &Flow, total_cells: u64) -> usize {
+        let slot = match self.free.pop() {
+            Some(s) => s as usize,
+            None => {
+                let s = self.ids.len();
+                self.ids.push(FlowId(0));
+                self.srcs.push(NodeId(0));
+                self.dsts.push(NodeId(0));
+                self.sizes.push(0);
+                self.arrivals.push(0);
+                self.totals.push(0);
+                self.injected.push(0);
+                self.delivered.push(0);
+                self.max_hops.push(0);
+                if s / 64 == self.live.len() {
+                    self.live.push(0);
+                }
+                s
+            }
+        };
+        self.ids[slot] = flow.id;
+        self.srcs[slot] = flow.src;
+        self.dsts[slot] = flow.dst;
+        self.sizes[slot] = flow.size_bytes;
+        self.arrivals[slot] = flow.arrival_ns;
+        self.totals[slot] = total_cells;
+        self.injected[slot] = 0;
+        self.delivered[slot] = 0;
+        self.max_hops[slot] = 0;
+        self.live[slot / 64] |= 1u64 << (slot % 64);
+        if self.index_set(flow.id, slot as u32) {
+            self.live_count += 1;
+        }
+        slot
+    }
+
+    /// Builds the next cell of the flow in `slot` (injection path);
+    /// returns it with `true` when this was the flow's last cell.
+    #[inline]
+    pub fn next_cell(&mut self, slot: usize, now: Nanos) -> (Cell, bool) {
+        debug_assert!(self.is_live(slot), "injecting from a vacant slot");
+        let cell = Cell {
+            flow: self.ids[slot],
+            seq: self.injected[slot],
+            src: self.srcs[slot],
+            dst: self.dsts[slot],
+            injected_ns: now,
+            hops: 0,
+            tag: 0,
+        };
+        self.injected[slot] += 1;
+        (cell, self.injected[slot] >= self.totals[slot])
+    }
+
+    /// Counts one delivered cell against its flow; returns the
+    /// completion record when this delivery finished the flow (the slot
+    /// is freed and the id unindexed). `None` for unknown ids (a cell
+    /// of an already-completed or never-admitted flow) and for flows
+    /// still in progress, exactly like the map lookup it replaces.
+    #[inline]
+    pub fn record_delivery(&mut self, id: FlowId, hops: u8, now: Nanos) -> Option<FlowRecord> {
+        let slot = self.index_get(id)?;
+        self.delivered[slot] += 1;
+        self.max_hops[slot] = self.max_hops[slot].max(hops);
+        if self.delivered[slot] < self.totals[slot] {
+            return None;
+        }
+        self.live[slot / 64] &= !(1u64 << (slot % 64));
+        self.free.push(slot as u32);
+        self.index_remove(id);
+        self.live_count -= 1;
+        Some(FlowRecord {
+            id,
+            size_bytes: self.sizes[slot],
+            arrival_ns: self.arrivals[slot],
+            completion_ns: now,
+            max_hops: self.max_hops[slot],
+        })
+    }
+
+    /// Exports the table in the checkpoint wire layout: the legacy
+    /// `Option<ActiveFlow>` slab, vacant slots `None`.
+    pub(crate) fn to_slab(&self) -> Vec<Option<ActiveFlow>> {
+        (0..self.ids.len())
+            .map(|s| {
+                self.is_live(s).then(|| ActiveFlow {
+                    flow: Flow {
+                        id: self.ids[s],
+                        src: self.srcs[s],
+                        dst: self.dsts[s],
+                        size_bytes: self.sizes[s],
+                        arrival_ns: self.arrivals[s],
+                    },
+                    total_cells: self.totals[s],
+                    injected: self.injected[s],
+                    delivered: self.delivered[s],
+                    max_hops: self.max_hops[s],
+                })
+            })
+            .collect()
+    }
+
+    /// The free list in checkpoint order (stack bottom first).
+    pub(crate) fn free_slots(&self) -> Vec<u64> {
+        self.free.iter().map(|&s| s as u64).collect()
+    }
+
+    /// Rebuilds a table from a checkpointed slab and free list. The
+    /// caller (engine restore) has already validated that the free list
+    /// names exactly the vacant slots and that no id occupies two slots.
+    pub(crate) fn from_slab(slab: &[Option<ActiveFlow>], free: Vec<u32>) -> Self {
+        let mut table = FlowTable {
+            live: vec![0u64; slab.len().div_ceil(64)],
+            free,
+            ..FlowTable::default()
+        };
+        for (s, entry) in slab.iter().enumerate() {
+            match entry {
+                Some(af) => {
+                    table.ids.push(af.flow.id);
+                    table.srcs.push(af.flow.src);
+                    table.dsts.push(af.flow.dst);
+                    table.sizes.push(af.flow.size_bytes);
+                    table.arrivals.push(af.flow.arrival_ns);
+                    table.totals.push(af.total_cells);
+                    table.injected.push(af.injected);
+                    table.delivered.push(af.delivered);
+                    table.max_hops.push(af.max_hops);
+                    table.live[s / 64] |= 1u64 << (s % 64);
+                    if table.index_set(af.flow.id, s as u32) {
+                        table.live_count += 1;
+                    }
+                }
+                None => {
+                    table.ids.push(FlowId(0));
+                    table.srcs.push(NodeId(0));
+                    table.dsts.push(NodeId(0));
+                    table.sizes.push(0);
+                    table.arrivals.push(0);
+                    table.totals.push(0);
+                    table.injected.push(0);
+                    table.delivered.push(0);
+                    table.max_hops.push(0);
+                }
+            }
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(id: u64) -> Flow {
+        Flow {
+            id: FlowId(id),
+            src: NodeId(1),
+            dst: NodeId(2),
+            size_bytes: 2500,
+            arrival_ns: 7,
+        }
+    }
+
+    #[test]
+    fn slots_recycle_lifo_and_records_are_per_flow() {
+        let mut t = FlowTable::new();
+        let s0 = t.insert(&flow(10), 2);
+        assert_eq!(s0, 0);
+        assert_eq!(t.live_count(), 1);
+        let (c, done) = t.next_cell(s0, 100);
+        assert_eq!((c.flow, c.seq, done), (FlowId(10), 0, false));
+        let (c, done) = t.next_cell(s0, 200);
+        assert_eq!((c.seq, done), (1, true));
+        assert!(t.record_delivery(FlowId(10), 1, 300).is_none());
+        let rec = t.record_delivery(FlowId(10), 3, 400).expect("complete");
+        assert_eq!((rec.id, rec.completion_ns, rec.max_hops), (FlowId(10), 400, 3));
+        assert_eq!(t.live_count(), 0);
+        // The freed slot is reused for the next flow, LIFO.
+        assert_eq!(t.insert(&flow(20), 1), 0);
+        // Unknown / completed ids are ignored, not misattributed.
+        assert!(t.record_delivery(FlowId(10), 1, 500).is_none());
+    }
+
+    #[test]
+    fn spill_ids_resolve_like_dense_ones() {
+        let mut t = FlowTable::new();
+        let big = DENSE_ID_LIMIT + 17;
+        let s = t.insert(&flow(big), 1);
+        t.next_cell(s, 0);
+        let rec = t.record_delivery(FlowId(big), 2, 9).expect("complete");
+        assert_eq!(rec.id, FlowId(big));
+        assert_eq!(t.live_count(), 0);
+    }
+
+    #[test]
+    fn slab_round_trip_preserves_layout() {
+        let mut t = FlowTable::new();
+        t.insert(&flow(1), 4);
+        let s1 = t.insert(&flow(2), 1);
+        t.insert(&flow(3), 4);
+        t.next_cell(s1, 0);
+        t.record_delivery(FlowId(2), 1, 50);
+        let slab = t.to_slab();
+        let free = t.free_slots();
+        assert_eq!(slab.len(), 3);
+        assert!(slab[1].is_none());
+        assert_eq!(free, vec![1]);
+        let rebuilt =
+            FlowTable::from_slab(&slab, free.iter().map(|&f| f as u32).collect());
+        assert_eq!(rebuilt.live_count(), 2);
+        assert_eq!(rebuilt.to_slab().len(), 3);
+        // The rebuilt table allocates the vacant slot next, as before.
+        let mut rebuilt = rebuilt;
+        assert_eq!(rebuilt.insert(&flow(9), 1), 1);
+    }
+}

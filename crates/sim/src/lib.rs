@@ -45,6 +45,7 @@ mod config;
 mod engine;
 mod failure;
 mod fault;
+mod flow_table;
 mod hash;
 mod metrics;
 mod par;
@@ -80,4 +81,5 @@ pub use trace::{circuit_wait_slots, FlowSampler, HopEvent, HopKind, CIRCUIT_NEVE
 #[doc(hidden)]
 pub mod bench_internals {
     pub use crate::calendar::SlotCalendar;
+    pub use crate::flow_table::FlowTable;
 }

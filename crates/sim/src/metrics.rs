@@ -143,20 +143,28 @@ impl LatencyHistogram {
     }
 }
 
-/// Dense per-directed-link transmission counts.
+/// One source node's outgoing-link counts: `(dst, count)` pairs sorted
+/// by `dst`, never holding a zero count. The engine's sharded transmit
+/// walk receives bands of these rows and bumps them directly.
+pub(crate) type LinkRow = Vec<(u32, u64)>;
+
+/// Sparse per-directed-link transmission counts.
 ///
-/// A flat `n × n` matrix indexed by `(src, dst)` — the transmit hot
-/// path increments one array slot instead of hashing a link key. The
-/// matrix grows on demand when a larger node id appears (hand-built
-/// metrics); the engine pre-sizes it to the network, so the hot path
-/// never reallocates. Accessors mirror the map API this replaced and
-/// expose only links with a nonzero count, preserving the semantics of
+/// One sorted `(dst, count)` row per source node instead of a flat
+/// `n × n` matrix — at warehouse scale a dense matrix is quadratic
+/// (34 GiB at 65k nodes) while real schedules exercise only each node's
+/// neighbor links. Rows never store zero counts, so structural equality
+/// (`PartialEq`, used by the determinism suites) remains equality of
+/// content. The matrix grows on demand when a larger node id appears
+/// (hand-built metrics); the engine pre-sizes it to the network.
+/// Accessors mirror the map API this replaced and expose only links
+/// with a nonzero count, preserving the semantics of
 /// [`Metrics::link_load_cv`] and [`Metrics::hottest_links`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LinkMatrix {
     n: u32,
-    counts: Vec<u64>,
-    nonzero: usize,
+    rows: Vec<LinkRow>,
+    entries: usize,
 }
 
 impl LinkMatrix {
@@ -164,8 +172,8 @@ impl LinkMatrix {
     pub fn with_nodes(n: usize) -> Self {
         LinkMatrix {
             n: n as u32,
-            counts: vec![0; n * n],
-            nonzero: 0,
+            rows: vec![Vec::new(); n],
+            entries: 0,
         }
     }
 
@@ -176,20 +184,27 @@ impl LinkMatrix {
         self.n
     }
 
-    fn index(&self, src: u32, dst: u32) -> usize {
-        src as usize * self.n as usize + dst as usize
+    fn grow_to(&mut self, need: u32) {
+        self.rows.resize(need as usize, Vec::new());
+        self.n = need;
     }
 
-    fn grow_to(&mut self, need: u32) {
-        let old_n = self.n as usize;
-        let new_n = need as usize;
-        let mut counts = vec![0u64; new_n * new_n];
-        for src in 0..old_n {
-            counts[src * new_n..src * new_n + old_n]
-                .copy_from_slice(&self.counts[src * old_n..(src + 1) * old_n]);
+    /// Bumps `dst` in a detached row (the sharded transmit walk writes
+    /// through row bands, bypassing `record`); returns `true` when the
+    /// link was newly inserted, so the caller can report the delta to
+    /// [`LinkMatrix::add_nonzero`].
+    #[inline]
+    pub(crate) fn bump_row(row: &mut LinkRow, dst: u32) -> bool {
+        match row.binary_search_by_key(&dst, |&(d, _)| d) {
+            Ok(i) => {
+                row[i].1 += 1;
+                false
+            }
+            Err(i) => {
+                row.insert(i, (dst, 1));
+                true
+            }
         }
-        self.counts = counts;
-        self.n = need;
     }
 
     /// Counts one transmission on `src → dst` (the hot path).
@@ -198,11 +213,9 @@ impl LinkMatrix {
         if src >= self.n || dst >= self.n {
             self.grow_to(src.max(dst) + 1);
         }
-        let i = self.index(src, dst);
-        if self.counts[i] == 0 {
-            self.nonzero += 1;
+        if Self::bump_row(&mut self.rows[src as usize], dst) {
+            self.entries += 1;
         }
-        self.counts[i] += 1;
     }
 
     /// Splits the matrix into mutable bands of `rows_per_band` whole
@@ -213,30 +226,37 @@ impl LinkMatrix {
     pub(crate) fn row_bands_mut(
         &mut self,
         rows_per_band: usize,
-    ) -> (usize, std::slice::ChunksMut<'_, u64>) {
+    ) -> (usize, std::slice::ChunksMut<'_, LinkRow>) {
         let n = self.n as usize;
-        (n, self.counts.chunks_mut(rows_per_band.max(1) * n.max(1)))
+        (n, self.rows.chunks_mut(rows_per_band.max(1)))
     }
 
     /// Folds a shard's count of newly nonzero links back in (the bands
     /// handed out by [`LinkMatrix::row_bands_mut`] bypass `record`).
     pub(crate) fn add_nonzero(&mut self, newly_nonzero: usize) {
-        self.nonzero += newly_nonzero;
+        self.entries += newly_nonzero;
     }
 
-    /// Sets a link's count outright (building metrics by hand).
+    /// Sets a link's count outright (building metrics by hand). A zero
+    /// count removes the entry.
     pub fn insert(&mut self, link: (u32, u32), count: u64) {
         let (src, dst) = link;
         if src >= self.n || dst >= self.n {
             self.grow_to(src.max(dst) + 1);
         }
-        let i = self.index(src, dst);
-        match (self.counts[i] == 0, count == 0) {
-            (true, false) => self.nonzero += 1,
-            (false, true) => self.nonzero -= 1,
-            _ => {}
+        let row = &mut self.rows[src as usize];
+        match (row.binary_search_by_key(&dst, |&(d, _)| d), count) {
+            (Ok(i), 0) => {
+                row.remove(i);
+                self.entries -= 1;
+            }
+            (Ok(i), c) => row[i].1 = c,
+            (Err(_), 0) => {}
+            (Err(i), c) => {
+                row.insert(i, (dst, c));
+                self.entries += 1;
+            }
         }
-        self.counts[i] = count;
     }
 
     /// The count on one directed link.
@@ -245,27 +265,29 @@ impl LinkMatrix {
         if src >= self.n || dst >= self.n {
             return 0;
         }
-        self.counts[self.index(src, dst)]
+        let row = &self.rows[src as usize];
+        match row.binary_search_by_key(&dst, |&(d, _)| d) {
+            Ok(i) => row[i].1,
+            Err(_) => 0,
+        }
     }
 
     /// Number of links with a nonzero count.
     pub fn len(&self) -> usize {
-        self.nonzero
+        self.entries
     }
 
     /// True when no link has transmitted.
     pub fn is_empty(&self) -> bool {
-        self.nonzero == 0
+        self.entries == 0
     }
 
     /// Links with a nonzero count, ascending by `(src, dst)`.
     pub fn iter(&self) -> impl Iterator<Item = ((u32, u32), u64)> + '_ {
-        let n = self.n;
-        self.counts
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c > 0)
-            .map(move |(i, &c)| (((i as u32) / n, (i as u32) % n), c))
+        self.rows.iter().enumerate().flat_map(|(src, row)| {
+            row.iter()
+                .map(move |&(dst, c)| ((src as u32, dst), c))
+        })
     }
 
     /// Nonzero link keys, ascending.

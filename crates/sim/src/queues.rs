@@ -6,9 +6,13 @@
 //! strict priority, as in RotorLB-style designs — then scans class queues
 //! in the router's priority order for a cell whose constraints admit `w`.
 //!
-//! Both queue families are dense and index-addressed: specific queues
-//! are a `Vec` indexed by next-hop node id (allocated once at network
-//! size), and class pushes go through a precomputed `ClassId → index`
+//! Specific queues are *sparse*: a node only ever queues toward the
+//! handful of next hops its schedule connects it to, so holding one
+//! `VecDeque` slot per node in the network is quadratic across the
+//! fleet (16k nodes → 256M deque headers). Instead each node keeps a
+//! short `(next-hop, FIFO)` list sorted by next-hop id and binary
+//! searches it; emptied FIFOs stay in place so their capacity is
+//! reused. Class pushes go through a precomputed `ClassId → index`
 //! table — the transmit hot path never hashes and never scans for a
 //! class.
 
@@ -23,8 +27,10 @@ const NO_CLASS: u16 = u16::MAX;
 /// The queue set of one node.
 #[derive(Debug, Clone)]
 pub struct NodeQueues {
-    /// One FIFO per possible next hop, indexed by node id.
-    specific: Vec<VecDeque<Cell>>,
+    /// Nonempty-or-recycled FIFOs keyed by specific next hop, sorted by
+    /// next-hop id. Emptied deques stay in the list so their capacity
+    /// is reused on the next push toward the same hop.
+    specific: Vec<(u32, VecDeque<Cell>)>,
     class: Vec<(ClassId, VecDeque<Cell>)>,
     /// Maps `ClassId.0` to an index into `class`; `NO_CLASS` when
     /// undeclared.
@@ -36,16 +42,16 @@ pub struct NodeQueues {
 }
 
 impl NodeQueues {
-    /// Creates queues for a node in an `n`-node network, with one class
-    /// FIFO per router class.
-    pub fn new(n: usize, classes: &[ClassId]) -> Self {
+    /// Creates queues for a node, with one class FIFO per router class.
+    /// Specific next-hop FIFOs materialize on first push.
+    pub fn new(classes: &[ClassId]) -> Self {
         let table_len = classes.iter().map(|c| c.0 as usize + 1).max().unwrap_or(0);
         let mut class_index = vec![NO_CLASS; table_len];
         for (i, c) in classes.iter().enumerate() {
             class_index[c.0 as usize] = i as u16;
         }
         NodeQueues {
-            specific: (0..n).map(|_| VecDeque::new()).collect(),
+            specific: Vec::new(),
             class: classes.iter().map(|&c| (c, VecDeque::new())).collect(),
             class_index,
             scratch: Vec::new(),
@@ -67,7 +73,15 @@ impl NodeQueues {
 
     /// Enqueues a cell destined for a specific next hop.
     pub fn push_specific(&mut self, next: NodeId, cell: Cell) {
-        self.specific[next.index()].push_back(cell);
+        let key = next.0;
+        match self.specific.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(i) => self.specific[i].1.push_back(cell),
+            Err(i) => {
+                let mut q = VecDeque::new();
+                q.push_back(cell);
+                self.specific.insert(i, (key, q));
+            }
+        }
         self.depth += 1;
     }
 
@@ -103,9 +117,11 @@ impl NodeQueues {
         if self.depth == 0 {
             return None; // nothing queued anywhere on this node
         }
-        if let Some(cell) = self.specific[to.index()].pop_front() {
-            self.depth -= 1;
-            return Some(cell);
+        if let Ok(i) = self.specific.binary_search_by_key(&to.0, |&(k, _)| k) {
+            if let Some(cell) = self.specific[i].1.pop_front() {
+                self.depth -= 1;
+                return Some(cell);
+            }
         }
         let scratch = &mut self.scratch;
         for (class, q) in &mut self.class {
@@ -139,7 +155,7 @@ impl NodeQueues {
     /// update); returns the cells in an arbitrary but deterministic order.
     pub fn drain_all(&mut self) -> Vec<Cell> {
         let mut out = Vec::with_capacity(self.depth);
-        for q in &mut self.specific {
+        for (_, q) in &mut self.specific {
             out.extend(q.drain(..));
         }
         for (_, q) in &mut self.class {
@@ -155,8 +171,7 @@ impl NodeQueues {
     pub fn iter_cells(&self) -> impl Iterator<Item = (Option<NodeId>, &Cell)> {
         self.specific
             .iter()
-            .enumerate()
-            .flat_map(|(k, q)| q.iter().map(move |c| (Some(NodeId(k as u32)), c)))
+            .flat_map(|(k, q)| q.iter().map(move |c| (Some(NodeId(*k)), c)))
             .chain(
                 self.class
                     .iter()
@@ -175,9 +190,8 @@ impl NodeQueues {
         let specific = self
             .specific
             .iter()
-            .enumerate()
             .filter(|(_, q)| !q.is_empty())
-            .map(|(next, q)| (next as u32, q.iter().copied().collect()))
+            .map(|&(next, ref q)| (next, q.iter().copied().collect()))
             .collect();
         let class = self
             .class
@@ -190,7 +204,10 @@ impl NodeQueues {
 
     /// Number of cells queued for a specific next hop.
     pub fn specific_depth(&self, next: NodeId) -> usize {
-        self.specific.get(next.index()).map_or(0, |q| q.len())
+        match self.specific.binary_search_by_key(&next.0, |&(k, _)| k) {
+            Ok(i) => self.specific[i].1.len(),
+            Err(_) => 0,
+        }
     }
 
     /// Number of cells queued in a class.
@@ -208,8 +225,6 @@ mod tests {
     use super::*;
     use crate::cell::FlowId;
 
-    /// Network size for the queue tests: node ids up to 9 appear.
-    const N: usize = 16;
 
     fn cell(dst: u32) -> Cell {
         Cell {
@@ -251,7 +266,7 @@ mod tests {
     #[test]
     fn specific_queue_has_priority() {
         let r = EvenClassRouter;
-        let mut q = NodeQueues::new(N, r.classes());
+        let mut q = NodeQueues::new(r.classes());
         q.push_class(ClassId(0), cell(9));
         q.push_specific(NodeId(2), cell(7));
         assert_eq!(q.depth(), 2);
@@ -264,7 +279,7 @@ mod tests {
     #[test]
     fn class_scan_skips_inadmissible_heads() {
         let r = EvenClassRouter;
-        let mut q = NodeQueues::new(N, r.classes());
+        let mut q = NodeQueues::new(r.classes());
         q.push_class(ClassId(0), cell(1)); // any cell; admissibility is on `to`
                                            // Circuit to odd node: class rejects.
         assert!(q.pop_for_circuit(&r, NodeId(0), NodeId(3), 0).is_none());
@@ -300,7 +315,7 @@ mod tests {
             }
         }
         let r = PickyRouter;
-        let mut q = NodeQueues::new(N, r.classes());
+        let mut q = NodeQueues::new(r.classes());
         q.push_class(ClassId(0), cell(5));
         q.push_class(ClassId(0), cell(6));
         // With scan limit 1 only the head (dst 5) is considered.
@@ -313,7 +328,7 @@ mod tests {
     #[test]
     fn skipped_heads_keep_their_order() {
         let r = EvenClassRouter;
-        let mut q = NodeQueues::new(N, r.classes());
+        let mut q = NodeQueues::new(r.classes());
         // Only `to` matters for admission, so track order via dst.
         for d in [1, 3, 5, 7] {
             q.push_class(ClassId(0), cell(d));
@@ -333,7 +348,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "undeclared class")]
     fn undeclared_class_panics() {
-        let mut q = NodeQueues::new(N, &[]);
+        let mut q = NodeQueues::new(&[]);
         q.push_class(ClassId(3), cell(1));
     }
 
@@ -342,14 +357,14 @@ mod tests {
     fn undeclared_class_below_table_len_panics() {
         // Class 2 is inside the index table (class 3 sizes it) but was
         // never declared — the sentinel must still reject it.
-        let mut q = NodeQueues::new(N, &[ClassId(0), ClassId(3)]);
+        let mut q = NodeQueues::new(&[ClassId(0), ClassId(3)]);
         q.push_class(ClassId(2), cell(1));
     }
 
     #[test]
     fn sparse_class_ids_resolve_through_the_table() {
         let classes = [ClassId(7), ClassId(2)];
-        let mut q = NodeQueues::new(N, &classes);
+        let mut q = NodeQueues::new(&classes);
         q.push_class(ClassId(7), cell(1));
         q.push_class(ClassId(2), cell(2));
         q.push_class(ClassId(2), cell(3));
@@ -362,7 +377,7 @@ mod tests {
     #[test]
     fn drain_all_empties_everything() {
         let r = EvenClassRouter;
-        let mut q = NodeQueues::new(N, r.classes());
+        let mut q = NodeQueues::new(r.classes());
         q.push_specific(NodeId(1), cell(1));
         q.push_specific(NodeId(2), cell(2));
         q.push_class(ClassId(0), cell(3));

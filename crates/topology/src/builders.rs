@@ -435,6 +435,24 @@ pub fn hierarchical_schedule(spec: &HierarchySpec, max_period: usize) -> Result<
     CircuitSchedule::new(pool, interleave(streams))
 }
 
+/// A clique-of-cliques fabric: every hierarchy level is a full clique
+/// that round-robins its digit shifts with equal slot weight, so the
+/// schedule's logical topology is the complete graph within each group
+/// at each level (the warehouse-scale shape of §6 — e.g. `[128, 128]`
+/// is 16 384 nodes as 128 racks of 128, `[256, 256]` is 65 536).
+///
+/// Equivalent to [`hierarchical_schedule`] on a [`HierarchySpec`] with
+/// unit weights; exposed separately so scale scenarios and tests can
+/// name the shape without constructing a spec.
+///
+/// # Errors
+/// Fails on invalid radices (fewer than one level, or branching below
+/// 2) or when the exact schedule's period exceeds `max_period`.
+pub fn clique_of_cliques(radices: Vec<usize>, max_period: usize) -> Result<CircuitSchedule> {
+    let weights = vec![1u64; radices.len()];
+    hierarchical_schedule(&HierarchySpec::new(radices, weights)?, max_period)
+}
+
 /// An integer clique-level demand aggregate with equal row and column
 /// sums — the matrix form the optical layer can encode as inter-clique
 /// slot shares (§5 "Expressivity", §6 "Machine Learning Workloads").
@@ -882,6 +900,60 @@ mod tests {
         }
         assert!(hdim_orn(10, 2).is_err());
         assert!(hdim_orn(16, 0).is_err());
+    }
+
+    /// Checks a clique-of-cliques schedule by sampling nodes: over one
+    /// period each sampled node meets exactly `sum(radix - 1)` distinct
+    /// peers (every single-digit shift exactly once, never itself), its
+    /// level-0 neighbor has a direct circuit, and the all-digits-differ
+    /// diagonal peer has none. Sampling keeps the warehouse-scale cases
+    /// (16k/65k nodes) off the O(period x n) full-topology walk.
+    fn check_clique_of_cliques(radices: Vec<usize>, sample: &[u32]) {
+        let n: usize = radices.iter().product();
+        let expected_degree: usize = radices.iter().map(|r| r - 1).sum();
+        let s = clique_of_cliques(radices, 1 << 20).unwrap();
+        s.validate().unwrap();
+        assert_eq!(s.period(), expected_degree, "unit weights: one slot per shift");
+        for &v in sample {
+            let node = NodeId(v);
+            let peers: std::collections::BTreeSet<u32> = (0..s.period() as u64)
+                .map(|t| s.matching_at(t).raw_dst(node).0)
+                .collect();
+            assert_eq!(peers.len(), expected_degree, "node {v} distinct peers");
+            assert!(!peers.contains(&v), "node {v} matched to itself");
+        }
+        assert!(s.max_wait(NodeId(0), NodeId(1)).is_some());
+        assert!(s.max_wait(NodeId(0), NodeId((n - 1) as u32)).is_none());
+    }
+
+    #[test]
+    fn clique_of_cliques_small_matches_hierarchical_schedule() {
+        let s = clique_of_cliques(vec![4, 3], 1 << 20).unwrap();
+        let spec = HierarchySpec::new(vec![4, 3], vec![1, 1]).unwrap();
+        let reference = hierarchical_schedule(&spec, 1 << 20).unwrap();
+        assert_eq!(s.period(), reference.period());
+        for t in 0..s.period() as u64 {
+            for v in 0..12u32 {
+                assert_eq!(
+                    s.matching_at(t).raw_dst(NodeId(v)),
+                    reference.matching_at(t).raw_dst(NodeId(v))
+                );
+            }
+        }
+        assert!(clique_of_cliques(vec![], 1 << 20).is_err());
+        assert!(clique_of_cliques(vec![4, 1], 1 << 20).is_err());
+    }
+
+    #[test]
+    fn clique_of_cliques_16k_nodes_is_structurally_sound() {
+        // 128 racks of 128: 16 384 nodes, period 254.
+        check_clique_of_cliques(vec![128, 128], &[0, 129, 8191, 16383]);
+    }
+
+    #[test]
+    fn clique_of_cliques_65k_nodes_is_structurally_sound() {
+        // 256 groups of 256: 65 536 nodes, period 510.
+        check_clique_of_cliques(vec![256, 256], &[0, 257, 32768, 65535]);
     }
 
     #[test]

@@ -2,29 +2,25 @@
 # CI perf smoke: build the perf harness, run the tiny scenario suite in
 # parallel, schema-check the emitted report, prove --jobs does not
 # change simulation results, and gate against the committed baseline.
+#
+# `perf_smoke.sh scale` runs only the warehouse-scale stanza instead: a
+# truncated --scale16k under wall-clock and peak-RSS budgets, byte-diffed
+# serial vs --engine-threads 2.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+mode="${1:-full}"
+
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
 
-echo "== build perf harness =="
-cargo build --release --bin perf
-
-echo "== tiny suite, 2 jobs -> BENCH_ci.json =="
-./target/release/perf --tiny --label ci --jobs 2
-
-echo "== schema validation =="
-./target/release/perf --validate BENCH_ci.json
-
-echo "== --jobs 2 must reproduce --jobs 1 per-scenario sim results =="
 # Per-scenario slots and delivered cells come from seeded simulations
-# and must be byte-identical at any job count; wall times, cells/sec,
-# and RSS are machine noise, so strip everything but the sim results.
+# and must be byte-identical at any job/thread count; wall times,
+# cells/sec, and RSS are machine noise, so strip everything but the sim
+# results. Only headline lines carry "N slots, M cells,"; other
+# [scenario] lines (trace summaries, recorder notes) are skipped.
 deterministic() {
-  # Only headline lines carry "N slots, M cells,"; other [scenario]
-  # lines (trace summaries, recorder notes) are skipped.
   grep -E '^\[[a-z0-9_]+\]' "$1" | awk '{
     s = ""; c = ""
     for (i = 1; i <= NF; i++) {
@@ -34,6 +30,54 @@ deterministic() {
     if (s != "" && c != "") print $1, s, c
   }'
 }
+
+echo "== build perf harness =="
+cargo build --release --bin perf
+
+if [ "$mode" = scale ]; then
+  # Budgets are generous (the truncated scenario runs in ~1 s and ~60
+  # MiB locally): they gate pathological blowups in the warehouse path,
+  # not machine noise.
+  wall_budget_s=180
+  rss_budget_mib=2048
+
+  echo "== truncated --scale16k under wall/RSS budgets =="
+  start_s="$(date +%s)"
+  ./target/release/perf --scale16k --tiny --label scale16k \
+    --out-dir "$tmpdir/s1" > "$tmpdir/s1.out"
+  elapsed_s=$(( $(date +%s) - start_s ))
+  cat "$tmpdir/s1.out"
+  rss_mib="$(grep -E '^\[scale16k_hier\]' "$tmpdir/s1.out" \
+    | grep -o 'peak RSS [0-9.]*' | awk '{print int($3)}')"
+  [ -n "$rss_mib" ] || { echo "FAIL: no peak-RSS headline" >&2; exit 1; }
+  echo "scale16k smoke: ${elapsed_s}s wall (budget ${wall_budget_s}s), ${rss_mib} MiB peak RSS (budget ${rss_budget_mib} MiB)"
+  if [ "$elapsed_s" -gt "$wall_budget_s" ]; then
+    echo "FAIL: --scale16k smoke exceeded the wall-clock budget" >&2; exit 1
+  fi
+  if [ "$rss_mib" -gt "$rss_budget_mib" ]; then
+    echo "FAIL: --scale16k smoke exceeded the peak-RSS budget" >&2; exit 1
+  fi
+
+  echo "== schema validation =="
+  ./target/release/perf --validate "$tmpdir/s1/BENCH_scale16k.json"
+
+  echo "== --engine-threads 2 must reproduce the serial 16k run bit-for-bit =="
+  ./target/release/perf --scale16k --tiny --engine-threads 2 --label scale16k-t2 \
+    --out-dir "$tmpdir/s2" > "$tmpdir/s2.out"
+  diff <(deterministic "$tmpdir/s1.out") <(deterministic "$tmpdir/s2.out")
+  echo "engine-threads=1 and engine-threads=2 agree on the 16k scenario's slots and cells."
+
+  echo "scale smoke passed."
+  exit 0
+fi
+
+echo "== tiny suite, 2 jobs -> BENCH_ci.json =="
+./target/release/perf --tiny --label ci --jobs 2
+
+echo "== schema validation =="
+./target/release/perf --validate BENCH_ci.json
+
+echo "== --jobs 2 must reproduce --jobs 1 per-scenario sim results =="
 ./target/release/perf --tiny --label ci-j1 --jobs 1 --out-dir "$tmpdir" > "$tmpdir/j1.out"
 ./target/release/perf --tiny --label ci-j2 --jobs 2 --out-dir "$tmpdir" > "$tmpdir/j2.out"
 diff <(deterministic "$tmpdir/j1.out") <(deterministic "$tmpdir/j2.out")

@@ -12,11 +12,17 @@
 //! - `adaptation_sweep` — §5 control-loop epochs across a macro-pattern
 //!   shift; its unit of work is the *epoch*, so the report's cell
 //!   columns count epochs for this scenario.
+//! - `scale16k_hier` / `scale65k_hier` (under `--scale16k` /
+//!   `--scale65k`) — warehouse-scale clique-of-cliques fabrics (16 384
+//!   and 65 536 nodes) under hierarchical routing, exercising the
+//!   bitset-occupancy transmit walk and quiet-slot fast-forward
+//!   (DESIGN.md §14).
 //!
 //! Usage:
 //!
 //! ```text
-//! perf [--label NAME] [--out-dir DIR] [--tiny] [--scale512] [--jobs N]
+//! perf [--label NAME] [--out-dir DIR] [--tiny] [--scale512]
+//!      [--scale16k] [--scale65k] [--jobs N]
 //!      [--engine-threads N] [--baseline FILE] [--threshold PCT]
 //!      [--trace-flows N] [--weather] [--weather-topk K] [--flight-ring N]
 //!      [--serve-metrics ADDR] [--serve-linger-ms N]
@@ -45,7 +51,10 @@
 //! `--engine-threads N` shards each simulation's slot phases across N
 //! threads (`SimConfig::engine_threads`); results are bit-identical at
 //! any count, so it only moves the timings. `--scale512` swaps the
-//! suite for the 512-node scaling scenarios used to benchmark it.
+//! suite for the 512-node scaling scenarios used to benchmark it;
+//! `--scale16k` / `--scale65k` swap in the warehouse-scale fabrics
+//! (combinable with each other and `--tiny`, but not with `--scale512`
+//! or `--checkpoint-dir`).
 //!
 //! `--checkpoint-dir DIR` turns on crash-safe checkpointing for the
 //! direct-engine scenarios (`fig2f_vlb`, `resilience_storm`, or
@@ -82,7 +91,7 @@ use sorn_bench::{
 };
 use sorn_control::{ControlConfig, ControlLoop};
 use sorn_core::{SornConfig, SornNetwork};
-use sorn_routing::{FaultAwareSornRouter, VlbRouter};
+use sorn_routing::{FaultAwareSornRouter, HierarchicalRouter, VlbRouter};
 use sorn_sim::{
     CheckpointStore, Engine, FaultPlan, FaultStorm, Flow, FlowId, LinkHealth, Phase, Profiler,
     SimConfig, Snapshot,
@@ -91,7 +100,9 @@ use sorn_telemetry::{
     FlightRecorder, FlowTraceCollector, LiveMetricsProbe, MetricsPublisher, MetricsServer,
     WallClockProfiler, WeatherProbe,
 };
-use sorn_topology::builders::{round_robin, sorn_schedule, SornScheduleParams};
+use sorn_topology::builders::{
+    clique_of_cliques, round_robin, sorn_schedule, HierarchySpec, SornScheduleParams,
+};
 use sorn_topology::{CliqueMap, NodeId, Ratio};
 use sorn_traffic::{spatial::CliqueLocal, FlowSizeDist, PoissonWorkload};
 use std::path::PathBuf;
@@ -99,6 +110,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 const USAGE: &str = "usage: perf [--label NAME] [--out-dir DIR] [--tiny] [--scale512] \
+                     [--scale16k] [--scale65k] \
                      [--jobs N] [--engine-threads N] \
                      [--trace-flows N] [--weather] [--weather-topk K] [--flight-ring N] \
                      [--serve-metrics ADDR] [--serve-linger-ms N] \
@@ -112,6 +124,8 @@ struct Opts {
     threshold_pct: f64,
     tiny: bool,
     scale512: bool,
+    scale16k: bool,
+    scale65k: bool,
     jobs: usize,
     engine_threads: usize,
     trace_flows: u64,
@@ -237,6 +251,8 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         threshold_pct: 25.0,
         tiny: false,
         scale512: false,
+        scale16k: false,
+        scale65k: false,
         jobs: 1,
         engine_threads: 1,
         trace_flows: 0,
@@ -269,6 +285,8 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
             }
             "--tiny" => opts.tiny = true,
             "--scale512" => opts.scale512 = true,
+            "--scale16k" => opts.scale16k = true,
+            "--scale65k" => opts.scale65k = true,
             "--jobs" => {
                 opts.jobs = value(&mut i, "--jobs")?
                     .parse()
@@ -306,6 +324,9 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
     }
     if opts.label.is_empty() || opts.label.contains(|c: char| c == '/' || c.is_whitespace()) {
         return Err(format!("bad label {:?}", opts.label));
+    }
+    if opts.scale512 && (opts.scale16k || opts.scale65k) {
+        return Err("--scale512 cannot combine with --scale16k/--scale65k".to_string());
     }
     Ok(opts)
 }
@@ -345,16 +366,20 @@ fn main() -> ExitCode {
         return validate_file(path);
     }
 
-    println!(
-        "perf suite '{}'{} (schema v{SCHEMA_VERSION})\n",
-        opts.label,
-        if opts.tiny {
-            " [tiny]"
-        } else if opts.scale512 {
-            " [scale512]"
-        } else {
-            ""
+    let mut suite_tags = String::new();
+    for (on, tag) in [
+        (opts.tiny, " [tiny]"),
+        (opts.scale512, " [scale512]"),
+        (opts.scale16k, " [scale16k]"),
+        (opts.scale65k, " [scale65k]"),
+    ] {
+        if on {
+            suite_tags.push_str(tag);
         }
+    }
+    println!(
+        "perf suite '{}'{suite_tags} (schema v{SCHEMA_VERSION})\n",
+        opts.label,
     );
     // Each scenario is a self-contained closure (own workload, own
     // seeded engine, own profiler), so the suite can fan out across
@@ -392,6 +417,10 @@ fn main() -> ExitCode {
         flight_ring,
     };
     let suite_start = Instant::now();
+    if ckpt.enabled() && (opts.scale16k || opts.scale65k) {
+        eprintln!("perf: --scale16k/--scale65k do not support --checkpoint-dir");
+        return ExitCode::from(2);
+    }
     let effective_jobs = if ckpt.enabled() { 1 } else { opts.jobs };
     let outcomes: Vec<(ScenarioResult, String)> = if ckpt.enabled() {
         if opts.jobs > 1 {
@@ -466,7 +495,25 @@ fn main() -> ExitCode {
             Ok(Some(outcomes)) => outcomes,
         }
     } else {
-        let tasks: Vec<Task<(ScenarioResult, String)>> = if opts.scale512 {
+        let tasks: Vec<Task<(ScenarioResult, String)>> = if opts.scale16k || opts.scale65k {
+            // The warehouse-scale scenarios: clique-of-cliques fabrics
+            // at 16k/65k nodes, routed hierarchically. Run one per
+            // requested scale (both flags together sweep the trend).
+            let mut tasks: Vec<Task<(ScenarioResult, String)>> = Vec::new();
+            if opts.scale16k {
+                let a = inst.clone();
+                tasks.push(Box::new(move || {
+                    warehouse_scale("scale16k_hier", &SCALE16K_RADICES, tiny, engine_threads, &a)
+                }));
+            }
+            if opts.scale65k {
+                let b = inst.clone();
+                tasks.push(Box::new(move || {
+                    warehouse_scale("scale65k_hier", &SCALE65K_RADICES, tiny, engine_threads, &b)
+                }));
+            }
+            tasks
+        } else if opts.scale512 {
             // The 512-node scaling scenarios: one big fabric per routing
             // scheme, the workload where intra-run sharding has room to pay.
             let (a, b) = (inst.clone(), inst.clone());
@@ -629,6 +676,75 @@ fn scale512(name: &str, engine_threads: usize, inst: &Instruments) -> (ScenarioR
     )
 }
 
+/// Fabric radices for the warehouse scenarios: clique-of-cliques at
+/// 16 384 (128 racks of 128) and 65 536 (256 groups of 256) nodes.
+const SCALE16K_RADICES: [usize; 2] = [128, 128];
+const SCALE65K_RADICES: [usize; 2] = [256, 256];
+
+/// One warehouse-scale run behind `--scale16k` / `--scale65k`: a
+/// clique-of-cliques fabric routed hierarchically (spray within the
+/// rack, then correct digits top-down) under a light clique-local
+/// Poisson load. The injection window is shorter than one schedule
+/// period, so the run exercises both the dense word-walk transmit path
+/// and the quiet-slot fast path through the long drain tail. `--tiny`
+/// truncates the workload for CI smoke runs but keeps the full node
+/// count — the fabric size is what the scenario measures.
+fn warehouse_scale(
+    name: &str,
+    radices: &[usize],
+    tiny: bool,
+    engine_threads: usize,
+    inst: &Instruments,
+) -> (ScenarioResult, String) {
+    let n: usize = radices.iter().product();
+    let groups = n / radices[0];
+    let duration_ns: u64 = if tiny { 2_000 } else { 20_000 };
+    let map = CliqueMap::contiguous(n, groups);
+    let wl = PoissonWorkload {
+        n,
+        // Light load: uniform level weights give the level-0 channel
+        // (spray + final correction) half the slots, so nominal load
+        // 0.15 keeps its utilization comfortably below 1.
+        load: 0.15,
+        node_bandwidth_bytes_per_ns: 12.5,
+        duration_ns,
+        seed: 7,
+    };
+    let flows = wl.generate(
+        &FlowSizeDist::fixed(10 * 1250),
+        &CliqueLocal::new(map.clone(), 0.5),
+    );
+    let schedule = clique_of_cliques(radices.to_vec(), 1 << 20).expect("schedule");
+    let spec = HierarchySpec::new(radices.to_vec(), vec![1; radices.len()]).expect("spec");
+    let router = HierarchicalRouter::new(spec);
+    let cfg = SimConfig {
+        engine_threads,
+        trace_one_in: inst.trace_one_in,
+        ..SimConfig::default()
+    };
+    // Budget the drain in schedule periods: each targeted hop can wait
+    // a full rotation for its circuit.
+    let max_slots = duration_ns / cfg.slot_ns + 12 * schedule.period() as u64;
+    let profiler = WallClockProfiler::new();
+    let probe = inst.probe(name, cfg.slot_ns, &map, max_slots);
+    let start = Instant::now();
+    let mut eng = Engine::with_probe_and_profiler(cfg, &schedule, &router, probe, profiler.clone());
+    eng.add_flows(flows).expect("flows in range");
+    eng.run_until_drained(max_slots).expect("run");
+    let metrics = eng.metrics().clone();
+    let probe = eng.finish();
+    let (result, mut text) = finish_scenario(
+        name,
+        start,
+        metrics.slots,
+        metrics.delivered_cells,
+        n,
+        &profiler,
+    );
+    text.push_str(&inst.summarize(name, probe, cfg.propagation_ns));
+    (result, text)
+}
+
 fn run_scale_scenario(
     scheme: &str,
     n: usize,
@@ -673,6 +789,7 @@ fn run_scale_scenario(
         start,
         metrics.slots,
         metrics.delivered_cells,
+        n,
         &profiler,
     );
     text.push_str(&inst.summarize(scheme, probe, cfg.propagation_ns));
@@ -885,6 +1002,7 @@ fn run_scale_checkpointed(
                 start,
                 metrics.slots,
                 metrics.delivered_cells,
+                n,
                 &profiler,
             );
             text.push_str(&inst.summarize(scheme, probe, cfg.propagation_ns));
@@ -1001,6 +1119,7 @@ fn resilience_storm_checkpointed(
                 start,
                 metrics.slots,
                 metrics.delivered_cells,
+                cmap.n(),
                 &profiler,
             );
             text.push_str(&inst.summarize(scheme, probe, cfg.propagation_ns));
@@ -1118,6 +1237,7 @@ fn resilience_storm(
         start,
         metrics.slots,
         metrics.delivered_cells,
+        cmap.n(),
         &profiler,
     );
     text.push_str(&inst.summarize("resilience_storm", probe, cfg.propagation_ns));
@@ -1168,7 +1288,7 @@ fn adaptation_sweep(tiny: bool) -> (ScenarioResult, String) {
             epochs += 1;
         }
     }
-    finish_scenario("adaptation_sweep", start, epochs, epochs, &profiler)
+    finish_scenario("adaptation_sweep", start, epochs, epochs, n as usize, &profiler)
 }
 
 fn community_flows(n: u32, group: impl Fn(u32) -> u32, heavy: u64, light: u64) -> Vec<Flow> {
@@ -1198,12 +1318,14 @@ fn finish_scenario(
     start: Instant,
     slots: u64,
     cells_delivered: u64,
+    nodes: usize,
     profiler: &WallClockProfiler,
 ) -> (ScenarioResult, String) {
     use std::fmt::Write as _;
     let wall_ns = start.elapsed().as_nanos().max(1) as u64;
     let secs = wall_ns as f64 / 1e9;
     let profile = profiler.report();
+    let peak_rss = peak_rss_bytes();
     let result = ScenarioResult {
         name: name.to_string(),
         wall_ns,
@@ -1211,18 +1333,21 @@ fn finish_scenario(
         cells_delivered,
         cells_per_sec: cells_delivered as f64 / secs,
         slots_per_sec: slots as f64 / secs,
-        peak_rss_bytes: peak_rss_bytes(),
+        peak_rss_bytes: peak_rss,
+        bytes_per_node: peak_rss / nodes.max(1) as u64,
         phases: phases_from_profile(&profile),
     };
     let mut text = String::new();
     let _ = writeln!(
         text,
-        "[{name}] {:.1} ms wall, {} slots, {} cells, {:.0} cells/s, peak RSS {:.1} MiB",
+        "[{name}] {:.1} ms wall, {} slots, {} cells, {:.0} cells/s, peak RSS {:.1} MiB, \
+         {} bytes/node",
         wall_ns as f64 / 1e6,
         slots,
         cells_delivered,
         result.cells_per_sec,
         result.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+        result.bytes_per_node,
     );
     let _ = writeln!(text, "{}", profile.render());
     (result, text)
