@@ -7,12 +7,13 @@
 //! formatting exactly, and the report pipeline stays independent of
 //! serializer behavior across build environments.
 //!
-//! Schema (version 2; version 1 lacked `bytes_per_node` and still
-//! parses, with the field reported as 0):
+//! Schema (version 3; version 1 lacked `bytes_per_node`, version 2
+//! lacked `slots_skipped` and `wall_per_sim_ns` — both still parse,
+//! with the missing fields reported as 0):
 //!
 //! ```json
 //! {
-//!   "schema_version": 2,
+//!   "schema_version": 3,
 //!   "label": "ci",
 //!   "created_unix_s": 1754524800,
 //!   "jobs": 2,
@@ -28,6 +29,8 @@
 //!       "slots_per_sec": 416000.0,
 //!       "peak_rss_bytes": 9000000,
 //!       "bytes_per_node": 70312,
+//!       "slots_skipped": 20000,
+//!       "wall_per_sim_ns": 24.0,
 //!       "phases": [
 //!         {"name": "route", "calls": 400000, "total_ns": 40000000,
 //!          "mean_ns": 100.0, "p99_ns": 255}
@@ -43,7 +46,7 @@ use std::fmt::Write as _;
 
 /// The schema version this module writes. Parsing and validation also
 /// accept every earlier version.
-pub const SCHEMA_VERSION: u64 = 2;
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// One engine phase's timing breakdown within a scenario.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,6 +87,16 @@ pub struct ScenarioResult {
     /// memory-scaling headline for the warehouse scenarios. 0 in
     /// schema-v1 reports and where RSS is unavailable.
     pub bytes_per_node: u64,
+    /// Slots the engine advanced without a full per-node walk (quiet
+    /// stepping plus batched fast-forward spans); at most `slots`. 0 in
+    /// pre-v3 reports.
+    pub slots_skipped: u64,
+    /// Wall-clock nanoseconds per simulated nanosecond — the
+    /// long-horizon headline (lower is better; below 1.0 the simulator
+    /// outruns real time). 0 when unrecorded: pre-v3 reports, and
+    /// scenarios whose unit of work is not simulated time (for example
+    /// `adaptation_sweep`, which counts control epochs).
+    pub wall_per_sim_ns: f64,
     /// Per-phase breakdown from the self-profiler.
     pub phases: Vec<PhaseLine>,
 }
@@ -165,6 +178,12 @@ impl BenchReport {
             );
             let _ = writeln!(out, "      \"peak_rss_bytes\": {},", s.peak_rss_bytes);
             let _ = writeln!(out, "      \"bytes_per_node\": {},", s.bytes_per_node);
+            let _ = writeln!(out, "      \"slots_skipped\": {},", s.slots_skipped);
+            let _ = writeln!(
+                out,
+                "      \"wall_per_sim_ns\": {},",
+                fmt_f64(s.wall_per_sim_ns)
+            );
             out.push_str("      \"phases\": [");
             for (j, p) in s.phases.iter().enumerate() {
                 if j > 0 {
@@ -280,6 +299,15 @@ impl BenchReport {
             if s.phases.is_empty() {
                 return Err(format!("{}: no phase breakdown", s.name));
             }
+            if s.slots_skipped > s.slots {
+                return Err(format!(
+                    "{}: slots_skipped {} exceeds slots {}",
+                    s.name, s.slots_skipped, s.slots
+                ));
+            }
+            if !s.wall_per_sim_ns.is_finite() || s.wall_per_sim_ns < 0.0 {
+                return Err(format!("{}: bad wall_per_sim_ns", s.name));
+            }
             let mut phase_names = std::collections::HashSet::new();
             for p in &s.phases {
                 if !phase_names.insert(&p.name) {
@@ -305,6 +333,15 @@ fn parse_scenario(v: &Json) -> Result<ScenarioResult, String> {
         bytes_per_node: match obj.opt_field("bytes_per_node") {
             Some(v) => v.u64("bytes_per_node")?,
             None => 0,
+        },
+        // Both fields postdate schema v2; absent means unrecorded.
+        slots_skipped: match obj.opt_field("slots_skipped") {
+            Some(v) => v.u64("slots_skipped")?,
+            None => 0,
+        },
+        wall_per_sim_ns: match obj.opt_field("wall_per_sim_ns") {
+            Some(v) => v.f64("wall_per_sim_ns")?,
+            None => 0.0,
         },
         phases: obj
             .field("phases")?
@@ -349,6 +386,15 @@ pub struct CompareRow {
     pub rss_delta_pct: f64,
     /// True when the RSS growth exceeds the threshold.
     pub rss_regressed: bool,
+    /// Baseline wall-ns per simulated ns (0 = unrecorded).
+    pub baseline_wps: f64,
+    /// Current wall-ns per simulated ns (0 = unrecorded).
+    pub current_wps: f64,
+    /// Relative wall-per-sim-ns change in percent (positive = slower
+    /// per simulated nanosecond); 0 when either side never recorded it.
+    pub wps_delta_pct: f64,
+    /// True when the wall-per-sim-ns growth exceeds the threshold.
+    pub wps_regressed: bool,
 }
 
 /// The result of comparing a current report against a baseline.
@@ -364,10 +410,14 @@ pub struct Comparison {
 }
 
 impl Comparison {
-    /// True when any scenario regressed (in throughput or peak RSS) or
-    /// disappeared.
+    /// True when any scenario regressed (in throughput, peak RSS, or
+    /// wall-clock per simulated nanosecond) or disappeared.
     pub fn regressed(&self) -> bool {
-        !self.missing.is_empty() || self.rows.iter().any(|r| r.regressed || r.rss_regressed)
+        !self.missing.is_empty()
+            || self
+                .rows
+                .iter()
+                .any(|r| r.regressed || r.rss_regressed || r.wps_regressed)
     }
 
     /// The delta table, one row per compared scenario.
@@ -378,14 +428,24 @@ impl Comparison {
             "current cells/s",
             "delta",
             "rss delta",
+            "wall/sim delta",
             "verdict",
         ]);
         for r in &self.rows {
-            let verdict = match (r.regressed, r.rss_regressed) {
-                (false, false) => "ok".to_string(),
-                (true, false) => "REGRESSED (cells/s)".to_string(),
-                (false, true) => "REGRESSED (rss)".to_string(),
-                (true, true) => "REGRESSED (cells/s, rss)".to_string(),
+            let mut failed = Vec::new();
+            if r.regressed {
+                failed.push("cells/s");
+            }
+            if r.rss_regressed {
+                failed.push("rss");
+            }
+            if r.wps_regressed {
+                failed.push("wall/sim");
+            }
+            let verdict = if failed.is_empty() {
+                "ok".to_string()
+            } else {
+                format!("REGRESSED ({})", failed.join(", "))
             };
             t.row(vec![
                 r.scenario.clone(),
@@ -394,6 +454,11 @@ impl Comparison {
                 format!("{:+.1}%", r.delta_pct),
                 if r.baseline_rss > 0 && r.current_rss > 0 {
                     format!("{:+.1}%", r.rss_delta_pct)
+                } else {
+                    "n/a".to_string()
+                },
+                if r.baseline_wps > 0.0 && r.current_wps > 0.0 {
+                    format!("{:+.1}%", r.wps_delta_pct)
                 } else {
                     "n/a".to_string()
                 },
@@ -406,7 +471,8 @@ impl Comparison {
         }
         let _ = writeln!(
             out,
-            "threshold: {:.1}% slowdown on cells/sec, {:.1}% growth on peak RSS",
+            "threshold: {:.1}% slowdown on cells/sec, {:.1}% growth on peak RSS \
+             and wall-ns per simulated ns",
             self.threshold_pct, self.threshold_pct
         );
         out
@@ -414,10 +480,12 @@ impl Comparison {
 }
 
 /// Compares `current` against `baseline`, flagging any scenario whose
-/// cells/sec fell — or whose peak RSS grew — by more than
-/// `threshold_pct` percent. RSS is only gated when both reports
-/// recorded it (legacy baselines and non-Linux runs carry 0). Scenarios
-/// only present in `current` are reported but never regress.
+/// cells/sec fell — or whose peak RSS or wall-ns-per-simulated-ns grew
+/// — by more than `threshold_pct` percent. RSS and wall-per-sim-ns are
+/// only gated when both reports recorded them (legacy baselines carry
+/// 0, as do non-Linux runs for RSS and epoch-counting scenarios for
+/// wall-per-sim-ns). Scenarios only present in `current` are reported
+/// but never regress.
 pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold_pct: f64) -> Comparison {
     let mut rows = Vec::new();
     for cur in &current.scenarios {
@@ -435,6 +503,11 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold_pct: f64
         } else {
             0.0
         };
+        let wps_delta_pct = if base.wall_per_sim_ns > 0.0 && cur.wall_per_sim_ns > 0.0 {
+            (cur.wall_per_sim_ns - base.wall_per_sim_ns) / base.wall_per_sim_ns * 100.0
+        } else {
+            0.0
+        };
         rows.push(CompareRow {
             scenario: cur.name.clone(),
             baseline_cps: base.cells_per_sec,
@@ -445,6 +518,11 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold_pct: f64
             current_rss: cur.peak_rss_bytes,
             rss_delta_pct,
             rss_regressed: rss_delta_pct > threshold_pct,
+            baseline_wps: base.wall_per_sim_ns,
+            current_wps: cur.wall_per_sim_ns,
+            wps_delta_pct,
+            // Lower is better, so only growth regresses.
+            wps_regressed: wps_delta_pct > threshold_pct,
         });
     }
     let missing = baseline
@@ -761,6 +839,8 @@ mod tests {
                     slots_per_sec: 416_000.0,
                     peak_rss_bytes: 9_000_000,
                     bytes_per_node: 70_312,
+                    slots_skipped: 20_000,
+                    wall_per_sim_ns: 24.0,
                     phases: vec![
                         PhaseLine {
                             name: "route".to_string(),
@@ -787,6 +867,8 @@ mod tests {
                     slots_per_sec: 50_000.0,
                     peak_rss_bytes: 9_500_000,
                     bytes_per_node: 74_218,
+                    slots_skipped: 0,
+                    wall_per_sim_ns: 0.0,
                     phases: vec![PhaseLine {
                         name: "transmit".to_string(),
                         calls: 4_000,
@@ -833,6 +915,14 @@ mod tests {
         let mut r = sample();
         r.scenarios[0].phases.clear();
         assert!(r.validate().is_err());
+
+        let mut r = sample();
+        r.scenarios[0].slots_skipped = r.scenarios[0].slots + 1;
+        assert!(r.validate().is_err());
+
+        let mut r = sample();
+        r.scenarios[0].wall_per_sim_ns = f64::NAN;
+        assert!(r.validate().is_err());
     }
 
     #[test]
@@ -864,13 +954,18 @@ mod tests {
 
     #[test]
     fn schema_v1_reports_still_parse_and_validate() {
-        // A v1 file: no bytes_per_node, schema_version 1. Committed
-        // baselines from earlier PRs are such files.
+        // A v1 file: no bytes_per_node (nor the later v3 fields),
+        // schema_version 1. Committed baselines from earlier PRs are
+        // such files.
         let mut json = sample().to_json();
         json = json
             .lines()
-            .filter(|l| !l.contains("\"bytes_per_node\""))
-            .map(|l| l.replace("\"schema_version\": 2", "\"schema_version\": 1"))
+            .filter(|l| {
+                !l.contains("\"bytes_per_node\"")
+                    && !l.contains("\"slots_skipped\"")
+                    && !l.contains("\"wall_per_sim_ns\"")
+            })
+            .map(|l| l.replace("\"schema_version\": 3", "\"schema_version\": 1"))
             .collect::<Vec<_>>()
             .join("\n");
         let back = BenchReport::parse(&json).expect("parse v1 report");
@@ -881,6 +976,25 @@ mod tests {
         let mut r = sample();
         r.schema_version = SCHEMA_VERSION + 1;
         assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn schema_v2_reports_still_parse_and_validate() {
+        // A v2 file: bytes_per_node present, but no slots_skipped or
+        // wall_per_sim_ns. The committed CI baseline predates v3.
+        let mut json = sample().to_json();
+        json = json
+            .lines()
+            .filter(|l| !l.contains("\"slots_skipped\"") && !l.contains("\"wall_per_sim_ns\""))
+            .map(|l| l.replace("\"schema_version\": 3", "\"schema_version\": 2"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = BenchReport::parse(&json).expect("parse v2 report");
+        assert_eq!(back.schema_version, 2);
+        assert!(back.scenarios.iter().all(|s| s.slots_skipped == 0));
+        assert!(back.scenarios.iter().all(|s| s.wall_per_sim_ns == 0.0));
+        assert_eq!(back.scenarios[0].bytes_per_node, 70_312);
+        assert_eq!(back.validate(), Ok(()));
     }
 
     #[test]
@@ -940,6 +1054,33 @@ mod tests {
         cur.scenarios[0].peak_rss_bytes = base.scenarios[0].peak_rss_bytes * 10;
         let cmp = compare(&old, &cur, 10.0);
         assert!(!cmp.rows[0].rss_regressed);
+        assert!(cmp.render().contains("n/a"));
+    }
+
+    #[test]
+    fn compare_gates_on_wall_per_sim_ns_growth() {
+        let base = sample();
+        let mut cur = sample();
+        // 50% more wall per simulated ns at equal throughput: slower
+        // long-horizon stepping is a regression even when cells/sec
+        // (dominated by busy slots) holds steady.
+        cur.scenarios[0].wall_per_sim_ns = base.scenarios[0].wall_per_sim_ns * 1.5;
+        let cmp = compare(&base, &cur, 10.0);
+        assert!(cmp.regressed());
+        assert!(cmp.rows[0].wps_regressed && !cmp.rows[0].regressed);
+        assert!(cmp.render().contains("REGRESSED (wall/sim)"));
+
+        // Getting faster per simulated ns is never a regression.
+        cur.scenarios[0].wall_per_sim_ns = base.scenarios[0].wall_per_sim_ns / 2.0;
+        assert!(!compare(&base, &cur, 10.0).regressed());
+
+        // Pre-v3 baselines carry 0 and skip the gate; scenario 1 never
+        // records it, so its row renders n/a on both sides.
+        let mut old = sample();
+        old.scenarios[0].wall_per_sim_ns = 0.0;
+        cur.scenarios[0].wall_per_sim_ns = base.scenarios[0].wall_per_sim_ns * 10.0;
+        let cmp = compare(&old, &cur, 10.0);
+        assert!(!cmp.rows[0].wps_regressed);
         assert!(cmp.render().contains("n/a"));
     }
 

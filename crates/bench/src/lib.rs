@@ -547,6 +547,12 @@ impl std::error::Error for DriveError {}
 /// the caller can log or publish telemetry. When `stop` is observed the
 /// current slot is already complete; a final checkpoint is written and
 /// [`DriveOutcome::Interrupted`] returned.
+///
+/// When the engine has batched fast-forward enabled
+/// (`Engine::set_fast_forward`), quiet gaps are jumped in one step —
+/// bounded by the next checkpoint boundary, so the snapshot cadence
+/// (and therefore every written checkpoint) is identical to the
+/// slot-by-slot loop.
 #[allow(clippy::too_many_arguments)]
 pub fn drive_checkpointed<P, F, FS>(
     engine: &mut sorn_sim::Engine<'_, P, F>,
@@ -607,7 +613,18 @@ where
             let path = write(engine, &mut decorate, &mut on_written)?;
             return Ok(DriveOutcome::Interrupted { slot, path });
         }
-        engine.step().map_err(DriveError::Sim)?;
+        // Fast-forward quiet gaps (a no-op unless the engine has
+        // `set_fast_forward(true)`), but never past the run goal or the
+        // next checkpoint boundary — checkpoint cadence must be
+        // identical to the slot-by-slot loop so a resumed run replays
+        // the same snapshot sequence.
+        let goal = match mode {
+            RunMode::UntilSlot(end) => end,
+            RunMode::UntilDrained(max_slot) => max_slot,
+        };
+        if engine.fast_forward_to(goal.min(next_ckpt)) == 0 {
+            engine.step().map_err(DriveError::Sim)?;
+        }
         if engine.now_slot() >= next_ckpt {
             write(engine, &mut decorate, &mut on_written)?;
             next_ckpt = engine.now_slot().saturating_add(every);

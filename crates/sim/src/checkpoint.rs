@@ -53,8 +53,9 @@ use std::path::{Path, PathBuf};
 pub const MAGIC: &[u8; 8] = b"SORNCKPT";
 
 /// Current format version. Bump on any layout change; the loader
-/// rejects other versions outright rather than guessing.
-pub const FORMAT_VERSION: u32 = 1;
+/// rejects other versions outright rather than guessing. v2 appended
+/// `Metrics::slots_skipped` to the MET section.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Generations [`CheckpointStore`] retains (current + one fallback).
 pub const KEEP_GENERATIONS: usize = 2;
@@ -584,6 +585,7 @@ impl Snapshot {
         for &t in &m.recovery_times_ns {
             put_u64(&mut out, t);
         }
+        put_u64(&mut out, m.slots_skipped);
         out
     }
 
@@ -1079,6 +1081,7 @@ fn decode_metrics(payload: &[u8]) -> Result<Metrics, String> {
     for _ in 0..recov {
         m.recovery_times_ns.push(c.u64()?);
     }
+    m.slots_skipped = c.u64()?;
     c.finish("MET")?;
     Ok(m)
 }

@@ -49,7 +49,7 @@ use crate::flow_table::FlowTable;
 use crate::hash::FastHashBuilder;
 use crate::metrics::{FlowRecord, LinkMatrix, LinkRow, Metrics};
 use crate::par::WorkerPool;
-use crate::probe::{NoopProbe, Probe, SlotView};
+use crate::probe::{NoopProbe, Probe, SkipView, SlotView};
 use crate::profiler::{NoopProfiler, Phase, Profiler};
 use crate::queues::NodeQueues;
 use crate::rng::NodeRng;
@@ -209,15 +209,24 @@ struct TransmitShard<'w> {
 /// `words[m][w]` counts the scheduled (non-self) ports of pool matching
 /// `m` among nodes `64w .. 64w+63`: when an occupancy word is zero, the
 /// walk charges that many idle ports and skips 64 nodes without touching
-/// a queue. `totals[m]` is the matching's total active circuits, which
-/// is all a provably-quiet slot needs ([`Engine::step_quiet`]).
+/// a queue. `phase_totals`/`period_total` pre-sum those circuit totals
+/// per schedule phase, which is all a provably-quiet slot — or a whole
+/// fast-forwarded gap — needs ([`Engine::step_quiet`],
+/// [`Engine::fast_forward_to`]).
 struct IdleTables {
     words: Vec<Vec<u32>>,
-    totals: Vec<u64>,
+    /// `phase_totals[p]` sums the matchings' circuit totals over the
+    /// uplink-staggered matchings active when `slot % period == p` — the
+    /// idle-port charge of one fully-quiet slot at that phase. Summed in
+    /// uplink order, exactly like the per-slot accounting it replaces.
+    phase_totals: Vec<u64>,
+    /// Sum of `phase_totals`: the idle-port charge of one whole quiet
+    /// schedule period, for closed-form gap accounting.
+    period_total: u64,
 }
 
 impl IdleTables {
-    fn build(schedule: &CircuitSchedule) -> Self {
+    fn build(schedule: &CircuitSchedule, cfg: &SimConfig) -> Self {
         let n = schedule.n();
         let pool = schedule.matchings();
         let mut words = Vec::with_capacity(pool.len());
@@ -234,7 +243,21 @@ impl IdleTables {
             words.push(per);
             totals.push(total);
         }
-        IdleTables { words, totals }
+        let period = schedule.period() as u64;
+        let phase_totals: Vec<u64> = (0..period)
+            .map(|phase| {
+                staggered_matchings(schedule, cfg, phase)
+                    .iter()
+                    .map(|&(pi, _)| totals[pi])
+                    .sum()
+            })
+            .collect();
+        let period_total = phase_totals.iter().sum();
+        IdleTables {
+            words,
+            phase_totals,
+            period_total,
+        }
     }
 }
 
@@ -325,6 +348,11 @@ pub struct Engine<'a, P: Probe = NoopProbe, F: Profiler = NoopProfiler> {
     /// hop-by-hop spans. Pure hash of `(seed, flow id)` — it never
     /// draws from the routing streams, so tracing cannot perturb a run.
     tracer: Option<FlowSampler>,
+    /// Opt-in batched quiet-gap skipping (see
+    /// [`Engine::set_fast_forward`]). A runtime knob, not simulation
+    /// state: it is deliberately *not* checkpointed, so a resumed run
+    /// chooses it afresh.
+    ff_enabled: bool,
     probe: P,
     profiler: F,
 }
@@ -412,7 +440,7 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
             injecting_flows: 0,
             table: FlowTable::new(),
             occupancy: vec![0; n.div_ceil(64)],
-            idle_tables: IdleTables::build(schedule),
+            idle_tables: IdleTables::build(schedule, &cfg),
             inflight: SlotCalendar::new(delay_slots),
             queued_cells: 0,
             failures: FailureSet::none(),
@@ -433,6 +461,7 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
             node_arrivals: vec![Vec::new(); n],
             finished_flows: Vec::new(),
             tracer: (cfg.trace_one_in > 0).then(|| FlowSampler::new(cfg.seed, cfg.trace_one_in)),
+            ff_enabled: false,
             probe,
             profiler,
             cfg,
@@ -557,10 +586,15 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
             && self.injecting_flows == 0
     }
 
-    /// Runs `slots` more slots.
+    /// Runs `slots` more slots. With fast-forward enabled
+    /// ([`Engine::set_fast_forward`]), quiet gaps inside the range are
+    /// jumped in O(1) per gap instead of O(slots).
     pub fn run_slots(&mut self, slots: u64) -> Result<(), SimError> {
-        for _ in 0..slots {
-            self.step()?;
+        let deadline = self.slot + slots;
+        while self.slot < deadline {
+            if self.fast_forward_to(deadline) == 0 {
+                self.step()?;
+            }
         }
         Ok(())
     }
@@ -573,10 +607,31 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
             if self.is_drained() {
                 return Ok(true);
             }
-            self.step()?;
+            if self.fast_forward_to(deadline) == 0 {
+                self.step()?;
+            }
         }
         // One more check: the last step may have drained the system.
         Ok(self.is_drained())
+    }
+
+    /// Enables batched quiet-gap skipping: [`Engine::fast_forward_to`]
+    /// (and through it [`Engine::run_slots`] /
+    /// [`Engine::run_until_drained`]) may jump whole quiescent spans in
+    /// one arithmetic step instead of per-slot [`Engine::step_quiet`]
+    /// calls. Off by default. Results are bit-identical either way —
+    /// the only observable difference is that probes receive one
+    /// [`Probe::on_slots_skipped`] call per span instead of per-slot
+    /// [`Probe::on_slot_end`] calls, and every probe in this workspace
+    /// batches those spans exactly. Not checkpointed: re-enable after a
+    /// restore if wanted.
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.ff_enabled = enabled;
+    }
+
+    /// True when batched quiet-gap skipping is enabled.
+    pub fn fast_forward_enabled(&self) -> bool {
+        self.ff_enabled
     }
 
     /// True when this slot provably has no work: nothing queued or
@@ -615,9 +670,9 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
         // identical to the full path's drain loop.
         let stray = self.inflight.pop_due(self.slot);
         debug_assert!(stray.is_none(), "quiet slot released an arrival");
-        for &(pi, _) in &staggered_matchings(self.schedule, &self.cfg, self.slot) {
-            self.metrics.idle_circuit_slots += self.idle_tables.totals[pi];
-        }
+        let period = self.schedule.period() as u64;
+        self.metrics.idle_circuit_slots +=
+            self.idle_tables.phase_totals[(self.slot % period) as usize];
         if self.metrics.stranded_cells != 0 {
             self.metrics.stranded_cells = 0;
         }
@@ -630,6 +685,7 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
         }
         self.slot += 1;
         self.metrics.slots = self.slot;
+        self.metrics.slots_skipped += 1;
         self.probe.on_slot_end(&SlotView {
             slot: self.slot,
             now_ns: now,
@@ -639,6 +695,105 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
             active_flows: self.table.live_count(),
             queues: &self.queues,
         });
+    }
+
+    /// Jumps an entire quiescent gap — from the current slot up to (but
+    /// bounded by) `target` — in one arithmetic step, and returns how
+    /// many slots it covered (`0` means "no jump: call
+    /// [`Engine::step`]"). The jump stops at the earliest of `target`,
+    /// the calendar's [`SlotCalendar::next_due_slot`], the first slot a
+    /// pending flow activation lands in, and the first slot the next
+    /// scripted [`FaultPlan`] event affects — exactly the conditions
+    /// under which per-slot stepping would stop finding the slot quiet —
+    /// and the attached probe's [`Probe::next_boundary_ns`] (an interval
+    /// sampler's next mark). Reconfiguration and checkpoint boundaries
+    /// are the *caller's* boundaries: pass the slot you would otherwise
+    /// have stepped to (drivers that `install_schedule` or checkpoint at
+    /// slot `s` pass `target = s`); epoch-series boundaries need no
+    /// bound because probes batch whole spans exactly via
+    /// [`Probe::on_slots_skipped`].
+    ///
+    /// No RNG is drawn in a quiet slot, so the skipped span is pure
+    /// arithmetic: metrics, calendar head, checkpoint bytes, and every
+    /// workspace probe's state end up bit-identical to stepping
+    /// slot-by-slot, at any `engine_threads`.
+    ///
+    /// Returns `0` (and does nothing) when fast-forward is disabled
+    /// (see [`Engine::set_fast_forward`]), the current slot is not
+    /// provably quiet, or the bounded gap is shorter than two slots.
+    pub fn fast_forward_to(&mut self, target: u64) -> u64 {
+        if !self.ff_enabled {
+            return 0;
+        }
+        let now = self.cfg.slot_start(self.slot);
+        if !self.slot_is_quiet(now) {
+            return 0;
+        }
+        let slot_ns = self.cfg.slot_ns;
+        let mut bound = target;
+        if let Some(due) = self.inflight.next_due_slot() {
+            bound = bound.min(due);
+        }
+        if let Some(&Reverse((t, _))) = self.future_flows.peek() {
+            // The activation drain admits flows with `t <= now`, so the
+            // first slot that sees this flow is the first with
+            // `slot_start(slot) >= t`.
+            bound = bound.min(t.div_ceil(slot_ns));
+        }
+        if let Some(e) = self.fault_plan.events().get(self.fault_cursor) {
+            bound = bound.min(e.at_ns.div_ceil(slot_ns));
+        }
+        if let Some(t) = self.probe.next_boundary_ns() {
+            // The first slot whose end view carries `now_ns >= t` must
+            // close the span: views are `(slot, now_ns = (slot-1) *
+            // slot_ns)`, so that slot is `ceil(t / slot_ns) + 1`.
+            bound = bound.min(t.div_ceil(slot_ns) + 1);
+        }
+        if bound <= self.slot + 1 {
+            return 0;
+        }
+        let skipped = bound - self.slot;
+        // Collapse the calendar's head-slot evolution: N quiet
+        // `pop_due(s)` calls leave `head_slot = max(head, bound)`, the
+        // same as one `pop_due(bound - 1)`.
+        let stray = self.inflight.pop_due(bound - 1);
+        debug_assert!(stray.is_none(), "quiet gap released an arrival");
+        // Closed-form idle-port accounting: whole schedule periods in
+        // one multiply, the remainder phase-by-phase. Identical u64 sums
+        // to the per-slot loop.
+        let period = self.schedule.period() as u64;
+        let whole = skipped / period;
+        self.metrics.idle_circuit_slots += whole * self.idle_tables.period_total;
+        for s in (self.slot + whole * period)..bound {
+            self.metrics.idle_circuit_slots += self.idle_tables.phase_totals[(s % period) as usize];
+        }
+        if self.metrics.stranded_cells != 0 {
+            self.metrics.stranded_cells = 0;
+        }
+        if let Some(restored_at) = self.episode.awaiting_recovery_since {
+            // The first slot of the gap would have closed the episode.
+            self.metrics
+                .recovery_times_ns
+                .push(now.saturating_sub(restored_at));
+            self.episode.awaiting_recovery_since = None;
+        }
+        self.slot = bound;
+        self.metrics.slots = bound;
+        self.metrics.slots_skipped += skipped;
+        self.probe.on_slots_skipped(&SkipView {
+            end: SlotView {
+                slot: bound,
+                now_ns: self.cfg.slot_start(bound - 1),
+                metrics: &self.metrics,
+                total_queued: 0,
+                inflight_cells: self.inflight.len(),
+                active_flows: self.table.live_count(),
+                queues: &self.queues,
+            },
+            skipped,
+            slot_ns,
+        });
+        skipped
     }
 
     /// Advances one slot: deliveries, arrivals, injection, transmission.
@@ -1250,7 +1405,7 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
         );
         let _span = self.profiler.span(Phase::Reconfigure);
         self.schedule = schedule;
-        self.idle_tables = IdleTables::build(schedule);
+        self.idle_tables = IdleTables::build(schedule, &self.cfg);
         self.probe
             .on_reconfiguration(self.slot, self.cfg.slot_start(self.slot));
     }
@@ -1606,7 +1761,7 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
             injecting_flows,
             table,
             occupancy,
-            idle_tables: IdleTables::build(schedule),
+            idle_tables: IdleTables::build(schedule, &cfg),
             inflight,
             queued_cells,
             failures,
@@ -1626,6 +1781,7 @@ impl<'a, P: Probe, F: Profiler> Engine<'a, P, F> {
             node_arrivals: vec![Vec::new(); n],
             finished_flows: Vec::new(),
             tracer: (cfg.trace_one_in > 0).then(|| FlowSampler::new(cfg.seed, cfg.trace_one_in)),
+            ff_enabled: false,
             probe,
             profiler,
             cfg,
@@ -1807,10 +1963,7 @@ fn transmit_popped(
             &cell,
             v,
             now,
-            HopKind::Transmit {
-                to: w,
-                depth_after,
-            },
+            HopKind::Transmit { to: w, depth_after },
         ));
     }
     shard_out.sent.push((v, w, cell));

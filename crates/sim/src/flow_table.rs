@@ -287,7 +287,10 @@ mod tests {
         assert_eq!((c.seq, done), (1, true));
         assert!(t.record_delivery(FlowId(10), 1, 300).is_none());
         let rec = t.record_delivery(FlowId(10), 3, 400).expect("complete");
-        assert_eq!((rec.id, rec.completion_ns, rec.max_hops), (FlowId(10), 400, 3));
+        assert_eq!(
+            (rec.id, rec.completion_ns, rec.max_hops),
+            (FlowId(10), 400, 3)
+        );
         assert_eq!(t.live_count(), 0);
         // The freed slot is reused for the next flow, LIFO.
         assert_eq!(t.insert(&flow(20), 1), 0);
@@ -319,8 +322,7 @@ mod tests {
         assert_eq!(slab.len(), 3);
         assert!(slab[1].is_none());
         assert_eq!(free, vec![1]);
-        let rebuilt =
-            FlowTable::from_slab(&slab, free.iter().map(|&f| f as u32).collect());
+        let rebuilt = FlowTable::from_slab(&slab, free.iter().map(|&f| f as u32).collect());
         assert_eq!(rebuilt.live_count(), 2);
         assert_eq!(rebuilt.to_slab().len(), 3);
         // The rebuilt table allocates the vacant slot next, as before.

@@ -47,6 +47,7 @@ mod failure;
 mod fault;
 mod flow_table;
 mod hash;
+pub mod macroflow;
 mod metrics;
 mod par;
 mod probe;
@@ -67,9 +68,12 @@ pub use failure::FailureSet;
 pub use fault::{
     FaultAction, FaultEvent, FaultPlan, FaultStorm, FaultTarget, FaultView, LinkHealth,
 };
+pub use macroflow::{
+    run_hybrid, FluidStats, FluidStop, FluidTier, HybridReport, IdealOracle, MacroFlow, RateOracle,
+};
 pub use metrics::{FlowRecord, LatencyHistogram, LinkMatrix, Metrics};
 pub use par::WorkerPool;
-pub use probe::{NoopProbe, Probe, SlotView};
+pub use probe::{NoopProbe, Probe, SkipView, SlotView};
 pub use profiler::{NoopProfiler, Phase, PhaseSpan, Profiler};
 pub use queues::NodeQueues;
 pub use rng::NodeRng;

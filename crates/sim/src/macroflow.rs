@@ -1,0 +1,607 @@
+//! Fluid bulk-flow tier: flow-level rate integration for stable epochs.
+//!
+//! Cell-level simulation walks every node every slot, which is the right
+//! fidelity for congestion transients but absurd for the long stretches
+//! of a diurnal trace where a handful of bulk transfers drain at steady
+//! rates. This module models those stretches as *macroflows*: each flow
+//! is a fluid with a remaining byte count, advanced in closed form
+//! between rate-changing events (arrivals, completions) at rates given
+//! by a [`RateOracle`] — in practice the flow-level evaluator in
+//! `sorn-routing` (`evaluate`), so the fluid tier sustains exactly the
+//! worst-case throughput the paper's Figure 2(f) machinery predicts for
+//! the active demand.
+//!
+//! The tier is only valid while the fabric is *stable*: no failures and
+//! no schedule changes. [`FluidTier::advance`] therefore refuses to
+//! integrate across a [`FaultPlan`] event and hands control back with
+//! [`FluidStop::FaultBoundary`]; the caller then [`FluidTier::demote`]s
+//! the remaining work into ordinary cell-level [`Flow`]s and feeds them
+//! to an [`Engine`](crate::Engine). [`run_hybrid`] packages that whole
+//! dance: fluid until the first fault (or an external boundary such as a
+//! planned reconfiguration), then demote into a fast-forwarding cell
+//! engine that jumps the already-covered quiet prefix and simulates the
+//! faulty era at full fidelity.
+//!
+//! ## Fidelity contract
+//!
+//! The fluid tier is an approximation, cross-validated against the cell
+//! engine in `tests/macroflow_validation.rs` (root crate):
+//!
+//! - Source fair share: a node's active flows split its line rate
+//!   equally; the oracle's throughput scalar then scales *all* flows
+//!   uniformly (the evaluator's "largest uniform demand scaling"), not
+//!   per-flow max-min. Under skewed demand this under-serves
+//!   uncontended flows.
+//! - No propagation delay, no slot quantization, no queueing: each
+//!   completion is exact fluid drain time, rounded up to whole
+//!   nanoseconds. Cell-level completions land later by queueing +
+//!   propagation, which is O(hops · propagation_ns + cells/uplink
+//!   scheduling slack) — a constant per flow, so relative makespan
+//!   error shrinks as flows grow. The validation suite pins ≤ 5 %
+//!   makespan error for direct single-circuit traffic and ≤ 15 % for
+//!   sprayed VLB traffic on the golden scenarios.
+
+use crate::cell::{Flow, FlowId};
+use crate::config::{Nanos, SimConfig};
+use crate::engine::{Engine, SimError};
+use crate::fault::FaultPlan;
+use crate::metrics::{FlowRecord, Metrics};
+use crate::router::Router;
+use sorn_topology::CircuitSchedule;
+
+/// Gives the sustainable throughput of a normalized demand matrix.
+///
+/// `demand` is a dense row-major `n × n` matrix; entry `(s, d)` is the
+/// fraction of source `s`'s line rate currently demanded toward `d`
+/// (diagonal zero, rows sum to at most 1). The oracle returns the
+/// largest uniform scaling `theta` of that matrix the fabric sustains —
+/// the same quantity as `ThroughputReport::throughput` in
+/// `sorn-routing::flowlevel`, which is the intended implementation
+/// (`FlowLevelOracle` there adapts `evaluate` to this trait). Values
+/// above 1 mean headroom; the fluid tier clamps to 1 because sources
+/// cannot exceed their line rate.
+///
+/// The trait lives here rather than in `sorn-routing` because the
+/// dependency points the other way: routing implements oracles, the sim
+/// consumes them.
+pub trait RateOracle {
+    /// Sustainable uniform scaling of `demand` (see trait docs).
+    fn throughput(&mut self, n: usize, demand: &[f64]) -> f64;
+}
+
+/// An ideal non-blocking fabric: sustains any admissible demand.
+///
+/// Useful for unit tests and as an upper-bound reference; real runs
+/// want the flow-level oracle from `sorn-routing`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdealOracle;
+
+impl RateOracle for IdealOracle {
+    fn throughput(&mut self, _n: usize, _demand: &[f64]) -> f64 {
+        1.0
+    }
+}
+
+/// A bulk flow advanced as a fluid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacroFlow {
+    /// Flow id, carried through demotion and completion records.
+    pub id: FlowId,
+    /// Source node index.
+    pub src: u32,
+    /// Destination node index.
+    pub dst: u32,
+    /// Original transfer size in bytes.
+    pub size_bytes: u64,
+    /// Bytes not yet drained (fractional mid-epoch).
+    pub remaining_bytes: f64,
+    /// Arrival time at the source NIC.
+    pub arrival_ns: Nanos,
+}
+
+/// Why [`FluidTier::advance`] stopped.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FluidStop {
+    /// Every flow (active and pending) completed before the target.
+    Drained,
+    /// Integrated cleanly up to the requested time.
+    ReachedTarget,
+    /// A fault-plan event at this time ends the stable epoch; the
+    /// caller must [`FluidTier::demote`] before simulating further.
+    FaultBoundary(Nanos),
+    /// The oracle reported zero sustainable throughput (for example, a
+    /// demand over edges the schedule never provides). No progress is
+    /// possible at fluid fidelity; demote to cell level.
+    Stalled,
+}
+
+/// Aggregate outcomes of a fluid run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FluidStats {
+    /// Bytes drained at fluid fidelity.
+    pub delivered_bytes: f64,
+    /// Completion records (`max_hops` is 0: hops are not modeled).
+    pub completed: Vec<FlowRecord>,
+    /// Rate re-solves performed (one oracle call each).
+    pub resolves: u64,
+}
+
+/// Completion-time slack, in bytes, absorbing float error when a flow's
+/// remaining count lands within a whisker of zero.
+const EPS_BYTES: f64 = 1e-6;
+
+/// The fluid tier: macroflows advanced in closed form between events.
+#[derive(Debug)]
+pub struct FluidTier<O> {
+    n: usize,
+    oracle: O,
+    /// Node line rate in bytes per nanosecond (all uplinks).
+    line_rate: f64,
+    now: f64,
+    active: Vec<MacroFlow>,
+    /// Future arrivals, sorted by descending `arrival_ns` (pop back).
+    pending: Vec<Flow>,
+    stats: FluidStats,
+}
+
+impl<O: RateOracle> FluidTier<O> {
+    /// Creates an empty tier over `n` nodes with `cfg`'s line rate.
+    pub fn new(n: usize, cfg: &SimConfig, oracle: O) -> Self {
+        assert!(n >= 2, "fluid tier needs at least two nodes");
+        FluidTier {
+            n,
+            oracle,
+            line_rate: cfg.uplinks as f64 * cfg.cell_bytes as f64 / cfg.slot_ns as f64,
+            now: 0.0,
+            active: Vec::new(),
+            pending: Vec::new(),
+            stats: FluidStats::default(),
+        }
+    }
+
+    /// Adds bulk flows (future arrivals allowed; `src != dst` required).
+    pub fn add_flows(&mut self, flows: impl IntoIterator<Item = Flow>) {
+        for f in flows {
+            assert!(
+                f.src != f.dst,
+                "macroflow {:?} has src == dst == {:?}",
+                f.id,
+                f.src
+            );
+            assert!(
+                f.src.index() < self.n && f.dst.index() < self.n,
+                "macroflow {:?} endpoints out of range for n = {}",
+                f.id,
+                self.n
+            );
+            self.pending.push(f);
+        }
+        self.pending
+            .sort_by(|a, b| b.arrival_ns.cmp(&a.arrival_ns).then(b.id.0.cmp(&a.id.0)));
+    }
+
+    /// Current fluid clock, rounded up to whole nanoseconds.
+    pub fn now_ns(&self) -> Nanos {
+        self.now.ceil() as Nanos
+    }
+
+    /// True when no active or pending flow remains.
+    pub fn is_drained(&self) -> bool {
+        self.active.is_empty() && self.pending.is_empty()
+    }
+
+    /// Flows currently draining.
+    pub fn active(&self) -> &[MacroFlow] {
+        &self.active
+    }
+
+    /// Outcomes so far.
+    pub fn stats(&self) -> &FluidStats {
+        &self.stats
+    }
+
+    /// Integrates up to `until` (ns) but never across a fault-plan
+    /// event: the first event strictly after the current clock bounds
+    /// the epoch, and reaching it returns
+    /// [`FluidStop::FaultBoundary`] with the clock parked there.
+    pub fn advance(&mut self, until: Nanos, plan: &FaultPlan) -> FluidStop {
+        let boundary = plan
+            .events()
+            .iter()
+            .map(|e| e.at_ns)
+            .find(|&t| (t as f64) > self.now);
+        let target = boundary.map_or(until, |b| b.min(until));
+        let stop = self.integrate_to(target as f64);
+        match stop {
+            FluidStop::ReachedTarget if boundary == Some(target) => {
+                FluidStop::FaultBoundary(target)
+            }
+            other => other,
+        }
+    }
+
+    /// Event-driven integration: between consecutive events (arrival,
+    /// completion, target) rates are constant, so each span is one
+    /// closed-form update. Runs in O(events × resolve cost).
+    fn integrate_to(&mut self, target: f64) -> FluidStop {
+        loop {
+            self.admit_arrivals();
+            if self.active.is_empty() {
+                // Jump straight to the next arrival, or the target.
+                match self.pending.last() {
+                    None => {
+                        self.now = self.now.max(target);
+                        return FluidStop::Drained;
+                    }
+                    Some(f) if (f.arrival_ns as f64) <= target => {
+                        self.now = f.arrival_ns as f64;
+                        continue;
+                    }
+                    Some(_) => {
+                        self.now = target;
+                        return FluidStop::ReachedTarget;
+                    }
+                }
+            }
+            if self.now >= target {
+                return FluidStop::ReachedTarget;
+            }
+
+            let rates = self.solve_rates();
+            let min_rate = rates.iter().fold(f64::INFINITY, |a, &r| a.min(r));
+            if min_rate <= 0.0 {
+                return FluidStop::Stalled;
+            }
+
+            // Next event: target, next arrival, or earliest completion.
+            let mut dt = target - self.now;
+            if let Some(f) = self.pending.last() {
+                dt = dt.min(f.arrival_ns as f64 - self.now);
+            }
+            for (f, &r) in self.active.iter().zip(&rates) {
+                dt = dt.min(f.remaining_bytes / r);
+            }
+
+            self.now += dt;
+            let mut i = 0;
+            for (j, &r) in rates.iter().enumerate() {
+                let f = &mut self.active[j];
+                let drained = (r * dt).min(f.remaining_bytes);
+                f.remaining_bytes -= drained;
+                self.stats.delivered_bytes += drained;
+                if f.remaining_bytes <= EPS_BYTES {
+                    self.stats.completed.push(FlowRecord {
+                        id: f.id,
+                        size_bytes: f.size_bytes,
+                        arrival_ns: f.arrival_ns,
+                        completion_ns: self.now.ceil() as Nanos,
+                        max_hops: 0,
+                    });
+                } else {
+                    self.active.swap(i, j);
+                    i += 1;
+                }
+            }
+            self.active.truncate(i);
+        }
+    }
+
+    /// Moves pending flows whose arrival time has come into the active
+    /// set.
+    fn admit_arrivals(&mut self) {
+        while let Some(f) = self.pending.last() {
+            if (f.arrival_ns as f64) > self.now {
+                break;
+            }
+            let f = self.pending.pop().unwrap();
+            self.active.push(MacroFlow {
+                id: f.id,
+                src: f.src.0,
+                dst: f.dst.0,
+                size_bytes: f.size_bytes,
+                remaining_bytes: f.size_bytes as f64,
+                arrival_ns: f.arrival_ns,
+            });
+        }
+    }
+
+    /// Per-flow rates (bytes/ns): equal split of each source's line
+    /// rate, scaled by the oracle's uniform throughput (clamped to 1).
+    fn solve_rates(&mut self) -> Vec<f64> {
+        let mut per_src = vec![0u32; self.n];
+        for f in &self.active {
+            per_src[f.src as usize] += 1;
+        }
+        let mut demand = vec![0.0; self.n * self.n];
+        for f in &self.active {
+            demand[f.src as usize * self.n + f.dst as usize] +=
+                1.0 / per_src[f.src as usize] as f64;
+        }
+        let theta = self.oracle.throughput(self.n, &demand).min(1.0);
+        self.stats.resolves += 1;
+        self.active
+            .iter()
+            .map(|f| theta * self.line_rate / per_src[f.src as usize] as f64)
+            .collect()
+    }
+
+    /// Converts all remaining work back into cell-level [`Flow`]s and
+    /// empties the tier: partially-drained flows restart *now* with
+    /// their remaining bytes (rounded up to a whole byte, so no work is
+    /// lost), never-started flows keep their original arrival times.
+    /// Feed the result to [`Engine::add_flows`](crate::Engine::add_flows).
+    pub fn demote(&mut self) -> Vec<Flow> {
+        let now = self.now_ns();
+        let mut out: Vec<Flow> = self
+            .active
+            .drain(..)
+            .map(|f| Flow {
+                id: f.id,
+                src: sorn_topology::NodeId(f.src),
+                dst: sorn_topology::NodeId(f.dst),
+                size_bytes: (f.remaining_bytes.ceil() as u64).max(1),
+                arrival_ns: now,
+            })
+            .collect();
+        out.extend(self.pending.drain(..).rev());
+        out
+    }
+}
+
+/// Result of a [`run_hybrid`] execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HybridReport {
+    /// Simulated time covered at fluid fidelity.
+    pub fluid_ns: Nanos,
+    /// Flows fully drained by the fluid tier.
+    pub fluid_completed: Vec<FlowRecord>,
+    /// Bytes drained at fluid fidelity.
+    pub fluid_delivered_bytes: u64,
+    /// Oracle re-solves performed.
+    pub resolves: u64,
+    /// When (and whether) the run demoted to cell level.
+    pub demoted_at_ns: Option<Nanos>,
+    /// Flows handed to the cell engine at demotion.
+    pub demoted_flows: usize,
+    /// Cell-level metrics for the demoted era (`None` if never demoted).
+    pub cell_metrics: Option<Metrics>,
+    /// Whether all traffic drained within the slot budget.
+    pub drained: bool,
+    /// Last completion time across both tiers.
+    pub makespan_ns: Nanos,
+}
+
+/// Runs `flows` to completion: fluid while the fabric is stable, then
+/// demoted into a fast-forwarding cell [`Engine`] for the faulty era.
+///
+/// The stable epoch ends at the earliest of the first [`FaultPlan`]
+/// event and `stable_until_ns` (an external boundary such as a planned
+/// reconfiguration — pass `None` when there is none). The cell engine
+/// starts at slot 0 on the *absolute* clock with fast-forward enabled,
+/// so the already-covered quiet prefix is jumped in a handful of
+/// batched skips rather than re-simulated, and the fault plan applies
+/// at its original times.
+#[allow(clippy::too_many_arguments)]
+pub fn run_hybrid(
+    cfg: SimConfig,
+    schedule: &CircuitSchedule,
+    router: &dyn Router,
+    oracle: impl RateOracle,
+    flows: Vec<Flow>,
+    plan: FaultPlan,
+    stable_until_ns: Option<Nanos>,
+    max_slots: u64,
+) -> Result<HybridReport, SimError> {
+    let horizon = cfg.slot_start(max_slots);
+    let mut fluid = FluidTier::new(schedule.n(), &cfg, oracle);
+    fluid.add_flows(flows);
+    let stop = fluid.advance(stable_until_ns.unwrap_or(horizon).min(horizon), &plan);
+
+    let fluid_makespan = fluid
+        .stats()
+        .completed
+        .iter()
+        .map(|r| r.completion_ns)
+        .max()
+        .unwrap_or(0);
+    let mut report = HybridReport {
+        fluid_ns: fluid.now_ns(),
+        fluid_completed: fluid.stats().completed.clone(),
+        fluid_delivered_bytes: fluid.stats().delivered_bytes.round() as u64,
+        resolves: fluid.stats().resolves,
+        demoted_at_ns: None,
+        demoted_flows: 0,
+        cell_metrics: None,
+        drained: matches!(stop, FluidStop::Drained),
+        makespan_ns: fluid_makespan,
+    };
+    if matches!(stop, FluidStop::Drained) {
+        return Ok(report);
+    }
+
+    let demoted = fluid.demote();
+    report.demoted_at_ns = Some(fluid.now_ns());
+    report.demoted_flows = demoted.len();
+
+    let mut eng = Engine::new(cfg, schedule, router);
+    eng.set_fast_forward(true);
+    eng.add_flows(demoted)?;
+    eng.set_fault_plan(plan);
+    report.drained = eng.run_until_drained(max_slots)?;
+    let metrics = eng.metrics().clone();
+    eng.finish();
+    report.makespan_ns = fluid_makespan.max(cfg.slot_start(metrics.slots));
+    report.cell_metrics = Some(metrics);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::DirectRouter;
+    use sorn_topology::builders::round_robin;
+    use sorn_topology::NodeId;
+
+    fn flow(id: u64, src: u32, dst: u32, bytes: u64, at: Nanos) -> Flow {
+        Flow {
+            id: FlowId(id),
+            src: NodeId(src),
+            dst: NodeId(dst),
+            size_bytes: bytes,
+            arrival_ns: at,
+        }
+    }
+
+    fn cfg() -> SimConfig {
+        // line rate: 1 × 1250 B / 100 ns = 12.5 B/ns.
+        SimConfig::default()
+    }
+
+    #[test]
+    fn single_flow_drains_at_line_rate_under_ideal_oracle() {
+        let mut tier = FluidTier::new(4, &cfg(), IdealOracle);
+        tier.add_flows([flow(0, 0, 1, 125_000, 1_000)]);
+        assert_eq!(
+            tier.advance(1_000_000, &FaultPlan::new()),
+            FluidStop::Drained
+        );
+        // 125 kB at 12.5 B/ns = 10 000 ns after the 1 000 ns arrival.
+        assert_eq!(tier.stats().completed.len(), 1);
+        assert_eq!(tier.stats().completed[0].completion_ns, 11_000);
+        assert!(tier.is_drained());
+    }
+
+    #[test]
+    fn same_source_flows_share_the_line_rate() {
+        let mut tier = FluidTier::new(4, &cfg(), IdealOracle);
+        // Two equal flows from node 0: each gets half rate until the
+        // first completes, then the survivor takes the full rate. With
+        // equal sizes both finish together at 2× the solo drain time.
+        tier.add_flows([flow(0, 0, 1, 125_000, 0), flow(1, 0, 2, 125_000, 0)]);
+        assert_eq!(
+            tier.advance(1_000_000, &FaultPlan::new()),
+            FluidStop::Drained
+        );
+        for r in &tier.stats().completed {
+            assert_eq!(r.completion_ns, 20_000);
+        }
+    }
+
+    #[test]
+    fn late_arrival_resolves_rates_mid_flight() {
+        let mut tier = FluidTier::new(4, &cfg(), IdealOracle);
+        // Flow 0 runs alone for 4 000 ns (50 kB drained), then shares
+        // with flow 1: the remaining 75 kB drain at half rate (12 000
+        // ns). Flow 1 (125 kB at half rate = 20 000 ns) outlives it and
+        // finishes at full rate.
+        tier.add_flows([flow(0, 0, 1, 125_000, 0), flow(1, 0, 2, 125_000, 4_000)]);
+        assert_eq!(
+            tier.advance(1_000_000, &FaultPlan::new()),
+            FluidStop::Drained
+        );
+        let done = &tier.stats().completed;
+        assert_eq!(done[0].id, FlowId(0));
+        assert_eq!(done[0].completion_ns, 16_000);
+        // Flow 1: 75 kB drained by 16 000 ns, 50 kB left at full rate.
+        assert_eq!(done[1].id, FlowId(1));
+        assert_eq!(done[1].completion_ns, 20_000);
+    }
+
+    #[test]
+    fn oracle_throughput_scales_everyone_uniformly() {
+        struct Half;
+        impl RateOracle for Half {
+            fn throughput(&mut self, _n: usize, _d: &[f64]) -> f64 {
+                0.5
+            }
+        }
+        let mut tier = FluidTier::new(4, &cfg(), Half);
+        tier.add_flows([flow(0, 0, 1, 125_000, 0)]);
+        tier.advance(1_000_000, &FaultPlan::new());
+        assert_eq!(tier.stats().completed[0].completion_ns, 20_000);
+    }
+
+    #[test]
+    fn fault_event_parks_the_clock_and_demotion_preserves_bytes() {
+        let mut plan = FaultPlan::new();
+        plan.link_outage(NodeId(0), NodeId(1), 5_000, 9_000);
+        let mut tier = FluidTier::new(4, &cfg(), IdealOracle);
+        tier.add_flows([flow(0, 0, 1, 125_000, 0), flow(1, 2, 3, 50_000, 800_000)]);
+        assert_eq!(
+            tier.advance(1_000_000, &plan),
+            FluidStop::FaultBoundary(5_000)
+        );
+        assert_eq!(tier.now_ns(), 5_000);
+        // 5 000 ns at 12.5 B/ns = 62 500 bytes drained.
+        let demoted = tier.demote();
+        assert_eq!(demoted.len(), 2);
+        assert_eq!(demoted[0].size_bytes, 62_500);
+        assert_eq!(demoted[0].arrival_ns, 5_000);
+        // The never-started flow keeps its original arrival.
+        assert_eq!(demoted[1].size_bytes, 50_000);
+        assert_eq!(demoted[1].arrival_ns, 800_000);
+        assert!(tier.is_drained());
+    }
+
+    #[test]
+    fn zero_throughput_stalls_instead_of_spinning() {
+        struct Dead;
+        impl RateOracle for Dead {
+            fn throughput(&mut self, _n: usize, _d: &[f64]) -> f64 {
+                0.0
+            }
+        }
+        let mut tier = FluidTier::new(4, &cfg(), Dead);
+        tier.add_flows([flow(0, 0, 1, 1_000, 0)]);
+        assert_eq!(tier.advance(1_000, &FaultPlan::new()), FluidStop::Stalled);
+    }
+
+    #[test]
+    fn hybrid_run_demotes_across_a_fault_and_drains() {
+        let schedule = round_robin(4).unwrap();
+        let mut plan = FaultPlan::new();
+        plan.link_outage(NodeId(0), NodeId(2), 50_000, 52_000);
+        let flows = vec![flow(0, 0, 1, 1_250_000, 0), flow(1, 2, 3, 1_250_000, 0)];
+        let report = run_hybrid(
+            cfg(),
+            &schedule,
+            &DirectRouter,
+            IdealOracle,
+            flows,
+            plan,
+            None,
+            10_000_000,
+        )
+        .unwrap();
+        assert!(report.drained);
+        assert_eq!(report.demoted_at_ns, Some(50_000));
+        assert_eq!(report.demoted_flows, 2);
+        let m = report.cell_metrics.as_ref().unwrap();
+        // All bytes land exactly once across the two tiers.
+        assert_eq!(report.fluid_delivered_bytes + m.delivered_bytes, 2_500_000);
+        assert!(report.makespan_ns > 50_000);
+        // The demoted era fast-forwarded the [0, 50 µs) quiet prefix.
+        assert!(m.slots_skipped > 0);
+    }
+
+    #[test]
+    fn hybrid_run_without_faults_stays_fluid() {
+        let schedule = round_robin(4).unwrap();
+        let flows = vec![flow(0, 0, 1, 125_000, 0)];
+        let report = run_hybrid(
+            cfg(),
+            &schedule,
+            &DirectRouter,
+            IdealOracle,
+            flows,
+            FaultPlan::new(),
+            None,
+            1_000_000,
+        )
+        .unwrap();
+        assert!(report.drained);
+        assert!(report.cell_metrics.is_none());
+        assert_eq!(report.fluid_completed.len(), 1);
+        assert_eq!(report.makespan_ns, 10_000);
+    }
+}

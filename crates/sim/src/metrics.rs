@@ -284,10 +284,10 @@ impl LinkMatrix {
 
     /// Links with a nonzero count, ascending by `(src, dst)`.
     pub fn iter(&self) -> impl Iterator<Item = ((u32, u32), u64)> + '_ {
-        self.rows.iter().enumerate().flat_map(|(src, row)| {
-            row.iter()
-                .map(move |&(dst, c)| ((src as u32, dst), c))
-        })
+        self.rows
+            .iter()
+            .enumerate()
+            .flat_map(|(src, row)| row.iter().map(move |&(dst, c)| ((src as u32, dst), c)))
     }
 
     /// Nonzero link keys, ascending.
@@ -346,6 +346,12 @@ pub struct Metrics {
     /// network to full health until total queue depth fell back to its
     /// pre-failure level.
     pub recovery_times_ns: Vec<Nanos>,
+    /// Slots advanced without the full per-node walk: provably-quiet
+    /// slots covered by `step_quiet` or a `fast_forward_to` jump. A
+    /// fast-forward jump only covers slots that per-slot stepping would
+    /// also have proven quiet, so the count is identical either way.
+    /// Always ≤ `slots`.
+    pub slots_skipped: u64,
 }
 
 impl Metrics {

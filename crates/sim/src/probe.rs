@@ -52,6 +52,29 @@ impl SlotView<'_> {
     }
 }
 
+/// A batch of provably-quiet slots the engine fast-forwarded over in
+/// one jump (see `Engine::fast_forward_to`).
+///
+/// `end` is exactly the [`SlotView`] the final slot of the span would
+/// have produced through [`Probe::on_slot_end`]. The earlier slots in
+/// the span were identical except for their slot number and start time:
+/// slot `s` (for `s` in `end.slot - skipped + 1 ..= end.slot`) would
+/// have seen `slot: s, now_ns: (s - 1) * slot_ns` and the same metrics
+/// save for `slots`, `slots_skipped`, and `idle_circuit_slots`. A probe
+/// that needs per-slot resolution can reconstruct every intermediate
+/// view from these three fields without the engine walking the gap.
+#[derive(Debug, Clone, Copy)]
+pub struct SkipView<'a> {
+    /// The view of the last slot in the skipped span, as
+    /// [`Probe::on_slot_end`] would have delivered it.
+    pub end: SlotView<'a>,
+    /// How many slots the span covered (≥ 2; single quiet slots still go
+    /// through [`Probe::on_slot_end`]).
+    pub skipped: u64,
+    /// Slot duration, for reconstructing intermediate `now_ns` values.
+    pub slot_ns: Nanos,
+}
+
 /// Callbacks invoked by the engine as a simulation runs.
 ///
 /// Every method has an empty default body, so a probe implements only
@@ -61,6 +84,27 @@ pub trait Probe {
     /// Called at the end of every slot, after transmission and metric
     /// updates for that slot have completed.
     fn on_slot_end(&mut self, _view: &SlotView<'_>) {}
+
+    /// Called instead of per-slot [`Probe::on_slot_end`] when the engine
+    /// fast-forwards a span of quiet slots in one jump. The default
+    /// delivers only the span's final view, which is exact for probes
+    /// that sample the latest state; probes that accumulate per-slot
+    /// state must override this to account for the whole span (every
+    /// intermediate view is reconstructible from the [`SkipView`]).
+    fn on_slots_skipped(&mut self, view: &SkipView<'_>) {
+        self.on_slot_end(&view.end);
+    }
+
+    /// The next simulated time at which this probe must observe a slot
+    /// boundary individually rather than as part of a batched span —
+    /// e.g. an interval sampler's next mark. `Engine::fast_forward_to`
+    /// never jumps past the first slot whose end view reaches this
+    /// time, so a probe returning its mark here sees exactly the views
+    /// per-slot stepping would have delivered at every mark. `None`
+    /// (the default) means any span may be batched.
+    fn next_boundary_ns(&self) -> Option<Nanos> {
+        None
+    }
 
     /// Called when a cell reaches its destination. `latency_ns` is the
     /// injection-to-delivery time of the cell.
@@ -118,6 +162,12 @@ impl<P: Probe> Probe for &mut P {
     fn on_slot_end(&mut self, view: &SlotView<'_>) {
         (**self).on_slot_end(view);
     }
+    fn on_slots_skipped(&mut self, view: &SkipView<'_>) {
+        (**self).on_slots_skipped(view);
+    }
+    fn next_boundary_ns(&self) -> Option<Nanos> {
+        (**self).next_boundary_ns()
+    }
     fn on_delivery(&mut self, cell: &Cell, latency_ns: Nanos, now_ns: Nanos) {
         (**self).on_delivery(cell, latency_ns, now_ns);
     }
@@ -154,6 +204,16 @@ impl<A: Probe, B: Probe> Probe for (A, B) {
     fn on_slot_end(&mut self, view: &SlotView<'_>) {
         self.0.on_slot_end(view);
         self.1.on_slot_end(view);
+    }
+    fn on_slots_skipped(&mut self, view: &SkipView<'_>) {
+        self.0.on_slots_skipped(view);
+        self.1.on_slots_skipped(view);
+    }
+    fn next_boundary_ns(&self) -> Option<Nanos> {
+        match (self.0.next_boundary_ns(), self.1.next_boundary_ns()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
     fn on_delivery(&mut self, cell: &Cell, latency_ns: Nanos, now_ns: Nanos) {
         self.0.on_delivery(cell, latency_ns, now_ns);
@@ -201,6 +261,14 @@ impl<P: Probe> Probe for Option<P> {
         if let Some(p) = self {
             p.on_slot_end(view);
         }
+    }
+    fn on_slots_skipped(&mut self, view: &SkipView<'_>) {
+        if let Some(p) = self {
+            p.on_slots_skipped(view);
+        }
+    }
+    fn next_boundary_ns(&self) -> Option<Nanos> {
+        self.as_ref().and_then(Probe::next_boundary_ns)
     }
     fn on_delivery(&mut self, cell: &Cell, latency_ns: Nanos, now_ns: Nanos) {
         if let Some(p) = self {

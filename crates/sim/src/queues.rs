@@ -225,7 +225,6 @@ mod tests {
     use super::*;
     use crate::cell::FlowId;
 
-
     fn cell(dst: u32) -> Cell {
         Cell {
             flow: FlowId(0),

@@ -1,6 +1,6 @@
 //! A probe that counts hook invocations.
 
-use sorn_sim::{Cell, FaultView, Flow, FlowRecord, Nanos, Probe, SlotView};
+use sorn_sim::{Cell, FaultView, Flow, FlowRecord, Nanos, Probe, SkipView, SlotView};
 use sorn_topology::NodeId;
 
 /// Counts every probe callback — the cheapest way to verify that the
@@ -24,6 +24,11 @@ pub struct CountingProbe {
     pub faults: u64,
     /// `on_run_end` invocations.
     pub run_ends: u64,
+    /// `on_slots_skipped` invocations (batched quiet spans).
+    pub skip_spans: u64,
+    /// Slots covered by those spans; `slots + skipped_slots` is the
+    /// total simulated slots observed regardless of fast-forward.
+    pub skipped_slots: u64,
 }
 
 impl CountingProbe {
@@ -57,5 +62,9 @@ impl Probe for CountingProbe {
     }
     fn on_run_end(&mut self, _view: &SlotView<'_>) {
         self.run_ends += 1;
+    }
+    fn on_slots_skipped(&mut self, view: &SkipView<'_>) {
+        self.skip_spans += 1;
+        self.skipped_slots += view.skipped;
     }
 }

@@ -23,7 +23,7 @@
 //! while a dump path is configured, the recorder writes the dump from
 //! its `Drop` impl — the black-box survives the crash.
 
-use sorn_sim::{Cell, FaultAction, FaultTarget, FaultView, Nanos, Probe, SlotView};
+use sorn_sim::{Cell, FaultAction, FaultTarget, FaultView, Nanos, Probe, SkipView, SlotView};
 use std::fmt::Write as _;
 use std::io::{self, Write};
 use std::path::PathBuf;
@@ -718,6 +718,72 @@ impl Probe for FlightRecorder {
                         wall_us,
                     });
                     self.flag(format!("slow slot: {wall_us} us at slot {}", view.slot));
+                }
+            }
+            self.last_slot_end = Some(now);
+        }
+    }
+
+    fn on_slots_skipped(&mut self, view: &SkipView<'_>) {
+        let end = &view.end;
+        let first_slot = end.slot - view.skipped + 1;
+        let first_now = end.now_ns - (view.skipped - 1) * view.slot_ns;
+        // Counters are frozen across a quiet span, so only its first
+        // slot can carry a nonzero drop delta (a recorder attached
+        // mid-run); every later slot's delta is zero.
+        let dropped = end.metrics.dropped_cells;
+        let slot_drops = dropped.saturating_sub(self.last_dropped);
+        self.last_dropped = dropped;
+        if slot_drops >= self.drop_spike_threshold {
+            self.record(RecordedEvent::DropSpike {
+                at_ns: first_now,
+                slot: first_slot,
+                drops: slot_drops,
+            });
+            self.flag(format!(
+                "drop spike: {slot_drops} drops in slot {first_slot}"
+            ));
+            if self.drop_spike_threshold == 0 {
+                // Degenerate threshold: per-slot stepping records a
+                // zero-drop spike every slot. Reproduce the span in
+                // O(capacity) — only the last `capacity` events survive
+                // the ring, so older ones just bump the total.
+                let extra = view.skipped - 1;
+                let synth = extra.min(self.capacity as u64);
+                self.total += extra - synth;
+                for slot in (end.slot - synth + 1)..=end.slot {
+                    self.record(RecordedEvent::DropSpike {
+                        at_ns: end.now_ns - (end.slot - slot) * view.slot_ns,
+                        slot,
+                        drops: 0,
+                    });
+                }
+            }
+        }
+        let stranded = end.metrics.stranded_cells;
+        if stranded > 0 && self.last_stranded == 0 {
+            self.record(RecordedEvent::StrandedOnset {
+                at_ns: first_now,
+                slot: first_slot,
+                stranded,
+            });
+            self.flag(format!(
+                "stranded onset: {stranded} cells in slot {first_slot}"
+            ));
+        }
+        self.last_stranded = stranded;
+        if let Some(threshold_us) = self.slow_slot_us {
+            // Wall-clock watchdog (opt-in, host-dependent): a batched
+            // span took one jump of wall time, so it is timed as one.
+            let now = Instant::now();
+            if let Some(prev) = self.last_slot_end {
+                let wall_us = now.duration_since(prev).as_micros() as u64;
+                if wall_us >= threshold_us {
+                    self.record(RecordedEvent::SlowSlot {
+                        slot: end.slot,
+                        wall_us,
+                    });
+                    self.flag(format!("slow slot: {wall_us} us at slot {}", end.slot));
                 }
             }
             self.last_slot_end = Some(now);

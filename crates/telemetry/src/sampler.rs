@@ -57,6 +57,16 @@ impl<S: EventSink> Probe for IntervalSampler<S> {
         self.next_sample_ns = (view.now_ns / self.interval_ns + 1) * self.interval_ns;
     }
 
+    // `on_slots_skipped` keeps its default (deliver the span's final
+    // view): the engine bounds every fast-forward jump by
+    // `next_boundary_ns`, so a batched span reaches at most one
+    // interval mark, and only as its final slot — the sample that view
+    // produces is exactly the one per-slot stepping would have emitted.
+
+    fn next_boundary_ns(&self) -> Option<Nanos> {
+        Some(self.next_sample_ns)
+    }
+
     fn on_delivery(&mut self, _cell: &Cell, _latency_ns: Nanos, _now_ns: Nanos) {
         // Per-cell delivery events would dwarf the trace; deliveries are
         // visible through snapshot counters instead.

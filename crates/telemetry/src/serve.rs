@@ -77,9 +77,10 @@ impl MetricsServer {
         let shared = Arc::new(Shared {
             metrics_text: Mutex::new(String::new()),
             progress_json: Mutex::new(
-                "{\"slot\":0,\"now_ns\":0,\"active_flows\":0,\"queued_cells\":0,\
+                "{\"slot\":0,\"now_ns\":0,\"sim_ns\":0,\"slots_skipped\":0,\
+                 \"active_flows\":0,\"queued_cells\":0,\
                  \"inflight_cells\":0,\"delivered_cells\":0,\"cells_per_sec\":0,\
-                 \"recent_cells_per_sec\":0,\"eta_s\":-1}"
+                 \"recent_cells_per_sec\":0,\"slots_per_sec\":0,\"eta_s\":-1}"
                     .to_string(),
             ),
             weather_json: Mutex::new("{}".to_string()),
@@ -128,8 +129,12 @@ impl MetricsPublisher {
     /// Swaps in a fresh `/progress` snapshot. `cells_per_sec` is the
     /// whole-run average, `recent_cells_per_sec` the rate between the
     /// last two slot-boundary snapshots, and `eta_s` the wall-clock
-    /// seconds to `max_slots` at the recent rate (`-1` when unknown —
-    /// no slot bound, or no throughput yet).
+    /// seconds to `max_slots` at the recent *slot* rate (`-1` when
+    /// unknown — no slot bound, or no throughput yet). `sim_ns` (the
+    /// simulated time reached, same clock as `now_ns`), `slots_skipped`
+    /// (slots covered without a full walk), and `slots_per_sec` keep
+    /// progress and ETA meaningful on long-horizon runs where most
+    /// slots are fast-forwarded and the cell rate goes quiet.
     #[allow(clippy::too_many_arguments)]
     pub fn publish_progress(
         &self,
@@ -141,13 +146,17 @@ impl MetricsPublisher {
         delivered_cells: u64,
         cells_per_sec: u64,
         recent_cells_per_sec: u64,
+        slots_skipped: u64,
+        slots_per_sec: u64,
         eta_s: i64,
     ) {
         let json = format!(
-            "{{\"slot\":{slot},\"now_ns\":{now_ns},\"active_flows\":{active_flows},\
+            "{{\"slot\":{slot},\"now_ns\":{now_ns},\"sim_ns\":{now_ns},\
+             \"slots_skipped\":{slots_skipped},\"active_flows\":{active_flows},\
              \"queued_cells\":{queued_cells},\"inflight_cells\":{inflight_cells},\
              \"delivered_cells\":{delivered_cells},\"cells_per_sec\":{cells_per_sec},\
-             \"recent_cells_per_sec\":{recent_cells_per_sec},\"eta_s\":{eta_s}}}"
+             \"recent_cells_per_sec\":{recent_cells_per_sec},\
+             \"slots_per_sec\":{slots_per_sec},\"eta_s\":{eta_s}}}"
         );
         *self.shared.progress_json.lock().expect("snapshot lock") = json;
     }
@@ -356,6 +365,8 @@ impl LiveMetricsProbe {
             metrics.delivered_cells,
             cells_per_sec,
             recent_cells_per_sec,
+            metrics.slots_skipped,
+            slots_per_sec as u64,
             eta_s,
         );
     }
@@ -397,7 +408,7 @@ mod tests {
         let (server, publisher) = MetricsServer::bind("127.0.0.1:0").unwrap();
         let addr = server.local_addr();
         publisher.publish_metrics("# TYPE sorn_x counter\nsorn_x 7\n".to_string());
-        publisher.publish_progress(12, 1200, 3, 4, 5, 6, 7, 9, 42);
+        publisher.publish_progress(12, 1200, 3, 4, 5, 6, 7, 9, 1000, 8, 42);
 
         let metrics = get(addr, "/metrics");
         assert!(metrics.starts_with("HTTP/1.1 200 OK"));
@@ -409,8 +420,11 @@ mod tests {
 
         let progress = get(addr, "/progress");
         assert!(progress.contains("\"slot\":12"));
+        assert!(progress.contains("\"sim_ns\":1200"));
         assert!(progress.contains("\"cells_per_sec\":7"));
         assert!(progress.contains("\"recent_cells_per_sec\":9"));
+        assert!(progress.contains("\"slots_skipped\":1000"));
+        assert!(progress.contains("\"slots_per_sec\":8"));
         assert!(progress.contains("\"eta_s\":42"));
 
         let weather = get(addr, "/weather");

@@ -24,7 +24,7 @@
 //! resumed run produces the same report as an uninterrupted one.
 
 use crate::serve::MetricsPublisher;
-use sorn_sim::{Cell, Flow, FlowRecord, Nanos, Probe, SlotView};
+use sorn_sim::{Cell, Flow, FlowRecord, Nanos, Probe, SkipView, SlotView};
 use sorn_topology::{CliqueMap, NodeId};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -310,6 +310,31 @@ impl EpochSeries {
             self.cur = WeatherBucket::default();
             if self.buckets.len() == self.budget {
                 self.decimate();
+            }
+        }
+    }
+
+    /// Folds `count` consecutive all-zero slots starting at `slot` into
+    /// the series in one pass — exactly what `count` calls to
+    /// [`EpochSeries::record_slot`] with zero deltas would produce, but
+    /// in `O(budget + log count)` bucket operations instead of
+    /// `O(count)`: whole buckets fill by arithmetic, and each decimation
+    /// doubles the epoch, so long spans converge after a few rounds.
+    pub fn record_quiet_span(&mut self, mut slot: u64, mut count: u64) {
+        while count > 0 {
+            if self.cur.slots == 0 {
+                self.cur.start_slot = slot;
+            }
+            let take = count.min(self.epoch_slots - self.cur.slots);
+            self.cur.slots += take;
+            slot += take;
+            count -= take;
+            if self.cur.slots == self.epoch_slots {
+                self.buckets.push(self.cur);
+                self.cur = WeatherBucket::default();
+                if self.buckets.len() == self.budget {
+                    self.decimate();
+                }
             }
         }
     }
@@ -1011,6 +1036,46 @@ impl Probe for WeatherProbe {
             }
         }
         if view.slot.is_multiple_of(PORT_FLUSH_SLOTS) {
+            self.flush_ports();
+        }
+        self.publish_live(false);
+    }
+
+    fn on_slots_skipped(&mut self, view: &SkipView<'_>) {
+        let end = &view.end;
+        let first_slot = end.slot - view.skipped + 1;
+        self.final_slot = end.slot;
+        self.final_now_ns = end.now_ns;
+        let m = end.metrics;
+        // Engine counters are frozen across a quiet span, so only its
+        // first slot can carry a delta (a probe attached mid-run); the
+        // rest of the span is all-zero slots folded in closed form.
+        let delivered = m.delivered_cells.saturating_sub(self.last.delivered);
+        let dropped = m.dropped_cells.saturating_sub(self.last.dropped);
+        let transmitted = m.transmissions.saturating_sub(self.last.transmitted);
+        let reconfigs = self.reconfig_total.saturating_sub(self.last.reconfigs);
+        self.last = LastCounters {
+            delivered: m.delivered_cells,
+            dropped: m.dropped_cells,
+            transmitted: m.transmissions,
+            reconfigs: self.reconfig_total,
+        };
+        self.series.record_slot(
+            first_slot,
+            delivered,
+            dropped,
+            transmitted,
+            reconfigs,
+            end.total_queued as u64,
+        );
+        self.series
+            .record_quiet_span(first_slot + 1, view.skipped - 1);
+        self.max_stranded = self.max_stranded.max(m.stranded_cells);
+        // Queues are empty throughout a quiet span, so the per-clique
+        // HWM roll-up is a no-op. One flush covers every multiple of
+        // PORT_FLUSH_SLOTS inside the span: per-slot stepping would
+        // flush at the first one and find nothing pending at the rest.
+        if end.slot / PORT_FLUSH_SLOTS > (first_slot - 1) / PORT_FLUSH_SLOTS {
             self.flush_ports();
         }
         self.publish_live(false);

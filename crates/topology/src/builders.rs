@@ -913,7 +913,11 @@ mod tests {
         let expected_degree: usize = radices.iter().map(|r| r - 1).sum();
         let s = clique_of_cliques(radices, 1 << 20).unwrap();
         s.validate().unwrap();
-        assert_eq!(s.period(), expected_degree, "unit weights: one slot per shift");
+        assert_eq!(
+            s.period(),
+            expected_degree,
+            "unit weights: one slot per shift"
+        );
         for &v in sample {
             let node = NodeId(v);
             let peers: std::collections::BTreeSet<u32> = (0..s.period() as u64)

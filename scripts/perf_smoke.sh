@@ -6,6 +6,11 @@
 # `perf_smoke.sh scale` runs only the warehouse-scale stanza instead: a
 # truncated --scale16k under wall-clock and peak-RSS budgets, byte-diffed
 # serial vs --engine-threads 2.
+#
+# `perf_smoke.sh horizon` runs only the long-horizon stanza: the tiny
+# --horizon scenario with batched fast-forward on and off, asserting
+# identical sim results, an engaged skip, a real speedup, and a clean
+# wall-per-sim-ns baseline gate.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -68,6 +73,54 @@ if [ "$mode" = scale ]; then
   echo "engine-threads=1 and engine-threads=2 agree on the 16k scenario's slots and cells."
 
   echo "scale smoke passed."
+  exit 0
+fi
+
+if [ "$mode" = horizon ]; then
+  echo "== tiny --horizon: fast-forward vs slot-by-slot reference =="
+  ./target/release/perf --horizon --tiny --label hz \
+    --out-dir "$tmpdir/hz" > "$tmpdir/hz.out"
+  ./target/release/perf --horizon --tiny --no-skip --label hz-ref \
+    --out-dir "$tmpdir/hzref" > "$tmpdir/hzref.out"
+  cat "$tmpdir/hz.out"
+
+  echo "== skipping and per-slot stepping must agree on sim results =="
+  diff <(deterministic "$tmpdir/hz.out") <(deterministic "$tmpdir/hzref.out")
+  echo "fast-forward and --no-skip agree on the horizon scenario's slots and cells."
+
+  echo "== schema validation =="
+  ./target/release/perf --validate "$tmpdir/hz/BENCH_hz.json"
+
+  echo "== the batched skip must actually engage =="
+  skipped="$(grep -o '"slots_skipped": [0-9]*' "$tmpdir/hz/BENCH_hz.json" | awk '{print $2}')"
+  slots="$(grep -o '"slots": [0-9]*' "$tmpdir/hz/BENCH_hz.json" | awk '{print $2}')"
+  echo "horizon_diurnal: $skipped of $slots slots skipped"
+  [ -n "$skipped" ] && [ "$skipped" -gt 1000000 ] || {
+    echo "FAIL: batched fast-forward did not engage (slots_skipped=$skipped)" >&2; exit 1; }
+
+  echo "== fast-forward must beat per-slot stepping =="
+  # The tiny horizon is 2e6 slots; locally the ratio is ~13x. Require a
+  # conservative 2x so CI noise cannot flake the gate, only a broken
+  # skip can.
+  wall() { grep -o '"wall_ns": [0-9]*' "$1" | head -1 | awk '{print $2}'; }
+  ff_ns="$(wall "$tmpdir/hz/BENCH_hz.json")"
+  ref_ns="$(wall "$tmpdir/hzref/BENCH_hz-ref.json")"
+  echo "wall: fast-forward ${ff_ns} ns, per-slot ${ref_ns} ns"
+  if [ "$((ff_ns * 2))" -gt "$ref_ns" ]; then
+    echo "FAIL: fast-forward under 2x faster than per-slot stepping" >&2; exit 1
+  fi
+
+  echo "== wall-per-sim-ns baseline gate: faster must pass =="
+  ./target/release/perf --horizon --tiny --label hz-gate --out-dir "$tmpdir/hzgate" \
+    --baseline "$tmpdir/hzref/BENCH_hz-ref.json" --threshold 75
+
+  echo "== --engine-threads 2 must reproduce the serial horizon run =="
+  ./target/release/perf --horizon --tiny --engine-threads 2 --label hz-t2 \
+    --out-dir "$tmpdir/hzt2" > "$tmpdir/hzt2.out"
+  diff <(deterministic "$tmpdir/hz.out") <(deterministic "$tmpdir/hzt2.out")
+  echo "engine-threads=1 and engine-threads=2 agree on the horizon scenario's slots and cells."
+
+  echo "horizon smoke passed."
   exit 0
 fi
 
@@ -210,8 +263,12 @@ echo "resumed run matches the uninterrupted run byte-for-byte (BENCH headline + 
 echo "== committed-baseline comparison (must not regress) =="
 # Generous threshold: the tiny scenarios finish in milliseconds, so
 # run-to-run noise across CI machines is large. This gates gross
-# regressions and exercises the comparison path.
-./target/release/perf --tiny --label ci-rerun --jobs 2 --out-dir "$tmpdir" \
+# regressions and exercises the comparison path. Jobs must be 1 here:
+# the committed baseline is recorded at --jobs 1, and peak RSS is
+# process-wide, so a --jobs 2 run's concurrent set inflates it past
+# any sane threshold (the perf doc's "record baselines with --jobs 1"
+# caveat cuts both ways).
+./target/release/perf --tiny --label ci-rerun --jobs 1 --out-dir "$tmpdir" \
   --baseline results/bench_baseline.json --threshold 75
 
 echo "perf smoke passed."

@@ -17,12 +17,19 @@
 //!   and 65 536 nodes) under hierarchical routing, exercising the
 //!   bitset-occupancy transmit walk and quiet-slot fast-forward
 //!   (DESIGN.md §14).
+//! - `horizon_diurnal` (under `--horizon`) — the long-horizon scenario
+//!   (DESIGN.md §15): a sparse diurnal sine workload over 10^9 slots
+//!   of simulated time, dominated by quiet gaps that batched
+//!   fast-forward jumps in O(1) each. `--no-skip` disables the batched
+//!   skip so the same workload steps slot-by-slot — run both and
+//!   compare `wall_per_sim_ns` (or feed one to `--baseline`) to
+//!   measure the speedup. `--tiny` shrinks it to 2·10^6 slots.
 //!
 //! Usage:
 //!
 //! ```text
 //! perf [--label NAME] [--out-dir DIR] [--tiny] [--scale512]
-//!      [--scale16k] [--scale65k] [--jobs N]
+//!      [--scale16k] [--scale65k] [--horizon [--no-skip]] [--jobs N]
 //!      [--engine-threads N] [--baseline FILE] [--threshold PCT]
 //!      [--trace-flows N] [--weather] [--weather-topk K] [--flight-ring N]
 //!      [--serve-metrics ADDR] [--serve-linger-ms N]
@@ -104,13 +111,15 @@ use sorn_topology::builders::{
     clique_of_cliques, round_robin, sorn_schedule, HierarchySpec, SornScheduleParams,
 };
 use sorn_topology::{CliqueMap, NodeId, Ratio};
-use sorn_traffic::{spatial::CliqueLocal, FlowSizeDist, PoissonWorkload};
+use sorn_traffic::{
+    spatial::CliqueLocal, DiurnalPattern, DiurnalWorkload, FlowSizeDist, PoissonWorkload,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
 const USAGE: &str = "usage: perf [--label NAME] [--out-dir DIR] [--tiny] [--scale512] \
-                     [--scale16k] [--scale65k] \
+                     [--scale16k] [--scale65k] [--horizon [--no-skip]] \
                      [--jobs N] [--engine-threads N] \
                      [--trace-flows N] [--weather] [--weather-topk K] [--flight-ring N] \
                      [--serve-metrics ADDR] [--serve-linger-ms N] \
@@ -126,6 +135,8 @@ struct Opts {
     scale512: bool,
     scale16k: bool,
     scale65k: bool,
+    horizon: bool,
+    no_skip: bool,
     jobs: usize,
     engine_threads: usize,
     trace_flows: u64,
@@ -253,6 +264,8 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         scale512: false,
         scale16k: false,
         scale65k: false,
+        horizon: false,
+        no_skip: false,
         jobs: 1,
         engine_threads: 1,
         trace_flows: 0,
@@ -287,6 +300,8 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
             "--scale512" => opts.scale512 = true,
             "--scale16k" => opts.scale16k = true,
             "--scale65k" => opts.scale65k = true,
+            "--horizon" => opts.horizon = true,
+            "--no-skip" => opts.no_skip = true,
             "--jobs" => {
                 opts.jobs = value(&mut i, "--jobs")?
                     .parse()
@@ -327,6 +342,12 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
     }
     if opts.scale512 && (opts.scale16k || opts.scale65k) {
         return Err("--scale512 cannot combine with --scale16k/--scale65k".to_string());
+    }
+    if opts.horizon && (opts.scale512 || opts.scale16k || opts.scale65k) {
+        return Err("--horizon cannot combine with the scale suites".to_string());
+    }
+    if opts.no_skip && !opts.horizon {
+        return Err("--no-skip only applies to --horizon".to_string());
     }
     Ok(opts)
 }
@@ -372,6 +393,8 @@ fn main() -> ExitCode {
         (opts.scale512, " [scale512]"),
         (opts.scale16k, " [scale16k]"),
         (opts.scale65k, " [scale65k]"),
+        (opts.horizon, " [horizon]"),
+        (opts.no_skip, " [no-skip]"),
     ] {
         if on {
             suite_tags.push_str(tag);
@@ -417,8 +440,8 @@ fn main() -> ExitCode {
         flight_ring,
     };
     let suite_start = Instant::now();
-    if ckpt.enabled() && (opts.scale16k || opts.scale65k) {
-        eprintln!("perf: --scale16k/--scale65k do not support --checkpoint-dir");
+    if ckpt.enabled() && (opts.scale16k || opts.scale65k || opts.horizon) {
+        eprintln!("perf: --scale16k/--scale65k/--horizon do not support --checkpoint-dir");
         return ExitCode::from(2);
     }
     let effective_jobs = if ckpt.enabled() { 1 } else { opts.jobs };
@@ -495,7 +518,15 @@ fn main() -> ExitCode {
             Ok(Some(outcomes)) => outcomes,
         }
     } else {
-        let tasks: Vec<Task<(ScenarioResult, String)>> = if opts.scale16k || opts.scale65k {
+        let tasks: Vec<Task<(ScenarioResult, String)>> = if opts.horizon {
+            // The long-horizon scenario: one run, skip on unless
+            // --no-skip asked for the slot-by-slot reference.
+            let a = inst.clone();
+            let no_skip = opts.no_skip;
+            vec![Box::new(move || {
+                horizon_diurnal(tiny, no_skip, engine_threads, &a)
+            })]
+        } else if opts.scale16k || opts.scale65k {
             // The warehouse-scale scenarios: clique-of-cliques fabrics
             // at 16k/65k nodes, routed hierarchically. Run one per
             // requested scale (both flags together sweep the trend).
@@ -740,6 +771,87 @@ fn warehouse_scale(
         metrics.delivered_cells,
         n,
         &profiler,
+        metrics.slots_skipped,
+        metrics.slots * cfg.slot_ns,
+    );
+    text.push_str(&inst.summarize(name, probe, cfg.propagation_ns));
+    (result, text)
+}
+
+/// The long-horizon scenario behind `--horizon`: a 16-node fabric under
+/// flat VLB carrying a *sparse* diurnal sine workload (~12 flows per
+/// node spread across 10 day/night cycles), simulated for 10^9 slots —
+/// 100 seconds of fabric time. Virtually the whole horizon is
+/// quiescent, so with batched fast-forward on (the default) the wall
+/// time is set by the handful of busy episodes; with `--no-skip` the
+/// same run steps every quiet slot individually. Both produce
+/// bit-identical metrics — compare their `wall_per_sim_ns` for the
+/// fast-forward speedup. `--tiny` keeps the shape at 2·10^6 slots.
+fn horizon_diurnal(
+    tiny: bool,
+    no_skip: bool,
+    engine_threads: usize,
+    inst: &Instruments,
+) -> (ScenarioResult, String) {
+    let name = "horizon_diurnal";
+    const N: usize = 16;
+    const CLIQUES: usize = 4;
+    let (horizon_ns, flow_bytes, flows_per_node): (u64, u64, f64) = if tiny {
+        (200_000_000, 12_500, 6.0)
+    } else {
+        (100_000_000_000, 125_000, 12.0)
+    };
+    let map = CliqueMap::contiguous(N, CLIQUES);
+    // Offered load that lands ~flows_per_node flows on each source over
+    // the whole horizon: sparse enough that busy episodes are isolated
+    // islands in an ocean of quiet slots.
+    let mean_load = flows_per_node * flow_bytes as f64 / (12.5 * horizon_ns as f64);
+    let wl = DiurnalWorkload {
+        cliques: map.clone(),
+        pattern: DiurnalPattern {
+            period_ns: horizon_ns / 10,
+            mean_load,
+            amplitude: 0.8,
+            locality_peak: 0.7,
+            locality_trough: 0.2,
+        },
+        sizes: FlowSizeDist::fixed(flow_bytes),
+        node_bandwidth_bytes_per_ns: 12.5,
+        duration_ns: horizon_ns,
+        seed: 13,
+    };
+    let flows = wl.generate();
+    let schedule = round_robin(N).expect("round robin");
+    let router = VlbRouter::new();
+    let cfg = SimConfig {
+        engine_threads,
+        trace_one_in: inst.trace_one_in,
+        ..SimConfig::default()
+    };
+    // Drain budget past the horizon: the last arrivals need at most a
+    // few schedule rotations to clear.
+    let max_slots = horizon_ns / cfg.slot_ns + 100 * schedule.period() as u64;
+    let profiler = WallClockProfiler::new();
+    let probe = inst.probe(name, cfg.slot_ns, &map, max_slots);
+    let start = Instant::now();
+    let mut eng = Engine::with_probe_and_profiler(cfg, &schedule, &router, probe, profiler.clone());
+    eng.set_fast_forward(!no_skip);
+    eng.add_flows(flows).expect("flows in range");
+    assert!(
+        eng.run_until_drained(max_slots).expect("run"),
+        "horizon workload must drain"
+    );
+    let metrics = eng.metrics().clone();
+    let probe = eng.finish();
+    let (result, mut text) = finish_scenario(
+        name,
+        start,
+        metrics.slots,
+        metrics.delivered_cells,
+        N,
+        &profiler,
+        metrics.slots_skipped,
+        metrics.slots * cfg.slot_ns,
     );
     text.push_str(&inst.summarize(name, probe, cfg.propagation_ns));
     (result, text)
@@ -791,6 +903,8 @@ fn run_scale_scenario(
         metrics.delivered_cells,
         n,
         &profiler,
+        metrics.slots_skipped,
+        metrics.slots * cfg.slot_ns,
     );
     text.push_str(&inst.summarize(scheme, probe, cfg.propagation_ns));
     (result, text)
@@ -1004,6 +1118,8 @@ fn run_scale_checkpointed(
                 metrics.delivered_cells,
                 n,
                 &profiler,
+                metrics.slots_skipped,
+                metrics.slots * cfg.slot_ns,
             );
             text.push_str(&inst.summarize(scheme, probe, cfg.propagation_ns));
             Ok(Some((result, text)))
@@ -1121,6 +1237,8 @@ fn resilience_storm_checkpointed(
                 metrics.delivered_cells,
                 cmap.n(),
                 &profiler,
+                metrics.slots_skipped,
+                metrics.slots * cfg.slot_ns,
             );
             text.push_str(&inst.summarize(scheme, probe, cfg.propagation_ns));
             Ok(Some((result, text)))
@@ -1239,6 +1357,8 @@ fn resilience_storm(
         metrics.delivered_cells,
         cmap.n(),
         &profiler,
+        metrics.slots_skipped,
+        metrics.slots * cfg.slot_ns,
     );
     text.push_str(&inst.summarize("resilience_storm", probe, cfg.propagation_ns));
     (result, text)
@@ -1288,7 +1408,17 @@ fn adaptation_sweep(tiny: bool) -> (ScenarioResult, String) {
             epochs += 1;
         }
     }
-    finish_scenario("adaptation_sweep", start, epochs, epochs, n as usize, &profiler)
+    // Epoch-counting scenario: no simulated-time axis to normalize by.
+    finish_scenario(
+        "adaptation_sweep",
+        start,
+        epochs,
+        epochs,
+        n as usize,
+        &profiler,
+        0,
+        0,
+    )
 }
 
 fn community_flows(n: u32, group: impl Fn(u32) -> u32, heavy: u64, light: u64) -> Vec<Flow> {
@@ -1313,6 +1443,7 @@ fn community_flows(n: u32, group: impl Fn(u32) -> u32, heavy: u64, light: u64) -
 /// Packages one scenario's measurements and renders its summary text
 /// (returned, not printed: under `--jobs` the caller prints summaries
 /// after the join, in suite order).
+#[allow(clippy::too_many_arguments)]
 fn finish_scenario(
     name: &str,
     start: Instant,
@@ -1320,12 +1451,21 @@ fn finish_scenario(
     cells_delivered: u64,
     nodes: usize,
     profiler: &WallClockProfiler,
+    slots_skipped: u64,
+    sim_ns: u64,
 ) -> (ScenarioResult, String) {
     use std::fmt::Write as _;
     let wall_ns = start.elapsed().as_nanos().max(1) as u64;
     let secs = wall_ns as f64 / 1e9;
     let profile = profiler.report();
     let peak_rss = peak_rss_bytes();
+    // 0 simulated ns (epoch-counting scenarios) leaves the field
+    // unrecorded, which `compare` skips.
+    let wall_per_sim_ns = if sim_ns > 0 {
+        wall_ns as f64 / sim_ns as f64
+    } else {
+        0.0
+    };
     let result = ScenarioResult {
         name: name.to_string(),
         wall_ns,
@@ -1335,20 +1475,29 @@ fn finish_scenario(
         slots_per_sec: slots as f64 / secs,
         peak_rss_bytes: peak_rss,
         bytes_per_node: peak_rss / nodes.max(1) as u64,
+        slots_skipped,
+        wall_per_sim_ns,
         phases: phases_from_profile(&profile),
     };
     let mut text = String::new();
     let _ = writeln!(
         text,
-        "[{name}] {:.1} ms wall, {} slots, {} cells, {:.0} cells/s, peak RSS {:.1} MiB, \
-         {} bytes/node",
+        "[{name}] {:.1} ms wall, {} slots ({} skipped), {} cells, {:.0} cells/s, \
+         peak RSS {:.1} MiB, {} bytes/node",
         wall_ns as f64 / 1e6,
         slots,
+        slots_skipped,
         cells_delivered,
         result.cells_per_sec,
         result.peak_rss_bytes as f64 / (1024.0 * 1024.0),
         result.bytes_per_node,
     );
+    if wall_per_sim_ns > 0.0 {
+        let _ = writeln!(
+            text,
+            "[{name}] {wall_per_sim_ns:.3} wall-ns per simulated ns",
+        );
+    }
     let _ = writeln!(text, "{}", profile.render());
     (result, text)
 }

@@ -1,0 +1,135 @@
+//! Fluid-tier cross-validation: the macroflow tier's drain times must
+//! track the cell-level engine on golden scenarios, within documented
+//! tolerances (see `sorn_sim::macroflow` module docs).
+//!
+//! The fluid tier ignores propagation delay, slot quantization, and
+//! queueing, all of which are bounded per-flow constants, so the
+//! relative makespan error shrinks as flows grow. The tolerances pinned
+//! here are the documented fidelity contract:
+//!
+//! - **Direct single-circuit traffic** (each pair served by its
+//!   round-robin circuit, no sharing, no spraying): ≤ 5 % makespan
+//!   error.
+//! - **Sprayed VLB traffic** (randomized two-hop detours, queueing at
+//!   intermediates): ≤ 15 % makespan error.
+
+use sorn_routing::{DirectPaths, FlowLevelOracle, VlbPaths, VlbRouter};
+use sorn_sim::{DirectRouter, Engine, FaultPlan, Flow, FlowId, FluidStop, FluidTier, SimConfig};
+use sorn_topology::builders::round_robin;
+use sorn_topology::NodeId;
+
+const MAX_SLOTS: u64 = 10_000_000;
+
+fn flow(id: u64, src: u32, dst: u32, bytes: u64, at: u64) -> Flow {
+    Flow {
+        id: FlowId(id),
+        src: NodeId(src),
+        dst: NodeId(dst),
+        size_bytes: bytes,
+        arrival_ns: at,
+    }
+}
+
+/// Cell-level makespan: drain the flows and report the last slot's end.
+fn cell_makespan(cfg: SimConfig, router: &dyn sorn_sim::Router, flows: &[Flow], n: usize) -> f64 {
+    let schedule = round_robin(n).unwrap();
+    let mut eng = Engine::new(cfg, &schedule, router);
+    eng.set_fast_forward(true);
+    eng.add_flows(flows.to_vec()).unwrap();
+    assert!(eng.run_until_drained(MAX_SLOTS).unwrap());
+    let makespan = eng
+        .metrics()
+        .flows
+        .iter()
+        .map(|r| r.completion_ns)
+        .max()
+        .unwrap() as f64;
+    eng.finish();
+    makespan
+}
+
+/// Fluid makespan under the flow-level oracle for `model`.
+fn fluid_makespan(
+    cfg: SimConfig,
+    model: &dyn sorn_routing::PathModel,
+    flows: &[Flow],
+    n: usize,
+) -> f64 {
+    let topo = round_robin(n).unwrap().logical_topology();
+    let oracle = FlowLevelOracle::new(&topo, model);
+    let mut tier = FluidTier::new(n, &cfg, oracle);
+    tier.add_flows(flows.to_vec());
+    assert_eq!(
+        tier.advance(cfg.slot_start(MAX_SLOTS), &FaultPlan::new()),
+        FluidStop::Drained
+    );
+    tier.stats()
+        .completed
+        .iter()
+        .map(|r| r.completion_ns)
+        .max()
+        .unwrap() as f64
+}
+
+fn assert_within(cell: f64, fluid: f64, tolerance: f64, what: &str) {
+    let err = (cell - fluid).abs() / cell;
+    eprintln!(
+        "{what}: cell {cell} ns, fluid {fluid} ns, error {:.2} %",
+        err * 100.0
+    );
+    assert!(
+        err <= tolerance,
+        "{what}: fluid {fluid} ns vs cell {cell} ns — {:.1} % error exceeds {:.0} % tolerance",
+        err * 100.0,
+        tolerance * 100.0,
+    );
+}
+
+#[test]
+fn direct_circuit_traffic_matches_within_5_percent() {
+    // Four disjoint pairs, each drained over its dedicated round-robin
+    // circuit (1/(n-1) of line rate). 1.25 MB = 1000 cells per flow.
+    let n = 8;
+    let cfg = SimConfig::default();
+    let flows: Vec<Flow> = (0..4)
+        .map(|i| flow(i, 2 * i as u32, 2 * i as u32 + 1, 1_250_000, 0))
+        .collect();
+    let cell = cell_makespan(cfg, &DirectRouter, &flows, n);
+    let fluid = fluid_makespan(cfg, &DirectPaths, &flows, n);
+    assert_within(cell, fluid, 0.05, "direct permutation traffic");
+}
+
+#[test]
+fn direct_traffic_with_source_sharing_matches_within_5_percent() {
+    // Two flows leave node 0 for different destinations, plus staggered
+    // arrivals elsewhere: exercises fair-share splits and mid-flight
+    // rate re-solves against the cell engine's slot interleaving.
+    let n = 8;
+    let cfg = SimConfig::default();
+    let flows = vec![
+        flow(0, 0, 1, 1_250_000, 0),
+        flow(1, 0, 2, 1_250_000, 0),
+        flow(2, 3, 4, 625_000, 100_000),
+        flow(3, 5, 6, 1_875_000, 250_000),
+    ];
+    let cell = cell_makespan(cfg, &DirectRouter, &flows, n);
+    let fluid = fluid_makespan(cfg, &DirectPaths, &flows, n);
+    assert_within(cell, fluid, 0.05, "direct traffic with shared sources");
+}
+
+#[test]
+fn sprayed_vlb_traffic_matches_within_15_percent() {
+    // All-to-one-neighbor permutation over 2-hop VLB: every flow's
+    // cells spray across intermediates, so the fluid rate comes from
+    // the VLB path distribution's bottleneck, and the cell engine adds
+    // real queueing at the detour hops.
+    let n = 8;
+    let cfg = SimConfig::default();
+    let flows: Vec<Flow> = (0..n as u32)
+        .map(|s| flow(s as u64, s, (s + 1) % n as u32, 1_250_000, 0))
+        .collect();
+    let router = VlbRouter::new();
+    let cell = cell_makespan(cfg, &router, &flows, n);
+    let fluid = fluid_makespan(cfg, &VlbPaths::new(n), &flows, n);
+    assert_within(cell, fluid, 0.15, "sprayed VLB permutation traffic");
+}
